@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Fmt Int List Taqp_core Taqp_data Taqp_relational Taqp_rng Taqp_sampling Taqp_stats Taqp_storage Taqp_timecontrol Taqp_workload

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Fmt List Micro Scheduling Sys Tables

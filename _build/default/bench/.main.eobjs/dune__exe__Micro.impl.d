@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Fmt Hashtbl Instance List Measure Staged Taqp_core Taqp_data Taqp_relational Taqp_rng Taqp_storage Taqp_timecontrol Taqp_workload Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/scheduling.ml: Array Float Fmt Lazy List Taqp_core Taqp_relational Taqp_rng Taqp_stats Taqp_storage Taqp_timecontrol Taqp_workload

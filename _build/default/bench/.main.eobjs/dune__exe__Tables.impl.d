@@ -1,0 +1,1 @@
+bench/tables.ml: Fmt List Taqp_core Taqp_timecontrol Taqp_workload

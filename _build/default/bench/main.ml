@@ -1,0 +1,82 @@
+(* The benchmark harness: regenerates every table of the paper's
+   evaluation section plus the ablations behind the Figure 3.2
+   implementation-decision matrix and bechamel micro-benchmarks.
+
+   Usage:
+     main.exe                      everything (tables, ablations,
+                                   scheduling, micro)
+     main.exe --trials 50          faster run
+     main.exe --tables             the paper's tables only
+     main.exe --table 5.1          one table
+     main.exe --ablations          ablation suite
+     main.exe --micro              bechamel micro-benchmarks
+     main.exe --scheduling         deadline-miss simulation (exact vs taqp)
+     main.exe --full               everything *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
+     [--micro] [--scheduling] [--full]";
+  exit 1
+
+type mode = Tables of string option | Ablations | Micro | Scheduling | Full
+
+let () =
+  let trials = ref 200 in
+  let mode = ref Full in
+  let rec parse = function
+    | [] -> ()
+    | "--trials" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> trials := v
+        | _ -> usage ());
+        parse rest
+    | "--table" :: t :: rest ->
+        mode := Tables (Some t);
+        parse rest
+    | "--tables" :: rest ->
+        mode := Tables None;
+        parse rest
+    | "--ablations" :: rest ->
+        mode := Ablations;
+        parse rest
+    | "--micro" :: rest ->
+        mode := Micro;
+        parse rest
+    | "--scheduling" :: rest ->
+        mode := Scheduling;
+        parse rest
+    | "--full" :: rest ->
+        mode := Full;
+        parse rest
+    | "--help" :: _ | "-h" :: _ -> usage ()
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let trials = !trials in
+  let run_tables filter =
+    let tables =
+      match filter with
+      | Some "5.1" -> Tables.table_5_1 ~trials ()
+      | Some "5.2" -> Tables.table_5_2 ~trials ()
+      | Some "5.3" -> Tables.table_5_3 ~trials ()
+      | Some _ -> usage ()
+      | None -> Tables.all ~trials ()
+    in
+    List.iter Tables.print_table tables
+  in
+  Fmt.pr
+    "taqp bench — time-constrained COUNT evaluation (Hou, Ozsoyoglu & \
+     Taneja, SIGMOD 1989)@.%d trials per table row; virtual-clock device \
+     (see DESIGN.md)@."
+    trials;
+  match !mode with
+  | Tables filter -> run_tables filter
+  | Ablations -> Ablations.all ~trials ()
+  | Micro -> Micro.run ()
+  | Scheduling -> Scheduling.run ()
+  | Full ->
+      run_tables None;
+      Ablations.all ~trials ();
+      Scheduling.run ();
+      Micro.run ()

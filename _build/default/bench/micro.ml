@@ -1,0 +1,108 @@
+(* Bechamel micro-benchmarks of the physical operators — real wall-clock
+   costs of the primitives the virtual device models. Useful when
+   porting the cost model to a real machine: the measured ns/run here
+   play the role of the SUN 3/60 calibration constants. *)
+
+open Bechamel
+open Toolkit
+module Generator = Taqp_workload.Generator
+module Heap_file = Taqp_storage.Heap_file
+module Ops = Taqp_relational.Ops
+module Predicate = Taqp_relational.Predicate
+module Ra = Taqp_relational.Ra
+module Eval = Taqp_relational.Eval
+module Catalog = Taqp_storage.Catalog
+
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
+
+let rng = Taqp_rng.Prng.create 42
+let file = Generator.relation ~spec ~key:(fun i -> i / 4) ~rng ()
+let tuples = Array.of_list (Heap_file.to_list file)
+let schema = Heap_file.schema file
+
+let pred =
+  Predicate.Cmp (Predicate.Lt, Predicate.Attr "sel", Predicate.Const (Taqp_data.Value.Int 500))
+
+let test_select =
+  Test.make ~name:"select/2000-tuples"
+    (Staged.stage (fun () -> ignore (Ops.select ~schema pred tuples)))
+
+let test_sort =
+  let key = Ops.key_positions schema [ "key" ] in
+  Test.make ~name:"sort/2000-tuples"
+    (Staged.stage (fun () -> ignore (Ops.sort_stage ~key tuples)))
+
+let join_right =
+  let rng = Taqp_rng.Prng.create 43 in
+  let f = Generator.relation ~spec ~key:(fun i -> i / 4) ~rng () in
+  Array.of_list (Heap_file.to_list f)
+
+let test_merge_join =
+  let sl = Taqp_data.Schema.qualify "l" schema in
+  let sr = Taqp_data.Schema.qualify "r" schema in
+  let p = Predicate.Cmp (Predicate.Eq, Predicate.Attr "l.key", Predicate.Attr "r.key") in
+  Test.make ~name:"merge-join/2000x2000"
+    (Staged.stage (fun () -> ignore (Ops.merge_join ~schema_l:sl ~schema_r:sr p tuples join_right)))
+
+let test_project =
+  Test.make ~name:"project-groups/2000-tuples"
+    (Staged.stage (fun () -> ignore (Ops.project_groups ~schema [ "grp" ] tuples)))
+
+let test_exact_count =
+  let catalog = Catalog.of_list [ ("r", file) ] in
+  let q = Ra.Select (pred, Ra.relation "r") in
+  Test.make ~name:"exact-count/select-2000"
+    (Staged.stage (fun () -> ignore (Eval.count catalog q)))
+
+let test_staged_stage =
+  let wl =
+    Taqp_workload.Paper_setup.selection
+      ~spec:{ Generator.n_tuples = 1_000; tuple_bytes = 200; block_bytes = 1024 }
+      ~output:100 ~seed:7 ()
+  in
+  let config =
+    {
+      Taqp_core.Config.default with
+      Taqp_core.Config.stopping =
+        Taqp_timecontrol.Stopping.Soft_deadline { grace = 1e9 };
+      trace = false;
+    }
+  in
+  Test.make ~name:"taqp-run/select-1000t-quota2s"
+    (Staged.stage (fun () ->
+         ignore
+           (Taqp_core.Taqp.count_within ~config ~seed:1
+              wl.Taqp_workload.Paper_setup.catalog ~quota:2.0
+              wl.Taqp_workload.Paper_setup.query)))
+
+let tests =
+  [
+    test_select;
+    test_sort;
+    test_merge_join;
+    test_project;
+    test_exact_count;
+    test_staged_stage;
+  ]
+
+let run () =
+  Fmt.pr "@.=== Micro-benchmarks (bechamel, wall clock) ===@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ time_ns ] ->
+              Fmt.pr "%-32s %12.0f ns/run@." name time_ns
+          | _ -> Fmt.pr "%-32s (no estimate)@." name)
+        analyzed)
+    tests

@@ -1,0 +1,326 @@
+(* taqp — time-constrained aggregate query processing from the shell.
+
+     taqp gen --dir data --workload join          # synthesize relations
+     taqp query --dir data --quota 2.5 "count(join[r1.key = r2.key](r1, r2))"
+     taqp exact --dir data "count(select[sel < 1000](r1))"
+     taqp explain --dir data "..."                # terms + cost curve *)
+
+open Cmdliner
+module Taqp = Taqp_core.Taqp
+module Report = Taqp_core.Report
+module Config = Taqp_core.Config
+module Aggregate = Taqp_core.Aggregate
+module Staged = Taqp_core.Staged
+module Stopping = Taqp_timecontrol.Stopping
+module Strategy = Taqp_timecontrol.Strategy
+module Csv_io = Taqp_storage.Csv_io
+module Catalog = Taqp_storage.Catalog
+module Heap_file = Taqp_storage.Heap_file
+module Paper_setup = Taqp_workload.Paper_setup
+
+let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Directory of relation CSV files.")
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "RA query, e.g. 'count(select[sel < 1000](r))'. The count(...) \
+           wrapper is optional.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let load_catalog dir = Csv_io.load_dir dir
+
+let parse_query q =
+  match Taqp.parse q with
+  | e -> Ok e
+  | exception Taqp_relational.Parser.Parse_error { position; message } ->
+      Error (Fmt.str "parse error at offset %d: %s" position message)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let workload_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("selection", `Selection);
+               ("join", `Join);
+               ("intersection", `Intersection);
+               ("projection", `Projection);
+               ("select-join", `Select_join);
+               ("union", `Union);
+             ])
+          `Selection
+      & info [ "w"; "workload" ] ~docv:"KIND"
+          ~doc:
+            "Workload kind: $(b,selection), $(b,join), $(b,intersection), \
+             $(b,projection), $(b,select-join) or $(b,union).")
+  in
+  let out_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory (created).")
+  in
+  let tuples_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "tuples" ] ~docv:"N" ~doc:"Tuples per relation.")
+  in
+  let run workload dir tuples seed =
+    let spec = { Taqp_workload.Generator.paper_spec with n_tuples = tuples } in
+    let wl =
+      match workload with
+      | `Selection -> Paper_setup.selection ~spec ~seed ()
+      | `Join -> Paper_setup.join ~spec ~seed ()
+      | `Intersection -> Paper_setup.intersection ~spec ~seed ()
+      | `Projection -> Paper_setup.projection ~spec ~seed ()
+      | `Select_join -> Paper_setup.select_join ~spec ~seed ()
+      | `Union -> Paper_setup.union_of_selects ~spec ~seed ()
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun name ->
+        let path = Filename.concat dir (name ^ ".csv") in
+        Csv_io.save (Catalog.find wl.Paper_setup.catalog name) path;
+        Fmt.pr "wrote %s@." path)
+      (Catalog.names wl.Paper_setup.catalog);
+    Fmt.pr "workload: %s@." wl.Paper_setup.description;
+    Fmt.pr "query:    count(%a)@." Taqp_relational.Ra.pp wl.Paper_setup.query;
+    Fmt.pr "exact:    %d@." wl.Paper_setup.exact;
+    `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ workload_arg $ out_dir_arg $ tuples_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic workload as CSV relations.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+
+let query_cmd =
+  let quota_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "q"; "quota" ] ~docv:"SECONDS"
+          ~doc:"Time quota in (simulated) seconds.")
+  in
+  let aggregate_arg =
+    Arg.(
+      value & opt string "count"
+      & info [ "a"; "aggregate" ] ~docv:"AGG"
+          ~doc:"Aggregate: $(b,count), $(b,sum(attr)) or $(b,avg(attr)).")
+  in
+  let d_beta_arg =
+    Arg.(
+      value & opt float 1.645
+      & info [ "d-beta" ] ~docv:"D"
+          ~doc:"Per-operator risk deviate of the One-at-a-Time strategy.")
+  in
+  let strategy_arg =
+    Arg.(
+      value
+      & opt (enum [ ("one-at-a-time", `O); ("single-interval", `S); ("heuristic", `H) ]) `O
+      & info [ "strategy" ] ~docv:"NAME" ~doc:"Time-control strategy.")
+  in
+  let observe_arg =
+    Arg.(
+      value & flag
+      & info [ "observe" ]
+          ~doc:
+            "ERAM's measurement mode: let the final stage finish and report \
+             the overspend instead of aborting at the deadline.")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the per-stage trace.")
+  in
+  let groups_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "groups" ] ~docv:"N"
+          ~doc:
+            "For projection queries, also print the N largest estimated              group counts.")
+  in
+  let error_bound_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "error-bound" ] ~docv:"PCT"
+          ~doc:
+            "Also stop when the 95% interval is within PCT percent of the \
+             estimate (error-constrained evaluation).")
+  in
+  let run dir query quota aggregate d_beta strategy observe trace groups
+      error_bound seed =
+    match parse_query query with
+    | Error e -> fail "%s" e
+    | Ok expr -> (
+        match Aggregate.parse aggregate with
+        | exception Invalid_argument m -> fail "%s" m
+        | aggregate -> (
+            let catalog = load_catalog dir in
+            let strategy =
+              match strategy with
+              | `O -> Strategy.one_at_a_time ~d_beta ()
+              | `S -> Strategy.single_interval ~d_alpha:d_beta ()
+              | `H -> Strategy.heuristic ~split:0.5
+            in
+            let deadline =
+              if observe then Stopping.Soft_deadline { grace = 1e9 }
+              else Stopping.Hard_deadline
+            in
+            let stopping =
+              match error_bound with
+              | None -> deadline
+              | Some pct ->
+                  Stopping.All
+                    [
+                      deadline;
+                      Stopping.Error_bound { relative = pct /. 100.0; level = 0.95 };
+                    ]
+            in
+            let config = { Config.default with Config.strategy; stopping } in
+            match
+              Taqp.aggregate_within ~config ~seed ~aggregate catalog ~quota expr
+            with
+            | report ->
+                Fmt.pr "%a@." Report.pp report;
+                if trace then
+                  List.iter
+                    (fun s -> Fmt.pr "  %a@." Report.pp_stage s)
+                    report.Report.trace;
+                if groups > 0 then begin
+                  match report.Report.groups with
+                  | [] -> Fmt.pr "(no group estimates: not a plain projection)@."
+                  | gs ->
+                      Fmt.pr "largest estimated groups:@.";
+                      List.iteri
+                        (fun i (label, est) ->
+                          if i < groups then Fmt.pr "  %-24s %10.0f@." label est)
+                        gs
+                end;
+                `Ok ()
+            | exception Staged.Compile_error m -> fail "%s" m
+            | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
+       $ d_beta_arg $ strategy_arg $ observe_arg $ trace_arg $ groups_arg
+       $ error_bound_arg $ seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Estimate an aggregate within a time quota (simulated device).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+
+let exact_cmd =
+  let aggregate_arg =
+    Arg.(
+      value & opt string "count"
+      & info [ "a"; "aggregate" ] ~docv:"AGG" ~doc:"Aggregate to compute.")
+  in
+  let run dir query aggregate =
+    match parse_query query with
+    | Error e -> fail "%s" e
+    | Ok expr -> (
+        match Aggregate.parse aggregate with
+        | exception Invalid_argument m -> fail "%s" m
+        | aggregate -> (
+            let catalog = load_catalog dir in
+            let clock = Taqp_storage.Clock.create_virtual () in
+            let device = Taqp_storage.Device.create clock in
+            match Taqp.aggregate_exact ~device catalog ~aggregate expr with
+            | v ->
+                Fmt.pr "%a = %g@." Aggregate.pp aggregate v;
+                Fmt.pr
+                  "(an unconstrained evaluation would cost %.1f simulated \
+                   seconds on the default device)@."
+                  (Taqp_storage.Clock.now clock);
+                `Ok ()
+            | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m))
+  in
+  let term = Term.(ret (const run $ dir_arg $ query_arg $ aggregate_arg)) in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Evaluate the aggregate exactly (ground truth).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run dir query =
+    match parse_query query with
+    | Error e -> fail "%s" e
+    | Ok expr -> (
+        let catalog = load_catalog dir in
+        match Taqp_estimators.Inclusion_exclusion.rewrite expr with
+        | terms ->
+                Fmt.pr "relations:@.";
+                List.iter
+                  (fun name ->
+                    let f = Catalog.find catalog name in
+                    Fmt.pr "  %-12s %6d tuples  %5d blocks  schema %a@." name
+                      (Heap_file.n_tuples f) (Heap_file.n_blocks f)
+                      Taqp_data.Schema.pp (Heap_file.schema f))
+                  (Catalog.names catalog);
+                Fmt.pr "result schema: %a@." Taqp_data.Schema.pp
+                  (Taqp_relational.Ra.infer_catalog catalog expr);
+                Fmt.pr "inclusion-exclusion terms (%d):@." (List.length terms);
+                List.iter
+                  (fun (sign, t) ->
+                    Fmt.pr "  %c %a@."
+                      (if sign > 0 then '+' else '-')
+                      Taqp_relational.Ra.pp t)
+                  terms;
+                let cm = Taqp_timecost.Cost_model.create () in
+                let staged =
+                  Staged.compile ~catalog ~config:Config.default
+                    ~rng:(Taqp_rng.Prng.create 1) ~cost_model:cm expr
+                in
+                Fmt.pr "predicted first-stage cost (untrained cost model):@.";
+                List.iter
+                  (fun f ->
+                    Fmt.pr "  f = %-6g -> %8.2f s@." f
+                      (Staged.predicted_cost staged ~f ~mode:Staged.Plain))
+                  [ 0.001; 0.01; 0.05; 0.1; 0.5 ];
+            `Ok ()
+        | exception Taqp_estimators.Inclusion_exclusion.Unsupported m ->
+            fail "%s" m
+        | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m)
+  in
+  let term = Term.(ret (const run $ dir_arg $ query_arg)) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the compiled terms and the untrained cost curve.")
+    term
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "time-constrained aggregate query processing (SIGMOD 1989)" in
+  let info = Cmd.info "taqp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; exact_cmd; explain_cmd ]))

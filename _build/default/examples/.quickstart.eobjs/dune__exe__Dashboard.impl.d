@@ -1,0 +1,1 @@
+examples/dashboard.ml: Array Fmt List Schema Taqp_core Taqp_data Taqp_rng Taqp_stats Taqp_storage Tuple Value

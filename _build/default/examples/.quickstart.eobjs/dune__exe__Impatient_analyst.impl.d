@@ -1,0 +1,1 @@
+examples/impatient_analyst.ml: Fmt List Taqp_core Taqp_relational Taqp_stats Taqp_timecontrol Taqp_workload

@@ -1,0 +1,1 @@
+examples/plc_monitor.ml: Array Fmt List Schema Taqp_core Taqp_data Taqp_rng Taqp_stats Taqp_storage Taqp_timecontrol Tuple Value

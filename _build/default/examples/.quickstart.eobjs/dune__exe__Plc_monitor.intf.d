@@ -1,0 +1,1 @@
+examples/plc_monitor.mli:

@@ -1,0 +1,82 @@
+(* A live dashboard refresh: several aggregates over a sales log, all
+   answered within one refresh budget.
+
+   Each tile of the dashboard is one aggregate — a count, a sum, an
+   average, and a top-regions breakdown — and the whole refresh must
+   finish in a fixed budget. This exercises the library's extensions:
+   SUM/AVG estimators and per-group count estimates.
+
+     dune exec examples/dashboard.exe *)
+
+open Taqp_data
+module Taqp = Taqp_core.Taqp
+module Report = Taqp_core.Report
+module Config = Taqp_core.Config
+module Aggregate = Taqp_core.Aggregate
+module Heap_file = Taqp_storage.Heap_file
+module Catalog = Taqp_storage.Catalog
+module Prng = Taqp_rng.Prng
+module Zipf = Taqp_rng.Zipf
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "order_id"; ty = Value.Tint };
+      { Schema.name = "region"; ty = Value.Tint };
+      { Schema.name = "amount"; ty = Value.Tint };
+      { Schema.name = "priority"; ty = Value.Tint };
+    ]
+
+(* 20,000 orders; regions Zipf-skewed (a few hot markets), amounts
+   1..2000, ~10% high priority. *)
+let orders ~rng ~n =
+  let zipf = Zipf.create ~n:12 ~s:1.1 in
+  let tuples =
+    Array.init n (fun i ->
+        Tuple.of_list
+          [
+            Value.Int i;
+            Value.Int (Zipf.draw zipf rng);
+            Value.Int (1 + Prng.int rng 2000);
+            Value.Int (Prng.int rng 10);
+          ])
+  in
+  Taqp_rng.Sample.shuffle rng tuples;
+  Heap_file.create ~tuple_bytes:100 ~schema (Array.to_list tuples)
+
+let () =
+  let rng = Prng.create 404 in
+  let catalog = Catalog.of_list [ ("orders", orders ~rng ~n:20_000) ] in
+  let budget_per_tile = 3.0 in
+  Fmt.pr "Dashboard refresh: %g simulated seconds per tile, 20,000 orders@.@."
+    budget_per_tile;
+
+  let tile name aggregate query =
+    let expr = Taqp.parse query in
+    let r =
+      Taqp.aggregate_within ~seed:2 ~aggregate catalog ~quota:budget_per_tile
+        expr
+    in
+    let truth = Taqp.aggregate_exact catalog ~aggregate expr in
+    Fmt.pr "%-28s %12.0f  (+/- %8.0f)   true %10.0f@." name
+      r.Report.estimate r.Report.confidence.Taqp_stats.Confidence.half_width
+      truth;
+    r
+  in
+  ignore (tile "high-priority orders" Aggregate.Count "select[priority >= 9](orders)");
+  ignore (tile "revenue (sum of amount)" (Aggregate.Sum "amount") "orders");
+  ignore
+    (tile "avg large-order amount" (Aggregate.Avg "amount")
+       "select[amount > 1500](orders)");
+
+  (* Top regions: group estimates from a projection tile. *)
+  let r =
+    Taqp.count_within ~seed:2 catalog ~quota:budget_per_tile
+      (Taqp.parse "project[region](orders)")
+  in
+  Fmt.pr "@.top regions by estimated order count:@.";
+  List.iteri
+    (fun i (label, est) ->
+      if i < 5 then Fmt.pr "  %d. region %-6s ~%7.0f orders@." (i + 1) label est)
+    r.Report.groups;
+  Fmt.pr "@.(every tile returned on budget; intervals shrink with the budget)@."

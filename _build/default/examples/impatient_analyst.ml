@@ -1,0 +1,65 @@
+(* The "impatient user" (Section 1): an interactive environment where
+   the time constraint is minutes of a person's patience rather than a
+   controller deadline.
+
+   Two interaction styles over the same analytical join:
+   - time-boxed: "give me whatever you have in N seconds";
+   - error-boxed: "work until you are within 10%, but never longer
+     than a minute" — the error-constrained stopping criterion of
+     Section 3.2, combined with a deadline.
+
+     dune exec examples/impatient_analyst.exe *)
+
+module Taqp = Taqp_core.Taqp
+module Report = Taqp_core.Report
+module Config = Taqp_core.Config
+module Stopping = Taqp_timecontrol.Stopping
+
+let () =
+  let workload = Taqp_workload.Paper_setup.join ~seed:11 () in
+  Fmt.pr "Analytical query: %a@." Taqp_relational.Ra.pp workload.query;
+  Fmt.pr "Exact count %d; a full evaluation takes minutes on this device.@.@."
+    workload.exact;
+
+  (* Style 1: a ladder of patience. *)
+  Fmt.pr "-- Time-boxed: press Enter when bored --@.";
+  Fmt.pr "%8s  %10s  %8s  %9s  %7s@." "patience" "estimate" "error" "+/-(95%)"
+    "stages";
+  List.iter
+    (fun quota ->
+      let config =
+        {
+          Config.default with
+          Config.initial_selectivities =
+            { Config.no_initial_overrides with Config.join = Some 0.01 };
+        }
+      in
+      let r = Taqp.count_within ~config ~seed:3 workload.catalog ~quota workload.query in
+      Fmt.pr "%7gs  %10.0f  %7.1f%%  %9.0f  %7d@." quota r.Report.estimate
+        (100.0 *. Taqp.estimate_error ~report:r ~exact:workload.exact)
+        r.Report.confidence.Taqp_stats.Confidence.half_width
+        r.Report.stages_completed)
+    [ 1.0; 2.5; 5.0; 15.0; 60.0 ];
+
+  (* Style 2: error-constrained with a deadline backstop. *)
+  Fmt.pr "@.-- Error-boxed: stop at +/-10%% or 120 s, whichever first --@.";
+  let config =
+    {
+      Config.default with
+      Config.stopping =
+        Stopping.All
+          [
+            Stopping.Error_bound { relative = 0.10; level = 0.95 };
+            Stopping.Hard_deadline;
+          ];
+      initial_selectivities =
+        { Config.no_initial_overrides with Config.join = Some 0.01 };
+    }
+  in
+  let r = Taqp.count_within ~config ~seed:3 workload.catalog ~quota:120.0 workload.query in
+  Fmt.pr
+    "stopped after %.1f s (%d stages): estimate %.0f, true error %.1f%%, \
+     outcome %s@."
+    r.Report.elapsed r.Report.stages_completed r.Report.estimate
+    (100.0 *. Taqp.estimate_error ~report:r ~exact:workload.exact)
+    (Report.outcome_name r.Report.outcome)

@@ -1,0 +1,43 @@
+(* Quickstart: estimate a COUNT under a 10-second quota.
+
+   Build a 10,000-tuple relation (the paper's experimental layout),
+   parse an RA query, and ask for the count within a time budget on the
+   simulated 1989-class device. Run with:
+
+     dune exec examples/quickstart.exe *)
+
+module Taqp = Taqp_core.Taqp
+module Report = Taqp_core.Report
+module Config = Taqp_core.Config
+module Stopping = Taqp_timecontrol.Stopping
+
+let () =
+  (* A relation with exactly 1,000 tuples satisfying [sel < 1000]. *)
+  let workload = Taqp_workload.Paper_setup.selection ~output:1_000 ~seed:7 () in
+  let query = Taqp.parse "count(select[sel < 1000](r))" in
+
+  Fmt.pr "Query:       %a@." Taqp_relational.Ra.pp query;
+  Fmt.pr "Exact count: %d (a full scan would take minutes on this device)@."
+    workload.exact;
+
+  (* Hard 10-second quota: the run is interrupted at the deadline, like
+     the paper's timer interrupt. *)
+  let report = Taqp.count_within ~seed:1 workload.catalog ~quota:10.0 query in
+  Fmt.pr "@.Within 10 simulated seconds:@.";
+  Fmt.pr "  estimate    %.0f  (true: %d)@." report.Report.estimate workload.exact;
+  Fmt.pr "  95%% interval %a@." Taqp_stats.Confidence.pp report.Report.confidence;
+  Fmt.pr "  stages      %d, blocks sampled %d of 2000, utilization %.0f%%@."
+    report.Report.stages_completed report.Report.useful_blocks
+    (100.0 *. report.Report.utilization);
+
+  (* Per-stage trace: watch the estimate improve. *)
+  Fmt.pr "@.Stage by stage:@.";
+  List.iter (fun s -> Fmt.pr "  %a@." Report.pp_stage s) report.Report.trace;
+
+  (* The same call with an enormous quota degrades gracefully into the
+     exact answer. *)
+  let exact_run =
+    Taqp.count_within ~seed:1 workload.catalog ~quota:1e6 query
+  in
+  Fmt.pr "@.With an unbounded quota: %.0f [%s]@." exact_run.Report.estimate
+    (Report.outcome_name exact_run.Report.outcome)

@@ -1,0 +1,1 @@
+lib/core/config.ml: Taqp_relational Taqp_sampling Taqp_timecontrol

@@ -1,0 +1,1 @@
+lib/core/config.mli: Taqp_relational Taqp_sampling Taqp_timecontrol

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Aggregate Config Float Fmt List Logs Option Report Staged Taqp_data Taqp_estimators Taqp_stats Taqp_storage Taqp_timecontrol Taqp_timecost

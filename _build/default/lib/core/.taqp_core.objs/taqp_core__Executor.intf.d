@@ -1,0 +1,1 @@
+lib/core/executor.mli: Aggregate Catalog Config Device Ra Report Taqp_relational Taqp_rng Taqp_storage

@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Taqp_stats Taqp_storage

@@ -1,0 +1,1 @@
+lib/core/staged.mli: Aggregate Catalog Config Device Ra Report Taqp_data Taqp_estimators Taqp_relational Taqp_rng Taqp_storage Taqp_timecost

@@ -1,0 +1,1 @@
+lib/core/taqp.ml: Aggregate Array Executor Float Report Taqp_data Taqp_relational Taqp_rng Taqp_storage

@@ -1,0 +1,1 @@
+lib/core/taqp.mli: Aggregate Catalog Config Cost_params Device Ra Report Taqp_relational Taqp_rng Taqp_storage

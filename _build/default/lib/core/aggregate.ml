@@ -1,0 +1,105 @@
+module Count_estimator = Taqp_estimators.Count_estimator
+
+type t = Count | Sum of string | Avg of string
+
+let attr = function Count -> None | Sum a | Avg a -> Some a
+let name = function Count -> "count" | Sum _ -> "sum" | Avg _ -> "avg"
+
+let pp ppf = function
+  | Count -> Format.pp_print_string ppf "count"
+  | Sum a -> Format.fprintf ppf "sum(%s)" a
+  | Avg a -> Format.fprintf ppf "avg(%s)" a
+
+let parse s =
+  let s = String.trim s in
+  let inner prefix =
+    let n = String.length prefix in
+    if
+      String.length s > n + 1
+      && String.sub s 0 n = prefix
+      && s.[n] = '('
+      && s.[String.length s - 1] = ')'
+    then Some (String.trim (String.sub s (n + 1) (String.length s - n - 2)))
+    else None
+  in
+  if String.lowercase_ascii s = "count" then Count
+  else
+    match inner "sum" with
+    | Some a when a <> "" -> Sum a
+    | _ -> (
+        match inner "avg" with
+        | Some a when a <> "" -> Avg a
+        | _ -> invalid_arg "Aggregate.parse: expected count, sum(attr) or avg(attr)")
+
+type moments = { sum : float; sum_sq : float; hits : float }
+
+let zero_moments = { sum = 0.0; sum_sq = 0.0; hits = 0.0 }
+
+let add_tuple m v =
+  { sum = m.sum +. v; sum_sq = m.sum_sq +. (v *. v); hits = m.hits +. 1.0 }
+
+let fpc ~m ~n = if n > 0.0 then Float.max 0.0 ((n -. m) /. n) else 1.0
+
+let sum_estimator moments ~points ~total_points =
+  if points <= 0.0 then invalid_arg "Aggregate.sum_estimator: no points";
+  let mean = moments.sum /. points in
+  (* Per-point contribution variance over the sample (zeros included):
+     s^2 = (sum_sq - sum^2/m) / (m - 1). *)
+  let s2 =
+    if points < 2.0 then 0.0
+    else
+      Float.max 0.0
+        ((moments.sum_sq -. (moments.sum *. moments.sum /. points))
+        /. (points -. 1.0))
+  in
+  let var_mean = s2 /. points *. fpc ~m:points ~n:total_points in
+  {
+    Count_estimator.estimate = total_points *. mean;
+    variance = total_points *. total_points *. var_mean;
+    hits = moments.hits;
+    points;
+    total_points;
+    is_exact = points >= total_points;
+  }
+
+let covariance_estimate moments ~points ~total_points =
+  if points < 2.0 then 0.0
+  else begin
+    (* y is the 0/1 hit indicator, z the contribution; z*y = z, so
+       sample Cov(z, y) = (sum_z - sum_z * hits / m) / (m - 1). *)
+    let cov_zy =
+      (moments.sum -. (moments.sum *. moments.hits /. points)) /. (points -. 1.0)
+    in
+    total_points *. total_points *. cov_zy /. points
+    *. fpc ~m:points ~n:total_points
+  end
+
+let avg_of ~sum ~count ~covariance =
+  let c = count.Count_estimator.estimate in
+  if Float.abs c < 1e-9 then
+    {
+      Count_estimator.estimate = 0.0;
+      variance = sum.Count_estimator.variance;
+      hits = count.Count_estimator.hits;
+      points = count.Count_estimator.points;
+      total_points = count.Count_estimator.total_points;
+      is_exact = count.Count_estimator.is_exact;
+    }
+  else begin
+    let r = sum.Count_estimator.estimate /. c in
+    let var =
+      Float.max 0.0
+        ((sum.Count_estimator.variance
+         +. (r *. r *. count.Count_estimator.variance)
+         -. (2.0 *. r *. covariance))
+        /. (c *. c))
+    in
+    {
+      Count_estimator.estimate = r;
+      variance = var;
+      hits = count.Count_estimator.hits;
+      points = count.Count_estimator.points;
+      total_points = count.Count_estimator.total_points;
+      is_exact = sum.Count_estimator.is_exact && count.Count_estimator.is_exact;
+    }
+  end

@@ -1,0 +1,60 @@
+(** Aggregate functions over RA expressions.
+
+    The paper restricts f(E) to COUNT but notes the machinery applies
+    to "any type of relational algebra query (given, of course, an
+    estimator for the query)". This module supplies the estimators for
+    SUM and AVG over a numeric attribute of the result:
+
+    - SUM scales the sampled attribute total exactly as COUNT scales
+      the hit count: SUM = N * (sum over sample outputs) / m, with the
+      variance from the per-point contribution variance;
+    - AVG is the ratio SUM/COUNT with a delta-method variance.
+
+    SUM/AVG require every inclusion-exclusion term to end in a
+    Select-Join-Intersect pipeline (no Project root: the sum over
+    distinct groups has no Goodman-style estimator here). *)
+
+type t =
+  | Count
+  | Sum of string  (** attribute of the result schema *)
+  | Avg of string
+
+val attr : t -> string option
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+val parse : string -> t
+(** ["count"], ["sum(attr)"] or ["avg(attr)"].
+    @raise Invalid_argument otherwise. *)
+
+(** Per-term sample moments of the aggregated attribute: the sums over
+    the term's output tuples so far. *)
+type moments = { sum : float; sum_sq : float; hits : float }
+
+val zero_moments : moments
+
+val add_tuple : moments -> float -> moments
+(** Fold one qualifying tuple's attribute value in. *)
+
+val sum_estimator :
+  moments -> points:float -> total_points:float ->
+  Taqp_estimators.Count_estimator.t
+(** The SUM estimator over one term: N * sum/m, with the SRS variance
+    of the per-point contribution (0 for non-qualifying points).
+    @raise Invalid_argument if [points <= 0]. *)
+
+val avg_of :
+  sum:Taqp_estimators.Count_estimator.t ->
+  count:Taqp_estimators.Count_estimator.t ->
+  covariance:float ->
+  Taqp_estimators.Count_estimator.t
+(** The ratio estimator AVG = SUM/COUNT with the delta-method variance
+    Var(S/C) ~ (Var(S) + r^2 Var(C) - 2 r Cov(S,C)) / C^2 where
+    r = S/C. Returns estimate 0 with the SUM's variance when the count
+    estimate is 0. *)
+
+val covariance_estimate :
+  moments -> points:float -> total_points:float -> float
+(** Estimated Cov(SUM_hat, COUNT_hat) from the sample: the per-point
+    (z, y) covariance scaled by N^2 (with finite-population
+    correction), where z is the contribution and y the 0/1 hit. *)

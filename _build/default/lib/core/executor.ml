@@ -1,0 +1,324 @@
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Io_stats = Taqp_storage.Io_stats
+module Count_estimator = Taqp_estimators.Count_estimator
+module Cost_model = Taqp_timecost.Cost_model
+module Formulas = Taqp_timecost.Formulas
+module Strategy = Taqp_timecontrol.Strategy
+module Stopping = Taqp_timecontrol.Stopping
+module Sample_size = Taqp_timecontrol.Sample_size
+
+let src = Logs.Src.create "taqp.executor" ~doc:"time-constrained executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Sample-size determination is not free: the prototype counts it as
+   per-stage overhead. Each bisection probe costs one QCOST evaluation,
+   priced relative to the device's fixed per-stage overhead (planning
+   runs on the same machine as the query). *)
+let probe_cost device =
+  0.01 *. (Device.params device).Taqp_storage.Cost_params.stage_overhead
+
+let planning_cost device ~max_iterations =
+  probe_cost device *. float_of_int (max_iterations + 2)
+
+type loop_state = {
+  mutable useful_time : float;  (** completed, in-quota stage time *)
+  mutable stages_attempted : int;
+  mutable stages_completed : int;
+  mutable trace_rev : Report.stage list;
+  mutable recent_estimates : float list;
+  mutable last_good : Count_estimator.t option;
+  mutable useful_blocks : int;
+  residuals : Taqp_stats.Summary.t;
+      (** relative stage-cost prediction errors (actual/predicted - 1);
+          late stage budgets are shrunk by twice their spread so that
+          cost-model noise — which the selectivity-based d_beta margin
+          cannot see — does not tip a marginal final stage over the
+          quota *)
+}
+
+let f_floor = 1e-9
+
+(* The Single-Interval strategy needs sqrt(Var(QCOST)) at a candidate
+   f: delta-method over the per-operator selectivity variances, with
+   numeric gradients (cross-operator covariances approximated as 0 —
+   see DESIGN.md). *)
+let qcost_std staged cost_model ~f =
+  let plans = Staged.plan staged ~f ~mode:Staged.Plain in
+  let base =
+    Cost_model.total cost_model
+      (List.map (fun p -> (p.Staged.plan_id, p.Staged.plan_measures)) plans)
+  in
+  let acc = ref 0.0 in
+  List.iter
+    (fun p ->
+      let open Staged in
+      if p.sel_variance > 0.0 then begin
+        let delta = Float.max 1e-6 (0.01 *. Float.max p.sel_plain 1e-4) in
+        let perturbed =
+          Staged.predicted_cost staged ~f
+            ~mode:(Staged.Override [ (p.plan_id, p.sel_plain +. delta) ])
+        in
+        let grad = (perturbed -. base) /. delta in
+        acc := !acc +. (grad *. grad *. p.sel_variance)
+      end)
+    plans;
+  sqrt !acc
+
+let determine_fraction staged cost_model device ~strategy ~budget ~eps
+    ~max_iterations =
+  ignore cost_model;
+  (* Planning is paid for up front, at its worst case, so the budget
+     handed to the bisection is exactly the time that will remain when
+     the stage starts (no hidden safety margin). *)
+  let planning = planning_cost device ~max_iterations in
+  Device.misc device planning;
+  let budget = budget -. planning in
+  if budget <= 0.0 then Sample_size.Budget_too_small { f_min_cost = infinity }
+  else
+  let outcome =
+    match (strategy : Strategy.t) with
+    | Strategy.One_at_a_time { d_beta; zero_beta } ->
+        Sample_size.bisect
+          ~cost_at:(fun f ->
+            Staged.predicted_cost staged ~f
+              ~mode:(Staged.Inflated { d_beta; zero_beta }))
+          ~budget ~f_min:f_floor ~f_max:1.0 ~eps ~max_iterations ()
+    | Strategy.Single_interval { d_alpha; zero_beta } ->
+        ignore zero_beta;
+        Sample_size.with_deviation
+          ~mean_at:(fun f -> Staged.predicted_cost staged ~f ~mode:Staged.Plain)
+          ~std_at:(fun f -> qcost_std staged cost_model ~f)
+          ~d_alpha ~budget ~f_min:f_floor ~f_max:1.0 ~eps ~max_iterations ()
+    | Strategy.Heuristic { split } -> (
+        let stage_budget = split *. budget in
+        let run budget =
+          Sample_size.bisect
+            ~cost_at:(fun f ->
+              Staged.predicted_cost staged ~f ~mode:Staged.Plain)
+            ~budget ~f_min:f_floor ~f_max:1.0 ~eps ~max_iterations ()
+        in
+        match run stage_budget with
+        | Sample_size.Budget_too_small _ ->
+            (* The geometric slice is too thin; fall back to the whole
+               remaining budget before giving up. *)
+            run budget
+        | outcome -> outcome)
+  in
+  outcome
+
+let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
+    ~(config : Config.t) =
+  let elapsed = Clock.now clock -. start in
+  let estimate =
+    match (state.last_good, Staged.current_estimate staged) with
+    | Some e, _ -> e
+    | None, Some e -> e
+    | None, None ->
+        Count_estimator.of_sample ~hits:0.0 ~points:1.0
+          ~total_points:(Float.max 1.0 (Staged.total_points staged))
+  in
+  let overspend =
+    match outcome with
+    | Report.Overspent -> Float.max 0.0 (elapsed -. quota)
+    | Report.Finished | Report.Quota_exhausted | Report.Aborted_mid_stage
+    | Report.Exact ->
+        0.0
+  in
+  let waste = Float.max 0.0 (Float.max quota elapsed -. state.useful_time -. overspend) in
+  let utilization = if quota > 0.0 then state.useful_time /. quota else 0.0 in
+  let io = Io_stats.diff (Io_stats.copy (Device.stats device)) io_before in
+  {
+    Report.estimate = estimate.Count_estimator.estimate;
+    variance = estimate.Count_estimator.variance;
+    confidence =
+      Count_estimator.confidence ~level:config.confidence_level estimate;
+    exact = estimate.Count_estimator.is_exact && state.stages_completed > 0;
+    outcome;
+    quota;
+    elapsed;
+    useful_time = state.useful_time;
+    overspend;
+    waste;
+    utilization;
+    stages_completed = state.stages_completed;
+    stage_aborted =
+      (match outcome with
+      | Report.Aborted_mid_stage | Report.Overspent -> true
+      | Report.Finished | Report.Quota_exhausted | Report.Exact -> false);
+    blocks_read = io.Io_stats.blocks_read;
+    useful_blocks = state.useful_blocks;
+    io;
+    trace = List.rev state.trace_rev;
+    groups =
+      (match Staged.group_estimates staged with
+      | None -> []
+      | Some gs ->
+          List.map
+            (fun (tuple, est) ->
+              (Fmt.str "%a" Taqp_data.Tuple.pp tuple, est))
+            gs);
+  }
+
+let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
+    ~catalog ~rng ~quota expr =
+  if quota <= 0.0 then invalid_arg "Executor.run: non-positive quota";
+  Config.validate config;
+  let cost_model =
+    Cost_model.create ~adaptive:config.adaptive_cost
+      ~initial_scale:config.initial_cost_scale ()
+  in
+  let staged = Staged.compile ~aggregate ~catalog ~config ~rng ~cost_model expr in
+  let clock = Device.clock device in
+  let start = Clock.now clock in
+  let io_before = Io_stats.copy (Device.stats device) in
+  let deadline_mode = Stopping.deadline_mode config.stopping in
+  Clock.arm clock ~mode:deadline_mode ~at:(start +. quota);
+  let state =
+    {
+      useful_time = 0.0;
+      stages_attempted = 0;
+      stages_completed = 0;
+      trace_rev = [];
+      recent_estimates = [];
+      last_good = None;
+      useful_blocks = 0;
+      residuals = Taqp_stats.Summary.create ();
+    }
+  in
+  let status () =
+    let rel_half_width =
+      Option.bind state.last_good (fun e ->
+          Taqp_stats.Confidence.relative_half_width
+            (Count_estimator.confidence ~level:config.confidence_level e))
+    in
+    {
+      Stopping.elapsed = Clock.now clock -. start;
+      quota;
+      stages = state.stages_completed;
+      estimate =
+        (match state.last_good with
+        | Some e -> e.Count_estimator.estimate
+        | None -> 0.0);
+      rel_half_width;
+      recent_estimates = state.recent_estimates;
+    }
+  in
+  let finish outcome =
+    Clock.disarm clock;
+    finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
+      ~config
+  in
+  let rec loop () =
+    if Staged.exhausted staged then finish Report.Exact
+    else if state.stages_completed > 0 && Stopping.should_stop config.stopping (status ())
+    then finish Report.Finished
+    else begin
+      let elapsed = Clock.now clock -. start in
+      let remaining = quota -. elapsed in
+      if
+        remaining
+        <= planning_cost device
+             ~max_iterations:config.max_bisect_iterations
+      then finish Report.Quota_exhausted
+      else begin
+        let budget =
+          if Taqp_stats.Summary.count state.residuals >= 2 then begin
+            let sigma = Taqp_stats.Summary.stddev state.residuals in
+            remaining /. (1.0 +. (2.0 *. sigma))
+          end
+          else remaining
+        in
+        let eps = Float.max 1e-6 (config.bisect_eps_frac *. budget) in
+        match
+          determine_fraction staged cost_model device ~strategy:config.strategy
+            ~budget ~eps
+            ~max_iterations:config.max_bisect_iterations
+        with
+        | exception Clock.Deadline_exceeded _ ->
+            (* The remaining sliver did not even cover the planning
+               work; the timer fired while sizing the stage. *)
+            finish Report.Quota_exhausted
+        | Sample_size.Budget_too_small { f_min_cost } ->
+            Log.debug (fun m ->
+                m "stopping: minimal stage needs %.3fs, %.3fs left" f_min_cost
+                  remaining);
+            finish Report.Quota_exhausted
+        | (Sample_size.Fraction _ | Sample_size.Take_everything _) as outcome ->
+            let f, predicted =
+              match outcome with
+              | Sample_size.Take_everything { predicted } -> (1.0, predicted)
+              | Sample_size.Fraction { f; predicted; _ } -> (f, predicted)
+              | Sample_size.Budget_too_small _ -> assert false
+            in
+            let predicted_end = Clock.now clock -. start +. predicted in
+            if
+              not
+                (Stopping.allows_stage config.stopping ~predicted_end ~quota)
+            then finish Report.Quota_exhausted
+            else run_one_stage ~f ~predicted
+      end
+    end
+  and run_one_stage ~f ~predicted =
+    let stage_start = Clock.now clock -. start in
+    state.stages_attempted <- state.stages_attempted + 1;
+    match
+      Device.stage_overhead device;
+      Staged.run_stage staged ~device ~f
+    with
+    | exception Clock.Deadline_exceeded _ ->
+        Log.debug (fun m -> m "stage %d aborted by deadline" state.stages_attempted);
+        finish Report.Aborted_mid_stage
+    | None -> finish Report.Exact
+    | Some result ->
+        let stage_end = Clock.now clock -. start in
+        let stage_time = stage_end -. stage_start in
+        let overhead_observed =
+          Float.max 0.0
+            (stage_time -. result.Staged.nodes_elapsed
+           -. result.Staged.scans_elapsed)
+        in
+        Cost_model.observe_step cost_model ~id:(Staged.overhead_id staged)
+          ~step:Formulas.Step_fixed Formulas.zero_measures
+          ~seconds:(Device.measure device overhead_observed);
+        let estimate = result.Staged.estimate in
+        let stage_record =
+          {
+            Report.index = state.stages_attempted;
+            fraction = f;
+            new_blocks = result.Staged.new_units;
+            predicted_cost = predicted;
+            actual_cost = stage_time;
+            started_at = stage_start;
+            finished_at = stage_end;
+            estimate = estimate.Count_estimator.estimate;
+            variance = estimate.Count_estimator.variance;
+            ops = result.Staged.op_snapshots;
+          }
+        in
+        if config.trace then state.trace_rev <- stage_record :: state.trace_rev;
+        if stage_end > quota then begin
+          (* Observe mode let the stage finish past the quota: the
+             paper counts its whole time as wasted and reports the
+             overshoot as ovsp. *)
+          if state.last_good = None then state.last_good <- Some estimate;
+          finish Report.Overspent
+        end
+        else begin
+          state.useful_time <- state.useful_time +. stage_time;
+          state.stages_completed <- state.stages_completed + 1;
+          state.useful_blocks <-
+            state.useful_blocks
+            + List.fold_left
+                (fun acc (_, k) -> acc + k)
+                0 result.Staged.new_units;
+          if predicted > 0.0 then
+            Taqp_stats.Summary.add state.residuals ((stage_time /. predicted) -. 1.0);
+          state.last_good <- Some estimate;
+          state.recent_estimates <-
+            estimate.Count_estimator.estimate :: state.recent_estimates;
+          loop ()
+        end
+  in
+  loop ()

@@ -1,0 +1,29 @@
+(** The time-constrained query evaluation algorithm of Figure 3.1.
+
+    Given a COUNT(E) query and a time quota, repeatedly: revise the
+    operator selectivities, determine the stage's sample fraction with
+    the configured time-control strategy, draw and evaluate the new
+    sample, and improve the estimate — until the stopping criterion
+    fires. The clock (inside [device]) may be virtual (experiments) or
+    wall (live use); under a hard deadline it is armed in abort mode so
+    an overrunning stage is interrupted like the prototype's timer
+    interrupt service routine. *)
+
+open Taqp_storage
+open Taqp_relational
+
+val run :
+  ?config:Config.t ->
+  ?aggregate:Aggregate.t ->
+  device:Device.t ->
+  catalog:Catalog.t ->
+  rng:Taqp_rng.Prng.t ->
+  quota:float ->
+  Ra.t ->
+  Report.t
+(** [aggregate] defaults to COUNT (the paper's f); SUM/AVG use the
+    Section-1 extension estimators of {!Aggregate}.
+    @raise Invalid_argument on a non-positive quota or invalid config;
+    @raise Staged.Compile_error / @raise Ra.Type_error /
+    @raise Taqp_estimators.Inclusion_exclusion.Unsupported from
+    compilation. *)

@@ -1,0 +1,71 @@
+type op_snapshot = {
+  op_id : int;
+  op_label : string;
+  selectivity : float;
+  points_seen : float;
+  tuples_seen : float;
+}
+
+type stage = {
+  index : int;
+  fraction : float;
+  new_blocks : (string * int) list;
+  predicted_cost : float;
+  actual_cost : float;
+  started_at : float;
+  finished_at : float;
+  estimate : float;
+  variance : float;
+  ops : op_snapshot list;
+}
+
+type outcome = Finished | Quota_exhausted | Aborted_mid_stage | Overspent | Exact
+
+type t = {
+  estimate : float;
+  variance : float;
+  confidence : Taqp_stats.Confidence.t;
+  exact : bool;
+  outcome : outcome;
+  quota : float;
+  elapsed : float;
+  useful_time : float;
+  overspend : float;
+  waste : float;
+  utilization : float;
+  stages_completed : int;
+  stage_aborted : bool;
+  blocks_read : int;
+  useful_blocks : int;
+  io : Taqp_storage.Io_stats.t;
+  trace : stage list;
+  groups : (string * float) list;
+}
+
+let outcome_name = function
+  | Finished -> "finished"
+  | Quota_exhausted -> "quota-exhausted"
+  | Aborted_mid_stage -> "aborted-mid-stage"
+  | Overspent -> "overspent"
+  | Exact -> "exact"
+
+let pp_stage ppf s =
+  Format.fprintf ppf
+    "stage %d: f=%.4f blocks=[%s] predicted=%.3fs actual=%.3fs estimate=%.1f"
+    s.index s.fraction
+    (String.concat "; "
+       (List.map (fun (r, k) -> Printf.sprintf "%s:%d" r k) s.new_blocks))
+    s.predicted_cost s.actual_cost s.estimate
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>estimate %.1f (+/- %.1f at %.0f%%)%s@ outcome=%s stages=%d \
+     elapsed=%.2fs/%.2fs useful=%.2fs ovsp=%.2fs waste=%.2fs util=%.0f%% \
+     blocks=%d@]"
+    t.estimate t.confidence.Taqp_stats.Confidence.half_width
+    (100.0 *. t.confidence.Taqp_stats.Confidence.level)
+    (if t.exact then " [exact]" else "")
+    (outcome_name t.outcome) t.stages_completed t.elapsed t.quota
+    t.useful_time t.overspend t.waste
+    (100.0 *. t.utilization)
+    t.blocks_read

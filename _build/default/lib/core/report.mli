@@ -1,0 +1,69 @@
+(** The answer a time-constrained run returns, with the accounting the
+    paper's experiments report: stages, overspend, waste, utilization
+    and blocks evaluated. *)
+
+(** One operator's selectivity snapshot at the end of a stage. *)
+type op_snapshot = {
+  op_id : int;
+  op_label : string;
+  selectivity : float;
+  points_seen : float;
+  tuples_seen : float;
+}
+
+type stage = {
+  index : int;  (** 1-based stage number *)
+  fraction : float;  (** sample fraction taken at this stage *)
+  new_blocks : (string * int) list;  (** units drawn per relation *)
+  predicted_cost : float;  (** Sample-Size-Determine's budgeted cost *)
+  actual_cost : float;  (** clock time the stage really took *)
+  started_at : float;
+  finished_at : float;
+  estimate : float;  (** running estimate after this stage *)
+  variance : float;
+  ops : op_snapshot list;
+}
+
+type outcome =
+  | Finished  (** a non-time criterion (error bound, ...) fired *)
+  | Quota_exhausted
+      (** no further stage could fit in the remaining time *)
+  | Aborted_mid_stage  (** hard deadline interrupted a running stage *)
+  | Overspent  (** observe-mode: the final stage ran past the quota *)
+  | Exact
+      (** every base relation was fully drawn. Under full fulfillment
+          the answer is then exact; under partial fulfillment the
+          population is exhausted but only the diagonal combinations
+          were evaluated — consult the [exact] flag, which reflects the
+          estimator, not the outcome. *)
+
+type t = {
+  estimate : float;
+  variance : float;
+  confidence : Taqp_stats.Confidence.t;
+  exact : bool;
+  outcome : outcome;
+  quota : float;
+  elapsed : float;  (** total clock time until the run returned *)
+  useful_time : float;  (** time of stages whose results count *)
+  overspend : float;  (** seconds past the quota (observe mode) *)
+  waste : float;  (** aborted-stage time plus unusable leftover *)
+  utilization : float;  (** useful_time / quota, in [0, ~1] *)
+  stages_completed : int;
+  stage_aborted : bool;
+  blocks_read : int;
+  useful_blocks : int;
+      (** sample units read by stages that completed within the quota —
+          the paper's "blocks" column (an overspent or aborted final
+          stage's reads are excluded) *)
+  io : Taqp_storage.Io_stats.t;
+  trace : stage list;  (** oldest first; empty unless Config.trace *)
+  groups : (string * float) list;
+      (** for plain projection queries: estimated count per observed
+          group, largest first (rendered group value, estimate);
+          empty otherwise *)
+}
+
+val outcome_name : outcome -> string
+val pp : Format.formatter -> t -> unit
+val pp_stage : Format.formatter -> stage -> unit

@@ -1,0 +1,1143 @@
+module Tuple = Taqp_data.Tuple
+module Schema = Taqp_data.Schema
+module Prng = Taqp_rng.Prng
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Heap_file = Taqp_storage.Heap_file
+module Catalog = Taqp_storage.Catalog
+module Ra = Taqp_relational.Ra
+module Predicate = Taqp_relational.Predicate
+module Ops = Taqp_relational.Ops
+module Plan = Taqp_sampling.Plan
+module Stage_set = Taqp_sampling.Stage_set
+module Fulfillment = Taqp_sampling.Fulfillment
+module Selectivity = Taqp_estimators.Selectivity
+module Count_estimator = Taqp_estimators.Count_estimator
+module Goodman = Taqp_estimators.Goodman
+module Inclusion_exclusion = Taqp_estimators.Inclusion_exclusion
+module Formulas = Taqp_timecost.Formulas
+module Cost_model = Taqp_timecost.Cost_model
+module Sel_plus = Taqp_timecontrol.Sel_plus
+
+exception Compile_error of string
+
+let compile_error fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Data structures                                                     *)
+
+(* One per base relation: the shared sample stream all terms read. *)
+type scan = {
+  scan_id : int;
+  relation : string;
+  file : Heap_file.t;
+  units : Stage_set.t;
+  unit_kind : Plan.unit_kind;
+  mutable stage_tuples : int list;  (** newest first: tuples per stage *)
+  mutable drawn_tuples : int;
+  mutable last_delta : Tuple.t array;
+  mutable last_unit_deltas : Tuple.t array list;  (** per drawn unit *)
+}
+
+type node = {
+  id : int;
+  schema : Schema.t;
+  out_bytes : int;  (** estimated output tuple width, for page math *)
+  sel : Selectivity.t;
+  subtree_points : float;  (** product of leaf cardinalities below *)
+  mutable cum_out : float;
+  mutable cum_points : float;
+  kind : kind;
+}
+
+and kind =
+  | Leaf of scan
+  | Select_node of {
+      comparisons : int;
+      test : Tuple.t -> bool;
+      child : node;
+    }
+  | Project_node of {
+      positions : int list;
+      names : string list;
+      child : node;
+      groups : (Tuple.t, int ref) Hashtbl.t;
+    }
+  | Binary_node of {
+      op : [ `Join | `Intersect ];
+      key_l : int array;
+      key_r : int array;
+      residual : Tuple.t -> bool;
+      residual_comparisons : int;
+      left : node;
+      right : node;
+      mutable files_l : Tuple.t array list;  (** oldest first, sorted *)
+      mutable files_r : Tuple.t array list;
+    }
+
+type term = {
+  sign : int;
+  root : node;
+  leaf_scans : scan list;
+  agg_pos : int option;  (** attribute position for Sum/Avg *)
+  mutable moments : Aggregate.moments;
+  mutable block_counts : float list;
+      (** per-sampled-unit output counts y_i, newest first — tracked
+          only under [Cluster_exact] for single-relation Select chains *)
+}
+
+type t = {
+  config : Config.t;
+  cost_model : Cost_model.t;
+  aggregate : Aggregate.t;
+  terms : term list;
+  scans : scan list;  (** one per distinct base relation *)
+  overhead_id : int;
+  block_bytes : int;
+  mutable stage : int;  (** completed stages *)
+  mutable last_estimate : Count_estimator.t option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+let bf_of_bytes ~block_bytes bytes = Int.max 1 (block_bytes / Int.max 1 bytes)
+
+let xlog n = if n > 1.0 then n *. (log n /. log 2.0) else n
+
+let pages ~bf n = ceil (Float.max 0.0 n /. float_of_int bf)
+
+(* Prestored selectivities (Figure 3.2): seed the record with an
+   overwhelming pseudo-sample at the oracle's value, so the run-time
+   revision barely moves it and its variance is negligible. *)
+let oracle_seed = 1e12
+
+let apply_oracle (config : Config.t) node expr =
+  match config.selectivity_oracle with
+  | None -> ()
+  | Some oracle ->
+      let sel = Float.max 0.0 (Float.min 1.0 (oracle expr)) in
+      Selectivity.set_cumulative node.sel ~points:oracle_seed
+        ~tuples:(sel *. oracle_seed)
+
+let initial_sel (config : Config.t) op =
+  let ov = config.initial_selectivities in
+  match op with
+  | `Select -> Option.value ov.select ~default:(Selectivity.initial_for `Select)
+  | `Join -> Option.value ov.join ~default:(Selectivity.initial_for `Join)
+  | `Project ->
+      Option.value ov.project ~default:(Selectivity.initial_for `Project)
+  | `Intersect (n1, n2) ->
+      Option.value ov.intersect
+        ~default:(Selectivity.initial_for (`Intersect (n1, n2)))
+
+let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
+    expr =
+  Config.validate config;
+  let lookup name =
+    Option.map Heap_file.schema (Catalog.find_opt catalog name)
+  in
+  (* Fail fast on type errors before any state is created. *)
+  ignore (Ra.infer ~lookup expr);
+  let signed_terms = Inclusion_exclusion.rewrite expr in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let block_bytes = 1024 in
+  let scans : (string, scan) Hashtbl.t = Hashtbl.create 8 in
+  let scan_for name =
+    match Hashtbl.find_opt scans name with
+    | Some s -> s
+    | None ->
+        let file =
+          match Catalog.find_opt catalog name with
+          | Some f -> f
+          | None -> compile_error "unknown relation %s" name
+        in
+        let n_units =
+          match (config.plan : Plan.t).unit_kind with
+          | Plan.Cluster -> Heap_file.n_blocks file
+          | Plan.Simple_random -> Heap_file.n_tuples file
+        in
+        let scan_id = fresh_id () in
+        Cost_model.register cost_model ~id:scan_id Formulas.Scan;
+        let s =
+          {
+            scan_id;
+            relation = name;
+            file;
+            units = Stage_set.create ~n_units (Prng.split rng);
+            unit_kind = (config.plan : Plan.t).unit_kind;
+            stage_tuples = [];
+            drawn_tuples = 0;
+            last_delta = [||];
+            last_unit_deltas = [];
+          }
+        in
+        Hashtbl.replace scans name s;
+        s
+  in
+  let with_oracle expr node leaves =
+    apply_oracle config node expr;
+    (node, leaves)
+  in
+  let rec build (e : Ra.t) : node * scan list =
+    match e with
+    | Ra.Relation { name; alias } ->
+        let scan = scan_for name in
+        let schema =
+          Schema.qualify
+            (Option.value alias ~default:name)
+            (Heap_file.schema scan.file)
+        in
+        let tuples = Heap_file.n_tuples scan.file in
+        ( {
+            id = fresh_id ();
+            schema;
+            out_bytes = Heap_file.tuple_bytes scan.file;
+            sel = Selectivity.create ~initial:1.0;
+            subtree_points = float_of_int tuples;
+            cum_out = 0.0;
+            cum_points = 0.0;
+            kind = Leaf scan;
+          },
+          [ scan ] )
+    | Ra.Select (pred, c) ->
+        let child, leaves = build c in
+        let id = fresh_id () in
+        Cost_model.register cost_model ~id Formulas.Select;
+        with_oracle e
+          {
+            id;
+            schema = child.schema;
+            out_bytes = child.out_bytes;
+            sel = Selectivity.create ~initial:(initial_sel config `Select);
+            subtree_points = child.subtree_points;
+            cum_out = 0.0;
+            cum_points = 0.0;
+            kind =
+              Select_node
+                {
+                  comparisons = Predicate.comparisons pred;
+                  test = Predicate.compile child.schema pred;
+                  child;
+                };
+          }
+          leaves
+    | Ra.Project (names, c) ->
+        let child, leaves = build c in
+        let id = fresh_id () in
+        Cost_model.register cost_model ~id Formulas.Project;
+        let schema = Schema.project child.schema names in
+        let positions =
+          List.map (Schema.find child.schema) names
+        in
+        let out_bytes =
+          Int.max 8
+            (child.out_bytes * List.length names
+            / Int.max 1 (Schema.arity child.schema))
+        in
+        with_oracle e
+          {
+            id;
+            schema;
+            out_bytes;
+            sel = Selectivity.create ~initial:(initial_sel config `Project);
+            subtree_points = child.subtree_points;
+            cum_out = 0.0;
+            cum_points = 0.0;
+            kind =
+              Project_node { positions; names; child; groups = Hashtbl.create 256 };
+          }
+          leaves
+    | Ra.Join (pred, l, r) ->
+        let left, ll = build l in
+        let right, rl = build r in
+        let id = fresh_id () in
+        Cost_model.register cost_model ~id Formulas.Join;
+        let schema = Schema.concat left.schema right.schema in
+        let (key_l, key_r), residual_pred =
+          Ops.split_equi_pairs ~schema_l:left.schema ~schema_r:right.schema pred
+        in
+        with_oracle e
+          {
+            id;
+            schema;
+            out_bytes = left.out_bytes + right.out_bytes;
+            sel = Selectivity.create ~initial:(initial_sel config `Join);
+            subtree_points = left.subtree_points *. right.subtree_points;
+            cum_out = 0.0;
+            cum_points = 0.0;
+            kind =
+              Binary_node
+                {
+                  op = `Join;
+                  key_l;
+                  key_r;
+                  residual = Predicate.compile schema residual_pred;
+                  residual_comparisons = Predicate.comparisons residual_pred;
+                  left;
+                  right;
+                  files_l = [];
+                  files_r = [];
+                };
+          }
+          (ll @ rl)
+    | Ra.Intersect (l, r) ->
+        let left, ll = build l in
+        let right, rl = build r in
+        let id = fresh_id () in
+        Cost_model.register cost_model ~id Formulas.Intersect;
+        let arity = Schema.arity left.schema in
+        let key = Array.init arity (fun i -> i) in
+        let n1 = int_of_float (Float.min 1e9 left.subtree_points) in
+        let n2 = int_of_float (Float.min 1e9 right.subtree_points) in
+        with_oracle e
+          {
+            id;
+            schema = left.schema;
+            out_bytes = left.out_bytes;
+            sel =
+              Selectivity.create ~initial:(initial_sel config (`Intersect (n1, n2)));
+            subtree_points = left.subtree_points *. right.subtree_points;
+            cum_out = 0.0;
+            cum_points = 0.0;
+            kind =
+              Binary_node
+                {
+                  op = `Intersect;
+                  key_l = key;
+                  key_r = key;
+                  residual = (fun _ -> true);
+                  residual_comparisons = 0;
+                  left;
+                  right;
+                  files_l = [];
+                  files_r = [];
+                };
+          }
+          (ll @ rl)
+    | Ra.Union (_, _) | Ra.Difference (_, _) ->
+        compile_error
+          "union/difference survived the inclusion-exclusion rewrite"
+  in
+  let terms =
+    List.map
+      (fun (sign, e) ->
+        let root, leaf_scans = build e in
+        let agg_pos =
+          match Aggregate.attr aggregate with
+          | None -> None
+          | Some name -> (
+              (match root.kind with
+              | Project_node _ ->
+                  compile_error
+                    "%s over a projection is not supported (no estimator \
+                     for sums over distinct groups)"
+                    (Aggregate.name aggregate)
+              | Leaf _ | Select_node _ | Binary_node _ -> ());
+              match Schema.find root.schema name with
+              | i -> (
+                  match Schema.ty_at root.schema i with
+                  | Taqp_data.Value.Tint | Taqp_data.Value.Tfloat -> Some i
+                  | Taqp_data.Value.Tstring | Taqp_data.Value.Tbool ->
+                      compile_error "%s: attribute %s is not numeric"
+                        (Aggregate.name aggregate) name)
+              | exception Schema.Schema_error msg -> compile_error "%s" msg)
+        in
+        {
+          sign;
+          root;
+          leaf_scans;
+          agg_pos;
+          moments = Aggregate.zero_moments;
+          block_counts = [];
+        })
+      signed_terms
+  in
+  let overhead_id = fresh_id () in
+  Cost_model.register cost_model ~id:overhead_id Formulas.Overhead;
+  let scans =
+    List.sort
+      (fun a b -> String.compare a.relation b.relation)
+      (Hashtbl.fold (fun _ s acc -> s :: acc) scans [])
+  in
+  {
+    config;
+    cost_model;
+    aggregate;
+    terms;
+    scans;
+    overhead_id;
+    block_bytes;
+    stage = 0;
+    last_estimate = None;
+  }
+
+let term_count t = List.length t.terms
+let stages_done t = t.stage
+let exhausted t = List.for_all (fun s -> Stage_set.exhausted s.units) t.scans
+
+let relations t =
+  List.map (fun s -> (s.relation, Stage_set.n_units s.units)) t.scans
+
+let total_points t =
+  (* Points of the original expression: the first (positive) term's
+     leaves span the un-rewritten expression's dimensions. *)
+  match t.terms with
+  | { root; _ } :: _ -> root.subtree_points
+  | [] -> 0.0
+
+let overhead_id t = t.overhead_id
+
+let rec node_op_ids node acc =
+  match node.kind with
+  | Leaf _ -> acc
+  | Select_node { child; _ } -> node_op_ids child (node.id :: acc)
+  | Project_node { child; _ } -> node_op_ids child (node.id :: acc)
+  | Binary_node { left; right; _ } ->
+      node_op_ids left (node_op_ids right (node.id :: acc))
+
+let op_ids t =
+  List.sort Int.compare
+    (List.fold_left (fun acc term -> node_op_ids term.root acc) [] t.terms)
+
+(* ------------------------------------------------------------------ *)
+(* Planning                                                            *)
+
+type sel_mode =
+  | Plain
+  | Inflated of { d_beta : float; zero_beta : float }
+  | Override of (int * float) list
+
+type node_plan = {
+  plan_id : int;
+  plan_kind : Formulas.op_kind;
+  plan_measures : Formulas.measures;
+  sel_used : float;
+  sel_plain : float;
+  sel_variance : float;
+}
+
+let units_for scan ~f =
+  let remaining = Stage_set.remaining scan.units in
+  if remaining = 0 then 0
+  else
+    let n = float_of_int (Stage_set.n_units scan.units) in
+    Int.min remaining (Int.max 1 (int_of_float ((f *. n) +. 0.5)))
+
+let tuples_per_unit scan =
+  match scan.unit_kind with
+  | Plan.Cluster -> Heap_file.blocking_factor scan.file
+  | Plan.Simple_random -> 1
+
+let predicted_new_tuples scan ~f =
+  let k = units_for scan ~f in
+  let cap = Heap_file.n_tuples scan.file - scan.drawn_tuples in
+  Int.min cap (k * tuples_per_unit scan)
+
+(* Per-stage new/cumulative sizes used by the Figure 4.5 pairing cost:
+   sizes of each side's sorted files, oldest first, with the predicted
+   new file appended. *)
+let file_sizes files = List.map Array.length files
+
+let choose_sel t node ~mode ~m_next =
+  let plain = Selectivity.estimate node.sel in
+  let n_remaining = Float.max 0.0 (node.subtree_points -. node.cum_points) in
+  let variance = Selectivity.variance_srs node.sel ~m_next ~n_remaining in
+  let used =
+    match mode with
+    | Plain -> plain
+    | Override overrides -> (
+        match List.assoc_opt node.id overrides with
+        | Some s -> s
+        | None -> plain)
+    | Inflated { d_beta; zero_beta } ->
+        Sel_plus.compute node.sel ~d_beta ~zero_beta ~m_next ~n_remaining
+  in
+  ignore t;
+  (used, plain, variance)
+
+(* Returns (plans for this subtree, predicted new output tuples,
+   cumulative output tuples so far). *)
+let rec plan_node t ~f ~mode node : node_plan list * float * float =
+  let bf = bf_of_bytes ~block_bytes:t.block_bytes node.out_bytes in
+  match node.kind with
+  | Leaf scan ->
+      ([], float_of_int (predicted_new_tuples scan ~f), float_of_int scan.drawn_tuples)
+  | Select_node { comparisons; child; _ } ->
+      let plans, n_new, _ = plan_node t ~f ~mode child in
+      let sel_used, sel_plain, sel_variance =
+        choose_sel t node ~mode ~m_next:n_new
+      in
+      let out_new = sel_used *. n_new in
+      let measures =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = n_new;
+          comparisons = float_of_int comparisons;
+          out_tuples = out_new;
+          out_pages = pages ~bf out_new;
+        }
+      in
+      ( plans
+        @ [
+            {
+              plan_id = node.id;
+              plan_kind = Formulas.Select;
+              plan_measures = measures;
+              sel_used;
+              sel_plain;
+              sel_variance;
+            };
+          ],
+        out_new,
+        node.cum_out )
+  | Project_node { child; _ } ->
+      let plans, n_new, _ = plan_node t ~f ~mode child in
+      let sel_used, sel_plain, sel_variance =
+        choose_sel t node ~mode ~m_next:n_new
+      in
+      let out_new = sel_used *. n_new in
+      let measures =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = n_new;
+          temp_pages = pages ~bf n_new;
+          nlogn = xlog n_new;
+          out_tuples = out_new;
+          out_pages = pages ~bf out_new;
+        }
+      in
+      ( plans
+        @ [
+            {
+              plan_id = node.id;
+              plan_kind = Formulas.Project;
+              plan_measures = measures;
+              sel_used;
+              sel_plain;
+              sel_variance;
+            };
+          ],
+        out_new,
+        node.cum_out )
+  | Binary_node b ->
+      let plans_l, nl, cum_l = plan_node t ~f ~mode b.left in
+      let plans_r, nr, cum_r = plan_node t ~f ~mode b.right in
+      let full = (t.config.plan : Plan.t).fulfillment = Plan.Full in
+      let points_new =
+        if full then (nl *. (cum_r +. nr)) +. (cum_l *. nr) else nl *. nr
+      in
+      let sel_used, sel_plain, sel_variance =
+        choose_sel t node ~mode ~m_next:points_new
+      in
+      let out_new = sel_used *. points_new in
+      let stage = t.stage + 1 in
+      let sizes_l = file_sizes b.files_l @ [ int_of_float nl ] in
+      let sizes_r = file_sizes b.files_r @ [ int_of_float nr ] in
+      let pairings =
+        Fulfillment.pairings_at_stage ~stages_l:stage ~stage
+          (if full then `Full else `Partial)
+      in
+      let size_at sizes i =
+        match List.nth_opt sizes (i - 1) with Some s -> float_of_int s | None -> 0.0
+      in
+      let merge_reads =
+        List.fold_left
+          (fun acc (i, j) -> acc +. size_at sizes_l i +. size_at sizes_r j)
+          0.0 pairings
+      in
+      let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
+      let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
+      let measures =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = nl +. nr;
+          temp_pages = pages ~bf:bf_l nl +. pages ~bf:bf_r nr;
+          nlogn = xlog nl +. xlog nr;
+          merge_reads;
+          out_tuples = out_new;
+          out_pages = pages ~bf out_new;
+          pairings = float_of_int (List.length pairings);
+        }
+      in
+      let kind =
+        match b.op with `Join -> Formulas.Join | `Intersect -> Formulas.Intersect
+      in
+      ( plans_l @ plans_r
+        @ [
+            {
+              plan_id = node.id;
+              plan_kind = kind;
+              plan_measures = measures;
+              sel_used;
+              sel_plain;
+              sel_variance;
+            };
+          ],
+        out_new,
+        node.cum_out )
+
+let plan t ~f ~mode =
+  if f <= 0.0 || f > 1.0 then invalid_arg "Staged.plan: f outside (0,1]";
+  let scan_plans =
+    List.map
+      (fun scan ->
+        {
+          plan_id = scan.scan_id;
+          plan_kind = Formulas.Scan;
+          plan_measures =
+            {
+              Formulas.zero_measures with
+              Formulas.blocks = float_of_int (units_for scan ~f);
+            };
+          sel_used = 1.0;
+          sel_plain = 1.0;
+          sel_variance = 0.0;
+        })
+      t.scans
+  in
+  let term_plans =
+    List.concat_map
+      (fun term ->
+        let plans, _, _ = plan_node t ~f ~mode term.root in
+        plans)
+      t.terms
+  in
+  let overhead =
+    {
+      plan_id = t.overhead_id;
+      plan_kind = Formulas.Overhead;
+      plan_measures = Formulas.zero_measures;
+      sel_used = 1.0;
+      sel_plain = 1.0;
+      sel_variance = 0.0;
+    }
+  in
+  scan_plans @ term_plans @ [ overhead ]
+
+let predicted_cost t ~f ~mode =
+  Cost_model.total t.cost_model
+    (List.map (fun p -> (p.plan_id, p.plan_measures)) (plan t ~f ~mode))
+
+(* ------------------------------------------------------------------ *)
+(* Stage execution                                                     *)
+
+type stage_result = {
+  new_units : (string * int) list;
+  estimate : Count_estimator.t;
+  op_snapshots : Report.op_snapshot list;
+  nodes_elapsed : float;
+  scans_elapsed : float;
+}
+
+let read_units device scan unit_ids =
+  let per_unit =
+    match scan.unit_kind with
+    | Plan.Cluster ->
+        List.map (fun b -> Heap_file.read_block device scan.file b) unit_ids
+    | Plan.Simple_random ->
+        let bf = Heap_file.blocking_factor scan.file in
+        List.map
+          (fun tuple_idx ->
+            Device.read_block device;
+            let block = Heap_file.block scan.file (tuple_idx / bf) in
+            [| block.(tuple_idx mod bf) |])
+          unit_ids
+  in
+  scan.last_unit_deltas <- per_unit;
+  Array.concat per_unit
+
+let draw_and_scan t device ~f =
+  List.filter_map
+    (fun scan ->
+      let k = units_for scan ~f in
+      if k = 0 then begin
+        scan.last_delta <- [||];
+        scan.last_unit_deltas <- [];
+        scan.stage_tuples <- 0 :: scan.stage_tuples;
+        None
+      end
+      else begin
+        let t0 = Clock.now (Device.clock device) in
+        let unit_ids = Stage_set.draw_stage scan.units ~k in
+        let tuples = read_units device scan unit_ids in
+        scan.last_delta <- tuples;
+        scan.stage_tuples <- Array.length tuples :: scan.stage_tuples;
+        scan.drawn_tuples <- scan.drawn_tuples + Array.length tuples;
+        let t1 = Clock.now (Device.clock device) in
+        Cost_model.observe_step t.cost_model ~id:scan.scan_id
+          ~step:Formulas.Step_read
+          {
+            Formulas.zero_measures with
+            Formulas.blocks = float_of_int (List.length unit_ids);
+          }
+          ~seconds:(Device.measure device (t1 -. t0));
+        Some (scan.relation, List.length unit_ids)
+      end)
+    t.scans
+
+(* Evaluate a node's stage delta; children first, own work timed and
+   fed back to the cost model and selectivity records. *)
+let rec eval_node t device node : Tuple.t array =
+  let clock = Device.clock device in
+  let bf = bf_of_bytes ~block_bytes:t.block_bytes node.out_bytes in
+  let charge_out n =
+    Device.output_tuples device ~n;
+    Device.write_pages device ~n:(int_of_float (pages ~bf (float_of_int n)))
+  in
+  match node.kind with
+  | Leaf scan ->
+      let n = float_of_int (Array.length scan.last_delta) in
+      node.cum_out <- node.cum_out +. n;
+      node.cum_points <- node.cum_points +. n;
+      scan.last_delta
+  | Select_node { comparisons; test; child } ->
+      let delta_in = eval_node t device child in
+      let t0 = Clock.now clock in
+      Device.check_tuples device ~n:(Array.length delta_in) ~comparisons;
+      let out = Array.of_seq (Seq.filter test (Array.to_seq delta_in)) in
+      let t1 = Clock.now clock in
+      charge_out (Array.length out);
+      let t2 = Clock.now clock in
+      let n_in = float_of_int (Array.length delta_in) in
+      let n_out = float_of_int (Array.length out) in
+      Selectivity.observe node.sel ~points:n_in ~tuples:n_out;
+      node.cum_points <- node.cum_points +. n_in;
+      node.cum_out <- node.cum_out +. n_out;
+      let m =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = n_in;
+          comparisons = float_of_int comparisons;
+          out_tuples = n_out;
+          out_pages = pages ~bf n_out;
+        }
+      in
+      Cost_model.observe_step t.cost_model ~id:node.id ~step:Formulas.Step_check
+        m ~seconds:(Device.measure device (t1 -. t0));
+      Cost_model.observe_step t.cost_model ~id:node.id ~step:Formulas.Step_output
+        m ~seconds:(Device.measure device (t2 -. t1));
+      out
+  | Project_node { positions; child; groups; _ } ->
+      let delta_in = eval_node t device child in
+      let t0 = Clock.now clock in
+      let n_in = Array.length delta_in in
+      (* Figure 4.7 steps 1-3 on the new tuples. *)
+      let projected = Array.map (fun tp -> Tuple.project tp positions) delta_in in
+      Device.write_temp_tuples device ~n:n_in;
+      Device.write_pages device ~n:(int_of_float (pages ~bf (float_of_int n_in)));
+      let t1 = Clock.now clock in
+      Device.sort device ~n:n_in;
+      let t2 = Clock.now clock in
+      Device.merge_tuples device ~n:n_in;
+      let fresh = ref [] in
+      Array.iter
+        (fun tp ->
+          match Hashtbl.find_opt groups tp with
+          | Some count -> incr count
+          | None ->
+              Hashtbl.replace groups tp (ref 1);
+              fresh := tp :: !fresh)
+        projected;
+      let t3 = Clock.now clock in
+      let out = Array.of_list (List.rev !fresh) in
+      charge_out (Array.length out);
+      let t4 = Clock.now clock in
+      node.cum_points <- node.cum_points +. float_of_int n_in;
+      node.cum_out <- float_of_int (Hashtbl.length groups);
+      Selectivity.set_cumulative node.sel ~points:node.cum_points
+        ~tuples:node.cum_out;
+      let m =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = float_of_int n_in;
+          temp_pages = pages ~bf (float_of_int n_in);
+          nlogn = xlog (float_of_int n_in);
+          out_tuples = float_of_int (Array.length out);
+          out_pages = pages ~bf (float_of_int (Array.length out));
+        }
+      in
+      let ob step seconds =
+        Cost_model.observe_step t.cost_model ~id:node.id ~step m
+          ~seconds:(Device.measure device seconds)
+      in
+      ob Formulas.Step_write_temp (t1 -. t0);
+      ob Formulas.Step_sort (t2 -. t1);
+      ob Formulas.Step_check (t3 -. t2);
+      ob Formulas.Step_output (t4 -. t3);
+      out
+  | Binary_node b ->
+      let delta_l = eval_node t device b.left in
+      let delta_r = eval_node t device b.right in
+      let t0 = Clock.now clock in
+      let cum_l_prev =
+        List.fold_left (fun acc fl -> acc + Array.length fl) 0 b.files_l
+      in
+      let cum_r_prev =
+        List.fold_left (fun acc fl -> acc + Array.length fl) 0 b.files_r
+      in
+      (* Figure 4.4/4.6 step 1: write the operand samples to temp files. *)
+      let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
+      let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
+      Device.write_temp_tuples device ~n:(Array.length delta_l);
+      Device.write_pages device
+        ~n:(int_of_float (pages ~bf:bf_l (float_of_int (Array.length delta_l))));
+      Device.write_temp_tuples device ~n:(Array.length delta_r);
+      Device.write_pages device
+        ~n:(int_of_float (pages ~bf:bf_r (float_of_int (Array.length delta_r))));
+      let t1 = Clock.now clock in
+      (* Step 2: external-sort the new files. *)
+      Device.sort device ~n:(Array.length delta_l);
+      let sorted_l = Array.copy delta_l in
+      Array.sort (Ops.compare_with_key b.key_l) sorted_l;
+      Device.sort device ~n:(Array.length delta_r);
+      let sorted_r = Array.copy delta_r in
+      Array.sort (Ops.compare_with_key b.key_r) sorted_r;
+      let t2 = Clock.now clock in
+      b.files_l <- b.files_l @ [ sorted_l ];
+      b.files_r <- b.files_r @ [ sorted_r ];
+      let full = (t.config.plan : Plan.t).fulfillment = Plan.Full in
+      let stage = t.stage + 1 in
+      let pairings =
+        Fulfillment.pairings_at_stage ~stages_l:stage ~stage
+          (if full then `Full else `Partial)
+      in
+      let file_at files i = List.nth files (i - 1) in
+      let out = ref [] in
+      let merge_reads = ref 0 in
+      List.iter
+        (fun (i, j) ->
+          Device.merge_setup device;
+          let fl = file_at b.files_l i and fr = file_at b.files_r j in
+          merge_reads := !merge_reads + Array.length fl + Array.length fr;
+          let produced =
+            match b.op with
+            | `Join ->
+                Ops.merge_sorted_join ~device ~key_l:b.key_l ~key_r:b.key_r
+                  ~residual:b.residual
+                  ~residual_comparisons:b.residual_comparisons fl fr
+            | `Intersect -> Ops.merge_sorted_intersect ~device fl fr
+          in
+          out := List.rev_append produced !out)
+        pairings;
+      let t3 = Clock.now clock in
+      let out = Array.of_list (List.rev !out) in
+      charge_out (Array.length out);
+      let t4 = Clock.now clock in
+      let nl = float_of_int (Array.length delta_l) in
+      let nr = float_of_int (Array.length delta_r) in
+      let points_new =
+        if full then
+          (nl *. float_of_int cum_r_prev)
+          +. (float_of_int cum_l_prev *. nr)
+          +. (nl *. nr)
+        else nl *. nr
+      in
+      let n_out = float_of_int (Array.length out) in
+      Selectivity.observe node.sel ~points:points_new ~tuples:n_out;
+      node.cum_points <- node.cum_points +. points_new;
+      node.cum_out <- node.cum_out +. n_out;
+      let m =
+        {
+          Formulas.zero_measures with
+          Formulas.n_input = nl +. nr;
+          temp_pages = pages ~bf:bf_l nl +. pages ~bf:bf_r nr;
+          nlogn = xlog nl +. xlog nr;
+          merge_reads = float_of_int !merge_reads;
+          out_tuples = n_out;
+          out_pages = pages ~bf n_out;
+          pairings = float_of_int (List.length pairings);
+        }
+      in
+      let ob step seconds =
+        Cost_model.observe_step t.cost_model ~id:node.id ~step m
+          ~seconds:(Device.measure device seconds)
+      in
+      ob Formulas.Step_write_temp (t1 -. t0);
+      ob Formulas.Step_sort (t2 -. t1);
+      ob Formulas.Step_merge (t3 -. t2);
+      ob Formulas.Step_output (t4 -. t3);
+      out
+
+(* ------------------------------------------------------------------ *)
+(* Estimation                                                          *)
+
+(* A single-relation Select chain: the shape for which the exact
+   cluster variance is implemented. Returns the scan, the predicate
+   tests bottom-up, and the select nodes (for design-effect feedback). *)
+let rec select_chain node =
+  match node.kind with
+  | Leaf scan -> Some (scan, [], [])
+  | Select_node { test; child; _ } ->
+      Option.map
+        (fun (scan, tests, nodes) -> (scan, tests @ [ test ], nodes @ [ node ]))
+        (select_chain child)
+  | Project_node _ | Binary_node _ -> None
+
+let count_through_chain tests tuples =
+  Array.fold_left
+    (fun acc tuple -> if List.for_all (fun test -> test tuple) tests then acc + 1 else acc)
+    0 tuples
+
+(* After a stage, refresh the term's per-block output counts and feed
+   the measured design effect into the chain's selectivity records.
+   Charges the sorting/bookkeeping the paper found too expensive. *)
+let update_block_counts device term =
+  match select_chain term.root with
+  | None -> ()
+  | Some (scan, tests, nodes) ->
+      let new_counts =
+        List.map
+          (fun unit_tuples ->
+            float_of_int (count_through_chain tests unit_tuples))
+          scan.last_unit_deltas
+      in
+      (* Figure 3.3 discussion: determining space-block values requires
+         sorting the outputs by disk number — charged here. *)
+      let outputs = int_of_float (List.fold_left ( +. ) 0.0 new_counts) in
+      Device.sort device ~n:outputs;
+      Device.estimator_update device ~n:(List.length new_counts);
+      term.block_counts <- List.rev_append new_counts term.block_counts;
+      let counts = Array.of_list term.block_counts in
+      let b = Array.length counts in
+      if b >= 2 then begin
+        let bf = float_of_int (Heap_file.blocking_factor scan.file) in
+        let sum = Array.fold_left ( +. ) 0.0 counts in
+        let mean = sum /. float_of_int b in
+        let ss =
+          Array.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 counts
+        in
+        let s2 = ss /. float_of_int (b - 1) in
+        let p = mean /. bf in
+        if p > 0.0 && p < 1.0 then begin
+          (* Binomial(bf, p) blocks would have s2 = bf p (1-p); the
+             ratio is the intra-block design effect. *)
+          let deff =
+            Float.max 0.25 (Float.min (bf *. bf) (s2 /. (bf *. p *. (1.0 -. p))))
+          in
+          List.iter (fun node -> Selectivity.set_design_effect node.sel deff) nodes
+        end
+      end
+
+let term_cluster_variance term =
+  match select_chain term.root with
+  | None -> None
+  | Some (scan, _, _) ->
+      let counts = Array.of_list term.block_counts in
+      if Array.length counts < 2 then None
+      else
+        Some
+          (Count_estimator.cluster_variance_estimate ~counts
+             ~total_blocks:(float_of_int (Stage_set.n_units scan.units))
+             ~points_per_block:
+               (float_of_int (Heap_file.blocking_factor scan.file)))
+
+let term_dims term =
+  List.map
+    (fun scan ->
+      let sizes = List.rev scan.stage_tuples in
+      let acc = ref 0 in
+      Array.of_list (List.map (fun s -> acc := !acc + s; !acc) sizes))
+    term.leaf_scans
+
+let term_evaluated_points t term =
+  let dims = term_dims term in
+  match (t.config.plan : Plan.t).fulfillment with
+  | Plan.Full -> Fulfillment.full_cumulative dims
+  | Plan.Partial -> Fulfillment.partial_cumulative dims
+
+let term_total_points term = term.root.subtree_points
+
+let project_estimate t term ~evaluated ~total =
+  match term.root.kind with
+  | Project_node { groups; child; _ } ->
+      let occupancies = Hashtbl.fold (fun _ c acc -> !c :: acc) groups [] in
+      let qualifying_sample = child.cum_out in
+      if qualifying_sample <= 0.0 then
+        Count_estimator.of_sample ~hits:0.0 ~points:evaluated ~total_points:total
+      else begin
+        (* Estimated qualifying population, then Goodman on the groups. *)
+        let population =
+          Float.max qualifying_sample (total *. (qualifying_sample /. evaluated))
+        in
+        let sample = int_of_float qualifying_sample in
+        let profile = Goodman.occupancy_profile occupancies in
+        let distinct =
+          match t.config.projection_estimator with
+          | Config.Goodman_unbiased -> Goodman.unbiased ~population ~sample ~profile
+          | Config.Goodman_first_order ->
+              Goodman.first_order ~population ~sample ~profile
+          | Config.Scale_up ->
+              Goodman.scale_up ~population ~sample
+                ~distinct:(Goodman.distinct_observed ~profile)
+          | Config.Chao -> Goodman.chao ~profile
+        in
+        let p_hat = Float.min 1.0 (distinct /. total) in
+        let var_p =
+          Count_estimator.srs_variance_estimate ~p_hat ~m:evaluated ~n:total
+        in
+        {
+          Count_estimator.estimate = distinct;
+          variance = total *. total *. var_p;
+          hits = term.root.cum_out;
+          points = evaluated;
+          total_points = total;
+          is_exact = evaluated >= total;
+        }
+      end
+  | Leaf _ | Select_node _ | Binary_node _ ->
+      invalid_arg "Staged.project_estimate: root is not a projection"
+
+let term_estimate t term =
+  let evaluated = term_evaluated_points t term in
+  let total = term_total_points term in
+  if evaluated <= 0.0 then
+    Count_estimator.of_sample ~hits:0.0 ~points:1.0 ~total_points:total
+  else if evaluated >= total then
+    Count_estimator.exact ~count:term.root.cum_out ~total_points:total
+  else begin
+    match term.root.kind with
+    | Project_node _ -> project_estimate t term ~evaluated ~total
+    | Leaf _ | Select_node _ | Binary_node _ -> (
+        let base =
+          Count_estimator.of_sample
+            ~hits:(Float.min evaluated term.root.cum_out)
+            ~points:evaluated ~total_points:total
+        in
+        match
+          (t.config.variance_estimator, term_cluster_variance term)
+        with
+        | Config.Cluster_exact, Some variance ->
+            { base with Count_estimator.variance }
+        | (Config.Cluster_exact | Config.Srs_approximation), _ -> base)
+  end
+
+let term_sum_estimate t term =
+  let evaluated = term_evaluated_points t term in
+  let total = term_total_points term in
+  if evaluated <= 0.0 then
+    Aggregate.sum_estimator Aggregate.zero_moments ~points:1.0
+      ~total_points:total
+  else Aggregate.sum_estimator term.moments ~points:evaluated ~total_points:total
+
+let combined_estimate t =
+  let counts =
+    List.map (fun term -> (term.sign, term_estimate t term)) t.terms
+  in
+  match t.aggregate with
+  | Aggregate.Count -> Count_estimator.combine counts
+  | Aggregate.Sum _ ->
+      Count_estimator.combine
+        (List.map (fun term -> (term.sign, term_sum_estimate t term)) t.terms)
+  | Aggregate.Avg _ ->
+      let count = Count_estimator.combine counts in
+      let sum =
+        Count_estimator.combine
+          (List.map (fun term -> (term.sign, term_sum_estimate t term)) t.terms)
+      in
+      (* Within-term covariances add (sign^2 = 1); cross-term
+         covariances are the usual independence approximation. *)
+      let covariance =
+        List.fold_left
+          (fun acc term ->
+            let evaluated = term_evaluated_points t term in
+            if evaluated <= 0.0 then acc
+            else
+              acc
+              +. Aggregate.covariance_estimate term.moments ~points:evaluated
+                   ~total_points:(term_total_points term))
+          0.0 t.terms
+      in
+      Aggregate.avg_of ~sum ~count ~covariance
+
+let rec snapshot_node node acc =
+  let snap =
+    {
+      Report.op_id = node.id;
+      op_label =
+        (match node.kind with
+        | Leaf scan -> "scan:" ^ scan.relation
+        | Select_node _ -> "select"
+        | Project_node _ -> "project"
+        | Binary_node { op = `Join; _ } -> "join"
+        | Binary_node { op = `Intersect; _ } -> "intersect");
+      selectivity = Selectivity.estimate node.sel;
+      points_seen = node.cum_points;
+      tuples_seen = node.cum_out;
+    }
+  in
+  match node.kind with
+  | Leaf _ -> acc
+  | Select_node { child; _ } | Project_node { child; _ } ->
+      snapshot_node child (snap :: acc)
+  | Binary_node { left; right; _ } ->
+      snapshot_node left (snapshot_node right (snap :: acc))
+
+let current_estimate t = t.last_estimate
+
+let group_estimates t =
+  match t.terms with
+  | [ { sign = 1; root = { kind = Project_node { groups; _ }; _ }; _ } as term ]
+    ->
+      let evaluated = term_evaluated_points t term in
+      if evaluated <= 0.0 then None
+      else begin
+        let scale = term_total_points term /. evaluated in
+        let all =
+          Hashtbl.fold
+            (fun tuple count acc ->
+              (tuple, float_of_int !count *. scale) :: acc)
+            groups []
+        in
+        Some
+          (List.sort (fun (_, a) (_, b) -> Float.compare b a) all)
+      end
+  | _ -> None
+
+let run_stage t ~device ~f =
+  if f <= 0.0 || f > 1.0 then invalid_arg "Staged.run_stage: f outside (0,1]";
+  if exhausted t then None
+  else begin
+    let clock = Device.clock device in
+    let t_scan = Clock.now clock in
+    let new_units = draw_and_scan t device ~f in
+    let scans_elapsed = Clock.now clock -. t_scan in
+    if new_units = [] then None
+    else begin
+      let t0 = Clock.now clock in
+      let root_deltas =
+        List.map (fun term -> eval_node t device term.root) t.terms
+      in
+      List.iter2
+        (fun term delta ->
+          match term.agg_pos with
+          | None -> ()
+          | Some pos ->
+              term.moments <-
+                Array.fold_left
+                  (fun acc tuple ->
+                    match Taqp_data.Value.to_float (Tuple.get tuple pos) with
+                    | Some v -> Aggregate.add_tuple acc v
+                    | None -> Aggregate.add_tuple acc 0.0)
+                  term.moments delta)
+        t.terms root_deltas;
+      let nodes_elapsed = Clock.now clock -. t0 in
+      List.iter
+        (fun delta -> Device.estimator_update device ~n:(Array.length delta))
+        root_deltas;
+      if t.config.variance_estimator = Config.Cluster_exact then
+        List.iter (fun term -> update_block_counts device term) t.terms;
+      t.stage <- t.stage + 1;
+      let estimate = combined_estimate t in
+      t.last_estimate <- Some estimate;
+      let op_snapshots =
+        List.concat_map (fun term -> List.rev (snapshot_node term.root [])) t.terms
+      in
+      Some { new_units; estimate; op_snapshots; nodes_elapsed; scans_elapsed }
+    end
+  end

@@ -1,0 +1,105 @@
+(** The compiled, stage-by-stage evaluable form of a COUNT(E) query.
+
+    Compilation applies the inclusion-exclusion rewrite, builds one
+    operator tree per signed SJIP term, assigns every operator (plus
+    one Scan pseudo-operator per base relation and one Overhead node)
+    an id in the adaptive {!Taqp_timecost.Cost_model}, and creates one
+    {!Taqp_sampling.Stage_set} per base relation.
+
+    The two halves of the interface mirror the two halves of each
+    stage in Figure 3.1: {!plan} is the pure cost-prediction used by
+    Sample-Size-Determine (called once per bisection probe), and
+    {!run_stage} draws the new sample units, evaluates all terms
+    incrementally under the configured fulfillment plan, feeds the
+    observed selectivities and step timings back, and returns the
+    improved estimate. *)
+
+open Taqp_storage
+open Taqp_relational
+
+type t
+
+exception Compile_error of string
+
+val compile :
+  ?aggregate:Aggregate.t ->
+  catalog:Catalog.t ->
+  config:Config.t ->
+  rng:Taqp_rng.Prng.t ->
+  cost_model:Taqp_timecost.Cost_model.t ->
+  Ra.t ->
+  t
+(** [aggregate] defaults to COUNT; SUM/AVG additionally require a
+    numeric attribute of the result schema and no Project root in any
+    term. The per-stage estimate returned by {!run_stage} is then the
+    requested aggregate's.
+    @raise Compile_error on unknown relations (or unsupported/ill-typed
+    aggregates);
+    @raise Ra.Type_error on ill-typed expressions;
+    @raise Taqp_estimators.Inclusion_exclusion.Unsupported per the
+    rewrite's limits. *)
+
+val term_count : t -> int
+val total_points : t -> float
+val stages_done : t -> int
+val exhausted : t -> bool
+(** Every base relation fully drawn: the next answer is exact. *)
+
+val relations : t -> (string * int) list
+(** Relation names with their unit-population sizes (blocks under the
+    cluster plan, tuples under simple random sampling). *)
+
+(** How operator selectivities are assumed during planning. *)
+type sel_mode =
+  | Plain  (** sel^{i-1} — the running estimates *)
+  | Inflated of { d_beta : float; zero_beta : float }
+      (** the One-at-a-Time sel+ values *)
+  | Override of (int * float) list
+      (** plain, with the listed op ids replaced (numeric gradients for
+          the Single-Interval strategy) *)
+
+type node_plan = {
+  plan_id : int;
+  plan_kind : Taqp_timecost.Formulas.op_kind;
+  plan_measures : Taqp_timecost.Formulas.measures;
+  sel_used : float;  (** 1.0 for Scan nodes *)
+  sel_plain : float;
+  sel_variance : float;  (** Var_srs(sel_i) at this stage size *)
+}
+
+val plan : t -> f:float -> mode:sel_mode -> node_plan list
+(** Predicted per-node workload of the {e next} stage at sample
+    fraction [f] (scans first, then operators per term, then the
+    Overhead node). @raise Invalid_argument for [f] outside (0, 1]. *)
+
+val predicted_cost : t -> f:float -> mode:sel_mode -> float
+(** QCOST: the cost-model total over {!plan}. *)
+
+val op_ids : t -> int list
+(** Ids of RA operator nodes (excluding scans and overhead). *)
+
+val overhead_id : t -> int
+
+type stage_result = {
+  new_units : (string * int) list;  (** units drawn per relation *)
+  estimate : Taqp_estimators.Count_estimator.t;
+  op_snapshots : Report.op_snapshot list;
+  nodes_elapsed : float;  (** clock time spent inside operators *)
+  scans_elapsed : float;  (** clock time spent reading sample units *)
+}
+
+val run_stage : t -> device:Device.t -> f:float -> stage_result option
+(** Execute one stage at fraction [f]: draw, evaluate, learn. [None]
+    when no relation has units left to draw. Raises
+    {!Clock.Deadline_exceeded} from inside if the device's clock is
+    armed in abort mode and expires — the caller treats the stage as
+    aborted (node state is then stale; do not run further stages). *)
+
+val current_estimate : t -> Taqp_estimators.Count_estimator.t option
+(** The estimate as of the last completed stage. *)
+
+val group_estimates : t -> (Taqp_data.Tuple.t * float) list option
+(** For a plain projection query (a single positive term rooted at
+    Project): the estimated population count of every group observed in
+    the sample, largest first — occupancy scaled by N/points_evaluated.
+    [None] for other query shapes or before the first stage. *)

@@ -1,0 +1,49 @@
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Cost_params = Taqp_storage.Cost_params
+
+let parse = Taqp_relational.Parser.expression
+
+let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1)
+    ~aggregate catalog ~quota expr =
+  let rng = Taqp_rng.Prng.create seed in
+  let clock = Clock.create_virtual () in
+  let device = Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng) clock in
+  Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr
+
+let count_within ?config ?params ?seed catalog ~quota expr =
+  aggregate_within ?config ?params ?seed ~aggregate:Aggregate.Count catalog
+    ~quota expr
+
+let count_within_device ?config ?(aggregate = Aggregate.Count) ~device ~rng
+    catalog ~quota expr =
+  Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr
+
+let count_exact ?device catalog expr =
+  Taqp_relational.Eval.count ?device catalog expr
+
+let aggregate_exact ?device catalog ~aggregate expr =
+  match Aggregate.attr aggregate with
+  | None -> float_of_int (count_exact ?device catalog expr)
+  | Some name ->
+      let schema = Taqp_relational.Ra.infer_catalog catalog expr in
+      let pos = Taqp_data.Schema.find schema name in
+      let tuples = Taqp_relational.Eval.eval ?device catalog expr in
+      let sum =
+        Array.fold_left
+          (fun acc t ->
+            match Taqp_data.Value.to_float (Taqp_data.Tuple.get t pos) with
+            | Some v -> acc +. v
+            | None -> acc)
+          0.0 tuples
+      in
+      (match aggregate with
+      | Aggregate.Sum _ -> sum
+      | Aggregate.Avg _ ->
+          if Array.length tuples = 0 then 0.0
+          else sum /. float_of_int (Array.length tuples)
+      | Aggregate.Count -> assert false)
+
+let estimate_error ~report ~exact =
+  Float.abs (report.Report.estimate -. float_of_int exact)
+  /. Float.max 1.0 (float_of_int exact)

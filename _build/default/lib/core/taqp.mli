@@ -1,0 +1,69 @@
+(** The front door: time-constrained COUNT evaluation in two calls.
+
+    {[
+      let catalog = ... in
+      let expr = Taqp_core.Taqp.parse "select[salary > 50000](emp)" in
+      let report =
+        Taqp_core.Taqp.count_within ~seed:42 catalog ~quota:10.0 expr
+      in
+      Fmt.pr "%a@." Taqp_core.Report.pp report
+    ]}
+
+    [count_within] runs on a fresh virtual clock and simulated device
+    (deterministic given [seed]); [count_within_device] runs on a
+    caller-supplied device — pass one built over {!Clock.create_wall}
+    for real wall-clock deadlines. *)
+
+open Taqp_storage
+open Taqp_relational
+
+val parse : string -> Ra.t
+(** Parse the RA query syntax ({!Taqp_relational.Parser}). *)
+
+val count_within :
+  ?config:Config.t ->
+  ?params:Cost_params.t ->
+  ?seed:int ->
+  Catalog.t ->
+  quota:float ->
+  Ra.t ->
+  Report.t
+(** Evaluate COUNT(expr) within [quota] simulated seconds on a fresh
+    virtual device. [seed] (default 1) drives both sampling and device
+    jitter. *)
+
+val aggregate_within :
+  ?config:Config.t ->
+  ?params:Cost_params.t ->
+  ?seed:int ->
+  aggregate:Aggregate.t ->
+  Catalog.t ->
+  quota:float ->
+  Ra.t ->
+  Report.t
+(** Like {!count_within} for SUM/AVG of a numeric result attribute —
+    the "any aggregate, given an estimator" extension the paper
+    sketches. *)
+
+val count_within_device :
+  ?config:Config.t ->
+  ?aggregate:Aggregate.t ->
+  device:Device.t ->
+  rng:Taqp_rng.Prng.t ->
+  Catalog.t ->
+  quota:float ->
+  Ra.t ->
+  Report.t
+
+val count_exact : ?device:Device.t -> Catalog.t -> Ra.t -> int
+(** Ground truth (and what an unconstrained evaluation would cost, when
+    a device is supplied). *)
+
+val aggregate_exact :
+  ?device:Device.t -> Catalog.t -> aggregate:Aggregate.t -> Ra.t -> float
+(** Exact value of any supported aggregate (ground truth for tests and
+    benches). *)
+
+val estimate_error :
+  report:Report.t -> exact:int -> float
+(** |estimate - exact| / max(1, exact) — relative error of a run. *)

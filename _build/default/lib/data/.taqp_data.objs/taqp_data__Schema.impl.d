@@ -1,0 +1,1 @@
+lib/data/schema.ml: Array Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/data/schema.mli: Format Value

@@ -1,0 +1,1 @@
+lib/data/tuple.ml: Array Fmt Int List Value

@@ -1,0 +1,1 @@
+lib/data/value.ml: Bool Float Fmt Hashtbl Int String

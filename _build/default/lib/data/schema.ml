@@ -1,0 +1,67 @@
+type attribute = { name : string; ty : Value.ty }
+
+type t = { attrs : attribute array }
+
+exception Schema_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+let make attrs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if Hashtbl.mem seen a.name then error "duplicate attribute %s" a.name;
+      Hashtbl.add seen a.name ())
+    attrs;
+  { attrs = Array.of_list attrs }
+
+let attrs t = Array.to_list t.attrs
+let arity t = Array.length t.attrs
+let names t = List.map (fun a -> a.name) (attrs t)
+
+let base_name name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let find t name =
+  let exact = ref [] and by_base = ref [] in
+  Array.iteri
+    (fun i a ->
+      if String.equal a.name name then exact := i :: !exact
+      else if String.equal (base_name a.name) name then by_base := i :: !by_base)
+    t.attrs;
+  match (!exact, !by_base) with
+  | [ i ], _ -> i
+  | [], [ i ] -> i
+  | [], [] -> error "unknown attribute %s" name
+  | _, _ -> error "ambiguous attribute %s" name
+
+let mem t name = match find t name with _ -> true | exception Schema_error _ -> false
+
+let ty_at t i = t.attrs.(i).ty
+
+let project t names =
+  make (List.map (fun n -> t.attrs.(find t n)) names)
+
+let qualify r t =
+  let requalify a =
+    if String.contains a.name '.' then a else { a with name = r ^ "." ^ a.name }
+  in
+  { attrs = Array.map requalify t.attrs }
+
+let concat a b = make (attrs a @ attrs b)
+
+let union_compatible a b =
+  arity a = arity b
+  && List.for_all2 (fun x y -> x.ty = y.ty) (attrs a) (attrs b)
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun x y -> String.equal x.name y.name && x.ty = y.ty)
+       (attrs a) (attrs b)
+
+let pp ppf t =
+  let pp_attr ppf a = Fmt.pf ppf "%s:%s" a.name (Value.ty_name a.ty) in
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_attr) (attrs t)

@@ -1,0 +1,41 @@
+(** Relation schemas: ordered lists of named, typed attributes.
+
+    Attribute names may be qualified ("emp.dno"); [find] resolves an
+    unqualified reference against qualified columns when unambiguous. *)
+
+type attribute = { name : string; ty : Value.ty }
+
+type t
+
+exception Schema_error of string
+
+val make : attribute list -> t
+(** @raise Schema_error on duplicate attribute names. *)
+
+val attrs : t -> attribute list
+val arity : t -> int
+val names : t -> string list
+
+val find : t -> string -> int
+(** Position of attribute [name]; an unqualified name matches a qualified
+    column ("dno" matches "emp.dno") when exactly one column does.
+    @raise Schema_error when the name is missing or ambiguous. *)
+
+val mem : t -> string -> bool
+
+val ty_at : t -> int -> Value.ty
+
+val project : t -> string list -> t
+(** Schema restricted to the given attributes, in the given order. *)
+
+val qualify : string -> t -> t
+(** [qualify r s] prefixes every unqualified attribute with ["r."]. *)
+
+val concat : t -> t -> t
+(** Schema of a product/join result. @raise Schema_error on clashes. *)
+
+val union_compatible : t -> t -> bool
+(** Same arity and pairwise-equal attribute types (names may differ). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

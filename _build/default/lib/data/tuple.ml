@@ -1,0 +1,51 @@
+type t = { fields : Value.t array; pad : int }
+
+let make ?(pad = 0) fields =
+  if pad < 0 then invalid_arg "Tuple.make: negative pad";
+  { fields; pad }
+
+let of_list ?pad vs = make ?pad (Array.of_list vs)
+
+let arity t = Array.length t.fields
+let get t i = t.fields.(i)
+let fields t = Array.copy t.fields
+let pad t = t.pad
+
+let byte_size t =
+  Array.fold_left (fun acc v -> acc + Value.byte_size v) t.pad t.fields
+
+let project t positions =
+  make (Array.of_list (List.map (fun i -> t.fields.(i)) positions))
+
+let concat a b =
+  { fields = Array.append a.fields b.fields; pad = a.pad + b.pad }
+
+let compare a b =
+  let na = arity a and nb = arity b in
+  let rec go i =
+    if i >= na || i >= nb then Int.compare na nb
+    else
+      let c = Value.compare a.fields.(i) b.fields.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t.fields
+
+let compare_on key a b =
+  let rec go i =
+    if i >= Array.length key then 0
+    else
+      let k = key.(i) in
+      let c = Value.compare a.fields.(k) b.fields.(k) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let key t positions = Array.map (fun i -> t.fields.(i)) positions
+
+let pp ppf t =
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:comma Value.pp) t.fields

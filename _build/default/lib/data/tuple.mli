@@ -1,0 +1,43 @@
+(** Tuples: immutable arrays of values, interpreted against a schema.
+
+    Tuples carry an optional [pad] so a logically small record can occupy
+    the paper's fixed 200-byte slots; [byte_size] includes the padding. *)
+
+type t
+
+val make : ?pad:int -> Value.t array -> t
+(** [make ?pad vs] is a tuple with fields [vs] and [pad] extra bytes of
+    storage footprint (default 0). @raise Invalid_argument if pad < 0. *)
+
+val of_list : ?pad:int -> Value.t list -> t
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val fields : t -> Value.t array
+(** A fresh copy of the field array. *)
+
+val pad : t -> int
+
+val byte_size : t -> int
+(** Sum of field sizes plus padding. *)
+
+val project : t -> int list -> t
+(** Keep the fields at the given positions, in the given order.
+    Padding is dropped: projected tuples are re-packed. *)
+
+val concat : t -> t -> t
+(** Field-wise concatenation (join output); pads are summed. *)
+
+val compare : t -> t -> int
+(** Lexicographic by field, using {!Value.compare}; padding ignored. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val compare_on : int array -> t -> t -> int
+(** [compare_on key a b] compares only the fields at positions [key]. *)
+
+val key : t -> int array -> Value.t array
+(** Extract the values at the given positions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+  | Null
+
+type ty = Tint | Tfloat | Tstring | Tbool
+
+let type_of = function
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | String _ -> Some Tstring
+  | Bool _ -> Some Tbool
+  | Null -> None
+
+let ty_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+(* Rank used to order values of distinct kinds; numerics share a rank so
+   that cross-type numeric comparison is consistent with [equal]. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | String _ -> 3
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | _, _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 37
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let byte_size = function
+  | Int _ | Float _ -> 8
+  | Bool _ | Null -> 1
+  | String s -> String.length s
+
+let is_null = function Null -> true | Int _ | Float _ | String _ | Bool _ -> false
+
+let to_int = function
+  | Int i -> Some i
+  | Float _ | String _ | Bool _ | Null -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | String _ | Bool _ | Null -> None
+
+let pp ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | String s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Null -> Fmt.string ppf "null"
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,1 @@
+lib/estimators/count_estimator.ml: Array Float List Taqp_stats

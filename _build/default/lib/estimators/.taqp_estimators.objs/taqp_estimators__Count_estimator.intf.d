@@ -1,0 +1,1 @@
+lib/estimators/count_estimator.mli: Taqp_stats

@@ -1,0 +1,1 @@
+lib/estimators/goodman.ml: Array Float Int List

@@ -1,0 +1,1 @@
+lib/estimators/inclusion_exclusion.ml: List Ra Taqp_relational

@@ -1,0 +1,1 @@
+lib/estimators/inclusion_exclusion.mli: Taqp_relational

@@ -1,0 +1,1 @@
+lib/estimators/point_space.mli: Format

@@ -1,0 +1,1 @@
+lib/estimators/selectivity.mli:

@@ -1,0 +1,89 @@
+type t = {
+  estimate : float;
+  variance : float;
+  hits : float;
+  points : float;
+  total_points : float;
+  is_exact : bool;
+}
+
+let srs_variance_estimate ~p_hat ~m ~n =
+  if m < 2.0 then 0.0
+  else
+    let fpc = if n > 0.0 then Float.max 0.0 ((n -. m) /. n) else 1.0 in
+    p_hat *. (1.0 -. p_hat) /. (m -. 1.0) *. fpc
+
+let of_sample ~hits ~points ~total_points =
+  if points <= 0.0 then invalid_arg "Count_estimator.of_sample: no points";
+  if hits < 0.0 || hits > points then
+    invalid_arg "Count_estimator.of_sample: hits outside [0, points]";
+  let p_hat = hits /. points in
+  (* A degenerate sample (all hits or none) has zero empirical variance;
+     Laplace smoothing keeps the reported interval honest there. *)
+  let p_var =
+    if hits = 0.0 || hits = points then (hits +. 1.0) /. (points +. 2.0)
+    else p_hat
+  in
+  let var_p = srs_variance_estimate ~p_hat:p_var ~m:points ~n:total_points in
+  {
+    estimate = total_points *. p_hat;
+    variance = total_points *. total_points *. var_p;
+    hits;
+    points;
+    total_points;
+    is_exact = points >= total_points;
+  }
+
+let exact ~count ~total_points =
+  {
+    estimate = count;
+    variance = 0.0;
+    hits = count;
+    points = total_points;
+    total_points;
+    is_exact = true;
+  }
+
+let cluster_variance_estimate ~counts ~total_blocks ~points_per_block =
+  ignore points_per_block;
+  let b = float_of_int (Array.length counts) in
+  if b < 2.0 then 0.0
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 counts /. b in
+    let ss =
+      Array.fold_left (fun acc y -> acc +. ((y -. mean) ** 2.0)) 0.0 counts
+    in
+    let s2 = ss /. (b -. 1.0) in
+    let fpc =
+      if total_blocks > 0.0 then Float.max 0.0 (1.0 -. (b /. total_blocks))
+      else 1.0
+    in
+    total_blocks *. total_blocks *. fpc *. s2 /. b
+  end
+
+let combine terms =
+  match terms with
+  | [] -> invalid_arg "Count_estimator.combine: no terms"
+  | _ ->
+      List.fold_left
+        (fun acc (sign, t) ->
+          {
+            estimate = acc.estimate +. (float_of_int sign *. t.estimate);
+            variance = acc.variance +. t.variance;
+            hits = acc.hits +. t.hits;
+            points = Float.max acc.points t.points;
+            total_points = Float.max acc.total_points t.total_points;
+            is_exact = acc.is_exact && t.is_exact;
+          })
+        {
+          estimate = 0.0;
+          variance = 0.0;
+          hits = 0.0;
+          points = 0.0;
+          total_points = 0.0;
+          is_exact = true;
+        }
+        terms
+
+let confidence ?(level = 0.95) t =
+  Taqp_stats.Confidence.normal ~mean:t.estimate ~variance:t.variance ~level

@@ -1,0 +1,52 @@
+(** COUNT estimators and their variance formulas ([HoOT 88]).
+
+    For a Select-Join-Intersect term, the estimate scales the sample's
+    hit proportion up to the point space:
+    y_hat = N * (hits / points_evaluated) — the simple-random form
+    y(E) = N*(y/m); when the evaluated points are exactly the cross
+    product of sampled disk blocks this coincides with the cluster form
+    Y_b(E) = B * (sum y_i / b).
+
+    Variances: [srs_variance_estimate] is the paper's cheap
+    approximation (treat the evaluated points as a simple random sample
+    of points); [cluster_variance_estimate] is the exact one from
+    per-space-block counts. The prototype uses the approximation and
+    Section 5 discusses the resulting optimism; our ablation bench
+    quantifies it. *)
+
+type t = {
+  estimate : float;
+  variance : float;  (** estimated variance of [estimate] *)
+  hits : float;  (** output tuples observed in the sample *)
+  points : float;  (** points of the space evaluated *)
+  total_points : float;  (** N *)
+  is_exact : bool;  (** the whole point space has been evaluated *)
+}
+
+val of_sample :
+  hits:float -> points:float -> total_points:float -> t
+(** Ratio estimate with the SRS variance approximation.
+    @raise Invalid_argument if [points <= 0] or [hits < 0] or
+    [hits > points]. *)
+
+val exact : count:float -> total_points:float -> t
+(** The degenerate estimator once the whole space has been evaluated:
+    zero variance. *)
+
+val srs_variance_estimate : p_hat:float -> m:float -> n:float -> float
+(** Estimated variance of the hit {e proportion} from a simple random
+    sample of [m] of [n] points with sample proportion [p_hat]:
+    p(1-p)/(m-1) * (n-m)/n, with finite-population correction. 0 when
+    m < 2. *)
+
+val cluster_variance_estimate :
+  counts:float array -> total_blocks:float -> points_per_block:float -> float
+(** Estimated variance of the count estimate B*(mean y_i), from the
+    sampled space-block counts [counts]: B^2 * (1 - b/B) * s_y^2 / b. *)
+
+val combine : (int * t) list -> t
+(** Signed sum over inclusion-exclusion terms; variances add
+    (independence approximation, documented in DESIGN.md). *)
+
+val confidence : ?level:float -> t -> Taqp_stats.Confidence.t
+(** Normal-approximation interval, default level 0.95. *)

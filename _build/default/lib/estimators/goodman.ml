@@ -1,0 +1,68 @@
+let occupancy_profile occupancies =
+  let m = List.fold_left (fun acc o -> Int.max acc o) 0 occupancies in
+  let profile = Array.make (Int.max m 1) 0 in
+  List.iter
+    (fun o ->
+      if o <= 0 then invalid_arg "Goodman.occupancy_profile: occupancy <= 0";
+      profile.(o - 1) <- profile.(o - 1) + 1)
+    occupancies;
+  if m = 0 then [||] else profile
+
+let distinct_observed ~profile = Array.fold_left ( + ) 0 profile
+
+let total_mass profile =
+  let acc = ref 0 in
+  Array.iteri (fun i f -> acc := !acc + ((i + 1) * f)) profile;
+  !acc
+
+let unbiased ~population ~sample ~profile =
+  let mass = total_mass profile in
+  if sample < mass then invalid_arg "Goodman.unbiased: sample below profile mass";
+  if population < float_of_int sample then
+    invalid_arg "Goodman.unbiased: population smaller than sample";
+  let d = float_of_int (distinct_observed ~profile) in
+  if Array.length profile = 0 then 0.0
+  else begin
+    (* term_i = C(N - n + i - 1, i) / C(n, i), built incrementally:
+       term_1 = (N - n) / n,
+       term_{i+1} = term_i * (N - n + i) / (n - i) * ... computed as a
+       running product of ratios to stay in float range as long as
+       possible. *)
+    let n = float_of_int sample in
+    let excess = population -. n in
+    let acc = ref d in
+    let term = ref 1.0 in
+    (try
+       for i = 1 to Array.length profile do
+         let fi = float_of_int (i - 1) in
+         let numer = excess +. fi in
+         let denom = n -. fi in
+         if denom <= 0.0 then raise Exit;
+         term := !term *. (numer /. denom);
+         if not (Float.is_finite !term) then raise Exit;
+         let sign = if i mod 2 = 1 then 1.0 else -1.0 in
+         acc := !acc +. (sign *. !term *. float_of_int profile.(i - 1))
+       done
+     with Exit -> ());
+    Float.max 0.0 (Float.min population !acc)
+  end
+
+let first_order ~population ~sample ~profile =
+  let d = float_of_int (distinct_observed ~profile) in
+  if sample <= 0 then d
+  else begin
+    let f1 = if Array.length profile >= 1 then float_of_int profile.(0) else 0.0 in
+    let n = float_of_int sample in
+    let est = d +. (f1 *. (population -. n) /. n) in
+    Float.max d (Float.min population est)
+  end
+
+let scale_up ~population ~sample ~distinct =
+  if sample <= 0 then 0.0
+  else float_of_int distinct *. population /. float_of_int sample
+
+let chao ~profile =
+  let d = float_of_int (distinct_observed ~profile) in
+  let f1 = if Array.length profile >= 1 then float_of_int profile.(0) else 0.0 in
+  let f2 = if Array.length profile >= 2 then float_of_int profile.(1) else 0.0 in
+  d +. (f1 *. (f1 -. 1.0) /. (2.0 *. (f2 +. 1.0)))

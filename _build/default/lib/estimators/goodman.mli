@@ -1,0 +1,45 @@
+(** Goodman's estimator of the number of classes in a population
+    [Good 49], revised for projection counts in [HoOT 88].
+
+    [COUNT(project(E))] is the number of distinct groups of qualifying
+    points. Given a simple random sample of [sample] elements from a
+    population of [population], with [f.(i-1)] = number of classes seen
+    exactly i times, the unique unbiased estimator of the number of
+    classes is
+
+    D = d + sum_i (-1)^(i+1) * C(population - sample + i - 1, i)
+                             / C(sample, i) * f_i
+
+    (valid when the sample is at least as large as the largest class;
+    its variance explodes as the sampling fraction shrinks, which is
+    why a first-order stabilized form is also provided). *)
+
+val occupancy_profile : int list -> int array
+(** From group occupancies (each >= 1) to the f_i profile:
+    [profile.(i-1)] = number of groups with occupancy i.
+    @raise Invalid_argument on non-positive occupancies. *)
+
+val unbiased : population:float -> sample:int -> profile:int array -> float
+(** Goodman's estimator. The alternating series is evaluated with
+    ratio-form terms to avoid overflow; the result is clamped to
+    [0, population] (the unbiased estimator may legitimately fall below
+    the observed class count d).
+    @raise Invalid_argument if [sample] < total profile mass or
+    [population] < [sample]. *)
+
+val first_order : population:float -> sample:int -> profile:int array -> float
+(** The series truncated after i = 1: d + f_1 * (population - sample) /
+    sample — biased but stable; the practical "revised" form. *)
+
+val distinct_observed : profile:int array -> int
+
+val scale_up : population:float -> sample:int -> distinct:int -> float
+(** Naive scale-up d * population / sample, the baseline projection
+    estimators are compared against. *)
+
+val chao : profile:int array -> float
+(** Chao's bias-corrected lower-bound estimator
+    d + f1(f1-1)/(2(f2+1)) — far more stable than the Goodman series
+    when classes have comparable sizes; the library's default
+    projection estimator (a modern stand-in for [HoOT 88]'s
+    unspecified "revised" Goodman). *)

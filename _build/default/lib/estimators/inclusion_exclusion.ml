@@ -1,0 +1,66 @@
+open Taqp_relational
+
+exception Unsupported of string
+
+(* Pull Union/Difference to the top of the tree: Select, Join and
+   Intersect distribute over both; Project distributes over Union only. *)
+let rec lift (e : Ra.t) : Ra.t =
+  match e with
+  | Ra.Relation _ -> e
+  | Ra.Select (p, c) -> (
+      match lift c with
+      | Ra.Union (a, b) -> Ra.Union (lift (Ra.Select (p, a)), lift (Ra.Select (p, b)))
+      | Ra.Difference (a, b) ->
+          Ra.Difference (lift (Ra.Select (p, a)), lift (Ra.Select (p, b)))
+      | c' -> Ra.Select (p, c'))
+  | Ra.Project (ns, c) -> (
+      match lift c with
+      | Ra.Union (a, b) ->
+          Ra.Union (lift (Ra.Project (ns, a)), lift (Ra.Project (ns, b)))
+      | Ra.Difference (_, _) ->
+          raise
+            (Unsupported
+               "projection over a set difference cannot be rewritten by \
+                inclusion-exclusion")
+      | c' -> Ra.Project (ns, c'))
+  | Ra.Join (p, l, r) -> (
+      match lift l with
+      | Ra.Union (a, b) ->
+          Ra.Union (lift (Ra.Join (p, a, r)), lift (Ra.Join (p, b, r)))
+      | Ra.Difference (a, b) ->
+          Ra.Difference (lift (Ra.Join (p, a, r)), lift (Ra.Join (p, b, r)))
+      | l' -> (
+          match lift r with
+          | Ra.Union (a, b) ->
+              Ra.Union (lift (Ra.Join (p, l', a)), lift (Ra.Join (p, l', b)))
+          | Ra.Difference (a, b) ->
+              Ra.Difference
+                (lift (Ra.Join (p, l', a)), lift (Ra.Join (p, l', b)))
+          | r' -> Ra.Join (p, l', r')))
+  | Ra.Intersect (l, r) -> intersect (lift l) (lift r)
+  | Ra.Union (l, r) -> Ra.Union (lift l, lift r)
+  | Ra.Difference (l, r) -> Ra.Difference (lift l, lift r)
+
+(* Smart intersection that distributes over lifted Union/Difference:
+   a n (x U y) = (a n x) U (a n y);  a n (x - y) = (a n x) - (a n y). *)
+and intersect a b =
+  match a with
+  | Ra.Union (x, y) -> Ra.Union (intersect x b, intersect y b)
+  | Ra.Difference (x, y) -> Ra.Difference (intersect x b, intersect y b)
+  | _ -> (
+      match b with
+      | Ra.Union (x, y) -> Ra.Union (intersect a x, intersect a y)
+      | Ra.Difference (x, y) -> Ra.Difference (intersect a x, intersect a y)
+      | _ -> Ra.Intersect (a, b))
+
+(* Expand a lifted tree into signed SJIP terms. *)
+let rec expand sign (e : Ra.t) : (int * Ra.t) list =
+  match e with
+  | Ra.Union (a, b) ->
+      expand sign a @ expand sign b @ expand (-sign) (intersect a b)
+  | Ra.Difference (a, b) -> expand sign a @ expand (-sign) (intersect a b)
+  | _ -> [ (sign, e) ]
+
+let rewrite e = expand 1 (lift e)
+
+let term_count e = List.length (rewrite e)

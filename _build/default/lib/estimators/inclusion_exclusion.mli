@@ -1,0 +1,28 @@
+(** The Principle-of-Inclusion-and-Exclusion rewrite (Sections 2 and
+    4.2): [COUNT(E)] for an arbitrary RA expression becomes a signed
+    sum of [COUNT(E_i')] over expressions containing only Select, Join,
+    Intersect and Project.
+
+    Union and Difference first get pulled to the top (Select, Join and
+    Intersect distribute over both; Project distributes over Union but
+    {e not} over Difference), then
+
+    - COUNT(a U b)  = COUNT(a) + COUNT(b) - COUNT(a n b)
+    - COUNT(a - b)  = COUNT(a) - COUNT(a n b)
+
+    applied recursively, with intersections of unions themselves
+    distributed. *)
+
+exception Unsupported of string
+(** Raised for a Project over a Difference, where the rewrite is not
+    sound (projection does not distribute over set difference). *)
+
+val rewrite : Taqp_relational.Ra.t -> (int * Taqp_relational.Ra.t) list
+(** Signed SJIP terms; coefficients are +1/-1 per occurrence (terms are
+    not algebraically merged). The input expression's count equals the
+    signed sum of the terms' counts under set semantics.
+    @raise Unsupported per above. *)
+
+val term_count : Taqp_relational.Ra.t -> int
+(** Number of terms {!rewrite} would produce (exponential in the
+    number of Union/Difference nodes — useful for cost warnings). *)

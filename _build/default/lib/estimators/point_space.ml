@@ -1,0 +1,55 @@
+type dim = { name : string; tuples : int; blocks : int; blocking_factor : int }
+
+type t = { dims : dim list }
+
+let make dims =
+  if dims = [] then invalid_arg "Point_space.make: no dimensions";
+  List.iter
+    (fun d ->
+      if d.tuples <= 0 || d.blocks <= 0 || d.blocking_factor <= 0 then
+        invalid_arg "Point_space.make: non-positive dimension sizes")
+    dims;
+  { dims }
+
+let dims t = t.dims
+let n_dims t = List.length t.dims
+
+let total_points t =
+  List.fold_left (fun acc d -> acc *. float_of_int d.tuples) 1.0 t.dims
+
+let total_space_blocks t =
+  List.fold_left (fun acc d -> acc *. float_of_int d.blocks) 1.0 t.dims
+
+let points_per_space_block t =
+  List.fold_left (fun acc d -> acc *. float_of_int d.blocking_factor) 1.0 t.dims
+
+let space_block_of_disk_blocks t disk_blocks =
+  if List.length disk_blocks <> n_dims t then
+    invalid_arg "Point_space.space_block_of_disk_blocks: rank mismatch";
+  List.fold_left2
+    (fun acc d b ->
+      if b < 0 || b >= d.blocks then
+        invalid_arg "Point_space.space_block_of_disk_blocks: out of range";
+      (acc * d.blocks) + b)
+    0 t.dims disk_blocks
+
+let disk_blocks_of_space_block t index =
+  let total = int_of_float (total_space_blocks t) in
+  if index < 0 || index >= total then
+    invalid_arg "Point_space.disk_blocks_of_space_block: out of range";
+  let rev_dims = List.rev t.dims in
+  let rec go index acc = function
+    | [] -> acc
+    | d :: rest -> go (index / d.blocks) (index mod d.blocks :: acc) rest
+  in
+  go index [] rev_dims
+
+let pp ppf t =
+  let pp_dim ppf d =
+    Format.fprintf ppf "%s:%dt/%db" d.name d.tuples d.blocks
+  in
+  Format.fprintf ppf "[%a] N=%g B=%g"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " x ")
+       pp_dim)
+    t.dims (total_points t) (total_space_blocks t)

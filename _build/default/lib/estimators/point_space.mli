@@ -1,0 +1,42 @@
+(** The point space of an expression (Section 2, Figures 2.1/2.2).
+
+    An expression with operand-relation occurrences r_1..r_n is an
+    n-dimensional space of prod |r_i| points; each point is one
+    combination of operand tuples and takes value 1 iff the combination
+    produces an output tuple. Under the cluster plan the space is also
+    viewed as prod D_i space blocks, each mapping to one combination of
+    disk blocks. Counts are floats: a three-way join of 10^4-tuple
+    relations already has 10^12 points. *)
+
+type dim = {
+  name : string;  (** relation occurrence (alias) *)
+  tuples : int;  (** |r_i| *)
+  blocks : int;  (** D_i *)
+  blocking_factor : int;
+}
+
+type t
+
+val make : dim list -> t
+(** @raise Invalid_argument on an empty list or non-positive sizes. *)
+
+val dims : t -> dim list
+val n_dims : t -> int
+
+val total_points : t -> float
+(** N = prod |r_i|. *)
+
+val total_space_blocks : t -> float
+(** B = prod D_i. *)
+
+val points_per_space_block : t -> float
+(** prod of blocking factors (full blocks). *)
+
+val space_block_of_disk_blocks : t -> int list -> int
+(** Row-major index of the space block for one disk-block combination
+    (Figure 2.2's mapping). @raise Invalid_argument on rank or range
+    errors. Inverse of {!disk_blocks_of_space_block}. *)
+
+val disk_blocks_of_space_block : t -> int -> int list
+
+val pp : Format.formatter -> t -> unit

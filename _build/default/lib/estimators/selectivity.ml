@@ -1,0 +1,61 @@
+type t = {
+  initial : float;
+  mutable points : float;
+  mutable tuples : float;
+  mutable stages : int;
+  mutable design_effect : float;
+}
+
+let create ~initial =
+  if initial <= 0.0 || initial > 1.0 then
+    invalid_arg "Selectivity.create: initial outside (0,1]";
+  { initial; points = 0.0; tuples = 0.0; stages = 0; design_effect = 1.0 }
+
+let initial_for = function
+  | `Select | `Project | `Join | `Scan -> 1.0
+  | `Intersect (n1, n2) ->
+      let m = Int.max n1 n2 in
+      if m <= 0 then invalid_arg "Selectivity.initial_for: empty operands"
+      else 1.0 /. float_of_int m
+
+let observe t ~points ~tuples =
+  if points < 0.0 || tuples < 0.0 then
+    invalid_arg "Selectivity.observe: negative counts";
+  if tuples > points +. 1e-9 then
+    invalid_arg "Selectivity.observe: tuples exceed points";
+  t.points <- t.points +. points;
+  t.tuples <- t.tuples +. tuples;
+  t.stages <- t.stages + 1
+
+let set_cumulative t ~points ~tuples =
+  if points < 0.0 || tuples < 0.0 then
+    invalid_arg "Selectivity.set_cumulative: negative counts";
+  t.points <- points;
+  t.tuples <- tuples;
+  t.stages <- t.stages + 1
+
+let estimate t =
+  if t.points <= 0.0 then t.initial
+  else Float.min 1.0 (t.tuples /. t.points)
+
+let points_seen t = t.points
+let tuples_seen t = t.tuples
+let stages_observed t = t.stages
+let initial t = t.initial
+
+let set_design_effect t deff =
+  if deff <= 0.0 || not (Float.is_finite deff) then
+    invalid_arg "Selectivity.set_design_effect: must be positive and finite";
+  t.design_effect <- deff
+
+let design_effect t = t.design_effect
+
+let variance_srs t ~m_next ~n_remaining =
+  if m_next < 1.0 || n_remaining <= 1.0 then 0.0
+  else begin
+    let sel = estimate t in
+    let m = Float.min m_next n_remaining in
+    t.design_effect
+    *. (sel *. (1.0 -. sel) *. (n_remaining -. m)
+       /. (m *. (n_remaining -. 1.0)))
+  end

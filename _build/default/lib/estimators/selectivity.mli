@@ -1,0 +1,53 @@
+(** Run-time sample-selectivity records — the Revise-Selectivities
+    bookkeeping of Figure 3.3.
+
+    One record per RA operator accumulates, stage by stage, the number
+    of sampled points presented to the operator and the number of
+    output tuples it produced. sel^{i-1} = sum tuples_j / sum points_j,
+    falling back to the designer's initial (maximum) selectivity before
+    any points have been seen. *)
+
+type t
+
+val create : initial:float -> t
+(** @raise Invalid_argument unless [initial] is in (0, 1]. *)
+
+val initial_for :
+  [ `Select | `Project | `Join | `Intersect of int * int | `Scan ] -> float
+(** Figure 3.3's first-stage assignments: the maximum selectivity 1 for
+    Select/Project/Join (and trivially Scan); 1/max(|r1|,|r2|) for
+    Intersect given the operand cardinalities. *)
+
+val observe : t -> points:float -> tuples:float -> unit
+(** Record one stage's evaluation at this operator.
+    @raise Invalid_argument on negative inputs or [tuples > points]. *)
+
+val set_cumulative : t -> points:float -> tuples:float -> unit
+(** Overwrite the cumulative totals (used by operators whose output is
+    not additive across stages, e.g. distinct groups under Project). *)
+
+val estimate : t -> float
+(** sel^{i-1}: the cumulative ratio, or [initial] with no data. *)
+
+val points_seen : t -> float
+val tuples_seen : t -> float
+val stages_observed : t -> int
+val initial : t -> float
+
+val set_design_effect : t -> float -> unit
+(** Record the measured cluster design effect — the ratio of the true
+    (block-level) variance of the sample selectivity to the
+    simple-random-sampling variance the paper's approximation assumes.
+    1.0 (the default) for randomly placed tuples; > 1 when blocks are
+    internally correlated. {!variance_srs} is multiplied by it, which
+    feeds the correction into the sel+ inflation.
+    @raise Invalid_argument unless positive and finite. *)
+
+val design_effect : t -> float
+
+val variance_srs : t -> m_next:float -> n_remaining:float -> float
+(** The paper's approximation of Var(sel_i) for the {e next} stage: the
+    simple-random-sampling variance sel(1-sel)(N_i - m_i)/(m_i (N_i - 1))
+    with sel = {!estimate}, m_i = [m_next] sampled points, N_i =
+    [n_remaining] points not yet included, scaled by the
+    {!design_effect}. 0 when m_next < 1 or n_remaining <= 1. *)

@@ -1,0 +1,1 @@
+lib/relational/btree.ml: Array Device Hashtbl Heap_file Int List Option Schema Taqp_data Taqp_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/btree.mli: Device Heap_file Taqp_data Taqp_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Array Catalog Device Heap_file Ops Option Ra Taqp_data Taqp_storage Tuple

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Catalog Device Heap_file Ra Taqp_data Taqp_storage Tuple

@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array Device List Predicate Schema Seq Taqp_data Taqp_storage Tuple Value

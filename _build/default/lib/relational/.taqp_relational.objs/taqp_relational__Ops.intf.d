@@ -1,0 +1,1 @@
+lib/relational/ops.mli: Device Predicate Schema Taqp_data Taqp_storage Tuple

@@ -1,0 +1,1 @@
+lib/relational/parser.ml: Array Buffer Fmt List Predicate Ra String Taqp_data Value

@@ -1,0 +1,1 @@
+lib/relational/predicate.ml: Fmt Hashtbl List Option Schema Taqp_data Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/ra.ml: Fmt Hashtbl List Option Predicate Schema Taqp_data Taqp_storage

@@ -1,0 +1,1 @@
+lib/relational/ra.mli: Format Predicate Schema Taqp_data Taqp_storage

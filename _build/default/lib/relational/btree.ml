@@ -1,0 +1,163 @@
+open Taqp_data
+open Taqp_storage
+
+(* Leaves hold (key, positions) entries sorted by key; internal nodes
+   hold the separator key of each child (the smallest key below it). *)
+type node =
+  | Leaf of (Value.t * (int * int) list) array
+  | Internal of Value.t array * node array
+
+type t = { attr : string; fanout : int; root : node option; n_keys : int }
+
+let build ?(fanout = 64) ~attr file =
+  if fanout < 2 then invalid_arg "Btree.build: fanout < 2";
+  let pos = Schema.find (Heap_file.schema file) attr in
+  (* Collect (key, position) pairs in block order. *)
+  let entries = ref [] in
+  for b = Heap_file.n_blocks file - 1 downto 0 do
+    let block = Heap_file.block file b in
+    for s = Array.length block - 1 downto 0 do
+      entries := (Tuple.get block.(s) pos, (b, s)) :: !entries
+    done
+  done;
+  let sorted =
+    List.stable_sort (fun (k1, _) (k2, _) -> Value.compare k1 k2) !entries
+  in
+  (* Group equal keys. *)
+  let grouped =
+    List.fold_left
+      (fun acc (k, p) ->
+        match acc with
+        | (k', ps) :: rest when Value.equal k k' -> (k', p :: ps) :: rest
+        | _ -> (k, [ p ]) :: acc)
+      [] sorted
+  in
+  let grouped =
+    List.rev_map (fun (k, ps) -> (k, List.rev ps)) grouped
+  in
+  let n_keys = List.length grouped in
+  if n_keys = 0 then { attr; fanout; root = None; n_keys = 0 }
+  else begin
+    (* Bulk-load: chop a level's nodes into groups of [fanout]. *)
+    let chunk l =
+      let rec go acc current count = function
+        | [] -> List.rev (List.rev current :: acc)
+        | x :: rest ->
+            if count = fanout then go (List.rev current :: acc) [ x ] 1 rest
+            else go acc (x :: current) (count + 1) rest
+      in
+      go [] [] 0 l
+    in
+    let leaves =
+      List.map (fun group -> Leaf (Array.of_list group)) (chunk grouped)
+    in
+    let min_key = function
+      | Leaf entries -> fst entries.(0)
+      | Internal (keys, _) -> keys.(0)
+    in
+    let rec up nodes =
+      match nodes with
+      | [ root ] -> root
+      | _ ->
+          up
+            (List.map
+               (fun group ->
+                 let arr = Array.of_list group in
+                 Internal (Array.map min_key arr, arr))
+               (chunk nodes))
+    in
+    { attr; fanout; root = Some (up leaves); n_keys }
+  end
+
+let attr t = t.attr
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Internal (_, children) -> 1 + go children.(0)
+  in
+  match t.root with None -> 0 | Some root -> go root
+
+let n_keys t = t.n_keys
+
+let charge_node device =
+  match device with None -> () | Some d -> Device.read_block d
+
+(* Index of the child that may contain [key]: the last child whose
+   separator is <= key (or the first child). *)
+let child_for keys key =
+  let n = Array.length keys in
+  let idx = ref 0 in
+  for i = 1 to n - 1 do
+    if Value.compare keys.(i) key <= 0 then idx := i
+  done;
+  !idx
+
+let lookup ?device t key =
+  let rec go node =
+    charge_node device;
+    match node with
+    | Leaf entries -> (
+        match
+          Array.find_opt (fun (k, _) -> Value.equal k key) entries
+        with
+        | Some (_, ps) -> ps
+        | None -> [])
+    | Internal (keys, children) -> go children.(child_for keys key)
+  in
+  match t.root with None -> [] | Some root -> go root
+
+let in_range ?lo ?hi k =
+  (match lo with None -> true | Some l -> Value.compare k l >= 0)
+  && match hi with None -> true | Some h -> Value.compare k h <= 0
+
+let below_hi ?hi k =
+  match hi with None -> true | Some h -> Value.compare k h <= 0
+
+let range ?device t ?lo ?hi () =
+  (* Collect leaves left to right, descending once and walking while the
+     leaf's smallest key is within the upper bound. Each visited node
+     charges one block read. *)
+  let out = ref [] in
+  let rec walk node =
+    charge_node device;
+    match node with
+    | Leaf entries ->
+        Array.iter
+          (fun (k, ps) -> if in_range ?lo ?hi k then out := List.rev_append ps !out)
+          entries;
+        (* continue while the last key is still below hi *)
+        below_hi ?hi (fst entries.(Array.length entries - 1))
+    | Internal (keys, children) ->
+        let start = match lo with None -> 0 | Some l -> child_for keys l in
+        let continue = ref true in
+        let i = ref start in
+        while !continue && !i < Array.length children do
+          continue := walk children.(!i);
+          incr i
+        done;
+        (* propagate whether the scan may continue into our right sibling *)
+        !continue
+  in
+  (match t.root with None -> () | Some root -> ignore (walk root));
+  List.rev !out
+
+let select ?device t file ?lo ?hi () =
+  let positions = range ?device t ?lo ?hi () in
+  (* Fetch each distinct data block once, in block order. *)
+  let by_block = Hashtbl.create 64 in
+  List.iter
+    (fun (b, s) ->
+      let slots = Option.value (Hashtbl.find_opt by_block b) ~default:[] in
+      Hashtbl.replace by_block b (s :: slots))
+    positions;
+  let blocks = List.sort Int.compare (Hashtbl.fold (fun b _ acc -> b :: acc) by_block []) in
+  let out = ref [] in
+  List.iter
+    (fun b ->
+      (match device with None -> () | Some d -> Device.read_block d);
+      let block = Heap_file.block file b in
+      let slots = List.sort Int.compare (Hashtbl.find by_block b) in
+      List.iter (fun s -> out := block.(s) :: !out) slots)
+    blocks;
+  Array.of_list (List.rev !out)

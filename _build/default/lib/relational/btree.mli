@@ -1,0 +1,51 @@
+(** Immutable bulk-loaded B+-tree indexes over one attribute.
+
+    The paper simplifies its cost formulas by assuming "no index files
+    are used for any RA operation evaluation"; this module supplies the
+    index so the assumption can be tested rather than taken — the
+    benches use it to price what an {e indexed} exact evaluation would
+    cost next to the sampling evaluator. (The sampling engine itself
+    never uses indexes: cluster sampling reads uniformly random blocks
+    by design.)
+
+    The tree is built once over a heap file and maps key values to the
+    positions (block, slot) of the tuples carrying them. Nodes are
+    sized to hold [fanout] entries, one node per simulated disk block:
+    a lookup charges one block read per level, plus one per distinct
+    data block fetched. *)
+
+open Taqp_data
+open Taqp_storage
+
+type t
+
+val build : ?fanout:int -> attr:string -> Heap_file.t -> t
+(** Index the heap file on [attr] (fanout defaults to 64 entries per
+    node — a 1 KB block of key/pointer pairs).
+    @raise Schema.Schema_error for an unknown attribute;
+    @raise Invalid_argument if [fanout < 2]. *)
+
+val attr : t -> string
+val height : t -> int
+(** Levels from root to leaves (0 for an empty index). *)
+
+val n_keys : t -> int
+(** Distinct keys indexed. *)
+
+val lookup : ?device:Device.t -> t -> Value.t -> (int * int) list
+(** Positions (block, slot) of the tuples whose attribute equals the
+    key; charges one node read per level. Empty when absent. *)
+
+val range :
+  ?device:Device.t -> t -> ?lo:Value.t -> ?hi:Value.t -> unit ->
+  (int * int) list
+(** Positions of tuples with lo <= attr <= hi (either bound may be
+    omitted); charges the root-to-leaf descent plus one node read per
+    leaf traversed. *)
+
+val select :
+  ?device:Device.t -> t -> Heap_file.t -> ?lo:Value.t -> ?hi:Value.t ->
+  unit -> Tuple.t array
+(** Fetch the matching tuples via the index: the range scan plus one
+    block read per {e distinct} data block touched — the quantity that
+    makes an index win or lose against a full scan. *)

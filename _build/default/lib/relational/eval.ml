@@ -1,0 +1,57 @@
+open Taqp_data
+open Taqp_storage
+
+exception Eval_error of string
+
+let scan ?device file =
+  let n = Heap_file.n_blocks file in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    (match device with None -> () | Some d -> Device.read_block d);
+    out := Array.to_list (Heap_file.block file i) @ !out
+  done;
+  Array.of_list !out
+
+let eval ?device catalog expr =
+  let lookup name =
+    Option.map Heap_file.schema (Catalog.find_opt catalog name)
+  in
+  let schema_of e = Ra.infer ~lookup e in
+  let rec go e : Tuple.t array =
+    match e with
+    | Ra.Relation { name; _ } -> (
+        match Catalog.find_opt catalog name with
+        | None -> raise (Eval_error ("unknown relation " ^ name))
+        | Some file -> scan ?device file)
+    | Ra.Select (pred, child) ->
+        Ops.select ?device ~schema:(schema_of child) pred (go child)
+    | Ra.Project (names, child) ->
+        let groups =
+          Ops.project_groups ?device ~schema:(schema_of child) names (go child)
+        in
+        Array.map fst groups
+    | Ra.Join (pred, l, r) ->
+        Ops.merge_join ?device ~schema_l:(schema_of l) ~schema_r:(schema_of r)
+          pred (go l) (go r)
+    | Ra.Intersect (l, r) ->
+        Ops.intersect ?device ~schema:(schema_of l) (go l) (go r)
+    | Ra.Union (l, r) -> Ops.union ?device (go l) (go r)
+    | Ra.Difference (l, r) -> Ops.difference ?device (go l) (go r)
+  in
+  (* Typecheck up front so errors surface before any work is charged. *)
+  ignore (schema_of expr);
+  go expr
+
+let count ?device catalog expr = Array.length (eval ?device catalog expr)
+
+let operator_selectivity catalog expr =
+  let size e = float_of_int (count catalog e) in
+  match expr with
+  | Ra.Relation _ -> 1.0
+  | Ra.Select (_, c) | Ra.Project (_, c) ->
+      let input = size c in
+      if input <= 0.0 then 0.0 else size expr /. input
+  | Ra.Join (_, l, r) | Ra.Intersect (l, r) ->
+      let points = size l *. size r in
+      if points <= 0.0 then 0.0 else size expr /. points
+  | Ra.Union (_, _) | Ra.Difference (_, _) -> 1.0

@@ -1,0 +1,33 @@
+(** Exact evaluation of RA expressions over full relations — the ground
+    truth against which the sampling estimators are judged, and the
+    "ordinary query evaluation" the time-constrained algorithm
+    short-circuits.
+
+    When a device is supplied, base-relation scans charge one block
+    read per block and the operators charge per Figures 4.3-4.7 — this
+    is how the benches measure what an exact answer {e would} cost. *)
+
+open Taqp_data
+open Taqp_storage
+
+exception Eval_error of string
+
+val eval : ?device:Device.t -> Catalog.t -> Ra.t -> Tuple.t array
+(** Result tuples. Select/Join/Intersect keep bag multiplicity; Project
+    returns distinct groups; Union/Difference are set ops.
+    @raise Eval_error on unknown relations; @raise Ra.Type_error on
+    ill-typed expressions. *)
+
+val count : ?device:Device.t -> Catalog.t -> Ra.t -> int
+(** [COUNT(E)]: number of result tuples of {!eval} — the quantity the
+    paper's estimators approximate. *)
+
+val scan : ?device:Device.t -> Heap_file.t -> Tuple.t array
+(** All tuples of a heap file, charging one read per block. *)
+
+val operator_selectivity : Catalog.t -> Ra.t -> float
+(** The true selectivity of the expression's root operator w.r.t. its
+    operand point space (output tuples / input points) — what a
+    "prestored selectivities" catalog would hold (Section 3.1's
+    alternative to run-time estimation). A bare relation has
+    selectivity 1. *)

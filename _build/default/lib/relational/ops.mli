@@ -1,0 +1,88 @@
+(** Sort-based physical operators over in-memory tuple arrays.
+
+    These are the paper's estimator-evaluation algorithms (Figures 4.3,
+    4.4, 4.6, 4.7): write operand tuples to temp files, external-sort
+    them, and merge. When a {!Taqp_storage.Device.t} is supplied every
+    step charges the clock, reproducing the cost structure of equations
+    (4.1)-(4.5); without a device the operators are pure functions
+    (used for ground-truth counting and tests).
+
+    Bag semantics: Select/Join/Intersect preserve multiplicity (each
+    qualifying point of the point space yields one output tuple);
+    Project collapses to distinct groups with occupancies; Union and
+    Difference are set operations and expect duplicate-free operands. *)
+
+open Taqp_data
+open Taqp_storage
+
+val select :
+  ?device:Device.t -> schema:Schema.t -> Predicate.t -> Tuple.t array ->
+  Tuple.t array
+(** Figure 4.3: read and check each tuple, write qualifying pages. *)
+
+val sort_stage :
+  ?device:Device.t -> key:int array -> Tuple.t array -> Tuple.t array
+(** Steps (1)-(2) of Figures 4.4/4.6/4.7: write the tuples to a temp
+    file and external-sort them by [key] (then by all fields, for
+    determinism). Returns a sorted copy. *)
+
+val merge_join :
+  ?device:Device.t -> schema_l:Schema.t -> schema_r:Schema.t ->
+  Predicate.t -> Tuple.t array -> Tuple.t array -> Tuple.t array
+(** Theta-join. Equi-conjuncts ([l.a = r.b]) key a sort-merge join and
+    the residual predicate filters the key-equal candidates; with no
+    cross-side equi-conjunct the operator falls back to a (charged)
+    nested loop. Inputs need not be pre-sorted. *)
+
+val intersect :
+  ?device:Device.t -> schema:Schema.t -> Tuple.t array -> Tuple.t array ->
+  Tuple.t array
+(** Figure 4.4: sort both operands and merge; a pair matches when all
+    fields are equal. Output multiplicity is the product of the two
+    sides' multiplicities (one per matching point). *)
+
+val project_groups :
+  ?device:Device.t -> schema:Schema.t -> string list -> Tuple.t array ->
+  (Tuple.t * int) array
+(** Figure 4.7: project each tuple, sort, then scan writing each
+    distinct tuple with its occupancy — the group counts Goodman's
+    estimator consumes. *)
+
+val union : ?device:Device.t -> Tuple.t array -> Tuple.t array -> Tuple.t array
+(** Sorted set union (operands treated as sets). *)
+
+val difference :
+  ?device:Device.t -> Tuple.t array -> Tuple.t array -> Tuple.t array
+(** Sorted set difference (left minus right, as sets). *)
+
+val distinct : ?device:Device.t -> Tuple.t array -> Tuple.t array
+
+val key_positions : Schema.t -> string list -> int array
+(** Resolve attribute names to positions.
+    @raise Schema.Schema_error on unknown names. *)
+
+val split_equi_pairs :
+  schema_l:Schema.t -> schema_r:Schema.t -> Predicate.t ->
+  (int array * int array) * Predicate.t
+(** Orient the predicate's equi-join pairs across the two operand
+    schemas: returns the left and right key positions plus the residual
+    predicate (which includes any equi pair that does not span both
+    sides). *)
+
+val merge_sorted_join :
+  ?device:Device.t -> key_l:int array -> key_r:int array ->
+  residual:(Tuple.t -> bool) -> residual_comparisons:int ->
+  Tuple.t array -> Tuple.t array -> Tuple.t list
+(** One pairing merge of the full-fulfillment plan (Figure 4.5): both
+    inputs already sorted by their keys; emits the concatenated tuples
+    whose residual predicate holds. Charges merge reads and residual
+    checks only — the caller accounts for output pages. *)
+
+val merge_sorted_intersect :
+  ?device:Device.t -> Tuple.t array -> Tuple.t array -> Tuple.t list
+(** Pairing merge for Intersect: inputs sorted on all fields; emits the
+    left tuple of each matching cross pair. *)
+
+val compare_with_key : int array -> Tuple.t -> Tuple.t -> int
+(** Order by the key positions, then by all fields (the sort order
+    {!sort_stage} uses). *)

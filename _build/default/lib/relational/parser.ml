@@ -1,0 +1,389 @@
+open Taqp_data
+
+exception Parse_error of { position : int; message : string }
+
+type token =
+  | Ident of string
+  | Number_int of int
+  | Number_float of float
+  | Str of string
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Comma
+  | Dot
+  | AndAnd
+  | OrOr
+  | Bang
+  | CmpEq
+  | CmpNe
+  | CmpLt
+  | CmpLe
+  | CmpGt
+  | CmpGe
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eof
+
+let fail position fmt =
+  Fmt.kstr (fun message -> raise (Parse_error { position; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let push tok pos = out := (tok, pos) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      push (Ident (String.sub src !i (!j - !i))) pos;
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      (* A dot followed by a digit continues a float literal; a dot
+         followed by a letter is attribute qualification. *)
+      if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        push (Number_float (float_of_string (String.sub src !i (!j - !i)))) pos
+      end
+      else push (Number_int (int_of_string (String.sub src !i (!j - !i)))) pos;
+      i := !j
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if src.[!j] = '"' then closed := true
+        else begin
+          if src.[!j] = '\\' && !j + 1 < n then incr j;
+          Buffer.add_char buf src.[!j]
+        end;
+        incr j
+      done;
+      if not !closed then fail pos "unterminated string literal";
+      push (Str (Buffer.contents buf)) pos;
+      i := !j
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "&&" ->
+          push AndAnd pos;
+          i := !i + 2
+      | Some "||" ->
+          push OrOr pos;
+          i := !i + 2
+      | Some "!=" ->
+          push CmpNe pos;
+          i := !i + 2
+      | Some "<=" ->
+          push CmpLe pos;
+          i := !i + 2
+      | Some ">=" ->
+          push CmpGe pos;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> push Lparen pos
+          | ')' -> push Rparen pos
+          | '[' -> push Lbracket pos
+          | ']' -> push Rbracket pos
+          | ',' -> push Comma pos
+          | '.' -> push Dot pos
+          | '!' -> push Bang pos
+          | '=' -> push CmpEq pos
+          | '<' -> push CmpLt pos
+          | '>' -> push CmpGt pos
+          | '+' -> push Plus pos
+          | '-' -> push Minus pos
+          | '*' -> push Star pos
+          | '/' -> push Slash pos
+          | _ -> fail pos "unexpected character %C" c)
+    end
+  done;
+  push Eof n;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state: an index into the token array, so backtracking is a
+   plain integer restore. *)
+
+type state = { tokens : (token * int) array; mutable cursor : int }
+
+let peek st = fst st.tokens.(st.cursor)
+let pos st = snd st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let expect st tok what =
+  if peek st = tok then advance st else fail (pos st) "expected %s" what
+
+let ident st =
+  match peek st with
+  | Ident name ->
+      advance st;
+      name
+  | _ -> fail (pos st) "expected identifier"
+
+(* Attribute names may be qualified: ident (. ident)* *)
+let attr_name st =
+  let base = ident st in
+  let rec go acc =
+    if peek st = Dot then begin
+      advance st;
+      go (acc ^ "." ^ ident st)
+    end
+    else acc
+  in
+  go base
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+
+let cmp_of_token = function
+  | CmpEq -> Some Predicate.Eq
+  | CmpNe -> Some Predicate.Ne
+  | CmpLt -> Some Predicate.Lt
+  | CmpLe -> Some Predicate.Le
+  | CmpGt -> Some Predicate.Gt
+  | CmpGe -> Some Predicate.Ge
+  | _ -> None
+
+let rec parse_pred st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = OrOr then begin
+    advance st;
+    Predicate.Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_factor st in
+  if peek st = AndAnd then begin
+    advance st;
+    Predicate.And (left, parse_and st)
+  end
+  else left
+
+and parse_factor st =
+  match peek st with
+  | Bang ->
+      advance st;
+      Predicate.Not (parse_factor st)
+  | Ident "true" ->
+      advance st;
+      Predicate.True
+  | Ident "false" ->
+      advance st;
+      Predicate.False
+  | Lparen -> (
+      (* Could be a parenthesized predicate or a parenthesized
+         arithmetic expression starting a comparison; try the predicate
+         reading first and fall back. *)
+      let saved = st.cursor in
+      match
+        advance st;
+        let p = parse_pred st in
+        expect st Rparen "')'";
+        p
+      with
+      | p when cmp_of_token (peek st) = None -> p
+      | _ | (exception Parse_error _) ->
+          st.cursor <- saved;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let left = parse_arith st in
+  match cmp_of_token (peek st) with
+  | Some op ->
+      advance st;
+      let right = parse_arith st in
+      Predicate.Cmp (op, left, right)
+  | None -> fail (pos st) "expected comparison operator"
+
+and parse_arith st =
+  let left = parse_term st in
+  let rec go acc =
+    match peek st with
+    | Plus ->
+        advance st;
+        go (Predicate.Add (acc, parse_term st))
+    | Minus ->
+        advance st;
+        go (Predicate.Sub (acc, parse_term st))
+    | _ -> acc
+  in
+  go left
+
+and parse_term st =
+  let left = parse_atom st in
+  let rec go acc =
+    match peek st with
+    | Star ->
+        advance st;
+        go (Predicate.Mul (acc, parse_atom st))
+    | Slash ->
+        advance st;
+        go (Predicate.Div (acc, parse_atom st))
+    | _ -> acc
+  in
+  go left
+
+and parse_atom st =
+  match peek st with
+  | Number_int v ->
+      advance st;
+      Predicate.Const (Value.Int v)
+  | Number_float v ->
+      advance st;
+      Predicate.Const (Value.Float v)
+  | Str s ->
+      advance st;
+      Predicate.Const (Value.String s)
+  | Minus ->
+      advance st;
+      (match parse_atom st with
+      | Predicate.Const (Value.Int v) -> Predicate.Const (Value.Int (-v))
+      | Predicate.Const (Value.Float v) -> Predicate.Const (Value.Float (-.v))
+      | e -> Predicate.Sub (Predicate.Const (Value.Int 0), e))
+  | Ident "null" ->
+      advance st;
+      Predicate.Const Value.Null
+  | Ident "true" ->
+      advance st;
+      Predicate.Const (Value.Bool true)
+  | Ident "false" ->
+      advance st;
+      Predicate.Const (Value.Bool false)
+  | Ident _ -> Predicate.Attr (attr_name st)
+  | Lparen ->
+      advance st;
+      let e = parse_arith st in
+      expect st Rparen "')'";
+      e
+  | _ -> fail (pos st) "expected value, attribute or '('"
+
+(* ------------------------------------------------------------------ *)
+(* RA expressions                                                      *)
+
+let keywords =
+  [ "select"; "project"; "join"; "union"; "difference"; "intersect"; "count"; "as" ]
+
+let rec parse_expr st =
+  match peek st with
+  | Ident "select" ->
+      advance st;
+      expect st Lbracket "'['";
+      let pred = parse_pred st in
+      expect st Rbracket "']'";
+      expect st Lparen "'('";
+      let child = parse_expr st in
+      expect st Rparen "')'";
+      Ra.Select (pred, child)
+  | Ident "project" ->
+      advance st;
+      expect st Lbracket "'['";
+      let rec names acc =
+        let n = attr_name st in
+        if peek st = Comma then begin
+          advance st;
+          names (n :: acc)
+        end
+        else List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st Rbracket "']'";
+      expect st Lparen "'('";
+      let child = parse_expr st in
+      expect st Rparen "')'";
+      Ra.Project (ns, child)
+  | Ident "join" ->
+      advance st;
+      expect st Lbracket "'['";
+      let pred = parse_pred st in
+      expect st Rbracket "']'";
+      let l, r = parse_pair st in
+      Ra.Join (pred, l, r)
+  | Ident "union" ->
+      advance st;
+      let l, r = parse_pair st in
+      Ra.Union (l, r)
+  | Ident "difference" ->
+      advance st;
+      let l, r = parse_pair st in
+      Ra.Difference (l, r)
+  | Ident "intersect" ->
+      advance st;
+      let l, r = parse_pair st in
+      Ra.Intersect (l, r)
+  | Ident name when not (List.mem name keywords) ->
+      advance st;
+      let alias =
+        match peek st with
+        | Ident "as" ->
+            advance st;
+            Some (ident st)
+        | _ -> None
+      in
+      Ra.Relation { name; alias }
+  | _ -> fail (pos st) "expected an RA expression"
+
+and parse_pair st =
+  expect st Lparen "'('";
+  let l = parse_expr st in
+  expect st Comma "','";
+  let r = parse_expr st in
+  expect st Rparen "')'";
+  (l, r)
+
+let expression src =
+  let st = { tokens = tokenize src; cursor = 0 } in
+  let e =
+    match peek st with
+    | Ident "count" ->
+        advance st;
+        expect st Lparen "'('";
+        let e = parse_expr st in
+        expect st Rparen "')'";
+        e
+    | _ -> parse_expr st
+  in
+  expect st Eof "end of input";
+  e
+
+let predicate src =
+  let st = { tokens = tokenize src; cursor = 0 } in
+  let p = parse_pred st in
+  expect st Eof "end of input";
+  p
+
+let roundtrip e = expression (Ra.to_string e)

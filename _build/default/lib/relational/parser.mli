@@ -1,0 +1,29 @@
+(** A concrete syntax for RA expressions, matching {!Ra.pp} — the
+    prototype DBMS "uses relational algebra expressions as its query
+    language", and so do our CLI and examples.
+
+    {v
+    expr  := select [ pred ] ( expr )
+           | project [ name, ... ] ( expr )
+           | join [ pred ] ( expr , expr )
+           | union ( expr , expr )
+           | difference ( expr , expr )
+           | intersect ( expr , expr )
+           | relname (as alias)?
+    pred  := disjunctions/conjunctions of comparisons over attributes,
+             integers, floats, "strings", true, false, with
+             + - * / arithmetic and = != < <= > >= comparisons
+    v}
+
+    [count(expr)] is also accepted and returns the inner expression. *)
+
+exception Parse_error of { position : int; message : string }
+
+val expression : string -> Ra.t
+(** @raise Parse_error on malformed input. *)
+
+val predicate : string -> Predicate.t
+(** Parse a predicate on its own (for CLI filters). *)
+
+val roundtrip : Ra.t -> Ra.t
+(** [expression (Ra.to_string e)] — exposed for property tests. *)

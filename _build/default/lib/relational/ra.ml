@@ -1,0 +1,138 @@
+open Taqp_data
+
+type t =
+  | Relation of { name : string; alias : string option }
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Join of Predicate.t * t * t
+  | Union of t * t
+  | Difference of t * t
+  | Intersect of t * t
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let relation ?alias name = Relation { name; alias }
+
+let infer ~lookup expr =
+  let rec go = function
+    | Relation { name; alias } -> (
+        match lookup name with
+        | None -> type_error "unknown relation %s" name
+        | Some schema ->
+            Schema.qualify (Option.value alias ~default:name) schema)
+    | Select (pred, child) ->
+        let schema = go child in
+        (try Predicate.typecheck schema pred
+         with Predicate.Type_error msg -> type_error "select: %s" msg);
+        schema
+    | Project (names, child) -> (
+        let schema = go child in
+        if names = [] then type_error "project: empty attribute list";
+        try Schema.project schema names
+        with Schema.Schema_error msg -> type_error "project: %s" msg)
+    | Join (pred, l, r) ->
+        let sl = go l and sr = go r in
+        let schema =
+          try Schema.concat sl sr
+          with Schema.Schema_error msg ->
+            type_error "join: %s (alias one side of a self-join)" msg
+        in
+        (try Predicate.typecheck schema pred
+         with Predicate.Type_error msg -> type_error "join: %s" msg);
+        schema
+    | Union (l, r) | Difference (l, r) | Intersect (l, r) ->
+        let sl = go l and sr = go r in
+        if not (Schema.union_compatible sl sr) then
+          type_error "operands are not union-compatible: %a vs %a" Schema.pp
+            sl Schema.pp sr;
+        sl
+  in
+  go expr
+
+let infer_catalog catalog expr =
+  infer
+    ~lookup:(fun name ->
+      Option.map Taqp_storage.Heap_file.schema
+        (Taqp_storage.Catalog.find_opt catalog name))
+    expr
+
+let leaves expr =
+  let rec go acc = function
+    | Relation { name; alias } -> (name, Option.value alias ~default:name) :: acc
+    | Select (_, c) | Project (_, c) -> go acc c
+    | Join (_, l, r) | Union (l, r) | Difference (l, r) | Intersect (l, r) ->
+        go (go acc l) r
+  in
+  List.rev (go [] expr)
+
+let relation_names expr =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then None
+      else begin
+        Hashtbl.add seen name ();
+        Some name
+      end)
+    (leaves expr)
+
+let rec has_projection = function
+  | Relation _ -> false
+  | Project (_, _) -> true
+  | Select (_, c) -> has_projection c
+  | Join (_, l, r) | Union (l, r) | Difference (l, r) | Intersect (l, r) ->
+      has_projection l || has_projection r
+
+let rec has_union_or_difference = function
+  | Relation _ -> false
+  | Union (_, _) | Difference (_, _) -> true
+  | Select (_, c) | Project (_, c) -> has_union_or_difference c
+  | Join (_, l, r) | Intersect (l, r) ->
+      has_union_or_difference l || has_union_or_difference r
+
+let is_sjip e = not (has_union_or_difference e)
+
+let rec size = function
+  | Relation _ -> 1
+  | Select (_, c) | Project (_, c) -> 1 + size c
+  | Join (_, l, r) | Union (l, r) | Difference (l, r) | Intersect (l, r) ->
+      1 + size l + size r
+
+let node_label = function
+  | Relation { name; _ } -> name
+  | Select (_, _) -> "select"
+  | Project (_, _) -> "project"
+  | Join (_, _, _) -> "join"
+  | Union (_, _) -> "union"
+  | Difference (_, _) -> "difference"
+  | Intersect (_, _) -> "intersect"
+
+let rec equal a b =
+  match (a, b) with
+  | Relation x, Relation y -> x.name = y.name && x.alias = y.alias
+  | Select (p, c), Select (q, d) -> p = q && equal c d
+  | Project (ns, c), Project (ms, d) -> ns = ms && equal c d
+  | Join (p, l, r), Join (q, l', r') -> p = q && equal l l' && equal r r'
+  | Union (l, r), Union (l', r')
+  | Difference (l, r), Difference (l', r')
+  | Intersect (l, r), Intersect (l', r') ->
+      equal l l' && equal r r'
+  | ( ( Relation _ | Select _ | Project _ | Join _ | Union _ | Difference _
+      | Intersect _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | Relation { name; alias = None } -> Fmt.string ppf name
+  | Relation { name; alias = Some a } -> Fmt.pf ppf "%s as %s" name a
+  | Select (p, c) -> Fmt.pf ppf "select[%a](%a)" Predicate.pp p pp c
+  | Project (names, c) ->
+      Fmt.pf ppf "project[%a](%a)" Fmt.(list ~sep:comma string) names pp c
+  | Join (p, l, r) -> Fmt.pf ppf "join[%a](%a, %a)" Predicate.pp p pp l pp r
+  | Union (l, r) -> Fmt.pf ppf "union(%a, %a)" pp l pp r
+  | Difference (l, r) -> Fmt.pf ppf "difference(%a, %a)" pp l pp r
+  | Intersect (l, r) -> Fmt.pf ppf "intersect(%a, %a)" pp l pp r
+
+let to_string e = Fmt.str "%a" pp e

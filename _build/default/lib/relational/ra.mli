@@ -1,0 +1,56 @@
+(** Relational-algebra expressions — the paper's query language.
+
+    [COUNT(E)] queries take an arbitrary expression built from base
+    relations with Select, Project, (theta-)Join, Union, Difference and
+    Intersect. Union and Difference are never evaluated directly by the
+    sampling estimator: the Principle of Inclusion and Exclusion
+    rewrites them away (see {!Taqp_estimators.Inclusion_exclusion}). *)
+
+open Taqp_data
+
+type t =
+  | Relation of { name : string; alias : string option }
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Join of Predicate.t * t * t
+  | Union of t * t
+  | Difference of t * t
+  | Intersect of t * t
+
+exception Type_error of string
+
+val relation : ?alias:string -> string -> t
+
+val infer :
+  lookup:(string -> Schema.t option) -> t -> Schema.t
+(** Schema of the expression's result. Leaf schemas are qualified by the
+    relation's alias (or name). Union/Difference/Intersect operands must
+    be union-compatible; predicates must typecheck; projections must
+    name existing attributes. @raise Type_error otherwise. *)
+
+val infer_catalog : Taqp_storage.Catalog.t -> t -> Schema.t
+
+val leaves : t -> (string * string) list
+(** The operand-relation occurrences, left to right, as
+    [(name, alias)] pairs — each occurrence is one dimension of the
+    paper's point space (a self-join contributes two dimensions). *)
+
+val relation_names : t -> string list
+(** Distinct base-relation names, in first-use order. *)
+
+val has_projection : t -> bool
+val has_union_or_difference : t -> bool
+
+val is_sjip : t -> bool
+(** Only Select/Join/Intersect/Project over relations — the fragment the
+    estimators handle natively. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val node_label : t -> string
+(** Short operator name of the root, for traces and reports. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

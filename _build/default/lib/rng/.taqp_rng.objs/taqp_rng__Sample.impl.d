@@ -1,0 +1,1 @@
+lib/rng/sample.ml: Array Float Hashtbl List Prng Seq

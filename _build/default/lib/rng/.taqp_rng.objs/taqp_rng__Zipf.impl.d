@@ -1,0 +1,1 @@
+lib/rng/zipf.ml: Array Prng

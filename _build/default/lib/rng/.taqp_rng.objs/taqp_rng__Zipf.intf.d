@@ -1,0 +1,1 @@
+lib/rng/zipf.mli: Prng

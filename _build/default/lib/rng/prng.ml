@@ -1,0 +1,78 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64, used only to expand the integer seed into xoshiro state. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (bits64 t) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* Uniform int in [0, n) by rejection on the top 62 bits, avoiding
+   modulo bias. *)
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  let bound = (max_int / n) * n in
+  let rec go v = if v < bound then v mod n else go (Int64.to_int (Int64.shift_right_logical (bits64 t) 2)) in
+  go mask
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits mapped to [0,1). *)
+  let u = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (u *. 0x1p-53)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let rec gaussian ?(mu = 0.0) ?(sigma = 1.0) t =
+  let u = (2.0 *. float t 1.0) -. 1.0 in
+  let v = (2.0 *. float t 1.0) -. 1.0 in
+  let s = (u *. u) +. (v *. v) in
+  if s >= 1.0 || s = 0.0 then gaussian ~mu ~sigma t
+  else mu +. (sigma *. u *. sqrt (-2.0 *. log s /. s))
+
+let exponential t lambda =
+  if lambda <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  -.log (1.0 -. float t 1.0) /. lambda
+
+let lognormal_factor t s =
+  if s <= 0.0 then 1.0
+  else exp (gaussian ~sigma:s t -. (s *. s /. 2.0))

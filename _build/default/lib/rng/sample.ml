@@ -1,0 +1,92 @@
+let without_replacement rng ~k ~n =
+  if k < 0 || n < 0 then invalid_arg "Sample.without_replacement: negative";
+  if k > n then invalid_arg "Sample.without_replacement: k > n";
+  (* Floyd's algorithm: for j = n-k .. n-1, draw t in [0,j]; insert t
+     unless already present, else insert j. Produces a uniform k-subset. *)
+  let seen = Hashtbl.create (2 * k) in
+  let out = ref [] in
+  for j = n - k to n - 1 do
+    let t = Prng.int rng (j + 1) in
+    let pick = if Hashtbl.mem seen t then j else t in
+    Hashtbl.add seen pick ();
+    out := pick :: !out
+  done;
+  let arr = Array.of_list !out in
+  (* Floyd's order is biased; shuffle for a uniformly ordered sample. *)
+  let shuffle_arr a =
+    for i = Array.length a - 1 downto 1 do
+      let j = Prng.int rng (i + 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done
+  in
+  shuffle_arr arr;
+  Array.to_list arr
+
+let from_excluding rng ~k ~n ~excluded ~excluded_count =
+  let remaining = n - excluded_count in
+  if k > remaining then
+    invalid_arg "Sample.from_excluding: not enough values remain";
+  if k = 0 then []
+  else if 3 * k <= remaining then begin
+    (* Sparse case: rejection sampling against the exclusion predicate. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = ref [] in
+    let drawn = ref 0 in
+    while !drawn < k do
+      let v = Prng.int rng n in
+      if (not (excluded v)) && not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out := v :: !out;
+        incr drawn
+      end
+    done;
+    !out
+  end
+  else begin
+    (* Dense case: materialize the survivors and take a k-subset. *)
+    let survivors = Array.make remaining 0 in
+    let idx = ref 0 in
+    for v = 0 to n - 1 do
+      if not (excluded v) then begin
+        survivors.(!idx) <- v;
+        incr idx
+      end
+    done;
+    List.map (fun i -> survivors.(i)) (without_replacement rng ~k ~n:remaining)
+  end
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose rng a =
+  if Array.length a = 0 then invalid_arg "Sample.choose: empty array";
+  a.(Prng.int rng (Array.length a))
+
+let reservoir rng ~k seq =
+  if k <= 0 then []
+  else begin
+    let res = Array.make k None in
+    let count = ref 0 in
+    Seq.iter
+      (fun x ->
+        if !count < k then res.(!count) <- Some x
+        else begin
+          let j = Prng.int rng (!count + 1) in
+          if j < k then res.(j) <- Some x
+        end;
+        incr count)
+      seq;
+    Array.to_list res
+    |> List.filter_map (fun x -> x)
+  end
+
+let bernoulli rng ~p =
+  let p = Float.min 1.0 (Float.max 0.0 p) in
+  Prng.float rng 1.0 < p

@@ -1,0 +1,28 @@
+(** Sampling primitives used by the cluster and simple random sampling
+    plans: all draws are {e without replacement}, the regime assumed by
+    the paper's estimators and variance formulas. *)
+
+val without_replacement : Prng.t -> k:int -> n:int -> int list
+(** [without_replacement rng ~k ~n] draws [k] distinct integers uniformly
+    from [0, n), in random order. Uses Floyd's algorithm, O(k) expected.
+    @raise Invalid_argument if [k < 0], [n < 0] or [k > n]. *)
+
+val from_excluding : Prng.t -> k:int -> n:int -> excluded:(int -> bool) ->
+  excluded_count:int -> int list
+(** Draw [k] distinct integers from [0, n) avoiding those for which
+    [excluded] holds; [excluded_count] is the number of excluded values.
+    This is how later stages sample disk blocks not drawn before.
+    @raise Invalid_argument if fewer than [k] values remain. *)
+
+val shuffle : Prng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : Prng.t -> 'a array -> 'a
+(** Uniform element of a non-empty array. @raise Invalid_argument on []. *)
+
+val reservoir : Prng.t -> k:int -> 'a Seq.t -> 'a list
+(** Reservoir sampling: [k] elements uniformly without replacement from a
+    sequence of unknown length (fewer if the sequence is shorter). *)
+
+val bernoulli : Prng.t -> p:float -> bool
+(** True with probability [p] (clamped to [0,1]). *)

@@ -1,0 +1,20 @@
+(** Zipf-distributed sampling over ranks 0..n-1: rank k is drawn with
+    probability proportional to 1/(k+1)^s. Used by the workload
+    generators to produce skewed attribute distributions — the regime
+    where uniform-sampling estimators (Goodman/Chao, selectivity
+    learning) are stressed. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Precomputes the CDF; O(n) space. @raise Invalid_argument if
+    [n <= 0] or [s < 0]. [s = 0] is the uniform distribution. *)
+
+val n : t -> int
+val exponent : t -> float
+
+val draw : t -> Prng.t -> int
+(** A rank in [0, n), by binary search over the CDF: O(log n). *)
+
+val pmf : t -> int -> float
+(** Probability of rank [k]. @raise Invalid_argument out of range. *)

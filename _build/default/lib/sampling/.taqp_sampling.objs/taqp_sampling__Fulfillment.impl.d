@@ -1,0 +1,1 @@
+lib/sampling/fulfillment.ml: Array Int List

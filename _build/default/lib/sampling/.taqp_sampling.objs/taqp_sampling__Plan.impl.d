@@ -1,0 +1,1 @@
+lib/sampling/plan.ml: Format

@@ -1,0 +1,1 @@
+lib/sampling/plan.mli: Format

@@ -1,0 +1,1 @@
+lib/sampling/stage_set.ml: Array Hashtbl Int List Taqp_rng

@@ -1,0 +1,1 @@
+lib/sampling/stage_set.mli: Taqp_rng

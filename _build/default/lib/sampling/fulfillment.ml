@@ -1,0 +1,50 @@
+let cum_at dims stage =
+  List.fold_left
+    (fun acc cums ->
+      let v =
+        if stage <= 0 || Array.length cums = 0 then 0
+        else cums.(Int.min stage (Array.length cums) - 1)
+      in
+      acc *. float_of_int v)
+    1.0 dims
+
+let full_cumulative dims =
+  match dims with
+  | [] -> 0.0
+  | _ -> cum_at dims max_int
+
+let full_new_at_stage dims ~stage =
+  if stage < 1 then invalid_arg "Fulfillment.full_new_at_stage: stage < 1";
+  cum_at dims stage -. cum_at dims (stage - 1)
+
+let stage_size cums stage =
+  if stage < 1 || stage > Array.length cums then 0
+  else if stage = 1 then cums.(0)
+  else cums.(stage - 1) - cums.(stage - 2)
+
+let partial_new_at_stage dims ~stage =
+  if stage < 1 then invalid_arg "Fulfillment.partial_new_at_stage: stage < 1";
+  List.fold_left
+    (fun acc cums -> acc *. float_of_int (stage_size cums stage))
+    1.0 dims
+
+let partial_cumulative dims =
+  match dims with
+  | [] -> 0.0
+  | first :: _ ->
+      let n_stages = Array.length first in
+      let acc = ref 0.0 in
+      for s = 1 to n_stages do
+        acc := !acc +. partial_new_at_stage dims ~stage:s
+      done;
+      !acc
+
+let pairings_at_stage ~stages_l ~stage plan =
+  ignore stages_l;
+  if stage < 1 then invalid_arg "Fulfillment.pairings_at_stage: stage < 1";
+  match plan with
+  | `Partial -> [ (stage, stage) ]
+  | `Full ->
+      let new_left = List.init stage (fun i -> (stage, i + 1)) in
+      let old_left = List.init (stage - 1) (fun i -> (i + 1, stage)) in
+      new_left @ old_left

@@ -1,0 +1,33 @@
+(** Space-block accounting for full vs partial fulfillment.
+
+    Under full fulfillment (Figure 4.5), stage [s] evaluates every
+    combination of sample units across the dimensions that involves at
+    least one stage-[s] unit; the cumulative evaluated subspace is the
+    full cross product of everything drawn. Under partial fulfillment
+    only same-stage combinations are evaluated. These functions give
+    the evaluated-point counts both plans imply — the denominators of
+    the sample selectivities and of the count estimator. *)
+
+val full_cumulative : int array list -> float
+(** [full_cumulative cums] where each element is one dimension's
+    cumulative sizes: the product over dimensions of the latest
+    cumulative size (0.0 if no stages yet). *)
+
+val full_new_at_stage : int array list -> stage:int -> float
+(** Combinations newly evaluated at 1-based [stage]:
+    prod(cum_s) - prod(cum_{s-1}). For two dimensions this equals the
+    paper's n1s*n2s + N1(s-1)*n2s + N2(s-1)*n1s. *)
+
+val partial_cumulative : int array list -> float
+(** Sum over stages of the product of that stage's new sizes. *)
+
+val partial_new_at_stage : int array list -> stage:int -> float
+
+val pairings_at_stage :
+  stages_l:int -> stage:int -> [ `Full | `Partial ] -> (int * int) list
+(** Which (left-stage, right-stage) file pairs a binary operator merges
+    at [stage] (Figure 4.5): full fulfillment pairs the new left file
+    with every right file and every old left file with the new right
+    file — [2s - 1] pairings; partial fulfillment pairs only
+    [(s, s)]. [stages_l] is unused today (kept for asymmetric plans)
+    but documents intent. *)

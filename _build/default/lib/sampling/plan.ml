@@ -1,0 +1,10 @@
+type unit_kind = Cluster | Simple_random
+type fulfillment = Full | Partial
+type t = { unit_kind : unit_kind; fulfillment : fulfillment }
+
+let default = { unit_kind = Cluster; fulfillment = Full }
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s"
+    (match t.unit_kind with Cluster -> "cluster" | Simple_random -> "srs")
+    (match t.fulfillment with Full -> "full" | Partial -> "partial")

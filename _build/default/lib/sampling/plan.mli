@@ -1,0 +1,24 @@
+(** Sampling-plan knobs (the implementation-decision rows of the
+    paper's Figure 3.2). *)
+
+type unit_kind =
+  | Cluster  (** disk blocks are the sample units — the paper's choice *)
+  | Simple_random
+      (** individual tuples are the units; each tuple costs a block
+          read, which is why the paper prefers cluster sampling *)
+
+type fulfillment =
+  | Full
+      (** at stage s, evaluate every cross-stage combination of new and
+          old samples (Figure 4.5) — most use of the data, cost grows
+          with the stage count *)
+  | Partial
+      (** evaluate only the new samples against each other — cheap
+          stages, less use of the data ([HoOT 88a]) *)
+
+type t = { unit_kind : unit_kind; fulfillment : fulfillment }
+
+val default : t
+(** Cluster sampling with full fulfillment, as in the prototype. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+type t = {
+  n_units : int;
+  rng : Taqp_rng.Prng.t;
+  mutable stages_rev : int list list;
+  drawn_set : (int, unit) Hashtbl.t;
+  mutable drawn : int;
+}
+
+let create ~n_units rng =
+  if n_units < 0 then invalid_arg "Stage_set.create: n_units < 0";
+  { n_units; rng; stages_rev = []; drawn_set = Hashtbl.create 64; drawn = 0 }
+
+let n_units t = t.n_units
+let drawn t = t.drawn
+let remaining t = t.n_units - t.drawn
+let exhausted t = t.drawn >= t.n_units
+let stages t = List.length t.stages_rev
+
+let draw_stage t ~k =
+  if k < 0 then invalid_arg "Stage_set.draw_stage: k < 0";
+  let k = Int.min k (remaining t) in
+  let fresh =
+    Taqp_rng.Sample.from_excluding t.rng ~k ~n:t.n_units
+      ~excluded:(Hashtbl.mem t.drawn_set) ~excluded_count:t.drawn
+  in
+  List.iter (fun u -> Hashtbl.add t.drawn_set u ()) fresh;
+  t.drawn <- t.drawn + k;
+  t.stages_rev <- fresh :: t.stages_rev;
+  fresh
+
+let stage_units t i =
+  let n = stages t in
+  if i < 1 || i > n then invalid_arg "Stage_set.stage_units: out of range";
+  List.nth t.stages_rev (n - i)
+
+let stage_size t i = List.length (stage_units t i)
+
+let all_units t = List.concat (List.rev t.stages_rev)
+
+let cumulative_sizes t =
+  let sizes = List.rev_map List.length t.stages_rev in
+  let acc = ref 0 in
+  Array.of_list (List.map (fun s -> acc := !acc + s; !acc) sizes)
+
+let fraction_drawn t =
+  if t.n_units = 0 then 1.0
+  else float_of_int t.drawn /. float_of_int t.n_units

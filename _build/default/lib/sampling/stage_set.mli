@@ -1,0 +1,40 @@
+(** Per-dimension sample bookkeeping across stages.
+
+    One [Stage_set.t] tracks which sample units (disk blocks under the
+    cluster plan, tuples under simple random sampling) have been drawn
+    from one operand relation, stage by stage, without replacement —
+    the SAMPLE-SET / NEW-SAMPLE-SET variables of Figure 3.1. *)
+
+type t
+
+val create : n_units:int -> Taqp_rng.Prng.t -> t
+(** A population of [n_units] units, none drawn yet. An empty
+    population (0 units) is legal and immediately exhausted.
+    @raise Invalid_argument if [n_units < 0]. *)
+
+val n_units : t -> int
+
+val draw_stage : t -> k:int -> int list
+(** Draw [k] fresh units uniformly from those not yet drawn and record
+    them as the next stage. [k] is clamped to the number remaining;
+    the returned list (possibly shorter than [k]) is the NEW-SAMPLE-SET.
+    @raise Invalid_argument if [k < 0]. *)
+
+val stages : t -> int
+val drawn : t -> int
+val remaining : t -> int
+val exhausted : t -> bool
+
+val stage_units : t -> int -> int list
+(** Units drawn at stage [i] (1-based). @raise Invalid_argument if out
+    of range. *)
+
+val stage_size : t -> int -> int
+val all_units : t -> int list
+(** Every unit drawn so far, in draw order. *)
+
+val cumulative_sizes : t -> int array
+(** [cumulative_sizes t].(i) = units drawn in stages 1..i+1 — the
+    N_{j,i} of the paper's cost formulas. *)
+
+val fraction_drawn : t -> float

@@ -1,0 +1,1 @@
+lib/stats/least_squares.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/stats/least_squares.mli:

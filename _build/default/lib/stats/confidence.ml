@@ -1,0 +1,19 @@
+type t = { center : float; half_width : float; level : float }
+
+let normal ~mean ~variance ~level =
+  if level <= 0.0 || level >= 1.0 then
+    invalid_arg "Confidence.normal: level outside (0,1)";
+  if variance < 0.0 then invalid_arg "Confidence.normal: negative variance";
+  let z = Distribution.normal_quantile ((1.0 +. level) /. 2.0) in
+  { center = mean; half_width = z *. sqrt variance; level }
+
+let lower t = t.center -. t.half_width
+let upper t = t.center +. t.half_width
+let contains t x = x >= lower t && x <= upper t
+
+let relative_half_width t =
+  if t.center = 0.0 then None else Some (t.half_width /. Float.abs t.center)
+
+let pp ppf t =
+  Format.fprintf ppf "%.4g +/- %.4g (%.0f%%)" t.center t.half_width
+    (100.0 *. t.level)

@@ -1,0 +1,19 @@
+(** Confidence intervals for estimates, reported with every
+    time-constrained answer (Section 2's "confidence interval /
+    confidence level" vocabulary). *)
+
+type t = { center : float; half_width : float; level : float }
+
+val normal : mean:float -> variance:float -> level:float -> t
+(** Normal-approximation interval mean +/- z_{(1+level)/2} * sqrt(var).
+    @raise Invalid_argument for level outside (0,1) or variance < 0. *)
+
+val lower : t -> float
+val upper : t -> float
+
+val contains : t -> float -> bool
+
+val relative_half_width : t -> float option
+(** half_width / |center|, or [None] when the center is 0. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Standard distributions needed by the statistical time-control
+    strategies: the paper's d_alpha / d_beta constants correspond to
+    normal quantiles of the chosen risk level. *)
+
+val erf : float -> float
+(** Error function, Abramowitz–Stegun 7.1.26 (|error| < 1.5e-7). *)
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+val normal_pdf : ?mu:float -> ?sigma:float -> float -> float
+
+val normal_quantile : ?mu:float -> ?sigma:float -> float -> float
+(** Inverse CDF (Acklam's rational approximation, refined by one
+    Newton step). @raise Invalid_argument outside (0, 1). *)
+
+val risk_to_d : float -> float
+(** [risk_to_d alpha] is the one-sided deviate d such that
+    P(X > mu + d*sigma) = alpha for X normal — the paper's d_alpha.
+    [risk_to_d 0.5 = 0.]. @raise Invalid_argument outside (0, 1). *)
+
+val d_to_risk : float -> float
+(** Inverse of {!risk_to_d}. *)
+
+val binomial_tail_zero : sel:float -> m:int -> float
+(** Probability that m independent points, each 1 with probability
+    [sel], are all 0 — the combinatorial quantity behind the
+    zero-selectivity fix of Section 3.4. *)
+
+val zero_selectivity_fix : beta:float -> m:int -> float
+(** The largest selectivity s such that an all-zero sample of [m] points
+    still has probability >= [beta]: s = 1 - beta^(1/m). Used when a
+    sample selectivity of 0 would stall the One-at-a-Time inflation. *)

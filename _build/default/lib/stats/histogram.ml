@@ -1,0 +1,60 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable n : int;
+}
+
+let create ?(bins = 20) ~lo ~hi () =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; n = 0 }
+
+let bin_of t x =
+  let raw = int_of_float (Float.floor ((x -. t.lo) /. t.width)) in
+  Int.max 0 (Int.min (Array.length t.counts - 1) raw)
+
+let add t x =
+  t.counts.(bin_of t x) <- t.counts.(bin_of t x) + 1;
+  t.n <- t.n + 1
+
+let count t = t.n
+let bin_count t = Array.length t.counts
+let counts t = Array.copy t.counts
+
+let bin_range t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q outside [0,1]";
+  if t.n = 0 then invalid_arg "Histogram.quantile: empty histogram";
+  let target = q *. float_of_int t.n in
+  let rec go i acc =
+    if i >= Array.length t.counts then t.hi
+    else
+      let acc' = acc +. float_of_int t.counts.(i) in
+      if acc' >= target && t.counts.(i) > 0 then
+        let lo, _ = bin_range t i in
+        let inside = (target -. acc) /. float_of_int t.counts.(i) in
+        lo +. (Float.max 0.0 (Float.min 1.0 inside) *. t.width)
+      else go (i + 1) acc'
+  in
+  go 0 0.0
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let pp ppf t =
+  let glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |] in
+  let m = Array.fold_left Int.max 1 t.counts in
+  let cell c =
+    if c = 0 then ' '
+    else glyphs.(Int.min 9 (1 + (c * 8 / m)))
+  in
+  Format.fprintf ppf "[%s] n=%d range=[%g,%g)"
+    (String.init (Array.length t.counts) (fun i -> cell t.counts.(i)))
+    t.n t.lo t.hi

@@ -1,0 +1,27 @@
+(** Fixed-range equi-width histograms: used by the workload generators
+    to verify attribute distributions and by the benches to report
+    per-trial spreads (stages, overspend) compactly. *)
+
+type t
+
+val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+(** [bins] defaults to 20. @raise Invalid_argument if [hi <= lo] or
+    [bins <= 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [lo, hi) are clamped into the edge bins. *)
+
+val count : t -> int
+val bin_count : t -> int
+val counts : t -> int array
+val bin_range : t -> int -> float * float
+
+val quantile : t -> float -> float
+(** Approximate quantile by linear interpolation within the bin.
+    @raise Invalid_argument outside [0,1] or on an empty histogram. *)
+
+val mode_bin : t -> int
+(** Index of the fullest bin (lowest index on ties). *)
+
+val pp : Format.formatter -> t -> unit
+(** A one-line sparkline-style rendering. *)

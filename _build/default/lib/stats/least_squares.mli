@@ -1,0 +1,44 @@
+(** Least-squares fitting used by the adaptive time-cost formulas
+    (Section 4): each operator step's cost is modeled as a linear form
+    in known workload features (tuples read, pages written, n log n
+    terms, ...), and the coefficients are re-fit at run time from the
+    observed step timings. *)
+
+type t
+(** An exponentially weighted multivariate least-squares state for a
+    model y = c . x (no intercept; include a constant feature of 1.0
+    for one). *)
+
+val create : ?forgetting:float -> init:float array -> unit -> t
+(** [create ~init ()] starts from initial coefficients [init].
+    [forgetting] in (0, 1] down-weights old observations (default 0.9);
+    1.0 means ordinary recursive least squares.
+    @raise Invalid_argument on empty [init] or forgetting outside (0,1]. *)
+
+val dim : t -> int
+
+val set_anchor_scale : t -> float -> unit
+(** Scale the initial-coefficient anchor: the fit stays data-driven
+    along observed feature directions, but degrades to
+    [scale * init] elsewhere. Used for run-time level recalibration of
+    designer constants. @raise Invalid_argument if [scale <= 0]. *)
+
+val anchor_scale : t -> float
+
+val observe : t -> x:float array -> y:float -> unit
+(** Record one observation. @raise Invalid_argument on dimension
+    mismatch or non-finite input. *)
+
+val coefficients : t -> float array
+(** Current coefficient estimates: the regularized exponentially
+    weighted least-squares solution, anchored at the initial values
+    until observations dominate. *)
+
+val predict : t -> float array -> float
+(** [predict t x] is coefficients . x. *)
+
+val observations : t -> int
+
+val simple_fit : (float * float) list -> float * float
+(** Ordinary least squares for y = a + b x over (x, y) pairs; returns
+    (a, b). @raise Invalid_argument with fewer than 2 distinct x. *)

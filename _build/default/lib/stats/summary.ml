@@ -1,0 +1,58 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable total : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity; total = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x;
+  t.total <- t.total +. x
+
+let add_all t xs = List.iter (add t) xs
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let population_variance t = if t.n = 0 then 0.0 else t.m2 /. float_of_int t.n
+let stddev t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+let total t = t.total
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let fn = float_of_int n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
+    in
+    {
+      n;
+      mean;
+      m2;
+      lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+      total = a.total +. b.total;
+    }
+  end
+
+let of_list xs =
+  let t = create () in
+  add_all t xs;
+  t

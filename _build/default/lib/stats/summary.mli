@@ -1,0 +1,32 @@
+(** Streaming univariate summaries (Welford's algorithm): numerically
+    stable running mean and variance, plus extrema. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val add_all : t -> float list -> unit
+
+val count : t -> int
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (divides by n-1); 0.0 when n < 2. *)
+
+val population_variance : t -> float
+(** Divides by n; 0.0 when empty. *)
+
+val stddev : t -> float
+val min : t -> float
+(** +infinity when empty. *)
+
+val max : t -> float
+(** -infinity when empty. *)
+
+val total : t -> float
+
+val merge : t -> t -> t
+(** Summary of the union of both streams (Chan's parallel update). *)
+
+val of_list : float list -> t

@@ -1,0 +1,1 @@
+lib/storage/cost_params.mli: Format

@@ -1,0 +1,1 @@
+lib/storage/csv_io.ml: Array Buffer Catalog Filename Fmt Fun Heap_file In_channel List Schema String Sys Taqp_data Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/csv_io.mli: Catalog Heap_file Schema Taqp_data

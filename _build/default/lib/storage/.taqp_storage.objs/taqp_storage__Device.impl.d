@@ -1,0 +1,1 @@
+lib/storage/device.ml: Clock Cost_params Float Io_stats Taqp_rng

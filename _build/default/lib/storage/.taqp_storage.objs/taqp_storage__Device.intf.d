@@ -1,0 +1,1 @@
+lib/storage/device.mli: Clock Cost_params Io_stats Taqp_rng

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Device Fmt Int List Schema Taqp_data Tuple Value

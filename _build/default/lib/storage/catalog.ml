@@ -1,0 +1,20 @@
+type t = (string, Heap_file.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let add t name file =
+  if Hashtbl.mem t name then
+    raise (Heap_file.Storage_error ("relation already exists: " ^ name));
+  Hashtbl.replace t name file
+
+let replace t name file = Hashtbl.replace t name file
+let find t name = Hashtbl.find t name
+let find_opt t name = Hashtbl.find_opt t name
+let mem t name = Hashtbl.mem t name
+let remove t name = Hashtbl.remove t name
+let names t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (name, file) -> add t name file) bindings;
+  t

@@ -1,0 +1,21 @@
+(** The database catalog: named base relations. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> Heap_file.t -> unit
+(** @raise Heap_file.Storage_error if the name is already bound. *)
+
+val replace : t -> string -> Heap_file.t -> unit
+
+val find : t -> string -> Heap_file.t
+(** @raise Not_found *)
+
+val find_opt : t -> string -> Heap_file.t option
+val mem : t -> string -> bool
+val remove : t -> string -> unit
+val names : t -> string list
+(** Sorted. *)
+
+val of_list : (string * Heap_file.t) list -> t

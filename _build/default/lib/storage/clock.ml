@@ -1,0 +1,66 @@
+type deadline_mode = [ `Abort | `Observe ]
+
+type kind = Virtual of { mutable t : float } | Wall of { start : float }
+
+type t = {
+  kind : kind;
+  mutable deadline : float option;
+  mutable mode : deadline_mode;
+}
+
+exception Deadline_exceeded of { now : float; deadline : float }
+
+let monotonic () = Unix.gettimeofday ()
+
+let create_virtual () =
+  { kind = Virtual { t = 0.0 }; deadline = None; mode = `Observe }
+
+let create_wall () =
+  { kind = Wall { start = monotonic () }; deadline = None; mode = `Observe }
+
+let is_virtual t = match t.kind with Virtual _ -> true | Wall _ -> false
+
+let now t =
+  match t.kind with
+  | Virtual v -> v.t
+  | Wall w -> monotonic () -. w.start
+
+let check_deadline t =
+  match (t.deadline, t.mode) with
+  | Some d, `Abort when now t > d ->
+      raise (Deadline_exceeded { now = now t; deadline = d })
+  | _, _ -> ()
+
+let charge t dt =
+  if dt < 0.0 then invalid_arg "Clock.charge: negative charge";
+  match t.kind with
+  | Virtual v -> (
+      match (t.deadline, t.mode) with
+      | Some d, `Abort when v.t +. dt > d ->
+          (* The timer interrupt fires mid-operation, exactly at the
+             deadline: the remainder of the charge is never performed. *)
+          v.t <- d;
+          raise (Deadline_exceeded { now = d; deadline = d })
+      | _, _ -> v.t <- v.t +. dt)
+  | Wall _ -> check_deadline t
+
+let arm t ~mode ~at =
+  t.deadline <- Some at;
+  t.mode <- mode
+
+let disarm t = t.deadline <- None
+
+let deadline t = t.deadline
+
+let remaining t =
+  match t.deadline with None -> None | Some d -> Some (d -. now t)
+
+let expired t = match t.deadline with None -> false | Some d -> now t > d
+
+let sleep_until t at =
+  match t.kind with
+  | Virtual v -> if at > v.t then v.t <- at
+  | Wall _ ->
+      while now t < at do
+        ignore (Sys.opaque_identity ())
+      done

@@ -1,0 +1,62 @@
+(** The query-processing clock.
+
+    The paper's prototype (ERAM on a SUN 3/60) read the operating-system
+    clock and armed a timer interrupt at the time quota. This module
+    reproduces both faces of that mechanism behind one interface:
+
+    - a {e virtual} clock advanced explicitly by the cost charges of the
+      simulated storage engine — deterministic, fast, and the substrate
+      for all experiments; and
+    - a {e wall} clock backed by the host's monotonic time — for live
+      use of the library on real workloads.
+
+    A deadline may be armed on the clock; in [`Abort] mode, crossing it
+    during a charge raises {!Deadline_exceeded}, simulating the timer
+    interrupt service routine that flips the algorithm's
+    Stopping-Criterion. In [`Observe] mode the crossing is recorded but
+    execution continues — ERAM's experimental mode, which lets the
+    overspend be measured (Section 5). *)
+
+type t
+
+exception Deadline_exceeded of { now : float; deadline : float }
+
+val create_virtual : unit -> t
+(** A virtual clock starting at time 0.0. *)
+
+val create_wall : unit -> t
+(** A wall clock; [now] is seconds since creation. [charge] only
+    checks the deadline (wall time advances by itself). *)
+
+val is_virtual : t -> bool
+
+val now : t -> float
+(** Seconds elapsed on this clock. *)
+
+val charge : t -> float -> unit
+(** [charge t dt] accounts [dt] seconds of work. On a virtual clock the
+    time advances by [dt]; on a wall clock [dt] is ignored. If a
+    deadline is armed in [`Abort] mode and the charge would cross it,
+    the virtual clock stops exactly at the deadline (the timer
+    interrupt fires mid-operation) and {!Deadline_exceeded} is raised;
+    a wall clock raises on the first charge observed past the deadline.
+    @raise Invalid_argument on negative [dt]. *)
+
+type deadline_mode = [ `Abort | `Observe ]
+
+val arm : t -> mode:deadline_mode -> at:float -> unit
+(** Arm a deadline at absolute clock time [at]. *)
+
+val disarm : t -> unit
+
+val deadline : t -> float option
+
+val remaining : t -> float option
+(** Time left before the armed deadline (may be negative). *)
+
+val expired : t -> bool
+(** The armed deadline has passed (always [false] when disarmed). *)
+
+val sleep_until : t -> float -> unit
+(** Advance a virtual clock to an absolute time (no-op if already
+    past); busy-waits a wall clock. Used to model idle waiting. *)

@@ -1,0 +1,66 @@
+type t = {
+  block_read : float;
+  tuple_check_base : float;
+  per_comparison : float;
+  page_write : float;
+  temp_tuple_write : float;
+  sort_per_nlogn : float;
+  sort_per_tuple : float;
+  merge_per_tuple : float;
+  merge_setup : float;
+  output_per_tuple : float;
+  stage_overhead : float;
+  estimator_per_tuple : float;
+  jitter_sigma : float;
+  clock_tick : float;
+}
+
+let default =
+  {
+    block_read = 0.035;
+    tuple_check_base = 0.0020;
+    per_comparison = 0.0012;
+    page_write = 0.015;
+    temp_tuple_write = 0.0005;
+    sort_per_nlogn = 0.00025;
+    sort_per_tuple = 0.0008;
+    merge_per_tuple = 0.0012;
+    merge_setup = 0.008;
+    output_per_tuple = 0.0008;
+    stage_overhead = 0.120;
+    estimator_per_tuple = 0.0002;
+    jitter_sigma = 0.06;
+    clock_tick = 0.080;
+  }
+
+let no_jitter t = { t with jitter_sigma = 0.0 }
+
+let scale k t =
+  {
+    block_read = k *. t.block_read;
+    tuple_check_base = k *. t.tuple_check_base;
+    per_comparison = k *. t.per_comparison;
+    page_write = k *. t.page_write;
+    temp_tuple_write = k *. t.temp_tuple_write;
+    sort_per_nlogn = k *. t.sort_per_nlogn;
+    sort_per_tuple = k *. t.sort_per_tuple;
+    merge_per_tuple = k *. t.merge_per_tuple;
+    merge_setup = k *. t.merge_setup;
+    output_per_tuple = k *. t.output_per_tuple;
+    stage_overhead = k *. t.stage_overhead;
+    estimator_per_tuple = k *. t.estimator_per_tuple;
+    jitter_sigma = t.jitter_sigma;
+    clock_tick = k *. t.clock_tick;
+  }
+
+let fast = { (scale 0.01 default) with stage_overhead = 0.01 *. default.stage_overhead }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>block_read=%gs tuple_check=%gs+%gs/cmp page_write=%gs@ \
+     temp_write=%gs/t sort=%g*nlogn+%g*n merge=%gs/t out=%gs/t@ \
+     stage_overhead=%gs estimator=%gs/t jitter=%g tick=%gs@]"
+    t.block_read t.tuple_check_base t.per_comparison t.page_write
+    t.temp_tuple_write t.sort_per_nlogn t.sort_per_tuple t.merge_per_tuple
+    t.output_per_tuple t.stage_overhead t.estimator_per_tuple t.jitter_sigma
+    t.clock_tick

@@ -1,0 +1,46 @@
+(** The ground-truth device cost model.
+
+    The simulated storage engine charges the {!Clock} according to these
+    per-primitive rates (seconds). The time-control algorithm never sees
+    them — it must fit its own adaptive cost-formula coefficients from
+    observed stage times, exactly as the 1989 prototype had to fit a
+    SUN 3/60. [jitter_sigma] adds per-charge multiplicative lognormal
+    noise (mean 1), modeling OS and device variability.
+
+    Defaults are calibrated so the paper's workloads behave at the
+    paper's scale: a 2,000-block relation takes minutes to scan, so a
+    10-second quota affords sampling a few dozen blocks. *)
+
+type t = {
+  block_read : float;  (** random read of one disk block *)
+  tuple_check_base : float;  (** fetch a tuple from a read block *)
+  per_comparison : float;  (** each comparison evaluated on a tuple *)
+  page_write : float;  (** write one output/temp page *)
+  temp_tuple_write : float;  (** append one tuple to a temp file *)
+  sort_per_nlogn : float;  (** external-sort cost per n*log2(n) unit *)
+  sort_per_tuple : float;  (** linear part of the sort cost *)
+  merge_per_tuple : float;  (** read+compare one tuple during merge *)
+  merge_setup : float;  (** fixed cost of opening one sorted-file pairing *)
+  output_per_tuple : float;  (** materialize one result tuple *)
+  stage_overhead : float;  (** fixed per-stage bookkeeping *)
+  estimator_per_tuple : float;  (** fold one sample tuple into estimate *)
+  jitter_sigma : float;  (** lognormal sigma of per-charge noise *)
+  clock_tick : float;
+      (** granularity of the OS clock the adaptive formulas read: observed
+          step durations are quantized to this tick (the prototype noted
+          its "system clock did not provide enough accuracy"); 0 = exact *)
+}
+
+val default : t
+(** The calibrated 1989-scale device. *)
+
+val no_jitter : t -> t
+
+val fast : t
+(** A device two orders of magnitude faster: a "large main memory"
+    setting (the paper's planned main-memory-only variant). *)
+
+val scale : float -> t -> t
+(** Multiply every rate (not the jitter) by a factor. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+open Taqp_data
+
+exception Csv_error of { line : int; message : string }
+
+let error line fmt = Fmt.kstr (fun message -> raise (Csv_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Field splitting with minimal quoting support                        *)
+
+let split_fields ~line s =
+  let n = String.length s in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && s.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then
+      if Buffer.length buf = 0 then in_quotes := true
+      else error line "unexpected quote mid-field"
+    else if c = ',' then flush ()
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  if !in_quotes then error line "unterminated quoted field";
+  flush ();
+  List.rev !fields
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(* ------------------------------------------------------------------ *)
+(* Header / values                                                     *)
+
+let ty_of_string line = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | other -> error line "unknown type %S" other
+
+let schema_of_header header =
+  let columns = split_fields ~line:1 header in
+  if columns = [ "" ] then error 1 "empty header";
+  Schema.make
+    (List.map
+       (fun col ->
+         match String.rindex_opt col ':' with
+         | None -> error 1 "header column %S lacks a :type suffix" col
+         | Some i ->
+             let name = String.sub col 0 i in
+             let ty =
+               ty_of_string 1 (String.sub col (i + 1) (String.length col - i - 1))
+             in
+             if name = "" then error 1 "empty column name";
+             { Schema.name; ty })
+       columns)
+
+let value_of_string ~line ty raw =
+  if raw = "" then Value.Null
+  else
+    match ty with
+    | Value.Tint -> (
+        match int_of_string_opt raw with
+        | Some v -> Value.Int v
+        | None -> error line "not an int: %S" raw)
+    | Value.Tfloat -> (
+        match float_of_string_opt raw with
+        | Some v -> Value.Float v
+        | None -> error line "not a float: %S" raw)
+    | Value.Tstring -> Value.String raw
+    | Value.Tbool -> (
+        match String.lowercase_ascii raw with
+        | "t" | "true" | "1" -> Value.Bool true
+        | "f" | "false" | "0" -> Value.Bool false
+        | _ -> error line "not a bool: %S" raw)
+
+let string_of_value = function
+  | Value.Null -> ""
+  | Value.Int v -> string_of_int v
+  | Value.Float v -> Fmt.str "%.17g" v
+  | Value.String s -> quote s
+  | Value.Bool b -> if b then "true" else "false"
+
+(* ------------------------------------------------------------------ *)
+(* Save / load                                                         *)
+
+let save file path =
+  let schema = Heap_file.schema file in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (String.concat ","
+           (List.map
+              (fun (a : Schema.attribute) -> a.name ^ ":" ^ Value.ty_name a.ty)
+              (Schema.attrs schema)));
+      output_char oc '\n';
+      Heap_file.iter
+        (fun t ->
+          let cells =
+            List.init (Tuple.arity t) (fun i -> string_of_value (Tuple.get t i))
+          in
+          output_string oc (String.concat "," cells);
+          output_char oc '\n')
+        file)
+
+let load ?block_bytes ?tuple_bytes path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header =
+        match In_channel.input_line ic with
+        | Some h -> h
+        | None -> error 1 "empty file"
+      in
+      let schema = schema_of_header header in
+      let types = List.map (fun (a : Schema.attribute) -> a.ty) (Schema.attrs schema) in
+      let arity = Schema.arity schema in
+      let rec rows acc line =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some "" -> rows acc (line + 1)
+        | Some raw ->
+            let cells = split_fields ~line raw in
+            if List.length cells <> arity then
+              error line "expected %d fields, found %d" arity (List.length cells);
+            let values =
+              List.map2 (fun ty cell -> value_of_string ~line ty cell) types cells
+            in
+            rows (Tuple.of_list values :: acc) (line + 1)
+      in
+      Heap_file.create ?block_bytes ?tuple_bytes ~schema (rows [] 2))
+
+let load_dir ?block_bytes ?tuple_bytes dir =
+  let catalog = Catalog.create () in
+  Array.iter
+    (fun entry ->
+      if Filename.check_suffix entry ".csv" then begin
+        let name = Filename.remove_extension entry in
+        Catalog.add catalog name
+          (load ?block_bytes ?tuple_bytes (Filename.concat dir entry))
+      end)
+    (Array.of_list (List.sort String.compare (Array.to_list (Sys.readdir dir))));
+  catalog

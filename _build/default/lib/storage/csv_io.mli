@@ -1,0 +1,30 @@
+(** CSV import/export of relations — the CLI's storage format.
+
+    The first line is a header of [name:type] columns (types: int,
+    float, string, bool). Values: empty cell = null, [t]/[f] or
+    [true]/[false] for booleans, quoted strings when they contain
+    commas, quotes or newlines. *)
+
+open Taqp_data
+
+exception Csv_error of { line : int; message : string }
+
+val save : Heap_file.t -> string -> unit
+(** Write the relation to [path]. Padding is not stored (it is
+    recomputed from the heap-file geometry on load). *)
+
+val load :
+  ?block_bytes:int -> ?tuple_bytes:int -> string -> Heap_file.t
+(** Read a relation from [path]; geometry defaults to the paper's
+    (1024-byte blocks, 200-byte tuples). Tuples are packed in file
+    order. @raise Csv_error on malformed input;
+    @raise Sys_error on I/O failure. *)
+
+val load_dir :
+  ?block_bytes:int -> ?tuple_bytes:int -> string -> Catalog.t
+(** Load every [*.csv] in a directory as a relation named by its
+    basename (without extension). *)
+
+val schema_of_header : string -> Schema.t
+(** Parse a header line (exposed for tests).
+    @raise Csv_error on bad syntax. *)

@@ -1,0 +1,83 @@
+type t = {
+  clock : Clock.t;
+  params : Cost_params.t;
+  jitter_rng : Taqp_rng.Prng.t option;
+  stats : Io_stats.t;
+}
+
+let create ?(params = Cost_params.default) ?jitter_rng clock =
+  { clock; params; jitter_rng; stats = Io_stats.create () }
+
+let clock t = t.clock
+let stats t = t.stats
+let params t = t.params
+
+let jitter t =
+  match t.jitter_rng with
+  | None -> 1.0
+  | Some rng -> Taqp_rng.Prng.lognormal_factor rng t.params.jitter_sigma
+
+let charge t cost = Clock.charge t.clock (cost *. jitter t)
+
+let read_block t =
+  t.stats.blocks_read <- t.stats.blocks_read + 1;
+  charge t t.params.block_read
+
+let check_tuples t ~n ~comparisons =
+  if n > 0 then begin
+    t.stats.tuples_checked <- t.stats.tuples_checked + n;
+    let per =
+      t.params.tuple_check_base
+      +. (float_of_int comparisons *. t.params.per_comparison)
+    in
+    charge t (float_of_int n *. per)
+  end
+
+let write_pages t ~n =
+  if n > 0 then begin
+    t.stats.pages_written <- t.stats.pages_written + n;
+    charge t (float_of_int n *. t.params.page_write)
+  end
+
+let write_temp_tuples t ~n =
+  if n > 0 then begin
+    t.stats.temp_tuples_written <- t.stats.temp_tuples_written + n;
+    charge t (float_of_int n *. t.params.temp_tuple_write)
+  end
+
+let sort t ~n =
+  if n > 0 then begin
+    t.stats.tuples_sorted <- t.stats.tuples_sorted + n;
+    let fn = float_of_int n in
+    let logn = if n > 1 then log (float_of_int n) /. log 2.0 else 1.0 in
+    charge t
+      ((t.params.sort_per_nlogn *. fn *. logn) +. (t.params.sort_per_tuple *. fn))
+  end
+
+let merge_tuples t ~n =
+  if n > 0 then begin
+    t.stats.tuples_merged <- t.stats.tuples_merged + n;
+    charge t (float_of_int n *. t.params.merge_per_tuple)
+  end
+
+let output_tuples t ~n =
+  if n > 0 then begin
+    t.stats.tuples_output <- t.stats.tuples_output + n;
+    charge t (float_of_int n *. t.params.output_per_tuple)
+  end
+
+let estimator_update t ~n =
+  if n > 0 then charge t (float_of_int n *. t.params.estimator_per_tuple)
+
+let stage_overhead t =
+  t.stats.stages <- t.stats.stages + 1;
+  charge t t.params.stage_overhead
+
+let misc t cost = Clock.charge t.clock cost
+
+let merge_setup t = charge t t.params.merge_setup
+
+let measure t seconds =
+  let tick = t.params.clock_tick in
+  if tick <= 0.0 then seconds
+  else Float.max 0.0 (Float.round (seconds /. tick) *. tick)

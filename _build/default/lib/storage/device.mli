@@ -1,0 +1,45 @@
+(** The simulated disk device: the single point through which the
+    evaluation engine pays for work. Each primitive charges the clock
+    at the ground-truth {!Cost_params} rate (with jitter) and bumps the
+    matching {!Io_stats} counter. *)
+
+type t
+
+val create :
+  ?params:Cost_params.t -> ?jitter_rng:Taqp_rng.Prng.t -> Clock.t -> t
+(** [params] defaults to {!Cost_params.default}. Without [jitter_rng]
+    charges are exact even if [params.jitter_sigma > 0]. *)
+
+val clock : t -> Clock.t
+val stats : t -> Io_stats.t
+val params : t -> Cost_params.t
+
+val read_block : t -> unit
+
+val check_tuples : t -> n:int -> comparisons:int -> unit
+(** Fetch-and-test [n] tuples, each evaluating [comparisons]
+    comparisons. *)
+
+val write_pages : t -> n:int -> unit
+val write_temp_tuples : t -> n:int -> unit
+
+val sort : t -> n:int -> unit
+(** External sort of [n] tuples: charges c*n*log2(n) + c'*n. *)
+
+val merge_tuples : t -> n:int -> unit
+val output_tuples : t -> n:int -> unit
+val estimator_update : t -> n:int -> unit
+
+val stage_overhead : t -> unit
+(** The fixed per-stage bookkeeping charge; also counts a stage. *)
+
+val misc : t -> float -> unit
+(** Charge an arbitrary duration (no jitter, no counter). *)
+
+val merge_setup : t -> unit
+(** Fixed cost of opening one pairing of sorted files for a merge. *)
+
+val measure : t -> float -> float
+(** What the device's OS clock reports for a [seconds]-long interval:
+    quantized to {!Cost_params.clock_tick} — the measurement the
+    adaptive cost formulas are trained on. *)

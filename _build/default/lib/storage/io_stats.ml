@@ -1,0 +1,62 @@
+type t = {
+  mutable blocks_read : int;
+  mutable tuples_checked : int;
+  mutable pages_written : int;
+  mutable temp_tuples_written : int;
+  mutable tuples_sorted : int;
+  mutable tuples_merged : int;
+  mutable tuples_output : int;
+  mutable stages : int;
+}
+
+let create () =
+  {
+    blocks_read = 0;
+    tuples_checked = 0;
+    pages_written = 0;
+    temp_tuples_written = 0;
+    tuples_sorted = 0;
+    tuples_merged = 0;
+    tuples_output = 0;
+    stages = 0;
+  }
+
+let reset t =
+  t.blocks_read <- 0;
+  t.tuples_checked <- 0;
+  t.pages_written <- 0;
+  t.temp_tuples_written <- 0;
+  t.tuples_sorted <- 0;
+  t.tuples_merged <- 0;
+  t.tuples_output <- 0;
+  t.stages <- 0
+
+let copy t =
+  {
+    blocks_read = t.blocks_read;
+    tuples_checked = t.tuples_checked;
+    pages_written = t.pages_written;
+    temp_tuples_written = t.temp_tuples_written;
+    tuples_sorted = t.tuples_sorted;
+    tuples_merged = t.tuples_merged;
+    tuples_output = t.tuples_output;
+    stages = t.stages;
+  }
+
+let diff later earlier =
+  {
+    blocks_read = later.blocks_read - earlier.blocks_read;
+    tuples_checked = later.tuples_checked - earlier.tuples_checked;
+    pages_written = later.pages_written - earlier.pages_written;
+    temp_tuples_written = later.temp_tuples_written - earlier.temp_tuples_written;
+    tuples_sorted = later.tuples_sorted - earlier.tuples_sorted;
+    tuples_merged = later.tuples_merged - earlier.tuples_merged;
+    tuples_output = later.tuples_output - earlier.tuples_output;
+    stages = later.stages - earlier.stages;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "blocks=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d out=%d stages=%d"
+    t.blocks_read t.tuples_checked t.pages_written t.temp_tuples_written
+    t.tuples_sorted t.tuples_merged t.tuples_output t.stages

@@ -1,0 +1,22 @@
+(** Counters of simulated device activity, accumulated per query run.
+    The "blocks" column of the paper's tables is [blocks_read]. *)
+
+type t = {
+  mutable blocks_read : int;
+  mutable tuples_checked : int;
+  mutable pages_written : int;
+  mutable temp_tuples_written : int;
+  mutable tuples_sorted : int;
+  mutable tuples_merged : int;
+  mutable tuples_output : int;
+  mutable stages : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier]: activity between two snapshots. *)
+
+val pp : Format.formatter -> t -> unit

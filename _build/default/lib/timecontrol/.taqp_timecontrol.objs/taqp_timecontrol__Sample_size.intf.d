@@ -1,0 +1,1 @@
+lib/timecontrol/sample_size.mli:

@@ -1,0 +1,1 @@
+lib/timecontrol/sel_plus.ml: Distribution Float Int Selectivity Taqp_estimators Taqp_stats

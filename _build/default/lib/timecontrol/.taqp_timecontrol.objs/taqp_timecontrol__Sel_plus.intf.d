@@ -1,0 +1,1 @@
+lib/timecontrol/sel_plus.mli: Taqp_estimators

@@ -1,0 +1,1 @@
+lib/timecontrol/stopping.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/timecontrol/stopping.mli: Format

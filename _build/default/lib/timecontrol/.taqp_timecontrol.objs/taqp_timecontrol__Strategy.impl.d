@@ -1,0 +1,1 @@
+lib/timecontrol/strategy.ml: Format Taqp_stats

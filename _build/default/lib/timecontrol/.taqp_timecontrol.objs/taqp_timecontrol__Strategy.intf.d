@@ -1,0 +1,1 @@
+lib/timecontrol/strategy.mli: Format

@@ -1,0 +1,36 @@
+type outcome =
+  | Fraction of { f : float; predicted : float; iterations : int }
+  | Budget_too_small of { f_min_cost : float }
+  | Take_everything of { predicted : float }
+
+let bisect ~cost_at ~budget ~f_min ~f_max ?eps ?(max_iterations = 40) () =
+  if f_min > f_max then invalid_arg "Sample_size.bisect: f_min > f_max";
+  if f_min < 0.0 || f_max > 1.0 then
+    invalid_arg "Sample_size.bisect: fractions outside [0,1]";
+  if budget <= 0.0 then invalid_arg "Sample_size.bisect: non-positive budget";
+  let eps = match eps with Some e -> e | None -> 0.01 *. budget in
+  let at_min = cost_at f_min in
+  if at_min > budget then Budget_too_small { f_min_cost = at_min }
+  else begin
+    let at_max = cost_at f_max in
+    if at_max <= budget then Take_everything { predicted = at_max }
+    else begin
+      (* Invariant: cost(low) <= budget < cost(high). *)
+      let rec go low cost_low high i =
+        if i >= max_iterations || budget -. cost_low <= eps then
+          Fraction { f = low; predicted = cost_low; iterations = i }
+        else begin
+          let mid = 0.5 *. (low +. high) in
+          let c = cost_at mid in
+          if c <= budget then go mid c high (i + 1)
+          else go low cost_low mid (i + 1)
+        end
+      in
+      go f_min at_min f_max 0
+    end
+  end
+
+let with_deviation ~mean_at ~std_at ~d_alpha ~budget ~f_min ~f_max ?eps
+    ?max_iterations () =
+  let cost_at f = mean_at f +. (d_alpha *. std_at f) in
+  bisect ~cost_at ~budget ~f_min ~f_max ?eps ?max_iterations ()

@@ -1,0 +1,46 @@
+(** Sample-Size-Determine (Figure 3.4): bisection on the sample
+    fraction f until the predicted stage cost meets the stage budget
+    within a tolerance epsilon.
+
+    The predicted-cost closures are supplied by the executor (they
+    capture the expression, the adaptive cost model and the inflated
+    selectivities); this module owns only the root-finding and its
+    edge cases. Costs are assumed nondecreasing in f. *)
+
+type outcome =
+  | Fraction of { f : float; predicted : float; iterations : int }
+      (** take fraction [f]; the budgeted prediction at [f] *)
+  | Budget_too_small of { f_min_cost : float }
+      (** even the smallest possible stage is predicted to overrun the
+          budget — the run should stop (the paper's "time left was not
+          enough for a further stage") *)
+  | Take_everything of { predicted : float }
+      (** the whole remaining population fits the budget: f = f_max *)
+
+val bisect :
+  cost_at:(float -> float) ->
+  budget:float ->
+  f_min:float ->
+  f_max:float ->
+  ?eps:float ->
+  ?max_iterations:int ->
+  unit ->
+  outcome
+(** [eps] defaults to 1% of [budget] (the paper's "tolerable error in
+    choosing a mu as close to T_i as possible"); [max_iterations] to
+    40. @raise Invalid_argument if [f_min > f_max], either is outside
+    [0, 1], or [budget] is not positive. *)
+
+val with_deviation :
+  mean_at:(float -> float) ->
+  std_at:(float -> float) ->
+  d_alpha:float ->
+  budget:float ->
+  f_min:float ->
+  f_max:float ->
+  ?eps:float ->
+  ?max_iterations:int ->
+  unit ->
+  outcome
+(** The Single-Interval variant: solve mean(f) + d_alpha * std(f) =
+    budget (equation 3.2). *)

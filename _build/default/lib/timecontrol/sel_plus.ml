@@ -1,0 +1,20 @@
+open Taqp_estimators
+open Taqp_stats
+
+let compute record ~d_beta ~zero_beta ~m_next ~n_remaining =
+  if d_beta < 0.0 then invalid_arg "Sel_plus.compute: negative d_beta";
+  if zero_beta <= 0.0 || zero_beta >= 1.0 then
+    invalid_arg "Sel_plus.compute: zero_beta outside (0,1)";
+  let seen = Selectivity.points_seen record in
+  if seen < 1.0 then Selectivity.initial record
+  else begin
+    let sel = Selectivity.estimate record in
+    if sel <= 0.0 then begin
+      let m = Int.max 1 (int_of_float seen) in
+      Distribution.zero_selectivity_fix ~beta:zero_beta ~m
+    end
+    else begin
+      let var = Selectivity.variance_srs record ~m_next ~n_remaining in
+      Float.min 1.0 (sel +. (d_beta *. sqrt (Float.max 0.0 var)))
+    end
+  end

@@ -1,0 +1,32 @@
+(** The inflated selectivities sel+ of the One-at-a-Time-Interval
+    strategy (equation 3.3, Figure 3.5).
+
+    At stage i the stage is budgeted as if each operator had selectivity
+    sel+ = sel^{i-1} + d_beta * sqrt(Var(sel_i)), so that the true
+    stage selectivity exceeds sel+ only with probability ~beta. The
+    variance uses the paper's simple-random-sampling approximation
+    ({!Taqp_estimators.Selectivity.variance_srs}); when the observed
+    selectivity is still exactly 0 the combinatorial zero fix of
+    Section 3.4 applies instead. *)
+
+val compute :
+  Taqp_estimators.Selectivity.t ->
+  d_beta:float ->
+  zero_beta:float ->
+  m_next:float ->
+  n_remaining:float ->
+  float
+(** The sel+ to budget with for the coming stage, in (0, 1].
+
+    - before any observation: the record's initial (maximum) selectivity
+      (Figure 3.3's first-stage rule — no inflation, nothing to inflate);
+    - observed selectivity 0: 1 - zero_beta^(1/points_seen), the largest
+      selectivity under which an all-zero sample of the seen points
+      still has probability >= zero_beta;
+    - otherwise: sel^{i-1} + d_beta * sqrt(Var_srs(sel_i)), clamped
+      to 1.
+
+    [m_next] is the number of points this operator would evaluate at
+    the coming stage, [n_remaining] the points not yet evaluated.
+    @raise Invalid_argument if [d_beta] is negative or [zero_beta]
+    outside (0,1). *)

@@ -1,0 +1,71 @@
+type t =
+  | Hard_deadline
+  | Soft_deadline of { grace : float }
+  | Error_bound of { relative : float; level : float }
+  | Stagnation of { epsilon : float; window : int }
+  | Max_stages of int
+  | All of t list
+
+let hard = Hard_deadline
+
+type status = {
+  elapsed : float;
+  quota : float;
+  stages : int;
+  estimate : float;
+  rel_half_width : float option;
+  recent_estimates : float list;
+}
+
+let rec should_stop t status =
+  match t with
+  | Hard_deadline | Soft_deadline _ -> status.elapsed >= status.quota
+  | Error_bound { relative; _ } -> (
+      match status.rel_half_width with
+      | Some w -> w <= relative
+      | None -> false)
+  | Stagnation { epsilon; window } ->
+      status.stages >= window
+      &&
+      let recent =
+        List.filteri (fun i _ -> i < window) status.recent_estimates
+      in
+      List.length recent >= window
+      && (match recent with
+         | newest :: _ ->
+             let scale = Float.max 1.0 (Float.abs newest) in
+             List.for_all
+               (fun e -> Float.abs (e -. newest) /. scale <= epsilon)
+               recent
+         | [] -> false)
+  | Max_stages n -> status.stages >= n
+  | All ts -> List.exists (fun t -> should_stop t status) ts
+
+let rec deadline_mode = function
+  | Hard_deadline -> `Abort
+  | Soft_deadline _ | Error_bound _ | Stagnation _ | Max_stages _ -> `Observe
+  | All ts ->
+      if List.exists (fun t -> deadline_mode t = `Abort) ts then `Abort
+      else `Observe
+
+let rec allows_stage t ~predicted_end ~quota =
+  match t with
+  | Hard_deadline -> predicted_end <= quota
+  | Soft_deadline { grace } -> predicted_end <= quota *. (1.0 +. grace)
+  | Error_bound _ | Stagnation _ | Max_stages _ -> true
+  | All ts -> List.for_all (fun t -> allows_stage t ~predicted_end ~quota) ts
+
+let rec pp ppf = function
+  | Hard_deadline -> Format.pp_print_string ppf "hard-deadline"
+  | Soft_deadline { grace } -> Format.fprintf ppf "soft-deadline(+%g%%)" (100.0 *. grace)
+  | Error_bound { relative; level } ->
+      Format.fprintf ppf "error<=%g%%@%g%%" (100.0 *. relative) (100.0 *. level)
+  | Stagnation { epsilon; window } ->
+      Format.fprintf ppf "stagnation(%g,%d)" epsilon window
+  | Max_stages n -> Format.fprintf ppf "max-stages(%d)" n
+  | All ts ->
+      Format.fprintf ppf "any(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        ts

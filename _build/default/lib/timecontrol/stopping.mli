@@ -1,0 +1,52 @@
+(** Stopping criteria (Section 3.2).
+
+    The first family watches the clock: a hard deadline interrupts the
+    stage in flight (the prototype's choice); a soft deadline trades a
+    completion-time value function against the running stage. The
+    second family watches the estimate: stop when the confidence
+    interval is tight enough, or when stages stop improving it —
+    error-constrained evaluation. Criteria combine with {!All}. *)
+
+type t =
+  | Hard_deadline
+      (** abort mid-stage the moment the quota expires *)
+  | Soft_deadline of { grace : float }
+      (** let a running stage finish as long as it is predicted to end
+          before quota * (1 + grace) — a simple decreasing value
+          function over completion time *)
+  | Error_bound of { relative : float; level : float }
+      (** stop once the CI half-width at [level] is within [relative]
+          of the estimate *)
+  | Stagnation of { epsilon : float; window : int }
+      (** stop when the estimate has changed by less than a fraction
+          [epsilon] over the last [window] stages *)
+  | Max_stages of int
+  | All of t list  (** stop when any member criterion fires *)
+
+val hard : t
+
+(** What the executor knows after each completed stage. *)
+type status = {
+  elapsed : float;
+  quota : float;
+  stages : int;
+  estimate : float;
+  rel_half_width : float option;  (** None when the estimate is 0 *)
+  recent_estimates : float list;  (** newest first, including current *)
+}
+
+val should_stop : t -> status -> bool
+(** True when the criterion says to return the current estimate.
+    [Hard_deadline] and [Soft_deadline] fire when [elapsed >= quota]
+    (their difference is mid-stage behaviour, which the executor
+    implements via the clock's deadline mode). *)
+
+val deadline_mode : t -> [ `Abort | `Observe ]
+(** How the clock deadline should be armed for this criterion:
+    [`Abort] only for a hard deadline. *)
+
+val allows_stage : t -> predicted_end:float -> quota:float -> bool
+(** May a new stage predicted to finish at [predicted_end] be started?
+    Soft deadlines allow ends within the grace window. *)
+
+val pp : Format.formatter -> t -> unit

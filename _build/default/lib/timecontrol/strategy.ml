@@ -1,0 +1,33 @@
+type t =
+  | One_at_a_time of { d_beta : float; zero_beta : float }
+  | Single_interval of { d_alpha : float; zero_beta : float }
+  | Heuristic of { split : float }
+
+let one_at_a_time ?(zero_beta = 0.05) ~d_beta () =
+  if d_beta < 0.0 then invalid_arg "Strategy.one_at_a_time: negative d_beta";
+  One_at_a_time { d_beta; zero_beta }
+
+let single_interval ?(zero_beta = 0.05) ~d_alpha () =
+  if d_alpha < 0.0 then
+    invalid_arg "Strategy.single_interval: negative d_alpha";
+  Single_interval { d_alpha; zero_beta }
+
+let heuristic ~split =
+  if split <= 0.0 || split > 1.0 then
+    invalid_arg "Strategy.heuristic: split outside (0,1]";
+  Heuristic { split }
+
+let default = one_at_a_time ~d_beta:(Taqp_stats.Distribution.risk_to_d 0.05) ()
+
+let name = function
+  | One_at_a_time _ -> "one-at-a-time"
+  | Single_interval _ -> "single-interval"
+  | Heuristic _ -> "heuristic"
+
+let pp ppf = function
+  | One_at_a_time { d_beta; zero_beta } ->
+      Format.fprintf ppf "one-at-a-time(d_beta=%g, zero_beta=%g)" d_beta zero_beta
+  | Single_interval { d_alpha; zero_beta } ->
+      Format.fprintf ppf "single-interval(d_alpha=%g, zero_beta=%g)" d_alpha
+        zero_beta
+  | Heuristic { split } -> Format.fprintf ppf "heuristic(split=%g)" split

@@ -1,0 +1,33 @@
+(** Time-control strategies (Section 3.3): how much of the remaining
+    quota a stage may commit to, and with what protection against
+    overspending.
+
+    - {b One-at-a-Time-Interval} (the prototype's choice, Section
+      3.3.2): budget the whole remaining time, but cost the stage with
+      each operator's selectivity inflated to sel+ individually.
+    - {b Single-Interval} (Section 3.3.1): budget so that
+      mu_cost(f) + d_alpha * sigma_cost(f) = remaining time — the
+      whole-query confidence interval, dearer to compute (it needs the
+      variance of QCOST including covariances).
+    - {b Heuristic}: commit a fixed fraction of the remaining time
+      each stage (geometric splitting); no statistical protection. *)
+
+type t =
+  | One_at_a_time of { d_beta : float; zero_beta : float }
+  | Single_interval of { d_alpha : float; zero_beta : float }
+  | Heuristic of { split : float }
+
+val one_at_a_time : ?zero_beta:float -> d_beta:float -> unit -> t
+(** [zero_beta] defaults to 0.05. @raise Invalid_argument on negative
+    [d_beta]. *)
+
+val single_interval : ?zero_beta:float -> d_alpha:float -> unit -> t
+
+val heuristic : split:float -> t
+(** @raise Invalid_argument unless [split] is in (0, 1]. *)
+
+val default : t
+(** One-at-a-Time with d_beta for a ~5% per-operator risk. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/timecost/cost_model.ml: Array Float Formulas Hashtbl Int Least_squares List Taqp_stats

@@ -1,0 +1,1 @@
+lib/timecost/cost_model.mli: Formulas

@@ -1,0 +1,1 @@
+lib/timecost/formulas.ml: Array Format

@@ -1,0 +1,1 @@
+lib/timecost/formulas.mli: Format

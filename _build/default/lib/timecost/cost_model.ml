@@ -1,0 +1,90 @@
+open Taqp_stats
+
+type step_model = {
+  step : Formulas.step;
+  model : Least_squares.t;
+  (* Run-time level recalibration: EWMA of observed/predicted applied
+     to the designer-constant anchor of the fit, so observed feature
+     directions stay purely data-driven while unobserved ones inherit
+     the learned level. *)
+  mutable calibration : float;
+}
+
+type node = { kind : Formulas.op_kind; steps : step_model list }
+
+type t = {
+  adaptive : bool;
+  initial_scale : float;
+  nodes : (int, node) Hashtbl.t;
+}
+
+let create ?(adaptive = true) ?(initial_scale = 1.0) () =
+  if initial_scale <= 0.0 then
+    invalid_arg "Cost_model.create: initial_scale <= 0";
+  { adaptive; initial_scale; nodes = Hashtbl.create 16 }
+
+let adaptive t = t.adaptive
+
+let register t ~id kind =
+  if Hashtbl.mem t.nodes id then
+    invalid_arg "Cost_model.register: duplicate node id";
+  let make_step step =
+    let init =
+      Array.map (fun c -> c *. t.initial_scale) (Formulas.step_initial step)
+    in
+    {
+      step;
+      model = Least_squares.create ~forgetting:0.95 ~init ();
+      calibration = 1.0;
+    }
+  in
+  Hashtbl.replace t.nodes id
+    { kind; steps = List.map make_step (Formulas.steps kind) }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg "Cost_model: unknown node id"
+
+let step_model t id step =
+  match List.find_opt (fun s -> s.step = step) (node t id).steps with
+  | Some s -> s
+  | None -> invalid_arg "Cost_model: node kind has no such step"
+
+let kind t ~id = (node t id).kind
+
+let ids t =
+  List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [])
+
+let predict_step t ~id ~step measures =
+  let s = step_model t id step in
+  Float.max 0.0 (Least_squares.predict s.model (Formulas.step_features step measures))
+
+let predict t ~id measures =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +. Float.max 0.0
+           (Least_squares.predict s.model
+              (Formulas.step_features s.step measures)))
+    0.0 (node t id).steps
+
+let observe_step t ~id ~step measures ~seconds =
+  if t.adaptive then begin
+    let s = step_model t id step in
+    let x = Formulas.step_features step measures in
+    let prior = Least_squares.predict s.model x in
+    if prior > 1e-9 && seconds > 0.0 then begin
+      let ratio = seconds /. prior in
+      s.calibration <-
+        Float.max 0.3 (Float.min 3.0 (s.calibration *. ratio));
+      Least_squares.set_anchor_scale s.model s.calibration
+    end;
+    Least_squares.observe s.model ~x ~y:seconds
+  end
+
+let step_coefficients t ~id ~step =
+  Least_squares.coefficients (step_model t id step).model
+
+let total t plan =
+  List.fold_left (fun acc (id, m) -> acc +. predict t ~id m) 0.0 plan

@@ -1,0 +1,40 @@
+(** The adaptive time-cost model of a query: one independently fitted
+    linear model per (operator node, step), re-estimated at run time
+    from the per-step timings the executor records — Section 4's
+    "adaptive time cost formulas".
+
+    QCOST of a stage is the sum over nodes of {!predict} on the node's
+    predicted stage measures. *)
+
+type t
+
+val create : ?adaptive:bool -> ?initial_scale:float -> unit -> t
+(** [adaptive] false freezes the initial coefficients (the fixed-form
+    ablation). [initial_scale] multiplies the designer initial
+    coefficients (misfit experiments); default 1.0. *)
+
+val adaptive : t -> bool
+
+val register : t -> id:int -> Formulas.op_kind -> unit
+(** Declare operator node [id] of the given kind.
+    @raise Invalid_argument if [id] is already registered. *)
+
+val kind : t -> id:int -> Formulas.op_kind
+val ids : t -> int list
+
+val predict : t -> id:int -> Formulas.measures -> float
+(** Predicted seconds for the node on one stage's measures: the sum of
+    its steps' predictions (each >= 0). *)
+
+val predict_step : t -> id:int -> step:Formulas.step -> Formulas.measures -> float
+
+val observe_step :
+  t -> id:int -> step:Formulas.step -> Formulas.measures -> seconds:float -> unit
+(** Feed one observed (measures, elapsed) pair for one step; no-op when
+    not adaptive. @raise Invalid_argument for a step the node's kind
+    does not have. *)
+
+val step_coefficients : t -> id:int -> step:Formulas.step -> float array
+
+val total : t -> (int * Formulas.measures) list -> float
+(** Sum of predictions — QCOST for a stage plan. *)

@@ -1,0 +1,91 @@
+type op_kind = Scan | Select | Join | Intersect | Project | Overhead
+
+type step =
+  | Step_read
+  | Step_check
+  | Step_write_temp
+  | Step_sort
+  | Step_merge
+  | Step_output
+  | Step_fixed
+
+type measures = {
+  blocks : float;
+  n_input : float;
+  comparisons : float;
+  temp_pages : float;
+  nlogn : float;
+  merge_reads : float;
+  out_tuples : float;
+  out_pages : float;
+  pairings : float;
+}
+
+let zero_measures =
+  {
+    blocks = 0.0;
+    n_input = 0.0;
+    comparisons = 0.0;
+    temp_pages = 0.0;
+    nlogn = 0.0;
+    merge_reads = 0.0;
+    out_tuples = 0.0;
+    out_pages = 0.0;
+    pairings = 0.0;
+  }
+
+let steps = function
+  | Scan -> [ Step_read ]
+  | Select -> [ Step_check; Step_output ]
+  | Join | Intersect -> [ Step_write_temp; Step_sort; Step_merge; Step_output ]
+  | Project -> [ Step_write_temp; Step_sort; Step_check; Step_output ]
+  | Overhead -> [ Step_fixed ]
+
+let step_features step m =
+  match step with
+  | Step_read -> [| m.blocks; 1.0 |]
+  | Step_check -> [| m.n_input; m.n_input *. m.comparisons |]
+  | Step_write_temp -> [| m.n_input; m.temp_pages |]
+  | Step_sort -> [| m.nlogn; m.n_input |]
+  | Step_merge -> [| m.merge_reads; m.pairings |]
+  | Step_output -> [| m.out_tuples; m.out_pages |]
+  | Step_fixed -> [| 1.0 |]
+
+let step_dim step = Array.length (step_features step zero_measures)
+
+(* Designer constants, per Section 5 calibrated against the largest
+   tuples (1 KB) and richest formulas the prototype supports - i.e.
+   roughly 1.8x pessimistic for the default 200-byte workloads, so an
+   untrained query is over-budgeted rather than overspent. The run-time
+   per-step fit brings them down within a stage or two. *)
+let step_initial = function
+  | Step_read -> [| 0.065; 0.004 |]
+  | Step_check -> [| 0.0036; 0.0022 |]
+  | Step_write_temp -> [| 0.0009; 0.027 |]
+  | Step_sort -> [| 0.00045; 0.0015 |]
+  | Step_merge -> [| 0.0022; 0.014 |]
+  | Step_output -> [| 0.0014; 0.027 |]
+  | Step_fixed -> [| 0.220 |]
+
+let kind_name = function
+  | Scan -> "scan"
+  | Select -> "select"
+  | Join -> "join"
+  | Intersect -> "intersect"
+  | Project -> "project"
+  | Overhead -> "overhead"
+
+let step_name = function
+  | Step_read -> "read"
+  | Step_check -> "check"
+  | Step_write_temp -> "write-temp"
+  | Step_sort -> "sort"
+  | Step_merge -> "merge"
+  | Step_output -> "output"
+  | Step_fixed -> "fixed"
+
+let pp_measures ppf m =
+  Format.fprintf ppf
+    "blocks=%g n=%g cmp=%g tpages=%g nlogn=%g merge=%g out=%g pages=%g pairings=%g"
+    m.blocks m.n_input m.comparisons m.temp_pages m.nlogn m.merge_reads
+    m.out_tuples m.out_pages m.pairings

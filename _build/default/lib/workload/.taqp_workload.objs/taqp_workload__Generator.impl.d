@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Float Heap_file Int List Schema Taqp_data Taqp_rng Taqp_storage Tuple Value

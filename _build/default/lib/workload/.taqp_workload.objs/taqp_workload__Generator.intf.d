@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Heap_file Schema Taqp_data Taqp_rng Taqp_storage

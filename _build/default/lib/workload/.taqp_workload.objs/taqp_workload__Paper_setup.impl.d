@@ -1,0 +1,1 @@
+lib/workload/paper_setup.ml: Catalog Eval Generator Option Predicate Printf Ra Taqp_data Taqp_relational Taqp_rng Taqp_storage

@@ -1,0 +1,1 @@
+lib/workload/paper_setup.mli: Catalog Generator Ra Taqp_relational Taqp_storage

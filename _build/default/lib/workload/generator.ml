@@ -1,0 +1,74 @@
+open Taqp_data
+open Taqp_storage
+
+type spec = { n_tuples : int; tuple_bytes : int; block_bytes : int }
+
+let paper_spec = { n_tuples = 10_000; tuple_bytes = 200; block_bytes = 1024 }
+
+let schema =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.Tint };
+      { Schema.name = "sel"; ty = Value.Tint };
+      { Schema.name = "key"; ty = Value.Tint };
+      { Schema.name = "grp"; ty = Value.Tint };
+    ]
+
+let relation ?(spec = paper_spec) ?(key = fun i -> i) ?(grp = fun i -> i mod 100)
+    ?(placement = `Random) ~rng () =
+  let n = spec.n_tuples in
+  let sel_values = Array.init n (fun i -> i) in
+  Taqp_rng.Sample.shuffle rng sel_values;
+  let tuples =
+    Array.init n (fun i ->
+        Tuple.of_list
+          [
+            Value.Int i;
+            Value.Int sel_values.(i);
+            Value.Int (key i);
+            Value.Int (grp i);
+          ])
+  in
+  (match placement with
+  | `Random -> Taqp_rng.Sample.shuffle rng tuples
+  | `Clustered ->
+      (* Pack tuples sorted by the selection attribute: qualifying
+         tuples concentrate in few blocks, the adversarial case for the
+         SRS variance approximation. *)
+      Array.sort
+        (fun a b -> Value.compare (Tuple.get a 1) (Tuple.get b 1))
+        tuples);
+  Heap_file.create ~block_bytes:spec.block_bytes ~tuple_bytes:spec.tuple_bytes
+    ~schema
+    (Array.to_list tuples)
+
+let repack ~rng source tuples =
+  let arr = Array.of_list tuples in
+  Taqp_rng.Sample.shuffle rng arr;
+  Heap_file.create
+    ~block_bytes:(Heap_file.block_bytes source)
+    ~tuple_bytes:(Heap_file.tuple_bytes source)
+    ~schema:(Heap_file.schema source) (Array.to_list arr)
+
+let shuffled_copy ~rng source = repack ~rng source (Heap_file.to_list source)
+
+let partial_copy ~rng ~keep ~fresh_ids_from source =
+  let n = Heap_file.n_tuples source in
+  if keep < 0 || keep > n then invalid_arg "Generator.partial_copy: bad keep";
+  let all = Array.of_list (Heap_file.to_list source) in
+  Taqp_rng.Sample.shuffle rng all;
+  let kept = Array.to_list (Array.sub all 0 keep) in
+  let fresh =
+    List.init (n - keep) (fun i ->
+        let id = fresh_ids_from + i in
+        Tuple.of_list
+          [ Value.Int id; Value.Int id; Value.Int id; Value.Int (id mod 100) ])
+  in
+  repack ~rng source (kept @ fresh)
+
+let join_group_size ~n ~target_output =
+  if n <= 0 then invalid_arg "Generator.join_group_size: n <= 0";
+  let c =
+    int_of_float (Float.round (float_of_int target_output /. float_of_int n))
+  in
+  Int.max 1 (Int.min n c)

@@ -1,0 +1,54 @@
+(** Synthetic relation generation with controllable operator
+    selectivities.
+
+    Every relation carries the same four-column schema:
+    - [id]  : unique ordinal 0..n-1 (makes tuples distinct sets);
+    - [sel] : a random permutation of 0..n-1, so [select sel < k]
+      returns {e exactly} k tuples;
+    - [key] : the join attribute, assigned by a caller function of the
+      ordinal (defaults to the ordinal itself: unique keys);
+    - [grp] : the grouping attribute for projection workloads.
+
+    Tuples are shuffled before packing into blocks, reproducing the
+    paper's "tuples in a relation are randomly distributed". *)
+
+open Taqp_data
+open Taqp_storage
+
+type spec = { n_tuples : int; tuple_bytes : int; block_bytes : int }
+
+val paper_spec : spec
+(** 10,000 tuples of 200 bytes in 1 KB blocks: 2,000 blocks, blocking
+    factor 5 (Section 5). *)
+
+val schema : Schema.t
+
+val relation :
+  ?spec:spec ->
+  ?key:(int -> int) ->
+  ?grp:(int -> int) ->
+  ?placement:[ `Random | `Clustered ] ->
+  rng:Taqp_rng.Prng.t ->
+  unit ->
+  Heap_file.t
+(** Fresh relation; [key] defaults to the identity, [grp] to
+    [fun i -> i mod 100]. [placement] (default [`Random]) controls the
+    block layout: [`Clustered] packs tuples sorted by [sel], the
+    adversarial case for the paper's SRS variance approximation. *)
+
+val shuffled_copy : rng:Taqp_rng.Prng.t -> Heap_file.t -> Heap_file.t
+(** Same tuple set, independently shuffled block placement — full
+    overlap for intersection workloads. *)
+
+val partial_copy :
+  rng:Taqp_rng.Prng.t -> keep:int -> fresh_ids_from:int -> Heap_file.t ->
+  Heap_file.t
+(** Keep [keep] random tuples of the source and pad back to the source
+    cardinality with fresh tuples whose [id]s start at
+    [fresh_ids_from] (guaranteed disjoint if chosen above all existing
+    ids) — an intersection overlap of exactly [keep] tuples. *)
+
+val join_group_size : n:int -> target_output:int -> int
+(** The per-key group size c such that two relations keyed in groups of
+    c produce ~[target_output] join pairs: c = round(target/n),
+    clamped to [1, n]. *)

@@ -1,0 +1,112 @@
+open Taqp_storage
+open Taqp_relational
+module Prng = Taqp_rng.Prng
+
+type t = {
+  catalog : Catalog.t;
+  query : Ra.t;
+  exact : int;
+  description : string;
+}
+
+let lt attr k =
+  Predicate.Cmp (Predicate.Lt, Predicate.Attr attr, Predicate.Const (Taqp_data.Value.Int k))
+
+let ge attr k =
+  Predicate.Cmp (Predicate.Ge, Predicate.Attr attr, Predicate.Const (Taqp_data.Value.Int k))
+
+let finish catalog query description =
+  { catalog; query; exact = Eval.count catalog query; description }
+
+let selection ?(spec = Generator.paper_spec) ?(output = 1_000) ~seed () =
+  let rng = Prng.create seed in
+  let r = Generator.relation ~spec ~rng () in
+  let catalog = Catalog.of_list [ ("r", r) ] in
+  let query = Ra.Select (lt "sel" output, Ra.relation "r") in
+  finish catalog query
+    (Printf.sprintf "selection, %d of %d tuples qualify" output spec.n_tuples)
+
+let join ?(spec = Generator.paper_spec) ?(target_output = 70_000) ~seed () =
+  let rng = Prng.create seed in
+  let c = Generator.join_group_size ~n:spec.n_tuples ~target_output in
+  let key i = i / c in
+  let r1 = Generator.relation ~spec ~key ~rng () in
+  let r2 = Generator.relation ~spec ~key ~rng () in
+  let catalog = Catalog.of_list [ ("r1", r1); ("r2", r2) ] in
+  let query =
+    Ra.Join
+      ( Predicate.Cmp (Predicate.Eq, Predicate.Attr "r1.key", Predicate.Attr "r2.key"),
+        Ra.relation "r1",
+        Ra.relation "r2" )
+  in
+  finish catalog query
+    (Printf.sprintf "equi-join, group size %d, ~%d output pairs" c target_output)
+
+let intersection ?(spec = Generator.paper_spec) ?overlap ~seed () =
+  let overlap = Option.value overlap ~default:spec.n_tuples in
+  let rng = Prng.create seed in
+  let r1 = Generator.relation ~spec ~rng () in
+  let r2 =
+    if overlap = spec.n_tuples then Generator.shuffled_copy ~rng r1
+    else
+      Generator.partial_copy ~rng ~keep:overlap ~fresh_ids_from:spec.n_tuples r1
+  in
+  let catalog = Catalog.of_list [ ("r1", r1); ("r2", r2) ] in
+  let query = Ra.Intersect (Ra.relation "r1", Ra.relation "r2") in
+  finish catalog query
+    (Printf.sprintf "intersection, overlap %d of %d" overlap spec.n_tuples)
+
+let projection ?(spec = Generator.paper_spec) ?(groups = 100) ~seed () =
+  let rng = Prng.create seed in
+  let r = Generator.relation ~spec ~grp:(fun i -> i mod groups) ~rng () in
+  let catalog = Catalog.of_list [ ("r", r) ] in
+  let query = Ra.Project ([ "grp" ], Ra.relation "r") in
+  finish catalog query (Printf.sprintf "projection onto %d groups" groups)
+
+let projection_skewed ?(spec = Generator.paper_spec) ?(groups = 100)
+    ?(zipf_s = 1.2) ~seed () =
+  let rng = Prng.create seed in
+  let zipf = Taqp_rng.Zipf.create ~n:groups ~s:zipf_s in
+  let grp _ = Taqp_rng.Zipf.draw zipf rng in
+  let r = Generator.relation ~spec ~grp ~rng () in
+  let catalog = Catalog.of_list [ ("r", r) ] in
+  let query = Ra.Project ([ "grp" ], Ra.relation "r") in
+  finish catalog query
+    (Printf.sprintf "projection onto Zipf(%.2g)-sized groups (<= %d)" zipf_s
+       groups)
+
+let three_way_join ?(spec = Generator.paper_spec) ?(group_size = 3) ~seed () =
+  let rng = Prng.create seed in
+  let key i = i / group_size in
+  let r1 = Generator.relation ~spec ~key ~rng () in
+  let r2 = Generator.relation ~spec ~key ~rng () in
+  let r3 = Generator.relation ~spec ~key ~rng () in
+  let catalog = Catalog.of_list [ ("r1", r1); ("r2", r2); ("r3", r3) ] in
+  let eq a b = Predicate.Cmp (Predicate.Eq, Predicate.Attr a, Predicate.Attr b) in
+  let query =
+    Ra.Join
+      ( eq "r2.key" "r3.key",
+        Ra.Join (eq "r1.key" "r2.key", Ra.relation "r1", Ra.relation "r2"),
+        Ra.relation "r3" )
+  in
+  finish catalog query
+    (Printf.sprintf "three-way equi-join, group size %d" group_size)
+
+let select_join ?(spec = Generator.paper_spec) ?(target_output = 70_000)
+    ?(keep = 2_000) ~seed () =
+  let base = join ~spec ~target_output ~seed () in
+  let query = Ra.Select (lt "r1.sel" keep, base.query) in
+  finish base.catalog query
+    (Printf.sprintf "select(sel < %d) over the join workload" keep)
+
+let union_of_selects ?(spec = Generator.paper_spec) ~seed () =
+  let rng = Prng.create seed in
+  let r = Generator.relation ~spec ~rng () in
+  let catalog = Catalog.of_list [ ("r", r) ] in
+  let low = spec.n_tuples * 3 / 10 and high = spec.n_tuples * 8 / 10 in
+  let query =
+    Ra.Union
+      ( Ra.Select (lt "sel" low, Ra.relation "r"),
+        Ra.Select (ge "sel" high, Ra.relation "r") )
+  in
+  finish catalog query "union of two disjoint selections"

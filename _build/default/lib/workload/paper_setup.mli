@@ -1,0 +1,54 @@
+(** The Section 5 experimental workloads, packaged: each value carries
+    the populated catalog, the query, and its exact count. *)
+
+open Taqp_storage
+open Taqp_relational
+
+type t = {
+  catalog : Catalog.t;
+  query : Ra.t;
+  exact : int;
+  description : string;
+}
+
+val selection : ?spec:Generator.spec -> ?output:int -> seed:int -> unit -> t
+(** [select sel < output] over one paper-spec relation — exactly
+    [output] qualifying tuples (default 1,000); one integer
+    comparison, as in experiment A. *)
+
+val join : ?spec:Generator.spec -> ?target_output:int -> seed:int -> unit -> t
+(** Two relations keyed in equal-size groups so the single-attribute
+    equi-join yields ~[target_output] pairs (default 70,000, the
+    experiment C workload; true selectivity ~7e-4). *)
+
+val intersection : ?spec:Generator.spec -> ?overlap:int -> seed:int -> unit -> t
+(** Two relations sharing exactly [overlap] tuples (default the full
+    10,000, experiment B's "10,000 output tuples"). *)
+
+val projection : ?spec:Generator.spec -> ?groups:int -> seed:int -> unit -> t
+(** [project grp (r)] with exactly [groups] distinct values (default
+    100), uniformly sized. *)
+
+val projection_skewed :
+  ?spec:Generator.spec -> ?groups:int -> ?zipf_s:float -> seed:int -> unit -> t
+(** [project grp (r)] with up to [groups] distinct values whose sizes
+    follow a Zipf([zipf_s], default 1.2) distribution — the adversarial
+    regime for distinct-count estimators (many rare groups hide from
+    the sample). [exact] is the number of groups actually realized. *)
+
+val three_way_join :
+  ?spec:Generator.spec -> ?group_size:int -> seed:int -> unit -> t
+(** r1 |X| r2 |X| r3 on a shared key in groups of [group_size]
+    (default 3): a three-dimensional point space, the stress test for
+    nested full-fulfillment evaluation. *)
+
+val select_join :
+  ?spec:Generator.spec -> ?target_output:int -> ?keep:int -> seed:int ->
+  unit -> t
+(** A two-operator pipeline select(join): the join workload filtered to
+    [sel < keep] on the left operand — exercises multi-operator
+    selectivity chaining. *)
+
+val union_of_selects : ?spec:Generator.spec -> seed:int -> unit -> t
+(** count(select[sel < 3000] r union select[sel >= 8000] r) — exercises
+    the inclusion-exclusion path end to end (exact = 5,000). *)

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Gen Int List QCheck QCheck_alcotest Schema Taqp_data Taqp_relational Taqp_rng Taqp_storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float List Taqp_core Taqp_estimators Taqp_relational Taqp_rng Taqp_sampling Taqp_stats Taqp_storage Taqp_timecontrol Taqp_timecost Taqp_workload Unix

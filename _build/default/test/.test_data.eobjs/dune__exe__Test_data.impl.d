@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Fmt List QCheck QCheck_alcotest Schema Taqp_data Tuple Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Fmt Parser Predicate QCheck QCheck_alcotest Ra Taqp_data Taqp_relational Value

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Eval Gen List Ops Predicate QCheck QCheck_alcotest Ra Schema Taqp_data Taqp_relational Taqp_storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Int List QCheck QCheck_alcotest Seq Taqp_rng Taqp_stats

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Int List QCheck QCheck_alcotest Taqp_rng Taqp_sampling

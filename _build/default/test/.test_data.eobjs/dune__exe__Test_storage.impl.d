@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Filename Float List Schema Sys Taqp_data Taqp_rng Taqp_storage Tuple Value

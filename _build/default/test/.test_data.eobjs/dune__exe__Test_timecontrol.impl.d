@@ -1,0 +1,1 @@
+test/test_timecontrol.ml: Alcotest Float QCheck QCheck_alcotest Taqp_estimators Taqp_stats Taqp_timecontrol

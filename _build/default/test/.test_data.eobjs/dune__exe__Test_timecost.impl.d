@@ -1,0 +1,1 @@
+test/test_timecost.ml: Alcotest Array Float List QCheck QCheck_alcotest Taqp_timecost

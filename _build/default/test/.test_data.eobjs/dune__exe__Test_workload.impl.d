@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Int List Taqp_data Taqp_relational Taqp_rng Taqp_storage Taqp_workload

@@ -1,0 +1,142 @@
+open Taqp_data
+open Taqp_relational
+module Heap_file = Taqp_storage.Heap_file
+module Device = Taqp_storage.Device
+module Clock = Taqp_storage.Clock
+module Cost_params = Taqp_storage.Cost_params
+module Io_stats = Taqp_storage.Io_stats
+module Prng = Taqp_rng.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let schema =
+  Schema.make
+    [ { Schema.name = "id"; ty = Value.Tint }; { Schema.name = "k"; ty = Value.Tint } ]
+
+let file_of ks =
+  Heap_file.create ~block_bytes:64 ~tuple_bytes:16 ~schema
+    (List.mapi (fun i k -> Tuple.of_list [ Value.Int i; Value.Int k ]) ks)
+
+let keys_from_positions file positions =
+  List.map
+    (fun (b, s) ->
+      match Value.to_int (Tuple.get (Heap_file.block file b).(s) 1) with
+      | Some v -> v
+      | None -> Alcotest.fail "non-int key")
+    positions
+
+let test_build_and_lookup () =
+  let ks = [ 5; 3; 9; 3; 7; 1; 9; 9 ] in
+  let file = file_of ks in
+  let t = Btree.build ~fanout:2 ~attr:"k" file in
+  checki "distinct keys" 5 (Btree.n_keys t);
+  Alcotest.check Alcotest.string "attr" "k" (Btree.attr t);
+  checkb "height grows with fanout 2" true (Btree.height t >= 2);
+  checki "triple key" 3 (List.length (Btree.lookup t (Value.Int 9)));
+  checki "double key" 2 (List.length (Btree.lookup t (Value.Int 3)));
+  checki "single" 1 (List.length (Btree.lookup t (Value.Int 1)));
+  checki "absent" 0 (List.length (Btree.lookup t (Value.Int 42)))
+
+let test_range () =
+  let file = file_of [ 5; 3; 9; 3; 7; 1; 9; 9 ] in
+  let t = Btree.build ~fanout:2 ~attr:"k" file in
+  let got = keys_from_positions file (Btree.range t ~lo:(Value.Int 3) ~hi:(Value.Int 7) ()) in
+  Alcotest.check Alcotest.(list int) "sorted keys in range" [ 3; 3; 5; 7 ]
+    (List.sort Int.compare got);
+  checki "open lower bound" 5
+    (List.length (Btree.range t ~hi:(Value.Int 7) ()));
+  checki "open upper bound" 8 (List.length (Btree.range t ()));
+  checki "empty range" 0
+    (List.length (Btree.range t ~lo:(Value.Int 100) ()))
+
+let test_empty_file () =
+  let file = file_of [] in
+  let t = Btree.build ~attr:"k" file in
+  checki "no keys" 0 (Btree.n_keys t);
+  checki "height 0" 0 (Btree.height t);
+  checki "lookup empty" 0 (List.length (Btree.lookup t (Value.Int 1)));
+  checki "range empty" 0 (List.length (Btree.range t ()))
+
+let test_select_fetches () =
+  let file = file_of (List.init 40 (fun i -> i mod 10)) in
+  let t = Btree.build ~fanout:4 ~attr:"k" file in
+  let out = Btree.select t file ~lo:(Value.Int 2) ~hi:(Value.Int 3) () in
+  checki "eight matches" 8 (Array.length out);
+  Array.iter
+    (fun tp ->
+      match Value.to_int (Tuple.get tp 1) with
+      | Some v -> checkb "in range" true (v >= 2 && v <= 3)
+      | None -> Alcotest.fail "non-int")
+    out
+
+let test_charging () =
+  let file = file_of (List.init 200 (fun i -> i)) in
+  let t = Btree.build ~fanout:8 ~attr:"k" file in
+  let clock = Clock.create_virtual () in
+  let device = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
+  ignore (Btree.lookup ~device t (Value.Int 77));
+  checki "one node read per level" (Btree.height t)
+    (Device.stats device).Io_stats.blocks_read;
+  (* A narrow indexed select touches far fewer blocks than a scan. *)
+  let before = (Device.stats device).Io_stats.blocks_read in
+  ignore (Btree.select ~device t file ~lo:(Value.Int 10) ~hi:(Value.Int 13) ());
+  let touched = (Device.stats device).Io_stats.blocks_read - before in
+  checkb "indexed select cheap" true (touched < Heap_file.n_blocks file / 2)
+
+let prop_lookup_matches_scan =
+  QCheck.Test.make ~name:"Btree lookup/range = brute force" ~count:150
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 60) (int_range 0 15))
+        (pair (int_range 0 15) (int_range 0 15)))
+    (fun (ks, (a, b)) ->
+      let lo = Int.min a b and hi = Int.max a b in
+      let file = file_of ks in
+      let t = Btree.build ~fanout:3 ~attr:"k" file in
+      let eq_count k = List.length (List.filter (fun x -> x = k) ks) in
+      let range_count =
+        List.length (List.filter (fun x -> x >= lo && x <= hi) ks)
+      in
+      List.length (Btree.lookup t (Value.Int a)) = eq_count a
+      && List.length (Btree.range t ~lo:(Value.Int lo) ~hi:(Value.Int hi) ())
+         = range_count
+      && Array.length (Btree.select t file ~lo:(Value.Int lo) ~hi:(Value.Int hi) ())
+         = range_count)
+
+let prop_range_keys_sorted_by_key =
+  QCheck.Test.make ~name:"Btree range returns keys in key order" ~count:150
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_range 0 20))
+    (fun ks ->
+      let file = file_of ks in
+      let t = Btree.build ~fanout:4 ~attr:"k" file in
+      let got = keys_from_positions file (Btree.range t ()) in
+      got = List.sort Int.compare got
+      && List.length got = List.length ks)
+
+let test_errors () =
+  let file = file_of [ 1 ] in
+  checkb "unknown attr" true
+    (match Btree.build ~attr:"zzz" file with
+    | _ -> false
+    | exception Schema.Schema_error _ -> true);
+  checkb "bad fanout" true
+    (match Btree.build ~fanout:1 ~attr:"k" file with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "build and lookup" `Quick test_build_and_lookup;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "empty file" `Quick test_empty_file;
+          Alcotest.test_case "select fetches" `Quick test_select_fetches;
+          Alcotest.test_case "device charging" `Quick test_charging;
+          Alcotest.test_case "errors" `Quick test_errors;
+          QCheck_alcotest.to_alcotest prop_lookup_matches_scan;
+          QCheck_alcotest.to_alcotest prop_range_keys_sorted_by_key;
+        ] );
+    ]

@@ -1,0 +1,430 @@
+open Taqp_data
+open Taqp_relational
+module Point_space = Taqp_estimators.Point_space
+module Ie = Taqp_estimators.Inclusion_exclusion
+module Count_estimator = Taqp_estimators.Count_estimator
+module Goodman = Taqp_estimators.Goodman
+module Selectivity = Taqp_estimators.Selectivity
+module Catalog = Taqp_storage.Catalog
+module Heap_file = Taqp_storage.Heap_file
+module Prng = Taqp_rng.Prng
+module Sample = Taqp_rng.Sample
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ------------------------------------------------------------------ *)
+(* Point space                                                         *)
+
+let space =
+  Point_space.make
+    [
+      { Point_space.name = "r1"; tuples = 100; blocks = 20; blocking_factor = 5 };
+      { Point_space.name = "r2"; tuples = 60; blocks = 12; blocking_factor = 5 };
+    ]
+
+let test_point_space_sizes () =
+  checkf 1e-9 "N" 6000.0 (Point_space.total_points space);
+  checkf 1e-9 "B" 240.0 (Point_space.total_space_blocks space);
+  checkf 1e-9 "points per block" 25.0 (Point_space.points_per_space_block space);
+  checki "dims" 2 (Point_space.n_dims space)
+
+let test_point_space_mapping () =
+  (* Figure 2.2: every space block maps to a unique disk-block combo. *)
+  for idx = 0 to 239 do
+    let combo = Point_space.disk_blocks_of_space_block space idx in
+    checki "roundtrip" idx (Point_space.space_block_of_disk_blocks space combo)
+  done;
+  Alcotest.check Alcotest.(list int) "first" [ 0; 0 ]
+    (Point_space.disk_blocks_of_space_block space 0);
+  Alcotest.check Alcotest.(list int) "last" [ 19; 11 ]
+    (Point_space.disk_blocks_of_space_block space 239)
+
+let test_point_space_errors () =
+  checkb "empty" true
+    (match Point_space.make [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "rank mismatch" true
+    (match Point_space.space_block_of_disk_blocks space [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "range" true
+    (match Point_space.space_block_of_disk_blocks space [ 99; 0 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Inclusion-exclusion                                                 *)
+
+let schema_rs =
+  Schema.make
+    [ { Schema.name = "a"; ty = Value.Tint }; { Schema.name = "b"; ty = Value.Tint } ]
+
+let file_of pairs =
+  Heap_file.create ~block_bytes:64 ~tuple_bytes:16 ~schema:schema_rs
+    (List.map (fun (a, b) -> Tuple.of_list [ Value.Int a; Value.Int b ]) pairs)
+
+let sjip_only terms =
+  List.for_all (fun (_, e) -> Ra.is_sjip e) terms
+
+let test_ie_union () =
+  let terms = Ie.rewrite (Ra.Union (Ra.relation "r", Ra.relation "s")) in
+  checki "three terms" 3 (List.length terms);
+  checkb "all sjip" true (sjip_only terms);
+  checki "signs sum to 1" 1 (List.fold_left (fun acc (s, _) -> acc + s) 0 terms)
+
+let test_ie_difference () =
+  let terms = Ie.rewrite (Ra.Difference (Ra.relation "r", Ra.relation "s")) in
+  checki "two terms" 2 (List.length terms);
+  checki "signs" 0 (List.fold_left (fun acc (s, _) -> acc + s) 0 terms)
+
+let test_ie_sjip_untouched () =
+  let e = Ra.Select (Predicate.True, Ra.relation "r") in
+  match Ie.rewrite e with
+  | [ (1, e') ] -> checkb "unchanged" true (Ra.equal e e')
+  | _ -> Alcotest.fail "expected a single positive term"
+
+let test_ie_select_pushes_through () =
+  let e =
+    Ra.Select (Predicate.True, Ra.Union (Ra.relation "r", Ra.relation "s"))
+  in
+  let terms = Ie.rewrite e in
+  checki "three terms" 3 (List.length terms);
+  checkb "all sjip" true (sjip_only terms);
+  (* the positive terms are selects; the correction term intersects two
+     selects *)
+  checkb "selection pushed into every term" true
+    (List.for_all
+       (fun (_, t) ->
+         match t with
+         | Ra.Select (_, _) -> true
+         | Ra.Intersect (Ra.Select (_, _), Ra.Select (_, _)) -> true
+         | _ -> false)
+       terms)
+
+let test_ie_project_over_difference_unsupported () =
+  let e =
+    Ra.Project ([ "a" ], Ra.Difference (Ra.relation "r", Ra.relation "s"))
+  in
+  checkb "unsupported" true
+    (match Ie.rewrite e with _ -> false | exception Ie.Unsupported _ -> true)
+
+(* The signed sum of exact term counts equals the exact count of the
+   original expression — the algebraic soundness of the rewrite. *)
+let ie_identity catalog e =
+  let direct = Eval.count catalog e in
+  let signed =
+    List.fold_left
+      (fun acc (sign, term) -> acc + (sign * Eval.count catalog term))
+      0 (Ie.rewrite e)
+  in
+  direct = signed
+
+let test_ie_identity_cases () =
+  let r = [ (1, 1); (2, 2); (3, 3); (4, 4) ] in
+  let s = [ (3, 3); (4, 4); (5, 5) ] in
+  let catalog = Catalog.of_list [ ("r", file_of r); ("s", file_of s) ] in
+  let lt k =
+    Predicate.Cmp (Predicate.Lt, Predicate.Attr "a", Predicate.Const (Value.Int k))
+  in
+  List.iter
+    (fun e -> checkb ("identity: " ^ Ra.to_string e) true (ie_identity catalog e))
+    [
+      Ra.Union (Ra.relation "r", Ra.relation "s");
+      Ra.Difference (Ra.relation "r", Ra.relation "s");
+      Ra.Difference (Ra.relation "s", Ra.relation "r");
+      Ra.Select (lt 4, Ra.Union (Ra.relation "r", Ra.relation "s"));
+      Ra.Union
+        ( Ra.Select (lt 3, Ra.relation "r"),
+          Ra.Difference (Ra.relation "s", Ra.relation "r") );
+      Ra.Intersect (Ra.Union (Ra.relation "r", Ra.relation "s"), Ra.relation "r");
+      Ra.Project ([ "a" ], Ra.Union (Ra.relation "r", Ra.relation "s"));
+    ]
+
+let gen_rel =
+  QCheck.Gen.(
+    list_size (int_range 0 8)
+      (map (fun a -> (a, a)) (int_range 0 5)))
+
+let prop_ie_identity =
+  QCheck.Test.make ~name:"inclusion-exclusion identity on random sets" ~count:150
+    (QCheck.make QCheck.Gen.(triple gen_rel gen_rel (int_range 0 6)))
+    (fun (r, s, k) ->
+      let dedup l = List.sort_uniq compare l in
+      let r = dedup r and s = dedup s in
+      QCheck.assume (r <> [] && s <> []);
+      let catalog = Catalog.of_list [ ("r", file_of r); ("s", file_of s) ] in
+      let lt =
+        Predicate.Cmp (Predicate.Lt, Predicate.Attr "a", Predicate.Const (Value.Int k))
+      in
+      ie_identity catalog (Ra.Union (Ra.relation "r", Ra.relation "s"))
+      && ie_identity catalog (Ra.Difference (Ra.relation "r", Ra.relation "s"))
+      && ie_identity catalog (Ra.Select (lt, Ra.Difference (Ra.relation "r", Ra.relation "s"))))
+
+(* ------------------------------------------------------------------ *)
+(* Count estimator                                                     *)
+
+let test_estimator_values () =
+  let e = Count_estimator.of_sample ~hits:10.0 ~points:100.0 ~total_points:10_000.0 in
+  checkf 1e-9 "scale up" 1000.0 e.Count_estimator.estimate;
+  checkb "variance positive" true (e.Count_estimator.variance > 0.0);
+  checkb "not exact" false e.Count_estimator.is_exact
+
+let test_estimator_exact () =
+  let e = Count_estimator.exact ~count:42.0 ~total_points:100.0 in
+  checkf 1e-9 "estimate" 42.0 e.Count_estimator.estimate;
+  checkf 1e-9 "variance" 0.0 e.Count_estimator.variance;
+  checkb "exact" true e.Count_estimator.is_exact;
+  let full = Count_estimator.of_sample ~hits:5.0 ~points:100.0 ~total_points:100.0 in
+  checkb "full sample is exact" true full.Count_estimator.is_exact;
+  checkf 1e-9 "fpc kills variance" 0.0 full.Count_estimator.variance
+
+let test_estimator_degenerate_variance () =
+  let zero = Count_estimator.of_sample ~hits:0.0 ~points:50.0 ~total_points:1000.0 in
+  checkb "zero-hit variance is positive" true (zero.Count_estimator.variance > 0.0);
+  checkf 1e-9 "zero-hit estimate" 0.0 zero.Count_estimator.estimate
+
+let test_estimator_combine () =
+  let a = Count_estimator.of_sample ~hits:10.0 ~points:100.0 ~total_points:1000.0 in
+  let b = Count_estimator.of_sample ~hits:5.0 ~points:100.0 ~total_points:1000.0 in
+  let c = Count_estimator.combine [ (1, a); (1, a); (-1, b) ] in
+  checkf 1e-9 "signed sum" 150.0 c.Count_estimator.estimate;
+  checkf 1e-9 "variances add"
+    ((2.0 *. a.Count_estimator.variance) +. b.Count_estimator.variance)
+    c.Count_estimator.variance
+
+let test_srs_variance_formula () =
+  (* hand check: p=0.5, m=10, n=100: 0.25/9 * 0.9 *)
+  checkf 1e-9 "formula" (0.25 /. 9.0 *. 0.9)
+    (Count_estimator.srs_variance_estimate ~p_hat:0.5 ~m:10.0 ~n:100.0);
+  checkf 1e-9 "m<2" 0.0 (Count_estimator.srs_variance_estimate ~p_hat:0.5 ~m:1.0 ~n:100.0)
+
+let test_cluster_variance () =
+  let counts = [| 2.0; 4.0; 6.0 |] in
+  (* mean 4, s^2 = 4, b=3, B=10: 100 * (1 - 0.3) * 4/3 *)
+  checkf 1e-9 "cluster formula" (100.0 *. 0.7 *. (4.0 /. 3.0))
+    (Count_estimator.cluster_variance_estimate ~counts ~total_blocks:10.0
+       ~points_per_block:25.0);
+  checkf 1e-9 "single block" 0.0
+    (Count_estimator.cluster_variance_estimate ~counts:[| 3.0 |] ~total_blocks:10.0
+       ~points_per_block:25.0)
+
+(* Statistical: the estimator is unbiased over repeated samples. *)
+let test_estimator_unbiased () =
+  let rng = Prng.create 77 in
+  let n = 1000 and k = 200 in
+  (* population: exactly k "hits" among n points *)
+  let hits_in sample = List.length (List.filter (fun v -> v < k) sample) in
+  let s = Taqp_stats.Summary.create () in
+  for _ = 1 to 3000 do
+    let sample = Sample.without_replacement rng ~k:50 ~n in
+    let e =
+      Count_estimator.of_sample
+        ~hits:(float_of_int (hits_in sample))
+        ~points:50.0 ~total_points:(float_of_int n)
+    in
+    Taqp_stats.Summary.add s e.Count_estimator.estimate
+  done;
+  checkb "mean near true count" true
+    (Float.abs (Taqp_stats.Summary.mean s -. float_of_int k) < 5.0)
+
+(* Statistical: the SRS variance estimate matches the empirical one. *)
+let test_variance_estimate_calibrated () =
+  let rng = Prng.create 78 in
+  let n = 1000 and k = 300 in
+  let hits_in sample = List.length (List.filter (fun v -> v < k) sample) in
+  let empirical = Taqp_stats.Summary.create () in
+  let predicted = Taqp_stats.Summary.create () in
+  for _ = 1 to 2000 do
+    let sample = Sample.without_replacement rng ~k:80 ~n in
+    let e =
+      Count_estimator.of_sample
+        ~hits:(float_of_int (hits_in sample))
+        ~points:80.0 ~total_points:(float_of_int n)
+    in
+    Taqp_stats.Summary.add empirical e.Count_estimator.estimate;
+    Taqp_stats.Summary.add predicted e.Count_estimator.variance
+  done;
+  let ratio =
+    Taqp_stats.Summary.mean predicted /. Taqp_stats.Summary.variance empirical
+  in
+  checkb "variance estimate within 20%" true (ratio > 0.8 && ratio < 1.2)
+
+(* ------------------------------------------------------------------ *)
+(* Goodman                                                             *)
+
+let test_occupancy_profile () =
+  Alcotest.check Alcotest.(array int) "profile" [| 2; 0; 1 |]
+    (Goodman.occupancy_profile [ 1; 3; 1 ]);
+  checki "distinct" 3 (Goodman.distinct_observed ~profile:[| 2; 0; 1 |]);
+  checkb "bad occupancy" true
+    (match Goodman.occupancy_profile [ 0 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* Exhaustive unbiasedness check on a tiny population: N=3 items in
+   classes {a,a,b}; samples of size 2; E[Goodman] must be exactly 2. *)
+let test_goodman_unbiased_tiny () =
+  let classes = [| "a"; "a"; "b" |] in
+  let samples = [ (0, 1); (0, 2); (1, 2) ] in
+  let total =
+    List.fold_left
+      (fun acc (i, j) ->
+        let occ = if classes.(i) = classes.(j) then [ 2 ] else [ 1; 1 ] in
+        acc
+        +. Goodman.unbiased ~population:3.0 ~sample:2
+             ~profile:(Goodman.occupancy_profile occ))
+      0.0 samples
+  in
+  checkf 1e-6 "expectation over all samples" 2.0 (total /. 3.0)
+
+let test_goodman_full_sample_is_exact () =
+  (* Sampling everything: estimator returns d exactly. *)
+  let profile = Goodman.occupancy_profile [ 3; 2; 1 ] in
+  checkf 1e-6 "full sample" 3.0 (Goodman.unbiased ~population:6.0 ~sample:6 ~profile)
+
+let test_goodman_bounds_and_first_order () =
+  let profile = Goodman.occupancy_profile [ 1; 1; 2 ] in
+  let g = Goodman.unbiased ~population:100.0 ~sample:4 ~profile in
+  checkb "clamped to [0, N]" true (g >= 0.0 && g <= 100.0);
+  let fo = Goodman.first_order ~population:100.0 ~sample:4 ~profile in
+  (* d + f1 (N-n)/n = 3 + 2*96/4 = 51 *)
+  checkf 1e-6 "first order" 51.0 fo;
+  checkf 1e-6 "scale up" 75.0 (Goodman.scale_up ~population:100.0 ~sample:4 ~distinct:3)
+
+let test_chao_uniform_groups () =
+  (* 100 groups of size 100; a 300-element sample: Chao should land
+     near 100 while the first-order Goodman overshoots wildly. *)
+  let rng = Prng.create 99 in
+  let sample = Sample.without_replacement rng ~k:300 ~n:10_000 in
+  let occupancies =
+    let tbl = Hashtbl.create 128 in
+    List.iter
+      (fun v ->
+        let g = v mod 100 in
+        Hashtbl.replace tbl g (1 + Option.value ~default:0 (Hashtbl.find_opt tbl g)))
+      sample;
+    Hashtbl.fold (fun _ c acc -> c :: acc) tbl []
+  in
+  let profile = Goodman.occupancy_profile occupancies in
+  let chao = Goodman.chao ~profile in
+  checkb "chao near 100" true (chao > 80.0 && chao < 130.0);
+  let fo = Goodman.first_order ~population:10_000.0 ~sample:300 ~profile in
+  checkb "first-order overshoots uniform groups" true (fo > 2.0 *. chao)
+
+let test_goodman_errors () =
+  checkb "sample below mass" true
+    (match
+       Goodman.unbiased ~population:10.0 ~sample:1
+         ~profile:(Goodman.occupancy_profile [ 2 ])
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Selectivity records                                                 *)
+
+let test_selectivity_record () =
+  let r = Selectivity.create ~initial:0.5 in
+  checkf 1e-9 "initial estimate" 0.5 (Selectivity.estimate r);
+  Selectivity.observe r ~points:100.0 ~tuples:10.0;
+  checkf 1e-9 "after one stage" 0.1 (Selectivity.estimate r);
+  Selectivity.observe r ~points:100.0 ~tuples:30.0;
+  checkf 1e-9 "cumulative ratio" 0.2 (Selectivity.estimate r);
+  checki "stages" 2 (Selectivity.stages_observed r);
+  Selectivity.set_cumulative r ~points:50.0 ~tuples:25.0;
+  checkf 1e-9 "overwritten" 0.5 (Selectivity.estimate r)
+
+let test_selectivity_initials () =
+  checkf 1e-9 "select max" 1.0 (Selectivity.initial_for `Select);
+  checkf 1e-9 "intersect" (1.0 /. 200.0) (Selectivity.initial_for (`Intersect (100, 200)))
+
+let test_selectivity_errors () =
+  checkb "bad initial" true
+    (match Selectivity.create ~initial:0.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let r = Selectivity.create ~initial:1.0 in
+  checkb "tuples > points" true
+    (match Selectivity.observe r ~points:5.0 ~tuples:6.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_selectivity_design_effect () =
+  let r = Selectivity.create ~initial:1.0 in
+  Selectivity.observe r ~points:1000.0 ~tuples:100.0;
+  let base = Selectivity.variance_srs r ~m_next:200.0 ~n_remaining:9000.0 in
+  Selectivity.set_design_effect r 4.0;
+  checkf 1e-12 "variance scales with deff" (4.0 *. base)
+    (Selectivity.variance_srs r ~m_next:200.0 ~n_remaining:9000.0);
+  checkf 1e-12 "accessor" 4.0 (Selectivity.design_effect r);
+  checkb "invalid deff" true
+    (match Selectivity.set_design_effect r 0.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_selectivity_variance () =
+  let r = Selectivity.create ~initial:1.0 in
+  Selectivity.observe r ~points:1000.0 ~tuples:100.0;
+  (* sel=0.1, m=200, N=9000: 0.1*0.9*(8800)/(200*8999) *)
+  checkf 1e-12 "srs variance"
+    (0.1 *. 0.9 *. 8800.0 /. (200.0 *. 8999.0))
+    (Selectivity.variance_srs r ~m_next:200.0 ~n_remaining:9000.0);
+  checkf 1e-12 "degenerate m" 0.0 (Selectivity.variance_srs r ~m_next:0.5 ~n_remaining:9000.0)
+
+let () =
+  Alcotest.run "estimators"
+    [
+      ( "point-space",
+        [
+          Alcotest.test_case "sizes" `Quick test_point_space_sizes;
+          Alcotest.test_case "block mapping" `Quick test_point_space_mapping;
+          Alcotest.test_case "errors" `Quick test_point_space_errors;
+        ] );
+      ( "inclusion-exclusion",
+        [
+          Alcotest.test_case "union expansion" `Quick test_ie_union;
+          Alcotest.test_case "difference expansion" `Quick test_ie_difference;
+          Alcotest.test_case "sjip untouched" `Quick test_ie_sjip_untouched;
+          Alcotest.test_case "select distributes" `Quick test_ie_select_pushes_through;
+          Alcotest.test_case "project over difference" `Quick
+            test_ie_project_over_difference_unsupported;
+          Alcotest.test_case "identity on fixed cases" `Quick test_ie_identity_cases;
+          QCheck_alcotest.to_alcotest prop_ie_identity;
+        ] );
+      ( "count-estimator",
+        [
+          Alcotest.test_case "values" `Quick test_estimator_values;
+          Alcotest.test_case "exactness" `Quick test_estimator_exact;
+          Alcotest.test_case "degenerate variance" `Quick
+            test_estimator_degenerate_variance;
+          Alcotest.test_case "combine" `Quick test_estimator_combine;
+          Alcotest.test_case "srs variance formula" `Quick test_srs_variance_formula;
+          Alcotest.test_case "cluster variance formula" `Quick test_cluster_variance;
+          Alcotest.test_case "unbiasedness" `Slow test_estimator_unbiased;
+          Alcotest.test_case "variance calibration" `Slow
+            test_variance_estimate_calibrated;
+        ] );
+      ( "goodman",
+        [
+          Alcotest.test_case "occupancy profile" `Quick test_occupancy_profile;
+          Alcotest.test_case "unbiased on tiny population" `Quick
+            test_goodman_unbiased_tiny;
+          Alcotest.test_case "full sample exact" `Quick test_goodman_full_sample_is_exact;
+          Alcotest.test_case "bounds and first order" `Quick
+            test_goodman_bounds_and_first_order;
+          Alcotest.test_case "chao on uniform groups" `Quick
+            test_chao_uniform_groups;
+          Alcotest.test_case "errors" `Quick test_goodman_errors;
+        ] );
+      ( "selectivity",
+        [
+          Alcotest.test_case "record" `Quick test_selectivity_record;
+          Alcotest.test_case "initials" `Quick test_selectivity_initials;
+          Alcotest.test_case "errors" `Quick test_selectivity_errors;
+          Alcotest.test_case "variance" `Quick test_selectivity_variance;
+          Alcotest.test_case "design effect" `Quick test_selectivity_design_effect;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+open Taqp_data
+open Taqp_relational
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let parses s = Parser.expression s
+
+let test_relation () =
+  (match parses "emp" with
+  | Ra.Relation { name = "emp"; alias = None } -> ()
+  | _ -> Alcotest.fail "expected bare relation");
+  match parses "emp as e" with
+  | Ra.Relation { name = "emp"; alias = Some "e" } -> ()
+  | _ -> Alcotest.fail "expected aliased relation"
+
+let test_select () =
+  match parses "select[a > 3](r)" with
+  | Ra.Select (Predicate.Cmp (Predicate.Gt, Predicate.Attr "a", Predicate.Const (Value.Int 3)),
+               Ra.Relation { name = "r"; _ }) -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ra.to_string e)
+
+let test_project () =
+  match parses "project[x, r.y](r)" with
+  | Ra.Project ([ "x"; "r.y" ], Ra.Relation _) -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ra.to_string e)
+
+let test_join () =
+  match parses "join[l.k = r.k](l, r)" with
+  | Ra.Join (Predicate.Cmp (Predicate.Eq, Predicate.Attr "l.k", Predicate.Attr "r.k"), _, _)
+    -> ()
+  | e -> Alcotest.failf "unexpected: %s" (Ra.to_string e)
+
+let test_set_ops () =
+  checkb "union" true
+    (match parses "union(r, s)" with Ra.Union (_, _) -> true | _ -> false);
+  checkb "difference" true
+    (match parses "difference(r, s)" with Ra.Difference (_, _) -> true | _ -> false);
+  checkb "intersect" true
+    (match parses "intersect(r, s)" with Ra.Intersect (_, _) -> true | _ -> false)
+
+let test_count_wrapper () =
+  checkb "count(...) unwraps" true
+    (Ra.equal (parses "count(select[a = 1](r))") (parses "select[a = 1](r)"))
+
+let test_nesting () =
+  let e = parses "select[a < 5](join[l.k = r.k](select[b > 1](l), r))" in
+  checki "size" 5 (Ra.size e)
+
+let test_predicate_precedence () =
+  let p = Parser.predicate "a > 1 && b < 2 || c = 3" in
+  (* && binds tighter than || *)
+  match p with
+  | Predicate.Or (Predicate.And (_, _), Predicate.Cmp (Predicate.Eq, _, _)) -> ()
+  | _ -> Alcotest.failf "unexpected precedence: %s" (Fmt.str "%a" Predicate.pp p)
+
+let test_predicate_arith_precedence () =
+  match Parser.predicate "a + b * 2 = 7" with
+  | Predicate.Cmp (Predicate.Eq, Predicate.Add (Predicate.Attr "a", Predicate.Mul (_, _)), _)
+    -> ()
+  | p -> Alcotest.failf "unexpected: %s" (Fmt.str "%a" Predicate.pp p)
+
+let test_predicate_literals () =
+  checkb "float" true
+    (match Parser.predicate "a > 1.5" with
+    | Predicate.Cmp (_, _, Predicate.Const (Value.Float 1.5)) -> true
+    | _ -> false);
+  checkb "negative int" true
+    (match Parser.predicate "a > -4" with
+    | Predicate.Cmp (_, _, Predicate.Const (Value.Int (-4))) -> true
+    | _ -> false);
+  checkb "string" true
+    (match Parser.predicate "name = \"bob\"" with
+    | Predicate.Cmp (_, _, Predicate.Const (Value.String "bob")) -> true
+    | _ -> false);
+  checkb "booleans" true (Parser.predicate "true" = Predicate.True);
+  checkb "parenthesized predicate" true
+    (match Parser.predicate "(a = 1) && !(b = 2)" with
+    | Predicate.And (_, Predicate.Not _) -> true
+    | _ -> false);
+  checkb "parenthesized arithmetic" true
+    (match Parser.predicate "(a + 1) * 2 >= b" with
+    | Predicate.Cmp (Predicate.Ge, Predicate.Mul (Predicate.Add (_, _), _), _) -> true
+    | _ -> false)
+
+let test_errors () =
+  let fails s =
+    match Parser.expression s with
+    | _ -> false
+    | exception Parser.Parse_error _ -> true
+  in
+  checkb "unbalanced" true (fails "select[a>1](r");
+  checkb "garbage tail" true (fails "r extra");
+  checkb "missing bracket" true (fails "select a>1 (r)");
+  checkb "empty" true (fails "");
+  checkb "bad char" true (fails "r # s");
+  checkb "unterminated string" true (fails "select[a = \"x](r)")
+
+let test_error_position () =
+  match Parser.expression "select[a >](r)" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Parser.Parse_error { position; _ } ->
+      checkb "position points into input" true (position >= 8 && position <= 14)
+
+(* Round-trip: pp then parse yields the same AST. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range (-100) 100);
+        map (fun b -> Value.Bool b) bool;
+        return (Value.String "s");
+      ])
+
+let ident_gen = QCheck.Gen.(oneofl [ "aa"; "bb"; "cc"; "r.x"; "s.y" ])
+
+let expr_gen =
+  let open QCheck.Gen in
+  let cmp_gen =
+    map3
+      (fun op a v -> Predicate.Cmp (op, Predicate.Attr a, Predicate.Const v))
+      (oneofl Predicate.[ Eq; Ne; Lt; Le; Gt; Ge ])
+      ident_gen value_gen
+  in
+  let pred_gen =
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 1 then cmp_gen
+            else
+              frequency
+                [
+                  (3, cmp_gen);
+                  (1, map2 (fun a b -> Predicate.And (a, b)) (self (n / 2)) (self (n / 2)));
+                  (1, map2 (fun a b -> Predicate.Or (a, b)) (self (n / 2)) (self (n / 2)));
+                  (1, map (fun a -> Predicate.Not a) (self (n - 1)));
+                ])
+          (min n 8))
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 1 then
+            map2 (fun name alias -> Ra.Relation { name; alias })
+              (oneofl [ "r"; "s"; "t" ])
+              (oneofl [ None; Some "x1"; Some "x2" ])
+          else
+            frequency
+              [
+                (2, map2 (fun p c -> Ra.Select (p, c)) pred_gen (self (n / 2)));
+                ( 1,
+                  map2
+                    (fun ns c -> Ra.Project (ns, c))
+                    (list_size (int_range 1 3) ident_gen)
+                    (self (n / 2)) );
+                ( 2,
+                  map3 (fun p l r -> Ra.Join (p, l, r)) pred_gen (self (n / 2))
+                    (self (n / 2)) );
+                (1, map2 (fun l r -> Ra.Union (l, r)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun l r -> Ra.Difference (l, r)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun l r -> Ra.Intersect (l, r)) (self (n / 2)) (self (n / 2)));
+              ])
+        (min n 12))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print e) = e" ~count:300
+    (QCheck.make ~print:Ra.to_string expr_gen) (fun e ->
+      Ra.equal e (Parser.roundtrip e))
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "relations" `Quick test_relation;
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "set operators" `Quick test_set_ops;
+          Alcotest.test_case "count wrapper" `Quick test_count_wrapper;
+          Alcotest.test_case "nesting" `Quick test_nesting;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "boolean precedence" `Quick test_predicate_precedence;
+          Alcotest.test_case "arithmetic precedence" `Quick
+            test_predicate_arith_precedence;
+          Alcotest.test_case "literals" `Quick test_predicate_literals;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed input" `Quick test_errors;
+          Alcotest.test_case "error positions" `Quick test_error_position;
+        ] );
+      ("roundtrip", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,146 @@
+module Stage_set = Taqp_sampling.Stage_set
+module Fulfillment = Taqp_sampling.Fulfillment
+module Plan = Taqp_sampling.Plan
+module Prng = Taqp_rng.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let test_stage_set_basic () =
+  let s = Stage_set.create ~n_units:100 (Prng.create 1) in
+  checki "n_units" 100 (Stage_set.n_units s);
+  checki "nothing drawn" 0 (Stage_set.drawn s);
+  let u1 = Stage_set.draw_stage s ~k:10 in
+  checki "stage size" 10 (List.length u1);
+  checki "stages" 1 (Stage_set.stages s);
+  checki "remaining" 90 (Stage_set.remaining s);
+  checkf 1e-9 "fraction" 0.1 (Stage_set.fraction_drawn s)
+
+let test_stage_set_without_replacement () =
+  let s = Stage_set.create ~n_units:50 (Prng.create 2) in
+  let u1 = Stage_set.draw_stage s ~k:20 in
+  let u2 = Stage_set.draw_stage s ~k:20 in
+  let u3 = Stage_set.draw_stage s ~k:20 in
+  checki "clamped final stage" 10 (List.length u3);
+  let all = u1 @ u2 @ u3 in
+  checki "covers population" 50 (List.length (List.sort_uniq Int.compare all));
+  checkb "exhausted" true (Stage_set.exhausted s);
+  checki "further draws empty" 0 (List.length (Stage_set.draw_stage s ~k:5))
+
+let test_stage_set_accessors () =
+  let s = Stage_set.create ~n_units:100 (Prng.create 3) in
+  let u1 = Stage_set.draw_stage s ~k:5 in
+  let u2 = Stage_set.draw_stage s ~k:7 in
+  Alcotest.check Alcotest.(list int) "stage 1 units" u1 (Stage_set.stage_units s 1);
+  Alcotest.check Alcotest.(list int) "stage 2 units" u2 (Stage_set.stage_units s 2);
+  checki "stage sizes" 7 (Stage_set.stage_size s 2);
+  Alcotest.check Alcotest.(list int) "all units in draw order" (u1 @ u2)
+    (Stage_set.all_units s);
+  Alcotest.check Alcotest.(array int) "cumulative" [| 5; 12 |]
+    (Stage_set.cumulative_sizes s);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stage_set.stage_units: out of range") (fun () ->
+      ignore (Stage_set.stage_units s 3))
+
+let test_stage_set_empty_population () =
+  let s = Stage_set.create ~n_units:0 (Prng.create 1) in
+  checkb "immediately exhausted" true (Stage_set.exhausted s);
+  checki "draws nothing" 0 (List.length (Stage_set.draw_stage s ~k:5));
+  checkf 1e-9 "fraction" 1.0 (Stage_set.fraction_drawn s)
+
+let test_stage_set_errors () =
+  Alcotest.check_raises "n_units" (Invalid_argument "Stage_set.create: n_units < 0")
+    (fun () -> ignore (Stage_set.create ~n_units:(-1) (Prng.create 1)));
+  let s = Stage_set.create ~n_units:10 (Prng.create 1) in
+  Alcotest.check_raises "negative k"
+    (Invalid_argument "Stage_set.draw_stage: k < 0") (fun () ->
+      ignore (Stage_set.draw_stage s ~k:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Fulfillment accounting                                              *)
+
+let dims2 = [ [| 10; 30; 45 |]; [| 20; 50; 80 |] ]
+
+let test_full_cumulative () =
+  checkf 1e-9 "product of latest" (45.0 *. 80.0) (Fulfillment.full_cumulative dims2);
+  checkf 1e-9 "single dim" 45.0 (Fulfillment.full_cumulative [ [| 10; 30; 45 |] ]);
+  checkf 1e-9 "empty" 0.0 (Fulfillment.full_cumulative [])
+
+let test_full_new_matches_paper_formula () =
+  (* Stage 2: n1=20, n2=30 new; N1(1)=10, N2(1)=20 cumulative before.
+     Paper: n1s*n2s + N1(s-1)*n2s + N2(s-1)*n1s. *)
+  let expected = (20.0 *. 30.0) +. (10.0 *. 30.0) +. (20.0 *. 20.0) in
+  checkf 1e-9 "2-dim identity" expected (Fulfillment.full_new_at_stage dims2 ~stage:2);
+  (* news across all stages telescope to the cumulative product *)
+  let total =
+    Fulfillment.full_new_at_stage dims2 ~stage:1
+    +. Fulfillment.full_new_at_stage dims2 ~stage:2
+    +. Fulfillment.full_new_at_stage dims2 ~stage:3
+  in
+  checkf 1e-9 "telescoping" (Fulfillment.full_cumulative dims2) total
+
+let test_partial () =
+  (* per-stage new sizes: dim1 10,20,15; dim2 20,30,30 *)
+  checkf 1e-9 "stage 1 diag" 200.0 (Fulfillment.partial_new_at_stage dims2 ~stage:1);
+  checkf 1e-9 "stage 2 diag" 600.0 (Fulfillment.partial_new_at_stage dims2 ~stage:2);
+  checkf 1e-9 "stage 3 diag" 450.0 (Fulfillment.partial_new_at_stage dims2 ~stage:3);
+  checkf 1e-9 "cumulative sum" 1250.0 (Fulfillment.partial_cumulative dims2);
+  checkb "partial smaller than full" true
+    (Fulfillment.partial_cumulative dims2 < Fulfillment.full_cumulative dims2)
+
+let test_pairings () =
+  checki "stage 1 full" 1
+    (List.length (Fulfillment.pairings_at_stage ~stages_l:1 ~stage:1 `Full));
+  let p3 = Fulfillment.pairings_at_stage ~stages_l:3 ~stage:3 `Full in
+  checki "stage 3 full count" 5 (List.length p3);
+  checkb "every pairing touches stage 3" true
+    (List.for_all (fun (i, j) -> i = 3 || j = 3) p3);
+  checki "distinct" 5 (List.length (List.sort_uniq compare p3));
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "partial is the diagonal" [ (4, 4) ]
+    (Fulfillment.pairings_at_stage ~stages_l:4 ~stage:4 `Partial)
+
+let prop_pairings_cover_new_combinations =
+  (* Full-fulfillment pairings at stage s are exactly the (i,j) pairs
+     not already merged at earlier stages with max(i,j) = s. *)
+  QCheck.Test.make ~name:"pairings tile the stage grid" ~count:50
+    QCheck.(int_range 1 12)
+    (fun s ->
+      let all =
+        List.concat
+          (List.init s (fun k ->
+               Fulfillment.pairings_at_stage ~stages_l:(k + 1) ~stage:(k + 1) `Full))
+      in
+      List.length all = s * s
+      && List.length (List.sort_uniq compare all) = s * s)
+
+let test_plan_defaults () =
+  checkb "default cluster" true (Plan.default.Plan.unit_kind = Plan.Cluster);
+  checkb "default full" true (Plan.default.Plan.fulfillment = Plan.Full)
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "stage-set",
+        [
+          Alcotest.test_case "basics" `Quick test_stage_set_basic;
+          Alcotest.test_case "without replacement" `Quick
+            test_stage_set_without_replacement;
+          Alcotest.test_case "accessors" `Quick test_stage_set_accessors;
+          Alcotest.test_case "empty population" `Quick
+            test_stage_set_empty_population;
+          Alcotest.test_case "errors" `Quick test_stage_set_errors;
+        ] );
+      ( "fulfillment",
+        [
+          Alcotest.test_case "full cumulative" `Quick test_full_cumulative;
+          Alcotest.test_case "paper formula identity" `Quick
+            test_full_new_matches_paper_formula;
+          Alcotest.test_case "partial plan" `Quick test_partial;
+          Alcotest.test_case "pairings" `Quick test_pairings;
+          QCheck_alcotest.to_alcotest prop_pairings_cover_new_combinations;
+        ] );
+      ("plan", [ Alcotest.test_case "defaults" `Quick test_plan_defaults ]);
+    ]

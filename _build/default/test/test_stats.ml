@@ -1,0 +1,259 @@
+module Summary = Taqp_stats.Summary
+module Distribution = Taqp_stats.Distribution
+module Least_squares = Taqp_stats.Least_squares
+module Confidence = Taqp_stats.Confidence
+module Histogram = Taqp_stats.Histogram
+module Prng = Taqp_rng.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+
+let naive_mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let naive_var xs =
+  let m = naive_mean xs in
+  List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+  /. float_of_int (List.length xs - 1)
+
+let test_summary_against_naive () =
+  let xs = [ 1.5; -2.0; 3.25; 0.0; 10.0; 4.5 ] in
+  let s = Summary.of_list xs in
+  checkf 1e-9 "mean" (naive_mean xs) (Summary.mean s);
+  checkf 1e-9 "variance" (naive_var xs) (Summary.variance s);
+  checkf 1e-9 "min" (-2.0) (Summary.min s);
+  checkf 1e-9 "max" 10.0 (Summary.max s);
+  checkf 1e-9 "total" (List.fold_left ( +. ) 0.0 xs) (Summary.total s);
+  checki "count" 6 (Summary.count s)
+
+let test_summary_empty () =
+  let s = Summary.create () in
+  checkf 1e-9 "mean 0" 0.0 (Summary.mean s);
+  checkf 1e-9 "variance 0" 0.0 (Summary.variance s);
+  checki "count" 0 (Summary.count s)
+
+let test_summary_merge () =
+  let xs = [ 1.0; 2.0; 3.0 ] and ys = [ 10.0; 20.0; 30.0; 40.0 ] in
+  let merged = Summary.merge (Summary.of_list xs) (Summary.of_list ys) in
+  let whole = Summary.of_list (xs @ ys) in
+  checkf 1e-9 "merged mean" (Summary.mean whole) (Summary.mean merged);
+  checkf 1e-9 "merged variance" (Summary.variance whole) (Summary.variance merged);
+  checki "merged count" 7 (Summary.count merged)
+
+let prop_summary_matches_naive =
+  QCheck.Test.make ~name:"Summary matches naive formulas" ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Summary.of_list xs in
+      Float.abs (Summary.mean s -. naive_mean xs) < 1e-6
+      && Float.abs (Summary.variance s -. naive_var xs) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Distribution                                                        *)
+
+let test_erf () =
+  checkf 1e-6 "erf 0" 0.0 (Distribution.erf 0.0);
+  checkf 1e-4 "erf 1" 0.8427 (Distribution.erf 1.0);
+  checkf 1e-6 "odd symmetry" (-.Distribution.erf 0.7) (Distribution.erf (-0.7))
+
+let test_normal_cdf () =
+  checkf 1e-7 "median" 0.5 (Distribution.normal_cdf 0.0);
+  checkf 1e-4 "one sigma" 0.8413 (Distribution.normal_cdf 1.0);
+  checkf 1e-4 "shifted" 0.5 (Distribution.normal_cdf ~mu:3.0 ~sigma:2.0 3.0)
+
+let test_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      checkf 1e-6 "cdf(quantile(p)) = p" p
+        (Distribution.normal_cdf (Distribution.normal_quantile p)))
+    [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.8; 0.95; 0.999 ]
+
+let test_quantile_bounds () =
+  Alcotest.check_raises "p=0"
+    (Invalid_argument "Distribution.normal_quantile: p outside (0,1)")
+    (fun () -> ignore (Distribution.normal_quantile 0.0))
+
+let test_risk_to_d () =
+  checkf 1e-9 "50% risk -> 0" 0.0 (Distribution.risk_to_d 0.5);
+  checkf 1e-3 "5% risk -> 1.645" 1.645 (Distribution.risk_to_d 0.05);
+  checkf 1e-6 "roundtrip" 0.05 (Distribution.d_to_risk (Distribution.risk_to_d 0.05))
+
+let test_zero_selectivity_fix () =
+  let s = Distribution.zero_selectivity_fix ~beta:0.05 ~m:100 in
+  checkb "positive" true (s > 0.0);
+  (* By construction: (1-s)^m = beta. *)
+  checkf 1e-9 "defining identity" 0.05 (Distribution.binomial_tail_zero ~sel:s ~m:100);
+  let s2 = Distribution.zero_selectivity_fix ~beta:0.05 ~m:1000 in
+  checkb "more points -> smaller fix" true (s2 < s)
+
+(* ------------------------------------------------------------------ *)
+(* Least squares                                                       *)
+
+let test_ls_recovers_coefficients () =
+  let model = Least_squares.create ~init:[| 1.0; 1.0 |] () in
+  let rng = Prng.create 1 in
+  for _ = 1 to 50 do
+    let a = Prng.float rng 10.0 and b = Prng.float rng 10.0 in
+    Least_squares.observe model ~x:[| a; b |] ~y:((3.0 *. a) +. (0.5 *. b))
+  done;
+  let c = Least_squares.coefficients model in
+  checkf 0.05 "first coefficient" 3.0 c.(0);
+  checkf 0.05 "second coefficient" 0.5 c.(1);
+  checkf 0.2 "prediction" 6.5 (Least_squares.predict model [| 2.0; 1.0 |])
+
+let test_ls_no_data_falls_back () =
+  let model = Least_squares.create ~init:[| 2.0; 5.0 |] () in
+  let c = Least_squares.coefficients model in
+  checkf 1e-9 "init 0" 2.0 c.(0);
+  checkf 1e-9 "init 1" 5.0 c.(1)
+
+let test_ls_anchor_scale () =
+  let model = Least_squares.create ~init:[| 2.0 |] () in
+  Least_squares.set_anchor_scale model 0.5;
+  checkf 1e-9 "scaled init" 1.0 (Least_squares.coefficients model).(0);
+  (* One observation in the single feature direction dominates. *)
+  Least_squares.observe model ~x:[| 10.0 |] ~y:30.0;
+  checkf 0.1 "data wins along observed direction" 3.0
+    (Least_squares.coefficients model).(0)
+
+let test_ls_negative_clamped () =
+  let model = Least_squares.create ~init:[| 1.0 |] () in
+  Least_squares.observe model ~x:[| 1.0 |] ~y:(-5.0);
+  Least_squares.observe model ~x:[| 2.0 |] ~y:(-10.0);
+  checkf 1e-9 "clamped at zero" 0.0 (Least_squares.coefficients model).(0)
+
+let test_ls_errors () =
+  Alcotest.check_raises "empty init"
+    (Invalid_argument "Least_squares.create: empty init") (fun () ->
+      ignore (Least_squares.create ~init:[||] ()));
+  let model = Least_squares.create ~init:[| 1.0 |] () in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Least_squares.observe: dimension mismatch") (fun () ->
+      Least_squares.observe model ~x:[| 1.0; 2.0 |] ~y:1.0);
+  Alcotest.check_raises "non-finite"
+    (Invalid_argument "Least_squares.observe: non-finite input") (fun () ->
+      Least_squares.observe model ~x:[| nan |] ~y:1.0)
+
+let test_simple_fit () =
+  let a, b = Least_squares.simple_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  checkf 1e-9 "intercept" 1.0 a;
+  checkf 1e-9 "slope" 2.0 b;
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Least_squares.simple_fit: degenerate x values") (fun () ->
+      ignore (Least_squares.simple_fit [ (1.0, 1.0); (1.0, 2.0) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Confidence                                                          *)
+
+let test_confidence_basics () =
+  let ci = Confidence.normal ~mean:100.0 ~variance:25.0 ~level:0.95 in
+  checkf 1e-2 "half width = 1.96 sigma" (1.96 *. 5.0) ci.Confidence.half_width;
+  checkb "contains center" true (Confidence.contains ci 100.0);
+  checkb "excludes far" false (Confidence.contains ci 200.0);
+  checkf 1e-9 "lower+upper symmetric" 200.0 (Confidence.lower ci +. Confidence.upper ci);
+  (match Confidence.relative_half_width ci with
+  | Some w -> checkf 1e-4 "relative" (1.96 *. 5.0 /. 100.0) w
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.check
+    Alcotest.(option (float 1.0))
+    "zero center" None
+    (Confidence.relative_half_width
+       (Confidence.normal ~mean:0.0 ~variance:1.0 ~level:0.9))
+
+let test_confidence_coverage () =
+  (* 95% CIs built from gaussian samples should cover the true mean
+     roughly 95% of the time. *)
+  let rng = Prng.create 21 in
+  let covered = ref 0 in
+  let trials = 400 in
+  for _ = 1 to trials do
+    let s = Summary.create () in
+    for _ = 1 to 50 do
+      Summary.add s (Prng.gaussian ~mu:10.0 ~sigma:3.0 rng)
+    done;
+    let ci =
+      Confidence.normal ~mean:(Summary.mean s)
+        ~variance:(Summary.variance s /. 50.0)
+        ~level:0.95
+    in
+    if Confidence.contains ci 10.0 then incr covered
+  done;
+  let rate = float_of_int !covered /. float_of_int trials in
+  checkb "coverage near 95%" true (rate > 0.89 && rate < 0.99)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+
+let test_histogram () =
+  let h = Histogram.create ~bins:10 ~lo:0.0 ~hi:10.0 () in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.5; 100.0; -5.0 ];
+  checki "count" 6 (Histogram.count h);
+  checki "clamped high into last bin" 2 (Histogram.counts h).(9);
+  checki "clamped low into first bin" 2 (Histogram.counts h).(0);
+  checki "mode is a fullest bin" 0 (Histogram.mode_bin h);
+  let lo, hi = Histogram.bin_range h 3 in
+  checkf 1e-9 "bin lo" 3.0 lo;
+  checkf 1e-9 "bin hi" 4.0 hi
+
+let test_histogram_quantile () =
+  let h = Histogram.create ~bins:100 ~lo:0.0 ~hi:1.0 () in
+  let rng = Prng.create 2 in
+  for _ = 1 to 10_000 do
+    Histogram.add h (Prng.float rng 1.0)
+  done;
+  checkb "median near 0.5" true (Float.abs (Histogram.quantile h 0.5 -. 0.5) < 0.03);
+  checkb "p90 near 0.9" true (Float.abs (Histogram.quantile h 0.9 -. 0.9) < 0.03)
+
+let test_histogram_errors () =
+  Alcotest.check_raises "hi <= lo" (Invalid_argument "Histogram.create: hi <= lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ()));
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 () in
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Histogram.quantile: empty histogram") (fun () ->
+      ignore (Histogram.quantile h 0.5))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "against naive" `Quick test_summary_against_naive;
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "merge" `Quick test_summary_merge;
+          QCheck_alcotest.to_alcotest prop_summary_matches_naive;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "erf" `Quick test_erf;
+          Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+          Alcotest.test_case "quantile roundtrip" `Quick test_quantile_roundtrip;
+          Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds;
+          Alcotest.test_case "risk_to_d" `Quick test_risk_to_d;
+          Alcotest.test_case "zero-selectivity fix" `Quick test_zero_selectivity_fix;
+        ] );
+      ( "least-squares",
+        [
+          Alcotest.test_case "recovers coefficients" `Quick
+            test_ls_recovers_coefficients;
+          Alcotest.test_case "no data falls back to init" `Quick
+            test_ls_no_data_falls_back;
+          Alcotest.test_case "anchor scaling" `Quick test_ls_anchor_scale;
+          Alcotest.test_case "negative clamp" `Quick test_ls_negative_clamped;
+          Alcotest.test_case "errors" `Quick test_ls_errors;
+          Alcotest.test_case "simple fit" `Quick test_simple_fit;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "basics" `Quick test_confidence_basics;
+          Alcotest.test_case "coverage" `Slow test_confidence_coverage;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts and clamping" `Quick test_histogram;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantile;
+          Alcotest.test_case "errors" `Quick test_histogram_errors;
+        ] );
+    ]

@@ -1,0 +1,363 @@
+open Taqp_data
+module Clock = Taqp_storage.Clock
+module Cost_params = Taqp_storage.Cost_params
+module Device = Taqp_storage.Device
+module Heap_file = Taqp_storage.Heap_file
+module Catalog = Taqp_storage.Catalog
+module Io_stats = Taqp_storage.Io_stats
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+
+let test_clock_virtual () =
+  let c = Clock.create_virtual () in
+  checkb "virtual" true (Clock.is_virtual c);
+  checkf 1e-12 "starts at 0" 0.0 (Clock.now c);
+  Clock.charge c 1.5;
+  Clock.charge c 0.25;
+  checkf 1e-12 "advances by charges" 1.75 (Clock.now c);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.charge: negative charge")
+    (fun () -> Clock.charge c (-1.0))
+
+let test_clock_deadline_abort () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Abort ~at:1.0;
+  Clock.charge c 0.9;
+  checkb "not yet expired" false (Clock.expired c);
+  (match Clock.charge c 0.5 with
+  | () -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Clock.Deadline_exceeded { now; deadline } ->
+      checkf 1e-12 "interrupt at the deadline" 1.0 now;
+      checkf 1e-12 "deadline" 1.0 deadline);
+  (* The clock stopped exactly at the deadline, mid-operation. *)
+  checkf 1e-12 "clamped" 1.0 (Clock.now c)
+
+let test_clock_deadline_observe () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Observe ~at:1.0;
+  Clock.charge c 5.0;
+  checkb "expired but not raised" true (Clock.expired c);
+  Alcotest.check
+    Alcotest.(option (float 1e-9))
+    "remaining negative" (Some (-4.0)) (Clock.remaining c);
+  Clock.disarm c;
+  checkb "disarmed" false (Clock.expired c)
+
+let test_clock_sleep_until () =
+  let c = Clock.create_virtual () in
+  Clock.sleep_until c 3.0;
+  checkf 1e-12 "advanced" 3.0 (Clock.now c);
+  Clock.sleep_until c 1.0;
+  checkf 1e-12 "no backwards travel" 3.0 (Clock.now c)
+
+let test_clock_wall () =
+  let c = Clock.create_wall () in
+  checkb "not virtual" false (Clock.is_virtual c);
+  let t0 = Clock.now c in
+  Clock.charge c 100.0;
+  (* charging a wall clock does not jump time *)
+  checkb "wall time unaffected by charge" true (Clock.now c -. t0 < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Cost params                                                         *)
+
+let test_cost_params () =
+  let p = Cost_params.default in
+  let doubled = Cost_params.scale 2.0 p in
+  checkf 1e-12 "scaled" (2.0 *. p.Cost_params.block_read)
+    doubled.Cost_params.block_read;
+  checkf 1e-12 "jitter unscaled" p.Cost_params.jitter_sigma
+    doubled.Cost_params.jitter_sigma;
+  checkf 1e-12 "no_jitter" 0.0 (Cost_params.no_jitter p).Cost_params.jitter_sigma;
+  checkb "fast is faster" true
+    (Cost_params.fast.Cost_params.block_read < p.Cost_params.block_read)
+
+(* ------------------------------------------------------------------ *)
+(* Device                                                              *)
+
+let test_device_charges_exact () =
+  let p = Cost_params.no_jitter Cost_params.default in
+  let clock = Clock.create_virtual () in
+  let d = Device.create ~params:p clock in
+  Device.read_block d;
+  Device.read_block d;
+  Device.check_tuples d ~n:10 ~comparisons:2;
+  Device.write_pages d ~n:3;
+  let expected =
+    (2.0 *. p.Cost_params.block_read)
+    +. (10.0
+       *. (p.Cost_params.tuple_check_base +. (2.0 *. p.Cost_params.per_comparison))
+       )
+    +. (3.0 *. p.Cost_params.page_write)
+  in
+  checkf 1e-9 "exact charges" expected (Clock.now clock);
+  let stats = Device.stats d in
+  checki "blocks counted" 2 stats.Io_stats.blocks_read;
+  checki "tuples counted" 10 stats.Io_stats.tuples_checked;
+  checki "pages counted" 3 stats.Io_stats.pages_written
+
+let test_device_sort_cost () =
+  let p = Cost_params.no_jitter Cost_params.default in
+  let clock = Clock.create_virtual () in
+  let d = Device.create ~params:p clock in
+  Device.sort d ~n:1024;
+  let expected =
+    (p.Cost_params.sort_per_nlogn *. 1024.0 *. 10.0)
+    +. (p.Cost_params.sort_per_tuple *. 1024.0)
+  in
+  checkf 1e-9 "n log n cost" expected (Clock.now clock)
+
+let test_device_stage_overhead_counts_stage () =
+  let clock = Clock.create_virtual () in
+  let d = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
+  Device.stage_overhead d;
+  Device.stage_overhead d;
+  checki "stages" 2 (Device.stats d).Io_stats.stages
+
+let test_device_jitter_mean () =
+  let p = { Cost_params.default with Cost_params.jitter_sigma = 0.2 } in
+  let clock = Clock.create_virtual () in
+  let d = Device.create ~params:p ~jitter_rng:(Taqp_rng.Prng.create 3) clock in
+  for _ = 1 to 5000 do
+    Device.read_block d
+  done;
+  let per_block = Clock.now clock /. 5000.0 in
+  checkb "jittered mean near nominal" true
+    (Float.abs (per_block -. p.Cost_params.block_read)
+    < 0.05 *. p.Cost_params.block_read)
+
+let test_io_stats_diff () =
+  let a = Io_stats.create () in
+  a.Io_stats.blocks_read <- 10;
+  let b = Io_stats.copy a in
+  b.Io_stats.blocks_read <- 25;
+  b.Io_stats.stages <- 2;
+  let d = Io_stats.diff b a in
+  checki "blocks diff" 15 d.Io_stats.blocks_read;
+  checki "stages diff" 2 d.Io_stats.stages;
+  Io_stats.reset b;
+  checki "reset" 0 b.Io_stats.blocks_read
+
+(* ------------------------------------------------------------------ *)
+(* Heap file                                                           *)
+
+let schema =
+  Schema.make
+    [ { Schema.name = "id"; ty = Value.Tint }; { Schema.name = "v"; ty = Value.Tint } ]
+
+let tuples n = List.init n (fun i -> Tuple.of_list [ Value.Int i; Value.Int (i * i) ])
+
+let test_heap_packing () =
+  (* 1024-byte blocks, 200-byte tuples -> 5 per block. *)
+  let f = Heap_file.create ~schema (tuples 23) in
+  checki "tuples" 23 (Heap_file.n_tuples f);
+  checki "blocking factor" 5 (Heap_file.blocking_factor f);
+  checki "blocks" 5 (Heap_file.n_blocks f);
+  checki "full block" 5 (Array.length (Heap_file.block f 0));
+  checki "short last block" 3 (Array.length (Heap_file.block f 4));
+  checki "pages_for" 3 (Heap_file.pages_for f 11);
+  checkb "tuples padded to slot size" true
+    (Tuple.byte_size (Heap_file.block f 0).(0) = 200)
+
+let test_heap_order_preserved () =
+  let f = Heap_file.create ~schema (tuples 12) in
+  let flat = Heap_file.to_list f in
+  checki "roundtrip count" 12 (List.length flat);
+  List.iteri
+    (fun i t ->
+      checkb "order" true (Value.equal (Tuple.get t 0) (Value.Int i)))
+    flat
+
+let test_heap_fold_iter () =
+  let f = Heap_file.create ~schema (tuples 7) in
+  let count = ref 0 in
+  Heap_file.iter (fun _ -> incr count) f;
+  checki "iter visits all" 7 !count;
+  let sum =
+    Heap_file.fold
+      (fun acc t ->
+        match Value.to_int (Tuple.get t 0) with Some v -> acc + v | None -> acc)
+      0 f
+  in
+  checki "fold" 21 sum
+
+let test_heap_errors () =
+  checkb "arity mismatch" true
+    (match Heap_file.create ~schema [ Tuple.of_list [ Value.Int 1 ] ] with
+    | _ -> false
+    | exception Heap_file.Storage_error _ -> true);
+  checkb "type mismatch" true
+    (match
+       Heap_file.create ~schema
+         [ Tuple.of_list [ Value.String "x"; Value.Int 1 ] ]
+     with
+    | _ -> false
+    | exception Heap_file.Storage_error _ -> true);
+  checkb "oversized tuple" true
+    (match
+       Heap_file.create ~tuple_bytes:10 ~schema
+         [ Tuple.of_list [ Value.Int 1; Value.Int 2 ] ]
+     with
+    | _ -> false
+    | exception Heap_file.Storage_error _ -> true);
+  let f = Heap_file.create ~schema (tuples 5) in
+  Alcotest.check_raises "bad block index"
+    (Invalid_argument "Heap_file.block: index out of range") (fun () ->
+      ignore (Heap_file.block f 99))
+
+let test_heap_read_block_charges () =
+  let clock = Clock.create_virtual () in
+  let d = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
+  let f = Heap_file.create ~schema (tuples 10) in
+  ignore (Heap_file.read_block d f 0);
+  checki "one read" 1 (Device.stats d).Io_stats.blocks_read;
+  checkf 1e-9 "charged" Cost_params.default.Cost_params.block_read (Clock.now clock)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog                                                             *)
+
+let test_catalog () =
+  let f = Heap_file.create ~schema (tuples 5) in
+  let c = Catalog.of_list [ ("r", f) ] in
+  checkb "mem" true (Catalog.mem c "r");
+  checkb "find" true (Catalog.find c "r" == f);
+  checkb "find_opt none" true (Catalog.find_opt c "s" = None);
+  checkb "duplicate add raises" true
+    (match Catalog.add c "r" f with
+    | () -> false
+    | exception Heap_file.Storage_error _ -> true);
+  Catalog.replace c "r" f;
+  Catalog.add c "s" f;
+  Alcotest.check Alcotest.(list string) "names sorted" [ "r"; "s" ] (Catalog.names c);
+  Catalog.remove c "r";
+  checkb "removed" false (Catalog.mem c "r")
+
+(* ------------------------------------------------------------------ *)
+(* CSV I/O                                                             *)
+
+module Csv_io = Taqp_storage.Csv_io
+
+let csv_schema =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.Tint };
+      { Schema.name = "score"; ty = Value.Tfloat };
+      { Schema.name = "note"; ty = Value.Tstring };
+      { Schema.name = "flag"; ty = Value.Tbool };
+    ]
+
+let csv_tuples =
+  [
+    Tuple.of_list [ Value.Int 1; Value.Float 1.5; Value.String "plain"; Value.Bool true ];
+    Tuple.of_list
+      [ Value.Int 2; Value.Float (-0.25); Value.String "with, comma"; Value.Bool false ];
+    Tuple.of_list
+      [ Value.Int 3; Value.Null; Value.String "quote \" inside"; Value.Null ];
+  ]
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_csv_roundtrip () =
+  let file = Heap_file.create ~tuple_bytes:64 ~schema:csv_schema csv_tuples in
+  let path = tmp_path "taqp_test_roundtrip.csv" in
+  Csv_io.save file path;
+  let loaded = Csv_io.load ~tuple_bytes:64 path in
+  checki "tuple count" 3 (Heap_file.n_tuples loaded);
+  checkb "schema preserved" true (Schema.equal csv_schema (Heap_file.schema loaded));
+  List.iter2
+    (fun a b -> checkb "tuples equal" true (Tuple.equal a b))
+    csv_tuples (Heap_file.to_list loaded);
+  Sys.remove path
+
+let test_csv_header_parsing () =
+  let s = Csv_io.schema_of_header "a:int,b:string" in
+  checki "arity" 2 (Schema.arity s);
+  checkb "bad type" true
+    (match Csv_io.schema_of_header "a:blob" with
+    | _ -> false
+    | exception Csv_io.Csv_error _ -> true);
+  checkb "missing type" true
+    (match Csv_io.schema_of_header "a,b" with
+    | _ -> false
+    | exception Csv_io.Csv_error _ -> true)
+
+let test_csv_errors () =
+  let path = tmp_path "taqp_test_bad.csv" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "a:int\nnot_a_number\n";
+  checkb "bad int reports line" true
+    (match Csv_io.load path with
+    | _ -> false
+    | exception Csv_io.Csv_error { line; _ } -> line = 2);
+  write "a:int,b:int\n1\n";
+  checkb "field count mismatch" true
+    (match Csv_io.load path with
+    | _ -> false
+    | exception Csv_io.Csv_error _ -> true);
+  write "";
+  checkb "empty file" true
+    (match Csv_io.load path with
+    | _ -> false
+    | exception Csv_io.Csv_error _ -> true);
+  Sys.remove path
+
+let test_csv_load_dir () =
+  let dir = tmp_path "taqp_test_dir" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let file = Heap_file.create ~tuple_bytes:64 ~schema:csv_schema csv_tuples in
+  Csv_io.save file (Filename.concat dir "alpha.csv");
+  Csv_io.save file (Filename.concat dir "beta.csv");
+  let catalog = Csv_io.load_dir ~tuple_bytes:64 dir in
+  Alcotest.check
+    Alcotest.(list string)
+    "names from filenames" [ "alpha"; "beta" ] (Catalog.names catalog);
+  Sys.remove (Filename.concat dir "alpha.csv");
+  Sys.remove (Filename.concat dir "beta.csv")
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "virtual charges" `Quick test_clock_virtual;
+          Alcotest.test_case "deadline abort" `Quick test_clock_deadline_abort;
+          Alcotest.test_case "deadline observe" `Quick test_clock_deadline_observe;
+          Alcotest.test_case "sleep_until" `Quick test_clock_sleep_until;
+          Alcotest.test_case "wall clock" `Quick test_clock_wall;
+        ] );
+      ( "cost-params",
+        [ Alcotest.test_case "scaling" `Quick test_cost_params ] );
+      ( "device",
+        [
+          Alcotest.test_case "exact charges" `Quick test_device_charges_exact;
+          Alcotest.test_case "sort cost" `Quick test_device_sort_cost;
+          Alcotest.test_case "stage counting" `Quick
+            test_device_stage_overhead_counts_stage;
+          Alcotest.test_case "jitter mean" `Slow test_device_jitter_mean;
+          Alcotest.test_case "io stats diff" `Quick test_io_stats_diff;
+        ] );
+      ( "heap-file",
+        [
+          Alcotest.test_case "packing" `Quick test_heap_packing;
+          Alcotest.test_case "order" `Quick test_heap_order_preserved;
+          Alcotest.test_case "fold/iter" `Quick test_heap_fold_iter;
+          Alcotest.test_case "errors" `Quick test_heap_errors;
+          Alcotest.test_case "read_block charges" `Quick test_heap_read_block_charges;
+        ] );
+      ("catalog", [ Alcotest.test_case "operations" `Quick test_catalog ]);
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "header parsing" `Quick test_csv_header_parsing;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "load_dir" `Quick test_csv_load_dir;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+module Stopping = Taqp_timecontrol.Stopping
+module Strategy = Taqp_timecontrol.Strategy
+module Sel_plus = Taqp_timecontrol.Sel_plus
+module Sample_size = Taqp_timecontrol.Sample_size
+module Selectivity = Taqp_estimators.Selectivity
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let status ?(elapsed = 0.0) ?(quota = 10.0) ?(stages = 1) ?(estimate = 100.0)
+    ?rel_half_width ?(recent = [ 100.0 ]) () =
+  {
+    Stopping.elapsed;
+    quota;
+    stages;
+    estimate;
+    rel_half_width;
+    recent_estimates = recent;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stopping criteria                                                   *)
+
+let test_hard_deadline () =
+  checkb "before quota" false
+    (Stopping.should_stop Stopping.Hard_deadline (status ~elapsed:9.9 ()));
+  checkb "past quota" true
+    (Stopping.should_stop Stopping.Hard_deadline (status ~elapsed:10.0 ()));
+  checkb "abort mode" true (Stopping.deadline_mode Stopping.Hard_deadline = `Abort)
+
+let test_soft_deadline () =
+  let soft = Stopping.Soft_deadline { grace = 0.2 } in
+  checkb "observe mode" true (Stopping.deadline_mode soft = `Observe);
+  checkb "allows within grace" true
+    (Stopping.allows_stage soft ~predicted_end:11.9 ~quota:10.0);
+  checkb "refuses beyond grace" false
+    (Stopping.allows_stage soft ~predicted_end:12.1 ~quota:10.0);
+  checkb "hard refuses past quota" false
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:10.1 ~quota:10.0)
+
+let test_error_bound () =
+  let c = Stopping.Error_bound { relative = 0.1; level = 0.95 } in
+  checkb "wide interval continues" false
+    (Stopping.should_stop c (status ~rel_half_width:0.5 ()));
+  checkb "tight interval stops" true
+    (Stopping.should_stop c (status ~rel_half_width:0.05 ()));
+  checkb "no interval yet" false (Stopping.should_stop c (status ()))
+
+let test_stagnation () =
+  let c = Stopping.Stagnation { epsilon = 0.01; window = 3 } in
+  checkb "too few stages" false
+    (Stopping.should_stop c (status ~stages:2 ~recent:[ 100.0; 100.0 ] ()));
+  checkb "stable stops" true
+    (Stopping.should_stop c
+       (status ~stages:3 ~recent:[ 100.0; 100.3; 99.8 ] ()));
+  checkb "still moving" false
+    (Stopping.should_stop c (status ~stages:3 ~recent:[ 100.0; 140.0; 99.0 ] ()))
+
+let test_max_stages_and_all () =
+  checkb "max stages" true
+    (Stopping.should_stop (Stopping.Max_stages 2) (status ~stages:2 ()));
+  let combo = Stopping.All [ Stopping.Hard_deadline; Stopping.Max_stages 5 ] in
+  checkb "any fires" true (Stopping.should_stop combo (status ~stages:5 ()));
+  checkb "combined abort mode" true (Stopping.deadline_mode combo = `Abort)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+
+let test_strategy_constructors () =
+  checkb "default is one-at-a-time" true
+    (match Strategy.default with Strategy.One_at_a_time _ -> true | _ -> false);
+  checkb "bad d_beta" true
+    (match Strategy.one_at_a_time ~d_beta:(-1.0) () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "bad split" true
+    (match Strategy.heuristic ~split:1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.check Alcotest.string "names" "heuristic"
+    (Strategy.name (Strategy.heuristic ~split:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* sel+                                                                *)
+
+let test_sel_plus_first_stage () =
+  let r = Selectivity.create ~initial:0.7 in
+  checkf 1e-9 "initial, no inflation" 0.7
+    (Sel_plus.compute r ~d_beta:100.0 ~zero_beta:0.05 ~m_next:100.0
+       ~n_remaining:1000.0)
+
+let test_sel_plus_zero_fix () =
+  let r = Selectivity.create ~initial:1.0 in
+  Selectivity.observe r ~points:200.0 ~tuples:0.0;
+  let s = Sel_plus.compute r ~d_beta:0.0 ~zero_beta:0.05 ~m_next:100.0 ~n_remaining:1000.0 in
+  checkb "positive despite zero observation" true (s > 0.0);
+  checkf 1e-9 "combinatorial fix value"
+    (Taqp_stats.Distribution.zero_selectivity_fix ~beta:0.05 ~m:200)
+    s
+
+let test_sel_plus_monotone_in_d_beta () =
+  let r = Selectivity.create ~initial:1.0 in
+  Selectivity.observe r ~points:1000.0 ~tuples:100.0;
+  let at d = Sel_plus.compute r ~d_beta:d ~zero_beta:0.05 ~m_next:500.0 ~n_remaining:9000.0 in
+  checkf 1e-9 "d=0 is plain estimate" 0.1 (at 0.0);
+  checkb "monotone" true (at 1.0 < at 2.0 && at 2.0 < at 8.0);
+  checkf 1e-9 "clamped at 1" 1.0 (at 1e6)
+
+let test_sel_plus_errors () =
+  let r = Selectivity.create ~initial:1.0 in
+  checkb "negative d_beta" true
+    (match Sel_plus.compute r ~d_beta:(-1.0) ~zero_beta:0.05 ~m_next:1.0 ~n_remaining:2.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "bad zero_beta" true
+    (match Sel_plus.compute r ~d_beta:0.0 ~zero_beta:1.0 ~m_next:1.0 ~n_remaining:2.0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Sample-Size-Determine                                               *)
+
+let linear_cost f = 1.0 +. (100.0 *. f)
+
+let test_bisect_solves () =
+  match
+    Sample_size.bisect ~cost_at:linear_cost ~budget:26.0 ~f_min:1e-6 ~f_max:1.0 ()
+  with
+  | Sample_size.Fraction { f; predicted; _ } ->
+      (* cost(f) = budget at f = 0.25 *)
+      checkb "close to the root" true (Float.abs (f -. 0.25) < 0.01);
+      checkb "never over budget" true (predicted <= 26.0)
+  | _ -> Alcotest.fail "expected Fraction"
+
+let test_bisect_budget_too_small () =
+  match
+    Sample_size.bisect ~cost_at:linear_cost ~budget:0.5 ~f_min:0.01 ~f_max:1.0 ()
+  with
+  | Sample_size.Budget_too_small { f_min_cost } ->
+      checkf 1e-9 "reports the minimal cost" (linear_cost 0.01) f_min_cost
+  | _ -> Alcotest.fail "expected Budget_too_small"
+
+let test_bisect_take_everything () =
+  match
+    Sample_size.bisect ~cost_at:linear_cost ~budget:1000.0 ~f_min:0.01 ~f_max:1.0 ()
+  with
+  | Sample_size.Take_everything { predicted } ->
+      checkf 1e-9 "cost at f_max" 101.0 predicted
+  | _ -> Alcotest.fail "expected Take_everything"
+
+let test_bisect_step_cost () =
+  (* A block-granular staircase cost, like the real planner's. *)
+  let staircase f = 0.2 *. Float.round (f *. 50.0) in
+  match Sample_size.bisect ~cost_at:staircase ~budget:3.1 ~f_min:1e-6 ~f_max:1.0 () with
+  | Sample_size.Fraction { f; predicted; _ } ->
+      checkb "within budget" true (predicted <= 3.1);
+      checkb "close to the jump" true (staircase (Float.min 1.0 (f *. 1.3)) >= 3.0)
+  | _ -> Alcotest.fail "expected Fraction"
+
+let test_bisect_errors () =
+  checkb "f_min > f_max" true
+    (match
+       Sample_size.bisect ~cost_at:linear_cost ~budget:1.0 ~f_min:0.5 ~f_max:0.4 ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "bad budget" true
+    (match
+       Sample_size.bisect ~cost_at:linear_cost ~budget:0.0 ~f_min:0.0 ~f_max:1.0 ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_with_deviation () =
+  (* mean(f) = 100f, std(f) = 20f; d=2: effective cost 140f. *)
+  match
+    Sample_size.with_deviation
+      ~mean_at:(fun f -> 100.0 *. f)
+      ~std_at:(fun f -> 20.0 *. f)
+      ~d_alpha:2.0 ~budget:14.0 ~f_min:1e-6 ~f_max:1.0 ()
+  with
+  | Sample_size.Fraction { f; _ } -> checkb "solves inflated equation" true (Float.abs (f -. 0.1) < 0.01)
+  | _ -> Alcotest.fail "expected Fraction"
+
+let prop_bisect_respects_budget =
+  QCheck.Test.make ~name:"bisect never exceeds the budget" ~count:200
+    QCheck.(pair (QCheck.float_range 0.5 50.0) (QCheck.float_range 1.0 200.0))
+    (fun (budget, slope) ->
+      let cost f = 0.3 +. (slope *. f) in
+      match Sample_size.bisect ~cost_at:cost ~budget ~f_min:1e-6 ~f_max:1.0 () with
+      | Sample_size.Fraction { f; predicted; _ } ->
+          predicted <= budget && cost f <= budget
+      | Sample_size.Take_everything { predicted } -> predicted <= budget
+      | Sample_size.Budget_too_small _ -> cost 1e-6 > budget)
+
+let () =
+  Alcotest.run "timecontrol"
+    [
+      ( "stopping",
+        [
+          Alcotest.test_case "hard deadline" `Quick test_hard_deadline;
+          Alcotest.test_case "soft deadline" `Quick test_soft_deadline;
+          Alcotest.test_case "error bound" `Quick test_error_bound;
+          Alcotest.test_case "stagnation" `Quick test_stagnation;
+          Alcotest.test_case "max stages / all" `Quick test_max_stages_and_all;
+        ] );
+      ( "strategy",
+        [ Alcotest.test_case "constructors" `Quick test_strategy_constructors ] );
+      ( "sel-plus",
+        [
+          Alcotest.test_case "first stage" `Quick test_sel_plus_first_stage;
+          Alcotest.test_case "zero fix" `Quick test_sel_plus_zero_fix;
+          Alcotest.test_case "monotone in d_beta" `Quick test_sel_plus_monotone_in_d_beta;
+          Alcotest.test_case "errors" `Quick test_sel_plus_errors;
+        ] );
+      ( "sample-size",
+        [
+          Alcotest.test_case "solves" `Quick test_bisect_solves;
+          Alcotest.test_case "budget too small" `Quick test_bisect_budget_too_small;
+          Alcotest.test_case "take everything" `Quick test_bisect_take_everything;
+          Alcotest.test_case "staircase cost" `Quick test_bisect_step_cost;
+          Alcotest.test_case "errors" `Quick test_bisect_errors;
+          Alcotest.test_case "with deviation" `Quick test_with_deviation;
+          QCheck_alcotest.to_alcotest prop_bisect_respects_budget;
+        ] );
+    ]

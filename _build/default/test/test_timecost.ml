@@ -1,0 +1,186 @@
+module Formulas = Taqp_timecost.Formulas
+module Cost_model = Taqp_timecost.Cost_model
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+let all_kinds =
+  Formulas.[ Scan; Select; Join; Intersect; Project; Overhead ]
+
+let test_steps_nonempty () =
+  List.iter
+    (fun k -> checkb (Formulas.kind_name k) true (Formulas.steps k <> []))
+    all_kinds
+
+let test_step_dims_match_initials () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun s ->
+          checki
+            (Formulas.kind_name k ^ "/" ^ Formulas.step_name s)
+            (Formulas.step_dim s)
+            (Array.length (Formulas.step_initial s)))
+        (Formulas.steps k))
+    all_kinds
+
+let test_join_has_merge_step () =
+  checkb "join merges" true (List.mem Formulas.Step_merge (Formulas.steps Formulas.Join));
+  checkb "intersect merges" true
+    (List.mem Formulas.Step_merge (Formulas.steps Formulas.Intersect));
+  checkb "select does not sort" false
+    (List.mem Formulas.Step_sort (Formulas.steps Formulas.Select))
+
+let test_features_pick_fields () =
+  let m =
+    {
+      Formulas.zero_measures with
+      Formulas.n_input = 10.0;
+      comparisons = 3.0;
+      merge_reads = 50.0;
+      pairings = 5.0;
+    }
+  in
+  Alcotest.check
+    Alcotest.(array (float 1e-9))
+    "check features" [| 10.0; 30.0 |]
+    (Formulas.step_features Formulas.Step_check m);
+  Alcotest.check
+    Alcotest.(array (float 1e-9))
+    "merge features" [| 50.0; 5.0 |]
+    (Formulas.step_features Formulas.Step_merge m);
+  Alcotest.check
+    Alcotest.(array (float 1e-9))
+    "fixed features" [| 1.0 |]
+    (Formulas.step_features Formulas.Step_fixed m)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+let test_register_and_predict_initial () =
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:0 Formulas.Overhead;
+  checkb "kind" true (Cost_model.kind cm ~id:0 = Formulas.Overhead);
+  Alcotest.check Alcotest.(list int) "ids" [ 0 ] (Cost_model.ids cm);
+  checkf 1e-9 "initial prediction"
+    (Formulas.step_initial Formulas.Step_fixed).(0)
+    (Cost_model.predict cm ~id:0 Formulas.zero_measures);
+  checkb "duplicate raises" true
+    (match Cost_model.register cm ~id:0 Formulas.Scan with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "unknown id raises" true
+    (match Cost_model.predict cm ~id:99 Formulas.zero_measures with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_initial_scale () =
+  let cm = Cost_model.create ~initial_scale:2.0 () in
+  Cost_model.register cm ~id:0 Formulas.Overhead;
+  checkf 1e-9 "scaled initial"
+    (2.0 *. (Formulas.step_initial Formulas.Step_fixed).(0))
+    (Cost_model.predict cm ~id:0 Formulas.zero_measures)
+
+let measures_scan blocks =
+  { Formulas.zero_measures with Formulas.blocks = float_of_int blocks }
+
+let test_observe_converges () =
+  (* Ground truth: 0.01 s per block, no constant. *)
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:1 Formulas.Scan;
+  for i = 1 to 20 do
+    let blocks = 5 + (i mod 7) in
+    Cost_model.observe_step cm ~id:1 ~step:Formulas.Step_read (measures_scan blocks)
+      ~seconds:(0.01 *. float_of_int blocks)
+  done;
+  let predicted = Cost_model.predict cm ~id:1 (measures_scan 100) in
+  checkb "converged to ground truth" true (Float.abs (predicted -. 1.0) < 0.08)
+
+let test_observe_level_recalibration () =
+  (* A single observation at one workload should debias predictions at a
+     different workload via the anchor rescaling. *)
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:1 Formulas.Scan;
+  let before10 = Cost_model.predict cm ~id:1 (measures_scan 10) in
+  let before30 = Cost_model.predict cm ~id:1 (measures_scan 30) in
+  (* actual device is ~half the designer constants *)
+  Cost_model.observe_step cm ~id:1 ~step:Formulas.Step_read (measures_scan 10)
+    ~seconds:(before10 /. 2.0);
+  let after30 = Cost_model.predict cm ~id:1 (measures_scan 30) in
+  checkb "moved toward the observed level" true (after30 < 0.7 *. before30)
+
+let test_non_adaptive_frozen () =
+  let cm = Cost_model.create ~adaptive:false () in
+  Cost_model.register cm ~id:1 Formulas.Scan;
+  let before = Cost_model.predict cm ~id:1 (measures_scan 10) in
+  Cost_model.observe_step cm ~id:1 ~step:Formulas.Step_read (measures_scan 10)
+    ~seconds:0.0001;
+  checkf 1e-12 "unchanged" before (Cost_model.predict cm ~id:1 (measures_scan 10));
+  checkb "flag" false (Cost_model.adaptive cm)
+
+let test_wrong_step_rejected () =
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:1 Formulas.Select;
+  checkb "select has no sort step" true
+    (match
+       Cost_model.observe_step cm ~id:1 ~step:Formulas.Step_sort
+         Formulas.zero_measures ~seconds:1.0
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_total_sums () =
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:1 Formulas.Scan;
+  Cost_model.register cm ~id:2 Formulas.Overhead;
+  let plan = [ (1, measures_scan 10); (2, Formulas.zero_measures) ] in
+  checkf 1e-9 "total = sum of predictions"
+    (Cost_model.predict cm ~id:1 (measures_scan 10)
+    +. Cost_model.predict cm ~id:2 Formulas.zero_measures)
+    (Cost_model.total cm plan)
+
+let test_predict_nonnegative () =
+  let cm = Cost_model.create () in
+  Cost_model.register cm ~id:1 Formulas.Scan;
+  (* Train toward zero cost; prediction must stay >= 0. *)
+  for _ = 1 to 10 do
+    Cost_model.observe_step cm ~id:1 ~step:Formulas.Step_read (measures_scan 10)
+      ~seconds:1e-9
+  done;
+  checkb "nonnegative" true (Cost_model.predict cm ~id:1 (measures_scan 50) >= 0.0)
+
+let prop_predict_monotone_in_blocks =
+  QCheck.Test.make ~name:"scan prediction monotone in blocks" ~count:50
+    QCheck.(pair (int_range 1 50) (int_range 1 50))
+    (fun (a, b) ->
+      let cm = Cost_model.create () in
+      Cost_model.register cm ~id:1 Formulas.Scan;
+      let pa = Cost_model.predict cm ~id:1 (measures_scan a) in
+      let pb = Cost_model.predict cm ~id:1 (measures_scan b) in
+      (a <= b && pa <= pb) || (a >= b && pa >= pb))
+
+let () =
+  Alcotest.run "timecost"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "steps nonempty" `Quick test_steps_nonempty;
+          Alcotest.test_case "dims match initials" `Quick test_step_dims_match_initials;
+          Alcotest.test_case "step composition" `Quick test_join_has_merge_step;
+          Alcotest.test_case "feature extraction" `Quick test_features_pick_fields;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "register/predict" `Quick test_register_and_predict_initial;
+          Alcotest.test_case "initial scale" `Quick test_initial_scale;
+          Alcotest.test_case "convergence" `Quick test_observe_converges;
+          Alcotest.test_case "level recalibration" `Quick
+            test_observe_level_recalibration;
+          Alcotest.test_case "non-adaptive frozen" `Quick test_non_adaptive_frozen;
+          Alcotest.test_case "wrong step rejected" `Quick test_wrong_step_rejected;
+          Alcotest.test_case "total sums" `Quick test_total_sums;
+          Alcotest.test_case "nonnegative" `Quick test_predict_nonnegative;
+          QCheck_alcotest.to_alcotest prop_predict_monotone_in_blocks;
+        ] );
+    ]

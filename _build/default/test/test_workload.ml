@@ -1,0 +1,125 @@
+module Generator = Taqp_workload.Generator
+module Paper_setup = Taqp_workload.Paper_setup
+module Heap_file = Taqp_storage.Heap_file
+module Eval = Taqp_relational.Eval
+module Prng = Taqp_rng.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let small = { Generator.n_tuples = 200; tuple_bytes = 200; block_bytes = 1024 }
+
+let test_paper_spec () =
+  checki "tuples" 10_000 Generator.paper_spec.Generator.n_tuples;
+  checki "tuple bytes" 200 Generator.paper_spec.Generator.tuple_bytes;
+  let r = Generator.relation ~spec:small ~rng:(Prng.create 1) () in
+  checki "blocking factor 5" 5 (Heap_file.blocking_factor r);
+  checki "blocks" 40 (Heap_file.n_blocks r);
+  checki "tuples stored" 200 (Heap_file.n_tuples r)
+
+let test_sel_column_is_permutation () =
+  let r = Generator.relation ~spec:small ~rng:(Prng.create 2) () in
+  let sels =
+    List.filter_map
+      (fun t -> Taqp_data.Value.to_int (Taqp_data.Tuple.get t 1))
+      (Heap_file.to_list r)
+  in
+  Alcotest.check
+    Alcotest.(list int)
+    "permutation of 0..n-1"
+    (List.init 200 (fun i -> i))
+    (List.sort Int.compare sels)
+
+let test_selection_workload_exact () =
+  let wl = Paper_setup.selection ~spec:small ~output:37 ~seed:3 () in
+  checki "exact equals requested output" 37 wl.Paper_setup.exact;
+  checki "agrees with evaluator" 37 (Eval.count wl.catalog wl.query)
+
+let test_join_workload () =
+  let wl = Paper_setup.join ~spec:small ~target_output:1000 ~seed:3 () in
+  (* group size c = round(1000/200) = 5; 40 groups of 5x5 = 1000 *)
+  checki "exact output" 1000 wl.Paper_setup.exact;
+  checki "group size" 5 (Generator.join_group_size ~n:200 ~target_output:1000)
+
+let test_join_group_size_bounds () =
+  checki "clamped low" 1 (Generator.join_group_size ~n:100 ~target_output:0);
+  checki "clamped high" 100 (Generator.join_group_size ~n:100 ~target_output:100_000_000);
+  checkb "invalid n" true
+    (match Generator.join_group_size ~n:0 ~target_output:10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_intersection_full_overlap () =
+  let wl = Paper_setup.intersection ~spec:small ~seed:4 () in
+  checki "full overlap" 200 wl.Paper_setup.exact
+
+let test_intersection_partial_overlap () =
+  let wl = Paper_setup.intersection ~spec:small ~overlap:50 ~seed:4 () in
+  checki "partial overlap" 50 wl.Paper_setup.exact
+
+let test_partial_copy_bounds () =
+  let r = Generator.relation ~spec:small ~rng:(Prng.create 5) () in
+  checkb "bad keep" true
+    (match Generator.partial_copy ~rng:(Prng.create 1) ~keep:201 ~fresh_ids_from:1000 r with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let c = Generator.partial_copy ~rng:(Prng.create 1) ~keep:0 ~fresh_ids_from:1000 r in
+  checki "cardinality preserved" 200 (Heap_file.n_tuples c)
+
+let test_shuffled_copy_same_set () =
+  let r = Generator.relation ~spec:small ~rng:(Prng.create 6) () in
+  let c = Generator.shuffled_copy ~rng:(Prng.create 7) r in
+  let key f =
+    List.sort Taqp_data.Tuple.compare (Heap_file.to_list f)
+  in
+  checkb "same tuple set" true
+    (List.for_all2 Taqp_data.Tuple.equal (key r) (key c));
+  (* physically different placement with overwhelming probability *)
+  checkb "different order" true
+    (not (List.for_all2 Taqp_data.Tuple.equal (Heap_file.to_list r) (Heap_file.to_list c)))
+
+let test_projection_workload () =
+  let wl = Paper_setup.projection ~spec:small ~groups:13 ~seed:8 () in
+  checki "distinct groups" 13 wl.Paper_setup.exact
+
+let test_select_join_workload () =
+  let wl = Paper_setup.select_join ~spec:small ~target_output:1000 ~keep:40 ~seed:8 () in
+  checkb "filtered below join size" true (wl.Paper_setup.exact < 1000);
+  checki "agrees with evaluator" wl.Paper_setup.exact (Eval.count wl.catalog wl.query)
+
+let test_projection_skewed_workload () =
+  let wl = Paper_setup.projection_skewed ~spec:small ~groups:30 ~zipf_s:1.5 ~seed:9 () in
+  checkb "realized groups bounded" true (wl.Paper_setup.exact <= 30);
+  checkb "some groups realized" true (wl.Paper_setup.exact >= 5);
+  checki "agrees with evaluator" wl.Paper_setup.exact
+    (Eval.count wl.catalog wl.query)
+
+let test_union_workload () =
+  let wl = Paper_setup.union_of_selects ~spec:small ~seed:8 () in
+  (* sel < 60 plus sel >= 160: 60 + 40 = 100 *)
+  checki "disjoint union" 100 wl.Paper_setup.exact
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "paper spec" `Quick test_paper_spec;
+          Alcotest.test_case "sel permutation" `Quick test_sel_column_is_permutation;
+          Alcotest.test_case "join group size" `Quick test_join_group_size_bounds;
+          Alcotest.test_case "partial copy" `Quick test_partial_copy_bounds;
+          Alcotest.test_case "shuffled copy" `Quick test_shuffled_copy_same_set;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "selection exact" `Quick test_selection_workload_exact;
+          Alcotest.test_case "join" `Quick test_join_workload;
+          Alcotest.test_case "intersection full" `Quick test_intersection_full_overlap;
+          Alcotest.test_case "intersection partial" `Quick
+            test_intersection_partial_overlap;
+          Alcotest.test_case "projection" `Quick test_projection_workload;
+          Alcotest.test_case "skewed projection" `Quick test_projection_skewed_workload;
+          Alcotest.test_case "select-join" `Quick test_select_join_workload;
+          Alcotest.test_case "union" `Quick test_union_workload;
+        ] );
+    ]
