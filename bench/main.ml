@@ -70,7 +70,7 @@ let () =
      Taneja, SIGMOD 1989)@.%d trials per table row; virtual-clock device \
      (see DESIGN.md)@."
     trials;
-  match !mode with
+  (match !mode with
   | Tables filter -> run_tables filter
   | Ablations -> Ablations.all ~trials ()
   | Micro -> Micro.run ()
@@ -79,4 +79,8 @@ let () =
       run_tables None;
       Ablations.all ~trials ();
       Scheduling.run ();
-      Micro.run ()
+      Micro.run ());
+  (* Every run also refreshes the machine-readable observability
+     report: per-query stage-cost and overspend distributions from the
+     metrics registry (see docs/OBSERVABILITY.md). *)
+  Obs_report.write ~trials:(Int.min trials 10) ()

@@ -1,0 +1,96 @@
+(* The observability report: run each paper workload a few times with a
+   metrics registry attached and dump the aggregated stage-cost and
+   overspend distributions plus device activity to BENCH_obs.json —
+   machine-readable counterparts of the tables, for tracking cost-model
+   calibration drift across commits. *)
+
+module Taqp = Taqp_core.Taqp
+module Config = Taqp_core.Config
+module Report = Taqp_core.Report
+module Stopping = Taqp_timecontrol.Stopping
+module Paper_setup = Taqp_workload.Paper_setup
+module Generator = Taqp_workload.Generator
+module Metrics = Taqp_obs.Metrics
+module Json = Taqp_obs.Json
+
+let spec = { Generator.paper_spec with Generator.n_tuples = 2_000 }
+
+let workloads =
+  [
+    ("selection", fun seed -> Paper_setup.selection ~spec ~seed ());
+    ("join", fun seed -> Paper_setup.join ~spec ~seed ());
+    ("intersection", fun seed -> Paper_setup.intersection ~spec ~seed ());
+    ("projection", fun seed -> Paper_setup.projection ~spec ~seed ());
+    ("select_join", fun seed -> Paper_setup.select_join ~spec ~seed ());
+  ]
+
+let observe_config =
+  {
+    Config.default with
+    Config.stopping = Stopping.Soft_deadline { grace = 1e9 };
+  }
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("n", Json.Num (float_of_int (Metrics.Histogram.count h)));
+      ("mean", Json.Num (Metrics.Histogram.mean h));
+      ("p50", Json.Num (Metrics.Histogram.quantile h 0.5));
+      ("p95", Json.Num (Metrics.Histogram.quantile h 0.95));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, n) ->
+               Json.Obj
+                 [ ("le", Json.Num le); ("n", Json.Num (float_of_int n)) ])
+             (Metrics.Histogram.buckets h)) );
+    ]
+
+let query_json ~trials ~quota name make =
+  let metrics = Metrics.create () in
+  let stages = ref 0 and aborted = ref 0 in
+  for seed = 1 to trials do
+    let wl = make seed in
+    let r =
+      Taqp.count_within ~config:observe_config ~seed ~metrics
+        wl.Paper_setup.catalog ~quota wl.Paper_setup.query
+    in
+    stages := !stages + r.Report.stages_completed;
+    if r.Report.stage_aborted then incr aborted
+  done;
+  let counter n = float_of_int (List.assoc n (Metrics.counters metrics)) in
+  let hist n = List.assoc n (Metrics.histograms metrics) in
+  Json.Obj
+    [
+      ("query", Json.Str name);
+      ("trials", Json.Num (float_of_int trials));
+      ("quota", Json.Num quota);
+      ("stages_completed", Json.Num (float_of_int !stages));
+      ("stages_aborted_or_overspent", Json.Num (float_of_int !aborted));
+      ("blocks_read", Json.Num (counter "io.blocks_read"));
+      ("tuples_checked", Json.Num (counter "io.tuples_checked"));
+      ("stage_cost", histogram_json (hist "stage.actual_cost"));
+      ("predicted_cost", histogram_json (hist "stage.predicted_cost"));
+      ("overspend", histogram_json (hist "query.overspend"));
+    ]
+
+let write ?(path = "BENCH_obs.json") ?(trials = 10) ?(quota = 2.0) () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-obs/1");
+        ("trials_per_query", Json.Num (float_of_int trials));
+        ("quota_seconds", Json.Num quota);
+        ( "queries",
+          Json.List
+            (List.map
+               (fun (name, make) -> query_json ~trials ~quota name make)
+               workloads) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d queries x %d trials)@." path (List.length workloads)
+    trials

@@ -17,6 +17,8 @@ module Csv_io = Taqp_storage.Csv_io
 module Catalog = Taqp_storage.Catalog
 module Heap_file = Taqp_storage.Heap_file
 module Paper_setup = Taqp_workload.Paper_setup
+module Sink = Taqp_obs.Sink
+module Metrics = Taqp_obs.Metrics
 
 let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
 
@@ -151,7 +153,35 @@ let query_cmd =
              the overspend instead of aborting at the deadline.")
   in
   let trace_arg =
-    Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Print the per-stage trace.")
+    Arg.(
+      value & flag
+      & info [ "t"; "trace" ]
+          ~doc:
+            "Print an end-of-run trace summary (per-stage lines and \
+             per-layer time totals, derived from the span stream).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the full event trace to $(docv).")
+  in
+  let trace_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace file format: $(b,jsonl) (one event per line) or \
+             $(b,chrome) (a chrome://tracing / Perfetto-loadable \
+             trace_event array).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry (io.* counters, stage histograms).")
   in
   let groups_arg =
     Arg.(
@@ -169,8 +199,8 @@ let query_cmd =
             "Also stop when the 95% interval is within PCT percent of the \
              estimate (error-constrained evaluation).")
   in
-  let run dir query quota aggregate d_beta strategy observe trace groups
-      error_bound seed =
+  let run dir query quota aggregate d_beta strategy observe trace trace_out
+      trace_format metrics groups error_bound seed =
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
@@ -199,15 +229,51 @@ let query_cmd =
                     ]
             in
             let config = { Config.default with Config.strategy; stopping } in
+            (* Assemble the event sinks: a file stream (JSONL or Chrome
+               trace_event) and/or the stdout summary. The sinks are
+               closed by [aggregate_within] before the report comes
+               back, so the summary prints first and file buffers are
+               complete; we only close the channel afterwards. *)
+            let out_channel = ref None in
             match
-              Taqp.aggregate_within ~config ~seed ~aggregate catalog ~quota expr
+              Option.map
+                (fun file ->
+                  try Ok (open_out file) with Sys_error m -> Error m)
+                trace_out
+            with
+            | Some (Error m) -> fail "cannot open trace file: %s" m
+            | opened ->
+            let file_sink =
+              match opened with
+              | None -> []
+              | Some (Ok oc) ->
+                  out_channel := Some oc;
+                  [
+                    (match trace_format with
+                    | `Jsonl -> Sink.jsonl (Sink.to_channel oc)
+                    | `Chrome -> Sink.chrome (Sink.to_channel oc));
+                  ]
+              | Some (Error _) -> assert false
+            in
+            let summary_sink =
+              if trace then [ Sink.summary Fmt.stdout ] else []
+            in
+            let sink =
+              match file_sink @ summary_sink with
+              | [] -> None
+              | [ s ] -> Some s
+              | sinks -> Some (Sink.tee sinks)
+            in
+            let registry = if metrics then Some (Metrics.create ()) else None in
+            let close_file () = Option.iter close_out !out_channel in
+            match
+              Taqp.aggregate_within ~config ~seed ?sink ?metrics:registry
+                ~aggregate catalog ~quota expr
             with
             | report ->
+                close_file ();
                 Fmt.pr "%a@." Report.pp report;
-                if trace then
-                  List.iter
-                    (fun s -> Fmt.pr "  %a@." Report.pp_stage s)
-                    report.Report.trace;
+                Option.iter (fun m -> Fmt.pr "%a@." Metrics.pp m) registry;
                 if groups > 0 then begin
                   match report.Report.groups with
                   | [] -> Fmt.pr "(no group estimates: not a plain projection)@."
@@ -219,15 +285,20 @@ let query_cmd =
                         gs
                 end;
                 `Ok ()
-            | exception Staged.Compile_error m -> fail "%s" m
-            | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m))
+            | exception Staged.Compile_error m ->
+                close_file ();
+                fail "%s" m
+            | exception Taqp_relational.Ra.Type_error m ->
+                close_file ();
+                fail "type error: %s" m))
   in
   let term =
     Term.(
       ret
         (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
-       $ d_beta_arg $ strategy_arg $ observe_arg $ trace_arg $ groups_arg
-       $ error_bound_arg $ seed_arg))
+       $ d_beta_arg $ strategy_arg $ observe_arg $ trace_arg $ trace_out_arg
+       $ trace_format_arg $ metrics_arg $ groups_arg $ error_bound_arg
+       $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"

@@ -1,6 +1,9 @@
 module Clock = Taqp_storage.Clock
 module Device = Taqp_storage.Device
 module Io_stats = Taqp_storage.Io_stats
+module Tracer = Taqp_obs.Tracer
+module Event = Taqp_obs.Event
+module Metrics = Taqp_obs.Metrics
 module Count_estimator = Taqp_estimators.Count_estimator
 module Cost_model = Taqp_timecost.Cost_model
 module Formulas = Taqp_timecost.Formulas
@@ -147,7 +150,7 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
       (match outcome with
       | Report.Aborted_mid_stage | Report.Overspent -> true
       | Report.Finished | Report.Quota_exhausted | Report.Exact -> false);
-    blocks_read = io.Io_stats.blocks_read;
+    blocks_read = Io_stats.blocks_read io;
     useful_blocks = state.useful_blocks;
     io;
     trace = List.rev state.trace_rev;
@@ -171,9 +174,20 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
   in
   let staged = Staged.compile ~aggregate ~catalog ~config ~rng ~cost_model expr in
   let clock = Device.clock device in
+  let tracer = Device.tracer device in
+  let metrics = Device.metrics device in
+  (* Histograms live in the device's registry whether or not a tracer
+     is attached: observing them never touches the clock, so they are
+     behavior-neutral. *)
+  let stage_predicted_h = Metrics.histogram metrics "stage.predicted_cost" in
+  let stage_actual_h = Metrics.histogram metrics "stage.actual_cost" in
+  let overspend_h = Metrics.histogram metrics "query.overspend" in
   let start = Clock.now clock in
   let io_before = Io_stats.copy (Device.stats device) in
   let deadline_mode = Stopping.deadline_mode config.stopping in
+  if Tracer.enabled tracer then
+    Tracer.span_begin tracer ~cat:"query" "query"
+      ~args:[ ("quota", Event.Float quota) ];
   Clock.arm clock ~mode:deadline_mode ~at:(start +. quota);
   let state =
     {
@@ -207,8 +221,25 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
   in
   let finish outcome =
     Clock.disarm clock;
-    finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
-      ~config
+    let report =
+      finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
+        ~config
+    in
+    Metrics.Histogram.observe overspend_h report.Report.overspend;
+    if Tracer.enabled tracer then begin
+      Tracer.instant tracer ~cat:"query" "stop"
+        ~args:[ ("reason", Event.String (Report.outcome_name outcome)) ];
+      Tracer.span_end tracer ~cat:"query" "query"
+        ~args:
+          [
+            ("outcome", Event.String (Report.outcome_name outcome));
+            ("estimate", Event.Float report.Report.estimate);
+            ("elapsed", Event.Float report.Report.elapsed);
+            ("stages", Event.Int report.Report.stages_completed);
+            ("blocks_read", Event.Int report.Report.blocks_read);
+          ]
+    end;
+    report
   in
   let rec loop () =
     if Staged.exhausted staged then finish Report.Exact
@@ -263,17 +294,56 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
   and run_one_stage ~f ~predicted =
     let stage_start = Clock.now clock -. start in
     state.stages_attempted <- state.stages_attempted + 1;
+    let stage_name = Printf.sprintf "stage-%d" state.stages_attempted in
+    Metrics.Histogram.observe stage_predicted_h predicted;
+    if Tracer.enabled tracer then
+      Tracer.span_begin tracer ~cat:"stage" stage_name
+        ~args:
+          [
+            ("index", Event.Int state.stages_attempted);
+            ("fraction", Event.Float f);
+            ("predicted", Event.Float predicted);
+          ];
+    (* The stage span's End event carries the full predicted-vs-actual
+       record plus the stopping-criterion decision taken for it; the
+       summary sink renders its per-stage lines from exactly this. *)
+    let end_stage ~decision ?estimate () =
+      if Tracer.enabled tracer then begin
+        let actual = Clock.now clock -. start -. stage_start in
+        let args =
+          [
+            ("index", Event.Int state.stages_attempted);
+            ("fraction", Event.Float f);
+            ("predicted", Event.Float predicted);
+            ("actual", Event.Float actual);
+            ("decision", Event.String decision);
+          ]
+        in
+        let args =
+          match estimate with
+          | None -> args
+          | Some e -> args @ [ ("estimate", Event.Float e) ]
+        in
+        Tracer.span_end tracer ~cat:"stage" stage_name ~args
+      end
+    in
     match
       Device.stage_overhead device;
       Staged.run_stage staged ~device ~f
     with
     | exception Clock.Deadline_exceeded _ ->
         Log.debug (fun m -> m "stage %d aborted by deadline" state.stages_attempted);
+        Metrics.Histogram.observe stage_actual_h
+          (Clock.now clock -. start -. stage_start);
+        end_stage ~decision:"aborted" ();
         finish Report.Aborted_mid_stage
-    | None -> finish Report.Exact
+    | None ->
+        end_stage ~decision:"exhausted" ();
+        finish Report.Exact
     | Some result ->
         let stage_end = Clock.now clock -. start in
         let stage_time = stage_end -. stage_start in
+        Metrics.Histogram.observe stage_actual_h stage_time;
         let overhead_observed =
           Float.max 0.0
             (stage_time -. result.Staged.nodes_elapsed
@@ -302,10 +372,14 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
           (* Observe mode let the stage finish past the quota: the
              paper counts its whole time as wasted and reports the
              overshoot as ovsp. *)
+          end_stage ~decision:"overspent"
+            ~estimate:estimate.Count_estimator.estimate ();
           if state.last_good = None then state.last_good <- Some estimate;
           finish Report.Overspent
         end
         else begin
+          end_stage ~decision:"completed"
+            ~estimate:estimate.Count_estimator.estimate ();
           state.useful_time <- state.useful_time +. stage_time;
           state.stages_completed <- state.stages_completed + 1;
           state.useful_blocks <-

@@ -18,6 +18,8 @@ module Inclusion_exclusion = Taqp_estimators.Inclusion_exclusion
 module Formulas = Taqp_timecost.Formulas
 module Cost_model = Taqp_timecost.Cost_model
 module Sel_plus = Taqp_timecontrol.Sel_plus
+module Tracer = Taqp_obs.Tracer
+module Event = Taqp_obs.Event
 
 exception Compile_error of string
 
@@ -653,6 +655,7 @@ let read_units device scan unit_ids =
   Array.concat per_unit
 
 let draw_and_scan t device ~f =
+  let tracer = Device.tracer device in
   List.filter_map
     (fun scan ->
       let k = units_for scan ~f in
@@ -670,6 +673,14 @@ let draw_and_scan t device ~f =
         scan.stage_tuples <- Array.length tuples :: scan.stage_tuples;
         scan.drawn_tuples <- scan.drawn_tuples + Array.length tuples;
         let t1 = Clock.now (Device.clock device) in
+        if Tracer.enabled tracer then
+          Tracer.complete tracer ~cat:"scan" ~begin_ts:t0
+            ("scan:" ^ scan.relation)
+            ~args:
+              [
+                ("units", Event.Int (List.length unit_ids));
+                ("tuples", Event.Int (Array.length tuples));
+              ];
         Cost_model.observe_step t.cost_model ~id:scan.scan_id
           ~step:Formulas.Step_read
           {
@@ -681,9 +692,46 @@ let draw_and_scan t device ~f =
       end)
     t.scans
 
+let node_label node =
+  match node.kind with
+  | Leaf scan -> "scan:" ^ scan.relation
+  | Select_node _ -> "select"
+  | Project_node _ -> "project"
+  | Binary_node { op = `Join; _ } -> "join"
+  | Binary_node { op = `Intersect; _ } -> "intersect"
+
 (* Evaluate a node's stage delta; children first, own work timed and
-   fed back to the cost model and selectivity records. *)
+   fed back to the cost model and selectivity records. [eval_node]
+   wraps the real evaluator in an operator-category span (children
+   recurse through the wrapper, so the span tree mirrors the operator
+   tree); tuples-in is the number of sample-space points this stage
+   added under the node, tuples-out the delta it produced. *)
 let rec eval_node t device node : Tuple.t array =
+  let tracer = Device.tracer device in
+  if not (Tracer.enabled tracer) then eval_node_body t device node
+  else begin
+    let label = node_label node in
+    let points_before = node.cum_points in
+    Tracer.span_begin tracer ~cat:"operator" label
+      ~args:[ ("node", Event.Int node.id) ];
+    match eval_node_body t device node with
+    | out ->
+        Tracer.span_end tracer ~cat:"operator" label
+          ~args:
+            [
+              ("node", Event.Int node.id);
+              ("tuples_in", Event.Float (node.cum_points -. points_before));
+              ("tuples_out", Event.Int (Array.length out));
+              ("sel", Event.Float (Selectivity.estimate node.sel));
+            ];
+        out
+    | exception e ->
+        Tracer.span_end tracer ~cat:"operator" label
+          ~args:[ ("node", Event.Int node.id); ("aborted", Event.Bool true) ];
+        raise e
+  end
+
+and eval_node_body t device node : Tuple.t array =
   let clock = Device.clock device in
   let bf = bf_of_bytes ~block_bytes:t.block_bytes node.out_bytes in
   let charge_out n =
@@ -1059,13 +1107,7 @@ let rec snapshot_node node acc =
   let snap =
     {
       Report.op_id = node.id;
-      op_label =
-        (match node.kind with
-        | Leaf scan -> "scan:" ^ scan.relation
-        | Select_node _ -> "select"
-        | Project_node _ -> "project"
-        | Binary_node { op = `Join; _ } -> "join"
-        | Binary_node { op = `Intersect; _ } -> "intersect");
+      op_label = node_label node;
       selectivity = Selectivity.estimate node.sel;
       points_seen = node.cum_points;
       tuples_seen = node.cum_out;

@@ -4,16 +4,27 @@ module Cost_params = Taqp_storage.Cost_params
 
 let parse = Taqp_relational.Parser.expression
 
-let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1)
-    ~aggregate catalog ~quota expr =
+let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
+    ?metrics ~aggregate catalog ~quota expr =
   let rng = Taqp_rng.Prng.create seed in
   let clock = Clock.create_virtual () in
-  let device = Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng) clock in
-  Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr
+  let tracer =
+    match sink with
+    | None -> None
+    | Some sink ->
+        Some (Taqp_obs.Tracer.make ~now:(fun () -> Clock.now clock) ~sink)
+  in
+  let device =
+    Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng) ?metrics ?tracer
+      clock
+  in
+  let report = Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr in
+  Option.iter Taqp_obs.Tracer.close tracer;
+  report
 
-let count_within ?config ?params ?seed catalog ~quota expr =
-  aggregate_within ?config ?params ?seed ~aggregate:Aggregate.Count catalog
-    ~quota expr
+let count_within ?config ?params ?seed ?sink ?metrics catalog ~quota expr =
+  aggregate_within ?config ?params ?seed ?sink ?metrics
+    ~aggregate:Aggregate.Count catalog ~quota expr
 
 let count_within_device ?config ?(aggregate = Aggregate.Count) ~device ~rng
     catalog ~quota expr =

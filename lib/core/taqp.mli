@@ -24,18 +24,27 @@ val count_within :
   ?config:Config.t ->
   ?params:Cost_params.t ->
   ?seed:int ->
+  ?sink:Taqp_obs.Sink.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
   Catalog.t ->
   quota:float ->
   Ra.t ->
   Report.t
 (** Evaluate COUNT(expr) within [quota] simulated seconds on a fresh
     virtual device. [seed] (default 1) drives both sampling and device
-    jitter. *)
+    jitter. Passing [sink] attaches a {!Taqp_obs.Tracer} keyed to the
+    run's virtual clock — every storage charge, operator evaluation and
+    executor stage is streamed to it, and it is closed before the
+    report is returned. Passing [metrics] shares a registry with the
+    device's [io.*] counters and the executor's stage histograms.
+    Neither changes the run: tracing only reads the clock. *)
 
 val aggregate_within :
   ?config:Config.t ->
   ?params:Cost_params.t ->
   ?seed:int ->
+  ?sink:Taqp_obs.Sink.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
   aggregate:Aggregate.t ->
   Catalog.t ->
   quota:float ->

@@ -1,0 +1,151 @@
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type phase =
+  | Begin
+  | End
+  | Complete of float
+  | Instant
+  | Counter of float
+
+type t = {
+  name : string;
+  cat : string;
+  ts : float;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+let arg_to_json = function
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | String s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let arg_of_json = function
+  | Json.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Some (Int (int_of_float f))
+      else Some (Float f)
+  | Json.Str s -> Some (String s)
+  | Json.Bool b -> Some (Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let args_to_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)
+
+let args_of_json = function
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun a -> (k, a)) (arg_of_json v))
+        fields
+  | _ -> []
+
+let phase_name = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Complete _ -> "complete"
+  | Instant -> "instant"
+  | Counter _ -> "counter"
+
+let to_json e =
+  let base =
+    [
+      ("ev", Json.Str (phase_name e.phase));
+      ("name", Json.Str e.name);
+      ("cat", Json.Str e.cat);
+      ("ts", Json.Num e.ts);
+    ]
+  in
+  let extra =
+    match e.phase with
+    | Complete dur -> [ ("dur", Json.Num dur) ]
+    | Counter v -> [ ("value", Json.Num v) ]
+    | Begin | End | Instant -> []
+  in
+  let args = match e.args with [] -> [] | a -> [ ("args", args_to_json a) ] in
+  Json.Obj (base @ extra @ args)
+
+let ( let* ) = Option.bind
+
+let of_json j =
+  let* ev = Option.bind (Json.member "ev" j) Json.to_str in
+  let* name = Option.bind (Json.member "name" j) Json.to_str in
+  let* cat = Option.bind (Json.member "cat" j) Json.to_str in
+  let* ts = Option.bind (Json.member "ts" j) Json.to_float in
+  let* phase =
+    match ev with
+    | "begin" -> Some Begin
+    | "end" -> Some End
+    | "instant" -> Some Instant
+    | "complete" ->
+        Option.map
+          (fun d -> Complete d)
+          (Option.bind (Json.member "dur" j) Json.to_float)
+    | "counter" ->
+        Option.map
+          (fun v -> Counter v)
+          (Option.bind (Json.member "value" j) Json.to_float)
+    | _ -> None
+  in
+  Some { name; cat; ts; phase; args = args_of_json (Json.member "args" j) }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event                                                  *)
+
+let us seconds = seconds *. 1e6
+
+let to_chrome_json e =
+  let ph, extra, args =
+    match e.phase with
+    | Begin -> ("B", [], e.args)
+    | End -> ("E", [], e.args)
+    | Complete dur -> ("X", [ ("dur", Json.Num (us dur)) ], e.args)
+    | Instant -> ("i", [ ("s", Json.Str "t") ], e.args)
+    | Counter v -> ("C", [], [ ("value", Float v) ])
+  in
+  let args = match args with [] -> [] | a -> [ ("args", args_to_json a) ] in
+  Json.Obj
+    ([
+       ("name", Json.Str e.name);
+       ("cat", Json.Str e.cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Num (us e.ts));
+       ("pid", Json.Num 1.0);
+       ("tid", Json.Num 1.0);
+     ]
+    @ extra @ args)
+
+let of_chrome_json j =
+  let* ph = Option.bind (Json.member "ph" j) Json.to_str in
+  let* name = Option.bind (Json.member "name" j) Json.to_str in
+  let* ts_us = Option.bind (Json.member "ts" j) Json.to_float in
+  let cat =
+    Option.value ~default:""
+      (Option.bind (Json.member "cat" j) Json.to_str)
+  in
+  let ts = ts_us /. 1e6 in
+  let* phase =
+    match ph with
+    | "B" -> Some Begin
+    | "E" -> Some End
+    | "i" | "I" -> Some Instant
+    | "X" ->
+        Option.map
+          (fun d -> Complete (d /. 1e6))
+          (Option.bind (Json.member "dur" j) Json.to_float)
+    | "C" ->
+        Option.map
+          (fun v -> Counter v)
+          (Option.bind (Json.member "args" j) (fun a ->
+               Option.bind (Json.member "value" a) Json.to_float))
+    | _ -> None
+  in
+  let args =
+    match phase with
+    | Counter _ -> []
+    | _ -> args_of_json (Json.member "args" j)
+  in
+  Some { name; cat; ts; phase; args }

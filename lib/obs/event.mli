@@ -1,0 +1,47 @@
+(** A single observability event.
+
+    Events are what the {!Tracer} emits and what {!Sink}s consume. The
+    vocabulary is the useful subset of Chrome's [trace_event] model:
+    begin/end span pairs, self-contained complete spans (with a
+    duration), instants, and counter samples. Timestamps are seconds on
+    the query clock — virtual or wall, whichever the tracer was built
+    over — and are never charged back to that clock. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type phase =
+  | Begin  (** span opens at [ts] *)
+  | End  (** innermost open span with this name closes at [ts] *)
+  | Complete of float  (** span of the given duration ending the event *)
+  | Instant
+  | Counter of float  (** sampled value *)
+
+type t = {
+  name : string;
+  cat : string;  (** layer: ["query"], ["stage"], ["operator"], ["scan"], ["storage"], ["clock"] *)
+  ts : float;  (** seconds on the query clock *)
+  phase : phase;
+  args : (string * arg) list;
+}
+
+val arg_to_json : arg -> Json.t
+
+val to_json : t -> Json.t
+(** The JSONL schema: [{"ev":...,"name":...,"cat":...,"ts":...}] plus
+    ["dur"] (complete), ["value"] (counter) and ["args"] when present. *)
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} (argument payloads collapse to floats,
+    strings and bools). *)
+
+val to_chrome_json : t -> Json.t
+(** One Chrome [trace_event] object; [ts]/[dur] are converted to the
+    microseconds the viewer expects. *)
+
+val of_chrome_json : Json.t -> t option
+(** Inverse of {!to_chrome_json} for the phases this module emits
+    (B, E, X, i, C). *)

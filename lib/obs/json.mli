@@ -1,0 +1,37 @@
+(** A minimal JSON value, printer, and parser.
+
+    The observability sinks must emit machine-readable output and the
+    test-suite must parse it back, but the dependency footprint is
+    frozen (DESIGN.md): this is the smallest JSON kernel that covers
+    the JSONL event stream and the Chrome [trace_event] format.
+    Numbers are doubles, objects preserve insertion order, and the
+    parser accepts exactly the RFC 8259 grammar (no comments, no
+    trailing commas). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { offset : int; message : string }
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral doubles within the safe
+    range print without a fractional part, so counters round-trip as
+    integers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}, onto a formatter. *)
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for other constructors. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

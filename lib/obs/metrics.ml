@@ -1,0 +1,225 @@
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let make name = { name; v = 0 }
+  let name t = t.name
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let set t n = t.v <- n
+end
+
+module Gauge = struct
+  type t = { name : string; mutable v : float }
+
+  let make name = { name; v = 0.0 }
+  let name t = t.name
+  let set t v = t.v <- v
+  let value t = t.v
+end
+
+module Histogram = struct
+  type t = {
+    name : string;
+    bounds : float array;  (** strictly increasing upper bounds *)
+    counts : int array;  (** length = Array.length bounds + 1 (overflow) *)
+    mutable n : int;
+    mutable total : float;
+  }
+
+  (* 1 ms .. ~100 s, roughly 1-2-5 per decade: the spread of stage
+     costs and overspends on the paper's quotas. *)
+  let default_buckets =
+    [|
+      0.001; 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0; 5.0;
+      10.0; 20.0; 50.0; 100.0;
+    |]
+
+  let make ?(buckets = default_buckets) name =
+    if Array.length buckets = 0 then
+      invalid_arg "Metrics.Histogram.make: empty buckets";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg "Metrics.Histogram.make: buckets not increasing")
+      buckets;
+    {
+      name;
+      bounds = Array.copy buckets;
+      counts = Array.make (Array.length buckets + 1) 0;
+      n = 0;
+      total = 0.0;
+    }
+
+  let name t = t.name
+
+  let bucket_index t v =
+    (* First bound >= v; binary search is overkill for <= 32 buckets. *)
+    let rec go i =
+      if i >= Array.length t.bounds then Array.length t.bounds
+      else if v <= t.bounds.(i) then i
+      else go (i + 1)
+    in
+    go 0
+
+  let observe t v =
+    let i = bucket_index t v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.n <- t.n + 1;
+    t.total <- t.total +. v
+
+  let count t = t.n
+  let sum t = t.total
+  let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+
+  let quantile t q =
+    if t.n = 0 then 0.0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = q *. float_of_int t.n in
+      let rec go i seen =
+        if i >= Array.length t.counts then
+          t.bounds.(Array.length t.bounds - 1)
+        else
+          let seen' = seen + t.counts.(i) in
+          if float_of_int seen' >= rank && t.counts.(i) > 0 then
+            if i >= Array.length t.bounds then
+              (* overflow bucket: report the last finite bound *)
+              t.bounds.(Array.length t.bounds - 1)
+            else
+              let lo = if i = 0 then 0.0 else t.bounds.(i - 1) in
+              let hi = t.bounds.(i) in
+              let within =
+                (rank -. float_of_int seen) /. float_of_int t.counts.(i)
+              in
+              lo +. ((hi -. lo) *. Float.max 0.0 (Float.min 1.0 within))
+          else go (i + 1) seen'
+      in
+      go 0 0
+    end
+
+  let buckets t =
+    List.init (Array.length t.counts) (fun i ->
+        let bound =
+          if i < Array.length t.bounds then t.bounds.(i) else infinity
+        in
+        (bound, t.counts.(i)))
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type t = { table : (string, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let find_or_add t name make match_existing =
+  match Hashtbl.find_opt t.table name with
+  | Some existing -> (
+      match match_existing existing with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s already registered as a %s" name
+               (kind_name existing)))
+  | None ->
+      let i, v = make () in
+      Hashtbl.replace t.table name i;
+      v
+
+let counter t name =
+  find_or_add t name
+    (fun () ->
+      let c = Counter.make name in
+      (I_counter c, c))
+    (function I_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  find_or_add t name
+    (fun () ->
+      let g = Gauge.make name in
+      (I_gauge g, g))
+    (function I_gauge g -> Some g | _ -> None)
+
+let histogram ?buckets t name =
+  find_or_add t name
+    (fun () ->
+      let h = Histogram.make ?buckets name in
+      (I_histogram h, h))
+    (function I_histogram h -> Some h | _ -> None)
+
+let sorted_fold t f =
+  Hashtbl.fold (fun name i acc -> f name i acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t =
+  sorted_fold t (fun name i acc ->
+      match i with
+      | I_counter c -> (name, Counter.value c) :: acc
+      | _ -> acc)
+
+let gauges t =
+  sorted_fold t (fun name i acc ->
+      match i with I_gauge g -> (name, Gauge.value g) :: acc | _ -> acc)
+
+let histograms t =
+  sorted_fold t (fun name i acc ->
+      match i with I_histogram h -> (name, h) :: acc | _ -> acc)
+
+let histogram_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int (Histogram.count h)));
+      ("sum", Json.Num (Histogram.sum h));
+      ("p50", Json.Num (Histogram.quantile h 0.5));
+      ("p95", Json.Num (Histogram.quantile h 0.95));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (bound, n) ->
+               Json.Obj
+                 [
+                   ( "le",
+                     if Float.is_finite bound then Json.Num bound
+                     else Json.Str "inf" );
+                   ("count", Json.Num (float_of_int n));
+                 ])
+             (Histogram.buckets h)) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) (counters t))
+      );
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Num v)) (gauges t)));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, histogram_to_json h)) (histograms t))
+      );
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-32s %12d@ " name v)
+    (counters t);
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-32s %12.4f@ " name v)
+    (gauges t);
+  List.iter
+    (fun (name, h) ->
+      Format.fprintf ppf "%-32s n=%d mean=%.4f p50=%.4f p95=%.4f@ " name
+        (Histogram.count h) (Histogram.mean h)
+        (Histogram.quantile h 0.5)
+        (Histogram.quantile h 0.95))
+    (histograms t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,75 @@
+(** A process-local metrics registry: monotonic counters, gauges, and
+    fixed-bucket histograms.
+
+    Instruments are get-or-create by name, so independently
+    instrumented layers sharing one registry converge on the same
+    cells. An increment is a single unboxed mutation — the hot
+    block-read path pays exactly what the old ad-hoc [Io_stats] record
+    paid. Instruments can also be created {e detached} (registered
+    nowhere) for snapshots and diffs. *)
+
+type t
+
+val create : unit -> t
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** A detached counter (not in any registry). *)
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val set : t -> int -> unit
+  (** For snapshots/diffs; registered counters should only grow. *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  val name : t -> string
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val make : ?buckets:float array -> string -> t
+  (** [buckets] are upper bounds, strictly increasing; observations
+      above the last bound land in a +inf overflow bucket. The default
+      covers latencies/costs from 1 ms to ~100 s, log-spaced. *)
+
+  val name : t -> string
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0,1]: linear interpolation within the
+      winning bucket; 0 when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** (upper-bound, count) pairs, overflow last as [(infinity, n)]. *)
+end
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : ?buckets:float array -> t -> string -> Histogram.t
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * Histogram.t) list
+
+val to_json : t -> Json.t
+(** Full dump: counters, gauges, histograms with bucket counts and
+    p50/p95. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable end-of-run dump. *)

@@ -1,0 +1,136 @@
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun e -> events := e :: !events);
+      close = (fun () -> ());
+    },
+    fun () -> List.rev !events )
+
+let jsonl write =
+  {
+    emit =
+      (fun e ->
+        write (Json.to_string (Event.to_json e));
+        write "\n");
+    close = (fun () -> ());
+  }
+
+let chrome write =
+  let first = ref true in
+  {
+    emit =
+      (fun e ->
+        if !first then begin
+          write "[\n";
+          first := false
+        end
+        else write ",\n";
+        write (Json.to_string (Event.to_chrome_json e)));
+    close =
+      (fun () ->
+        if !first then write "[]\n" else write "\n]\n");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+
+type open_span = { o_name : string; o_cat : string; o_ts : float }
+
+type summary_state = {
+  mutable stack : open_span list;
+  totals : (string * string, float ref * int ref) Hashtbl.t;
+      (** (cat, name) -> total seconds, count *)
+  mutable stage_lines : string list;  (** newest first *)
+  mutable instants : (float * string) list;  (** newest first *)
+}
+
+let arg_str args key =
+  match List.assoc_opt key args with
+  | Some (Event.String s) -> Some s
+  | Some (Event.Int i) -> Some (string_of_int i)
+  | Some (Event.Float f) -> Some (Printf.sprintf "%g" f)
+  | Some (Event.Bool b) -> Some (string_of_bool b)
+  | None -> None
+
+let record st ~cat ~name dur =
+  let key = (cat, name) in
+  let total, count =
+    match Hashtbl.find_opt st.totals key with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0.0, ref 0) in
+        Hashtbl.replace st.totals key cell;
+        cell
+  in
+  total := !total +. dur;
+  incr count
+
+let summary ppf =
+  let st =
+    {
+      stack = [];
+      totals = Hashtbl.create 32;
+      stage_lines = [];
+      instants = [];
+    }
+  in
+  let emit (e : Event.t) =
+    match e.phase with
+    | Event.Begin ->
+        st.stack <- { o_name = e.name; o_cat = e.cat; o_ts = e.ts } :: st.stack
+    | Event.End -> (
+        match st.stack with
+        | [] -> ()
+        | top :: rest ->
+            st.stack <- rest;
+            let dur = e.ts -. top.o_ts in
+            record st ~cat:top.o_cat ~name:top.o_name dur;
+            if top.o_cat = "stage" then begin
+              let field key = Option.value ~default:"?" (arg_str e.args key) in
+              st.stage_lines <-
+                Printf.sprintf
+                  "%-9s f=%-8s predicted=%ss actual=%.3fs estimate=%s %s"
+                  top.o_name (field "fraction") (field "predicted") dur
+                  (field "estimate") (field "decision")
+                :: st.stage_lines
+            end)
+    | Event.Complete dur -> record st ~cat:e.cat ~name:e.name dur
+    | Event.Instant ->
+        st.instants <- (e.ts, e.cat ^ "/" ^ e.name) :: st.instants
+    | Event.Counter _ -> ()
+  in
+  let close () =
+    Format.fprintf ppf "@[<v>--- trace summary ---@ ";
+    List.iter
+      (fun line -> Format.fprintf ppf "%s@ " line)
+      (List.rev st.stage_lines);
+    let rows =
+      Hashtbl.fold
+        (fun (cat, name) (total, count) acc ->
+          (cat, name, !total, !count) :: acc)
+        st.totals []
+      |> List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare b a)
+    in
+    List.iter
+      (fun (cat, name, total, count) ->
+        Format.fprintf ppf "%-10s %-24s %4dx %9.4fs@ " cat name count total)
+      rows;
+    List.iter
+      (fun (ts, label) -> Format.fprintf ppf "@%.4fs %s@ " ts label)
+      (List.rev st.instants);
+    Format.fprintf ppf "@]@."
+  in
+  { emit; close }
+
+let tee sinks =
+  {
+    emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }
+
+let to_channel oc s = output_string oc s
+let to_buffer buf s = Buffer.add_string buf s

@@ -1,0 +1,37 @@
+(** Where trace events go.
+
+    A sink is a pair of callbacks; the {!Tracer} never buffers, so a
+    sink sees every event in emission order and can stream. All sinks
+    are cheap enough for the virtual-clock experiments; the [null]
+    sink is what a disabled tracer uses and costs nothing. *)
+
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+val null : t
+
+val memory : unit -> t * (unit -> Event.t list)
+(** Collects events; the thunk returns them in emission order. For
+    tests and in-process consumers. *)
+
+val jsonl : (string -> unit) -> t
+(** One JSON object per line ({!Event.to_json}), written through the
+    given string consumer. *)
+
+val chrome : (string -> unit) -> t
+(** Chrome [trace_event] JSON array ({!Event.to_chrome_json}); the
+    array is only valid JSON after [close]. Load the file in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val summary : Format.formatter -> t
+(** Human-readable end-of-run summary, printed on [close]: one line
+    per stage span (predicted vs. actual cost, sample fraction,
+    decision), then per-category/name aggregate durations. This — not
+    the [Report.trace] list — is the tracer-derived view of a run. *)
+
+val tee : t list -> t
+(** Fan out to several sinks; [close] closes all of them. *)
+
+val to_channel : out_channel -> string -> unit
+(** Writer over a channel, for [jsonl]/[chrome]. *)
+
+val to_buffer : Buffer.t -> string -> unit

@@ -1,0 +1,55 @@
+type args = (string * Event.arg) list
+
+type t = {
+  enabled : bool;
+  now : unit -> float;
+  sink : Sink.t;
+}
+
+let disabled = { enabled = false; now = (fun () -> 0.0); sink = Sink.null }
+
+let make ~now ~sink = { enabled = true; now; sink }
+
+let enabled t = t.enabled
+let now t = t.now ()
+
+let emit t ~name ~cat ~ts ~phase ~args =
+  t.sink.Sink.emit { Event.name; cat; ts; phase; args }
+
+let span_begin t ?(cat = "") ?(args = []) name =
+  if t.enabled then
+    emit t ~name ~cat ~ts:(t.now ()) ~phase:Event.Begin ~args
+
+let span_end t ?(cat = "") ?(args = []) name =
+  if t.enabled then emit t ~name ~cat ~ts:(t.now ()) ~phase:Event.End ~args
+
+let complete t ?(cat = "") ?(args = []) ~begin_ts name =
+  if t.enabled then
+    let now = t.now () in
+    emit t ~name ~cat ~ts:now
+      ~phase:(Event.Complete (Float.max 0.0 (now -. begin_ts)))
+      ~args
+
+let instant t ?(cat = "") ?(args = []) ?ts name =
+  if t.enabled then
+    let ts = match ts with Some ts -> ts | None -> t.now () in
+    emit t ~name ~cat ~ts ~phase:Event.Instant ~args
+
+let counter t ?(cat = "") name value =
+  if t.enabled then
+    emit t ~name ~cat ~ts:(t.now ()) ~phase:(Event.Counter value) ~args:[]
+
+let with_span t ?(cat = "") ?(args = []) name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ~cat ~args name;
+    match f () with
+    | v ->
+        span_end t ~cat name;
+        v
+    | exception e ->
+        span_end t ~cat ~args:[ ("aborted", Event.Bool true) ] name;
+        raise e
+  end
+
+let close t = if t.enabled then t.sink.Sink.close ()

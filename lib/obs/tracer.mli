@@ -1,0 +1,43 @@
+(** The span tracer.
+
+    A tracer binds a time source — [now] reads the query clock, virtual
+    or wall — to a {!Sink}. It is deliberately passive: it {e reads}
+    the clock at emission points and never charges it, so an
+    instrumented run and an uninstrumented run advance time
+    identically. The {!disabled} tracer makes every operation a
+    single-branch no-op with no allocation, which is what the hot
+    block-read path sees by default.
+
+    Spans nest by emission order (begin/end bracketing), mirroring the
+    call structure: query > stage > operator/scan > storage. *)
+
+type t
+
+type args = (string * Event.arg) list
+
+val disabled : t
+
+val make : now:(unit -> float) -> sink:Sink.t -> t
+
+val enabled : t -> bool
+val now : t -> float
+
+val span_begin : t -> ?cat:string -> ?args:args -> string -> unit
+val span_end : t -> ?cat:string -> ?args:args -> string -> unit
+
+val complete : t -> ?cat:string -> ?args:args -> begin_ts:float -> string -> unit
+(** A self-contained span that started at [begin_ts] and ends now. *)
+
+val instant : t -> ?cat:string -> ?args:args -> ?ts:float -> string -> unit
+(** [ts] defaults to [now]; pass it explicitly to stamp an event at a
+    known clock value (e.g. the armed deadline at abort time). *)
+
+val counter : t -> ?cat:string -> string -> float -> unit
+
+val with_span : t -> ?cat:string -> ?args:args -> string -> (unit -> 'a) -> 'a
+(** Bracket [f] in a begin/end pair. If [f] raises, the end event is
+    still emitted (tagged [aborted=true]) before the exception
+    propagates, so traces stay balanced across deadline aborts. *)
+
+val close : t -> unit
+(** Close the underlying sink (finalizes file formats). *)

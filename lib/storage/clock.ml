@@ -1,3 +1,6 @@
+module Tracer = Taqp_obs.Tracer
+module Event = Taqp_obs.Event
+
 type deadline_mode = [ `Abort | `Observe ]
 
 type kind = Virtual of { mutable t : float } | Wall of { start : float }
@@ -6,6 +9,7 @@ type t = {
   kind : kind;
   mutable deadline : float option;
   mutable mode : deadline_mode;
+  mutable tracer : Tracer.t;
 }
 
 exception Deadline_exceeded of { now : float; deadline : float }
@@ -13,10 +17,23 @@ exception Deadline_exceeded of { now : float; deadline : float }
 let monotonic () = Unix.gettimeofday ()
 
 let create_virtual () =
-  { kind = Virtual { t = 0.0 }; deadline = None; mode = `Observe }
+  {
+    kind = Virtual { t = 0.0 };
+    deadline = None;
+    mode = `Observe;
+    tracer = Tracer.disabled;
+  }
 
 let create_wall () =
-  { kind = Wall { start = monotonic () }; deadline = None; mode = `Observe }
+  {
+    kind = Wall { start = monotonic () };
+    deadline = None;
+    mode = `Observe;
+    tracer = Tracer.disabled;
+  }
+
+let set_tracer t tracer = t.tracer <- tracer
+let tracer t = t.tracer
 
 let is_virtual t = match t.kind with Virtual _ -> true | Wall _ -> false
 
@@ -25,10 +42,18 @@ let now t =
   | Virtual v -> v.t
   | Wall w -> monotonic () -. w.start
 
+(* The timer-interrupt service routine: stamp the abort on the trace at
+   the exact clock value it fired at, then raise. Reading the clock for
+   the event does not charge it. *)
+let abort t ~now ~deadline =
+  Tracer.instant t.tracer ~cat:"clock" ~ts:now
+    ~args:[ ("deadline", Event.Float deadline) ]
+    "deadline.abort";
+  raise (Deadline_exceeded { now; deadline })
+
 let check_deadline t =
   match (t.deadline, t.mode) with
-  | Some d, `Abort when now t > d ->
-      raise (Deadline_exceeded { now = now t; deadline = d })
+  | Some d, `Abort when now t > d -> abort t ~now:(now t) ~deadline:d
   | _, _ -> ()
 
 let charge t dt =
@@ -40,13 +65,22 @@ let charge t dt =
           (* The timer interrupt fires mid-operation, exactly at the
              deadline: the remainder of the charge is never performed. *)
           v.t <- d;
-          raise (Deadline_exceeded { now = d; deadline = d })
+          abort t ~now:d ~deadline:d
       | _, _ -> v.t <- v.t +. dt)
   | Wall _ -> check_deadline t
 
 let arm t ~mode ~at =
   t.deadline <- Some at;
-  t.mode <- mode
+  t.mode <- mode;
+  Tracer.instant t.tracer ~cat:"clock"
+    ~args:
+      [
+        ("at", Event.Float at);
+        ( "mode",
+          Event.String (match mode with `Abort -> "abort" | `Observe -> "observe")
+        );
+      ]
+    "deadline.armed"
 
 let disarm t = t.deadline <- None
 
@@ -59,8 +93,16 @@ let expired t = match t.deadline with None -> false | Some d -> now t > d
 
 let sleep_until t at =
   match t.kind with
-  | Virtual v -> if at > v.t then v.t <- at
+  | Virtual v -> (
+      match (t.deadline, t.mode) with
+      | Some d, `Abort when at > d ->
+          (* The interrupt fires while the process is asleep: wake at
+             the deadline, not at [at]. *)
+          if d > v.t then v.t <- d;
+          abort t ~now:v.t ~deadline:d
+      | _, _ -> if at > v.t then v.t <- at)
   | Wall _ ->
       while now t < at do
         ignore (Sys.opaque_identity ())
-      done
+      done;
+      check_deadline t

@@ -59,4 +59,18 @@ val expired : t -> bool
 
 val sleep_until : t -> float -> unit
 (** Advance a virtual clock to an absolute time (no-op if already
-    past); busy-waits a wall clock. Used to model idle waiting. *)
+    past); busy-waits a wall clock. Used to model idle waiting. If a
+    deadline is armed in [`Abort] mode and the target time lies past
+    it, the sleeper is interrupted: the clock stops at the deadline
+    and {!Deadline_exceeded} is raised. *)
+
+(** {2 Observability}
+
+    A {!Taqp_obs.Tracer} may be attached to the clock; armed deadlines
+    and timer-interrupt aborts are then recorded as instant events
+    ([deadline.armed], [deadline.abort]) stamped at the exact clock
+    value they occurred at. The tracer only ever {e reads} the clock —
+    attaching one never changes the charge sequence. *)
+
+val set_tracer : t -> Taqp_obs.Tracer.t -> unit
+val tracer : t -> Taqp_obs.Tracer.t

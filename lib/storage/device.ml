@@ -1,16 +1,38 @@
+module Tracer = Taqp_obs.Tracer
+module Event = Taqp_obs.Event
+module Metrics = Taqp_obs.Metrics
+
 type t = {
   clock : Clock.t;
   params : Cost_params.t;
   jitter_rng : Taqp_rng.Prng.t option;
   stats : Io_stats.t;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
 }
 
-let create ?(params = Cost_params.default) ?jitter_rng clock =
-  { clock; params; jitter_rng; stats = Io_stats.create () }
+let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer clock =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let tracer =
+    match tracer with
+    | Some tr -> tr
+    | None -> Clock.tracer clock
+  in
+  if Tracer.enabled tracer then Clock.set_tracer clock tracer;
+  {
+    clock;
+    params;
+    jitter_rng;
+    stats = Io_stats.create ~metrics ();
+    metrics;
+    tracer;
+  }
 
 let clock t = t.clock
 let stats t = t.stats
 let params t = t.params
+let metrics t = t.metrics
+let tracer t = t.tracer
 
 let jitter t =
   match t.jitter_rng with
@@ -19,63 +41,79 @@ let jitter t =
 
 let charge t cost = Clock.charge t.clock (cost *. jitter t)
 
+(* Charge with a storage-level span around it. The disabled path is a
+   single branch — no closure, no allocation — so the hot block-read
+   path costs exactly what it did before instrumentation existed. The
+   charge itself is identical either way: tracing reads the clock, it
+   never advances it. If the charge trips an armed deadline the
+   exception propagates and the clock's own [deadline.abort] instant
+   marks the spot (a dangling storage span is fine in both formats). *)
+let traced_charge t name cost =
+  if Tracer.enabled t.tracer then begin
+    let begin_ts = Clock.now t.clock in
+    charge t cost;
+    Tracer.complete t.tracer ~cat:"storage" ~begin_ts name
+  end
+  else charge t cost
+
 let read_block t =
-  t.stats.blocks_read <- t.stats.blocks_read + 1;
-  charge t t.params.block_read
+  Io_stats.incr_blocks_read t.stats;
+  traced_charge t "read_block" t.params.block_read
 
 let check_tuples t ~n ~comparisons =
   if n > 0 then begin
-    t.stats.tuples_checked <- t.stats.tuples_checked + n;
+    Io_stats.add_tuples_checked t.stats n;
     let per =
       t.params.tuple_check_base
       +. (float_of_int comparisons *. t.params.per_comparison)
     in
-    charge t (float_of_int n *. per)
+    traced_charge t "check_tuples" (float_of_int n *. per)
   end
 
 let write_pages t ~n =
   if n > 0 then begin
-    t.stats.pages_written <- t.stats.pages_written + n;
-    charge t (float_of_int n *. t.params.page_write)
+    Io_stats.add_pages_written t.stats n;
+    traced_charge t "write_pages" (float_of_int n *. t.params.page_write)
   end
 
 let write_temp_tuples t ~n =
   if n > 0 then begin
-    t.stats.temp_tuples_written <- t.stats.temp_tuples_written + n;
-    charge t (float_of_int n *. t.params.temp_tuple_write)
+    Io_stats.add_temp_tuples_written t.stats n;
+    traced_charge t "write_temp" (float_of_int n *. t.params.temp_tuple_write)
   end
 
 let sort t ~n =
   if n > 0 then begin
-    t.stats.tuples_sorted <- t.stats.tuples_sorted + n;
+    Io_stats.add_tuples_sorted t.stats n;
     let fn = float_of_int n in
     let logn = if n > 1 then log (float_of_int n) /. log 2.0 else 1.0 in
-    charge t
+    traced_charge t "sort"
       ((t.params.sort_per_nlogn *. fn *. logn) +. (t.params.sort_per_tuple *. fn))
   end
 
 let merge_tuples t ~n =
   if n > 0 then begin
-    t.stats.tuples_merged <- t.stats.tuples_merged + n;
-    charge t (float_of_int n *. t.params.merge_per_tuple)
+    Io_stats.add_tuples_merged t.stats n;
+    traced_charge t "merge" (float_of_int n *. t.params.merge_per_tuple)
   end
 
 let output_tuples t ~n =
   if n > 0 then begin
-    t.stats.tuples_output <- t.stats.tuples_output + n;
-    charge t (float_of_int n *. t.params.output_per_tuple)
+    Io_stats.add_tuples_output t.stats n;
+    traced_charge t "output" (float_of_int n *. t.params.output_per_tuple)
   end
 
 let estimator_update t ~n =
-  if n > 0 then charge t (float_of_int n *. t.params.estimator_per_tuple)
+  if n > 0 then
+    traced_charge t "estimator_update" (float_of_int n *. t.params.estimator_per_tuple)
 
 let stage_overhead t =
-  t.stats.stages <- t.stats.stages + 1;
-  charge t t.params.stage_overhead
+  Io_stats.incr_stages t.stats;
+  traced_charge t "stage_overhead" t.params.stage_overhead
 
 let misc t cost = Clock.charge t.clock cost
 
-let merge_setup t = charge t t.params.merge_setup
+let merge_setup t = traced_charge t "merge_setup" t.params.merge_setup
 
 let measure t seconds =
   let tick = t.params.clock_tick in

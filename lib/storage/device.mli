@@ -1,18 +1,32 @@
 (** The simulated disk device: the single point through which the
     evaluation engine pays for work. Each primitive charges the clock
-    at the ground-truth {!Cost_params} rate (with jitter) and bumps the
-    matching {!Io_stats} counter. *)
+    at the ground-truth {!Cost_params} rate (with jitter), bumps the
+    matching {!Io_stats} counter (a {!Taqp_obs.Metrics} counter under
+    the hood), and — when a tracer is attached — emits a
+    storage-category span covering the charge. *)
 
 type t
 
 val create :
-  ?params:Cost_params.t -> ?jitter_rng:Taqp_rng.Prng.t -> Clock.t -> t
+  ?params:Cost_params.t ->
+  ?jitter_rng:Taqp_rng.Prng.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?tracer:Taqp_obs.Tracer.t ->
+  Clock.t ->
+  t
 (** [params] defaults to {!Cost_params.default}. Without [jitter_rng]
-    charges are exact even if [params.jitter_sigma > 0]. *)
+    charges are exact even if [params.jitter_sigma > 0]. [metrics]
+    defaults to a fresh registry (the [io.*] counters always live in
+    one). [tracer] defaults to the clock's attached tracer, or the
+    disabled tracer; when enabled it is also attached to the clock so
+    deadline aborts are recorded. Tracing is strictly read-only with
+    respect to the clock: enabling it never changes a charge. *)
 
 val clock : t -> Clock.t
 val stats : t -> Io_stats.t
 val params : t -> Cost_params.t
+val metrics : t -> Taqp_obs.Metrics.t
+val tracer : t -> Taqp_obs.Tracer.t
 
 val read_block : t -> unit
 
@@ -34,7 +48,7 @@ val stage_overhead : t -> unit
 (** The fixed per-stage bookkeeping charge; also counts a stage. *)
 
 val misc : t -> float -> unit
-(** Charge an arbitrary duration (no jitter, no counter). *)
+(** Charge an arbitrary duration (no jitter, no counter, no span). *)
 
 val merge_setup : t -> unit
 (** Fixed cost of opening one pairing of sorted files for a merge. *)

@@ -1,62 +1,83 @@
+module Counter = Taqp_obs.Metrics.Counter
+
 type t = {
-  mutable blocks_read : int;
-  mutable tuples_checked : int;
-  mutable pages_written : int;
-  mutable temp_tuples_written : int;
-  mutable tuples_sorted : int;
-  mutable tuples_merged : int;
-  mutable tuples_output : int;
-  mutable stages : int;
+  blocks_read : Counter.t;
+  tuples_checked : Counter.t;
+  pages_written : Counter.t;
+  temp_tuples_written : Counter.t;
+  tuples_sorted : Counter.t;
+  tuples_merged : Counter.t;
+  tuples_output : Counter.t;
+  stages : Counter.t;
 }
 
-let create () =
+let create ?metrics () =
+  let cell name =
+    match metrics with
+    | Some registry -> Taqp_obs.Metrics.counter registry ("io." ^ name)
+    | None -> Counter.make ("io." ^ name)
+  in
   {
-    blocks_read = 0;
-    tuples_checked = 0;
-    pages_written = 0;
-    temp_tuples_written = 0;
-    tuples_sorted = 0;
-    tuples_merged = 0;
-    tuples_output = 0;
-    stages = 0;
+    blocks_read = cell "blocks_read";
+    tuples_checked = cell "tuples_checked";
+    pages_written = cell "pages_written";
+    temp_tuples_written = cell "temp_tuples_written";
+    tuples_sorted = cell "tuples_sorted";
+    tuples_merged = cell "tuples_merged";
+    tuples_output = cell "tuples_output";
+    stages = cell "stages";
   }
 
-let reset t =
-  t.blocks_read <- 0;
-  t.tuples_checked <- 0;
-  t.pages_written <- 0;
-  t.temp_tuples_written <- 0;
-  t.tuples_sorted <- 0;
-  t.tuples_merged <- 0;
-  t.tuples_output <- 0;
-  t.stages <- 0
+let blocks_read t = Counter.value t.blocks_read
+let tuples_checked t = Counter.value t.tuples_checked
+let pages_written t = Counter.value t.pages_written
+let temp_tuples_written t = Counter.value t.temp_tuples_written
+let tuples_sorted t = Counter.value t.tuples_sorted
+let tuples_merged t = Counter.value t.tuples_merged
+let tuples_output t = Counter.value t.tuples_output
+let stages t = Counter.value t.stages
+
+let incr_blocks_read t = Counter.incr t.blocks_read
+let add_tuples_checked t n = Counter.add t.tuples_checked n
+let add_pages_written t n = Counter.add t.pages_written n
+let add_temp_tuples_written t n = Counter.add t.temp_tuples_written n
+let add_tuples_sorted t n = Counter.add t.tuples_sorted n
+let add_tuples_merged t n = Counter.add t.tuples_merged n
+let add_tuples_output t n = Counter.add t.tuples_output n
+let incr_stages t = Counter.incr t.stages
+
+let fields t =
+  [
+    t.blocks_read;
+    t.tuples_checked;
+    t.pages_written;
+    t.temp_tuples_written;
+    t.tuples_sorted;
+    t.tuples_merged;
+    t.tuples_output;
+    t.stages;
+  ]
+
+let reset t = List.iter (fun c -> Counter.set c 0) (fields t)
 
 let copy t =
-  {
-    blocks_read = t.blocks_read;
-    tuples_checked = t.tuples_checked;
-    pages_written = t.pages_written;
-    temp_tuples_written = t.temp_tuples_written;
-    tuples_sorted = t.tuples_sorted;
-    tuples_merged = t.tuples_merged;
-    tuples_output = t.tuples_output;
-    stages = t.stages;
-  }
+  let snapshot = create () in
+  List.iter2
+    (fun dst src -> Counter.set dst (Counter.value src))
+    (fields snapshot) (fields t);
+  snapshot
 
 let diff later earlier =
-  {
-    blocks_read = later.blocks_read - earlier.blocks_read;
-    tuples_checked = later.tuples_checked - earlier.tuples_checked;
-    pages_written = later.pages_written - earlier.pages_written;
-    temp_tuples_written = later.temp_tuples_written - earlier.temp_tuples_written;
-    tuples_sorted = later.tuples_sorted - earlier.tuples_sorted;
-    tuples_merged = later.tuples_merged - earlier.tuples_merged;
-    tuples_output = later.tuples_output - earlier.tuples_output;
-    stages = later.stages - earlier.stages;
-  }
+  let d = create () in
+  List.iter2
+    (fun dst (l, e) -> Counter.set dst (Counter.value l - Counter.value e))
+    (fields d)
+    (List.combine (fields later) (fields earlier));
+  d
 
 let pp ppf t =
   Format.fprintf ppf
     "blocks=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d out=%d stages=%d"
-    t.blocks_read t.tuples_checked t.pages_written t.temp_tuples_written
-    t.tuples_sorted t.tuples_merged t.tuples_output t.stages
+    (blocks_read t) (tuples_checked t) (pages_written t)
+    (temp_tuples_written t) (tuples_sorted t) (tuples_merged t)
+    (tuples_output t) (stages t)

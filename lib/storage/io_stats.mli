@@ -1,22 +1,49 @@
 (** Counters of simulated device activity, accumulated per query run.
-    The "blocks" column of the paper's tables is [blocks_read]. *)
+    The "blocks" column of the paper's tables is [blocks_read].
 
-type t = {
-  mutable blocks_read : int;
-  mutable tuples_checked : int;
-  mutable pages_written : int;
-  mutable temp_tuples_written : int;
-  mutable tuples_sorted : int;
-  mutable tuples_merged : int;
-  mutable tuples_output : int;
-  mutable stages : int;
-}
+    Since the observability refactor the cells are
+    {!Taqp_obs.Metrics.Counter}s — when the stats are created over a
+    metrics registry (as {!Device.create} does) the same cells are
+    visible to metrics sinks under the [io.*] names, so there is a
+    single source of truth for device activity. *)
 
-val create : unit -> t
+type t
+
+val create : ?metrics:Taqp_obs.Metrics.t -> unit -> t
+(** With [metrics], the counters are registered as [io.blocks_read],
+    [io.tuples_checked], ... in that registry; otherwise they are
+    detached. *)
+
+(** {2 Reading} *)
+
+val blocks_read : t -> int
+val tuples_checked : t -> int
+val pages_written : t -> int
+val temp_tuples_written : t -> int
+val tuples_sorted : t -> int
+val tuples_merged : t -> int
+val tuples_output : t -> int
+val stages : t -> int
+
+(** {2 Bumping (the device's side)} *)
+
+val incr_blocks_read : t -> unit
+val add_tuples_checked : t -> int -> unit
+val add_pages_written : t -> int -> unit
+val add_temp_tuples_written : t -> int -> unit
+val add_tuples_sorted : t -> int -> unit
+val add_tuples_merged : t -> int -> unit
+val add_tuples_output : t -> int -> unit
+val incr_stages : t -> unit
+
+(** {2 Snapshots} *)
+
 val reset : t -> unit
+
 val copy : t -> t
+(** A detached snapshot of the current values. *)
 
 val diff : t -> t -> t
-(** [diff later earlier]: activity between two snapshots. *)
+(** [diff later earlier]: activity between two snapshots (detached). *)
 
 val pp : Format.formatter -> t -> unit

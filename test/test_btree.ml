@@ -77,11 +77,11 @@ let test_charging () =
   let device = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
   ignore (Btree.lookup ~device t (Value.Int 77));
   checki "one node read per level" (Btree.height t)
-    (Device.stats device).Io_stats.blocks_read;
+    (Io_stats.blocks_read (Device.stats device));
   (* A narrow indexed select touches far fewer blocks than a scan. *)
-  let before = (Device.stats device).Io_stats.blocks_read in
+  let before = Io_stats.blocks_read (Device.stats device) in
   ignore (Btree.select ~device t file ~lo:(Value.Int 10) ~hi:(Value.Int 13) ());
-  let touched = (Device.stats device).Io_stats.blocks_read - before in
+  let touched = Io_stats.blocks_read (Device.stats device) - before in
   checkb "indexed select cheap" true (touched < Heap_file.n_blocks file / 2)
 
 let prop_lookup_matches_scan =

@@ -196,8 +196,8 @@ let test_simple_random_plan () =
   (* SRS pays one block read per tuple: far fewer tuples per second. *)
   let cluster = run_with observe_config 1 in
   checkb "cluster reads more tuples per unit time" true
-    (cluster.Report.io.Taqp_storage.Io_stats.tuples_checked
-    > r.Report.io.Taqp_storage.Io_stats.tuples_checked)
+    (Taqp_storage.Io_stats.tuples_checked cluster.Report.io
+    > Taqp_storage.Io_stats.tuples_checked r.Report.io)
 
 let test_partial_fulfillment () =
   let wl = Paper_setup.join ~spec:small_spec ~target_output:2000 ~seed:5 () in

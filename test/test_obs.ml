@@ -1,0 +1,401 @@
+(* The observability subsystem: JSON kernel, metrics registry, tracer
+   semantics, sink formats, and — end to end — the span structure a
+   real staged query run emits, plus the guarantee that all of it is
+   inert when disabled. *)
+
+module Json = Taqp_obs.Json
+module Event = Taqp_obs.Event
+module Metrics = Taqp_obs.Metrics
+module Sink = Taqp_obs.Sink
+module Tracer = Taqp_obs.Tracer
+module Config = Taqp_core.Config
+module Report = Taqp_core.Report
+module Taqp = Taqp_core.Taqp
+module Stopping = Taqp_timecontrol.Stopping
+module Generator = Taqp_workload.Generator
+module Paper_setup = Taqp_workload.Paper_setup
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf eps = Alcotest.check (Alcotest.float eps)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.Str "read_block");
+        ("ts", Json.Num 1.5);
+        ("n", Json.Num 42.0);
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("xs", Json.List [ Json.Num 1.0; Json.Str "a\"b\n"; Json.Bool false ]);
+      ]
+  in
+  let s = Json.to_string v in
+  checkb "round-trips" true (Json.of_string s = v);
+  (* integral doubles print without a fractional part *)
+  checkb "integer rendering" true
+    (String.length s > 0 && Json.to_string (Json.Num 42.0) = "42")
+
+let test_json_parser_errors () =
+  let bad s =
+    match Json.of_string s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  checkb "empty" true (bad "");
+  checkb "trailing garbage" true (bad "{} x");
+  checkb "trailing comma" true (bad "[1,]");
+  checkb "bare word" true (bad "flase");
+  checkb "unterminated string" true (bad "\"abc");
+  checkb "valid escapes ok" true
+    (Json.of_string "\"a\\u0041\\n\"" = Json.Str "aA\n")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "io.blocks_read" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  (* get-or-create converges on the same cell *)
+  let c' = Metrics.counter m "io.blocks_read" in
+  Metrics.Counter.incr c';
+  checki "shared cell" 6 (Metrics.Counter.value c);
+  let g = Metrics.gauge m "query.estimate" in
+  Metrics.Gauge.set g 880.0;
+  checkf 1e-12 "gauge" 880.0 (Metrics.Gauge.value g);
+  checkb "kind clash raises" true
+    (match Metrics.gauge m "io.blocks_read" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "sorted dump"
+    [ ("io.blocks_read", 6) ]
+    (Metrics.counters m)
+
+let test_metrics_histogram_quantiles () =
+  let h = Metrics.Histogram.make ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] "t" in
+  for _ = 1 to 50 do
+    Metrics.Histogram.observe h 0.5
+  done;
+  for _ = 1 to 50 do
+    Metrics.Histogram.observe h 3.0
+  done;
+  checki "count" 100 (Metrics.Histogram.count h);
+  checkf 1e-9 "sum" 175.0 (Metrics.Histogram.sum h);
+  let p50 = Metrics.Histogram.quantile h 0.5 in
+  checkb "p50 in first bucket" true (p50 > 0.0 && p50 <= 1.0);
+  let p95 = Metrics.Histogram.quantile h 0.95 in
+  checkb "p95 in the (2,4] bucket" true (p95 > 2.0 && p95 <= 4.0);
+  (* overflow bucket *)
+  Metrics.Histogram.observe h 1e9;
+  checkb "overflow counted" true (Metrics.Histogram.count h = 101)
+
+(* ------------------------------------------------------------------ *)
+(* Event serialization                                                 *)
+
+let sample_events =
+  [
+    {
+      Event.name = "query";
+      cat = "query";
+      ts = 0.0;
+      phase = Event.Begin;
+      args = [ ("quota", Event.Float 10.0) ];
+    };
+    {
+      Event.name = "read_block";
+      cat = "storage";
+      ts = 0.25;
+      phase = Event.Complete 0.015;
+      args = [];
+    };
+    {
+      Event.name = "deadline.abort";
+      cat = "clock";
+      ts = 10.0;
+      phase = Event.Instant;
+      args = [ ("deadline", Event.Float 10.0) ];
+    };
+    {
+      Event.name = "io.blocks_read";
+      cat = "metrics";
+      ts = 1.0;
+      phase = Event.Counter 180.0;
+      args = [];
+    };
+    {
+      Event.name = "query";
+      cat = "query";
+      ts = 10.0;
+      phase = Event.End;
+      args = [ ("outcome", Event.String "aborted"); ("ok", Event.Bool false) ];
+    };
+  ]
+
+(* JSONL arguments collapse Int to Float on the way back; normalize
+   for comparison. *)
+let norm (e : Event.t) =
+  {
+    e with
+    Event.args =
+      List.map
+        (fun (k, a) ->
+          ( k,
+            match a with
+            | Event.Int i -> Event.Float (float_of_int i)
+            | a -> a ))
+        e.args;
+  }
+
+let test_event_jsonl_roundtrip () =
+  List.iter
+    (fun e ->
+      match Event.of_json (Json.of_string (Json.to_string (Event.to_json e))) with
+      | None -> Alcotest.fail ("no parse: " ^ e.Event.name)
+      | Some e' -> checkb ("round-trip " ^ e.Event.name) true (norm e = norm e'))
+    sample_events
+
+let test_event_chrome_roundtrip () =
+  List.iter
+    (fun e ->
+      match
+        Event.of_chrome_json
+          (Json.of_string (Json.to_string (Event.to_chrome_json e)))
+      with
+      | None -> Alcotest.fail ("no parse: " ^ e.Event.name)
+      | Some e' ->
+          checks "name" e.Event.name e'.Event.name;
+          checks "cat" e.Event.cat e'.Event.cat;
+          checkf 1e-9 "ts survives the microsecond conversion" e.Event.ts
+            e'.Event.ts;
+          checkb "phase" true
+            (match (e.Event.phase, e'.Event.phase) with
+            | Event.Begin, Event.Begin
+            | Event.End, Event.End
+            | Event.Instant, Event.Instant ->
+                true
+            | Event.Complete a, Event.Complete b
+            | Event.Counter a, Event.Counter b ->
+                Float.abs (a -. b) < 1e-9
+            | _ -> false))
+    sample_events
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+
+let test_tracer_spans_and_disabled () =
+  let sink, events = Sink.memory () in
+  let t = ref 0.0 in
+  let tr = Tracer.make ~now:(fun () -> !t) ~sink in
+  checkb "enabled" true (Tracer.enabled tr);
+  let r =
+    Tracer.with_span tr ~cat:"stage" "stage-1" (fun () ->
+        t := 1.0;
+        Tracer.instant tr ~cat:"clock" "tick";
+        17)
+  in
+  checki "with_span returns" 17 r;
+  (match events () with
+  | [ b; i; e ] ->
+      checkb "begin" true (b.Event.phase = Event.Begin && b.Event.ts = 0.0);
+      checkb "instant" true (i.Event.phase = Event.Instant);
+      checkb "end" true (e.Event.phase = Event.End && e.Event.ts = 1.0)
+  | evs -> Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length evs)));
+  checkb "disabled tracer is disabled" false (Tracer.enabled Tracer.disabled);
+  (* the disabled tracer must be emission-free (its sink is null) *)
+  Tracer.span_begin Tracer.disabled "x";
+  Tracer.span_end Tracer.disabled "x";
+  checki "no new events" 3 (List.length (events ()))
+
+let test_tracer_with_span_aborted () =
+  let sink, events = Sink.memory () in
+  let tr = Tracer.make ~now:(fun () -> 0.0) ~sink in
+  (match
+     Tracer.with_span tr ~cat:"stage" "s" (fun () -> failwith "boom")
+   with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  match events () with
+  | [ _; e ] ->
+      checkb "end flagged aborted" true
+        (List.assoc_opt "aborted" e.Event.args = Some (Event.Bool true))
+  | _ -> Alcotest.fail "expected begin+end"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a real staged run                                       *)
+
+let small_spec =
+  { Generator.n_tuples = 400; tuple_bytes = 200; block_bytes = 1024 }
+
+let observe_config =
+  {
+    Config.default with
+    Config.stopping = Stopping.Soft_deadline { grace = 100.0 };
+  }
+
+let run_traced ?(quota = 2.0) ~sink wl =
+  Taqp.count_within ~config:observe_config ~seed:3 ~sink wl.Paper_setup.catalog
+    ~quota wl.Paper_setup.query
+
+(* Chrome export of a 2-join (three-relation) query: parseable JSON
+   whose B/E events nest at least 3 deep (query -> stage -> operator),
+   with storage-layer X events inside. *)
+let test_chrome_export_nesting () =
+  let buf = Buffer.create 4096 in
+  let wl = Paper_setup.three_way_join ~spec:small_spec ~seed:1 () in
+  let r = run_traced ~quota:20.0 ~sink:(Sink.chrome (Sink.to_buffer buf)) wl in
+  checkb "ran stages" true (r.Report.stages_completed >= 1);
+  let json = Json.of_string (Buffer.contents buf) in
+  let items = Option.get (Json.to_list json) in
+  checkb "non-empty trace" true (List.length items > 10);
+  let events = List.filter_map Event.of_chrome_json items in
+  checki "every event parses back" (List.length items) (List.length events);
+  let depth = ref 0 and max_depth = ref 0 in
+  let cats_at_depth = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.phase with
+      | Event.Begin ->
+          incr depth;
+          Hashtbl.replace cats_at_depth !depth e.Event.cat;
+          if !depth > !max_depth then max_depth := !depth
+      | Event.End -> decr depth
+      | Event.Complete _ | Event.Instant | Event.Counter _ -> ())
+    events;
+  checki "balanced spans" 0 !depth;
+  checkb "at least 3 nested span levels" true (!max_depth >= 3);
+  checks "level 1 is the query" "query"
+    (Option.value ~default:"?" (Hashtbl.find_opt cats_at_depth 1));
+  checks "level 2 is a stage" "stage"
+    (Option.value ~default:"?" (Hashtbl.find_opt cats_at_depth 2));
+  checks "level 3 is an operator" "operator"
+    (Option.value ~default:"?" (Hashtbl.find_opt cats_at_depth 3));
+  (* the operator layer is a real tree: joins appear below the stage *)
+  checkb "join operators present" true
+    (List.exists
+       (fun (e : Event.t) -> e.Event.cat = "operator" && e.Event.name = "join")
+       events);
+  checkb "storage spans present" true
+    (List.exists
+       (fun (e : Event.t) ->
+         e.Event.cat = "storage"
+         && match e.Event.phase with Event.Complete _ -> true | _ -> false)
+       events)
+
+(* The JSONL stream carries exactly the events the tracer emitted. *)
+let test_jsonl_stream_matches_memory () =
+  let buf = Buffer.create 4096 in
+  let mem, events = Sink.memory () in
+  let wl = Paper_setup.join ~spec:small_spec ~target_output:2000 ~seed:5 () in
+  let _ = run_traced ~sink:(Sink.tee [ Sink.jsonl (Sink.to_buffer buf); mem ]) wl in
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let expected = events () in
+  checki "one line per event" (List.length expected) (List.length lines);
+  List.iter2
+    (fun line e ->
+      match Event.of_json (Json.of_string line) with
+      | None -> Alcotest.fail "unparseable JSONL line"
+      | Some e' -> checkb "line matches event" true (norm e = norm e'))
+    lines expected;
+  (* span structure is balanced per category too *)
+  let opens cat =
+    List.length
+      (List.filter
+         (fun (e : Event.t) -> e.Event.cat = cat && e.Event.phase = Event.Begin)
+         expected)
+  and closes cat =
+    List.length
+      (List.filter
+         (fun (e : Event.t) -> e.Event.cat = cat && e.Event.phase = Event.End)
+         expected)
+  in
+  List.iter
+    (fun cat -> checki ("balanced " ^ cat) (opens cat) (closes cat))
+    [ "query"; "stage"; "operator" ]
+
+(* Tracing must be inert: the same run with and without a sink returns
+   bit-identical results — same estimate, same clock, same IO. *)
+let test_disabled_path_zero_drift () =
+  let run sink =
+    let wl = Paper_setup.join ~spec:small_spec ~target_output:2000 ~seed:5 () in
+    match sink with
+    | None ->
+        Taqp.count_within ~config:observe_config ~seed:3 wl.Paper_setup.catalog
+          ~quota:2.0 wl.Paper_setup.query
+    | Some sink -> run_traced ~sink wl
+  in
+  let plain = run None in
+  let traced = run (Some (fst (Sink.memory ()))) in
+  checkf 1e-15 "same estimate" plain.Report.estimate traced.Report.estimate;
+  checkf 1e-15 "same elapsed" plain.Report.elapsed traced.Report.elapsed;
+  checki "same blocks_read" plain.Report.blocks_read traced.Report.blocks_read;
+  checki "same stages" plain.Report.stages_completed
+    traced.Report.stages_completed;
+  checkf 1e-15 "same variance" plain.Report.variance traced.Report.variance
+
+(* The summary sink renders per-stage lines from the span stream. *)
+let test_summary_sink () =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let wl = Paper_setup.selection ~spec:small_spec ~output:100 ~seed:5 () in
+  let _ = run_traced ~sink:(Sink.summary ppf) wl in
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  let contains sub =
+    let n = String.length sub and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "has header" true (contains "trace summary");
+  checkb "has stage line" true (contains "stage-1");
+  checkb "has storage totals" true (contains "storage");
+  checkb "records the armed deadline" true (contains "deadline.armed")
+
+let () =
+  Alcotest.run "taqp_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser errors" `Quick test_json_parser_errors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_metrics_counters_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_metrics_histogram_quantiles;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_event_jsonl_roundtrip;
+          Alcotest.test_case "chrome roundtrip" `Quick
+            test_event_chrome_roundtrip;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "spans" `Quick test_tracer_spans_and_disabled;
+          Alcotest.test_case "aborted span" `Quick test_tracer_with_span_aborted;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "chrome export nesting" `Quick
+            test_chrome_export_nesting;
+          Alcotest.test_case "jsonl stream" `Quick
+            test_jsonl_stream_matches_memory;
+          Alcotest.test_case "disabled path zero drift" `Quick
+            test_disabled_path_zero_drift;
+          Alcotest.test_case "summary sink" `Quick test_summary_sink;
+        ] );
+    ]

@@ -348,7 +348,7 @@ let test_eval_charges_device () =
   ignore (Eval.eval ~device catalog (Ra.relation "r"));
   checkb "charged some time" true (Taqp_storage.Clock.now clock > 0.0);
   checkb "read all blocks" true
-    ((Taqp_storage.Device.stats device).Taqp_storage.Io_stats.blocks_read > 0)
+    (Taqp_storage.Io_stats.blocks_read (Taqp_storage.Device.stats device) > 0)
 
 (* Randomized: Eval against a brute-force model on tiny relations. *)
 let prop_eval_select_matches_model =

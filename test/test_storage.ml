@@ -54,6 +54,61 @@ let test_clock_sleep_until () =
   Clock.sleep_until c 1.0;
   checkf 1e-12 "no backwards travel" 3.0 (Clock.now c)
 
+(* A charge that lands exactly on the deadline is NOT an overrun: the
+   interrupt only fires when the deadline is crossed. *)
+let test_clock_deadline_exact_landing () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Abort ~at:1.0;
+  Clock.charge c 1.0;
+  checkf 1e-12 "landed on the deadline" 1.0 (Clock.now c);
+  checkb "not expired at the boundary" false (Clock.expired c);
+  (* ...but the very next positive charge crosses it. *)
+  (match Clock.charge c 1e-9 with
+  | () -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Clock.Deadline_exceeded { now; _ } ->
+      checkf 1e-12 "still clamped" 1.0 now);
+  checkf 1e-12 "no time past the deadline" 1.0 (Clock.now c)
+
+(* Observe mode must keep honest books on the overspend: charges keep
+   accumulating past the deadline and [remaining] tracks the (negative)
+   balance exactly. *)
+let test_clock_observe_overspend_accounting () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Observe ~at:1.0;
+  Clock.charge c 0.75;
+  Clock.charge c 0.75;
+  Clock.charge c 0.5;
+  checkf 1e-12 "all charges accumulated" 2.0 (Clock.now c);
+  checkb "expired" true (Clock.expired c);
+  Alcotest.check
+    Alcotest.(option (float 1e-9))
+    "overspend = 1.0s" (Some (-1.0)) (Clock.remaining c)
+
+(* sleep_until with an armed Abort deadline: the sleeper is woken at
+   the deadline, and the attached tracer records the abort instant
+   stamped at exactly the deadline time. *)
+let test_clock_sleep_until_abort_traced () =
+  let c = Clock.create_virtual () in
+  let sink, events = Taqp_obs.Sink.memory () in
+  Clock.set_tracer c (Taqp_obs.Tracer.make ~now:(fun () -> Clock.now c) ~sink);
+  Clock.charge c 0.5;
+  Clock.arm c ~mode:`Abort ~at:2.0;
+  (match Clock.sleep_until c 5.0 with
+  | () -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Clock.Deadline_exceeded { now; deadline } ->
+      checkf 1e-12 "woken at the deadline" 2.0 now;
+      checkf 1e-12 "deadline" 2.0 deadline);
+  checkf 1e-12 "clock stopped at the deadline" 2.0 (Clock.now c);
+  let abort_events =
+    List.filter
+      (fun (e : Taqp_obs.Event.t) -> e.name = "deadline.abort")
+      (events ())
+  in
+  checki "one abort event" 1 (List.length abort_events);
+  let e = List.hd abort_events in
+  checkf 1e-12 "abort stamped at the deadline" 2.0 e.Taqp_obs.Event.ts;
+  Alcotest.(check string) "clock category" "clock" e.Taqp_obs.Event.cat
+
 let test_clock_wall () =
   let c = Clock.create_wall () in
   checkb "not virtual" false (Clock.is_virtual c);
@@ -96,9 +151,9 @@ let test_device_charges_exact () =
   in
   checkf 1e-9 "exact charges" expected (Clock.now clock);
   let stats = Device.stats d in
-  checki "blocks counted" 2 stats.Io_stats.blocks_read;
-  checki "tuples counted" 10 stats.Io_stats.tuples_checked;
-  checki "pages counted" 3 stats.Io_stats.pages_written
+  checki "blocks counted" 2 (Io_stats.blocks_read stats);
+  checki "tuples counted" 10 (Io_stats.tuples_checked stats);
+  checki "pages counted" 3 (Io_stats.pages_written stats)
 
 let test_device_sort_cost () =
   let p = Cost_params.no_jitter Cost_params.default in
@@ -116,7 +171,7 @@ let test_device_stage_overhead_counts_stage () =
   let d = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
   Device.stage_overhead d;
   Device.stage_overhead d;
-  checki "stages" 2 (Device.stats d).Io_stats.stages
+  checki "stages" 2 (Io_stats.stages (Device.stats d))
 
 let test_device_jitter_mean () =
   let p = { Cost_params.default with Cost_params.jitter_sigma = 0.2 } in
@@ -132,15 +187,37 @@ let test_device_jitter_mean () =
 
 let test_io_stats_diff () =
   let a = Io_stats.create () in
-  a.Io_stats.blocks_read <- 10;
+  for _ = 1 to 10 do
+    Io_stats.incr_blocks_read a
+  done;
   let b = Io_stats.copy a in
-  b.Io_stats.blocks_read <- 25;
-  b.Io_stats.stages <- 2;
+  for _ = 1 to 15 do
+    Io_stats.incr_blocks_read b
+  done;
+  Io_stats.incr_stages b;
+  Io_stats.incr_stages b;
   let d = Io_stats.diff b a in
-  checki "blocks diff" 15 d.Io_stats.blocks_read;
-  checki "stages diff" 2 d.Io_stats.stages;
+  checki "blocks diff" 15 (Io_stats.blocks_read d);
+  checki "stages diff" 2 (Io_stats.stages d);
+  checki "copy detached from original" 10 (Io_stats.blocks_read a);
   Io_stats.reset b;
-  checki "reset" 0 b.Io_stats.blocks_read
+  checki "reset" 0 (Io_stats.blocks_read b)
+
+(* The io.* counters registered by a device's stats and the Io_stats
+   accessors must be the same cells — single source of truth. *)
+let test_io_stats_metrics_shared () =
+  let metrics = Taqp_obs.Metrics.create () in
+  let clock = Clock.create_virtual () in
+  let d =
+    Device.create ~params:(Cost_params.no_jitter Cost_params.default) ~metrics
+      clock
+  in
+  Device.read_block d;
+  Device.read_block d;
+  Device.read_block d;
+  let c = Taqp_obs.Metrics.counter metrics "io.blocks_read" in
+  checki "metrics counter sees device reads" 3 (Taqp_obs.Metrics.Counter.value c);
+  checki "io_stats agrees" 3 (Io_stats.blocks_read (Device.stats d))
 
 (* ------------------------------------------------------------------ *)
 (* Heap file                                                           *)
@@ -214,7 +291,7 @@ let test_heap_read_block_charges () =
   let d = Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock in
   let f = Heap_file.create ~schema (tuples 10) in
   ignore (Heap_file.read_block d f 0);
-  checki "one read" 1 (Device.stats d).Io_stats.blocks_read;
+  checki "one read" 1 (Io_stats.blocks_read (Device.stats d));
   checkf 1e-9 "charged" Cost_params.default.Cost_params.block_read (Clock.now clock)
 
 (* ------------------------------------------------------------------ *)
@@ -331,6 +408,12 @@ let () =
           Alcotest.test_case "deadline abort" `Quick test_clock_deadline_abort;
           Alcotest.test_case "deadline observe" `Quick test_clock_deadline_observe;
           Alcotest.test_case "sleep_until" `Quick test_clock_sleep_until;
+          Alcotest.test_case "deadline exact landing" `Quick
+            test_clock_deadline_exact_landing;
+          Alcotest.test_case "observe overspend accounting" `Quick
+            test_clock_observe_overspend_accounting;
+          Alcotest.test_case "sleep_until abort traced" `Quick
+            test_clock_sleep_until_abort_traced;
           Alcotest.test_case "wall clock" `Quick test_clock_wall;
         ] );
       ( "cost-params",
@@ -343,6 +426,8 @@ let () =
             test_device_stage_overhead_counts_stage;
           Alcotest.test_case "jitter mean" `Slow test_device_jitter_mean;
           Alcotest.test_case "io stats diff" `Quick test_io_stats_diff;
+          Alcotest.test_case "io stats shared with metrics" `Quick
+            test_io_stats_metrics_shared;
         ] );
       ( "heap-file",
         [
