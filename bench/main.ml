@@ -11,15 +11,16 @@
      main.exe --ablations          ablation suite
      main.exe --micro              bechamel micro-benchmarks
      main.exe --scheduling         deadline-miss simulation (exact vs taqp)
+     main.exe --perf               physical-path perf report (BENCH_perf.json)
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
-     [--micro] [--scheduling] [--full]";
+     [--micro] [--scheduling] [--perf] [--full]";
   exit 1
 
-type mode = Tables of string option | Ablations | Micro | Scheduling | Full
+type mode = Tables of string option | Ablations | Micro | Scheduling | Perf | Full
 
 let () =
   let trials = ref 200 in
@@ -45,6 +46,9 @@ let () =
         parse rest
     | "--scheduling" :: rest ->
         mode := Scheduling;
+        parse rest
+    | "--perf" :: rest ->
+        mode := Perf;
         parse rest
     | "--full" :: rest ->
         mode := Full;
@@ -75,11 +79,13 @@ let () =
   | Ablations -> Ablations.all ~trials ()
   | Micro -> Micro.run ()
   | Scheduling -> Scheduling.run ()
+  | Perf -> Perf.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
       Scheduling.run ();
-      Micro.run ());
+      Micro.run ();
+      Perf.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

@@ -44,6 +44,35 @@ let test_merge_join =
   Test.make ~name:"merge-join/2000x2000"
     (Staged.stage (fun () -> ignore (Ops.merge_join ~schema_l:sl ~schema_r:sr p tuples join_right)))
 
+let test_hash_join =
+  let key = Ops.key_positions schema [ "key" ] in
+  Test.make ~name:"hash-join/2000x2000"
+    (Staged.stage (fun () ->
+         let index = Ops.Hash_index.create ~key in
+         Ops.Hash_index.add index join_right;
+         ignore
+           (Ops.hash_probe_join ~index ~probe_key:key ~indexed_side:`Right
+              ~residual:(fun _ -> true)
+              ~residual_comparisons:0 tuples)))
+
+(* The sort-comparator pair quantifies the precompiled key_comparator
+   against the closure-based compare_with_key it replaced on the
+   Staged hot path. *)
+let test_sort_closure_cmp =
+  let key = Ops.key_positions schema [ "key" ] in
+  Test.make ~name:"sort-cmp/closure/2000-tuples"
+    (Staged.stage (fun () ->
+         let a = Array.copy tuples in
+         Array.sort (Ops.compare_with_key key) a))
+
+let test_sort_precompiled_cmp =
+  let key = Ops.key_positions schema [ "key" ] in
+  let cmp = Ops.key_comparator ~arity:(Taqp_data.Schema.arity schema) key in
+  Test.make ~name:"sort-cmp/precompiled/2000-tuples"
+    (Staged.stage (fun () ->
+         let a = Array.copy tuples in
+         Array.sort cmp a))
+
 let test_project =
   Test.make ~name:"project-groups/2000-tuples"
     (Staged.stage (fun () -> ignore (Ops.project_groups ~schema [ "grp" ] tuples)))
@@ -80,6 +109,9 @@ let tests =
     test_select;
     test_sort;
     test_merge_join;
+    test_hash_join;
+    test_sort_closure_cmp;
+    test_sort_precompiled_cmp;
     test_project;
     test_exact_count;
     test_staged_stage;

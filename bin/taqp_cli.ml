@@ -152,6 +152,26 @@ let query_cmd =
             "ERAM's measurement mode: let the final stage finish and report \
              the overspend instead of aborting at the deadline.")
   in
+  let physical_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sort", Config.Sort_merge);
+               ("hash", Config.Hash);
+               ("adaptive", Config.Adaptive);
+             ])
+          Config.Sort_merge
+      & info [ "physical" ] ~docv:"PATH"
+          ~doc:
+            "Physical path for equi-key joins/intersections: $(b,sort) \
+             (sorted-file pairing merges, the paper's plan), $(b,hash) \
+             (retained per-side hash indexes, probed only with each stage's \
+             delta), or $(b,adaptive) (per operator per stage, whichever \
+             the fitted cost model predicts cheaper). The estimate is \
+             identical either way; only the evaluation cost changes.")
+  in
   let trace_arg =
     Arg.(
       value & flag
@@ -199,8 +219,8 @@ let query_cmd =
             "Also stop when the 95% interval is within PCT percent of the \
              estimate (error-constrained evaluation).")
   in
-  let run dir query quota aggregate d_beta strategy observe trace trace_out
-      trace_format metrics groups error_bound seed =
+  let run dir query quota aggregate d_beta strategy physical observe trace
+      trace_out trace_format metrics groups error_bound seed =
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
@@ -228,7 +248,9 @@ let query_cmd =
                       Stopping.Error_bound { relative = pct /. 100.0; level = 0.95 };
                     ]
             in
-            let config = { Config.default with Config.strategy; stopping } in
+            let config =
+              { Config.default with Config.strategy; stopping; physical }
+            in
             (* Assemble the event sinks: a file stream (JSONL or Chrome
                trace_event) and/or the stdout summary. The sinks are
                closed by [aggregate_within] before the report comes
@@ -296,9 +318,9 @@ let query_cmd =
     Term.(
       ret
         (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
-       $ d_beta_arg $ strategy_arg $ observe_arg $ trace_arg $ trace_out_arg
-       $ trace_format_arg $ metrics_arg $ groups_arg $ error_bound_arg
-       $ seed_arg))
+       $ d_beta_arg $ strategy_arg $ physical_arg $ observe_arg $ trace_arg
+       $ trace_out_arg $ trace_format_arg $ metrics_arg $ groups_arg
+       $ error_bound_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"

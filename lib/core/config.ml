@@ -9,6 +9,8 @@ type projection_estimator = Goodman_unbiased | Goodman_first_order | Scale_up | 
 
 type variance_estimator = Srs_approximation | Cluster_exact
 
+type physical_operator = Sort_merge | Hash | Adaptive
+
 type t = {
   strategy : Taqp_timecontrol.Strategy.t;
   stopping : Taqp_timecontrol.Stopping.t;
@@ -21,6 +23,7 @@ type t = {
   selectivity_oracle : (Taqp_relational.Ra.t -> float) option;
   projection_estimator : projection_estimator;
   variance_estimator : variance_estimator;
+  physical : physical_operator;
   max_bisect_iterations : int;
   trace : bool;
 }
@@ -41,6 +44,7 @@ let default =
     selectivity_oracle = None;
     projection_estimator = Chao;
     variance_estimator = Srs_approximation;
+    physical = Sort_merge;
     max_bisect_iterations = 40;
     trace = true;
   }

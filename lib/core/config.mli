@@ -35,6 +35,25 @@ type variance_estimator =
           approximation. Also feeds the measured design effect back
           into the sel+ inflation. *)
 
+(** Physical evaluation path for equi-key Join and Intersect. Both
+    paths produce the same output multiset per stage, so the estimate,
+    variance and confidence interval are bit-identical; only the
+    evaluation cost differs. *)
+type physical_operator =
+  | Sort_merge
+      (** the paper's Figure 4.4/4.5 plan: sort each stage's delta into
+          a retained file and re-merge one sorted-file pairing per
+          (new, old) file pair — O(cumulative) re-reads per stage *)
+  | Hash
+      (** retained per-side hash indexes: insert each delta once, probe
+          only with the opposite side's delta (symmetric-hash order) —
+          O(delta) per stage, no re-reading of old sample units *)
+  | Adaptive
+      (** pick per operator at each stage's plan time, whichever path
+          the fitted cost model predicts cheaper (switching cost — the
+          catch-up work to bring the other path's retained state
+          current — is included in the comparison) *)
+
 type t = {
   strategy : Taqp_timecontrol.Strategy.t;
   stopping : Taqp_timecontrol.Stopping.t;
@@ -59,6 +78,7 @@ type t = {
           is the right baseline for the strategy ablations. *)
   projection_estimator : projection_estimator;
   variance_estimator : variance_estimator;
+  physical : physical_operator;
   max_bisect_iterations : int;
   trace : bool;  (** retain per-stage details in the report *)
 }

@@ -61,7 +61,7 @@ let qcost_std staged cost_model ~f =
         let delta = Float.max 1e-6 (0.01 *. Float.max p.sel_plain 1e-4) in
         let perturbed =
           Staged.predicted_cost staged ~f
-            ~mode:(Staged.Override [ (p.plan_id, p.sel_plain +. delta) ])
+            ~mode:(Staged.Override [ (p.plan_op_id, p.sel_plain +. delta) ])
         in
         let grad = (perturbed -. base) /. delta in
         acc := !acc +. (grad *. grad *. p.sel_variance)

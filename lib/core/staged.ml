@@ -65,17 +65,34 @@ and kind =
       child : node;
       groups : (Tuple.t, int ref) Hashtbl.t;
     }
-  | Binary_node of {
-      op : [ `Join | `Intersect ];
-      key_l : int array;
-      key_r : int array;
-      residual : Tuple.t -> bool;
-      residual_comparisons : int;
-      left : node;
-      right : node;
-      mutable files_l : Tuple.t array list;  (** oldest first, sorted *)
-      mutable files_r : Tuple.t array list;
-    }
+  | Binary_node of binary
+
+(* Both physical paths' retained state lives side by side: the raw
+   per-stage deltas are always kept (they are in memory regardless),
+   the sorted files and the hash indexes only as far as their path has
+   run — [files_*] may lag [deltas_*] under the hash path and
+   [hashed_*] may lag under the sort path, and whichever path runs
+   next catches its state up first (the priced switching cost). *)
+and binary = {
+  op : [ `Join | `Intersect ];
+  key_l : int array;
+  key_r : int array;
+  cmp_l : Tuple.t -> Tuple.t -> int;  (** precompiled sort order *)
+  cmp_r : Tuple.t -> Tuple.t -> int;
+  residual : Tuple.t -> bool;
+  residual_comparisons : int;
+  left : node;
+  right : node;
+  hash_id : int;  (** cost-model node of the hash path *)
+  mutable files_l : Tuple.t array list;  (** oldest first, sorted *)
+  mutable files_r : Tuple.t array list;
+  mutable deltas_l : Tuple.t array list;  (** oldest first, raw *)
+  mutable deltas_r : Tuple.t array list;
+  hash_l : Ops.Hash_index.t;  (** retained index over [deltas_l] *)
+  hash_r : Ops.Hash_index.t;
+  mutable hashed_l : int;  (** how many deltas are in [hash_l] *)
+  mutable hashed_r : int;
+}
 
 type term = {
   sign : int;
@@ -132,6 +149,29 @@ let initial_sel (config : Config.t) op =
   | `Intersect (n1, n2) ->
       Option.value ov.intersect
         ~default:(Selectivity.initial_for (`Intersect (n1, n2)))
+
+let make_binary ~op ~key_l ~key_r ~residual ~residual_comparisons ~left ~right
+    ~hash_id =
+  {
+    op;
+    key_l;
+    key_r;
+    cmp_l = Ops.key_comparator ~arity:(Schema.arity left.schema) key_l;
+    cmp_r = Ops.key_comparator ~arity:(Schema.arity right.schema) key_r;
+    residual;
+    residual_comparisons;
+    left;
+    right;
+    hash_id;
+    files_l = [];
+    files_r = [];
+    deltas_l = [];
+    deltas_r = [];
+    hash_l = Ops.Hash_index.create ~key:key_l;
+    hash_r = Ops.Hash_index.create ~key:key_r;
+    hashed_l = 0;
+    hashed_r = 0;
+  }
 
 let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
     expr =
@@ -260,6 +300,8 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
         let right, rl = build r in
         let id = fresh_id () in
         Cost_model.register cost_model ~id Formulas.Join;
+        let hash_id = fresh_id () in
+        Cost_model.register cost_model ~id:hash_id Formulas.Hash_join;
         let schema = Schema.concat left.schema right.schema in
         let (key_l, key_r), residual_pred =
           Ops.split_equi_pairs ~schema_l:left.schema ~schema_r:right.schema pred
@@ -275,17 +317,10 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
             cum_points = 0.0;
             kind =
               Binary_node
-                {
-                  op = `Join;
-                  key_l;
-                  key_r;
-                  residual = Predicate.compile schema residual_pred;
-                  residual_comparisons = Predicate.comparisons residual_pred;
-                  left;
-                  right;
-                  files_l = [];
-                  files_r = [];
-                };
+                (make_binary ~op:`Join ~key_l ~key_r
+                   ~residual:(Predicate.compile schema residual_pred)
+                   ~residual_comparisons:(Predicate.comparisons residual_pred)
+                   ~left ~right ~hash_id);
           }
           (ll @ rl)
     | Ra.Intersect (l, r) ->
@@ -293,6 +328,8 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
         let right, rl = build r in
         let id = fresh_id () in
         Cost_model.register cost_model ~id Formulas.Intersect;
+        let hash_id = fresh_id () in
+        Cost_model.register cost_model ~id:hash_id Formulas.Hash_intersect;
         let arity = Schema.arity left.schema in
         let key = Array.init arity (fun i -> i) in
         let n1 = int_of_float (Float.min 1e9 left.subtree_points) in
@@ -309,17 +346,9 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
             cum_points = 0.0;
             kind =
               Binary_node
-                {
-                  op = `Intersect;
-                  key_l = key;
-                  key_r = key;
-                  residual = (fun _ -> true);
-                  residual_comparisons = 0;
-                  left;
-                  right;
-                  files_l = [];
-                  files_r = [];
-                };
+                (make_binary ~op:`Intersect ~key_l:key ~key_r:key
+                   ~residual:(fun _ -> true)
+                   ~residual_comparisons:0 ~left ~right ~hash_id);
           }
           (ll @ rl)
     | Ra.Union (_, _) | Ra.Difference (_, _) ->
@@ -417,6 +446,7 @@ type sel_mode =
 
 type node_plan = {
   plan_id : int;
+  plan_op_id : int;
   plan_kind : Formulas.op_kind;
   plan_measures : Formulas.measures;
   sel_used : float;
@@ -442,9 +472,16 @@ let predicted_new_tuples scan ~f =
   Int.min cap (k * tuples_per_unit scan)
 
 (* Per-stage new/cumulative sizes used by the Figure 4.5 pairing cost:
-   sizes of each side's sorted files, oldest first, with the predicted
-   new file appended. *)
+   sizes of each side's retained deltas, oldest first, with the
+   predicted new file appended. Delta sizes — not [files_*] sizes —
+   because the sorted files may lag the deltas under the hash path. *)
 let file_sizes files = List.map Array.length files
+
+let sum_lengths files =
+  List.fold_left (fun acc a -> acc + Array.length a) 0 files
+
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
 
 let choose_sel t node ~mode ~m_next =
   let plain = Selectivity.estimate node.sel in
@@ -462,6 +499,108 @@ let choose_sel t node ~mode ~m_next =
   in
   ignore t;
   (used, plain, variance)
+
+(* ------------------------------------------------------------------ *)
+(* Physical-path costing, shared by planning, execution and the
+   adaptive selection so all three price exactly the same work. Every
+   builder is evaluated against the operator's retained state *before*
+   this stage's deltas are appended, with [nl]/[nr] the (predicted or
+   actual) delta sizes. *)
+
+let is_full t = (t.config.plan : Plan.t).fulfillment = Plan.Full
+
+(* Deltas retained but not yet sorted into files (resp. inserted into
+   the hash indexes): the catch-up work a switch onto that path must
+   perform first, and therefore part of its price. *)
+let unsorted_deltas b =
+  ( drop (List.length b.files_l) b.deltas_l,
+    drop (List.length b.files_r) b.deltas_r )
+
+let unhashed_deltas b = (drop b.hashed_l b.deltas_l, drop b.hashed_r b.deltas_r)
+
+let binary_pairings t b =
+  Fulfillment.pairings_at_stage
+    ~stages_l:(List.length b.deltas_l + 1)
+    ~stage:(List.length b.deltas_r + 1)
+    (if is_full t then `Full else `Partial)
+
+let sort_measures t ~node b ~nl ~nr ~out_new =
+  let bf = bf_of_bytes ~block_bytes:t.block_bytes node.out_bytes in
+  let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
+  let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
+  let missing_l, missing_r = unsorted_deltas b in
+  let add_files side_bf files acc =
+    List.fold_left
+      (fun (ni, tp, nn) file ->
+        let n = float_of_int (Array.length file) in
+        (ni +. n, tp +. pages ~bf:side_bf n, nn +. xlog n))
+      acc files
+  in
+  let acc =
+    ( nl +. nr,
+      pages ~bf:bf_l nl +. pages ~bf:bf_r nr,
+      xlog nl +. xlog nr )
+  in
+  let n_input, temp_pages, nlogn =
+    add_files bf_r missing_r (add_files bf_l missing_l acc)
+  in
+  let sizes_l = file_sizes b.deltas_l @ [ int_of_float nl ] in
+  let sizes_r = file_sizes b.deltas_r @ [ int_of_float nr ] in
+  let pairings = binary_pairings t b in
+  let size_at sizes i =
+    match List.nth_opt sizes (i - 1) with
+    | Some s -> float_of_int s
+    | None -> 0.0
+  in
+  let merge_reads =
+    List.fold_left
+      (fun acc (i, j) -> acc +. size_at sizes_l i +. size_at sizes_r j)
+      0.0 pairings
+  in
+  {
+    Formulas.zero_measures with
+    Formulas.n_input;
+    temp_pages;
+    nlogn;
+    merge_reads;
+    out_tuples = out_new;
+    out_pages = pages ~bf out_new;
+    pairings = float_of_int (List.length pairings);
+  }
+
+let hash_measures t ~node b ~nl ~nr ~out_new =
+  let bf = bf_of_bytes ~block_bytes:t.block_bytes node.out_bytes in
+  let build_tuples, probe_tuples =
+    if is_full t then begin
+      let miss_l, miss_r = unhashed_deltas b in
+      let catch_up = float_of_int (sum_lengths miss_l + sum_lengths miss_r) in
+      (catch_up +. nl +. nr, nl +. nr)
+    end
+    else (* transient per-stage index: build left delta, probe right *)
+      (nl, nr)
+  in
+  {
+    Formulas.zero_measures with
+    Formulas.build_tuples;
+    probe_tuples;
+    out_tuples = out_new;
+    out_pages = pages ~bf out_new;
+  }
+
+let choose_path t ~node b ~nl ~nr ~out_guess =
+  match t.config.physical with
+  | Config.Sort_merge -> `Sort
+  | Config.Hash -> `Hash
+  | Config.Adaptive ->
+      let sort_cost =
+        Cost_model.predict t.cost_model ~id:node.id
+          (sort_measures t ~node b ~nl ~nr ~out_new:out_guess)
+      in
+      let hash_cost =
+        Cost_model.predict t.cost_model ~id:b.hash_id
+          (hash_measures t ~node b ~nl ~nr ~out_new:out_guess)
+      in
+      if hash_cost < sort_cost then `Hash else `Sort
 
 (* Returns (plans for this subtree, predicted new output tuples,
    cumulative output tuples so far). *)
@@ -489,6 +628,7 @@ let rec plan_node t ~f ~mode node : node_plan list * float * float =
         @ [
             {
               plan_id = node.id;
+              plan_op_id = node.id;
               plan_kind = Formulas.Select;
               plan_measures = measures;
               sel_used;
@@ -518,6 +658,7 @@ let rec plan_node t ~f ~mode node : node_plan list * float * float =
         @ [
             {
               plan_id = node.id;
+              plan_op_id = node.id;
               plan_kind = Formulas.Project;
               plan_measures = measures;
               sel_used;
@@ -530,7 +671,7 @@ let rec plan_node t ~f ~mode node : node_plan list * float * float =
   | Binary_node b ->
       let plans_l, nl, cum_l = plan_node t ~f ~mode b.left in
       let plans_r, nr, cum_r = plan_node t ~f ~mode b.right in
-      let full = (t.config.plan : Plan.t).fulfillment = Plan.Full in
+      let full = is_full t in
       let points_new =
         if full then (nl *. (cum_r +. nr)) +. (cum_l *. nr) else nl *. nr
       in
@@ -538,44 +679,33 @@ let rec plan_node t ~f ~mode node : node_plan list * float * float =
         choose_sel t node ~mode ~m_next:points_new
       in
       let out_new = sel_used *. points_new in
-      let stage = t.stage + 1 in
-      let sizes_l = file_sizes b.files_l @ [ int_of_float nl ] in
-      let sizes_r = file_sizes b.files_r @ [ int_of_float nr ] in
-      let pairings =
-        Fulfillment.pairings_at_stage ~stages_l:stage ~stage
-          (if full then `Full else `Partial)
-      in
-      let size_at sizes i =
-        match List.nth_opt sizes (i - 1) with Some s -> float_of_int s | None -> 0.0
-      in
-      let merge_reads =
-        List.fold_left
-          (fun acc (i, j) -> acc +. size_at sizes_l i +. size_at sizes_r j)
-          0.0 pairings
-      in
-      let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
-      let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
-      let measures =
-        {
-          Formulas.zero_measures with
-          Formulas.n_input = nl +. nr;
-          temp_pages = pages ~bf:bf_l nl +. pages ~bf:bf_r nr;
-          nlogn = xlog nl +. xlog nr;
-          merge_reads;
-          out_tuples = out_new;
-          out_pages = pages ~bf out_new;
-          pairings = float_of_int (List.length pairings);
-        }
-      in
-      let kind =
-        match b.op with `Join -> Formulas.Join | `Intersect -> Formulas.Intersect
+      (* Price whichever physical path will run: the plan entry carries
+         that path's cost-model id, kind and measures, so QCOST and the
+         executor's gradients see the work the stage will actually do. *)
+      let plan_id, plan_kind, plan_measures =
+        match (choose_path t ~node b ~nl ~nr ~out_guess:out_new, b.op) with
+        | `Sort, `Join ->
+            (node.id, Formulas.Join, sort_measures t ~node b ~nl ~nr ~out_new)
+        | `Sort, `Intersect ->
+            ( node.id,
+              Formulas.Intersect,
+              sort_measures t ~node b ~nl ~nr ~out_new )
+        | `Hash, `Join ->
+            ( b.hash_id,
+              Formulas.Hash_join,
+              hash_measures t ~node b ~nl ~nr ~out_new )
+        | `Hash, `Intersect ->
+            ( b.hash_id,
+              Formulas.Hash_intersect,
+              hash_measures t ~node b ~nl ~nr ~out_new )
       in
       ( plans_l @ plans_r
         @ [
             {
-              plan_id = node.id;
-              plan_kind = kind;
-              plan_measures = measures;
+              plan_id;
+              plan_op_id = node.id;
+              plan_kind;
+              plan_measures;
               sel_used;
               sel_plain;
               sel_variance;
@@ -591,6 +721,7 @@ let plan t ~f ~mode =
       (fun scan ->
         {
           plan_id = scan.scan_id;
+          plan_op_id = scan.scan_id;
           plan_kind = Formulas.Scan;
           plan_measures =
             {
@@ -613,6 +744,7 @@ let plan t ~f ~mode =
   let overhead =
     {
       plan_id = t.overhead_id;
+      plan_op_id = t.overhead_id;
       plan_kind = Formulas.Overhead;
       plan_measures = Formulas.zero_measures;
       sel_used = 1.0;
@@ -822,63 +954,11 @@ and eval_node_body t device node : Tuple.t array =
   | Binary_node b ->
       let delta_l = eval_node t device b.left in
       let delta_r = eval_node t device b.right in
-      let t0 = Clock.now clock in
-      let cum_l_prev =
-        List.fold_left (fun acc fl -> acc + Array.length fl) 0 b.files_l
-      in
-      let cum_r_prev =
-        List.fold_left (fun acc fl -> acc + Array.length fl) 0 b.files_r
-      in
-      (* Figure 4.4/4.6 step 1: write the operand samples to temp files. *)
-      let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
-      let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
-      Device.write_temp_tuples device ~n:(Array.length delta_l);
-      Device.write_pages device
-        ~n:(int_of_float (pages ~bf:bf_l (float_of_int (Array.length delta_l))));
-      Device.write_temp_tuples device ~n:(Array.length delta_r);
-      Device.write_pages device
-        ~n:(int_of_float (pages ~bf:bf_r (float_of_int (Array.length delta_r))));
-      let t1 = Clock.now clock in
-      (* Step 2: external-sort the new files. *)
-      Device.sort device ~n:(Array.length delta_l);
-      let sorted_l = Array.copy delta_l in
-      Array.sort (Ops.compare_with_key b.key_l) sorted_l;
-      Device.sort device ~n:(Array.length delta_r);
-      let sorted_r = Array.copy delta_r in
-      Array.sort (Ops.compare_with_key b.key_r) sorted_r;
-      let t2 = Clock.now clock in
-      b.files_l <- b.files_l @ [ sorted_l ];
-      b.files_r <- b.files_r @ [ sorted_r ];
-      let full = (t.config.plan : Plan.t).fulfillment = Plan.Full in
-      let stage = t.stage + 1 in
-      let pairings =
-        Fulfillment.pairings_at_stage ~stages_l:stage ~stage
-          (if full then `Full else `Partial)
-      in
-      let file_at files i = List.nth files (i - 1) in
-      let out = ref [] in
-      let merge_reads = ref 0 in
-      List.iter
-        (fun (i, j) ->
-          Device.merge_setup device;
-          let fl = file_at b.files_l i and fr = file_at b.files_r j in
-          merge_reads := !merge_reads + Array.length fl + Array.length fr;
-          let produced =
-            match b.op with
-            | `Join ->
-                Ops.merge_sorted_join ~device ~key_l:b.key_l ~key_r:b.key_r
-                  ~residual:b.residual
-                  ~residual_comparisons:b.residual_comparisons fl fr
-            | `Intersect -> Ops.merge_sorted_intersect ~device fl fr
-          in
-          out := List.rev_append produced !out)
-        pairings;
-      let t3 = Clock.now clock in
-      let out = Array.of_list (List.rev !out) in
-      charge_out (Array.length out);
-      let t4 = Clock.now clock in
+      let cum_l_prev = sum_lengths b.deltas_l in
+      let cum_r_prev = sum_lengths b.deltas_r in
       let nl = float_of_int (Array.length delta_l) in
       let nr = float_of_int (Array.length delta_r) in
+      let full = is_full t in
       let points_new =
         if full then
           (nl *. float_of_int cum_r_prev)
@@ -886,30 +966,180 @@ and eval_node_body t device node : Tuple.t array =
           +. (nl *. nr)
         else nl *. nr
       in
+      let out_guess =
+        Float.max 0.0 (Selectivity.estimate node.sel *. points_new)
+      in
+      let path = choose_path t ~node b ~nl ~nr ~out_guess in
+      let out =
+        match path with
+        | `Sort ->
+            (* Figure 4.4/4.6: temp-write and sort this stage's deltas
+               (plus any deltas a hash stage left unsorted — catch-up),
+               then one merge pass per Figure 4.5 pairing. Measures are
+               taken before the retained state mutates so they match
+               what [sort_measures] promised the planner. *)
+            let m0 = sort_measures t ~node b ~nl ~nr ~out_new:0.0 in
+            let pairings = binary_pairings t b in
+            let bf_l = bf_of_bytes ~block_bytes:t.block_bytes b.left.out_bytes in
+            let bf_r = bf_of_bytes ~block_bytes:t.block_bytes b.right.out_bytes in
+            let missing_l, missing_r = unsorted_deltas b in
+            let t0 = Clock.now clock in
+            let write_side side_bf arr =
+              Device.write_temp_tuples device ~n:(Array.length arr);
+              Device.write_pages device
+                ~n:
+                  (int_of_float
+                     (pages ~bf:side_bf (float_of_int (Array.length arr))))
+            in
+            List.iter (write_side bf_l) missing_l;
+            List.iter (write_side bf_r) missing_r;
+            write_side bf_l delta_l;
+            write_side bf_r delta_r;
+            let t1 = Clock.now clock in
+            let sort_with cmp arr =
+              Device.sort device ~n:(Array.length arr);
+              let s = Array.copy arr in
+              Array.sort cmp s;
+              s
+            in
+            b.files_l <- b.files_l @ List.map (sort_with b.cmp_l) missing_l;
+            b.files_r <- b.files_r @ List.map (sort_with b.cmp_r) missing_r;
+            let sorted_l = sort_with b.cmp_l delta_l in
+            let sorted_r = sort_with b.cmp_r delta_r in
+            let t2 = Clock.now clock in
+            b.files_l <- b.files_l @ [ sorted_l ];
+            b.files_r <- b.files_r @ [ sorted_r ];
+            let file_at files i = List.nth files (i - 1) in
+            let out = ref [] in
+            let merge_reads = ref 0 in
+            List.iter
+              (fun (i, j) ->
+                Device.merge_setup device;
+                let fl = file_at b.files_l i and fr = file_at b.files_r j in
+                merge_reads := !merge_reads + Array.length fl + Array.length fr;
+                let produced =
+                  match b.op with
+                  | `Join ->
+                      Ops.merge_sorted_join ~device ~key_l:b.key_l
+                        ~key_r:b.key_r ~residual:b.residual
+                        ~residual_comparisons:b.residual_comparisons fl fr
+                  | `Intersect -> Ops.merge_sorted_intersect ~device fl fr
+                in
+                out := List.rev_append produced !out)
+              pairings;
+            let t3 = Clock.now clock in
+            let out = Array.of_list (List.rev !out) in
+            charge_out (Array.length out);
+            let t4 = Clock.now clock in
+            let n_out = float_of_int (Array.length out) in
+            let m =
+              {
+                m0 with
+                Formulas.merge_reads = float_of_int !merge_reads;
+                out_tuples = n_out;
+                out_pages = pages ~bf n_out;
+              }
+            in
+            let ob step seconds =
+              Cost_model.observe_step t.cost_model ~id:node.id ~step m
+                ~seconds:(Device.measure device seconds)
+            in
+            ob Formulas.Step_write_temp (t1 -. t0);
+            ob Formulas.Step_sort (t2 -. t1);
+            ob Formulas.Step_merge (t3 -. t2);
+            ob Formulas.Step_output (t4 -. t3);
+            out
+        | `Hash ->
+            (* Incremental hash path: no temp files, no sorts, no
+               re-reading of old sample units. Under full fulfillment
+               the symmetric-hash order — probe the left delta against
+               the old right index, insert it, probe the right delta
+               against the now-current left index, insert it — covers
+               exactly the full-fulfillment new point space
+               nl*cum_r + cum_l*nr + nl*nr. Build and probe time are
+               accumulated separately (they interleave) and observed
+               into the hash path's own cost-model node. *)
+            let m0 = hash_measures t ~node b ~nl ~nr ~out_new:0.0 in
+            let build_s = ref 0.0 and probe_s = ref 0.0 in
+            let timed acc f =
+              let s = Clock.now clock in
+              let r = f () in
+              acc := !acc +. (Clock.now clock -. s);
+              r
+            in
+            let probe_with index ~probe_key ~indexed_side probes =
+              match (b.op, indexed_side) with
+              | `Join, _ ->
+                  Ops.hash_probe_join ~device ~index ~probe_key ~indexed_side
+                    ~residual:b.residual
+                    ~residual_comparisons:b.residual_comparisons probes
+              | `Intersect, `Left ->
+                  Ops.hash_probe_intersect ~device ~index ~emit_side:`Indexed
+                    probes
+              | `Intersect, `Right ->
+                  Ops.hash_probe_intersect ~device ~index ~emit_side:`Probe
+                    probes
+            in
+            let produced =
+              if full then begin
+                let miss_l, miss_r = unhashed_deltas b in
+                timed build_s (fun () ->
+                    List.iter (Ops.Hash_index.add ~device b.hash_l) miss_l;
+                    List.iter (Ops.Hash_index.add ~device b.hash_r) miss_r);
+                b.hashed_l <- List.length b.deltas_l;
+                b.hashed_r <- List.length b.deltas_r;
+                let out_l =
+                  timed probe_s (fun () ->
+                      probe_with b.hash_r ~probe_key:b.key_l
+                        ~indexed_side:`Right delta_l)
+                in
+                timed build_s (fun () ->
+                    Ops.Hash_index.add ~device b.hash_l delta_l);
+                b.hashed_l <- b.hashed_l + 1;
+                let out_r =
+                  timed probe_s (fun () ->
+                      probe_with b.hash_l ~probe_key:b.key_r ~indexed_side:`Left
+                        delta_r)
+                in
+                timed build_s (fun () ->
+                    Ops.Hash_index.add ~device b.hash_r delta_r);
+                b.hashed_r <- b.hashed_r + 1;
+                List.rev_append (List.rev out_l) out_r
+              end
+              else begin
+                (* Partial fulfillment evaluates only delta x delta: a
+                   transient index, nothing retained. *)
+                let index = Ops.Hash_index.create ~key:b.key_l in
+                timed build_s (fun () ->
+                    Ops.Hash_index.add ~device index delta_l);
+                timed probe_s (fun () ->
+                    probe_with index ~probe_key:b.key_r ~indexed_side:`Left
+                      delta_r)
+              end
+            in
+            let out = Array.of_list produced in
+            let t_o0 = Clock.now clock in
+            charge_out (Array.length out);
+            let t_o1 = Clock.now clock in
+            let n_out = float_of_int (Array.length out) in
+            let m =
+              { m0 with Formulas.out_tuples = n_out; out_pages = pages ~bf n_out }
+            in
+            let ob step seconds =
+              Cost_model.observe_step t.cost_model ~id:b.hash_id ~step m
+                ~seconds:(Device.measure device seconds)
+            in
+            ob Formulas.Step_hash_build !build_s;
+            ob Formulas.Step_hash_probe !probe_s;
+            ob Formulas.Step_output (t_o1 -. t_o0);
+            out
+      in
+      b.deltas_l <- b.deltas_l @ [ delta_l ];
+      b.deltas_r <- b.deltas_r @ [ delta_r ];
       let n_out = float_of_int (Array.length out) in
       Selectivity.observe node.sel ~points:points_new ~tuples:n_out;
       node.cum_points <- node.cum_points +. points_new;
       node.cum_out <- node.cum_out +. n_out;
-      let m =
-        {
-          Formulas.zero_measures with
-          Formulas.n_input = nl +. nr;
-          temp_pages = pages ~bf:bf_l nl +. pages ~bf:bf_r nr;
-          nlogn = xlog nl +. xlog nr;
-          merge_reads = float_of_int !merge_reads;
-          out_tuples = n_out;
-          out_pages = pages ~bf n_out;
-          pairings = float_of_int (List.length pairings);
-        }
-      in
-      let ob step seconds =
-        Cost_model.observe_step t.cost_model ~id:node.id ~step m
-          ~seconds:(Device.measure device seconds)
-      in
-      ob Formulas.Step_write_temp (t1 -. t0);
-      ob Formulas.Step_sort (t2 -. t1);
-      ob Formulas.Step_merge (t3 -. t2);
-      ob Formulas.Step_output (t4 -. t3);
       out
 
 (* ------------------------------------------------------------------ *)

@@ -60,6 +60,12 @@ type sel_mode =
 
 type node_plan = {
   plan_id : int;
+      (** cost-model id of the workload priced: the operator's own id,
+          or — for a binary operator whose chosen physical path is the
+          hash one — its hash-path cost-model id *)
+  plan_op_id : int;
+      (** the logical operator's id regardless of physical path: the
+          key for {!sel_mode} overrides and {!op_ids} *)
   plan_kind : Taqp_timecost.Formulas.op_kind;
   plan_measures : Taqp_timecost.Formulas.measures;
   sel_used : float;  (** 1.0 for Scan nodes *)
@@ -70,13 +76,19 @@ type node_plan = {
 val plan : t -> f:float -> mode:sel_mode -> node_plan list
 (** Predicted per-node workload of the {e next} stage at sample
     fraction [f] (scans first, then operators per term, then the
-    Overhead node). @raise Invalid_argument for [f] outside (0, 1]. *)
+    Overhead node). Each binary operator contributes exactly one entry,
+    priced for whichever physical path ({!Config.physical_operator})
+    will run — under [Adaptive], whichever the fitted cost model
+    predicts cheaper, including any catch-up cost of switching. The
+    physical path never changes the estimate, only the cost.
+    @raise Invalid_argument for [f] outside (0, 1]. *)
 
 val predicted_cost : t -> f:float -> mode:sel_mode -> float
 (** QCOST: the cost-model total over {!plan}. *)
 
 val op_ids : t -> int list
-(** Ids of RA operator nodes (excluding scans and overhead). *)
+(** Ids of RA operator nodes (excluding scans, overhead and the binary
+    operators' hash-path cost-model ids). *)
 
 val overhead_id : t -> int
 

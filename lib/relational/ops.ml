@@ -25,6 +25,21 @@ let compare_with_key key a b =
   let c = Tuple.compare_on key a b in
   if c <> 0 then c else Tuple.compare a b
 
+(* Same total order as [compare_with_key] — key positions first, then
+   the remaining fields in index order (re-comparing a key field is a
+   no-op, so dropping the duplicates preserves the order) — but as a
+   single position array walked once, instead of a full-field tie-break
+   re-entered through a closure on every comparison. *)
+let key_comparator ~arity key =
+  let in_key = Array.make (Int.max 1 arity) false in
+  Array.iter (fun k -> if k < arity then in_key.(k) <- true) key;
+  let rest = ref [] in
+  for i = arity - 1 downto 0 do
+    if not in_key.(i) then rest := i :: !rest
+  done;
+  let order = Array.append key (Array.of_list !rest) in
+  Tuple.compare_on order
+
 let sort_stage ?device ~key tuples =
   let n = Array.length tuples in
   (match device with
@@ -34,7 +49,8 @@ let sort_stage ?device ~key tuples =
       Device.write_pages d ~n:(pages_of_tuples n);
       Device.sort d ~n);
   let copy = Array.copy tuples in
-  Array.sort (compare_with_key key) copy;
+  let arity = if n = 0 then 0 else Tuple.arity tuples.(0) in
+  Array.sort (key_comparator ~arity key) copy;
   copy
 
 let key_positions schema names =
@@ -243,4 +259,100 @@ let merge_sorted_intersect ?device left right =
   let out = ref [] in
   merge_groups ?device ~key_l:key ~key_r:key left right (fun a _ ->
       out := a :: !out);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Retained hash indexes (the incremental evaluation path)             *)
+
+module Hash_index = struct
+  (* Buckets are keyed by the hash of the key-value array and resolved
+     by full key comparison, so hash collisions (and cross-type numeric
+     keys: Int 3 vs Float 3.0 hash and compare equal) are safe. Within
+     a key group tuples are kept newest-first; probing emits groups in
+     that fixed order, so a seeded run is reproducible. *)
+  type group = { key_vals : Value.t array; mutable tuples : Tuple.t list }
+
+  type t = {
+    key : int array;
+    buckets : (int, group list ref) Hashtbl.t;
+    mutable size : int;
+  }
+
+  let create ~key = { key; buckets = Hashtbl.create 256; size = 0 }
+
+  let key_positions t = t.key
+  let length t = t.size
+
+  let hash_key vals =
+    Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 vals
+
+  let key_equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i >= Array.length a || (Value.compare a.(i) b.(i) = 0 && go (i + 1))
+    in
+    go 0
+
+  let find_group t vals =
+    match Hashtbl.find_opt t.buckets (hash_key vals) with
+    | None -> None
+    | Some chain -> List.find_opt (fun g -> key_equal g.key_vals vals) !chain
+
+  let add ?device t tuples =
+    (match device with
+    | None -> ()
+    | Some d -> Device.hash_build d ~n:(Array.length tuples));
+    Array.iter
+      (fun tuple ->
+        let vals = Tuple.key tuple t.key in
+        (match find_group t vals with
+        | Some g -> g.tuples <- tuple :: g.tuples
+        | None -> (
+            let g = { key_vals = vals; tuples = [ tuple ] } in
+            let h = hash_key vals in
+            match Hashtbl.find_opt t.buckets h with
+            | Some chain -> chain := g :: !chain
+            | None -> Hashtbl.replace t.buckets h (ref [ g ])));
+        t.size <- t.size + 1)
+      tuples
+
+  let probe ?device ~probe_key t tuples ~emit =
+    (match device with
+    | None -> ()
+    | Some d -> Device.hash_probe d ~n:(Array.length tuples));
+    Array.iter
+      (fun probe_tuple ->
+        match find_group t (Tuple.key probe_tuple probe_key) with
+        | None -> ()
+        | Some g ->
+            List.iter (fun indexed -> emit ~indexed ~probe:probe_tuple) g.tuples)
+      tuples
+end
+
+let hash_probe_join ?device ~index ~probe_key ~indexed_side ~residual
+    ~residual_comparisons probes =
+  let out = ref [] in
+  Hash_index.probe ?device ~probe_key index probes ~emit:(fun ~indexed ~probe ->
+      (match device with
+      | None -> ()
+      | Some d -> Device.check_tuples d ~n:1 ~comparisons:residual_comparisons);
+      let t =
+        match indexed_side with
+        | `Left -> Tuple.concat indexed probe
+        | `Right -> Tuple.concat probe indexed
+      in
+      if residual t then out := t :: !out);
+  List.rev !out
+
+let hash_probe_intersect ?device ~index ~emit_side probes =
+  let probe_key =
+    match probes with
+    | [||] -> Hash_index.key_positions index
+    | a -> Array.init (Tuple.arity a.(0)) (fun i -> i)
+  in
+  let out = ref [] in
+  Hash_index.probe ?device ~probe_key index probes ~emit:(fun ~indexed ~probe ->
+      let t = match emit_side with `Indexed -> indexed | `Probe -> probe in
+      out := t :: !out);
   List.rev !out

@@ -85,4 +85,65 @@ val merge_sorted_intersect :
 
 val compare_with_key : int array -> Tuple.t -> Tuple.t -> int
 (** Order by the key positions, then by all fields (the sort order
-    {!sort_stage} uses). *)
+    {!sort_stage} uses). Re-enters {!Tuple.compare_on} and a full-field
+    tie-break on every call; prefer {!key_comparator} on hot paths. *)
+
+val key_comparator : arity:int -> int array -> Tuple.t -> Tuple.t -> int
+(** A precompiled comparator realizing exactly the {!compare_with_key}
+    total order for [arity]-field tuples: the key positions followed by
+    the remaining positions are fused into one position array walked in
+    a single pass (no duplicate key comparisons, no closure re-entry).
+    Precompute it once per sort or per operator, not per comparison. *)
+
+(** A retained hash index over tuples, bucketed by the hash of the key
+    values and collision-safe via full key comparison ({!Value.compare},
+    so cross-type numeric keys behave exactly as in the sort-merge
+    path). The incremental evaluation path builds one per binary
+    operator side, inserts each stage's delta once, and probes it with
+    the opposite side's deltas — build cost O(delta), probe cost
+    O(delta + matches), versus the sorted-file pairing plan's
+    O(cumulative) re-merges. *)
+module Hash_index : sig
+  type t
+
+  val create : key:int array -> t
+  (** An empty index keyed on the given tuple positions. *)
+
+  val key_positions : t -> int array
+  val length : t -> int
+  (** Number of tuples inserted so far. *)
+
+  val add : ?device:Device.t -> t -> Tuple.t array -> unit
+  (** Insert a delta; charges {!Device.hash_build} for its tuples. *)
+
+  val probe :
+    ?device:Device.t ->
+    probe_key:int array ->
+    t ->
+    Tuple.t array ->
+    emit:(indexed:Tuple.t -> probe:Tuple.t -> unit) ->
+    unit
+  (** For every probe tuple (in array order) call [emit] once per
+      indexed tuple whose key values all compare equal; charges
+      {!Device.hash_probe} for the probe tuples. *)
+end
+
+val hash_probe_join :
+  ?device:Device.t -> index:Hash_index.t -> probe_key:int array ->
+  indexed_side:[ `Left | `Right ] ->
+  residual:(Tuple.t -> bool) -> residual_comparisons:int ->
+  Tuple.t array -> Tuple.t list
+(** Hash-path counterpart of {!merge_sorted_join}: probe the delta
+    against the opposite side's retained index, concatenating each
+    candidate in schema order ([indexed_side] says which side the index
+    holds) and filtering by the residual predicate (charged per
+    candidate, like the merge path). Returns the same multiset of
+    tuples a sort-merge of the same operands would. *)
+
+val hash_probe_intersect :
+  ?device:Device.t -> index:Hash_index.t -> emit_side:[ `Indexed | `Probe ] ->
+  Tuple.t array -> Tuple.t list
+(** Hash-path counterpart of {!merge_sorted_intersect}: the index is
+    keyed on all fields; emits one left-side tuple per matching cross
+    pair ([emit_side] says whether the index or the probe holds the
+    left operand). *)

@@ -40,11 +40,15 @@ let partial_cumulative dims =
       !acc
 
 let pairings_at_stage ~stages_l ~stage plan =
-  ignore stages_l;
   if stage < 1 then invalid_arg "Fulfillment.pairings_at_stage: stage < 1";
+  if stages_l < 1 then invalid_arg "Fulfillment.pairings_at_stage: stages_l < 1";
   match plan with
-  | `Partial -> [ (stage, stage) ]
+  | `Partial -> [ (stages_l, stage) ]
   | `Full ->
-      let new_left = List.init stage (fun i -> (stage, i + 1)) in
-      let old_left = List.init (stage - 1) (fun i -> (i + 1, stage)) in
+      (* The new left file (#stages_l) against every right file, plus
+         every old left file against the new right file (#stage): the
+         [stages_l + stage - 1] pairings that tile exactly the grid
+         cells involving at least one new file. *)
+      let new_left = List.init stage (fun i -> (stages_l, i + 1)) in
+      let old_left = List.init (stages_l - 1) (fun i -> (i + 1, stage)) in
       new_left @ old_left

@@ -26,8 +26,14 @@ val partial_new_at_stage : int array list -> stage:int -> float
 val pairings_at_stage :
   stages_l:int -> stage:int -> [ `Full | `Partial ] -> (int * int) list
 (** Which (left-stage, right-stage) file pairs a binary operator merges
-    at [stage] (Figure 4.5): full fulfillment pairs the new left file
-    with every right file and every old left file with the new right
-    file — [2s - 1] pairings; partial fulfillment pairs only
-    [(s, s)]. [stages_l] is unused today (kept for asymmetric plans)
-    but documents intent. *)
+    when the left side holds [stages_l] files and the right side
+    [stage] files, the newest of each being this stage's (Figure 4.5):
+    full fulfillment pairs the new left file with every right file and
+    every old left file with the new right file —
+    [stages_l + stage - 1] pairings ([2s - 1] in the symmetric case),
+    tiling exactly the grid cells that involve a new file; partial
+    fulfillment pairs only the two new files, [(stages_l, stage)].
+    Asymmetric per-dimension stage counts (one relation exhausted
+    early, or per-dimension stage plans) are supported by passing the
+    two sides' file counts. @raise Invalid_argument if either count
+    is < 1. *)

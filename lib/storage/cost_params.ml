@@ -8,6 +8,8 @@ type t = {
   sort_per_tuple : float;
   merge_per_tuple : float;
   merge_setup : float;
+  hash_build_per_tuple : float;
+  hash_probe_per_tuple : float;
   output_per_tuple : float;
   stage_overhead : float;
   estimator_per_tuple : float;
@@ -26,6 +28,8 @@ let default =
     sort_per_tuple = 0.0008;
     merge_per_tuple = 0.0012;
     merge_setup = 0.008;
+    hash_build_per_tuple = 0.0011;
+    hash_probe_per_tuple = 0.0009;
     output_per_tuple = 0.0008;
     stage_overhead = 0.120;
     estimator_per_tuple = 0.0002;
@@ -46,6 +50,8 @@ let scale k t =
     sort_per_tuple = k *. t.sort_per_tuple;
     merge_per_tuple = k *. t.merge_per_tuple;
     merge_setup = k *. t.merge_setup;
+    hash_build_per_tuple = k *. t.hash_build_per_tuple;
+    hash_probe_per_tuple = k *. t.hash_probe_per_tuple;
     output_per_tuple = k *. t.output_per_tuple;
     stage_overhead = k *. t.stage_overhead;
     estimator_per_tuple = k *. t.estimator_per_tuple;
@@ -58,9 +64,10 @@ let fast = { (scale 0.01 default) with stage_overhead = 0.01 *. default.stage_ov
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>block_read=%gs tuple_check=%gs+%gs/cmp page_write=%gs@ \
-     temp_write=%gs/t sort=%g*nlogn+%g*n merge=%gs/t out=%gs/t@ \
-     stage_overhead=%gs estimator=%gs/t jitter=%g tick=%gs@]"
+     temp_write=%gs/t sort=%g*nlogn+%g*n merge=%gs/t hash=%gs/t+%gs/probe \
+     out=%gs/t@ stage_overhead=%gs estimator=%gs/t jitter=%g tick=%gs@]"
     t.block_read t.tuple_check_base t.per_comparison t.page_write
     t.temp_tuple_write t.sort_per_nlogn t.sort_per_tuple t.merge_per_tuple
+    t.hash_build_per_tuple t.hash_probe_per_tuple
     t.output_per_tuple t.stage_overhead t.estimator_per_tuple t.jitter_sigma
     t.clock_tick

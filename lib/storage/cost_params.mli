@@ -21,6 +21,12 @@ type t = {
   sort_per_tuple : float;  (** linear part of the sort cost *)
   merge_per_tuple : float;  (** read+compare one tuple during merge *)
   merge_setup : float;  (** fixed cost of opening one sorted-file pairing *)
+  hash_build_per_tuple : float;
+      (** insert one tuple into a retained hash index (key extraction,
+          bucket chase, link) *)
+  hash_probe_per_tuple : float;
+      (** probe one delta tuple against a retained hash index (candidate
+          residual checks are charged separately, per candidate) *)
   output_per_tuple : float;  (** materialize one result tuple *)
   stage_overhead : float;  (** fixed per-stage bookkeeping *)
   estimator_per_tuple : float;  (** fold one sample tuple into estimate *)

@@ -97,6 +97,18 @@ let merge_tuples t ~n =
     traced_charge t "merge" (float_of_int n *. t.params.merge_per_tuple)
   end
 
+let hash_build t ~n =
+  if n > 0 then begin
+    Io_stats.add_tuples_hashed t.stats n;
+    traced_charge t "hash_build" (float_of_int n *. t.params.hash_build_per_tuple)
+  end
+
+let hash_probe t ~n =
+  if n > 0 then begin
+    Io_stats.add_tuples_probed t.stats n;
+    traced_charge t "hash_probe" (float_of_int n *. t.params.hash_probe_per_tuple)
+  end
+
 let output_tuples t ~n =
   if n > 0 then begin
     Io_stats.add_tuples_output t.stats n;

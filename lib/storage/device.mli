@@ -41,6 +41,16 @@ val sort : t -> n:int -> unit
 (** External sort of [n] tuples: charges c*n*log2(n) + c'*n. *)
 
 val merge_tuples : t -> n:int -> unit
+
+val hash_build : t -> n:int -> unit
+(** Insert [n] tuples into a retained hash index (the incremental
+    evaluation path's build step); emits a [hash_build] storage span. *)
+
+val hash_probe : t -> n:int -> unit
+(** Probe [n] delta tuples against a retained hash index; emits a
+    [hash_probe] storage span. Candidate checks are charged separately
+    via {!check_tuples}. *)
+
 val output_tuples : t -> n:int -> unit
 val estimator_update : t -> n:int -> unit
 

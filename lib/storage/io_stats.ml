@@ -7,6 +7,8 @@ type t = {
   temp_tuples_written : Counter.t;
   tuples_sorted : Counter.t;
   tuples_merged : Counter.t;
+  tuples_hashed : Counter.t;
+  tuples_probed : Counter.t;
   tuples_output : Counter.t;
   stages : Counter.t;
 }
@@ -24,6 +26,8 @@ let create ?metrics () =
     temp_tuples_written = cell "temp_tuples_written";
     tuples_sorted = cell "tuples_sorted";
     tuples_merged = cell "tuples_merged";
+    tuples_hashed = cell "tuples_hashed";
+    tuples_probed = cell "tuples_probed";
     tuples_output = cell "tuples_output";
     stages = cell "stages";
   }
@@ -34,6 +38,8 @@ let pages_written t = Counter.value t.pages_written
 let temp_tuples_written t = Counter.value t.temp_tuples_written
 let tuples_sorted t = Counter.value t.tuples_sorted
 let tuples_merged t = Counter.value t.tuples_merged
+let tuples_hashed t = Counter.value t.tuples_hashed
+let tuples_probed t = Counter.value t.tuples_probed
 let tuples_output t = Counter.value t.tuples_output
 let stages t = Counter.value t.stages
 
@@ -43,6 +49,8 @@ let add_pages_written t n = Counter.add t.pages_written n
 let add_temp_tuples_written t n = Counter.add t.temp_tuples_written n
 let add_tuples_sorted t n = Counter.add t.tuples_sorted n
 let add_tuples_merged t n = Counter.add t.tuples_merged n
+let add_tuples_hashed t n = Counter.add t.tuples_hashed n
+let add_tuples_probed t n = Counter.add t.tuples_probed n
 let add_tuples_output t n = Counter.add t.tuples_output n
 let incr_stages t = Counter.incr t.stages
 
@@ -54,6 +62,8 @@ let fields t =
     t.temp_tuples_written;
     t.tuples_sorted;
     t.tuples_merged;
+    t.tuples_hashed;
+    t.tuples_probed;
     t.tuples_output;
     t.stages;
   ]
@@ -77,7 +87,8 @@ let diff later earlier =
 
 let pp ppf t =
   Format.fprintf ppf
-    "blocks=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d out=%d stages=%d"
+    "blocks=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d hashed=%d \
+     probed=%d out=%d stages=%d"
     (blocks_read t) (tuples_checked t) (pages_written t)
     (temp_tuples_written t) (tuples_sorted t) (tuples_merged t)
-    (tuples_output t) (stages t)
+    (tuples_hashed t) (tuples_probed t) (tuples_output t) (stages t)

@@ -22,6 +22,8 @@ val pages_written : t -> int
 val temp_tuples_written : t -> int
 val tuples_sorted : t -> int
 val tuples_merged : t -> int
+val tuples_hashed : t -> int
+val tuples_probed : t -> int
 val tuples_output : t -> int
 val stages : t -> int
 
@@ -33,6 +35,8 @@ val add_pages_written : t -> int -> unit
 val add_temp_tuples_written : t -> int -> unit
 val add_tuples_sorted : t -> int -> unit
 val add_tuples_merged : t -> int -> unit
+val add_tuples_hashed : t -> int -> unit
+val add_tuples_probed : t -> int -> unit
 val add_tuples_output : t -> int -> unit
 val incr_stages : t -> unit
 

@@ -1,4 +1,12 @@
-type op_kind = Scan | Select | Join | Intersect | Project | Overhead
+type op_kind =
+  | Scan
+  | Select
+  | Join
+  | Intersect
+  | Hash_join
+  | Hash_intersect
+  | Project
+  | Overhead
 
 type step =
   | Step_read
@@ -6,6 +14,8 @@ type step =
   | Step_write_temp
   | Step_sort
   | Step_merge
+  | Step_hash_build
+  | Step_hash_probe
   | Step_output
   | Step_fixed
 
@@ -16,6 +26,8 @@ type measures = {
   temp_pages : float;
   nlogn : float;
   merge_reads : float;
+  build_tuples : float;
+  probe_tuples : float;
   out_tuples : float;
   out_pages : float;
   pairings : float;
@@ -29,6 +41,8 @@ let zero_measures =
     temp_pages = 0.0;
     nlogn = 0.0;
     merge_reads = 0.0;
+    build_tuples = 0.0;
+    probe_tuples = 0.0;
     out_tuples = 0.0;
     out_pages = 0.0;
     pairings = 0.0;
@@ -38,6 +52,8 @@ let steps = function
   | Scan -> [ Step_read ]
   | Select -> [ Step_check; Step_output ]
   | Join | Intersect -> [ Step_write_temp; Step_sort; Step_merge; Step_output ]
+  | Hash_join | Hash_intersect ->
+      [ Step_hash_build; Step_hash_probe; Step_output ]
   | Project -> [ Step_write_temp; Step_sort; Step_check; Step_output ]
   | Overhead -> [ Step_fixed ]
 
@@ -48,6 +64,8 @@ let step_features step m =
   | Step_write_temp -> [| m.n_input; m.temp_pages |]
   | Step_sort -> [| m.nlogn; m.n_input |]
   | Step_merge -> [| m.merge_reads; m.pairings |]
+  | Step_hash_build -> [| m.build_tuples; 1.0 |]
+  | Step_hash_probe -> [| m.probe_tuples; m.out_tuples |]
   | Step_output -> [| m.out_tuples; m.out_pages |]
   | Step_fixed -> [| 1.0 |]
 
@@ -64,6 +82,8 @@ let step_initial = function
   | Step_write_temp -> [| 0.0009; 0.027 |]
   | Step_sort -> [| 0.00045; 0.0015 |]
   | Step_merge -> [| 0.0022; 0.014 |]
+  | Step_hash_build -> [| 0.0020; 0.002 |]
+  | Step_hash_probe -> [| 0.0017; 0.0015 |]
   | Step_output -> [| 0.0014; 0.027 |]
   | Step_fixed -> [| 0.220 |]
 
@@ -72,6 +92,8 @@ let kind_name = function
   | Select -> "select"
   | Join -> "join"
   | Intersect -> "intersect"
+  | Hash_join -> "hash-join"
+  | Hash_intersect -> "hash-intersect"
   | Project -> "project"
   | Overhead -> "overhead"
 
@@ -81,11 +103,14 @@ let step_name = function
   | Step_write_temp -> "write-temp"
   | Step_sort -> "sort"
   | Step_merge -> "merge"
+  | Step_hash_build -> "hash-build"
+  | Step_hash_probe -> "hash-probe"
   | Step_output -> "output"
   | Step_fixed -> "fixed"
 
 let pp_measures ppf m =
   Format.fprintf ppf
-    "blocks=%g n=%g cmp=%g tpages=%g nlogn=%g merge=%g out=%g pages=%g pairings=%g"
+    "blocks=%g n=%g cmp=%g tpages=%g nlogn=%g merge=%g build=%g probe=%g \
+     out=%g pages=%g pairings=%g"
     m.blocks m.n_input m.comparisons m.temp_pages m.nlogn m.merge_reads
-    m.out_tuples m.out_pages m.pairings
+    m.build_tuples m.probe_tuples m.out_tuples m.out_pages m.pairings

@@ -16,10 +16,24 @@
       full-fulfillment plan (4.4), output writing. Union and
       Difference are rewritten to intersections before costing, so
       they share this shape (Section 4.2).
+    - Hash_join / Hash_intersect: the incremental hash evaluation path
+      — insert the stage's delta into retained per-side hash indexes
+      (build) and probe each delta against the opposite index (probe),
+      then output writing. No temp files, no sorts, no re-merging of
+      old files: both steps are linear in the delta, which is what
+      makes the path cheap at late stages.
     - Project (4.7): temp write, sort, duplicate-scan, output.
     - Overhead: the per-stage constant, "measured at run-time". *)
 
-type op_kind = Scan | Select | Join | Intersect | Project | Overhead
+type op_kind =
+  | Scan
+  | Select
+  | Join
+  | Intersect
+  | Hash_join
+  | Hash_intersect
+  | Project
+  | Overhead
 
 type step =
   | Step_read  (** fetch sample disk blocks *)
@@ -27,6 +41,8 @@ type step =
   | Step_write_temp  (** write operand tuples to temp files (4.2) *)
   | Step_sort  (** external sort (4.3) *)
   | Step_merge  (** merge sorted files, one pass per pairing (4.4) *)
+  | Step_hash_build  (** insert delta tuples into retained hash indexes *)
+  | Step_hash_probe  (** probe delta tuples against the opposite index *)
   | Step_output  (** materialize result tuples and pages *)
   | Step_fixed  (** per-stage constant bookkeeping *)
 
@@ -39,6 +55,10 @@ type measures = {
   temp_pages : float;  (** temp-file pages written *)
   nlogn : float;  (** sum over operands of n * log2 n for new sorts *)
   merge_reads : float;  (** tuples re-read while merging sorted files *)
+  build_tuples : float;
+      (** tuples inserted into retained hash indexes this stage (deltas
+          plus any catch-up after a sort->hash switch) *)
+  probe_tuples : float;  (** delta tuples probed against the indexes *)
   out_tuples : float;  (** result tuples produced *)
   out_pages : float;  (** result pages written *)
   pairings : float;  (** sorted-file pairs merged (2s-1 full, 1 partial) *)

@@ -102,6 +102,31 @@ let test_pairings () =
     "partial is the diagonal" [ (4, 4) ]
     (Fulfillment.pairings_at_stage ~stages_l:4 ~stage:4 `Partial)
 
+let test_pairings_asymmetric () =
+  (* stages_l <> stage: a side with fewer files pairs its newest file
+     against every right file, and each of its older files against the
+     newest right file. *)
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "full, 2 left files x 4 right files"
+    [ (2, 1); (2, 2); (2, 3); (2, 4); (1, 4) ]
+    (Fulfillment.pairings_at_stage ~stages_l:2 ~stage:4 `Full);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "full, 1 left file x 3 right files"
+    [ (1, 1); (1, 2); (1, 3) ]
+    (Fulfillment.pairings_at_stage ~stages_l:1 ~stage:3 `Full);
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "partial pairs the two newest" [ (2, 5) ]
+    (Fulfillment.pairings_at_stage ~stages_l:2 ~stage:5 `Partial);
+  checki "count is stages_l + stage - 1" 6
+    (List.length (Fulfillment.pairings_at_stage ~stages_l:3 ~stage:4 `Full));
+  Alcotest.check_raises "stages_l < 1 rejected"
+    (Invalid_argument "Fulfillment.pairings_at_stage: stages_l < 1")
+    (fun () ->
+      ignore (Fulfillment.pairings_at_stage ~stages_l:0 ~stage:2 `Full))
+
 let prop_pairings_cover_new_combinations =
   (* Full-fulfillment pairings at stage s are exactly the (i,j) pairs
      not already merged at earlier stages with max(i,j) = s. *)
@@ -140,6 +165,8 @@ let () =
             test_full_new_matches_paper_formula;
           Alcotest.test_case "partial plan" `Quick test_partial;
           Alcotest.test_case "pairings" `Quick test_pairings;
+          Alcotest.test_case "pairings asymmetric" `Quick
+            test_pairings_asymmetric;
           QCheck_alcotest.to_alcotest prop_pairings_cover_new_combinations;
         ] );
       ("plan", [ Alcotest.test_case "defaults" `Quick test_plan_defaults ]);
