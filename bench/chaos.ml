@@ -1,0 +1,197 @@
+(* The chaos matrix: fault scenarios x time-control strategies. Each
+   cell runs the same workloads under seeded storage-fault injection in
+   ERAM's observe mode and records how the time-control guarantees
+   survive: overspend probability against the strategy's claimed risk
+   bound, confidence-interval coverage, the fraction of runs that ended
+   degraded, and fault accounting. Every trial must end in a report —
+   full or degraded-partial — never an uncaught exception; the summary
+   and BENCH_chaos.json both carry the violation count so CI can gate
+   on it. *)
+
+module Config = Taqp_core.Config
+module Taqp = Taqp_core.Taqp
+module Report = Taqp_core.Report
+module Stopping = Taqp_timecontrol.Stopping
+module Strategy = Taqp_timecontrol.Strategy
+module Paper_setup = Taqp_workload.Paper_setup
+module Generator = Taqp_workload.Generator
+module Fault_plan = Taqp_fault.Fault_plan
+module Confidence = Taqp_stats.Confidence
+module Json = Taqp_obs.Json
+
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
+
+let workloads =
+  [
+    ("selection", Paper_setup.selection ~spec ~seed:3 (), 1.0);
+    ("join", Paper_setup.join ~spec ~seed:4 (), 2.0);
+  ]
+
+let scenarios = [ "none"; "transient"; "latency"; "torn"; "stall"; "heavy" ]
+
+(* Claimed one-sided overspend-risk bounds for the matrix, taken from
+   the no-fault sweeps of Table 5.1 plus headroom for fault-inflated
+   stage costs (the injector can blow up exactly the stage the sizing
+   already committed to). The chaos CI job asserts the measured
+   probability stays under these. *)
+let strategies =
+  [
+    ("one-at-a-time-24", Strategy.one_at_a_time ~d_beta:24.0 (), 0.15);
+    ("one-at-a-time-48", Strategy.one_at_a_time ~d_beta:48.0 (), 0.10);
+  ]
+
+let observe_config ~strategy =
+  {
+    Config.default with
+    Config.strategy;
+    stopping = Stopping.Soft_deadline { grace = 1e9 };
+    trace = false;
+  }
+
+type cell = {
+  trials : int;
+  overspends : int;
+  mean_overspend : float;  (** among overspending trials *)
+  covered : int;  (** trials whose CI contains the exact answer *)
+  degraded : int;
+  faulted : int;  (** runs ended by an unrecoverable fault *)
+  mean_faults : float;
+  mean_fault_time : float;
+  mean_stages : float;
+  uncaught : int;  (** must be 0: hard acceptance criterion *)
+}
+
+let run_cell ~plan ~strategy ~fault_seed ~trials (_, wl, quota) =
+  let config = observe_config ~strategy in
+  let overspends = ref 0
+  and ovsp = ref 0.0
+  and covered = ref 0
+  and degraded = ref 0
+  and faulted = ref 0
+  and faults = ref 0.0
+  and fault_time = ref 0.0
+  and stages = ref 0.0
+  and uncaught = ref 0 in
+  for trial = 1 to trials do
+    match
+      Taqp.count_within ~config ~seed:trial ~faults:plan
+        ~fault_seed:(fault_seed + trial) wl.Paper_setup.catalog ~quota
+        wl.Paper_setup.query
+    with
+    | exception e ->
+        incr uncaught;
+        Fmt.epr "chaos: UNCAUGHT %s@." (Printexc.to_string e)
+    | r ->
+        if r.Report.outcome = Report.Overspent then begin
+          incr overspends;
+          ovsp := !ovsp +. r.Report.overspend
+        end;
+        let c = r.Report.confidence in
+        let exact = float_of_int wl.Paper_setup.exact in
+        if
+          Float.abs (r.Report.estimate -. exact)
+          <= c.Confidence.half_width +. 1e-9
+        then incr covered;
+        if r.Report.degraded then incr degraded;
+        if r.Report.outcome = Report.Faulted then incr faulted;
+        faults := !faults +. float_of_int (List.length r.Report.faults);
+        fault_time := !fault_time +. r.Report.fault_time;
+        stages := !stages +. float_of_int r.Report.stages_completed
+  done;
+  let fn = float_of_int trials in
+  {
+    trials;
+    overspends = !overspends;
+    mean_overspend =
+      (if !overspends > 0 then !ovsp /. float_of_int !overspends else 0.0);
+    covered = !covered;
+    degraded = !degraded;
+    faulted = !faulted;
+    mean_faults = !faults /. fn;
+    mean_fault_time = !fault_time /. fn;
+    mean_stages = !stages /. fn;
+    uncaught = !uncaught;
+  }
+
+let cell_json ~query ~risk_bound (c : cell) =
+  let frac n = float_of_int n /. float_of_int c.trials in
+  Json.Obj
+    [
+      ("query", Json.Str query);
+      ("trials", Json.Num (float_of_int c.trials));
+      ("overspend_probability", Json.Num (frac c.overspends));
+      ("risk_bound", Json.Num risk_bound);
+      ("mean_overspend", Json.Num c.mean_overspend);
+      ("ci_coverage", Json.Num (frac c.covered));
+      ("degraded_fraction", Json.Num (frac c.degraded));
+      ("faulted_fraction", Json.Num (frac c.faulted));
+      ("mean_faults", Json.Num c.mean_faults);
+      ("mean_fault_time", Json.Num c.mean_fault_time);
+      ("mean_stages", Json.Num c.mean_stages);
+      ("uncaught_exceptions", Json.Num (float_of_int c.uncaught));
+    ]
+
+let write ?(path = "BENCH_chaos.json") ?(fault_seed = 42) ?(trials = 60) () =
+  Fmt.pr "@.=== Chaos matrix (fault scenarios x strategies) ===@.";
+  Fmt.pr
+    "%d trials/cell, fault-seed base %d; observe mode (overspend measured, \
+     not aborted)@."
+    trials fault_seed;
+  let violations = ref 0 in
+  let uncaught_total = ref 0 in
+  let scenario_json scenario =
+    let plan = Option.get (Fault_plan.preset scenario) in
+    let strategy_json (sname, strategy, risk_bound) =
+      let cells =
+        List.map
+          (fun ((qname, _, _) as wl) ->
+            let c = run_cell ~plan ~strategy ~fault_seed ~trials wl in
+            let p =
+              float_of_int c.overspends /. float_of_int c.trials
+            in
+            if p > risk_bound then incr violations;
+            uncaught_total := !uncaught_total + c.uncaught;
+            Fmt.pr
+              "  %-10s %-18s %-10s risk %5.1f%% (bound %4.1f%%)  coverage \
+               %5.1f%%  degraded %5.1f%%  faults/run %5.2f@."
+              scenario sname qname (100.0 *. p) (100.0 *. risk_bound)
+              (100.0 *. float_of_int c.covered /. float_of_int c.trials)
+              (100.0 *. float_of_int c.degraded /. float_of_int c.trials)
+              c.mean_faults;
+            cell_json ~query:qname ~risk_bound c)
+          workloads
+      in
+      Json.Obj
+        [
+          ("strategy", Json.Str sname);
+          ("risk_bound", Json.Num risk_bound);
+          ("cells", Json.List cells);
+        ]
+    in
+    Json.Obj
+      [
+        ("scenario", Json.Str scenario);
+        ("strategies", Json.List (List.map strategy_json strategies));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-chaos/1");
+        ("fault_seed", Json.Num (float_of_int fault_seed));
+        ("trials_per_cell", Json.Num (float_of_int trials));
+        ("scenarios", Json.List (List.map scenario_json scenarios));
+        ("risk_bound_violations", Json.Num (float_of_int !violations));
+        ("uncaught_exceptions", Json.Num (float_of_int !uncaught_total));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d scenarios x %d strategies x %d queries)@." path
+    (List.length scenarios) (List.length strategies) (List.length workloads);
+  if !uncaught_total > 0 then
+    Fmt.epr "chaos: %d trials raised uncaught exceptions@." !uncaught_total;
+  if !violations > 0 then
+    Fmt.epr "chaos: %d cells exceeded their claimed risk bound@." !violations

@@ -12,25 +12,43 @@
      main.exe --micro              bechamel micro-benchmarks
      main.exe --scheduling         deadline-miss simulation (exact vs taqp)
      main.exe --perf               physical-path perf report (BENCH_perf.json)
+     main.exe --chaos              fault-injection matrix (BENCH_chaos.json)
+     main.exe --chaos --fault-seed 7   ... with a different injector seed
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
-     [--micro] [--scheduling] [--perf] [--full]";
+     [--micro] [--scheduling] [--perf] [--chaos] [--fault-seed N] [--full]";
   exit 1
 
-type mode = Tables of string option | Ablations | Micro | Scheduling | Perf | Full
+type mode =
+  | Tables of string option
+  | Ablations
+  | Micro
+  | Scheduling
+  | Perf
+  | Chaos
+  | Full
 
 let () =
   let trials = ref 200 in
   let mode = ref Full in
+  let fault_seed = ref 42 in
   let rec parse = function
     | [] -> ()
     | "--trials" :: n :: rest ->
         (match int_of_string_opt n with
         | Some v when v > 0 -> trials := v
         | _ -> usage ());
+        parse rest
+    | "--fault-seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v -> fault_seed := v
+        | None -> usage ());
+        parse rest
+    | "--chaos" :: rest ->
+        mode := Chaos;
         parse rest
     | "--table" :: t :: rest ->
         mode := Tables (Some t);
@@ -80,12 +98,14 @@ let () =
   | Micro -> Micro.run ()
   | Scheduling -> Scheduling.run ()
   | Perf -> Perf.write ()
+  | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
       Scheduling.run ();
       Micro.run ();
-      Perf.write ());
+      Perf.write ();
+      Chaos.write ~fault_seed:!fault_seed ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

@@ -19,6 +19,7 @@ module Heap_file = Taqp_storage.Heap_file
 module Paper_setup = Taqp_workload.Paper_setup
 module Sink = Taqp_obs.Sink
 module Metrics = Taqp_obs.Metrics
+module Fault_plan = Taqp_fault.Fault_plan
 
 let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
 
@@ -219,11 +220,43 @@ let query_cmd =
             "Also stop when the 95% interval is within PCT percent of the \
              estimate (error-constrained evaluation).")
   in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SCENARIO"
+          ~doc:
+            (Fmt.str
+               "Inject storage faults: a preset (%s) or a DSL rule list such \
+                as 'read_error:p=0.05;latency:p=0.1,factor=4;retries=5' — \
+                see docs/ROBUSTNESS.md. The run stays deterministic given \
+                $(b,--fault-seed); recoverable faults cost retries and \
+                backoff on the virtual clock, unrecoverable ones end the run \
+                in a degraded partial report."
+               (String.concat ", " Fault_plan.preset_names)))
+  in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:
+            "Seed of the fault injector's own random stream (default: \
+             $(b,--seed)). Changing it re-rolls the faults without changing \
+             which tuples are sampled.")
+  in
   let run dir query quota aggregate d_beta strategy physical observe trace
-      trace_out trace_format metrics groups error_bound seed =
+      trace_out trace_format metrics groups error_bound faults fault_seed seed =
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
+        match
+          match faults with
+          | None -> Ok None
+          | Some s -> Result.map Option.some (Fault_plan.of_string s)
+        with
+        | Error m -> fail "bad --faults scenario: %s" m
+        | Ok faults -> (
         match Aggregate.parse aggregate with
         | exception Invalid_argument m -> fail "%s" m
         | aggregate -> (
@@ -290,7 +323,7 @@ let query_cmd =
             let close_file () = Option.iter close_out !out_channel in
             match
               Taqp.aggregate_within ~config ~seed ?sink ?metrics:registry
-                ~aggregate catalog ~quota expr
+                ?faults ?fault_seed ~aggregate catalog ~quota expr
             with
             | report ->
                 close_file ();
@@ -312,7 +345,7 @@ let query_cmd =
                 fail "%s" m
             | exception Taqp_relational.Ra.Type_error m ->
                 close_file ();
-                fail "type error: %s" m))
+                fail "type error: %s" m)))
   in
   let term =
     Term.(
@@ -320,7 +353,7 @@ let query_cmd =
         (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
        $ d_beta_arg $ strategy_arg $ physical_arg $ observe_arg $ trace_arg
        $ trace_out_arg $ trace_format_arg $ metrics_arg $ groups_arg
-       $ error_bound_arg $ seed_arg))
+       $ error_bound_arg $ faults_arg $ fault_seed_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"

@@ -1,6 +1,7 @@
 module Clock = Taqp_storage.Clock
 module Device = Taqp_storage.Device
 module Io_stats = Taqp_storage.Io_stats
+module Injector = Taqp_fault.Injector
 module Tracer = Taqp_obs.Tracer
 module Event = Taqp_obs.Event
 module Metrics = Taqp_obs.Metrics
@@ -111,8 +112,8 @@ let determine_fraction staged cost_model device ~strategy ~budget ~eps
   in
   outcome
 
-let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
-    ~(config : Config.t) =
+let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
+    ~faults_before ~fault_time_before ~outcome ~(config : Config.t) =
   let elapsed = Clock.now clock -. start in
   let estimate =
     match (state.last_good, Staged.current_estimate staged) with
@@ -126,17 +127,42 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
     match outcome with
     | Report.Overspent -> Float.max 0.0 (elapsed -. quota)
     | Report.Finished | Report.Quota_exhausted | Report.Aborted_mid_stage
-    | Report.Exact ->
+    | Report.Exact | Report.Faulted ->
         0.0
   in
   let waste = Float.max 0.0 (Float.max quota elapsed -. state.useful_time -. overspend) in
   let utilization = if quota > 0.0 then state.useful_time /. quota else 0.0 in
   let io = Io_stats.diff (Io_stats.copy (Device.stats device)) io_before in
+  let degraded =
+    match outcome with
+    | Report.Aborted_mid_stage | Report.Faulted -> true
+    | Report.Finished | Report.Quota_exhausted | Report.Overspent
+    | Report.Exact ->
+        false
+  in
+  let confidence =
+    let base = Count_estimator.confidence ~level:config.confidence_level estimate in
+    if not degraded then base
+    else begin
+      (* A degraded answer is the last good estimate, so its sampling
+         interval understates the real uncertainty: widen it by how
+         much of the quota the run could not turn into useful stages
+         (bounded at 2x — see docs/ROBUSTNESS.md). *)
+      let unused = Float.max 0.0 (quota -. state.useful_time) in
+      let factor =
+        if quota > 0.0 then 1.0 +. Float.min 1.0 (unused /. quota) else 2.0
+      in
+      { base with Taqp_stats.Confidence.half_width = base.half_width *. factor }
+    end
+  in
+  let faults =
+    if faults_before = 0 then Device.fault_log device
+    else List.filteri (fun i _ -> i >= faults_before) (Device.fault_log device)
+  in
   {
     Report.estimate = estimate.Count_estimator.estimate;
     variance = estimate.Count_estimator.variance;
-    confidence =
-      Count_estimator.confidence ~level:config.confidence_level estimate;
+    confidence;
     exact = estimate.Count_estimator.is_exact && state.stages_completed > 0;
     outcome;
     quota;
@@ -148,8 +174,11 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
     stages_completed = state.stages_completed;
     stage_aborted =
       (match outcome with
-      | Report.Aborted_mid_stage | Report.Overspent -> true
+      | Report.Aborted_mid_stage | Report.Overspent | Report.Faulted -> true
       | Report.Finished | Report.Quota_exhausted | Report.Exact -> false);
+    degraded;
+    faults;
+    fault_time = Device.fault_time device -. fault_time_before;
     blocks_read = Io_stats.blocks_read io;
     useful_blocks = state.useful_blocks;
     io;
@@ -184,6 +213,8 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
   let overspend_h = Metrics.histogram metrics "query.overspend" in
   let start = Clock.now clock in
   let io_before = Io_stats.copy (Device.stats device) in
+  let faults_before = List.length (Device.fault_log device) in
+  let fault_time_before = Device.fault_time device in
   let deadline_mode = Stopping.deadline_mode config.stopping in
   if Tracer.enabled tracer then
     Tracer.span_begin tracer ~cat:"query" "query"
@@ -222,8 +253,8 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
   let finish outcome =
     Clock.disarm clock;
     let report =
-      finalize ~staged ~state ~quota ~start ~clock ~io_before ~device ~outcome
-        ~config
+      finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
+        ~faults_before ~fault_time_before ~outcome ~config
     in
     Metrics.Histogram.observe overspend_h report.Report.overspend;
     if Tracer.enabled tracer then begin
@@ -254,12 +285,35 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
              ~max_iterations:config.max_bisect_iterations
       then finish Report.Quota_exhausted
       else begin
+        (* Budget shrinkage has two independent factors: the residual
+           spread (cost-model noise) and, when a fault injector is
+           installed, fault headroom — twice the larger of the plan's
+           expected load and the inflation observed so far, so that a
+           spike landing on the committed stage does not immediately
+           overspend (see docs/ROBUSTNESS.md). Without an injector the
+           factor is exactly 1 and the arithmetic is unchanged. *)
+        let fault_headroom =
+          match Device.fault_injector device with
+          | None -> 1.0
+          | Some inj ->
+              let planned =
+                Taqp_fault.Fault_plan.expected_load
+                  ~charge_cost:
+                    (Device.params device).Taqp_storage.Cost_params.block_read
+                  (Injector.plan inj)
+              in
+              let injected = Device.fault_time device -. fault_time_before in
+              let busy = Float.max 1e-9 (elapsed -. injected) in
+              1.0 +. (2.0 *. Float.max planned (injected /. busy))
+        in
         let budget =
-          if Taqp_stats.Summary.count state.residuals >= 2 then begin
-            let sigma = Taqp_stats.Summary.stddev state.residuals in
-            remaining /. (1.0 +. (2.0 *. sigma))
-          end
-          else remaining
+          let shrink =
+            (if Taqp_stats.Summary.count state.residuals >= 2 then
+               1.0 +. (2.0 *. Taqp_stats.Summary.stddev state.residuals)
+             else 1.0)
+            *. fault_headroom
+          in
+          if shrink = 1.0 then remaining else remaining /. shrink
         in
         let eps = Float.max 1e-6 (config.bisect_eps_frac *. budget) in
         match
@@ -337,6 +391,14 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
           (Clock.now clock -. start -. stage_start);
         end_stage ~decision:"aborted" ();
         finish Report.Aborted_mid_stage
+    | exception Injector.Unrecoverable { op; attempts; _ } ->
+        Log.warn (fun m ->
+            m "stage %d killed by unrecoverable %s fault after %d attempts"
+              state.stages_attempted op attempts);
+        Metrics.Histogram.observe stage_actual_h
+          (Clock.now clock -. start -. stage_start);
+        end_stage ~decision:"faulted" ();
+        finish Report.Faulted
     | None ->
         end_stage ~decision:"exhausted" ();
         finish Report.Exact

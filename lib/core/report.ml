@@ -19,7 +19,13 @@ type stage = {
   ops : op_snapshot list;
 }
 
-type outcome = Finished | Quota_exhausted | Aborted_mid_stage | Overspent | Exact
+type outcome =
+  | Finished
+  | Quota_exhausted
+  | Aborted_mid_stage
+  | Overspent
+  | Exact
+  | Faulted
 
 type t = {
   estimate : float;
@@ -35,6 +41,9 @@ type t = {
   utilization : float;
   stages_completed : int;
   stage_aborted : bool;
+  degraded : bool;
+  faults : Taqp_fault.Injector.event list;
+  fault_time : float;
   blocks_read : int;
   useful_blocks : int;
   io : Taqp_storage.Io_stats.t;
@@ -48,6 +57,7 @@ let outcome_name = function
   | Aborted_mid_stage -> "aborted-mid-stage"
   | Overspent -> "overspent"
   | Exact -> "exact"
+  | Faulted -> "faulted"
 
 let pp_stage ppf s =
   Format.fprintf ppf
@@ -59,13 +69,20 @@ let pp_stage ppf s =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>estimate %.1f (+/- %.1f at %.0f%%)%s@ outcome=%s stages=%d \
+    "@[<v>estimate %.1f (+/- %.1f at %.0f%%)%s%s@ outcome=%s stages=%d \
      elapsed=%.2fs/%.2fs useful=%.2fs ovsp=%.2fs waste=%.2fs util=%.0f%% \
      blocks=%d@]"
     t.estimate t.confidence.Taqp_stats.Confidence.half_width
     (100.0 *. t.confidence.Taqp_stats.Confidence.level)
     (if t.exact then " [exact]" else "")
+    (if t.degraded then " [degraded]" else "")
     (outcome_name t.outcome) t.stages_completed t.elapsed t.quota
     t.useful_time t.overspend t.waste
     (100.0 *. t.utilization)
-    t.blocks_read
+    t.blocks_read;
+  if t.faults <> [] then
+    let recovered =
+      List.length (List.filter (fun e -> e.Taqp_fault.Injector.ev_recovered) t.faults)
+    in
+    Format.fprintf ppf "@ faults=%d (%d recovered) fault_time=%.2fs"
+      (List.length t.faults) recovered t.fault_time

@@ -36,6 +36,10 @@ type outcome =
           population is exhausted but only the diagonal combinations
           were evaluated — consult the [exact] flag, which reflects the
           estimator, not the outcome. *)
+  | Faulted
+      (** an injected storage fault survived the retry budget and
+          interrupted a running stage; the report carries the last
+          good estimate (see [degraded]) *)
 
 type t = {
   estimate : float;
@@ -51,6 +55,15 @@ type t = {
   utilization : float;  (** useful_time / quota, in [0, ~1] *)
   stages_completed : int;
   stage_aborted : bool;
+  degraded : bool;
+      (** the run could not complete normally (a deadline abort or an
+          unrecoverable fault interrupted a stage): the answer is the
+          last good estimate and its interval has been widened by the
+          degradation factor — see docs/ROBUSTNESS.md *)
+  faults : Taqp_fault.Injector.event list;
+      (** the run's fault log, oldest first; empty without injection *)
+  fault_time : float;
+      (** clock seconds injected by faults (spikes, stalls, retries) *)
   blocks_read : int;
   useful_blocks : int;
       (** sample units read by stages that completed within the quota —

@@ -5,7 +5,7 @@ module Cost_params = Taqp_storage.Cost_params
 let parse = Taqp_relational.Parser.expression
 
 let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
-    ?metrics ~aggregate catalog ~quota expr =
+    ?metrics ?faults ?fault_seed ~aggregate catalog ~quota expr =
   let rng = Taqp_rng.Prng.create seed in
   let clock = Clock.create_virtual () in
   let tracer =
@@ -14,16 +14,27 @@ let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
     | Some sink ->
         Some (Taqp_obs.Tracer.make ~now:(fun () -> Clock.now clock) ~sink)
   in
+  let faults =
+    (* The injector draws from its own stream so installing (or
+       re-seeding) faults never perturbs sampling or jitter. *)
+    match faults with
+    | None -> None
+    | Some plan when Taqp_fault.Fault_plan.is_none plan -> None
+    | Some plan ->
+        let fseed = Option.value fault_seed ~default:seed in
+        Some (Taqp_fault.Injector.create ~seed:fseed plan)
+  in
   let device =
     Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng) ?metrics ?tracer
-      clock
+      ?faults clock
   in
   let report = Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr in
   Option.iter Taqp_obs.Tracer.close tracer;
   report
 
-let count_within ?config ?params ?seed ?sink ?metrics catalog ~quota expr =
-  aggregate_within ?config ?params ?seed ?sink ?metrics
+let count_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
+    catalog ~quota expr =
+  aggregate_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
     ~aggregate:Aggregate.Count catalog ~quota expr
 
 let count_within_device ?config ?(aggregate = Aggregate.Count) ~device ~rng

@@ -26,6 +26,8 @@ val count_within :
   ?seed:int ->
   ?sink:Taqp_obs.Sink.t ->
   ?metrics:Taqp_obs.Metrics.t ->
+  ?faults:Taqp_fault.Fault_plan.t ->
+  ?fault_seed:int ->
   Catalog.t ->
   quota:float ->
   Ra.t ->
@@ -37,7 +39,12 @@ val count_within :
     executor stage is streamed to it, and it is closed before the
     report is returned. Passing [metrics] shares a registry with the
     device's [io.*] counters and the executor's stage histograms.
-    Neither changes the run: tracing only reads the clock. *)
+    Neither changes the run: tracing only reads the clock.
+    [faults] installs a {!Taqp_fault.Injector} built from the plan into
+    the device ({!Taqp_fault.Fault_plan.none} is a no-op), seeded by
+    [fault_seed] (default: [seed]). The injector draws from its own
+    PRNG stream, so a faulted run samples the same tuples as the
+    fault-free run with the same [seed]; see docs/ROBUSTNESS.md. *)
 
 val aggregate_within :
   ?config:Config.t ->
@@ -45,6 +52,8 @@ val aggregate_within :
   ?seed:int ->
   ?sink:Taqp_obs.Sink.t ->
   ?metrics:Taqp_obs.Metrics.t ->
+  ?faults:Taqp_fault.Fault_plan.t ->
+  ?fault_seed:int ->
   aggregate:Aggregate.t ->
   Catalog.t ->
   quota:float ->

@@ -1,0 +1,263 @@
+type kind =
+  | Read_error
+  | Latency_spike of float
+  | Stall of float
+  | Torn_block
+
+type rule = {
+  op : string option;
+  kind : kind;
+  probability : float;
+  after : float;
+  until : float;
+  max_faults : int;
+}
+
+type t = {
+  rules : rule list;
+  max_retries : int;
+  backoff : float;
+  backoff_multiplier : float;
+}
+
+let none = { rules = []; max_retries = 3; backoff = 0.01; backoff_multiplier = 2.0 }
+
+let is_none t = t.rules = []
+
+let kind_name = function
+  | Read_error -> "read_error"
+  | Latency_spike _ -> "latency_spike"
+  | Stall _ -> "stall"
+  | Torn_block -> "torn_block"
+
+let pp_kind ppf = function
+  | Read_error -> Format.pp_print_string ppf "read_error"
+  | Latency_spike f -> Format.fprintf ppf "latency_spike(x%g)" f
+  | Stall d -> Format.fprintf ppf "stall(%gs)" d
+  | Torn_block -> Format.pp_print_string ppf "torn_block"
+
+let is_read_kind = function
+  | Read_error | Torn_block -> true
+  | Latency_spike _ | Stall _ -> false
+
+let rule ?op ?(after = 0.0) ?(until = infinity) ?(max_faults = max_int)
+    ~probability kind =
+  if probability < 0.0 || probability > 1.0 then
+    invalid_arg "Fault_plan.rule: probability outside [0,1]";
+  (match kind with
+  | Latency_spike f when f <= 1.0 ->
+      invalid_arg "Fault_plan.rule: latency factor must exceed 1"
+  | Stall d when d <= 0.0 ->
+      invalid_arg "Fault_plan.rule: stall duration must be positive"
+  | _ -> ());
+  if after < 0.0 || until <= after then
+    invalid_arg "Fault_plan.rule: empty or negative fault window";
+  if max_faults < 1 then invalid_arg "Fault_plan.rule: max_faults < 1";
+  let op =
+    match op with
+    | Some _ as op -> op
+    | None -> if is_read_kind kind then Some "read_block" else None
+  in
+  { op; kind; probability; after; until; max_faults }
+
+let make ?(max_retries = 3) ?(backoff = 0.01) ?(backoff_multiplier = 2.0) rules =
+  if max_retries < 0 then invalid_arg "Fault_plan.make: max_retries < 0";
+  if backoff <= 0.0 then invalid_arg "Fault_plan.make: backoff <= 0";
+  if backoff_multiplier < 1.0 then
+    invalid_arg "Fault_plan.make: backoff_multiplier < 1";
+  { rules; max_retries; backoff; backoff_multiplier }
+
+(* The named scenarios: the axes of the bench chaos matrix. Rates are
+   deliberately moderate — frequent enough to exercise every fault
+   path within a few stages, rare enough that a run under the default
+   strategies still ends in a useful report. *)
+let preset = function
+  | "none" -> Some none
+  | "transient" ->
+      (* recoverable read errors: retries succeed well within budget *)
+      Some (make [ rule ~probability:0.05 Read_error ])
+  | "latency" ->
+      Some (make [ rule ~probability:0.05 (Latency_spike 4.0) ])
+  | "stall" ->
+      Some (make [ rule ~probability:0.005 (Stall 0.25) ])
+  | "torn" -> Some (make [ rule ~probability:0.04 Torn_block ])
+  | "heavy" ->
+      Some
+        (make ~max_retries:4
+           [
+             rule ~probability:0.08 Read_error;
+             rule ~probability:0.04 Torn_block;
+             rule ~probability:0.08 (Latency_spike 3.0);
+             rule ~probability:0.01 (Stall 0.2);
+           ])
+  | "unrecoverable" ->
+      (* a certain read error: every retry fails too, so the first
+         block read escalates past the retry budget *)
+      Some (make [ rule ~probability:1.0 Read_error ])
+  | _ -> None
+
+let preset_names =
+  [ "none"; "transient"; "latency"; "stall"; "torn"; "heavy"; "unrecoverable" ]
+
+(* Expected fractional cost inflation of a charge under this plan:
+   sum over rules of p * (relative impact of one fault). Stall
+   durations and retry backoffs are absolute, so they are relativized
+   against [charge_cost], a typical per-charge price (the device's
+   block-read cost). Windows and firing budgets are ignored — this is
+   a sizing prior, not a forecast. *)
+let expected_load ?(charge_cost = 0.035) t =
+  let charge_cost = Float.max 1e-6 charge_cost in
+  List.fold_left
+    (fun acc r ->
+      let impact =
+        match r.kind with
+        | Latency_spike f -> f -. 1.0
+        | Stall d -> d /. charge_cost
+        | Read_error | Torn_block ->
+            (* one retry: the re-read plus the first backoff *)
+            1.0 +. (t.backoff /. charge_cost)
+      in
+      acc +. (r.probability *. impact))
+    0.0 t.rules
+
+(* ------------------------------------------------------------------ *)
+(* Scenario DSL                                                        *)
+
+let parse_error fmt = Fmt.kstr (fun s -> Error s) fmt
+
+let split_on_char_trim c s =
+  String.split_on_char c s |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let parse_float key v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> parse_error "%s: not a number: %S" key v
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some i -> Ok i
+  | None -> parse_error "%s: not an integer: %S" key v
+
+let ( let* ) = Result.bind
+
+let parse_fields fields =
+  List.fold_left
+    (fun acc field ->
+      let* acc = acc in
+      match String.index_opt field '=' with
+      | None -> parse_error "expected key=value, got %S" field
+      | Some i ->
+          let k = String.trim (String.sub field 0 i) in
+          let v = String.trim (String.sub field (i + 1) (String.length field - i - 1)) in
+          Ok ((k, v) :: acc))
+    (Ok []) fields
+
+let parse_rule_clause kind_s fields =
+  let* kvs = parse_fields fields in
+  let lookup k = List.assoc_opt k kvs in
+  let float_field k =
+    match lookup k with
+    | None -> Ok None
+    | Some v ->
+        let* f = parse_float k v in
+        Ok (Some f)
+  in
+  let* p =
+    match lookup "p" with
+    | None -> parse_error "%s: missing p=PROB" kind_s
+    | Some v -> parse_float "p" v
+  in
+  let* kind =
+    match kind_s with
+    | "read_error" -> Ok Read_error
+    | "torn_block" -> Ok Torn_block
+    | "latency" ->
+        let* f = float_field "factor" in
+        Ok (Latency_spike (Option.value ~default:4.0 f))
+    | "stall" ->
+        let* d = float_field "dur" in
+        Ok (Stall (Option.value ~default:0.1 d))
+    | k -> parse_error "unknown fault kind %S" k
+  in
+  let* after = float_field "after" in
+  let* until = float_field "until" in
+  let* max_faults =
+    match lookup "max" with
+    | None -> Ok None
+    | Some v ->
+        let* n = parse_int "max" v in
+        Ok (Some n)
+  in
+  match
+    rule ?op:(lookup "op") ?after ?until:(Option.map Fun.id until)
+      ?max_faults ~probability:p kind
+  with
+  | r -> Ok r
+  | exception Invalid_argument m -> Error m
+
+let of_string s =
+  match preset (String.trim s) with
+  | Some plan -> Ok plan
+  | None ->
+      let clauses = split_on_char_trim ';' s in
+      if clauses = [] then parse_error "empty fault scenario"
+      else
+        let* rules_rev, retries, backoff, backoff_mult =
+          List.fold_left
+            (fun acc clause ->
+              let* rules, retries, backoff, mult = acc in
+              match split_on_char_trim ':' clause with
+              | [ kind_s; fields ] ->
+                  let* r = parse_rule_clause kind_s (split_on_char_trim ',' fields) in
+                  Ok (r :: rules, retries, backoff, mult)
+              | [ single ] -> (
+                  (* plan-level key=value clause *)
+                  match String.index_opt single '=' with
+                  | None -> parse_error "unparseable clause %S" clause
+                  | Some i ->
+                      let k = String.trim (String.sub single 0 i) in
+                      let v =
+                        String.trim
+                          (String.sub single (i + 1) (String.length single - i - 1))
+                      in
+                      (match k with
+                      | "retries" ->
+                          let* n = parse_int k v in
+                          Ok (rules, Some n, backoff, mult)
+                      | "backoff" ->
+                          let* f = parse_float k v in
+                          Ok (rules, retries, Some f, mult)
+                      | "backoff_mult" ->
+                          let* f = parse_float k v in
+                          Ok (rules, retries, backoff, Some f)
+                      | _ -> parse_error "unknown plan clause %S" k))
+              | _ -> parse_error "unparseable clause %S" clause)
+            (Ok ([], None, None, None))
+            clauses
+        in
+        if rules_rev = [] then parse_error "scenario has no fault rules"
+        else
+          (match
+             make ?max_retries:retries ?backoff ?backoff_multiplier:backoff_mult
+               (List.rev rules_rev)
+           with
+          | plan -> Ok plan
+          | exception Invalid_argument m -> Error m)
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%a p=%g%s%s%s"
+    pp_kind r.kind r.probability
+    (match r.op with None -> "" | Some op -> " op=" ^ op)
+    (if r.after > 0.0 || r.until < infinity then
+       Printf.sprintf " window=[%g,%g)" r.after r.until
+     else "")
+    (if r.max_faults < max_int then Printf.sprintf " max=%d" r.max_faults
+     else "")
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "no-faults"
+  else
+    Format.fprintf ppf "@[<v>%a@ retries=%d backoff=%gs x%g@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+      t.rules t.max_retries t.backoff t.backoff_multiplier

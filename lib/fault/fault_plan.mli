@@ -1,0 +1,103 @@
+(** Deterministic fault scenarios.
+
+    A fault plan is a declarative description of {e what can go wrong}
+    on the simulated device: which charge points may fault, with what
+    probability, inside which clock window, and how often. The plan is
+    pure data — pairing it with a seed (see {!Injector}) makes every
+    scenario exactly reproducible under the virtual clock, which is
+    what lets robustness be property-tested rather than hoped for.
+
+    Fault taxonomy (see docs/ROBUSTNESS.md):
+    - {e transient, recoverable}: [Read_error] and [Torn_block] fail
+      one I/O attempt; the device retries with exponential backoff
+      (charged to the clock) up to [max_retries] times, then escalates
+      to an unrecoverable fault;
+    - {e slowdowns}: [Latency_spike f] multiplies one charge by [f];
+      [Stall d] adds [d] seconds of dead time after a charge. Both
+      change only the clock, never the data. *)
+
+type kind =
+  | Read_error  (** the I/O attempt fails outright; retried *)
+  | Latency_spike of float
+      (** the charge costs [factor] times its nominal price *)
+  | Stall of float  (** [duration] seconds of dead time after the charge *)
+  | Torn_block
+      (** the block arrives corrupted and must be re-read; retried *)
+
+type rule = {
+  op : string option;
+      (** charge point the rule applies to ([read_block], [sort], ...);
+          [None] matches every charge point *)
+  kind : kind;
+  probability : float;  (** chance of firing per matching charge *)
+  after : float;  (** rule active from this clock time on *)
+  until : float;  (** ... and strictly before this one *)
+  max_faults : int;  (** firing budget; [max_int] means unlimited *)
+}
+
+type t = {
+  rules : rule list;
+  max_retries : int;
+      (** transient-fault retry budget per I/O (default 3) *)
+  backoff : float;  (** first-retry backoff in seconds (default 0.01) *)
+  backoff_multiplier : float;  (** exponential growth factor (default 2) *)
+}
+
+val none : t
+(** The empty plan: no rules. Installing it is indistinguishable from
+    installing no fault layer at all. *)
+
+val is_none : t -> bool
+
+val rule :
+  ?op:string ->
+  ?after:float ->
+  ?until:float ->
+  ?max_faults:int ->
+  probability:float ->
+  kind ->
+  rule
+(** [op] defaults to ["read_block"] for [Read_error]/[Torn_block] (the
+    only charge point where a failed read is meaningful) and to any
+    charge point for the slowdown kinds.
+    @raise Invalid_argument for a probability outside [0,1], a
+    non-positive spike factor or stall duration, or an empty window. *)
+
+val make :
+  ?max_retries:int -> ?backoff:float -> ?backoff_multiplier:float ->
+  rule list -> t
+(** @raise Invalid_argument on a negative retry budget or non-positive
+    backoff parameters. *)
+
+val preset : string -> t option
+(** Named scenarios used by the bench matrix and the CLI:
+    ["none"], ["transient"] (recoverable read errors), ["latency"]
+    (block-read latency spikes), ["stall"] (rare long stalls),
+    ["torn"] (torn blocks), ["heavy"] (all of the above, higher
+    rates), ["unrecoverable"] (a certain read error that exhausts the
+    retry budget). *)
+
+val preset_names : string list
+
+val expected_load : ?charge_cost:float -> t -> float
+(** Expected fractional cost inflation of one charge under the plan —
+    sum over rules of probability times the relative impact of one
+    fault (spike excess, stall duration or retry cost divided by
+    [charge_cost], a typical per-charge price; default the standard
+    block-read cost). The executor uses this as a sizing prior: stage
+    budgets are shrunk by the planned fault load so a spike on the
+    committed stage does not immediately overspend the quota. 0 for
+    {!none}. *)
+
+val of_string : string -> (t, string) result
+(** Parse a scenario: either a {!preset} name or a semicolon-separated
+    rule list in the DSL
+    [kind:p=P(,factor=F|dur=D)(,op=NAME)(,after=T)(,until=T)(,max=N)]
+    with optional plan-level clauses [retries=N], [backoff=S] and
+    [backoff_mult=X]. Kinds: [read_error], [latency], [stall],
+    [torn_block]. Example:
+    ["read_error:p=0.05;latency:p=0.1,factor=4,op=sort;retries=5"]. *)
+
+val kind_name : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit

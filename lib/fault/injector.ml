@@ -1,0 +1,92 @@
+module Prng = Taqp_rng.Prng
+
+type event = {
+  ev_op : string;
+  ev_kind : Fault_plan.kind;
+  ev_at : float;
+  ev_attempt : int;
+  ev_recovered : bool;
+}
+
+exception
+  Unrecoverable of {
+    op : string;
+    kind : Fault_plan.kind;
+    attempts : int;
+    at : float;
+  }
+
+type t = {
+  plan : Fault_plan.t;
+  rules : Fault_plan.rule array;
+  fired : int array;  (** per-rule firing count, for max_faults budgets *)
+  rng : Prng.t;
+  mutable events_rev : event list;
+  mutable n_events : int;
+  mutable n_unrecovered : int;
+  mutable injected : float;
+}
+
+let create ?(seed = 0) plan =
+  {
+    plan;
+    rules = Array.of_list plan.Fault_plan.rules;
+    fired = Array.make (List.length plan.Fault_plan.rules) 0;
+    rng = Prng.create seed;
+    events_rev = [];
+    n_events = 0;
+    n_unrecovered = 0;
+    injected = 0.0;
+  }
+
+let plan t = t.plan
+let active t = Array.length t.rules > 0
+
+let rule_matches (r : Fault_plan.rule) ~op ~now =
+  (match r.op with None -> true | Some o -> String.equal o op)
+  && now >= r.after && now < r.until
+
+(* One Bernoulli draw per matching rule, in plan order, first hit
+   wins. Rules that do not match consume no randomness, so adding a
+   windowed rule cannot shift the fault sequence outside its window. *)
+let draw t ~op ~now =
+  let n = Array.length t.rules in
+  let rec go i =
+    if i >= n then None
+    else
+      let r = t.rules.(i) in
+      if
+        t.fired.(i) < r.Fault_plan.max_faults
+        && rule_matches r ~op ~now
+        && Prng.float t.rng 1.0 < r.Fault_plan.probability
+      then begin
+        t.fired.(i) <- t.fired.(i) + 1;
+        Some r.Fault_plan.kind
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let record t ~op ~kind ~at ~attempt ~recovered =
+  t.events_rev <-
+    {
+      ev_op = op;
+      ev_kind = kind;
+      ev_at = at;
+      ev_attempt = attempt;
+      ev_recovered = recovered;
+    }
+    :: t.events_rev;
+  t.n_events <- t.n_events + 1;
+  if not recovered then t.n_unrecovered <- t.n_unrecovered + 1
+
+let add_injected_time t dt = t.injected <- t.injected +. dt
+let injected_time t = t.injected
+let events t = List.rev t.events_rev
+let fault_count t = t.n_events
+let unrecovered_count t = t.n_unrecovered
+
+let pp_event ppf e =
+  Format.fprintf ppf "%.3fs %s %a attempt=%d %s" e.ev_at e.ev_op
+    Fault_plan.pp_kind e.ev_kind e.ev_attempt
+    (if e.ev_recovered then "recovered" else "unrecovered")

@@ -1,0 +1,66 @@
+(** The seeded fault source a device consults at every charge point.
+
+    An injector binds a {!Fault_plan} to its own PRNG stream, so fault
+    decisions are (a) deterministic given the fault seed and (b) fully
+    decoupled from the sampling and jitter streams — installing a plan
+    with no rules, or changing the fault seed, can never perturb which
+    tuples are drawn. The injector also keeps the run's fault log and
+    the total injected time, which the executor folds into the final
+    report's degradation accounting. *)
+
+type event = {
+  ev_op : string;  (** charge point that faulted *)
+  ev_kind : Fault_plan.kind;
+  ev_at : float;  (** clock time of the fault *)
+  ev_attempt : int;  (** 1 for a first failure, n for the n-th retry *)
+  ev_recovered : bool;
+      (** transient kinds: the subsequent retry succeeded; slowdown
+          kinds are always recovered *)
+}
+
+exception
+  Unrecoverable of {
+    op : string;
+    kind : Fault_plan.kind;
+    attempts : int;
+    at : float;
+  }
+(** Raised by the device when a transient fault survives the plan's
+    whole retry budget. The executor converts it into a degraded
+    partial report; it never escapes {!Taqp_core.Executor.run}. *)
+
+type t
+
+val create : ?seed:int -> Fault_plan.t -> t
+(** [seed] defaults to 0. Equal plans and seeds give identical fault
+    sequences on identical charge sequences. *)
+
+val plan : t -> Fault_plan.t
+
+val active : t -> bool
+(** [false] iff the plan has no rules; an inactive injector is never
+    consulted by the device. *)
+
+val draw : t -> op:string -> now:float -> Fault_plan.kind option
+(** Consult the plan at charge point [op] at clock time [now]: the
+    first rule that matches (by op and window, with firing budget
+    left) and wins its probability draw fires. At most one fault per
+    consultation. *)
+
+val record :
+  t -> op:string -> kind:Fault_plan.kind -> at:float -> attempt:int ->
+  recovered:bool -> unit
+
+val add_injected_time : t -> float -> unit
+(** Account seconds of clock time that exist only because of faults
+    (spike excess, stall time, retry backoff and re-read charges). *)
+
+val injected_time : t -> float
+
+val events : t -> event list
+(** The fault log, oldest first. *)
+
+val fault_count : t -> int
+val unrecovered_count : t -> int
+
+val pp_event : Format.formatter -> event -> unit

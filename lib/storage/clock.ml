@@ -95,6 +95,12 @@ let sleep_until t at =
   match t.kind with
   | Virtual v -> (
       match (t.deadline, t.mode) with
+      | Some d, `Abort when v.t > d ->
+          (* The deadline had already passed when the sleeper called in:
+             the interrupt is pending, so it fires immediately — even
+             for a zero-length (or backwards) sleep target, which would
+             otherwise return without ever recording [deadline.abort]. *)
+          abort t ~now:v.t ~deadline:d
       | Some d, `Abort when at > d ->
           (* The interrupt fires while the process is asleep: wake at
              the deadline, not at [at]. *)

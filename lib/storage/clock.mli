@@ -62,7 +62,9 @@ val sleep_until : t -> float -> unit
     past); busy-waits a wall clock. Used to model idle waiting. If a
     deadline is armed in [`Abort] mode and the target time lies past
     it, the sleeper is interrupted: the clock stops at the deadline
-    and {!Deadline_exceeded} is raised. *)
+    and {!Deadline_exceeded} is raised. If the deadline has already
+    passed when [sleep_until] is called, the pending interrupt fires
+    immediately — even for a zero-length sleep. *)
 
 (** {2 Observability}
 

@@ -1,6 +1,18 @@
 module Tracer = Taqp_obs.Tracer
 module Event = Taqp_obs.Event
 module Metrics = Taqp_obs.Metrics
+module Fault_plan = Taqp_fault.Fault_plan
+module Injector = Taqp_fault.Injector
+
+(* The fault meters live in the shared registry only when an injector
+   is installed, so a fault-free run's metrics dump is unchanged. *)
+type fault_meters = {
+  m_read_errors : Metrics.Counter.t;
+  m_torn_blocks : Metrics.Counter.t;
+  m_latency_spikes : Metrics.Counter.t;
+  m_stalls : Metrics.Counter.t;
+  m_unrecoverable : Metrics.Counter.t;
+}
 
 type t = {
   clock : Clock.t;
@@ -9,9 +21,11 @@ type t = {
   stats : Io_stats.t;
   metrics : Metrics.t;
   tracer : Tracer.t;
+  faults : (Injector.t * fault_meters) option;
 }
 
-let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer clock =
+let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer ?faults
+    clock =
   let metrics = match metrics with Some m -> m | None -> Metrics.create () in
   let tracer =
     match tracer with
@@ -19,6 +33,22 @@ let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer clock =
     | None -> Clock.tracer clock
   in
   if Tracer.enabled tracer then Clock.set_tracer clock tracer;
+  let faults =
+    (* An injector with no rules is normalized away: the charge path is
+       then bit-for-bit the uninstrumented one. *)
+    match faults with
+    | Some inj when Injector.active inj ->
+        Some
+          ( inj,
+            {
+              m_read_errors = Metrics.counter metrics "fault.read_errors";
+              m_torn_blocks = Metrics.counter metrics "fault.torn_blocks";
+              m_latency_spikes = Metrics.counter metrics "fault.latency_spikes";
+              m_stalls = Metrics.counter metrics "fault.stalls";
+              m_unrecoverable = Metrics.counter metrics "fault.unrecoverable";
+            } )
+    | Some _ | None -> None
+  in
   {
     clock;
     params;
@@ -26,6 +56,7 @@ let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer clock =
     stats = Io_stats.create ~metrics ();
     metrics;
     tracer;
+    faults;
   }
 
 let clock t = t.clock
@@ -33,6 +64,15 @@ let stats t = t.stats
 let params t = t.params
 let metrics t = t.metrics
 let tracer t = t.tracer
+
+let fault_injector t = Option.map fst t.faults
+let faults_active t = Option.is_some t.faults
+
+let fault_log t =
+  match t.faults with None -> [] | Some (inj, _) -> Injector.events inj
+
+let fault_time t =
+  match t.faults with None -> 0.0 | Some (inj, _) -> Injector.injected_time inj
 
 let jitter t =
   match t.jitter_rng with
@@ -48,13 +88,102 @@ let charge t cost = Clock.charge t.clock (cost *. jitter t)
    never advances it. If the charge trips an armed deadline the
    exception propagates and the clock's own [deadline.abort] instant
    marks the spot (a dangling storage span is fine in both formats). *)
-let traced_charge t name cost =
+let plain_traced_charge t name cost =
   if Tracer.enabled t.tracer then begin
     let begin_ts = Clock.now t.clock in
     charge t cost;
     Tracer.complete t.tracer ~cat:"storage" ~begin_ts name
   end
   else charge t cost
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let bump_meter meters = function
+  | Fault_plan.Read_error -> Metrics.Counter.incr meters.m_read_errors
+  | Fault_plan.Torn_block -> Metrics.Counter.incr meters.m_torn_blocks
+  | Fault_plan.Latency_spike _ -> Metrics.Counter.incr meters.m_latency_spikes
+  | Fault_plan.Stall _ -> Metrics.Counter.incr meters.m_stalls
+
+let fault_instant t ~op ~attempt kind =
+  if Tracer.enabled t.tracer then
+    let extra =
+      match kind with
+      | Fault_plan.Latency_spike f -> [ ("factor", Event.Float f) ]
+      | Fault_plan.Stall d -> [ ("duration", Event.Float d) ]
+      | Fault_plan.Read_error | Fault_plan.Torn_block -> []
+    in
+    Tracer.instant t.tracer ~cat:"fault"
+      ~args:
+        ([ ("op", Event.String op); ("attempt", Event.Int attempt) ] @ extra)
+      ("fault." ^ Fault_plan.kind_name kind)
+
+(* A charge point under an installed fault plan. Every attempt pays the
+   nominal (jittered) charge; then the injector is consulted once:
+
+   - [Latency_spike f] inflates the attempt by charging the excess
+     [(f-1) * cost] on top — the operation completed, just slowly;
+   - [Stall d] appends [d] seconds of dead time (no jitter: a stall is
+     wall-time the device spends not working);
+   - [Read_error]/[Torn_block] void the attempt: the device waits out
+     an exponential backoff (charged) and retries, re-paying the
+     nominal cost, until the plan's retry budget is spent — then the
+     fault escalates to {!Injector.Unrecoverable}.
+
+   All fault-induced time goes through the clock, so an armed abort
+   deadline can fire mid-retry exactly like the paper's timer
+   interrupt; the injected seconds are also accumulated on the
+   injector for the report's degradation accounting. *)
+let faulted_charge t inj meters name cost =
+  let plan = Injector.plan inj in
+  let rec attempt n =
+    plain_traced_charge t name cost;
+    match Injector.draw inj ~op:name ~now:(Clock.now t.clock) with
+    | None -> ()
+    | Some (Fault_plan.Latency_spike factor as kind) ->
+        bump_meter meters kind;
+        Injector.record inj ~op:name ~kind ~at:(Clock.now t.clock) ~attempt:n
+          ~recovered:true;
+        fault_instant t ~op:name ~attempt:n kind;
+        let extra = cost *. (factor -. 1.0) in
+        Injector.add_injected_time inj extra;
+        plain_traced_charge t (name ^ ".spike") extra
+    | Some (Fault_plan.Stall d as kind) ->
+        bump_meter meters kind;
+        Injector.record inj ~op:name ~kind ~at:(Clock.now t.clock) ~attempt:n
+          ~recovered:true;
+        fault_instant t ~op:name ~attempt:n kind;
+        Injector.add_injected_time inj d;
+        Clock.charge t.clock d
+    | Some ((Fault_plan.Read_error | Fault_plan.Torn_block) as kind) ->
+        let recovered = n <= plan.Fault_plan.max_retries in
+        bump_meter meters kind;
+        Injector.record inj ~op:name ~kind ~at:(Clock.now t.clock) ~attempt:n
+          ~recovered;
+        fault_instant t ~op:name ~attempt:n kind;
+        if not recovered then begin
+          Metrics.Counter.incr meters.m_unrecoverable;
+          raise
+            (Injector.Unrecoverable
+               { op = name; kind; attempts = n; at = Clock.now t.clock })
+        end;
+        Io_stats.incr_retries t.stats;
+        let backoff =
+          plan.Fault_plan.backoff
+          *. (plan.Fault_plan.backoff_multiplier ** float_of_int (n - 1))
+        in
+        (* the voided attempt's cost was already charged above; the
+           backoff and the re-read to come are all fault-induced *)
+        Injector.add_injected_time inj (backoff +. cost);
+        Clock.charge t.clock backoff;
+        attempt (n + 1)
+  in
+  attempt 1
+
+let traced_charge t name cost =
+  match t.faults with
+  | None -> plain_traced_charge t name cost
+  | Some (inj, meters) -> faulted_charge t inj meters name cost
 
 let read_block t =
   Io_stats.incr_blocks_read t.stats;

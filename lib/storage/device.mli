@@ -3,7 +3,18 @@
     at the ground-truth {!Cost_params} rate (with jitter), bumps the
     matching {!Io_stats} counter (a {!Taqp_obs.Metrics} counter under
     the hood), and — when a tracer is attached — emits a
-    storage-category span covering the charge. *)
+    storage-category span covering the charge.
+
+    A {!Taqp_fault.Injector} may be installed at creation; every charge
+    point then consults it (see docs/ROBUSTNESS.md): latency spikes
+    inflate the charge, stalls append dead time, and transient read
+    faults void the attempt and are retried with exponential backoff —
+    all of it charged to the clock, counted ([io.retries], [fault.*])
+    and traced ([fault.*] instant events). A transient fault that
+    survives the plan's retry budget escalates to
+    {!Taqp_fault.Injector.Unrecoverable}. Without an injector (or with
+    {!Taqp_fault.Fault_plan.none}) the charge path is bit-for-bit the
+    fault-free one. *)
 
 type t
 
@@ -12,6 +23,7 @@ val create :
   ?jitter_rng:Taqp_rng.Prng.t ->
   ?metrics:Taqp_obs.Metrics.t ->
   ?tracer:Taqp_obs.Tracer.t ->
+  ?faults:Taqp_fault.Injector.t ->
   Clock.t ->
   t
 (** [params] defaults to {!Cost_params.default}. Without [jitter_rng]
@@ -20,13 +32,26 @@ val create :
     one). [tracer] defaults to the clock's attached tracer, or the
     disabled tracer; when enabled it is also attached to the clock so
     deadline aborts are recorded. Tracing is strictly read-only with
-    respect to the clock: enabling it never changes a charge. *)
+    respect to the clock: enabling it never changes a charge.
+    [faults] installs a fault injector; one whose plan has no rules is
+    normalized away and leaves the device untouched. *)
 
 val clock : t -> Clock.t
 val stats : t -> Io_stats.t
 val params : t -> Cost_params.t
 val metrics : t -> Taqp_obs.Metrics.t
 val tracer : t -> Taqp_obs.Tracer.t
+
+val faults_active : t -> bool
+val fault_injector : t -> Taqp_fault.Injector.t option
+
+val fault_log : t -> Taqp_fault.Injector.event list
+(** Every fault injected so far, oldest first; empty without an
+    installed injector. *)
+
+val fault_time : t -> float
+(** Total clock seconds that exist only because of injected faults:
+    spike excess, stall time, retry backoff and re-read charges. *)
 
 val read_block : t -> unit
 

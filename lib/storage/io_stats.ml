@@ -2,6 +2,7 @@ module Counter = Taqp_obs.Metrics.Counter
 
 type t = {
   blocks_read : Counter.t;
+  retries : Counter.t;
   tuples_checked : Counter.t;
   pages_written : Counter.t;
   temp_tuples_written : Counter.t;
@@ -21,6 +22,7 @@ let create ?metrics () =
   in
   {
     blocks_read = cell "blocks_read";
+    retries = cell "retries";
     tuples_checked = cell "tuples_checked";
     pages_written = cell "pages_written";
     temp_tuples_written = cell "temp_tuples_written";
@@ -33,6 +35,7 @@ let create ?metrics () =
   }
 
 let blocks_read t = Counter.value t.blocks_read
+let retries t = Counter.value t.retries
 let tuples_checked t = Counter.value t.tuples_checked
 let pages_written t = Counter.value t.pages_written
 let temp_tuples_written t = Counter.value t.temp_tuples_written
@@ -44,6 +47,7 @@ let tuples_output t = Counter.value t.tuples_output
 let stages t = Counter.value t.stages
 
 let incr_blocks_read t = Counter.incr t.blocks_read
+let incr_retries t = Counter.incr t.retries
 let add_tuples_checked t n = Counter.add t.tuples_checked n
 let add_pages_written t n = Counter.add t.pages_written n
 let add_temp_tuples_written t n = Counter.add t.temp_tuples_written n
@@ -57,6 +61,7 @@ let incr_stages t = Counter.incr t.stages
 let fields t =
   [
     t.blocks_read;
+    t.retries;
     t.tuples_checked;
     t.pages_written;
     t.temp_tuples_written;
@@ -87,8 +92,8 @@ let diff later earlier =
 
 let pp ppf t =
   Format.fprintf ppf
-    "blocks=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d hashed=%d \
-     probed=%d out=%d stages=%d"
-    (blocks_read t) (tuples_checked t) (pages_written t)
+    "blocks=%d retries=%d checked=%d pages_out=%d temp=%d sorted=%d merged=%d \
+     hashed=%d probed=%d out=%d stages=%d"
+    (blocks_read t) (retries t) (tuples_checked t) (pages_written t)
     (temp_tuples_written t) (tuples_sorted t) (tuples_merged t)
     (tuples_hashed t) (tuples_probed t) (tuples_output t) (stages t)

@@ -17,6 +17,12 @@ val create : ?metrics:Taqp_obs.Metrics.t -> unit -> t
 (** {2 Reading} *)
 
 val blocks_read : t -> int
+
+val retries : t -> int
+(** I/O attempts repeated after a transient injected fault
+    ({!Device} retry-with-backoff); [blocks_read] counts logical
+    reads once however many attempts they took. *)
+
 val tuples_checked : t -> int
 val pages_written : t -> int
 val temp_tuples_written : t -> int
@@ -30,6 +36,7 @@ val stages : t -> int
 (** {2 Bumping (the device's side)} *)
 
 val incr_blocks_read : t -> unit
+val incr_retries : t -> unit
 val add_tuples_checked : t -> int -> unit
 val add_pages_written : t -> int -> unit
 val add_temp_tuples_written : t -> int -> unit

@@ -1,0 +1,68 @@
+(* Shared test fixtures. The (tests) stanza links this module into
+   every test executable, so suites can say [Fixtures.checkb] or build
+   a standard jitter-free device without re-declaring the same helpers.
+   Keep this dependency-light: only what at least two suites use. *)
+
+module Config = Taqp_core.Config
+module Staged = Taqp_core.Staged
+module Paper_setup = Taqp_workload.Paper_setup
+module Generator = Taqp_workload.Generator
+module Cost_model = Taqp_timecost.Cost_model
+module Stopping = Taqp_timecontrol.Stopping
+module Prng = Taqp_rng.Prng
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Cost_params = Taqp_storage.Cost_params
+
+(* Alcotest check shorthands. [checkf] is exact equality — the
+   bit-identity suites depend on that; use [checkf_eps] for numeric
+   comparisons with tolerance. *)
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 0.0)
+let checkf_eps eps = Alcotest.check (Alcotest.float eps)
+
+(* The standard small workload spec: big enough for a few stages,
+   small enough that a property test over many seeds stays fast. *)
+let spec ?(n_tuples = 400) ?(tuple_bytes = 100) ?(block_bytes = 1024) () =
+  { Generator.n_tuples; tuple_bytes; block_bytes }
+
+(* A deterministic device: virtual clock, no cost jitter. [faults]
+   installs a seeded injector (fault tests); omitted, the device is
+   exactly the pre-fault-layer one. *)
+let quiet_device ?faults () =
+  let clock = Clock.create_virtual () in
+  let device =
+    Device.create
+      ~params:(Cost_params.no_jitter Cost_params.default)
+      ?faults clock
+  in
+  (clock, device)
+
+let compile ?(seed = 7) ?(config = Config.default) (wl : Paper_setup.t) =
+  let cost_model = Cost_model.create () in
+  Staged.compile ~catalog:wl.Paper_setup.catalog ~config ~rng:(Prng.create seed)
+    ~cost_model wl.Paper_setup.query
+
+(* Drive a compiled query for a fixed number of equal-fraction stages
+   outside the time-control loop; returns the completed stage results
+   (oldest first) and the final clock reading. *)
+let run_fixed_stages ?seed ?faults ~physical ~stages ~f (wl : Paper_setup.t) =
+  let config = { Config.default with Config.physical } in
+  let staged = compile ?seed ~config wl in
+  let clock, device = quiet_device ?faults () in
+  let results = ref [] in
+  for _ = 1 to stages do
+    match Staged.run_stage staged ~device ~f with
+    | Some r -> results := r :: !results
+    | None -> ()
+  done;
+  (List.rev !results, Clock.now clock)
+
+(* ERAM's measurement mode: never abort the final stage, report the
+   overspend instead — what the risk-bound experiments run under. *)
+let observe_config =
+  {
+    Config.default with
+    Config.stopping = Stopping.Soft_deadline { grace = 1e9 };
+  }

@@ -1,0 +1,207 @@
+(* Statistical regression tests for time control under storage chaos:
+   the overspend probability each strategy claims must survive fault
+   injection, hard deadlines must hold exactly, and stage admission
+   (Stopping.allows_stage) must never let through a stage the
+   remaining quota cannot afford — including the zero-quota and
+   quota-below-minimum-stage edges.
+
+   The fault seed comes from TAQP_FAULT_SEED (default 42) so the CI
+   chaos matrix can sweep seeds without touching the code. *)
+
+module Fault_plan = Taqp_fault.Fault_plan
+module Config = Taqp_core.Config
+module Report = Taqp_core.Report
+module Taqp = Taqp_core.Taqp
+module Stopping = Taqp_timecontrol.Stopping
+module Strategy = Taqp_timecontrol.Strategy
+module Paper_setup = Taqp_workload.Paper_setup
+
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+
+let fault_seed =
+  match Sys.getenv_opt "TAQP_FAULT_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> Alcotest.failf "TAQP_FAULT_SEED not an integer: %S" s)
+  | None -> 42
+
+let wl = Paper_setup.selection ~spec:(Fixtures.spec ~n_tuples:2_000 ~tuple_bytes:200 ()) ~seed:3 ()
+let quota = 1.0
+
+(* ------------------------------------------------------------------ *)
+(* Overspend probability under chaos (observe mode)                    *)
+
+(* Bounds mirror BENCH_chaos.json's claimed risk bounds, with slack
+   for the 40-trial sample size so a legitimate seed sweep does not
+   flake: measured probabilities sit well under half the bound. *)
+let scenarios = [ ("transient", 0.15); ("latency", 0.25); ("heavy", 0.15) ]
+let trials = 40
+
+let run_observe ~plan ~seed =
+  let config =
+    {
+      Fixtures.observe_config with
+      Config.strategy = Strategy.one_at_a_time ~d_beta:24.0 ();
+    }
+  in
+  Taqp.count_within ~config ~seed ~faults:plan ~fault_seed:(fault_seed + seed)
+    wl.Paper_setup.catalog ~quota wl.Paper_setup.query
+
+let test_overspend_within_risk_bound () =
+  List.iter
+    (fun (scenario, bound) ->
+      let plan = Option.get (Fault_plan.preset scenario) in
+      let overspends = ref 0 in
+      for seed = 1 to trials do
+        match run_observe ~plan ~seed with
+        | exception e ->
+            Alcotest.failf "%s: run raised %s" scenario (Printexc.to_string e)
+        | r -> if r.Report.outcome = Report.Overspent then incr overspends
+      done;
+      let p = float_of_int !overspends /. float_of_int trials in
+      checkb
+        (Printf.sprintf "%s: overspend %.1f%% within bound %.0f%%" scenario
+           (100.0 *. p) (100.0 *. bound))
+        true (p <= bound))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Hard deadlines hold exactly under chaos                             *)
+
+let test_hard_deadline_holds_under_chaos () =
+  let plan = Option.get (Fault_plan.preset "heavy") in
+  let config =
+    {
+      Config.default with
+      Config.stopping = Stopping.Hard_deadline;
+      trace = true;
+    }
+  in
+  for seed = 1 to 20 do
+    match
+      Taqp.count_within ~config ~seed ~faults:plan
+        ~fault_seed:(fault_seed + seed) wl.Paper_setup.catalog ~quota
+        wl.Paper_setup.query
+    with
+    | exception e -> Alcotest.failf "run raised %s" (Printexc.to_string e)
+    | r ->
+        checkb "never past the deadline" true (r.Report.elapsed <= quota +. 1e-9);
+        checkb "no overspend in abort mode" true (r.Report.overspend = 0.0);
+        (* Every admitted stage passed allows_stage: its predicted end
+           fit the quota at sizing time. *)
+        List.iter
+          (fun s ->
+            checkb "admitted stage fit the quota" true
+              (s.Report.started_at +. s.Report.predicted_cost <= quota +. 1e-9))
+          r.Report.trace
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stage admission edges                                               *)
+
+let test_allows_stage_zero_quota () =
+  checkb "zero-cost stage at zero quota" true
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:0.0 ~quota:0.0);
+  checkb "any real stage rejected at zero quota" false
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:1e-9 ~quota:0.0);
+  checkb "soft deadline with zero grace behaves like hard" false
+    (Stopping.allows_stage
+       (Stopping.Soft_deadline { grace = 0.0 })
+       ~predicted_end:0.1 ~quota:0.0)
+
+let test_allows_stage_quota_below_minimum_stage () =
+  (* The minimum stage costs more than the whole quota: every
+     deadline-bearing criterion must reject it. *)
+  let min_stage = 0.5 and quota = 0.2 in
+  checkb "hard rejects" false
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:min_stage ~quota);
+  checkb "all-of rejects if any member rejects" false
+    (Stopping.allows_stage
+       (Stopping.All [ Stopping.Max_stages 10; Stopping.Hard_deadline ])
+       ~predicted_end:min_stage ~quota);
+  checkb "non-deadline criteria admit (deadline enforced elsewhere)" true
+    (Stopping.allows_stage (Stopping.Max_stages 10) ~predicted_end:min_stage
+       ~quota)
+
+let stopping_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Stopping.Hard_deadline;
+        map (fun g -> Stopping.Soft_deadline { grace = g }) (float_bound_inclusive 0.5);
+        map
+          (fun g ->
+            Stopping.All
+              [ Stopping.Max_stages 5; Stopping.Soft_deadline { grace = g } ])
+          (float_bound_inclusive 0.5);
+        return (Stopping.All [ Stopping.Hard_deadline; Stopping.Max_stages 3 ]);
+      ])
+
+let prop_admitted_stages_are_affordable =
+  (* Whenever a deadline-bearing criterion admits a stage, the stage's
+     predicted end fits inside the quota plus the criterion's own
+     grace. Includes quota = 0 and predicted_end > quota cases. *)
+  QCheck.Test.make ~name:"allows_stage never admits an unaffordable stage"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         triple stopping_gen (float_bound_inclusive 2.0)
+           (oneof [ return 0.0; float_bound_inclusive 1.0 ])))
+    (fun (stopping, predicted_end, quota) ->
+      let rec max_grace = function
+        | Stopping.Hard_deadline -> Some 0.0
+        | Stopping.Soft_deadline { grace } -> Some grace
+        | Stopping.Error_bound _ | Stopping.Stagnation _ | Stopping.Max_stages _
+          ->
+            None
+        | Stopping.All ts ->
+            List.fold_left
+              (fun acc t ->
+                match (acc, max_grace t) with
+                | None, g | g, None -> g
+                | Some a, Some b -> Some (Float.min a b))
+              None ts
+      in
+      match max_grace stopping with
+      | None -> true (* no deadline: admission is unconstrained *)
+      | Some grace ->
+          (not (Stopping.allows_stage stopping ~predicted_end ~quota))
+          || predicted_end <= quota *. (1.0 +. grace) +. 1e-12)
+
+let test_tiny_quota_never_runs_a_stage () =
+  (* A quota below even the planning cost: the run must end cleanly in
+     Quota_exhausted with zero stages, not raise or loop. *)
+  List.iter
+    (fun quota ->
+      let r =
+        Taqp.count_within ~config:Fixtures.observe_config ~seed:1
+          wl.Paper_setup.catalog ~quota wl.Paper_setup.query
+      in
+      checkb "quota exhausted" true
+        (r.Report.outcome = Report.Quota_exhausted);
+      checki "no stages" 0 r.Report.stages_completed;
+      checkb "no overspend" true (r.Report.overspend = 0.0))
+    [ 1e-6; 0.01 ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "risk",
+        [
+          Alcotest.test_case "overspend within bound" `Slow
+            test_overspend_within_risk_bound;
+          Alcotest.test_case "hard deadline holds" `Quick
+            test_hard_deadline_holds_under_chaos;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "zero quota" `Quick test_allows_stage_zero_quota;
+          Alcotest.test_case "quota below minimum stage" `Quick
+            test_allows_stage_quota_below_minimum_stage;
+          QCheck_alcotest.to_alcotest prop_admitted_stages_are_affordable;
+          Alcotest.test_case "tiny quota runs no stage" `Quick
+            test_tiny_quota_never_runs_a_stage;
+        ] );
+    ]

@@ -114,7 +114,9 @@ let test_report_accounting_invariants () =
         checkb "flagged aborted" true r.Report.stage_aborted
     | Report.Quota_exhausted ->
         checkb "within quota" true (r.Report.elapsed <= r.Report.quota +. 1e-9)
-    | Report.Finished | Report.Aborted_mid_stage | Report.Exact -> ());
+    | Report.Finished | Report.Aborted_mid_stage | Report.Exact
+    | Report.Faulted ->
+        ());
     (* accounting identity: useful + waste + overspend covers the span *)
     let covered = r.Report.useful_time +. r.Report.waste +. r.Report.overspend in
     checkb "identity" true

@@ -1,0 +1,385 @@
+(* The fault-injection layer: scenario DSL, injector determinism,
+   device-level fault semantics (spikes, stalls, retries, escalation)
+   and the executor's graceful degradation. The three properties the
+   harness exists to guarantee:
+     - Fault_plan.none is bit-identical to no fault layer at all;
+     - the same fault seed replays the same faults, report and trace;
+     - recoverable faults cost time but never touch the estimator. *)
+
+module Fault_plan = Taqp_fault.Fault_plan
+module Injector = Taqp_fault.Injector
+module Config = Taqp_core.Config
+module Report = Taqp_core.Report
+module Taqp = Taqp_core.Taqp
+module Staged = Taqp_core.Staged
+module Count_estimator = Taqp_estimators.Count_estimator
+module Paper_setup = Taqp_workload.Paper_setup
+module Confidence = Taqp_stats.Confidence
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Io_stats = Taqp_storage.Io_stats
+module Cost_params = Taqp_storage.Cost_params
+module Sink = Taqp_obs.Sink
+module Event = Taqp_obs.Event
+module Json = Taqp_obs.Json
+
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+let checkf = Fixtures.checkf
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Scenario DSL                                                        *)
+
+let test_dsl_presets () =
+  List.iter
+    (fun name ->
+      match Fault_plan.of_string name with
+      | Ok plan ->
+          checkb (name ^ " parses to its preset") true
+            (Some plan = Fault_plan.preset name)
+      | Error m -> Alcotest.failf "preset %s failed to parse: %s" name m)
+    Fault_plan.preset_names
+
+let test_dsl_rules () =
+  match
+    Fault_plan.of_string
+      "read_error:p=0.05; latency:p=0.1,factor=4,op=sort,after=2,until=9; \
+       stall:p=0.01,dur=0.5,max=3; retries=5; backoff=0.02; backoff_mult=3"
+  with
+  | Error m -> Alcotest.failf "DSL did not parse: %s" m
+  | Ok plan ->
+      checki "three rules" 3 (List.length plan.Fault_plan.rules);
+      checki "retries" 5 plan.Fault_plan.max_retries;
+      checkf "backoff" 0.02 plan.Fault_plan.backoff;
+      checkf "backoff multiplier" 3.0 plan.Fault_plan.backoff_multiplier;
+      let r1 = List.nth plan.Fault_plan.rules 0 in
+      checkb "read_error defaults to read_block" true
+        (r1.Fault_plan.op = Some "read_block");
+      let r2 = List.nth plan.Fault_plan.rules 1 in
+      checkb "latency op honored" true (r2.Fault_plan.op = Some "sort");
+      checkf "window start" 2.0 r2.Fault_plan.after;
+      checkf "window end" 9.0 r2.Fault_plan.until;
+      let r3 = List.nth plan.Fault_plan.rules 2 in
+      checki "firing budget" 3 r3.Fault_plan.max_faults;
+      checkb "stall duration" true (r3.Fault_plan.kind = Fault_plan.Stall 0.5)
+
+let test_dsl_errors () =
+  let bad s =
+    match Fault_plan.of_string s with Ok _ -> false | Error _ -> true
+  in
+  checkb "unknown kind" true (bad "bogus:p=0.1");
+  checkb "probability out of range" true (bad "read_error:p=2");
+  checkb "missing probability" true (bad "read_error:factor=2");
+  checkb "empty scenario" true (bad "");
+  checkb "empty window" true (bad "read_error:p=0.1,after=5,until=5");
+  checkb "plan clause only" true (bad "retries=3")
+
+let test_expected_load () =
+  checkf "none has zero load" 0.0 (Fault_plan.expected_load Fault_plan.none);
+  let latency = Option.get (Fault_plan.preset "latency") in
+  (* p=0.05 of a 4x spike: 0.05 * 3 extra *)
+  Fixtures.checkf_eps 1e-9 "latency preset load" 0.15
+    (Fault_plan.expected_load latency);
+  let heavier =
+    Fault_plan.make [ Fault_plan.rule ~probability:0.2 (Fault_plan.Latency_spike 4.0) ]
+  in
+  checkb "load monotone in probability" true
+    (Fault_plan.expected_load heavier > Fault_plan.expected_load latency)
+
+(* ------------------------------------------------------------------ *)
+(* Injector determinism                                                *)
+
+let coin_plan =
+  Fault_plan.make
+    [ Fault_plan.rule ~op:"read_block" ~probability:0.5 Fault_plan.Read_error ]
+
+let draws inj ~ops =
+  List.map (fun op -> Injector.draw inj ~op ~now:0.0) ops
+
+let test_same_seed_same_faults () =
+  let ops = List.init 200 (fun _ -> "read_block") in
+  let a = draws (Injector.create ~seed:11 coin_plan) ~ops in
+  let b = draws (Injector.create ~seed:11 coin_plan) ~ops in
+  checkb "identical fault sequences" true (a = b);
+  checkb "some faults fired" true (List.exists Option.is_some a);
+  checkb "some draws clean" true (List.exists Option.is_none a)
+
+let test_non_matching_ops_consume_no_randomness () =
+  (* Interleaving charges the rules don't match must not shift the
+     fault pattern seen by the ops they do match. *)
+  let pure = List.init 100 (fun _ -> "read_block") in
+  let noisy =
+    List.concat_map (fun op -> [ "sort"; op; "check_tuples" ]) pure
+  in
+  let a = draws (Injector.create ~seed:3 coin_plan) ~ops:pure in
+  let b =
+    draws (Injector.create ~seed:3 coin_plan) ~ops:noisy
+    |> List.filteri (fun i _ -> i mod 3 = 1)
+  in
+  checkb "interleaving is invisible" true (a = b)
+
+let test_window_and_budget () =
+  let plan =
+    Fault_plan.make
+      [
+        Fault_plan.rule ~op:"read_block" ~probability:1.0 ~after:1.0 ~until:2.0
+          ~max_faults:2 Fault_plan.Read_error;
+      ]
+  in
+  let inj = Injector.create ~seed:1 plan in
+  checkb "before the window" true
+    (Injector.draw inj ~op:"read_block" ~now:0.5 = None);
+  checkb "inside fires" true
+    (Injector.draw inj ~op:"read_block" ~now:1.1 <> None);
+  checkb "budget second" true
+    (Injector.draw inj ~op:"read_block" ~now:1.2 <> None);
+  checkb "budget exhausted" true
+    (Injector.draw inj ~op:"read_block" ~now:1.3 = None);
+  checkb "after the window" true
+    (Injector.draw inj ~op:"read_block" ~now:2.5 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Device-level fault semantics                                        *)
+
+let block_cost = Cost_params.default.Cost_params.block_read
+
+let one_shot ?(probability = 1.0) ?op kind =
+  Fault_plan.make [ Fault_plan.rule ?op ~probability ~max_faults:1 kind ]
+
+let test_latency_spike_inflates_charge () =
+  let clock, device =
+    Fixtures.quiet_device
+      ~faults:(Injector.create ~seed:1 (one_shot (Fault_plan.Latency_spike 3.0)))
+      ()
+  in
+  Device.read_block device;
+  checkf "charge tripled" (3.0 *. block_cost) (Clock.now clock);
+  checkf "excess attributed to the fault" (2.0 *. block_cost)
+    (Device.fault_time device);
+  checki "one logical read" 1 (Io_stats.blocks_read (Device.stats device));
+  checki "no retries" 0 (Io_stats.retries (Device.stats device))
+
+let test_stall_adds_dead_time () =
+  let clock, device =
+    Fixtures.quiet_device
+      ~faults:(Injector.create ~seed:1 (one_shot (Fault_plan.Stall 0.5)))
+      ()
+  in
+  Device.read_block device;
+  checkf "charge plus stall" (block_cost +. 0.5) (Clock.now clock);
+  checkf "stall is fault time" 0.5 (Device.fault_time device)
+
+let test_read_error_retries_with_backoff () =
+  let plan =
+    Fault_plan.make ~backoff:0.01 ~backoff_multiplier:2.0
+      [
+        Fault_plan.rule ~probability:1.0 ~max_faults:2 Fault_plan.Read_error;
+      ]
+  in
+  let clock, device =
+    Fixtures.quiet_device ~faults:(Injector.create ~seed:1 plan) ()
+  in
+  Device.read_block device;
+  (* two failed attempts, then a clean third: three reads plus
+     backoffs 0.01 and 0.02 *)
+  checkf "retries and backoff charged" ((3.0 *. block_cost) +. 0.03)
+    (Clock.now clock);
+  checki "logical reads counted once" 1
+    (Io_stats.blocks_read (Device.stats device));
+  checki "two retries" 2 (Io_stats.retries (Device.stats device));
+  let log = Device.fault_log device in
+  checki "two fault events" 2 (List.length log);
+  checkb "both recovered" true
+    (List.for_all (fun e -> e.Injector.ev_recovered) log)
+
+let test_escalation_to_unrecoverable () =
+  let plan =
+    Fault_plan.make ~max_retries:2
+      [ Fault_plan.rule ~probability:1.0 Fault_plan.Torn_block ]
+  in
+  let _, device =
+    Fixtures.quiet_device ~faults:(Injector.create ~seed:1 plan) ()
+  in
+  match Device.read_block device with
+  | () -> Alcotest.fail "expected Unrecoverable"
+  | exception Injector.Unrecoverable { op; attempts; _ } ->
+      checks "op" "read_block" op;
+      checki "retry budget spent" 3 attempts;
+      let log = Device.fault_log device in
+      checki "every attempt logged" 3 (List.length log);
+      checkb "final event unrecovered" true
+        (not (List.nth log 2).Injector.ev_recovered)
+
+(* ------------------------------------------------------------------ *)
+(* Property: Fault_plan.none is bit-identical to no fault layer        *)
+
+let wl = Paper_setup.selection ~spec:(Fixtures.spec ~n_tuples:500 ()) ~seed:5 ()
+
+let run_traced ?faults ?fault_seed ~seed () =
+  let sink, events = Sink.memory () in
+  let r =
+    Taqp.count_within ~config:Fixtures.observe_config ~seed ~sink ?faults
+      ?fault_seed wl.Paper_setup.catalog ~quota:1.5 wl.Paper_setup.query
+  in
+  (r, List.map (fun e -> Json.to_string (Event.to_json e)) (events ()))
+
+let report_fingerprint (r : Report.t) =
+  Fmt.str "%a|%.17g|%.17g|%.17g|%.17g|%d|%a" Report.pp r r.Report.estimate
+    r.Report.variance r.Report.confidence.Confidence.half_width
+    r.Report.elapsed
+    (List.length r.Report.trace)
+    Io_stats.pp r.Report.io
+
+let test_none_plan_bit_identity () =
+  for seed = 1 to 5 do
+    let bare, bare_tr = run_traced ~seed () in
+    let none, none_tr = run_traced ~faults:Fault_plan.none ~fault_seed:99 ~seed () in
+    checks "report identical"
+      (report_fingerprint bare) (report_fingerprint none);
+    checki "same trace length" (List.length bare_tr) (List.length none_tr);
+    List.iter2 (checks "trace event identical") bare_tr none_tr;
+    checkb "no fault log" true (none.Report.faults = [])
+  done
+
+let test_same_fault_seed_identical_run () =
+  let plan = Option.get (Fault_plan.preset "heavy") in
+  let a, a_tr = run_traced ~faults:plan ~fault_seed:7 ~seed:3 () in
+  let b, b_tr = run_traced ~faults:plan ~fault_seed:7 ~seed:3 () in
+  checks "reports identical" (report_fingerprint a) (report_fingerprint b);
+  checkb "fault logs identical" true (a.Report.faults = b.Report.faults);
+  checki "same trace length" (List.length a_tr) (List.length b_tr);
+  List.iter2 (checks "trace event identical") a_tr b_tr;
+  checkb "faults actually fired" true (a.Report.faults <> [])
+
+let test_recoverable_faults_never_touch_estimator () =
+  (* Same sampling seed, fixed per-stage fractions: a run under purely
+     recoverable chaos must produce exactly the per-stage estimates of
+     the fault-free run — faults cost clock time, never tuples. *)
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~target_output:2000 ~seed:3 () in
+  let plan =
+    Fault_plan.make
+      [
+        Fault_plan.rule ~probability:0.3 Fault_plan.Read_error;
+        Fault_plan.rule ~probability:0.2 (Fault_plan.Latency_spike 4.0);
+        Fault_plan.rule ~probability:0.05 (Fault_plan.Stall 0.1);
+      ]
+  in
+  let stages = 4 and f = 0.05 in
+  let clean, clean_t =
+    Fixtures.run_fixed_stages ~physical:Config.Sort_merge ~stages ~f wl
+  in
+  let chaotic, chaotic_t =
+    Fixtures.run_fixed_stages
+      ~faults:(Injector.create ~seed:13 plan)
+      ~physical:Config.Sort_merge ~stages ~f wl
+  in
+  checki "same stage count" (List.length clean) (List.length chaotic);
+  List.iter2
+    (fun (a : Staged.stage_result) (b : Staged.stage_result) ->
+      let ea = a.Staged.estimate and eb = b.Staged.estimate in
+      checkf "estimate untouched" ea.Count_estimator.estimate
+        eb.Count_estimator.estimate;
+      checkf "variance untouched" ea.Count_estimator.variance
+        eb.Count_estimator.variance;
+      checkf "hits untouched" ea.Count_estimator.hits eb.Count_estimator.hits;
+      checkf "points untouched" ea.Count_estimator.points
+        eb.Count_estimator.points)
+    clean chaotic;
+  checkb "chaos cost clock time" true (chaotic_t > clean_t)
+
+(* ------------------------------------------------------------------ *)
+(* Executor degradation                                                *)
+
+let test_unrecoverable_yields_degraded_report () =
+  let plan = Option.get (Fault_plan.preset "unrecoverable") in
+  for seed = 1 to 5 do
+    let r =
+      Taqp.count_within ~config:Fixtures.observe_config ~seed ~faults:plan
+        wl.Paper_setup.catalog ~quota:2.0 wl.Paper_setup.query
+    in
+    checkb "outcome faulted" true (r.Report.outcome = Report.Faulted);
+    checkb "degraded flagged" true r.Report.degraded;
+    checkb "stage aborted" true r.Report.stage_aborted;
+    checkb "estimate finite" true (Float.is_finite r.Report.estimate);
+    checkb "half-width finite" true
+      (Float.is_finite r.Report.confidence.Confidence.half_width);
+    checkb "fault log carried" true (r.Report.faults <> []);
+    checkb "last fault unrecovered" true
+      (not
+         (List.nth r.Report.faults (List.length r.Report.faults - 1))
+           .Injector.ev_recovered);
+    checkb "fault time accounted" true (r.Report.fault_time > 0.0)
+  done
+
+let test_degraded_ci_widening_bounds () =
+  (* The degradation factor is 1 + min(1, unused/quota): the degraded
+     half-width sits between the nominal sampling interval and twice
+     it. Faults start only after 0.5s so the first stage completes and
+     the estimate is non-degenerate, but the second stage's reads hit
+     the certain read error and escalate. *)
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.rule ~probability:1.0 ~after:0.5 Fault_plan.Read_error ]
+  in
+  let r =
+    Taqp.count_within ~config:Fixtures.observe_config ~seed:2 ~faults:plan
+      wl.Paper_setup.catalog ~quota:2.0 wl.Paper_setup.query
+  in
+  checkb "degraded" true r.Report.degraded;
+  checkb "completed stages first" true (r.Report.stages_completed >= 1);
+  let base =
+    (Confidence.normal ~mean:r.Report.estimate ~variance:r.Report.variance
+       ~level:0.95)
+      .Confidence.half_width
+  in
+  let hw = r.Report.confidence.Confidence.half_width in
+  checkb "widened at least to nominal" true (hw >= base -. 1e-12);
+  checkb "widened at most 2x" true (hw <= (2.0 *. base) +. 1e-12)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "presets parse" `Quick test_dsl_presets;
+          Alcotest.test_case "DSL rules" `Quick test_dsl_rules;
+          Alcotest.test_case "DSL errors" `Quick test_dsl_errors;
+          Alcotest.test_case "expected load" `Quick test_expected_load;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "same seed, same faults" `Quick
+            test_same_seed_same_faults;
+          Alcotest.test_case "non-matching ops draw nothing" `Quick
+            test_non_matching_ops_consume_no_randomness;
+          Alcotest.test_case "window and budget" `Quick test_window_and_budget;
+        ] );
+      ( "device",
+        [
+          Alcotest.test_case "latency spike inflates" `Quick
+            test_latency_spike_inflates_charge;
+          Alcotest.test_case "stall adds dead time" `Quick
+            test_stall_adds_dead_time;
+          Alcotest.test_case "retry with backoff" `Quick
+            test_read_error_retries_with_backoff;
+          Alcotest.test_case "escalation" `Quick
+            test_escalation_to_unrecoverable;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "none-plan bit identity" `Quick
+            test_none_plan_bit_identity;
+          Alcotest.test_case "fault seed replay" `Quick
+            test_same_fault_seed_identical_run;
+          Alcotest.test_case "estimator untouched by recovery" `Quick
+            test_recoverable_faults_never_touch_estimator;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "well-formed partial report" `Quick
+            test_unrecoverable_yields_degraded_report;
+          Alcotest.test_case "CI widening bounds" `Quick
+            test_degraded_ci_widening_bounds;
+        ] );
+    ]

@@ -230,6 +230,37 @@ let test_tracer_with_span_aborted () =
   | _ -> Alcotest.fail "expected begin+end"
 
 (* ------------------------------------------------------------------ *)
+(* Clock deadline interrupts                                           *)
+
+module Clock = Taqp_storage.Clock
+
+let test_sleep_until_expired_deadline_aborts () =
+  (* Regression: a sleeper calling in after an armed Abort deadline has
+     already passed must take the pending interrupt immediately — even
+     when the sleep target itself lies before the deadline (a
+     zero-length or backwards sleep), which used to return silently
+     without recording [deadline.abort]. *)
+  let sink, events = Sink.memory () in
+  let clock = Clock.create_virtual () in
+  Clock.set_tracer clock (Tracer.make ~now:(fun () -> Clock.now clock) ~sink);
+  Clock.charge clock 1.0;
+  Clock.arm clock ~mode:`Abort ~at:0.5;
+  (match Clock.sleep_until clock 0.4 with
+  | () -> Alcotest.fail "expected the pending interrupt to fire"
+  | exception Clock.Deadline_exceeded { now; deadline } ->
+      checkf 0.0 "raised at the current time" 1.0 now;
+      checkf 0.0 "with the armed deadline" 0.5 deadline);
+  checkf 0.0 "clock did not move" 1.0 (Clock.now clock);
+  match
+    List.filter (fun e -> e.Event.name = "deadline.abort") (events ())
+  with
+  | [ e ] ->
+      checkf 0.0 "abort stamped at fire time" 1.0 e.Event.ts;
+      checkb "carries the deadline" true
+        (List.assoc_opt "deadline" e.Event.args = Some (Event.Float 0.5))
+  | es -> Alcotest.failf "expected exactly one deadline.abort, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: a real staged run                                       *)
 
 let small_spec =
@@ -387,6 +418,11 @@ let () =
         [
           Alcotest.test_case "spans" `Quick test_tracer_spans_and_disabled;
           Alcotest.test_case "aborted span" `Quick test_tracer_with_span_aborted;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "expired deadline aborts sleep" `Quick
+            test_sleep_until_expired_deadline_aborts;
         ] );
       ( "end-to-end",
         [

@@ -8,17 +8,14 @@ open Taqp_relational
 module Config = Taqp_core.Config
 module Staged = Taqp_core.Staged
 module Paper_setup = Taqp_workload.Paper_setup
-module Generator = Taqp_workload.Generator
 module Cost_model = Taqp_timecost.Cost_model
 module Count_estimator = Taqp_estimators.Count_estimator
-module Prng = Taqp_rng.Prng
-module Clock = Taqp_storage.Clock
-module Device = Taqp_storage.Device
-module Cost_params = Taqp_storage.Cost_params
 
-let checkb = Alcotest.check Alcotest.bool
-let checki = Alcotest.check Alcotest.int
-let checkf = Alcotest.check (Alcotest.float 0.0)
+(* Check helpers, workload specs and the fixed-stage driver live in
+   the shared Fixtures module. *)
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+let checkf = Fixtures.checkf
 
 (* ------------------------------------------------------------------ *)
 (* Operator-level equivalence                                          *)
@@ -141,24 +138,8 @@ let prop_key_comparator_same_order =
 (* ------------------------------------------------------------------ *)
 (* Staged bit-identity across physical paths                           *)
 
-let run_fixed_stages ~physical ~stages ~f (wl : Paper_setup.t) =
-  let config = { Config.default with Config.physical } in
-  let cm = Cost_model.create () in
-  let staged =
-    Staged.compile ~catalog:wl.catalog ~config ~rng:(Prng.create 7)
-      ~cost_model:cm wl.query
-  in
-  let clock = Clock.create_virtual () in
-  let device =
-    Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock
-  in
-  let results = ref [] in
-  for _ = 1 to stages do
-    match Staged.run_stage staged ~device ~f with
-    | Some r -> results := r :: !results
-    | None -> ()
-  done;
-  (List.rev !results, Clock.now clock)
+let run_fixed_stages ~physical ~stages ~f wl =
+  Fixtures.run_fixed_stages ~physical ~stages ~f wl
 
 let check_bit_identical name (wl : Paper_setup.t) =
   let stages = 4 and f = 0.05 in
@@ -194,7 +175,7 @@ let check_bit_identical name (wl : Paper_setup.t) =
     [ hash_r; adapt_r ]
 
 let bit_identity_workloads () =
-  let spec = { Generator.n_tuples = 400; tuple_bytes = 100; block_bytes = 1024 } in
+  let spec = Fixtures.spec () in
   [
     ("join", Paper_setup.join ~spec ~target_output:2000 ~seed:3 ());
     ("intersection", Paper_setup.intersection ~spec ~overlap:150 ~seed:4 ());
@@ -206,22 +187,14 @@ let test_estimates_bit_identical () =
     (bit_identity_workloads ())
 
 let test_partial_fulfillment_bit_identical () =
-  let spec = { Generator.n_tuples = 400; tuple_bytes = 100; block_bytes = 1024 } in
-  let wl = Paper_setup.join ~spec ~target_output:2000 ~seed:3 () in
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~target_output:2000 ~seed:3 () in
   let partial_plan =
     { Taqp_sampling.Plan.default with Taqp_sampling.Plan.fulfillment = Taqp_sampling.Plan.Partial }
   in
   let run physical =
     let config = { Config.default with Config.physical; plan = partial_plan } in
-    let cm = Cost_model.create () in
-    let staged =
-      Staged.compile ~catalog:wl.catalog ~config ~rng:(Prng.create 7)
-        ~cost_model:cm wl.query
-    in
-    let clock = Clock.create_virtual () in
-    let device =
-      Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock
-    in
+    let staged = Fixtures.compile ~config wl in
+    let _, device = Fixtures.quiet_device () in
     let rs = ref [] in
     for _ = 1 to 3 do
       match Staged.run_stage staged ~device ~f:0.05 with
@@ -248,7 +221,7 @@ let test_hash_cheaper_at_late_stages () =
      multi-join, the sort path re-merges every old file pair while the
      hash path touches only the deltas — the cumulative operator-time
      ratio must be at least 2x. *)
-  let spec = { Generator.n_tuples = 600; tuple_bytes = 100; block_bytes = 1024 } in
+  let spec = Fixtures.spec ~n_tuples:600 () in
   let wl = Paper_setup.three_way_join ~spec ~group_size:3 ~seed:5 () in
   let stages = 4 and f = 0.05 in
   let nodes_cost results =
@@ -271,8 +244,7 @@ let test_hash_cheaper_at_late_stages () =
     (cs >= 2.0 *. ca)
 
 let test_adaptive_within_envelope () =
-  let spec = { Generator.n_tuples = 400; tuple_bytes = 100; block_bytes = 1024 } in
-  let wl = Paper_setup.join ~spec ~target_output:2000 ~seed:3 () in
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~target_output:2000 ~seed:3 () in
   let stages = 4 and f = 0.06 in
   let _, sort_cost = run_fixed_stages ~physical:Config.Sort_merge ~stages ~f wl in
   let _, hash_cost = run_fixed_stages ~physical:Config.Hash ~stages ~f wl in
@@ -292,14 +264,13 @@ let test_forced_switch_catch_up () =
      operator switches to hash mid-run. The switch must exercise the
      index catch-up and leave every per-stage estimate bit-identical to
      a pure sort-merge run. *)
-  let spec = { Generator.n_tuples = 400; tuple_bytes = 100; block_bytes = 1024 } in
-  let wl = Paper_setup.join ~spec ~target_output:2000 ~seed:3 () in
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~target_output:2000 ~seed:3 () in
   let stages = 6 and f = 0.08 in
   let run ~physical ~bias =
     let config = { Config.default with Config.physical } in
     let cm = Cost_model.create () in
     let staged =
-      Staged.compile ~catalog:wl.catalog ~config ~rng:(Prng.create 7)
+      Staged.compile ~catalog:wl.catalog ~config ~rng:(Fixtures.Prng.create 7)
         ~cost_model:cm wl.query
     in
     if bias then
@@ -315,17 +286,14 @@ let test_forced_switch_catch_up () =
                 ~seconds:0.3
             done)
         (Cost_model.ids cm);
-    let clock = Clock.create_virtual () in
-    let device =
-      Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock
-    in
+    let _, device = Fixtures.quiet_device () in
     let rs = ref [] in
     for _ = 1 to stages do
       match Staged.run_stage staged ~device ~f with
       | Some r -> rs := r.Staged.estimate :: !rs
       | None -> ()
     done;
-    (List.rev !rs, Device.stats device)
+    (List.rev !rs, Fixtures.Device.stats device)
   in
   let adaptive_r, stats = run ~physical:Config.Adaptive ~bias:true in
   let sort_r, _ = run ~physical:Config.Sort_merge ~bias:false in

@@ -3,9 +3,10 @@ module Fulfillment = Taqp_sampling.Fulfillment
 module Plan = Taqp_sampling.Plan
 module Prng = Taqp_rng.Prng
 
-let checkb = Alcotest.check Alcotest.bool
-let checki = Alcotest.check Alcotest.int
-let checkf eps = Alcotest.check (Alcotest.float eps)
+(* Check helpers shared with the other suites via Fixtures. *)
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+let checkf = Fixtures.checkf_eps
 
 let test_stage_set_basic () =
   let s = Stage_set.create ~n_units:100 (Prng.create 1) in

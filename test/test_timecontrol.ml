@@ -38,6 +38,28 @@ let test_soft_deadline () =
   checkb "hard refuses past quota" false
     (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:10.1 ~quota:10.0)
 
+let test_allows_stage_edges () =
+  (* A zero quota admits only a zero-cost stage; a stage costing more
+     than the whole quota is refused by every deadline-bearing
+     criterion, including inside All. *)
+  checkb "zero-cost stage at zero quota" true
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:0.0 ~quota:0.0);
+  checkb "real stage refused at zero quota" false
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:1e-9 ~quota:0.0);
+  checkb "zero grace gives no headroom" false
+    (Stopping.allows_stage
+       (Stopping.Soft_deadline { grace = 0.0 })
+       ~predicted_end:0.1 ~quota:0.0);
+  checkb "stage above whole quota refused" false
+    (Stopping.allows_stage Stopping.Hard_deadline ~predicted_end:0.5 ~quota:0.2);
+  checkb "all refuses if any member refuses" false
+    (Stopping.allows_stage
+       (Stopping.All [ Stopping.Max_stages 10; Stopping.Hard_deadline ])
+       ~predicted_end:0.5 ~quota:0.2);
+  checkb "non-deadline criteria do not gate admission" true
+    (Stopping.allows_stage (Stopping.Max_stages 10) ~predicted_end:0.5
+       ~quota:0.2)
+
 let test_error_bound () =
   let c = Stopping.Error_bound { relative = 0.1; level = 0.95 } in
   checkb "wide interval continues" false
@@ -203,6 +225,7 @@ let () =
           Alcotest.test_case "error bound" `Quick test_error_bound;
           Alcotest.test_case "stagnation" `Quick test_stagnation;
           Alcotest.test_case "max stages / all" `Quick test_max_stages_and_all;
+          Alcotest.test_case "admission edges" `Quick test_allows_stage_edges;
         ] );
       ( "strategy",
         [ Alcotest.test_case "constructors" `Quick test_strategy_constructors ] );
