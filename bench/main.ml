@@ -11,6 +11,7 @@
      main.exe --ablations          ablation suite
      main.exe --micro              bechamel micro-benchmarks
      main.exe --scheduling         deadline-miss simulation (exact vs taqp)
+     main.exe --sched              scheduler policy/admission sweep (BENCH_sched.json)
      main.exe --perf               physical-path perf report (BENCH_perf.json)
      main.exe --chaos              fault-injection matrix (BENCH_chaos.json)
      main.exe --chaos --fault-seed 7   ... with a different injector seed
@@ -19,7 +20,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
-     [--micro] [--scheduling] [--perf] [--chaos] [--fault-seed N] [--full]";
+     [--micro] [--scheduling] [--sched] [--perf] [--chaos] [--fault-seed N] \
+     [--full]";
   exit 1
 
 type mode =
@@ -27,6 +29,7 @@ type mode =
   | Ablations
   | Micro
   | Scheduling
+  | Sched_bench
   | Perf
   | Chaos
   | Full
@@ -65,6 +68,9 @@ let () =
     | "--scheduling" :: rest ->
         mode := Scheduling;
         parse rest
+    | "--sched" :: rest ->
+        mode := Sched_bench;
+        parse rest
     | "--perf" :: rest ->
         mode := Perf;
         parse rest
@@ -97,12 +103,14 @@ let () =
   | Ablations -> Ablations.all ~trials ()
   | Micro -> Micro.run ()
   | Scheduling -> Scheduling.run ()
+  | Sched_bench -> Scheduling.write ()
   | Perf -> Perf.write ()
   | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
       Scheduling.run ();
+      Scheduling.write ();
       Micro.run ();
       Perf.write ();
       Chaos.write ~fault_seed:!fault_seed ());

@@ -4,113 +4,202 @@
    become possible. This in turn plays an important role in minimizing
    the number of transactions that miss their deadlines."
 
-   This bench simulates that setting: a FIFO server receives a stream
-   of transactions, each embedding one aggregate query and a deadline.
-   Policy EXACT evaluates every query completely; policy TAQP gives
-   each query a quota equal to the slack its transaction has left.
-   We sweep the arrival rate and report deadline-miss rates and answer
-   quality. Everything runs on one shared virtual clock, so queueing
-   delays are modeled faithfully. *)
+   Two faces of that setting, both on taqp_sched's shared-device
+   scheduler:
+
+   - [run]: the human-readable EXACT-vs-TAQP scenario. Policy EXACT
+     evaluates every query completely on a FIFO device; policy TAQP is
+     the scheduler in its seed-compatible configuration (FIFO, no
+     admission, quota = transaction slack).
+
+   - [write]: the policy x arrival-rate x admission sweep behind
+     BENCH_sched.json — the machine-readable record that EDF plus
+     admission control beats an unmanaged FIFO queue on deadline
+     misses, for tracking across commits. *)
 
 module Taqp = Taqp_core.Taqp
-module Report = Taqp_core.Report
 module Config = Taqp_core.Config
+module Report = Taqp_core.Report
 module Stopping = Taqp_timecontrol.Stopping
 module Clock = Taqp_storage.Clock
 module Device = Taqp_storage.Device
 module Cost_params = Taqp_storage.Cost_params
+module Generator = Taqp_workload.Generator
 module Paper_setup = Taqp_workload.Paper_setup
 module Prng = Taqp_rng.Prng
+module Json = Taqp_obs.Json
+module Job = Taqp_sched.Job
+module Policy = Taqp_sched.Policy
+module Admission = Taqp_sched.Admission
+module Scheduler = Taqp_sched.Scheduler
 
-type job = {
-  arrival : float;
-  deadline : float;  (** absolute *)
-  workload : Paper_setup.t;
-  init_join : float option;
-}
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
 
 (* Three transaction classes over pre-built catalogs. The exact
-   evaluation costs differ by an order of magnitude, which is what
-   makes exact-mode completion times unpredictable. *)
+   evaluation costs differ by an order of magnitude — which is what
+   makes exact-mode completion times unpredictable — and the slacks
+   are deliberately heterogeneous so deadline order differs from
+   arrival order (the gap EDF exploits and FIFO cannot). *)
 let classes =
   lazy
-    [
-      (Paper_setup.selection ~output:2_000 ~seed:301 (), None, 8.0);
-      (Paper_setup.join ~seed:302 (), Some 0.01, 10.0);
-      (Paper_setup.intersection ~overlap:5_000 ~seed:303 (), None, 12.0);
-    ]
+    [|
+      (* name, workload, init join sel, slack, priority, min rel. hw *)
+      ( "select",
+        Paper_setup.selection ~spec ~output:200 ~seed:301 (),
+        None,
+        4.0,
+        1,
+        None );
+      ( "join",
+        Paper_setup.join ~spec ~seed:302 (),
+        Some 0.01,
+        10.0,
+        2,
+        Some 0.02 );
+      ( "intersect",
+        Paper_setup.intersection ~spec ~overlap:500 ~seed:303 (),
+        None,
+        25.0,
+        1,
+        None );
+    |]
 
-let make_jobs ~rng ~n ~mean_gap =
-  let t = ref 0.0 in
-  List.init n (fun _ ->
-      t := !t +. Prng.exponential rng (1.0 /. mean_gap);
-      let workload, init_join, slack =
-        Taqp_rng.Sample.choose rng (Array.of_list (Lazy.force classes))
-      in
-      { arrival = !t; deadline = !t +. slack; workload; init_join })
+let job_config ~init_join =
+  {
+    Config.default with
+    Config.stopping = Stopping.Hard_deadline;
+    trace = false;
+    initial_selectivities =
+      { Config.no_initial_overrides with Config.join = init_join };
+  }
 
-type policy = Exact | Taqp_policy
-
-let run_policy ~policy ~jobs ~seed =
+(* Deterministic Poisson arrivals: the same [seed] and [mean_gap]
+   always build the same job list, so every policy/admission cell of
+   the sweep (and both policies of [run]) sees the identical stream. *)
+let make_jobs ~n ~mean_gap ~seed =
   let rng = Prng.create seed in
+  let t = ref 0.0 in
+  List.init n (fun i ->
+      t := !t +. Prng.exponential rng (1.0 /. mean_gap);
+      let name, wl, init_join, slack, priority, min_confidence =
+        Taqp_rng.Sample.choose rng (Lazy.force classes)
+      in
+      ( wl,
+        Job.make ~label:(Fmt.str "%s-%d" name i) ~priority ?min_confidence
+          ~config:(job_config ~init_join) ~seed:(1000 + i)
+          ~exact:wl.Paper_setup.exact ~id:i ~catalog:wl.Paper_setup.catalog
+          ~arrival:!t ~deadline:(!t +. slack) wl.Paper_setup.query ))
+
+let mean_rel_error result =
+  let errs =
+    List.filter_map
+      (fun r ->
+        match (Scheduler.completed_report r, r.Scheduler.job.Job.exact) with
+        | Some report, Some exact when report.Report.stages_completed > 0 ->
+            Some (Taqp.estimate_error ~report ~exact)
+        | _ -> None)
+      result.Scheduler.reports
+  in
+  match errs with
+  | [] -> Float.nan
+  | es -> List.fold_left ( +. ) 0.0 es /. float_of_int (List.length es)
+
+(* EXACT baseline: a FIFO device that evaluates every query completely,
+   with no time control at all — each job simply misses whenever the
+   backlog pushes its completion past its deadline. *)
+let run_exact jobs =
   let clock = Clock.create_virtual () in
   let device =
-    Device.create ~params:Cost_params.default
-      ~jitter_rng:(Prng.split rng) clock
+    Device.create ~params:(Cost_params.no_jitter Cost_params.default) clock
   in
-  let missed = ref 0 and err = Taqp_stats.Summary.create () in
+  let missed = ref 0 in
   List.iter
-    (fun job ->
-      (* FIFO server: wait for the job to arrive if idle. *)
-      Clock.sleep_until clock job.arrival;
-      (match policy with
-      | Exact ->
-          let n =
-            Taqp_relational.Eval.count ~device job.workload.Paper_setup.catalog
-              job.workload.Paper_setup.query
-          in
-          ignore n;
-          Taqp_stats.Summary.add err 0.0
-      | Taqp_policy ->
-          let quota = Float.max 0.2 (job.deadline -. Clock.now clock) in
-          let config =
-            {
-              Config.default with
-              Config.stopping = Stopping.Hard_deadline;
-              trace = false;
-              initial_selectivities =
-                { Config.no_initial_overrides with Config.join = job.init_join };
-            }
-          in
-          let r =
-            Taqp.count_within_device ~config ~device ~rng:(Prng.split rng)
-              job.workload.Paper_setup.catalog ~quota
-              job.workload.Paper_setup.query
-          in
-          Taqp_stats.Summary.add err
-            (Taqp.estimate_error ~report:r ~exact:job.workload.Paper_setup.exact));
-      if Clock.now clock > job.deadline then incr missed)
+    (fun (wl, (job : Job.t)) ->
+      Clock.sleep_until clock job.Job.arrival;
+      ignore
+        (Taqp_relational.Eval.count ~device wl.Paper_setup.catalog
+           wl.Paper_setup.query);
+      if Clock.now clock > job.Job.deadline then incr missed)
     jobs;
-  (!missed, Taqp_stats.Summary.mean err)
+  !missed
 
 let run ?(jobs_per_run = 60) () =
   Fmt.pr "@.=== Scheduling: deadline misses, exact vs time-constrained ===@.";
   Fmt.pr
     "FIFO server, 3 transaction classes (select / join / intersect), \
-     deadlines 8-12 s after arrival.@.";
-  Fmt.pr "%10s | %18s | %26s@." "mean gap" "EXACT miss%" "TAQP miss%  (mean relerr)";
+     deadlines 4-25 s after arrival.@.";
+  Fmt.pr "%10s | %18s | %26s@." "mean gap" "EXACT miss%"
+    "TAQP miss%  (mean relerr)";
   List.iter
     (fun mean_gap ->
-      let rng = Prng.create 777 in
-      let jobs = make_jobs ~rng ~n:jobs_per_run ~mean_gap in
-      let exact_missed, _ = run_policy ~policy:Exact ~jobs ~seed:1 in
-      let taqp_missed, taqp_err = run_policy ~policy:Taqp_policy ~jobs ~seed:1 in
+      let jobs = make_jobs ~n:jobs_per_run ~mean_gap ~seed:777 in
+      let exact_missed = run_exact jobs in
+      let result =
+        Scheduler.run ~policy:Policy.Fifo (List.map snd jobs)
+      in
       let pct m = 100.0 *. float_of_int m /. float_of_int jobs_per_run in
       Fmt.pr "%9gs | %17.1f%% | %15.1f%%  (%.3f)@." mean_gap (pct exact_missed)
-        (pct taqp_missed) taqp_err)
+        (pct result.Scheduler.summary.Scheduler.missed)
+        (mean_rel_error result))
     [ 400.0; 120.0; 30.0; 10.0 ];
   Fmt.pr
     "expected: exact evaluation (minutes per query on this device) misses \
-     almost everything even when idle; the time-constrained evaluator \
-     misses (nearly) nothing at any load because a query can never run \
-     past its quota — at the price of approximate answers@."
+     almost everything even when idle; the time-constrained evaluator can \
+     never run past a quota, so its misses are pure queueing — jobs whose \
+     slack was already gone when FIFO got to them. The policy/admission \
+     sweep (--sched, BENCH_sched.json) shows EDF plus admission control \
+     recovering most of those@."
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_sched.json: policy x arrival-rate x admission sweep. *)
+
+let cell_json ~policy ~admission ~mean_gap (result : Scheduler.result) =
+  Json.Obj
+    [
+      ("policy", Json.Str (Policy.name policy));
+      ("admission", Json.Bool admission);
+      ("mean_gap", Json.Num mean_gap);
+      ("summary", Scheduler.summary_json result.Scheduler.summary);
+      ("mean_rel_error", Json.Num (mean_rel_error result));
+    ]
+
+let write ?(path = "BENCH_sched.json") ?(jobs_per_cell = 40) () =
+  let gaps = [ 30.0; 8.0; 2.0 ] in
+  let cells =
+    List.concat_map
+      (fun mean_gap ->
+        let jobs =
+          List.map snd (make_jobs ~n:jobs_per_cell ~mean_gap ~seed:777)
+        in
+        List.concat_map
+          (fun policy ->
+            List.map
+              (fun admission ->
+                let result =
+                  Scheduler.run ~policy
+                    ?admission:
+                      (if admission then Some Admission.default else None)
+                    jobs
+                in
+                cell_json ~policy ~admission ~mean_gap result)
+              [ false; true ])
+          Policy.all)
+      gaps
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-sched/1");
+        ("jobs_per_cell", Json.Num (float_of_int jobs_per_cell));
+        ("seed", Json.Num 777.0);
+        ("mean_gaps", Json.List (List.map (fun g -> Json.Num g) gaps));
+        ("policies", Json.List (List.map (fun p -> Json.Str (Policy.name p)) Policy.all));
+        ("cells", Json.List cells);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d cells: %d policies x %d gaps x admission on/off)@."
+    path (List.length cells) (List.length Policy.all) (List.length gaps)

@@ -3,7 +3,8 @@
      taqp gen --dir data --workload join          # synthesize relations
      taqp query --dir data --quota 2.5 "count(join[r1.key = r2.key](r1, r2))"
      taqp exact --dir data "count(select[sel < 1000](r1))"
-     taqp explain --dir data "..."                # terms + cost curve *)
+     taqp explain --dir data "..."                # terms + cost curve
+     taqp serve --dir data --jobs batch.jobs --policy edf --admission *)
 
 open Cmdliner
 module Taqp = Taqp_core.Taqp
@@ -445,8 +446,173 @@ let explain_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "j"; "jobs" ] ~docv:"FILE"
+          ~doc:
+            "Job file, one job per line: 'arrival | deadline | query [| \
+             key=value,...]' with options priority=INT, seed=INT, \
+             label=STRING and min_rhw=FLOAT. Blank lines and # comments \
+             are skipped.")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map (fun p -> (Taqp_sched.Policy.name p, p))
+                Taqp_sched.Policy.all))
+          Taqp_sched.Policy.Edf
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:
+            "Scheduling policy: $(b,fifo), $(b,edf), $(b,llf) or $(b,wfq).")
+  in
+  let admission_arg =
+    Arg.(
+      value & flag
+      & info [ "admission" ]
+          ~doc:
+            "Price each arrival with the executor's cost nodes and reject \
+             (or degrade) jobs whose slack cannot cover their minimum \
+             viable stage.")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"With $(b,--admission): reject beyond N live jobs.")
+  in
+  let headroom_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "headroom" ] ~docv:"FACTOR"
+          ~doc:
+            "With $(b,--admission): demand FACTOR x the priced requirement \
+             (>= 1).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry (sched.* counters) to stderr.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SCENARIO"
+          ~doc:
+            "Inject storage faults into the shared device (preset or DSL, \
+             see docs/ROBUSTNESS.md). A faulted job degrades through the \
+             executor's containment; the queue keeps draining.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed of the fault injector's random stream.")
+  in
+  let run dir jobs_file policy admission max_queue headroom metrics faults
+      fault_seed =
+    match
+      match faults with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Fault_plan.of_string s)
+    with
+    | Error m -> fail "bad --faults scenario: %s" m
+    | Ok fault_plan -> (
+        match
+          if admission then
+            match Taqp_sched.Admission.make ?max_queue ~headroom () with
+            | a -> Ok (Some a)
+            | exception Invalid_argument m -> Error m
+          else Ok None
+        with
+        | Error m -> fail "%s" m
+        | Ok admission -> (
+            let catalog = load_catalog dir in
+            let lines =
+              In_channel.with_open_text jobs_file In_channel.input_lines
+            in
+            match Taqp_sched.Job.of_lines ~catalog lines with
+            | Error m -> fail "%s: %s" jobs_file m
+            | Ok [] -> fail "%s: no jobs" jobs_file
+            | Ok jobs ->
+                let registry =
+                  if metrics then Some (Metrics.create ()) else None
+                in
+                let faults =
+                  Option.map
+                    (fun plan ->
+                      Taqp_fault.Injector.create ~seed:fault_seed plan)
+                    fault_plan
+                in
+                match
+                  Taqp_sched.Scheduler.run ~policy ?admission
+                    ?metrics:registry ?faults jobs
+                with
+                | exception Taqp_relational.Ra.Type_error m ->
+                    fail "type error: %s" m
+                | exception Staged.Compile_error m -> fail "%s" m
+                | result ->
+                (* One self-contained JSON line per job, then the
+                   workload summary — stdout is a JSONL stream a
+                   pipeline can consume. *)
+                List.iter
+                  (fun r ->
+                    print_endline
+                      (Taqp_obs.Json.to_string
+                         (Taqp_sched.Scheduler.job_report_json r)))
+                  result.Taqp_sched.Scheduler.reports;
+                print_endline
+                  (Taqp_obs.Json.to_string
+                     (Taqp_obs.Json.Obj
+                        [
+                          ( "summary",
+                            Taqp_sched.Scheduler.summary_json
+                              result.Taqp_sched.Scheduler.summary );
+                        ]));
+                Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary
+                  result.Taqp_sched.Scheduler.summary;
+                Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
+                (* Nonzero exit iff an admitted job missed its hard
+                   deadline — rejected jobs were refused up front and
+                   do not fail the batch. *)
+                if
+                  List.exists
+                    (fun (r : Taqp_sched.Scheduler.job_report) ->
+                      r.Taqp_sched.Scheduler.admitted
+                      && r.Taqp_sched.Scheduler.missed)
+                    result.Taqp_sched.Scheduler.reports
+                then exit 1
+                else `Ok ()))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
+       $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
+       $ fault_seed_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a batch of deadline-constrained jobs through the multi-query \
+          scheduler (one JSON line per job; exits nonzero iff an admitted \
+          job missed its deadline).")
+    term
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "time-constrained aggregate query processing (SIGMOD 1989)" in
   let info = Cmd.info "taqp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; query_cmd; exact_cmd; explain_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ gen_cmd; query_cmd; exact_cmd; explain_cmd; serve_cmd ]))

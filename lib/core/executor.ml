@@ -43,6 +43,7 @@ type loop_state = {
 }
 
 let f_floor = 1e-9
+let min_fraction = f_floor
 
 (* The Single-Interval strategy needs sqrt(Var(QCOST)) at a candidate
    f: delta-method over the per-operator selectivity variances, with
@@ -193,9 +194,33 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
             gs);
   }
 
-let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
+(* ------------------------------------------------------------------ *)
+(* The resumable handle                                                 *)
+
+type handle = {
+  staged : Staged.t;
+  cost_model : Cost_model.t;
+  device : Device.t;
+  clock : Clock.t;
+  tracer : Tracer.t;
+  config : Config.t;
+  quota : float;
+  start : float;  (** clock reading when the handle was created *)
+  deadline_at : float;  (** absolute: [start +. quota] *)
+  deadline_mode : Clock.deadline_mode;
+  io_before : Io_stats.t;
+  faults_before : int;
+  fault_time_before : float;
+  state : loop_state;
+  stage_predicted_h : Metrics.Histogram.t;
+  stage_actual_h : Metrics.Histogram.t;
+  overspend_h : Metrics.Histogram.t;
+  mutable result : Report.t option;
+}
+
+let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
     ~catalog ~rng ~quota expr =
-  if quota <= 0.0 then invalid_arg "Executor.run: non-positive quota";
+  if quota <= 0.0 then invalid_arg "Executor.start: non-positive quota";
   Config.validate config;
   let cost_model =
     Cost_model.create ~adaptive:config.adaptive_cost
@@ -220,61 +245,115 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
     Tracer.span_begin tracer ~cat:"query" "query"
       ~args:[ ("quota", Event.Float quota) ];
   Clock.arm clock ~mode:deadline_mode ~at:(start +. quota);
-  let state =
-    {
-      useful_time = 0.0;
-      stages_attempted = 0;
-      stages_completed = 0;
-      trace_rev = [];
-      recent_estimates = [];
-      last_good = None;
-      useful_blocks = 0;
-      residuals = Taqp_stats.Summary.create ();
-    }
+  {
+    staged;
+    cost_model;
+    device;
+    clock;
+    tracer;
+    config;
+    quota;
+    start;
+    deadline_at = start +. quota;
+    deadline_mode;
+    io_before;
+    faults_before;
+    fault_time_before;
+    state =
+      {
+        useful_time = 0.0;
+        stages_attempted = 0;
+        stages_completed = 0;
+        trace_rev = [];
+        recent_estimates = [];
+        last_good = None;
+        useful_blocks = 0;
+        residuals = Taqp_stats.Summary.create ();
+      };
+    stage_predicted_h;
+    stage_actual_h;
+    overspend_h;
+    result = None;
+  }
+
+let report h = h.result
+let finished h = h.result <> None
+let quota h = h.quota
+let started_at h = h.start
+let deadline_at h = h.deadline_at
+let remaining h = h.deadline_at -. Clock.now h.clock
+
+let min_stage_cost h =
+  planning_cost h.device ~max_iterations:h.config.Config.max_bisect_iterations
+  +. Staged.predicted_cost h.staged ~f:f_floor ~mode:Staged.Plain
+
+let status h =
+  let state = h.state and config = h.config in
+  let rel_half_width =
+    Option.bind state.last_good (fun e ->
+        Taqp_stats.Confidence.relative_half_width
+          (Count_estimator.confidence ~level:config.confidence_level e))
   in
-  let status () =
-    let rel_half_width =
-      Option.bind state.last_good (fun e ->
-          Taqp_stats.Confidence.relative_half_width
-            (Count_estimator.confidence ~level:config.confidence_level e))
-    in
-    {
-      Stopping.elapsed = Clock.now clock -. start;
-      quota;
-      stages = state.stages_completed;
-      estimate =
-        (match state.last_good with
-        | Some e -> e.Count_estimator.estimate
-        | None -> 0.0);
-      rel_half_width;
-      recent_estimates = state.recent_estimates;
-    }
+  {
+    Stopping.elapsed = Clock.now h.clock -. h.start;
+    quota = h.quota;
+    stages = state.stages_completed;
+    estimate =
+      (match state.last_good with
+      | Some e -> e.Count_estimator.estimate
+      | None -> 0.0);
+    rel_half_width;
+    recent_estimates = state.recent_estimates;
+  }
+
+(* Finalizing disarms the clock: the handle's deadline must never
+   outlive it, or a scheduler sleeping to the next arrival would be
+   interrupted on behalf of a job that already has its report. *)
+let finish_with h outcome =
+  Clock.disarm h.clock;
+  let report =
+    finalize ~staged:h.staged ~state:h.state ~quota:h.quota ~start:h.start
+      ~clock:h.clock ~io_before:h.io_before ~device:h.device
+      ~faults_before:h.faults_before ~fault_time_before:h.fault_time_before
+      ~outcome ~config:h.config
   in
-  let finish outcome =
-    Clock.disarm clock;
-    let report =
-      finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
-        ~faults_before ~fault_time_before ~outcome ~config
-    in
-    Metrics.Histogram.observe overspend_h report.Report.overspend;
-    if Tracer.enabled tracer then begin
-      Tracer.instant tracer ~cat:"query" "stop"
-        ~args:[ ("reason", Event.String (Report.outcome_name outcome)) ];
-      Tracer.span_end tracer ~cat:"query" "query"
-        ~args:
-          [
-            ("outcome", Event.String (Report.outcome_name outcome));
-            ("estimate", Event.Float report.Report.estimate);
-            ("elapsed", Event.Float report.Report.elapsed);
-            ("stages", Event.Int report.Report.stages_completed);
-            ("blocks_read", Event.Int report.Report.blocks_read);
-          ]
-    end;
-    report
-  in
-  let rec loop () =
+  Metrics.Histogram.observe h.overspend_h report.Report.overspend;
+  if Tracer.enabled h.tracer then begin
+    Tracer.instant h.tracer ~cat:"query" "stop"
+      ~args:[ ("reason", Event.String (Report.outcome_name outcome)) ];
+    Tracer.span_end h.tracer ~cat:"query" "query"
+      ~args:
+        [
+          ("outcome", Event.String (Report.outcome_name outcome));
+          ("estimate", Event.Float report.Report.estimate);
+          ("elapsed", Event.Float report.Report.elapsed);
+          ("stages", Event.Int report.Report.stages_completed);
+          ("blocks_read", Event.Int report.Report.blocks_read);
+        ]
+  end;
+  h.result <- Some report;
+  report
+
+let step h =
+  match h.result with
+  | Some r -> `Done r
+  | None ->
+  let staged = h.staged and state = h.state and config = h.config in
+  let clock = h.clock and device = h.device and tracer = h.tracer in
+  let cost_model = h.cost_model and quota = h.quota and start = h.start in
+  (* Re-arm only when another job's deadline (or none) is in place, so
+     a solo run — where the deadline armed at [start] is still the
+     handle's own — emits exactly the trace it did before handles
+     existed. *)
+  if Clock.armed clock <> Some (h.deadline_mode, h.deadline_at) then
+    Clock.arm clock ~mode:h.deadline_mode ~at:h.deadline_at;
+  let stage_predicted_h = h.stage_predicted_h
+  and stage_actual_h = h.stage_actual_h
+  and fault_time_before = h.fault_time_before in
+  let finish outcome = `Done (finish_with h outcome) in
+  let rec step_once () =
     if Staged.exhausted staged then finish Report.Exact
-    else if state.stages_completed > 0 && Stopping.should_stop config.stopping (status ())
+    else if state.stages_completed > 0 && Stopping.should_stop config.stopping (status h)
     then finish Report.Finished
     else begin
       let elapsed = Clock.now clock -. start in
@@ -454,7 +533,21 @@ let run ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
           state.last_good <- Some estimate;
           state.recent_estimates <-
             estimate.Count_estimator.estimate :: state.recent_estimates;
-          loop ()
+          `Continue
         end
   in
-  loop ()
+  step_once ()
+
+let run ?config ?aggregate ~device ~catalog ~rng ~quota expr =
+  let h =
+    try start ?config ?aggregate ~device ~catalog ~rng ~quota expr
+    with Invalid_argument m when m = "Executor.start: non-positive quota" ->
+      invalid_arg "Executor.run: non-positive quota"
+  in
+  let rec go () = match step h with `Done r -> r | `Continue -> go () in
+  go ()
+
+let finish h =
+  match h.result with
+  | Some r -> r
+  | None -> finish_with h Report.Quota_exhausted

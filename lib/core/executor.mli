@@ -7,10 +7,92 @@
     fires. The clock (inside [device]) may be virtual (experiments) or
     wall (live use); under a hard deadline it is armed in abort mode so
     an overrunning stage is interrupted like the prototype's timer
-    interrupt service routine. *)
+    interrupt service routine.
+
+    The evaluation is {e resumable}: {!start} compiles the query and
+    returns a handle, each {!step} performs at most one stage (the
+    paper's stages are the natural preemption points — estimator and
+    confidence-interval state is incremental across them), and the
+    final step returns the {!Report}. {!run} is exactly
+    [start] + [step]-to-completion, so a stepped run is bit-identical
+    to a one-shot run on the same device and seed. A scheduler
+    ({!Taqp_sched.Scheduler}) interleaves steps of several handles on
+    one shared clock: {!step} re-arms the handle's own abort deadline
+    whenever another job's deadline (or none) is armed, and
+    finalization always disarms it. *)
 
 open Taqp_storage
 open Taqp_relational
+
+type handle
+(** One live time-constrained evaluation. The handle's quota is
+    measured against the {e absolute} clock instant
+    [started_at + quota]: time the shared clock spends on other jobs
+    while this one is preempted counts against its quota, which is what
+    an absolute transaction deadline means. *)
+
+val start :
+  ?config:Config.t ->
+  ?aggregate:Aggregate.t ->
+  device:Device.t ->
+  catalog:Catalog.t ->
+  rng:Taqp_rng.Prng.t ->
+  quota:float ->
+  Ra.t ->
+  handle
+(** Compile the query, open the query span, and arm the clock at
+    [now + quota] in the stopping criterion's deadline mode. No sample
+    is drawn yet — the first {!step} runs the first stage.
+    @raise Invalid_argument on a non-positive quota or invalid config;
+    @raise Staged.Compile_error / @raise Ra.Type_error /
+    @raise Taqp_estimators.Inclusion_exclusion.Unsupported from
+    compilation. *)
+
+val step : handle -> [ `Continue | `Done of Report.t ]
+(** Advance the evaluation by at most one stage: check the stopping
+    criterion, size the next stage (paying the planning cost), and run
+    it. [`Continue] after a completed in-quota stage; [`Done] once the
+    run has finalized (every further [step] returns the same report).
+    Safe to interleave with steps of other handles sharing the device:
+    entry re-arms this handle's deadline if another one is armed. *)
+
+val finish : handle -> Report.t
+(** The final report. If the handle is still running, finalizes it
+    immediately at the current stage boundary (outcome
+    {!Report.Quota_exhausted} — used to cancel a job whose deadline
+    became unreachable while it was preempted) and disarms the clock. *)
+
+val report : handle -> Report.t option
+(** The final report, if the run has finalized. *)
+
+val finished : handle -> bool
+val quota : handle -> float
+val started_at : handle -> float
+(** Clock reading at {!start} — absolute, not relative. *)
+
+val deadline_at : handle -> float
+(** [started_at h +. quota h]. *)
+
+val remaining : handle -> float
+(** Quota seconds left on the shared clock (negative once past the
+    deadline). *)
+
+val min_stage_cost : handle -> float
+(** The price of the cheapest stage the handle could run next: the
+    sample-size-determination overhead plus the predicted cost of a
+    minimum-fraction stage at the current selectivity estimates. Pure —
+    reads neither sample nor clock. The scheduler's least-laxity policy
+    and admission controller are priced with this. *)
+
+val min_fraction : float
+(** The smallest sample fraction the bisection will consider — the [f]
+    at which {!min_stage_cost} prices the minimum viable stage. *)
+
+val planning_cost : Device.t -> max_iterations:int -> float
+(** The fixed charge of one Sample-Size-Determine call (bisection
+    probes priced relative to the device's stage overhead) — the same
+    number {!step} pays before sizing each stage, exported so admission
+    control can price a job before starting it. *)
 
 val run :
   ?config:Config.t ->
@@ -22,7 +104,8 @@ val run :
   Ra.t ->
   Report.t
 (** [aggregate] defaults to COUNT (the paper's f); SUM/AVG use the
-    Section-1 extension estimators of {!Aggregate}.
+    Section-1 extension estimators of {!Aggregate}. Exactly
+    [start] followed by [step] until [`Done].
     @raise Invalid_argument on a non-positive quota or invalid config;
     @raise Staged.Compile_error / @raise Ra.Type_error /
     @raise Taqp_estimators.Inclusion_exclusion.Unsupported from

@@ -1,0 +1,138 @@
+module Config = Taqp_core.Config
+module Aggregate = Taqp_core.Aggregate
+module Catalog = Taqp_storage.Catalog
+module Ra = Taqp_relational.Ra
+
+type t = {
+  id : int;
+  label : string;
+  query : Ra.t;
+  catalog : Catalog.t;
+  arrival : float;
+  deadline : float;
+  priority : int;
+  min_confidence : float option;
+  config : Config.t;
+  aggregate : Aggregate.t;
+  seed : int;
+  exact : int option;
+}
+
+let make ?label ?(priority = 1) ?min_confidence ?(config = Config.default)
+    ?(aggregate = Aggregate.Count) ?(seed = 1) ?exact ~id ~catalog ~arrival
+    ~deadline query =
+  if arrival < 0.0 then invalid_arg "Job.make: negative arrival";
+  if deadline <= arrival then invalid_arg "Job.make: deadline before arrival";
+  if priority < 1 then invalid_arg "Job.make: priority < 1";
+  (match min_confidence with
+  | Some w when w <= 0.0 -> invalid_arg "Job.make: non-positive min_confidence"
+  | _ -> ());
+  Config.validate config;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "job-%d" id
+  in
+  {
+    id;
+    label;
+    query;
+    catalog;
+    arrival;
+    deadline;
+    priority;
+    min_confidence;
+    config;
+    aggregate;
+    seed;
+    exact;
+  }
+
+let slack t ~now = t.deadline -. now
+
+let pp ppf t =
+  Format.fprintf ppf "%s: arrive %.2f deadline %.2f prio %d %a" t.label
+    t.arrival t.deadline t.priority Ra.pp t.query
+
+(* ------------------------------------------------------------------ *)
+(* Job-file lines — the CLI's [serve --jobs FILE] and the bench read
+   the same format:
+
+     # arrival | deadline | query [| key=value,key=value]
+     0.0 | 8.0 | count(select[sel < 1000](r1)) | priority=2,seed=5
+
+   Options: priority=INT seed=INT label=STRING min_rhw=FLOAT (target
+   relative half-width of the confidence interval). Blank lines and
+   '#' comments yield [Ok None]. *)
+
+let parse_options job opts =
+  List.fold_left
+    (fun job kv ->
+      Result.bind job (fun job ->
+          match String.index_opt kv '=' with
+          | None -> Error (Printf.sprintf "option %S is not key=value" kv)
+          | Some i -> (
+              let k = String.trim (String.sub kv 0 i) in
+              let v =
+                String.trim (String.sub kv (i + 1) (String.length kv - i - 1))
+              in
+              match k with
+              | "priority" -> (
+                  match int_of_string_opt v with
+                  | Some p when p >= 1 -> Ok { job with priority = p }
+                  | _ -> Error (Printf.sprintf "bad priority %S" v))
+              | "seed" -> (
+                  match int_of_string_opt v with
+                  | Some s -> Ok { job with seed = s }
+                  | None -> Error (Printf.sprintf "bad seed %S" v))
+              | "label" -> Ok { job with label = v }
+              | "min_rhw" -> (
+                  match float_of_string_opt v with
+                  | Some w when w > 0.0 ->
+                      Ok { job with min_confidence = Some w }
+                  | _ -> Error (Printf.sprintf "bad min_rhw %S" v))
+              | _ -> Error (Printf.sprintf "unknown option %S" k))))
+    (Ok job) opts
+
+let of_line ~catalog ?(config = Config.default) ~id line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let fields = String.split_on_char '|' line |> List.map String.trim in
+    match fields with
+    | arrival :: deadline :: query :: rest when List.length rest <= 1 -> (
+        match (float_of_string_opt arrival, float_of_string_opt deadline) with
+        | None, _ -> Error (Printf.sprintf "bad arrival %S" arrival)
+        | _, None -> Error (Printf.sprintf "bad deadline %S" deadline)
+        | Some arrival, Some deadline -> (
+            match Taqp_relational.Parser.expression query with
+            | exception Taqp_relational.Parser.Parse_error { position; message }
+              ->
+                Error
+                  (Printf.sprintf "query parse error at offset %d: %s" position
+                     message)
+            | expr -> (
+                let opts =
+                  match rest with
+                  | [] -> []
+                  | [ o ] -> String.split_on_char ',' o |> List.map String.trim
+                  | _ -> assert false
+                in
+                match
+                  make ~id ~catalog ~config ~arrival ~deadline expr
+                with
+                | exception Invalid_argument m -> Error m
+                | job ->
+                    Result.map Option.some (parse_options job opts))))
+    | _ ->
+        Error
+          "expected 'arrival | deadline | query [| options]' (3 or 4 fields)"
+
+let of_lines ~catalog ?config lines =
+  let rec go id acc = function
+    | [] -> Ok (List.rev acc)
+    | (lineno, line) :: rest -> (
+        match of_line ~catalog ?config ~id line with
+        | Ok None -> go id acc rest
+        | Ok (Some job) -> go (id + 1) (job :: acc) rest
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  go 0 [] (List.mapi (fun i l -> (i + 1, l)) lines)

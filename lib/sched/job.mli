@@ -1,0 +1,78 @@
+(** One time-constrained query submitted to the scheduler: a query over
+    its catalog, an arrival instant, an {e absolute} deadline, a
+    priority weight, and an optional answer-quality requirement.
+
+    This is the paper's Section-1 transaction setting made concrete:
+    "by precisely fixing the execution times of database queries in a
+    transaction, accurate estimates for transaction execution times
+    become possible … minimizing the number of transactions that miss
+    their deadlines." A job's quota is whatever slack its deadline
+    leaves when it reaches the device. *)
+
+open Taqp_storage
+open Taqp_relational
+
+type t = {
+  id : int;
+  label : string;
+  query : Ra.t;
+  catalog : Catalog.t;
+  arrival : float;  (** absolute clock instant the job is submitted *)
+  deadline : float;  (** absolute — not a duration *)
+  priority : int;  (** weight for the weighted-fair policy; [>= 1] *)
+  min_confidence : float option;
+      (** target relative half-width of the confidence interval (at the
+          config's confidence level); admission degrades a job whose
+          slack cannot afford it *)
+  config : Taqp_core.Config.t;
+  aggregate : Taqp_core.Aggregate.t;
+  seed : int;  (** per-job sampling seed, mirroring {!Taqp_core.Taqp.count_within} *)
+  exact : int option;  (** ground truth when known (benches report error) *)
+}
+
+val make :
+  ?label:string ->
+  ?priority:int ->
+  ?min_confidence:float ->
+  ?config:Taqp_core.Config.t ->
+  ?aggregate:Taqp_core.Aggregate.t ->
+  ?seed:int ->
+  ?exact:int ->
+  id:int ->
+  catalog:Catalog.t ->
+  arrival:float ->
+  deadline:float ->
+  Ra.t ->
+  t
+(** @raise Invalid_argument on a negative arrival, a deadline at or
+    before the arrival, a priority below 1, a non-positive
+    [min_confidence], or an invalid config. *)
+
+val slack : t -> now:float -> float
+(** [deadline - now]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Job files}
+
+    One job per line:
+    {[ arrival | deadline | query [| key=value,key=value] ]}
+    with options [priority=INT], [seed=INT], [label=STRING] and
+    [min_rhw=FLOAT]. Blank lines and [#] comments are skipped. *)
+
+val of_line :
+  catalog:Catalog.t ->
+  ?config:Taqp_core.Config.t ->
+  id:int ->
+  string ->
+  (t option, string) result
+(** [Ok None] for a blank/comment line. [config] seeds every parsed
+    job's evaluation config (default {!Taqp_core.Config.default}). *)
+
+val of_lines :
+  catalog:Catalog.t ->
+  ?config:Taqp_core.Config.t ->
+  string list ->
+  (t list, string) result
+(** Parse a whole file's lines; ids are assigned in order of
+    appearance, errors are prefixed with their 1-based line number. *)

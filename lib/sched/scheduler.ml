@@ -1,0 +1,470 @@
+module Report = Taqp_core.Report
+module Executor = Taqp_core.Executor
+module Confidence = Taqp_stats.Confidence
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Cost_params = Taqp_storage.Cost_params
+module Metrics = Taqp_obs.Metrics
+module Tracer = Taqp_obs.Tracer
+module Event = Taqp_obs.Event
+module Json = Taqp_obs.Json
+module Prng = Taqp_rng.Prng
+
+let src = Logs.Src.create "taqp.sched" ~doc:"multi-query deadline scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type outcome =
+  | Completed of Report.t
+  | Rejected of Admission.reason
+  | Expired
+
+type job_report = {
+  job : Job.t;
+  outcome : outcome;
+  admitted : bool;
+  degraded : bool;
+  quota : float option;
+  started_at : float option;
+  finished_at : float;
+  queue_wait : float;
+  lateness : float;
+  missed : bool;
+  steps : int;
+  preemptions : int;
+  service : float;
+}
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  degraded : int;
+  rejected : int;
+  expired : int;
+  completed : int;
+  missed : int;
+  miss_rate : float;
+  lateness_p50 : float;
+  lateness_p99 : float;
+  max_lateness : float;
+  mean_queue_wait : float;
+  makespan : float;
+  busy_time : float;
+  preemptions : int;
+}
+
+type result = {
+  policy : Policy.t;
+  admission_on : bool;
+  reports : job_report list;
+  summary : summary;
+}
+
+(* One admitted, unfinished job. [l_reserved] is its priced minimum
+   viable run — the backlog unit admission subtracts from later jobs'
+   slack, decayed by the service already delivered. *)
+type live = {
+  l_job : Job.t;
+  l_seq : int;
+  l_granted : float;
+  l_degraded : bool;
+  l_reserved : float;
+  mutable l_handle : Executor.handle option;
+  mutable l_started : float option;
+  mutable l_service : float;
+  mutable l_steps : int;
+  mutable l_preempt : int;
+}
+
+let percentile sorted q =
+  match sorted with
+  | [||] -> 0.0
+  | a ->
+      let n = Array.length a in
+      let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+      a.(Int.max 0 (Int.min (n - 1) i))
+
+(* An admitted job "missed" when its transaction got no in-deadline
+   answer: it finished past the deadline (observe-mode overspend), its
+   deadline passed while it was still queued, or its slack was spent
+   before a single stage completed — a report with neither an exact
+   answer nor one finished sampling stage carries no estimate the
+   transaction could act on. *)
+let report_missed ~(job : Job.t) ~finished_at = function
+  | Completed r ->
+      finished_at > job.Job.deadline +. 1e-9
+      || (r.Report.stages_completed = 0 && not r.Report.exact)
+  | Expired -> true
+  | Rejected _ -> false
+
+let run ?(policy = Policy.Edf) ?admission
+    ?(params = Cost_params.no_jitter Cost_params.default) ?metrics ?tracer
+    ?faults jobs =
+  let clock = Clock.create_virtual () in
+  let device = Device.create ~params ?metrics ?tracer ?faults clock in
+  let metrics = Device.metrics device in
+  let tracer = Device.tracer device in
+  let c_submitted = Metrics.counter metrics "sched.submitted" in
+  let c_admitted = Metrics.counter metrics "sched.admitted" in
+  let c_degraded = Metrics.counter metrics "sched.degraded" in
+  let c_rejected = Metrics.counter metrics "sched.rejected" in
+  let c_expired = Metrics.counter metrics "sched.expired" in
+  let c_completed = Metrics.counter metrics "sched.completed" in
+  let c_missed = Metrics.counter metrics "sched.missed" in
+  let c_preempt = Metrics.counter metrics "sched.preemptions" in
+  let h_lateness = Metrics.histogram metrics "sched.lateness" in
+  let h_wait = Metrics.histogram metrics "sched.queue_wait" in
+  let instant name (job : Job.t) args =
+    if Tracer.enabled tracer then
+      Tracer.instant tracer ~cat:"sched" name
+        ~args:(("job", Event.String job.Job.label) :: args)
+  in
+  let pending =
+    ref
+      (List.stable_sort
+         (fun a b -> compare (a.Job.arrival, a.Job.id) (b.Job.arrival, b.Job.id))
+         jobs)
+  in
+  let live = ref [] in
+  let reports = ref [] in
+  let seq = ref 0 in
+  let last_run = ref None in
+  let finish_live lj outcome =
+    live := List.filter (fun l -> l != lj) !live;
+    (match !last_run with
+    | Some s when s = lj.l_seq -> last_run := None
+    | _ -> ());
+    let now = Clock.now clock in
+    let missed = report_missed ~job:lj.l_job ~finished_at:now outcome in
+    let lateness = now -. lj.l_job.Job.deadline in
+    if missed then Metrics.Counter.incr c_missed;
+    Metrics.Histogram.observe h_lateness (Float.max 0.0 lateness);
+    (match outcome with
+    | Completed r ->
+        Metrics.Counter.incr c_completed;
+        instant "sched.complete" lj.l_job
+          [
+            ("outcome", Event.String (Report.outcome_name r.Report.outcome));
+            ("lateness", Event.Float lateness);
+          ]
+    | Expired ->
+        Metrics.Counter.incr c_expired;
+        instant "sched.expire" lj.l_job []
+    | Rejected _ -> assert false);
+    reports :=
+      {
+        job = lj.l_job;
+        outcome;
+        admitted = true;
+        degraded = lj.l_degraded;
+        quota = Option.map Executor.quota lj.l_handle;
+        started_at = lj.l_started;
+        finished_at = now;
+        queue_wait =
+          (match lj.l_started with
+          | Some s -> s -. lj.l_job.Job.arrival
+          | None -> now -. lj.l_job.Job.arrival);
+        lateness;
+        missed;
+        steps = lj.l_steps;
+        preemptions = lj.l_preempt;
+        service = lj.l_service;
+      }
+      :: !reports
+  in
+  let backlog () =
+    List.fold_left
+      (fun acc l -> acc +. Float.max 0.0 (l.l_reserved -. l.l_service))
+      0.0 !live
+  in
+  let admit_arrivals now =
+    let rec go () =
+      match !pending with
+      | j :: rest when j.Job.arrival <= now ->
+          pending := rest;
+          Metrics.Counter.incr c_submitted;
+          let decision =
+            match admission with
+            | None -> Admission.Accept { quota = Job.slack j ~now }
+            | Some a ->
+                Admission.evaluate a ~device ~now ~backlog:(backlog ())
+                  ~queue_len:(List.length !live) j
+          in
+          (match decision with
+          | Admission.Reject reason ->
+              Metrics.Counter.incr c_rejected;
+              instant "sched.reject" j
+                [ ("reason", Event.String (Admission.reason_name reason)) ];
+              Log.debug (fun m ->
+                  m "%s rejected: %a" j.Job.label Admission.pp_reason reason);
+              reports :=
+                {
+                  job = j;
+                  outcome = Rejected reason;
+                  admitted = false;
+                  degraded = false;
+                  quota = None;
+                  started_at = None;
+                  finished_at = now;
+                  queue_wait = 0.0;
+                  lateness = 0.0;
+                  missed = false;
+                  steps = 0;
+                  preemptions = 0;
+                  service = 0.0;
+                }
+                :: !reports
+          | Admission.Accept { quota } | Admission.Degrade { quota; _ } ->
+              let degraded =
+                match decision with Admission.Degrade _ -> true | _ -> false
+              in
+              Metrics.Counter.incr c_admitted;
+              if degraded then Metrics.Counter.incr c_degraded;
+              instant "sched.admit" j
+                [
+                  ("quota", Event.Float quota);
+                  ("degraded", Event.String (string_of_bool degraded));
+                ];
+              let reserved =
+                let staged = Admission.compile_for_pricing ~job:j in
+                Admission.price_min_stage ~device staged ~config:j.Job.config
+              in
+              incr seq;
+              live :=
+                !live
+                @ [
+                    {
+                      l_job = j;
+                      l_seq = !seq;
+                      l_granted = quota;
+                      l_degraded = degraded;
+                      l_reserved = reserved;
+                      l_handle = None;
+                      l_started = None;
+                      l_service = 0.0;
+                      l_steps = 0;
+                      l_preempt = 0;
+                    };
+                  ]);
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let candidates now =
+    List.map
+      (fun l ->
+        let next_cost =
+          match l.l_handle with
+          | Some h -> Executor.min_stage_cost h
+          | None -> l.l_reserved
+        in
+        {
+          Policy.key = l.l_seq;
+          seq = l.l_seq;
+          deadline = l.l_job.Job.deadline;
+          laxity = l.l_job.Job.deadline -. now -. next_cost;
+          service = l.l_service;
+          weight = float_of_int l.l_job.Job.priority;
+        })
+      !live
+  in
+  let step_job lj handle =
+    (match !last_run with
+    | Some s when s <> lj.l_seq -> (
+        match List.find_opt (fun l -> l.l_seq = s) !live with
+        | Some prev ->
+            prev.l_preempt <- prev.l_preempt + 1;
+            Metrics.Counter.incr c_preempt;
+            instant "sched.preempt" prev.l_job []
+        | None -> ())
+    | _ -> ());
+    let t0 = Clock.now clock in
+    let step = Executor.step handle in
+    lj.l_service <- lj.l_service +. (Clock.now clock -. t0);
+    lj.l_steps <- lj.l_steps + 1;
+    last_run := Some lj.l_seq;
+    match step with
+    | `Continue -> ()
+    | `Done report -> finish_live lj (Completed report)
+  in
+  let rec loop () =
+    let now = Clock.now clock in
+    admit_arrivals now;
+    match (!live, !pending) with
+    | [], [] -> ()
+    | [], next :: _ ->
+        (* Idle: every finalized handle disarmed its deadline, so this
+           sleep can never be interrupted on a dead job's behalf. *)
+        Clock.sleep_until clock next.Job.arrival;
+        loop ()
+    | _ :: _, _ -> (
+        let c = Policy.select policy (candidates now) in
+        let lj = List.find (fun l -> l.l_seq = c.Policy.key) !live in
+        match lj.l_handle with
+        | Some handle ->
+            step_job lj handle;
+            loop ()
+        | None ->
+            let quota = Float.min lj.l_granted (Job.slack lj.l_job ~now) in
+            if quota <= 0.0 then begin
+              (* Its deadline passed while it waited: it never starts —
+                 and never stalls the jobs behind it. *)
+              finish_live lj Expired;
+              loop ()
+            end
+            else begin
+              (* Mirror Taqp.count_within's stream discipline — create
+                 the job rng, split off (and discard) the jitter
+                 stream — so a solo job's report is bit-identical to a
+                 direct count_within at the same seed and quota. *)
+              let rng = Prng.create lj.l_job.Job.seed in
+              ignore (Prng.split rng);
+              let handle =
+                Executor.start ~config:lj.l_job.Job.config
+                  ~aggregate:lj.l_job.Job.aggregate ~device
+                  ~catalog:lj.l_job.Job.catalog ~rng ~quota lj.l_job.Job.query
+              in
+              lj.l_handle <- Some handle;
+              lj.l_started <- Some now;
+              Metrics.Histogram.observe h_wait (now -. lj.l_job.Job.arrival);
+              instant "sched.dispatch" lj.l_job
+                [ ("quota", Event.Float quota) ];
+              step_job lj handle;
+              loop ()
+            end)
+  in
+  loop ();
+  let reports =
+    List.stable_sort (fun a b -> compare a.job.Job.id b.job.Job.id) !reports
+  in
+  let count f = List.length (List.filter f reports) in
+  let admitted_reports =
+    List.filter (fun (r : job_report) -> r.admitted) reports
+  in
+  let late =
+    List.map (fun r -> Float.max 0.0 r.lateness) admitted_reports
+    |> List.sort compare |> Array.of_list
+  in
+  let waits = List.map (fun r -> r.queue_wait) admitted_reports in
+  let summary =
+    {
+      submitted = List.length reports;
+      admitted = List.length admitted_reports;
+      degraded = count (fun (r : job_report) -> r.degraded);
+      rejected =
+        count (fun r -> match r.outcome with Rejected _ -> true | _ -> false);
+      expired =
+        count (fun r -> match r.outcome with Expired -> true | _ -> false);
+      completed =
+        count (fun r ->
+            match r.outcome with Completed _ -> true | _ -> false);
+      missed = count (fun (r : job_report) -> r.missed);
+      miss_rate =
+        (if reports = [] then 0.0
+         else
+           float_of_int (count (fun (r : job_report) -> r.missed))
+           /. float_of_int (List.length reports));
+      lateness_p50 = percentile late 0.50;
+      lateness_p99 = percentile late 0.99;
+      max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
+      mean_queue_wait =
+        (match waits with
+        | [] -> 0.0
+        | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+      makespan = Clock.now clock;
+      busy_time =
+        List.fold_left
+          (fun acc (r : job_report) -> acc +. r.service)
+          0.0 reports;
+      preemptions =
+        List.fold_left
+          (fun acc (r : job_report) -> acc + r.preemptions)
+          0 reports;
+    }
+  in
+  { policy; admission_on = admission <> None; reports; summary }
+
+(* ------------------------------------------------------------------ *)
+(* JSON renderings — the CLI's per-job lines and the bench's
+   BENCH_sched.json cells share these. *)
+
+let completed_report r =
+  match r.outcome with Completed rep -> Some rep | _ -> None
+
+let outcome_name r =
+  match r.outcome with
+  | Completed rep -> Report.outcome_name rep.Report.outcome
+  | Rejected _ -> "rejected"
+  | Expired -> "expired"
+
+let opt_num = function None -> Json.Null | Some v -> Json.Num v
+
+let job_report_json r =
+  let base =
+    [
+      ("job", Json.Str r.job.Job.label);
+      ("id", Json.Num (float_of_int r.job.Job.id));
+      ("arrival", Json.Num r.job.Job.arrival);
+      ("deadline", Json.Num r.job.Job.deadline);
+      ("priority", Json.Num (float_of_int r.job.Job.priority));
+      ("outcome", Json.Str (outcome_name r));
+      ("admitted", Json.Bool r.admitted);
+      ("degraded", Json.Bool r.degraded);
+      ("missed", Json.Bool r.missed);
+      ("lateness", Json.Num r.lateness);
+      ("queue_wait", Json.Num r.queue_wait);
+      ("quota", opt_num r.quota);
+      ("started", opt_num r.started_at);
+      ("finished", Json.Num r.finished_at);
+      ("steps", Json.Num (float_of_int r.steps));
+      ("preemptions", Json.Num (float_of_int r.preemptions));
+      ("service", Json.Num r.service);
+    ]
+  in
+  let detail =
+    match r.outcome with
+    | Completed rep ->
+        [
+          ("estimate", Json.Num rep.Report.estimate);
+          ( "ci_half_width",
+            Json.Num rep.Report.confidence.Confidence.half_width );
+          ("ci_level", Json.Num rep.Report.confidence.Confidence.level);
+          ("stages", Json.Num (float_of_int rep.Report.stages_completed));
+          ("exact", Json.Bool rep.Report.exact);
+          ("report_degraded", Json.Bool rep.Report.degraded);
+        ]
+    | Rejected reason ->
+        [ ("reject_reason", Json.Str (Admission.reason_name reason)) ]
+    | Expired -> []
+  in
+  Json.Obj (base @ detail)
+
+let summary_json s =
+  Json.Obj
+    [
+      ("submitted", Json.Num (float_of_int s.submitted));
+      ("admitted", Json.Num (float_of_int s.admitted));
+      ("degraded", Json.Num (float_of_int s.degraded));
+      ("rejected", Json.Num (float_of_int s.rejected));
+      ("expired", Json.Num (float_of_int s.expired));
+      ("completed", Json.Num (float_of_int s.completed));
+      ("missed", Json.Num (float_of_int s.missed));
+      ("miss_rate", Json.Num s.miss_rate);
+      ("lateness_p50", Json.Num s.lateness_p50);
+      ("lateness_p99", Json.Num s.lateness_p99);
+      ("max_lateness", Json.Num s.max_lateness);
+      ("mean_queue_wait", Json.Num s.mean_queue_wait);
+      ("makespan", Json.Num s.makespan);
+      ("busy_time", Json.Num s.busy_time);
+      ("preemptions", Json.Num (float_of_int s.preemptions));
+    ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d submitted: %d admitted (%d degraded), %d rejected, %d expired@ \
+     %d completed, %d missed (%.1f%%)@ lateness p50=%.2fs p99=%.2fs \
+     max=%.2fs  wait=%.2fs  makespan=%.1fs busy=%.1fs preemptions=%d@]"
+    s.submitted s.admitted s.degraded s.rejected s.expired s.completed s.missed
+    (100.0 *. s.miss_rate) s.lateness_p50 s.lateness_p99 s.max_lateness
+    s.mean_queue_wait s.makespan s.busy_time s.preemptions

@@ -1,0 +1,102 @@
+(** Event-driven multi-query scheduler over one shared virtual device.
+
+    The scheduler owns the clock: jobs arrive at absolute virtual
+    times, admission ({!Admission}) prices each arrival before it may
+    touch the device, and admitted jobs run as resumable
+    {!Taqp_core.Executor} handles interleaved at stage boundaries — the
+    natural preemption points of staged sampling. Each step re-arms the
+    running job's abort deadline on the shared clock, so the quota
+    mechanics of a solo run are preserved verbatim: a single job pushed
+    through any policy yields a report bit-identical to
+    [Taqp.count_within] with the same seed and quota (the scheduler
+    reproduces its rng-stream discipline, and default device params
+    carry no jitter).
+
+    Determinism: given the same job list, seeds and policy, two runs
+    produce identical reports — the loop draws randomness only from
+    per-job seeds and breaks every tie by admission order. *)
+
+type outcome =
+  | Completed of Taqp_core.Report.t
+      (** ran to a report — possibly [Quota_exhausted] or [Faulted];
+          consult the report's own outcome *)
+  | Rejected of Admission.reason  (** never admitted, never ran *)
+  | Expired
+      (** admitted, but its deadline passed while it waited in the
+          queue; it never started (and never stalled jobs behind it) *)
+
+type job_report = {
+  job : Job.t;
+  outcome : outcome;
+  admitted : bool;
+  degraded : bool;  (** admission shrank its quota below its ask *)
+  quota : float option;  (** seconds actually granted at dispatch *)
+  started_at : float option;
+  finished_at : float;  (** decision time for rejected jobs *)
+  queue_wait : float;  (** arrival to first dispatch *)
+  lateness : float;  (** finished - deadline; negative = early *)
+  missed : bool;
+      (** admitted but no in-deadline answer: finished late, expired
+          queued, or completed zero stages without an exact result *)
+  steps : int;  (** executor stage-steps consumed *)
+  preemptions : int;  (** times another job ran while this one waited *)
+  service : float;  (** device seconds consumed *)
+}
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  degraded : int;
+  rejected : int;
+  expired : int;
+  completed : int;
+  missed : int;
+  miss_rate : float;  (** missed / submitted *)
+  lateness_p50 : float;  (** percentiles of max(0, lateness), admitted *)
+  lateness_p99 : float;
+  max_lateness : float;
+  mean_queue_wait : float;
+  makespan : float;  (** virtual clock at loop exit *)
+  busy_time : float;  (** device seconds across all jobs *)
+  preemptions : int;
+}
+
+type result = {
+  policy : Policy.t;
+  admission_on : bool;
+  reports : job_report list;  (** in job id order *)
+  summary : summary;
+}
+
+val run :
+  ?policy:Policy.t ->
+  ?admission:Admission.t ->
+  ?params:Taqp_storage.Cost_params.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?tracer:Taqp_obs.Tracer.t ->
+  ?faults:Taqp_fault.Injector.t ->
+  Job.t list ->
+  result
+(** Run the workload to completion on a fresh virtual clock.
+
+    [policy] defaults to {!Policy.Edf}. [admission] defaults to [None]:
+    every job is admitted with its full slack as quota (the seed
+    repo's behaviour). [params] defaults to jitter-free
+    {!Taqp_storage.Cost_params.default} so runs are reproducible;
+    pass jittered params (plus per-run metrics) to model device noise.
+    Faulted jobs degrade through the executor's own containment and
+    never stall the queue. *)
+
+val completed_report : job_report -> Taqp_core.Report.t option
+(** The completed report, if any. *)
+
+val outcome_name : job_report -> string
+(** The report's outcome name for completed jobs, ["rejected"] or
+    ["expired"] otherwise. *)
+
+val job_report_json : job_report -> Taqp_obs.Json.t
+(** One self-contained object per job — the CLI's per-job output line
+    and the bench's per-cell rows share this shape. *)
+
+val summary_json : summary -> Taqp_obs.Json.t
+val pp_summary : Format.formatter -> summary -> unit

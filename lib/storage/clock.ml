@@ -86,6 +86,9 @@ let disarm t = t.deadline <- None
 
 let deadline t = t.deadline
 
+let armed t =
+  match t.deadline with None -> None | Some at -> Some (t.mode, at)
+
 let remaining t =
   match t.deadline with None -> None | Some d -> Some (d -. now t)
 

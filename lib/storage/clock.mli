@@ -45,11 +45,26 @@ val charge : t -> float -> unit
 type deadline_mode = [ `Abort | `Observe ]
 
 val arm : t -> mode:deadline_mode -> at:float -> unit
-(** Arm a deadline at absolute clock time [at]. *)
+(** Arm a deadline at absolute clock time [at]. At most one deadline is
+    armed at a time: arming {e replaces} any previously armed deadline
+    and mode, so a charge or sleep can only ever fire the most recently
+    armed one. This is what lets interleaved jobs share the clock — a
+    job re-arms its own deadline at every stage boundary, and a
+    finished job's deadline must be {!disarm}ed (the executor does this
+    when it finalizes a report) so that a later [sleep_until] past the
+    stale instant cannot raise on behalf of a job that no longer
+    exists. *)
 
 val disarm : t -> unit
+(** Remove the armed deadline. After [disarm] (or after {!arm} with a
+    new target), crossing the old instant never raises. *)
 
 val deadline : t -> float option
+
+val armed : t -> (deadline_mode * float) option
+(** The currently armed deadline with its mode, if any — what a
+    resumable executor compares against to re-arm only when another
+    job's deadline (or none) is in place. *)
 
 val remaining : t -> float option
 (** Time left before the armed deadline (may be negative). *)

@@ -701,6 +701,150 @@ let variance_suites =
       ] );
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Resumable executor: run == start + step*                            *)
+
+module Executor = Taqp_core.Executor
+
+let resumable_workloads =
+  lazy
+    [
+      ("selection", small_selection, 1.5);
+      ("join", Paper_setup.join ~spec:small_spec ~seed:6 (), 2.0);
+      ( "intersection",
+        Paper_setup.intersection ~spec:small_spec ~overlap:120 ~seed:7 (),
+        2.0 );
+    ]
+
+let step_fingerprint (r : Report.t) =
+  Fmt.str "%a|%.17g|%.17g|%.17g|%.17g|%d|%a" Report.pp r r.Report.estimate
+    r.Report.variance r.Report.confidence.Taqp_stats.Confidence.half_width
+    r.Report.elapsed
+    (List.length r.Report.trace)
+    Taqp_storage.Io_stats.pp r.Report.io
+
+let executor_env ~physical () =
+  let clock = Taqp_storage.Clock.create_virtual () in
+  let device =
+    Taqp_storage.Device.create
+      ~params:(Taqp_storage.Cost_params.no_jitter Taqp_storage.Cost_params.default)
+      clock
+  in
+  let config = { Config.default with Config.physical } in
+  (device, config)
+
+(* The one-shot run must be bit-identical to driving the handle one
+   stage at a time — for every fixture and both physical paths. The
+   executor's [run] is literally the start/step loop, so this is a
+   regression guard on the handle plumbing (deadline arming, histogram
+   snapshots, finalization) rather than on the numerics. *)
+let test_run_equals_stepped () =
+  List.iter
+    (fun (name, (wl : Paper_setup.t), quota) ->
+      List.iter
+        (fun physical ->
+          let run_once () =
+            let device, config = executor_env ~physical () in
+            Executor.run ~config ~device ~catalog:wl.Paper_setup.catalog
+              ~rng:(Prng.create 3) ~quota wl.Paper_setup.query
+          in
+          let stepped () =
+            let device, config = executor_env ~physical () in
+            let h =
+              Executor.start ~config ~device ~catalog:wl.Paper_setup.catalog
+                ~rng:(Prng.create 3) ~quota wl.Paper_setup.query
+            in
+            let steps = ref 0 in
+            let rec go () =
+              match Executor.step h with
+              | `Continue ->
+                  incr steps;
+                  checkb "unfinished while stepping" false (Executor.finished h);
+                  go ()
+              | `Done r -> r
+            in
+            let r = go () in
+            checkb "finished" true (Executor.finished h);
+            checkb "report accessor agrees" true (Executor.report h = Some r);
+            (r, !steps)
+          in
+          let direct = run_once () in
+          let r, steps = stepped () in
+          Alcotest.(check string)
+            (Fmt.str "%s/%s run == stepped" name
+               (match physical with
+               | Config.Sort_merge -> "sort"
+               | Config.Hash -> "hash"
+               | Config.Adaptive -> "adaptive"))
+            (step_fingerprint direct) (step_fingerprint r);
+          checkb "took at least one step" true (steps >= 0))
+        [ Config.Sort_merge; Config.Hash ])
+    (Lazy.force resumable_workloads)
+
+(* step after Done keeps returning the same report; finish before
+   exhaustion finalizes as quota-exhausted exactly once. *)
+let test_step_after_done_and_early_finish () =
+  let wl = small_selection in
+  let device, config = executor_env ~physical:Config.Sort_merge () in
+  let h =
+    Executor.start ~config ~device ~catalog:wl.Paper_setup.catalog
+      ~rng:(Prng.create 3) ~quota:1.5 wl.Paper_setup.query
+  in
+  let rec drain () =
+    match Executor.step h with `Continue -> drain () | `Done r -> r
+  in
+  let r = drain () in
+  (match Executor.step h with
+  | `Done r' -> checkb "step after done is stable" true (r == r')
+  | `Continue -> Alcotest.fail "step after done must return the report");
+  checkb "finish after done is stable" true (Executor.finish h == r);
+  (* Early finish on a fresh handle. *)
+  let device, config = executor_env ~physical:Config.Sort_merge () in
+  let h2 =
+    Executor.start ~config ~device ~catalog:wl.Paper_setup.catalog
+      ~rng:(Prng.create 3) ~quota:1.5 wl.Paper_setup.query
+  in
+  (match Executor.step h2 with
+  | `Continue -> ()
+  | `Done _ -> Alcotest.fail "first stage should not finish this run");
+  let r2 = Executor.finish h2 in
+  checkb "early finish reports quota-exhausted" true
+    (r2.Report.outcome = Report.Quota_exhausted);
+  checkb "handle finished" true (Executor.finished h2);
+  checkb "partial stages recorded" true (r2.Report.stages_completed >= 1)
+
+(* Handle accessors expose the deadline bookkeeping the scheduler
+   plans with. *)
+let test_handle_accessors () =
+  let wl = small_selection in
+  let device, config = executor_env ~physical:Config.Sort_merge () in
+  let h =
+    Executor.start ~config ~device ~catalog:wl.Paper_setup.catalog
+      ~rng:(Prng.create 3) ~quota:2.0 wl.Paper_setup.query
+  in
+  Alcotest.check (Alcotest.float 0.0) "quota" 2.0 (Executor.quota h);
+  Alcotest.check (Alcotest.float 0.0) "started at 0" 0.0 (Executor.started_at h);
+  Alcotest.check (Alcotest.float 0.0) "deadline = start + quota" 2.0
+    (Executor.deadline_at h);
+  checkb "remaining starts at quota" true (Executor.remaining h <= 2.0);
+  checkb "min stage cost positive" true (Executor.min_stage_cost h > 0.0);
+  (match Executor.step h with
+  | `Continue ->
+      checkb "remaining shrinks" true (Executor.remaining h < 2.0)
+  | `Done _ -> Alcotest.fail "first stage should not finish");
+  ignore (Executor.finish h)
+
+let resumable_suites =
+  [
+    ( "resumable-executor",
+      [
+        Alcotest.test_case "run == start+step*" `Slow test_run_equals_stepped;
+        Alcotest.test_case "step after done / early finish" `Quick
+          test_step_after_done_and_early_finish;
+        Alcotest.test_case "handle accessors" `Quick test_handle_accessors;
+      ] );
+  ]
+
 let aggregate_suites =
   [
     ( "aggregates",
@@ -714,4 +858,7 @@ let aggregate_suites =
       ] );
   ]
 
-let () = Alcotest.run "core" (main_suites @ multiway_suites @ group_suites @ live_suites @ edge_suites @ variance_suites @ aggregate_suites)
+let () =
+  Alcotest.run "core"
+    (main_suites @ multiway_suites @ group_suites @ live_suites @ edge_suites
+   @ variance_suites @ resumable_suites @ aggregate_suites)

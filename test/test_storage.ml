@@ -109,6 +109,54 @@ let test_clock_sleep_until_abort_traced () =
   checkf 1e-12 "abort stamped at the deadline" 2.0 e.Taqp_obs.Event.ts;
   Alcotest.(check string) "clock category" "clock" e.Taqp_obs.Event.cat
 
+(* Re-arming REPLACES the previous deadline — the contract the
+   multi-query scheduler leans on when it switches the shared clock
+   between jobs at stage boundaries. *)
+let test_clock_rearm_replaces () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Abort ~at:1.0;
+  checkb "armed (abort, 1.0)" true (Clock.armed c = Some (`Abort, 1.0));
+  (* Another job's later deadline takes over: the old 1.0 deadline must
+     not fire. *)
+  Clock.arm c ~mode:`Abort ~at:3.0;
+  checkb "re-armed (abort, 3.0)" true (Clock.armed c = Some (`Abort, 3.0));
+  Clock.charge c 2.0;
+  checkf 1e-12 "charge crossed the replaced deadline freely" 2.0 (Clock.now c);
+  (* Replacement can also change mode. *)
+  Clock.arm c ~mode:`Observe ~at:2.5;
+  checkb "mode replaced" true (Clock.armed c = Some (`Observe, 2.5));
+  Clock.charge c 1.0;
+  checkf 1e-12 "observe mode never interrupts" 3.0 (Clock.now c)
+
+(* A finished job disarms; a later sleep_until must never raise on the
+   dead job's behalf, even when the sleep crosses the old deadline. *)
+let test_clock_disarm_kills_stale_deadline () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Abort ~at:1.0;
+  Clock.charge c 0.5;
+  Clock.disarm c;
+  checkb "disarmed" true (Clock.armed c = None);
+  Clock.sleep_until c 10.0;
+  checkf 1e-12 "slept through the stale deadline" 10.0 (Clock.now c);
+  Clock.charge c 1.0;
+  checkf 1e-12 "charges unconstrained" 11.0 (Clock.now c)
+
+(* An expired-but-disarmed deadline (job finished after overspending in
+   observe mode) must not leak into the next job's run either. *)
+let test_clock_rearm_after_expiry () =
+  let c = Clock.create_virtual () in
+  Clock.arm c ~mode:`Observe ~at:1.0;
+  Clock.charge c 2.0;
+  checkb "expired" true (Clock.expired c);
+  Clock.arm c ~mode:`Abort ~at:5.0;
+  checkb "fresh deadline" true (Clock.armed c = Some (`Abort, 5.0));
+  checkb "no longer expired" false (Clock.expired c);
+  (match Clock.sleep_until c 4.0 with
+  | () -> ()
+  | exception Clock.Deadline_exceeded _ ->
+      Alcotest.fail "in-window sleep must not fire the deadline");
+  checkf 1e-12 "slept normally" 4.0 (Clock.now c)
+
 let test_clock_wall () =
   let c = Clock.create_wall () in
   checkb "not virtual" false (Clock.is_virtual c);
@@ -412,6 +460,12 @@ let () =
             test_clock_deadline_exact_landing;
           Alcotest.test_case "observe overspend accounting" `Quick
             test_clock_observe_overspend_accounting;
+          Alcotest.test_case "re-arm replaces deadline" `Quick
+            test_clock_rearm_replaces;
+          Alcotest.test_case "disarm kills stale deadline" `Quick
+            test_clock_disarm_kills_stale_deadline;
+          Alcotest.test_case "re-arm after expiry" `Quick
+            test_clock_rearm_after_expiry;
           Alcotest.test_case "sleep_until abort traced" `Quick
             test_clock_sleep_until_abort_traced;
           Alcotest.test_case "wall clock" `Quick test_clock_wall;
