@@ -15,13 +15,14 @@
      main.exe --perf               physical-path perf report (BENCH_perf.json)
      main.exe --chaos              fault-injection matrix (BENCH_chaos.json)
      main.exe --chaos --fault-seed 7   ... with a different injector seed
+     main.exe --recover            crash-recovery benchmark (BENCH_recover.json)
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
      [--micro] [--scheduling] [--sched] [--perf] [--chaos] [--fault-seed N] \
-     [--full]";
+     [--recover] [--full]";
   exit 1
 
 type mode =
@@ -32,6 +33,7 @@ type mode =
   | Sched_bench
   | Perf
   | Chaos
+  | Recover
   | Full
 
 let () =
@@ -74,6 +76,9 @@ let () =
     | "--perf" :: rest ->
         mode := Perf;
         parse rest
+    | "--recover" :: rest ->
+        mode := Recover;
+        parse rest
     | "--full" :: rest ->
         mode := Full;
         parse rest
@@ -106,6 +111,7 @@ let () =
   | Sched_bench -> Scheduling.write ()
   | Perf -> Perf.write ()
   | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
+  | Recover -> Recover.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
@@ -113,7 +119,8 @@ let () =
       Scheduling.write ();
       Micro.run ();
       Perf.write ();
-      Chaos.write ~fault_seed:!fault_seed ());
+      Chaos.write ~fault_seed:!fault_seed ();
+      Recover.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

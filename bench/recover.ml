@@ -1,0 +1,274 @@
+(* Crash-recovery benchmark: BENCH_recover.json.
+
+   Three measurements over the taqp_recover stage journal and the
+   scheduler's job-level journal:
+
+   - checkpoint overhead: the fraction of a solo journaled run's
+     virtual elapsed time spent on journal writes (charged through
+     [Device.journal_write] at [Cost_params.journal_byte_write]);
+
+   - recovery latency: wall-clock seconds to load the journal and
+     rebuild a live executor handle from its newest checkpoint,
+     including a boundary bit-identity check — a run killed at a stage
+     boundary and resumed (with continuation journaling, so it keeps
+     paying the same per-boundary charge) must reproduce the
+     uninterrupted journaled run's report exactly;
+
+   - the headline: with a crash injected at the hottest arrival rate
+     of the --sched sweep, a recovery-enabled serve must miss strictly
+     fewer admitted deadlines than a recovery-disabled one that can
+     only restart the whole batch after the downtime. The assertion is
+     enforced here (nonzero exit), not just recorded, and CI gates on
+     the JSON. *)
+
+module Taqp = Taqp_core.Taqp
+module Config = Taqp_core.Config
+module Report = Taqp_core.Report
+module Aggregate = Taqp_core.Aggregate
+module Executor = Taqp_core.Executor
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Cost_params = Taqp_storage.Cost_params
+module Paper_setup = Taqp_workload.Paper_setup
+module Generator = Taqp_workload.Generator
+module Prng = Taqp_rng.Prng
+module Json = Taqp_obs.Json
+module Metrics = Taqp_obs.Metrics
+module Fault_plan = Taqp_fault.Fault_plan
+module Injector = Taqp_fault.Injector
+module Scheduler = Taqp_sched.Scheduler
+module Sched_journal = Taqp_sched.Sched_journal
+module Journal = Taqp_recover.Journal
+module Query_journal = Taqp_recover.Query_journal
+module Checkpoint = Taqp_recover.Checkpoint
+
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
+let config = { Config.default with Config.trace = false }
+
+let fingerprint (r : Report.t) =
+  Fmt.str "%.17g|%.17g|%.17g|%.17g|%d|%b" r.Report.estimate r.Report.variance
+    r.Report.confidence.Taqp_stats.Confidence.half_width r.Report.elapsed
+    r.Report.stages_completed r.Report.degraded
+
+let temp_journal tag =
+  Filename.temp_file ("taqp_bench_" ^ tag) ".jrn"
+
+(* ------------------------------------------------------------------ *)
+(* Solo query: journaled loop, abandonable after [stop_after] stages.  *)
+
+let journaled_loop ?metrics ?(stop_after = max_int) ~path ~wl ~quota ~seed ()
+    =
+  let params = Cost_params.default in
+  let rng = Prng.create seed in
+  let clock = Clock.create_virtual () in
+  let device =
+    Device.create ~params ~jitter_rng:(Prng.split rng) ?metrics clock
+  in
+  let catalog = wl.Paper_setup.catalog and expr = wl.Paper_setup.query in
+  let h =
+    Executor.start ~config ~aggregate:Aggregate.Count ~device ~catalog ~rng
+      ~quota expr
+  in
+  let journal =
+    Query_journal.create ~path ~device
+      {
+        Checkpoint.m_query = expr;
+        m_aggregate = Aggregate.Count;
+        m_config = config;
+        m_quota = quota;
+        m_seed = seed;
+        m_params = params;
+        m_fault_plan = Fault_plan.none;
+        m_fault_seed = seed;
+      }
+  in
+  Query_journal.checkpoint journal h;
+  let rec loop n =
+    if n >= stop_after then `Abandoned
+    else
+      match Executor.step h with
+      | `Continue ->
+          Query_journal.checkpoint journal h;
+          loop (n + 1)
+      | `Done r -> `Done r
+  in
+  let out = loop 0 in
+  Query_journal.close journal;
+  out
+
+let resume_loop ?continue_to ~catalog loaded =
+  match Query_journal.resume_last ~catalog loaded with
+  | Error m -> failwith m
+  | Ok (device, h) ->
+      let continuation =
+        Option.map
+          (fun path ->
+            Query_journal.create ~path ~device loaded.Query_journal.l_meta)
+          continue_to
+      in
+      let rec loop () =
+        match Executor.step h with
+        | `Continue ->
+            Option.iter (fun j -> Query_journal.checkpoint j h) continuation;
+            loop ()
+        | `Done r -> r
+      in
+      let r = loop () in
+      Option.iter Query_journal.close continuation;
+      r
+
+let solo_cell () =
+  let wl = Paper_setup.join ~spec ~seed:302 () in
+  let quota = 3.0 and seed = 11 in
+  let plain =
+    Taqp.count_within ~config ~seed wl.Paper_setup.catalog ~quota
+      wl.Paper_setup.query
+  in
+  let registry = Metrics.create () in
+  let path = temp_journal "solo" in
+  let journaled =
+    match
+      journaled_loop ~metrics:registry ~path ~wl ~quota ~seed ()
+    with
+    | `Done r -> r
+    | `Abandoned -> assert false
+  in
+  let checkpoints =
+    Metrics.Counter.value (Metrics.counter registry "recover.checkpoints")
+  in
+  let bytes =
+    Metrics.Counter.value
+      (Metrics.counter registry "recover.checkpoint_bytes")
+  in
+  let journal_cost =
+    float_of_int bytes *. Cost_params.default.Cost_params.journal_byte_write
+  in
+  let overhead_pct = 100.0 *. journal_cost /. plain.Report.elapsed in
+  (* Kill the run at a stage boundary, resume, and require the exact
+     uninterrupted report back. *)
+  let crash_path = temp_journal "crash" in
+  (match journaled_loop ~path:crash_path ~wl ~quota ~seed ~stop_after:1 () with
+  | `Abandoned -> ()
+  | `Done _ -> failwith "bench --recover: run finished before the kill point");
+  let t0 = Unix.gettimeofday () in
+  let loaded =
+    match Query_journal.load crash_path with
+    | Ok l -> l
+    | Error m -> failwith m
+  in
+  let cont_path = temp_journal "cont" in
+  let resumed =
+    resume_loop ~continue_to:cont_path ~catalog:wl.Paper_setup.catalog loaded
+  in
+  let latency = Unix.gettimeofday () -. t0 in
+  let identical = fingerprint resumed = fingerprint journaled in
+  List.iter Sys.remove [ path; crash_path; cont_path ];
+  ( Json.Obj
+      [
+        ("workload", Json.Str "join");
+        ("quota", Json.Num quota);
+        ("checkpoints", Json.Num (float_of_int checkpoints));
+        ("checkpoint_bytes", Json.Num (float_of_int bytes));
+        ("checkpoint_overhead_pct", Json.Num overhead_pct);
+        ("recovery_latency_s", Json.Num latency);
+        ("boundary_bit_identical", Json.Bool identical);
+        ("journal_torn", Json.Bool (loaded.Query_journal.l_torn <> None));
+      ],
+    identical,
+    overhead_pct,
+    latency )
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: crash at the hottest --sched arrival rate.               *)
+
+let sched_cell () =
+  let mean_gap = 2.0 and n = 40 and downtime = 2.0 in
+  let jobs = List.map snd (Scheduling.make_jobs ~n ~mean_gap ~seed:777) in
+  (* A clean journaled run first, to place the crash mid-makespan. *)
+  let base_path = temp_journal "sched_base" in
+  let bw = Journal.create base_path in
+  let base = Scheduler.run ~journal:bw jobs in
+  Journal.close bw;
+  let crash_target = 0.5 *. base.Scheduler.summary.Scheduler.makespan in
+  (* The crashed run: a deterministic kill on the shared device. *)
+  let crash_path = temp_journal "sched_crash" in
+  let cw = Journal.create crash_path in
+  let faults =
+    Injector.create ~seed:9 (Fault_plan.make [ Fault_plan.crash_at crash_target ])
+  in
+  (match Scheduler.run ~journal:cw ~faults jobs with
+  | _ -> failwith "bench --recover: the crash fault never fired"
+  | exception Injector.Crashed _ -> ());
+  Journal.close cw;
+  let { Sched_journal.records; torn } =
+    match Sched_journal.load crash_path with
+    | Ok l -> l
+    | Error m -> failwith m
+  in
+  let crash_time =
+    List.fold_left (fun a r -> Float.max a (Sched_journal.now_of r)) 0.0 records
+  in
+  (* Recovery-enabled: journaled completions kept, the rest re-run. *)
+  let recovery = Scheduler.recover ~downtime ~records jobs in
+  let recovered_missed = recovery.Scheduler.r_summary.Scheduler.missed in
+  (* Recovery-disabled: all the operator can do is restart the whole
+     batch once the outage ends — pre-crash completions are lost and
+     every deadline the outage overran expires at dispatch. *)
+  let norec = Scheduler.run ~start_at:(crash_time +. downtime) jobs in
+  let no_recovery_missed = norec.Scheduler.summary.Scheduler.missed in
+  let miss_rate m = float_of_int m /. float_of_int n in
+  List.iter Sys.remove [ base_path; crash_path ];
+  ( Json.Obj
+      [
+        ("mean_gap", Json.Num mean_gap);
+        ("jobs", Json.Num (float_of_int n));
+        ("crash_time", Json.Num crash_time);
+        ("downtime", Json.Num downtime);
+        ("baseline_missed", Json.Num (float_of_int base.Scheduler.summary.Scheduler.missed));
+        ("recovered_missed", Json.Num (float_of_int recovered_missed));
+        ("no_recovery_missed", Json.Num (float_of_int no_recovery_missed));
+        ("recovered_miss_rate", Json.Num (miss_rate recovered_missed));
+        ("no_recovery_miss_rate", Json.Num (miss_rate no_recovery_missed));
+        ( "journaled_done",
+          Json.Num (float_of_int (List.length recovery.Scheduler.r_journaled))
+        );
+        ( "rerun_jobs",
+          Json.Num
+            (float_of_int
+               (List.length
+                  recovery.Scheduler.r_run.Scheduler.reports)) );
+        ("journal_torn", Json.Bool (torn <> None));
+      ],
+    recovered_missed,
+    no_recovery_missed )
+
+let write ?(path = "BENCH_recover.json") () =
+  Fmt.pr "@.=== Crash recovery: journaled checkpoints vs restart ===@.";
+  let solo_json, identical, overhead_pct, latency = solo_cell () in
+  let sched_json, recovered_missed, no_recovery_missed = sched_cell () in
+  let headline_ok = recovered_missed < no_recovery_missed in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-recover/1");
+        ("solo", solo_json);
+        ("sched", sched_json);
+        ("headline_ok", Json.Bool headline_ok);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr
+    "checkpoint overhead %.2f%% of solo elapsed; recovery latency %.1f ms; \
+     boundary resume %s@."
+    overhead_pct (1000.0 *. latency)
+    (if identical then "bit-identical" else "MISMATCH");
+  Fmt.pr
+    "crash at hottest sched rate: %d missed with recovery vs %d without — \
+     %s@."
+    recovered_missed no_recovery_missed
+    (if headline_ok then "headline holds" else "HEADLINE VIOLATED");
+  Fmt.pr "wrote %s@." path;
+  if not (identical && headline_ok) then exit 1

@@ -21,6 +21,10 @@ module Paper_setup = Taqp_workload.Paper_setup
 module Sink = Taqp_obs.Sink
 module Metrics = Taqp_obs.Metrics
 module Fault_plan = Taqp_fault.Fault_plan
+module Executor = Taqp_core.Executor
+module Query_journal = Taqp_recover.Query_journal
+module Checkpoint = Taqp_recover.Checkpoint
+module Sched_journal = Taqp_sched.Sched_journal
 
 let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
 
@@ -52,6 +56,74 @@ let parse_query q =
   | e -> Ok e
   | exception Taqp_relational.Parser.Parse_error { position; message } ->
       Error (Fmt.str "parse error at offset %d: %s" position message)
+
+(* The journaled twin of [Taqp.aggregate_within]: the same rng-stream
+   discipline (the sampling stream is split for jitter before anything
+   else draws), but driven through the explicit executor loop so a
+   checkpoint is appended at every stage boundary. The journal-free
+   query path still calls [Taqp.aggregate_within] itself, so runs
+   without --journal are bit-identical to previous releases. *)
+let run_journaled ~config ~seed ?sink ?metrics ~fault_plan ?fault_seed
+    ~aggregate ~catalog ~quota ~path expr =
+  let params = Taqp_storage.Cost_params.default in
+  let rng = Taqp_rng.Prng.create seed in
+  let clock = Taqp_storage.Clock.create_virtual () in
+  let tracer =
+    Option.map
+      (fun sink ->
+        Taqp_obs.Tracer.make
+          ~now:(fun () -> Taqp_storage.Clock.now clock)
+          ~sink)
+      sink
+  in
+  let fault_seed = Option.value fault_seed ~default:seed in
+  let faults =
+    match fault_plan with
+    | None -> None
+    | Some plan when Fault_plan.is_none plan -> None
+    | Some plan -> Some (Taqp_fault.Injector.create ~seed:fault_seed plan)
+  in
+  let device =
+    Taqp_storage.Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng)
+      ?metrics ?tracer ?faults clock
+  in
+  let journal =
+    Query_journal.create ~path ~device
+      {
+        Checkpoint.m_query = expr;
+        m_aggregate = aggregate;
+        m_config = config;
+        m_quota = quota;
+        m_seed = seed;
+        m_params = params;
+        m_fault_plan = Option.value fault_plan ~default:Fault_plan.none;
+        m_fault_seed = fault_seed;
+      }
+  in
+  match
+    let h =
+      Executor.start ~config ~aggregate ~device ~catalog ~rng ~quota expr
+    in
+    Query_journal.checkpoint journal h;
+    let rec loop () =
+      match Executor.step h with
+      | `Continue ->
+          Query_journal.checkpoint journal h;
+          loop ()
+      | `Done r -> r
+    in
+    loop ()
+  with
+  | report ->
+      Query_journal.close journal;
+      Option.iter Taqp_obs.Tracer.close tracer;
+      report
+  | exception e ->
+      (* A [Crashed] fault is a simulated kill: every journal record is
+         already flushed, exactly as a real crash would leave the file.
+         Only the descriptor needs closing before the caller reports. *)
+      (try Query_journal.close journal with _ -> ());
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -246,8 +318,20 @@ let query_cmd =
              $(b,--seed)). Changing it re-rolls the faults without changing \
              which tuples are sampled.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write a crash-safe stage journal to $(docv): one checkpoint \
+             per stage boundary, each write charged to the virtual clock. \
+             A killed run is resumed with $(b,taqp resume); see \
+             docs/RECOVERY.md.")
+  in
   let run dir query quota aggregate d_beta strategy physical observe trace
-      trace_out trace_format metrics groups error_bound faults fault_seed seed =
+      trace_out trace_format metrics groups error_bound faults fault_seed
+      journal seed =
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
@@ -323,8 +407,14 @@ let query_cmd =
             let registry = if metrics then Some (Metrics.create ()) else None in
             let close_file () = Option.iter close_out !out_channel in
             match
-              Taqp.aggregate_within ~config ~seed ?sink ?metrics:registry
-                ?faults ?fault_seed ~aggregate catalog ~quota expr
+              match journal with
+              | None ->
+                  Taqp.aggregate_within ~config ~seed ?sink ?metrics:registry
+                    ?faults ?fault_seed ~aggregate catalog ~quota expr
+              | Some path ->
+                  run_journaled ~config ~seed ?sink ?metrics:registry
+                    ~fault_plan:faults ?fault_seed ~aggregate ~catalog ~quota
+                    ~path expr
             with
             | report ->
                 close_file ();
@@ -346,7 +436,18 @@ let query_cmd =
                 fail "%s" m
             | exception Taqp_relational.Ra.Type_error m ->
                 close_file ();
-                fail "type error: %s" m)))
+                fail "type error: %s" m
+            | exception Taqp_fault.Injector.Crashed { op; at } ->
+                close_file ();
+                let hint =
+                  match journal with
+                  | Some p ->
+                      Fmt.str " — resume with: taqp resume --dir %s --journal %s"
+                        dir p
+                  | None -> ""
+                in
+                fail "crash fault killed the run during %s at t=%.3f%s" op at
+                  hint)))
   in
   let term =
     Term.(
@@ -354,11 +455,183 @@ let query_cmd =
         (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
        $ d_beta_arg $ strategy_arg $ physical_arg $ observe_arg $ trace_arg
        $ trace_out_arg $ trace_format_arg $ metrics_arg $ groups_arg
-       $ error_bound_arg $ faults_arg $ fault_seed_arg $ seed_arg))
+       $ error_bound_arg $ faults_arg $ fault_seed_arg $ journal_arg
+       $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Estimate an aggregate within a time quota (simulated device).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+
+let resume_cmd =
+  let journal_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Stage journal written by $(b,taqp query --journal).")
+  in
+  let downtime_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "downtime" ] ~docv:"SECONDS"
+          ~doc:
+            "Virtual seconds lost between the last checkpoint and the \
+             restart. 0 resumes boundary-exact — bit-identical to the \
+             uninterrupted run; anything larger burns quota against the \
+             original absolute deadline and forces a degraded, widened \
+             report.")
+  in
+  let continue_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "continue" ] ~docv:"FILE"
+          ~doc:
+            "Keep checkpointing the resumed run into a fresh continuation \
+             journal (same per-boundary clock charge as the original run, \
+             so a journaled-and-resumed run stays bit-identical to a \
+             journaled uninterrupted one). The first post-resume boundary \
+             opens the new journal's coverage; a crash before it is still \
+             recoverable from the original journal.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "t"; "trace" ] ~doc:"Print an end-of-run trace summary.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the resumed run's event trace to $(docv) — the exact \
+             continuation of the crashed run's stream.")
+  in
+  let trace_format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:"Trace file format: $(b,jsonl) or $(b,chrome).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry (recover.* counters included).")
+  in
+  let run dir journal continue_to downtime trace trace_out trace_format metrics
+      =
+    if downtime < 0.0 then fail "--downtime must be >= 0"
+    else if continue_to = Some journal then
+      fail "--continue cannot overwrite the journal being recovered"
+    else
+      match Query_journal.load journal with
+      | Error m -> fail "%s" m
+      | Ok loaded -> (
+          let catalog = load_catalog dir in
+          let out_channel = ref None in
+          match
+            Option.map
+              (fun file -> try Ok (open_out file) with Sys_error m -> Error m)
+              trace_out
+          with
+          | Some (Error m) -> fail "cannot open trace file: %s" m
+          | opened ->
+              let file_sink =
+                match opened with
+                | None -> []
+                | Some (Ok oc) ->
+                    out_channel := Some oc;
+                    [
+                      (match trace_format with
+                      | `Jsonl -> Sink.jsonl (Sink.to_channel oc)
+                      | `Chrome -> Sink.chrome (Sink.to_channel oc));
+                    ]
+                | Some (Error _) -> assert false
+              in
+              let summary_sink =
+                if trace then [ Sink.summary Fmt.stdout ] else []
+              in
+              let sink =
+                match file_sink @ summary_sink with
+                | [] -> None
+                | [ s ] -> Some s
+                | sinks -> Some (Sink.tee sinks)
+              in
+              let registry =
+                if metrics then Some (Metrics.create ()) else None
+              in
+              let close_file () = Option.iter close_out !out_channel in
+              let now =
+                if downtime = 0.0 then None
+                else
+                  match List.rev loaded.Query_journal.l_checkpoints with
+                  | [] -> None
+                  | last :: _ -> Some (last.Checkpoint.c_at +. downtime)
+              in
+              Option.iter
+                (fun t -> Fmt.epr "note: journal %s (tail discarded)@." t)
+                loaded.Query_journal.l_torn;
+              match
+                Query_journal.resume_last ?sink ?metrics:registry ?now ~catalog
+                  loaded
+              with
+              | Error m ->
+                  close_file ();
+                  fail "%s" m
+              | Ok (device, h) -> (
+                  let continuation =
+                    Option.map
+                      (fun path ->
+                        Query_journal.create ~path ~device
+                          loaded.Query_journal.l_meta)
+                      continue_to
+                  in
+                  let close_continuation () =
+                    Option.iter Query_journal.close continuation
+                  in
+                  match
+                    let rec loop () =
+                      match Executor.step h with
+                      | `Continue ->
+                          Option.iter
+                            (fun j -> Query_journal.checkpoint j h)
+                            continuation;
+                          loop ()
+                      | `Done r -> r
+                    in
+                    loop ()
+                  with
+                  | report ->
+                      close_continuation ();
+                      Taqp_obs.Tracer.close (Taqp_storage.Device.tracer device);
+                      close_file ();
+                      Fmt.pr "%a@." Report.pp report;
+                      Option.iter (fun m -> Fmt.pr "%a@." Metrics.pp m) registry;
+                      `Ok ()
+                  | exception Taqp_relational.Ra.Type_error m ->
+                      close_continuation ();
+                      close_file ();
+                      fail "type error: %s" m))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dir_arg $ journal_arg $ continue_arg $ downtime_arg
+       $ trace_arg $ trace_out_arg $ trace_format_arg $ metrics_arg))
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Resume a killed time-constrained query from its stage journal: \
+          re-armed at the original absolute deadline, the downtime lost, \
+          nothing replayed.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -518,8 +791,39 @@ let serve_cmd =
       & info [ "fault-seed" ] ~docv:"N"
           ~doc:"Seed of the fault injector's random stream.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal every admission decision, step and \
+             terminal accounting line to $(docv), each write charged to \
+             the shared clock. A killed serve is recovered with \
+             $(b,--recover); see docs/RECOVERY.md.")
+  in
+  let recover_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "recover" ] ~docv:"FILE"
+          ~doc:
+            "Recover a killed serve from its journal: jobs whose terminal \
+             record survived are reported from the journal, every other \
+             job is re-run with whatever slack its absolute deadline still \
+             leaves after $(b,--downtime). Run against the same job file.")
+  in
+  let downtime_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "downtime" ] ~docv:"SECONDS"
+          ~doc:
+            "With $(b,--recover): virtual seconds between the crash and \
+             the restart. Deadlines that passed during the outage expire \
+             at dispatch instead of wasting budget.")
+  in
   let run dir jobs_file policy admission max_queue headroom metrics faults
-      fault_seed =
+      fault_seed journal recover downtime =
     match
       match faults with
       | None -> Ok None
@@ -536,6 +840,10 @@ let serve_cmd =
         with
         | Error m -> fail "%s" m
         | Ok admission -> (
+            if downtime < 0.0 then fail "--downtime must be >= 0"
+            else if journal <> None && journal = recover then
+              fail "--journal and --recover cannot name the same file"
+            else
             let catalog = load_catalog dir in
             let lines =
               In_channel.with_open_text jobs_file In_channel.input_lines
@@ -543,7 +851,7 @@ let serve_cmd =
             match Taqp_sched.Job.of_lines ~catalog lines with
             | Error m -> fail "%s: %s" jobs_file m
             | Ok [] -> fail "%s: no jobs" jobs_file
-            | Ok jobs ->
+            | Ok jobs -> (
                 let registry =
                   if metrics then Some (Metrics.create ()) else None
                 in
@@ -553,52 +861,128 @@ let serve_cmd =
                       Taqp_fault.Injector.create ~seed:fault_seed plan)
                     fault_plan
                 in
-                match
-                  Taqp_sched.Scheduler.run ~policy ?admission
-                    ?metrics:registry ?faults jobs
-                with
-                | exception Taqp_relational.Ra.Type_error m ->
-                    fail "type error: %s" m
-                | exception Staged.Compile_error m -> fail "%s" m
-                | result ->
-                (* One self-contained JSON line per job, then the
-                   workload summary — stdout is a JSONL stream a
-                   pipeline can consume. *)
-                List.iter
-                  (fun r ->
-                    print_endline
-                      (Taqp_obs.Json.to_string
-                         (Taqp_sched.Scheduler.job_report_json r)))
-                  result.Taqp_sched.Scheduler.reports;
-                print_endline
-                  (Taqp_obs.Json.to_string
-                     (Taqp_obs.Json.Obj
-                        [
-                          ( "summary",
-                            Taqp_sched.Scheduler.summary_json
-                              result.Taqp_sched.Scheduler.summary );
-                        ]));
-                Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary
-                  result.Taqp_sched.Scheduler.summary;
-                Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
-                (* Nonzero exit iff an admitted job missed its hard
-                   deadline — rejected jobs were refused up front and
-                   do not fail the batch. *)
-                if
-                  List.exists
-                    (fun (r : Taqp_sched.Scheduler.job_report) ->
-                      r.Taqp_sched.Scheduler.admitted
-                      && r.Taqp_sched.Scheduler.missed)
-                    result.Taqp_sched.Scheduler.reports
-                then exit 1
-                else `Ok ()))
+                match Option.map Taqp_recover.Journal.create journal with
+                | exception Sys_error m -> fail "cannot open journal: %s" m
+                | jwriter -> (
+                let close_journal () =
+                  Option.iter Taqp_recover.Journal.close jwriter
+                in
+                let print_result reports summary journaled =
+                  (* One self-contained JSON line per job — journaled
+                     terminal lines first, then the re-run (or only
+                     run) — and the workload summary: stdout is a
+                     JSONL stream a pipeline can consume. *)
+                  List.iter
+                    (fun d ->
+                      print_endline
+                        (Taqp_obs.Json.to_string
+                           (Taqp_sched.Scheduler.done_record_json d)))
+                    journaled;
+                  List.iter
+                    (fun r ->
+                      print_endline
+                        (Taqp_obs.Json.to_string
+                           (Taqp_sched.Scheduler.job_report_json r)))
+                    reports;
+                  print_endline
+                    (Taqp_obs.Json.to_string
+                       (Taqp_obs.Json.Obj
+                          [
+                            ( "summary",
+                              Taqp_sched.Scheduler.summary_json summary );
+                          ]));
+                  Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary summary;
+                  Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
+                  (* Nonzero exit iff an admitted job missed its hard
+                     deadline — rejected jobs were refused up front and
+                     do not fail the batch. *)
+                  if
+                    List.exists
+                      (fun (d : Sched_journal.done_record) ->
+                        d.Sched_journal.d_admitted && d.Sched_journal.d_missed)
+                      journaled
+                    || List.exists
+                         (fun (r : Taqp_sched.Scheduler.job_report) ->
+                           r.Taqp_sched.Scheduler.admitted
+                           && r.Taqp_sched.Scheduler.missed)
+                         reports
+                  then exit 1
+                  else `Ok ()
+                in
+                match recover with
+                | None -> (
+                    match
+                      Taqp_sched.Scheduler.run ~policy ?admission
+                        ?metrics:registry ?faults ?journal:jwriter jobs
+                    with
+                    | exception Taqp_relational.Ra.Type_error m ->
+                        close_journal ();
+                        fail "type error: %s" m
+                    | exception Staged.Compile_error m ->
+                        close_journal ();
+                        fail "%s" m
+                    | exception Taqp_fault.Injector.Crashed { op; at } ->
+                        close_journal ();
+                        let hint =
+                          match journal with
+                          | Some p ->
+                              Fmt.str
+                                " — recover with: taqp serve --dir %s --jobs \
+                                 %s --recover %s"
+                                dir jobs_file p
+                          | None -> ""
+                        in
+                        fail
+                          "crash fault killed the workload during %s at \
+                           t=%.3f%s"
+                          op at hint
+                    | result ->
+                        close_journal ();
+                        print_result result.Taqp_sched.Scheduler.reports
+                          result.Taqp_sched.Scheduler.summary [])
+                | Some rpath -> (
+                    match Sched_journal.load rpath with
+                    | Error m ->
+                        close_journal ();
+                        fail "%s" m
+                    | Ok { Sched_journal.records = []; _ } ->
+                        close_journal ();
+                        fail "%s: journal is empty" rpath
+                    | Ok { Sched_journal.records; torn } -> (
+                        Option.iter
+                          (fun t ->
+                            Fmt.epr "note: journal %s (tail discarded)@." t)
+                          torn;
+                        (* A recovered serve never re-creates its own
+                           killer: pending Crash rules are disabled,
+                           everything else keeps firing. *)
+                        Option.iter Taqp_fault.Injector.disable_crashes
+                          faults;
+                        match
+                          Taqp_sched.Scheduler.recover ~policy ?admission
+                            ?metrics:registry ?faults ?journal:jwriter
+                            ~downtime ~records jobs
+                        with
+                        | exception Taqp_relational.Ra.Type_error m ->
+                            close_journal ();
+                            fail "type error: %s" m
+                        | exception Staged.Compile_error m ->
+                            close_journal ();
+                            fail "%s" m
+                        | recovery ->
+                            close_journal ();
+                            print_result
+                              recovery.Taqp_sched.Scheduler.r_run
+                                .Taqp_sched.Scheduler.reports
+                              recovery.Taqp_sched.Scheduler.r_summary
+                              recovery.Taqp_sched.Scheduler.r_journaled))))))
   in
   let term =
     Term.(
       ret
         (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
        $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
-       $ fault_seed_arg))
+       $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -615,4 +999,5 @@ let () =
   let info = Cmd.info "taqp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ gen_cmd; query_cmd; exact_cmd; explain_cmd; serve_cmd ]))
+       (Cmd.group info
+          [ gen_cmd; query_cmd; resume_cmd; exact_cmd; explain_cmd; serve_cmd ]))

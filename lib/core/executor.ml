@@ -114,7 +114,8 @@ let determine_fraction staged cost_model device ~strategy ~budget ~eps
   outcome
 
 let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
-    ~faults_before ~fault_time_before ~outcome ~(config : Config.t) =
+    ~faults_before ~fault_time_before ~forced_degraded ~outcome
+    ~(config : Config.t) =
   let elapsed = Clock.now clock -. start in
   let estimate =
     match (state.last_good, Staged.current_estimate staged) with
@@ -135,6 +136,8 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
   let utilization = if quota > 0.0 then state.useful_time /. quota else 0.0 in
   let io = Io_stats.diff (Io_stats.copy (Device.stats device)) io_before in
   let degraded =
+    forced_degraded
+    ||
     match outcome with
     | Report.Aborted_mid_stage | Report.Faulted -> true
     | Report.Finished | Report.Quota_exhausted | Report.Overspent
@@ -149,9 +152,8 @@ let finalize ~staged ~state ~quota ~start ~clock ~io_before ~device
          interval understates the real uncertainty: widen it by how
          much of the quota the run could not turn into useful stages
          (bounded at 2x — see docs/ROBUSTNESS.md). *)
-      let unused = Float.max 0.0 (quota -. state.useful_time) in
       let factor =
-        if quota > 0.0 then 1.0 +. Float.min 1.0 (unused /. quota) else 2.0
+        Report.widening_factor ~quota ~useful_time:state.useful_time
       in
       { base with Taqp_stats.Confidence.half_width = base.half_width *. factor }
     end
@@ -204,6 +206,8 @@ type handle = {
   clock : Clock.t;
   tracer : Tracer.t;
   config : Config.t;
+  expr : Taqp_relational.Ra.t;  (** the compiled query, kept for {!snapshot} *)
+  aggregate : Aggregate.t;
   quota : float;
   start : float;  (** clock reading when the handle was created *)
   deadline_at : float;  (** absolute: [start +. quota] *)
@@ -215,6 +219,10 @@ type handle = {
   stage_predicted_h : Metrics.Histogram.t;
   stage_actual_h : Metrics.Histogram.t;
   overspend_h : Metrics.Histogram.t;
+  mutable forced_degraded : bool;
+      (** set on a dirty resume (crash landed mid-stage): the report
+          must carry [degraded] whatever its outcome, because quota was
+          burned without a checkpoint to show for it *)
   mutable result : Report.t option;
 }
 
@@ -252,6 +260,8 @@ let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
     clock;
     tracer;
     config;
+    expr;
+    aggregate;
     quota;
     start;
     deadline_at = start +. quota;
@@ -273,6 +283,7 @@ let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
     stage_predicted_h;
     stage_actual_h;
     overspend_h;
+    forced_degraded = false;
     result = None;
   }
 
@@ -315,7 +326,7 @@ let finish_with h outcome =
     finalize ~staged:h.staged ~state:h.state ~quota:h.quota ~start:h.start
       ~clock:h.clock ~io_before:h.io_before ~device:h.device
       ~faults_before:h.faults_before ~fault_time_before:h.fault_time_before
-      ~outcome ~config:h.config
+      ~forced_degraded:h.forced_degraded ~outcome ~config:h.config
   in
   Metrics.Histogram.observe h.overspend_h report.Report.overspend;
   if Tracer.enabled h.tracer then begin
@@ -551,3 +562,127 @@ let finish h =
   match h.result with
   | Some r -> r
   | None -> finish_with h Report.Quota_exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                        *)
+
+type snapshot = {
+  snap_query : Taqp_relational.Ra.t;
+  snap_aggregate : Aggregate.t;
+  snap_config : Config.t;
+  snap_quota : float;
+  snap_start : float;
+  snap_staged : Staged.snapshot;
+  snap_cost_model : Cost_model.dump;
+  snap_useful_time : float;
+  snap_stages_attempted : int;
+  snap_stages_completed : int;
+  snap_trace_rev : Report.stage list;
+  snap_recent_estimates : float list;
+  snap_last_good : Count_estimator.t option;
+  snap_useful_blocks : int;
+  snap_residuals : Taqp_stats.Summary.dump;
+  snap_io_before : int list;
+  snap_faults_before : int;
+  snap_fault_time_before : float;
+  snap_forced_degraded : bool;
+}
+
+let snapshot h =
+  if h.result <> None then
+    invalid_arg "Executor.snapshot: handle already finalized";
+  {
+    snap_query = h.expr;
+    snap_aggregate = h.aggregate;
+    snap_config = h.config;
+    snap_quota = h.quota;
+    snap_start = h.start;
+    snap_staged = Staged.snapshot h.staged;
+    snap_cost_model = Cost_model.dump h.cost_model;
+    snap_useful_time = h.state.useful_time;
+    snap_stages_attempted = h.state.stages_attempted;
+    snap_stages_completed = h.state.stages_completed;
+    snap_trace_rev = h.state.trace_rev;
+    snap_recent_estimates = h.state.recent_estimates;
+    snap_last_good = h.state.last_good;
+    snap_useful_blocks = h.state.useful_blocks;
+    snap_residuals = Taqp_stats.Summary.dump h.state.residuals;
+    snap_io_before = Io_stats.values h.io_before;
+    snap_faults_before = h.faults_before;
+    snap_fault_time_before = h.fault_time_before;
+    snap_forced_degraded = h.forced_degraded;
+  }
+
+let resume ~device ~catalog ?selectivity_oracle ?(dirty = false) snap =
+  let config =
+    match selectivity_oracle with
+    | None -> snap.snap_config
+    | Some _ -> { snap.snap_config with Config.selectivity_oracle }
+  in
+  let cost_model =
+    Cost_model.create ~adaptive:config.Config.adaptive_cost
+      ~initial_scale:config.Config.initial_cost_scale ()
+  in
+  (* The compile-time rng only seeds fresh per-scan sample streams, and
+     [Staged.restore] overwrites every stream position from the
+     snapshot, so a dummy generator is fine: nothing it produced
+     survives the restore. *)
+  let rng = Taqp_rng.Prng.create 0 in
+  let staged =
+    Staged.compile ~aggregate:snap.snap_aggregate ~catalog ~config ~rng
+      ~cost_model snap.snap_query
+  in
+  Staged.restore staged snap.snap_staged;
+  Cost_model.restore cost_model snap.snap_cost_model;
+  let clock = Device.clock device in
+  let tracer = Device.tracer device in
+  let metrics = Device.metrics device in
+  let stage_predicted_h = Metrics.histogram metrics "stage.predicted_cost" in
+  let stage_actual_h = Metrics.histogram metrics "stage.actual_cost" in
+  let overspend_h = Metrics.histogram metrics "query.overspend" in
+  let io_before = Io_stats.create () in
+  Io_stats.restore io_before snap.snap_io_before;
+  let residuals = Taqp_stats.Summary.create () in
+  Taqp_stats.Summary.restore residuals snap.snap_residuals;
+  let deadline_mode = Stopping.deadline_mode config.Config.stopping in
+  let deadline_at = snap.snap_start +. snap.snap_quota in
+  (* Re-arm the ORIGINAL absolute deadline, silently: no
+     [deadline.armed] instant and no fresh query span, so the resumed
+     trace stream continues exactly where the crashed one stopped.
+     Any gap between the checkpoint and the device clock's current
+     reading (crash downtime, mid-stage progress that was lost) is
+     quota already burned — the deadline does not move. *)
+  Clock.restore_deadline clock ~mode:deadline_mode ~at:deadline_at;
+  {
+    staged;
+    cost_model;
+    device;
+    clock;
+    tracer;
+    config;
+    expr = snap.snap_query;
+    aggregate = snap.snap_aggregate;
+    quota = snap.snap_quota;
+    start = snap.snap_start;
+    deadline_at;
+    deadline_mode;
+    io_before;
+    faults_before = snap.snap_faults_before;
+    fault_time_before = snap.snap_fault_time_before;
+    state =
+      {
+        useful_time = snap.snap_useful_time;
+        stages_attempted = snap.snap_stages_attempted;
+        stages_completed = snap.snap_stages_completed;
+        trace_rev = snap.snap_trace_rev;
+        recent_estimates = snap.snap_recent_estimates;
+        last_good = snap.snap_last_good;
+        useful_blocks = snap.snap_useful_blocks;
+        residuals;
+      };
+    stage_predicted_h;
+    stage_actual_h;
+    overspend_h;
+    forced_degraded = dirty || snap.snap_forced_degraded;
+    result = None;
+  }

@@ -110,3 +110,69 @@ val run :
     @raise Staged.Compile_error / @raise Ra.Type_error /
     @raise Taqp_estimators.Inclusion_exclusion.Unsupported from
     compilation. *)
+
+(** {2 Checkpointing}
+
+    A handle {!snapshot} is the complete plain-data state of a live
+    evaluation at a stage boundary: the query itself, its config,
+    quota and start instant, the compiled query's evolved state
+    ({!Staged.snapshot}), the adaptive cost-model fits, and the step
+    loop's bookkeeping. It deliberately excludes the device — device
+    state (IO counters, jitter/fault stream positions, clock) is
+    checkpointed separately by {!Taqp_storage.Device.dump}, because a
+    resumed handle may be given a freshly rebuilt device. Used by
+    [taqp_recover] to journal and resume crashed queries; see
+    docs/RECOVERY.md. *)
+
+type snapshot = {
+  snap_query : Ra.t;
+  snap_aggregate : Aggregate.t;
+  snap_config : Config.t;
+  snap_quota : float;
+  snap_start : float;  (** absolute clock reading at the original {!start} *)
+  snap_staged : Staged.snapshot;
+  snap_cost_model : Taqp_timecost.Cost_model.dump;
+  snap_useful_time : float;
+  snap_stages_attempted : int;
+  snap_stages_completed : int;
+  snap_trace_rev : Report.stage list;  (** newest first *)
+  snap_recent_estimates : float list;
+  snap_last_good : Taqp_estimators.Count_estimator.t option;
+  snap_useful_blocks : int;
+  snap_residuals : Taqp_stats.Summary.dump;
+  snap_io_before : int list;  (** {!Io_stats.values} at {!start} *)
+  snap_faults_before : int;
+  snap_fault_time_before : float;
+  snap_forced_degraded : bool;
+}
+
+val snapshot : handle -> snapshot
+(** Capture the handle at the current stage boundary. Call it right
+    after a [`Continue] step (or before the first one).
+    @raise Invalid_argument once the handle has finalized. *)
+
+val resume :
+  device:Device.t ->
+  catalog:Catalog.t ->
+  ?selectivity_oracle:(Ra.t -> float) ->
+  ?dirty:bool ->
+  snapshot ->
+  handle
+(** Rebuild a live handle from a snapshot: recompile the query against
+    [catalog], restore every evolved structure, and {e silently} re-arm
+    the clock at the snapshot's original absolute deadline
+    ([snap_start +. snap_quota]) — no [deadline.armed] instant and no
+    new query span, so a resumed run's trace stream is the exact
+    continuation of the crashed one. The device's clock must already
+    read the resume instant (the crashed run's checkpoint time for a
+    boundary-exact resume, or later when downtime is being charged);
+    nothing is replayed, and downtime is simply quota lost.
+
+    [dirty] marks a resume from a checkpoint older than the crash
+    instant (the crash landed mid-stage): the eventual report is
+    forced [degraded] and its confidence interval widened, since quota
+    was consumed without a checkpoint to show for it.
+
+    [selectivity_oracle] re-injects the config's oracle closure when
+    the snapshot crossed a serialization boundary (closures cannot be
+    journaled). *)

@@ -86,3 +86,15 @@ let pp ppf t =
     in
     Format.fprintf ppf "@ faults=%d (%d recovered) fault_time=%.2fs"
       (List.length t.faults) recovered t.fault_time
+
+(* The degraded-CI widening factor (docs/ROBUSTNESS.md): a degraded
+   answer is the last good estimate, so its sampling interval
+   understates the real uncertainty. Widen by the fraction of the
+   quota the run could not turn into useful stages, bounded at 2x;
+   the degenerate zero-quota case maxes out. Monotone non-increasing
+   in [useful_time], non-decreasing in unused quota, always in [1,2]. *)
+let widening_factor ~quota ~useful_time =
+  if quota > 0.0 then
+    let unused = Float.max 0.0 (quota -. useful_time) in
+    1.0 +. Float.min 1.0 (unused /. quota)
+  else 2.0

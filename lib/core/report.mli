@@ -80,3 +80,11 @@ type t = {
 val outcome_name : outcome -> string
 val pp : Format.formatter -> t -> unit
 val pp_stage : Format.formatter -> stage -> unit
+
+val widening_factor : quota:float -> useful_time:float -> float
+(** The degraded-CI widening factor
+    [1 + min 1 ((quota - useful_time)+ / quota)] (2 for a zero quota):
+    how much a degraded run's half-width is inflated. Always in
+    [1, 2]; 1 exactly when the whole quota became useful stages, 2
+    when none of it did. Exposed pure so its edge cases and
+    monotonicity are directly testable (see test_fault). *)

@@ -115,3 +115,76 @@ val group_estimates : t -> (Taqp_data.Tuple.t * float) list option
     Project): the estimated population count of every group observed in
     the sample, largest first — occupancy scaled by N/points_evaluated.
     [None] for other query shapes or before the first stage. *)
+
+(** {2 Checkpointing}
+
+    A {!snapshot} is the complete run-time-evolved state of the
+    compiled query as plain data: sample-set histories and stream
+    positions, per-operator selectivity records, retained binary
+    deltas (with how far each physical path had processed them),
+    projection group tables, aggregate moments and the per-term block
+    counts. {!restore} writes a snapshot into a {e freshly compiled}
+    instance of the same query (same text, config, aggregate and
+    catalog) — derived structures (sorted files, hash indexes) are
+    rebuilt deterministically from the deltas rather than serialized,
+    and come back bit-identical, so a resumed run draws, evaluates,
+    prices and estimates exactly as the uninterrupted one would have
+    from that stage boundary on. See docs/RECOVERY.md. *)
+
+type scan_snapshot = {
+  sn_relation : string;
+  sn_stage_tuples : int list;  (** tuples per stage, newest first *)
+  sn_drawn_tuples : int;
+  sn_units : Taqp_sampling.Stage_set.dump;
+}
+
+type node_state = {
+  ns_id : int;  (** compile-order id, checked on restore *)
+  ns_cum_out : float;
+  ns_cum_points : float;
+  ns_sel : Taqp_estimators.Selectivity.dump;
+  ns_kind : node_kind_state;
+}
+
+and node_kind_state =
+  | Ns_leaf
+  | Ns_select of node_state
+  | Ns_project of {
+      np_groups : (Taqp_data.Tuple.t * int) list;
+          (** distinct groups with occupancy counts, in reverse
+              table-fold order (re-inserting in list order reproduces
+              the original iteration order) *)
+      np_child : node_state;
+    }
+  | Ns_binary of {
+      nb_left : node_state;
+      nb_right : node_state;
+      nb_deltas_l : Taqp_data.Tuple.t array list;  (** oldest first *)
+      nb_deltas_r : Taqp_data.Tuple.t array list;
+      nb_files_l : int;  (** deltas already sorted into retained files *)
+      nb_files_r : int;
+      nb_hashed_l : int;  (** deltas already in the retained hash index *)
+      nb_hashed_r : int;
+    }
+
+type term_snapshot = {
+  tn_root : node_state;
+  tn_moments : Aggregate.moments;
+  tn_block_counts : float list;  (** newest first *)
+}
+
+type snapshot = {
+  sn_stage : int;
+  sn_last_estimate : Taqp_estimators.Count_estimator.t option;
+  sn_scans : scan_snapshot list;  (** in relation-name order *)
+  sn_terms : term_snapshot list;
+}
+
+val snapshot : t -> snapshot
+(** Capture the current stage boundary. Cheap: shares the retained
+    delta arrays (they are never mutated after creation). *)
+
+val restore : t -> snapshot -> unit
+(** Restore into a freshly compiled instance of the same query.
+    @raise Invalid_argument if [t] has already run a stage or the
+    snapshot's shape does not match the compiled tree. *)

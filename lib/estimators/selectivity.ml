@@ -59,3 +59,24 @@ let variance_srs t ~m_next ~n_remaining =
     *. (sel *. (1.0 -. sel) *. (n_remaining -. m)
        /. (m *. (n_remaining -. 1.0)))
   end
+
+type dump = {
+  d_points : float;
+  d_tuples : float;
+  d_stages : int;
+  d_design_effect : float;
+}
+
+let dump t =
+  {
+    d_points = t.points;
+    d_tuples = t.tuples;
+    d_stages = t.stages;
+    d_design_effect = t.design_effect;
+  }
+
+let restore t d =
+  t.points <- d.d_points;
+  t.tuples <- d.d_tuples;
+  t.stages <- d.d_stages;
+  t.design_effect <- d.d_design_effect

@@ -51,3 +51,19 @@ val variance_srs : t -> m_next:float -> n_remaining:float -> float
     with sel = {!estimate}, m_i = [m_next] sampled points, N_i =
     [n_remaining] points not yet included, scaled by the
     {!design_effect}. 0 when m_next < 1 or n_remaining <= 1. *)
+
+(** {2 Checkpointing}
+
+    The cumulative observations (everything mutable; the designer
+    [initial] is fixed at compile time), captured and restored by
+    {!Taqp_recover} checkpoints. *)
+
+type dump = {
+  d_points : float;
+  d_tuples : float;
+  d_stages : int;
+  d_design_effect : float;
+}
+
+val dump : t -> dump
+val restore : t -> dump -> unit

@@ -3,6 +3,7 @@ type kind =
   | Latency_spike of float
   | Stall of float
   | Torn_block
+  | Crash
 
 type rule = {
   op : string option;
@@ -29,16 +30,18 @@ let kind_name = function
   | Latency_spike _ -> "latency_spike"
   | Stall _ -> "stall"
   | Torn_block -> "torn_block"
+  | Crash -> "crash"
 
 let pp_kind ppf = function
   | Read_error -> Format.pp_print_string ppf "read_error"
   | Latency_spike f -> Format.fprintf ppf "latency_spike(x%g)" f
   | Stall d -> Format.fprintf ppf "stall(%gs)" d
   | Torn_block -> Format.pp_print_string ppf "torn_block"
+  | Crash -> Format.pp_print_string ppf "crash"
 
 let is_read_kind = function
   | Read_error | Torn_block -> true
-  | Latency_spike _ | Stall _ -> false
+  | Latency_spike _ | Stall _ | Crash -> false
 
 let rule ?op ?(after = 0.0) ?(until = infinity) ?(max_faults = max_int)
     ~probability kind =
@@ -59,6 +62,11 @@ let rule ?op ?(after = 0.0) ?(until = infinity) ?(max_faults = max_int)
     | None -> if is_read_kind kind then Some "read_block" else None
   in
   { op; kind; probability; after; until; max_faults }
+
+let crash_at at = rule ~after:at ~probability:1.0 ~max_faults:1 Crash
+
+let crash_per_stage ~probability =
+  rule ~op:"stage_overhead" ~probability Crash
 
 let make ?(max_retries = 3) ?(backoff = 0.01) ?(backoff_multiplier = 2.0) rules =
   if max_retries < 0 then invalid_arg "Fault_plan.make: max_retries < 0";
@@ -116,6 +124,10 @@ let expected_load ?(charge_cost = 0.035) t =
         | Read_error | Torn_block ->
             (* one retry: the re-read plus the first backoff *)
             1.0 +. (t.backoff /. charge_cost)
+        | Crash ->
+            (* a process kill inflates no charge — it ends the run;
+               headroom cannot buy it back, recovery can *)
+            0.0
       in
       acc +. (r.probability *. impact))
     0.0 t.rules
@@ -178,6 +190,7 @@ let parse_rule_clause kind_s fields =
     | "stall" ->
         let* d = float_field "dur" in
         Ok (Stall (Option.value ~default:0.1 d))
+    | "crash" -> Ok Crash
     | k -> parse_error "unknown fault kind %S" k
   in
   let* after = float_field "after" in

@@ -14,7 +14,12 @@
       to an unrecoverable fault;
     - {e slowdowns}: [Latency_spike f] multiplies one charge by [f];
       [Stall d] adds [d] seconds of dead time after a charge. Both
-      change only the clock, never the data. *)
+      change only the clock, never the data;
+    - {e process death}: [Crash] kills the whole run at a charge point
+      (no retry, no degraded report — the exception escapes). It exists
+      so crash-and-recover property tests ({!Taqp_recover},
+      [test_recover]) can kill seeded runs at deterministic instants
+      and check what the journal brings back. *)
 
 type kind =
   | Read_error  (** the I/O attempt fails outright; retried *)
@@ -23,6 +28,12 @@ type kind =
   | Stall of float  (** [duration] seconds of dead time after the charge *)
   | Torn_block
       (** the block arrives corrupted and must be re-read; retried *)
+  | Crash
+      (** the process dies at the charge point: {!Injector.Crashed} is
+          raised and escapes the executor entirely — only a
+          {!Taqp_recover} journal can save the run's progress. Fires at
+          a clock instant ({!crash_at}) or with per-stage probability
+          ({!crash_per_stage}). *)
 
 type rule = {
   op : string option;
@@ -63,6 +74,15 @@ val rule :
     @raise Invalid_argument for a probability outside [0,1], a
     non-positive spike factor or stall duration, or an empty window. *)
 
+val crash_at : float -> rule
+(** A certain, single-shot [Crash] on the first charge at or after the
+    given clock instant (any charge point) — the deterministic
+    kill-at-time used by recovery tests and [bench --recover]. *)
+
+val crash_per_stage : probability:float -> rule
+(** A [Crash] rule on the [stage_overhead] charge point: each stage
+    start is a Bernoulli trial. *)
+
 val make :
   ?max_retries:int -> ?backoff:float -> ?backoff_multiplier:float ->
   rule list -> t
@@ -95,7 +115,7 @@ val of_string : string -> (t, string) result
     [kind:p=P(,factor=F|dur=D)(,op=NAME)(,after=T)(,until=T)(,max=N)]
     with optional plan-level clauses [retries=N], [backoff=S] and
     [backoff_mult=X]. Kinds: [read_error], [latency], [stall],
-    [torn_block]. Example:
+    [torn_block], [crash]. Example:
     ["read_error:p=0.05;latency:p=0.1,factor=4,op=sort;retries=5"]. *)
 
 val kind_name : kind -> string

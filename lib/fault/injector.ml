@@ -16,6 +16,8 @@ exception
     at : float;
   }
 
+exception Crashed of { op : string; at : float }
+
 type t = {
   plan : Fault_plan.t;
   rules : Fault_plan.rule array;
@@ -25,6 +27,9 @@ type t = {
   mutable n_events : int;
   mutable n_unrecovered : int;
   mutable injected : float;
+  mutable crashes_enabled : bool;
+      (** a resumed process never re-creates the kill that ended its
+          predecessor: recovery disables [Crash] rules *)
 }
 
 let create ?(seed = 0) plan =
@@ -37,6 +42,7 @@ let create ?(seed = 0) plan =
     n_events = 0;
     n_unrecovered = 0;
     injected = 0.0;
+    crashes_enabled = true;
   }
 
 let plan t = t.plan
@@ -55,8 +61,14 @@ let draw t ~op ~now =
     if i >= n then None
     else
       let r = t.rules.(i) in
+      let enabled =
+        match r.Fault_plan.kind with
+        | Fault_plan.Crash -> t.crashes_enabled
+        | _ -> true
+      in
       if
-        t.fired.(i) < r.Fault_plan.max_faults
+        enabled
+        && t.fired.(i) < r.Fault_plan.max_faults
         && rule_matches r ~op ~now
         && Prng.float t.rng 1.0 < r.Fault_plan.probability
       then begin
@@ -90,3 +102,40 @@ let pp_event ppf e =
   Format.fprintf ppf "%.3fs %s %a attempt=%d %s" e.ev_at e.ev_op
     Fault_plan.pp_kind e.ev_kind e.ev_attempt
     (if e.ev_recovered then "recovered" else "unrecovered")
+
+let disable_crashes t = t.crashes_enabled <- false
+let crashes_enabled t = t.crashes_enabled
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: the stream position, firing budgets and fault log.
+   The plan and seed themselves are the caller's to persist — a restore
+   overwrites the state of an injector rebuilt from the same plan. *)
+
+type dump = {
+  d_rng : Prng.state;
+  d_fired : int array;
+  d_events_rev : event list;
+  d_n_events : int;
+  d_n_unrecovered : int;
+  d_injected : float;
+}
+
+let dump t =
+  {
+    d_rng = Prng.state t.rng;
+    d_fired = Array.copy t.fired;
+    d_events_rev = t.events_rev;
+    d_n_events = t.n_events;
+    d_n_unrecovered = t.n_unrecovered;
+    d_injected = t.injected;
+  }
+
+let restore t d =
+  if Array.length d.d_fired <> Array.length t.fired then
+    invalid_arg "Injector.restore: rule count mismatch";
+  Prng.set_state t.rng d.d_rng;
+  Array.blit d.d_fired 0 t.fired 0 (Array.length t.fired);
+  t.events_rev <- d.d_events_rev;
+  t.n_events <- d.d_n_events;
+  t.n_unrecovered <- d.d_n_unrecovered;
+  t.injected <- d.d_injected

@@ -64,3 +64,41 @@ val fault_count : t -> int
 val unrecovered_count : t -> int
 
 val pp_event : Format.formatter -> event -> unit
+
+exception Crashed of { op : string; at : float }
+(** Raised by the device when a {!Fault_plan.Crash} rule fires: the
+    simulated process dies mid-charge. Unlike {!Unrecoverable} this is
+    {e not} converted into a degraded report — it escapes the executor
+    (and the scheduler) entirely, exactly like a SIGKILL. Only a
+    {!Taqp_recover} journal written before the crash can save the
+    run's progress. *)
+
+val disable_crashes : t -> unit
+(** Stop all [Crash] rules from firing (they are skipped without
+    consuming a probability draw). Recovery calls this on the rebuilt
+    injector so a deterministic kill rule cannot re-kill the resumed
+    process in an endless loop; every other fault kind keeps firing. *)
+
+val crashes_enabled : t -> bool
+
+(** {2 Checkpointing}
+
+    The injector's evolving state — stream position, per-rule firing
+    budgets, fault log and injected-time account. The plan and seed are
+    not included: recovery re-creates the injector from the journaled
+    plan and seed, then restores this dump into it. *)
+
+type dump = {
+  d_rng : Taqp_rng.Prng.state;
+  d_fired : int array;
+  d_events_rev : event list;  (** newest first *)
+  d_n_events : int;
+  d_n_unrecovered : int;
+  d_injected : float;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** @raise Invalid_argument if the rule counts differ (the dump was
+    taken under a different plan). *)

@@ -1,0 +1,59 @@
+(** Payload codecs for one query's recovery journal: the {!meta}
+    record written once at journal creation and a {!checkpoint} record
+    per stage boundary.
+
+    Two things deliberately do not round-trip (see docs/RECOVERY.md):
+    [Config.selectivity_oracle] (a closure — dropped on encode,
+    re-injected by the resuming caller) and the catalog (recovery only
+    makes sense against the same store; the caller supplies it). *)
+
+type meta = {
+  m_query : Taqp_relational.Ra.t;
+  m_aggregate : Taqp_core.Aggregate.t;
+  m_config : Taqp_core.Config.t;
+  m_quota : float;
+  m_seed : int;
+      (** the run's sampling seed — informational only: resume
+          restores every stream position from the checkpoint, it never
+          re-derives one from the seed *)
+  m_params : Taqp_storage.Cost_params.t;
+  m_fault_plan : Taqp_fault.Fault_plan.t;
+  m_fault_seed : int;
+}
+
+type checkpoint = {
+  c_at : float;
+      (** clock reading once the checkpoint (including its own
+          journal-write charge) completed — the instant a
+          boundary-exact resume restores the clock to *)
+  c_exec : Taqp_core.Executor.snapshot;
+  c_device : Taqp_storage.Device.dump;
+}
+
+val meta : Codec.encoder -> meta -> unit
+val read_meta : Codec.decoder -> meta
+
+val checkpoint : Codec.encoder -> checkpoint -> unit
+val read_checkpoint : Codec.decoder -> checkpoint
+
+(** {2 Shared building blocks}
+
+    Exposed for the scheduler's own journal records
+    ({!Taqp_sched.Sched_journal}) and for tests. *)
+
+val query : Codec.encoder -> Taqp_relational.Ra.t -> unit
+val read_query : Codec.decoder -> Taqp_relational.Ra.t
+val aggregate : Codec.encoder -> Taqp_core.Aggregate.t -> unit
+val read_aggregate : Codec.decoder -> Taqp_core.Aggregate.t
+val config : Codec.encoder -> Taqp_core.Config.t -> unit
+val read_config : Codec.decoder -> Taqp_core.Config.t
+val cost_params : Codec.encoder -> Taqp_storage.Cost_params.t -> unit
+val read_cost_params : Codec.decoder -> Taqp_storage.Cost_params.t
+val fault_plan : Codec.encoder -> Taqp_fault.Fault_plan.t -> unit
+val read_fault_plan : Codec.decoder -> Taqp_fault.Fault_plan.t
+val device_dump : Codec.encoder -> Taqp_storage.Device.dump -> unit
+val read_device_dump : Codec.decoder -> Taqp_storage.Device.dump
+val executor_snapshot : Codec.encoder -> Taqp_core.Executor.snapshot -> unit
+val read_executor_snapshot : Codec.decoder -> Taqp_core.Executor.snapshot
+val stage : Codec.encoder -> Taqp_core.Report.stage -> unit
+val read_stage : Codec.decoder -> Taqp_core.Report.stage

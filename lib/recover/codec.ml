@@ -1,0 +1,187 @@
+(* A tiny deterministic binary codec for the recovery journal.
+
+   Design rules:
+   - everything little-endian, fixed width where possible;
+   - floats travel as their IEEE-754 bit pattern ([Int64.bits_of_float])
+     so a decode-encode round trip is bit-exact — decimal formatting
+     would quietly break the boundary-crash bit-identity guarantee;
+   - no type tags except where a sum type needs one: the reader must
+     know the schema, which the journal record tag supplies;
+   - [Marshal] is deliberately not used: snapshots contain no closures
+     by construction, and a self-describing format with CRCs lets a
+     torn or corrupt record be detected instead of segfaulting. *)
+
+exception Decode_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Decode_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: plain [Buffer.t]                                           *)
+
+type encoder = Buffer.t
+
+let encoder () = Buffer.create 1024
+let contents = Buffer.contents
+
+let u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let i64 b n = Buffer.add_int64_le b n
+let int b n = i64 b (Int64.of_int n)
+let float b f = i64 b (Int64.bits_of_float f)
+let bool b x = u8 b (if x then 1 else 0)
+let i32 b n = Buffer.add_int32_le b n
+
+let string b s =
+  int b (String.length s);
+  Buffer.add_string b s
+
+let option f b = function
+  | None -> u8 b 0
+  | Some x ->
+      u8 b 1;
+      f b x
+
+let list f b xs =
+  int b (List.length xs);
+  List.iter (f b) xs
+
+let array f b xs =
+  int b (Array.length xs);
+  Array.iter (f b) xs
+
+let pair f g b (x, y) =
+  f b x;
+  g b y
+
+let to_string f x =
+  let b = encoder () in
+  f b x;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a string with a cursor                                     *)
+
+type decoder = { s : string; mutable pos : int }
+
+let decoder s = { s; pos = 0 }
+let at_end d = d.pos >= String.length d.s
+
+let need d n what =
+  if d.pos + n > String.length d.s then
+    fail "truncated record: %d bytes missing reading %s"
+      (d.pos + n - String.length d.s)
+      what
+
+let read_u8 d =
+  need d 1 "byte";
+  let c = Char.code (String.unsafe_get d.s d.pos) in
+  d.pos <- d.pos + 1;
+  c
+
+let read_i64 d =
+  need d 8 "int64";
+  let v = String.get_int64_le d.s d.pos in
+  d.pos <- d.pos + 8;
+  v
+
+let read_i32 d =
+  need d 4 "int32";
+  let v = String.get_int32_le d.s d.pos in
+  d.pos <- d.pos + 4;
+  v
+
+let read_int d = Int64.to_int (read_i64 d)
+let read_float d = Int64.float_of_bits (read_i64 d)
+
+let read_bool d =
+  match read_u8 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> fail "bad bool byte %d" n
+
+let read_string d =
+  let n = read_int d in
+  if n < 0 then fail "negative string length %d" n;
+  need d n "string body";
+  let s = String.sub d.s d.pos n in
+  d.pos <- d.pos + n;
+  s
+
+let read_option f d =
+  match read_u8 d with
+  | 0 -> None
+  | 1 -> Some (f d)
+  | n -> fail "bad option byte %d" n
+
+let read_list f d =
+  let n = read_int d in
+  if n < 0 then fail "negative list length %d" n;
+  List.init n (fun _ -> f d)
+
+let read_array f d =
+  let n = read_int d in
+  if n < 0 then fail "negative array length %d" n;
+  Array.init n (fun _ -> f d)
+
+let read_pair f g d =
+  let x = f d in
+  let y = g d in
+  (x, y)
+
+let of_string f s =
+  let d = decoder s in
+  let v = f d in
+  if not (at_end d) then
+    fail "%d trailing bytes after record body" (String.length s - d.pos);
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Domain primitives shared by the checkpoint and scheduler journals    *)
+
+let value b (v : Taqp_data.Value.t) =
+  match v with
+  | Int n ->
+      u8 b 0;
+      int b n
+  | Float f ->
+      u8 b 1;
+      float b f
+  | String s ->
+      u8 b 2;
+      string b s
+  | Bool x ->
+      u8 b 3;
+      bool b x
+  | Null -> u8 b 4
+
+let read_value d : Taqp_data.Value.t =
+  match read_u8 d with
+  | 0 -> Int (read_int d)
+  | 1 -> Float (read_float d)
+  | 2 -> String (read_string d)
+  | 3 -> Bool (read_bool d)
+  | 4 -> Null
+  | n -> fail "bad value tag %d" n
+
+let tuple b t =
+  int b (Taqp_data.Tuple.pad t);
+  array value b (Taqp_data.Tuple.fields t)
+
+let read_tuple d =
+  let pad = read_int d in
+  let fields = read_array read_value d in
+  match Taqp_data.Tuple.make ~pad fields with
+  | t -> t
+  | exception Invalid_argument m -> fail "bad tuple: %s" m
+
+let rng_state b ((s0, s1, s2, s3) : Taqp_rng.Prng.state) =
+  i64 b s0;
+  i64 b s1;
+  i64 b s2;
+  i64 b s3
+
+let read_rng_state d : Taqp_rng.Prng.state =
+  let s0 = read_i64 d in
+  let s1 = read_i64 d in
+  let s2 = read_i64 d in
+  let s3 = read_i64 d in
+  (s0, s1, s2, s3)

@@ -1,0 +1,71 @@
+(** Deterministic binary codec for journal record payloads.
+
+    Little-endian, fixed-width, schema-less: writer and reader agree on
+    the layout via the record tag. Floats are encoded as their IEEE-754
+    bit pattern so an encode/decode round trip is bit-exact — this is
+    load-bearing for the boundary-crash bit-identity guarantee (see
+    docs/RECOVERY.md). [Marshal] is deliberately avoided: a corrupt
+    record must raise {!Decode_error}, not crash the process. *)
+
+exception Decode_error of string
+
+(** {2 Encoding} *)
+
+type encoder
+
+val encoder : unit -> encoder
+val contents : encoder -> string
+
+val u8 : encoder -> int -> unit
+val i32 : encoder -> int32 -> unit
+val i64 : encoder -> int64 -> unit
+val int : encoder -> int -> unit
+val float : encoder -> float -> unit
+val bool : encoder -> bool -> unit
+val string : encoder -> string -> unit
+val option : (encoder -> 'a -> unit) -> encoder -> 'a option -> unit
+val list : (encoder -> 'a -> unit) -> encoder -> 'a list -> unit
+val array : (encoder -> 'a -> unit) -> encoder -> 'a array -> unit
+
+val pair :
+  (encoder -> 'a -> unit) ->
+  (encoder -> 'b -> unit) ->
+  encoder ->
+  'a * 'b ->
+  unit
+
+val to_string : (encoder -> 'a -> unit) -> 'a -> string
+
+(** {2 Decoding}
+
+    Every [read_*] raises {!Decode_error} on truncation or a malformed
+    tag — never an [Invalid_argument] or a garbage value. *)
+
+type decoder
+
+val decoder : string -> decoder
+val at_end : decoder -> bool
+
+val read_u8 : decoder -> int
+val read_i32 : decoder -> int32
+val read_i64 : decoder -> int64
+val read_int : decoder -> int
+val read_float : decoder -> float
+val read_bool : decoder -> bool
+val read_string : decoder -> string
+val read_option : (decoder -> 'a) -> decoder -> 'a option
+val read_list : (decoder -> 'a) -> decoder -> 'a list
+val read_array : (decoder -> 'a) -> decoder -> 'a array
+val read_pair : (decoder -> 'a) -> (decoder -> 'b) -> decoder -> 'a * 'b
+
+val of_string : (decoder -> 'a) -> string -> 'a
+(** Decode a whole payload; trailing bytes are a {!Decode_error}. *)
+
+(** {2 Domain primitives} *)
+
+val value : encoder -> Taqp_data.Value.t -> unit
+val read_value : decoder -> Taqp_data.Value.t
+val tuple : encoder -> Taqp_data.Tuple.t -> unit
+val read_tuple : decoder -> Taqp_data.Tuple.t
+val rng_state : encoder -> Taqp_rng.Prng.state -> unit
+val read_rng_state : decoder -> Taqp_rng.Prng.state

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, reflected) — the per-record checksum of the
+    recovery journal. Standard test vector:
+    [string "123456789" = 0xCBF43926l]. *)
+
+val string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> string -> int -> int -> int32
+(** [update crc s pos len] extends [crc] with [s.[pos .. pos+len-1]],
+    so checksums can be computed incrementally;
+    [string s = update 0l s 0 (String.length s)].
+    @raise Invalid_argument on an out-of-range slice. *)

@@ -1,0 +1,93 @@
+(* The append-only journal file: an 8-byte magic followed by framed
+   records [len:u32le][crc32(payload):u32le][payload]. Every append is
+   flushed, so after a kill the file ends either exactly on a frame
+   boundary or inside the last frame — never with an earlier frame
+   damaged. Reading therefore applies a torn-tail rule: the first
+   frame that is short, out of range or fails its checksum marks the
+   end of the usable journal and everything from it on is discarded
+   (and reported, so callers can count torn records). *)
+
+let magic = "TAQPJRN1"
+let frame_overhead = 8
+
+type writer = { w_path : string; oc : out_channel; mutable closed : bool }
+
+let create path =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  flush oc;
+  { w_path = path; oc; closed = false }
+
+let path w = w.w_path
+
+let append w payload =
+  if w.closed then invalid_arg "Journal.append: writer is closed";
+  let hdr = Bytes.create frame_overhead in
+  Bytes.set_int32_le hdr 0 (Int32.of_int (String.length payload));
+  Bytes.set_int32_le hdr 4 (Crc32.string payload);
+  output_bytes w.oc hdr;
+  output_string w.oc payload;
+  flush w.oc
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+type tail = Clean | Torn of { at : int; reason : string }
+
+type read = { records : string list; tail : tail }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let n = in_channel_length ic in
+          Ok (really_input_string ic n))
+
+let load path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok s ->
+      let total = String.length s in
+      if total < String.length magic || not (String.starts_with ~prefix:magic s)
+      then Error (Printf.sprintf "%s: not a taqp journal (bad magic)" path)
+      else begin
+        let records = ref [] in
+        let pos = ref (String.length magic) in
+        let tail = ref Clean in
+        let torn reason =
+          tail := Torn { at = !pos; reason };
+          pos := total
+        in
+        while !pos < total do
+          let at = !pos in
+          if at + frame_overhead > total then
+            torn
+              (Printf.sprintf "truncated frame header (%d of %d bytes)"
+                 (total - at) frame_overhead)
+          else begin
+            let len = Int32.to_int (String.get_int32_le s at) in
+            let crc = String.get_int32_le s (at + 4) in
+            if len < 0 then
+              torn (Printf.sprintf "negative record length %d" len)
+            else if at + frame_overhead + len > total then
+              torn
+                (Printf.sprintf "truncated record body (%d of %d bytes)"
+                   (total - at - frame_overhead) len)
+            else
+              let payload = String.sub s (at + frame_overhead) len in
+              if Crc32.string payload <> crc then
+                torn "record checksum mismatch"
+              else begin
+                records := payload :: !records;
+                pos := at + frame_overhead + len
+              end
+          end
+        done;
+        Ok { records = List.rev !records; tail = !tail }
+      end

@@ -1,0 +1,40 @@
+(** The append-only journal file: an 8-byte magic ["TAQPJRN1"], then
+    framed records [[len:u32le][crc32(payload):u32le][payload]].
+
+    Durability contract: {!append} flushes, so a process killed at any
+    instant leaves a file whose prefix of complete frames is intact —
+    the only possible damage is a torn final frame, which {!load}
+    detects (length out of range or CRC mismatch) and discards along
+    with everything after it. See docs/RECOVERY.md. *)
+
+val magic : string
+val frame_overhead : int
+(** Bytes of framing per record (length + checksum). *)
+
+(** {2 Writing} *)
+
+type writer
+
+val create : string -> writer
+(** Create/truncate the journal at a path and write the magic. *)
+
+val path : writer -> string
+val append : writer -> string -> unit
+(** Frame, write and flush one record payload. *)
+
+val close : writer -> unit
+
+(** {2 Reading} *)
+
+type tail =
+  | Clean
+  | Torn of { at : int; reason : string }
+      (** byte offset of the first unusable frame, and why *)
+
+type read = { records : string list; tail : tail }
+(** Record payloads in append order; [tail] says whether the file
+    ended cleanly on a frame boundary. *)
+
+val load : string -> (read, string) result
+(** [Error] only for an unreadable file or a bad magic — a torn tail
+    is a normal crash artifact, reported in [tail], never an error. *)

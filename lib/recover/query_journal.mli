@@ -1,0 +1,71 @@
+(** One query's write-ahead stage journal and its recovery path.
+
+    Writing side: {!create} opens the journal and records the
+    {!Checkpoint.meta} needed to rebuild the run; {!checkpoint} is
+    called at each stage boundary (right after a [`Continue] step) and
+    appends the full executor + device state, {e charging the write to
+    the clock} through {!Taqp_storage.Device.journal_write} so
+    checkpointing cost is visible to the time-control strategies, and
+    bumping the [recover.checkpoints] / [recover.checkpoint_bytes]
+    metrics (plus a [recover]-category trace span when tracing).
+
+    Reading side: {!load} applies the journal's torn-tail rule and
+    decodes what survives; {!resume_last} rebuilds a device and a live
+    {!Taqp_core.Executor.handle} from the newest checkpoint, re-armed
+    at the {e original} absolute deadline — crash downtime is lost
+    quota, never extra time. A resume from the exact crash boundary
+    ([now] = the checkpoint instant) continues bit-identically; a
+    later [now] (the crash landed mid-stage, its progress is gone)
+    marks the handle dirty so the eventual report is [degraded] with a
+    widened interval. See docs/RECOVERY.md. *)
+
+type t
+
+val create : path:string -> device:Taqp_storage.Device.t -> Checkpoint.meta -> t
+(** Create/truncate the journal and append the meta record. The
+    device is the one the journaled run evaluates on. *)
+
+val checkpoint : t -> Taqp_core.Executor.handle -> unit
+(** Snapshot the handle and device and append one checkpoint record.
+    Call at stage boundaries only. Never raises on a deadline: if the
+    quota expires during the checkpoint's own charge, the record is
+    still written (the resumed run will finalize exactly as the
+    crashed one would have). *)
+
+val meta : t -> Checkpoint.meta
+val path : t -> string
+val close : t -> unit
+
+(** {2 Recovery} *)
+
+type loaded = {
+  l_meta : Checkpoint.meta;
+  l_checkpoints : Checkpoint.checkpoint list;  (** oldest first *)
+  l_torn : string option;
+      (** description of the discarded torn tail, if any *)
+}
+
+val load : string -> (loaded, string) result
+(** Read and decode a journal. A torn tail is reported, not an error;
+    an unreadable file, bad magic, missing meta record or a record
+    that fails to decode is. *)
+
+val resume_last :
+  ?sink:Taqp_obs.Sink.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?now:float ->
+  ?selectivity_oracle:(Taqp_relational.Ra.t -> float) ->
+  catalog:Taqp_storage.Catalog.t ->
+  loaded ->
+  (Taqp_storage.Device.t * Taqp_core.Executor.handle, string) result
+(** Rebuild a virtual-clock device (cost params, jitter and fault
+    stream positions, IO counters all restored from the newest
+    checkpoint) and resume the handle from it. [now] is the recovery
+    instant on the virtual clock — default the checkpoint's own
+    instant (boundary-exact resume); a later [now] burns the
+    difference as lost quota and marks the report [degraded]. Pending
+    [Crash] fault rules are disabled on the resumed injector so a
+    deterministic killer cannot crash-loop the recovery.
+    [selectivity_oracle] re-injects the config's oracle closure
+    (closures cannot be journaled). Bumps [recover.resumes] (and
+    [recover.torn_records] when the journal had a torn tail). *)

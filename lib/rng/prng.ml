@@ -76,3 +76,13 @@ let exponential t lambda =
 let lognormal_factor t s =
   if s <= 0.0 then 1.0
   else exp (gaussian ~sigma:s t -. (s *. s /. 2.0))
+
+type state = int64 * int64 * int64 * int64
+
+let state t = (t.s0, t.s1, t.s2, t.s3)
+
+let set_state t (s0, s1, s2, s3) =
+  t.s0 <- s0;
+  t.s1 <- s1;
+  t.s2 <- s2;
+  t.s3 <- s3

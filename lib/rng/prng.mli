@@ -38,3 +38,18 @@ val exponential : t -> float -> float
 val lognormal_factor : t -> float -> float
 (** [lognormal_factor t s] is [exp (gaussian ~sigma:s)] with the mean
     corrected to 1.0 — a multiplicative jitter factor. *)
+
+(** {2 Checkpointing}
+
+    The full xoshiro256** state, exposed so a crash-safe checkpoint can
+    record the exact stream position and a recovery can resume drawing
+    from it ({!Taqp_recover}). *)
+
+type state = int64 * int64 * int64 * int64
+
+val state : t -> state
+
+val set_state : t -> state -> unit
+(** Overwrite the generator's stream position in place. After
+    [set_state t (state t')] the two generators produce identical
+    subsequent streams. *)

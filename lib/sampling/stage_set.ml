@@ -45,3 +45,28 @@ let cumulative_sizes t =
 let fraction_drawn t =
   if t.n_units = 0 then 1.0
   else float_of_int t.drawn /. float_of_int t.n_units
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: the drawn-unit history plus the PRNG stream position
+   is the whole mutable state; [drawn_set] is a pure membership index
+   over the history, so it is rebuilt rather than serialized. *)
+
+type dump = {
+  d_n_units : int;
+  d_stages_rev : int list list;
+  d_rng : Taqp_rng.Prng.state;
+}
+
+let dump t =
+  { d_n_units = t.n_units; d_stages_rev = t.stages_rev; d_rng = Taqp_rng.Prng.state t.rng }
+
+let restore t d =
+  if d.d_n_units <> t.n_units then
+    invalid_arg "Stage_set.restore: population size mismatch";
+  Taqp_rng.Prng.set_state t.rng d.d_rng;
+  t.stages_rev <- d.d_stages_rev;
+  Hashtbl.reset t.drawn_set;
+  List.iter
+    (List.iter (fun u -> Hashtbl.replace t.drawn_set u ()))
+    d.d_stages_rev;
+  t.drawn <- List.fold_left (fun acc s -> acc + List.length s) 0 d.d_stages_rev

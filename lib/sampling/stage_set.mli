@@ -38,3 +38,22 @@ val cumulative_sizes : t -> int array
     N_{j,i} of the paper's cost formulas. *)
 
 val fraction_drawn : t -> float
+
+(** {2 Checkpointing}
+
+    A {!dump} captures the whole mutable state — the per-stage drawn
+    units and the sampling stream position — so a crash-safe checkpoint
+    ({!Taqp_recover}) can restore the set and keep drawing exactly the
+    units an uninterrupted run would have drawn. *)
+
+type dump = {
+  d_n_units : int;  (** recorded for the shape check on restore *)
+  d_stages_rev : int list list;  (** newest stage first *)
+  d_rng : Taqp_rng.Prng.state;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** Overwrite [t]'s drawn history and stream position with the dump's.
+    @raise Invalid_argument if the population sizes differ. *)

@@ -1,0 +1,150 @@
+(* The scheduler's own journal: coarse, job-level write-ahead records
+   so a killed [serve] workload can account for every job after a
+   restart. Admission decisions and per-job progress are journaled as
+   they happen; a job's terminal record ([Done]) carries the full
+   accounting line the workload summary needs, so recovery can report
+   pre-crash jobs without their (unjournalable) full reports.
+
+   This is deliberately coarser than the per-query stage journal
+   ({!Taqp_recover.Query_journal}): the scheduler re-runs unfinished
+   jobs with whatever slack their deadlines still leave, rather than
+   splicing executor state — crash downtime expires what it expires,
+   exactly as the paper's absolute deadlines demand. *)
+
+module Codec = Taqp_recover.Codec
+module Journal = Taqp_recover.Journal
+
+type done_record = {
+  d_id : int;
+  d_label : string;
+  d_outcome : string;
+      (** {!Taqp_core.Report.outcome_name}, or ["rejected"]/["expired"] *)
+  d_admitted : bool;
+  d_degraded : bool;
+  d_missed : bool;
+  d_lateness : float;
+  d_queue_wait : float;
+  d_finished_at : float;
+  d_service : float;
+  d_steps : int;
+  d_preemptions : int;
+  d_estimate : float option;
+  d_now : float;
+}
+
+type record =
+  | Admitted of {
+      a_id : int;
+      a_label : string;
+      a_granted : float;
+      a_degraded : bool;
+      a_now : float;
+    }
+  | Progress of { p_id : int; p_steps : int; p_now : float }
+  | Done of done_record
+
+let now_of = function
+  | Admitted a -> a.a_now
+  | Progress p -> p.p_now
+  | Done d -> d.d_now
+
+let encode_record b = function
+  | Admitted a ->
+      Codec.u8 b 0;
+      Codec.int b a.a_id;
+      Codec.string b a.a_label;
+      Codec.float b a.a_granted;
+      Codec.bool b a.a_degraded;
+      Codec.float b a.a_now
+  | Progress p ->
+      Codec.u8 b 1;
+      Codec.int b p.p_id;
+      Codec.int b p.p_steps;
+      Codec.float b p.p_now
+  | Done d ->
+      Codec.u8 b 2;
+      Codec.int b d.d_id;
+      Codec.string b d.d_label;
+      Codec.string b d.d_outcome;
+      Codec.bool b d.d_admitted;
+      Codec.bool b d.d_degraded;
+      Codec.bool b d.d_missed;
+      Codec.float b d.d_lateness;
+      Codec.float b d.d_queue_wait;
+      Codec.float b d.d_finished_at;
+      Codec.float b d.d_service;
+      Codec.int b d.d_steps;
+      Codec.int b d.d_preemptions;
+      Codec.option Codec.float b d.d_estimate;
+      Codec.float b d.d_now
+
+let decode_record d =
+  match Codec.read_u8 d with
+  | 0 ->
+      let a_id = Codec.read_int d in
+      let a_label = Codec.read_string d in
+      let a_granted = Codec.read_float d in
+      let a_degraded = Codec.read_bool d in
+      let a_now = Codec.read_float d in
+      Admitted { a_id; a_label; a_granted; a_degraded; a_now }
+  | 1 ->
+      let p_id = Codec.read_int d in
+      let p_steps = Codec.read_int d in
+      let p_now = Codec.read_float d in
+      Progress { p_id; p_steps; p_now }
+  | 2 ->
+      let d_id = Codec.read_int d in
+      let d_label = Codec.read_string d in
+      let d_outcome = Codec.read_string d in
+      let d_admitted = Codec.read_bool d in
+      let d_degraded = Codec.read_bool d in
+      let d_missed = Codec.read_bool d in
+      let d_lateness = Codec.read_float d in
+      let d_queue_wait = Codec.read_float d in
+      let d_finished_at = Codec.read_float d in
+      let d_service = Codec.read_float d in
+      let d_steps = Codec.read_int d in
+      let d_preemptions = Codec.read_int d in
+      let d_estimate = Codec.read_option Codec.read_float d in
+      let d_now = Codec.read_float d in
+      Done
+        {
+          d_id;
+          d_label;
+          d_outcome;
+          d_admitted;
+          d_degraded;
+          d_missed;
+          d_lateness;
+          d_queue_wait;
+          d_finished_at;
+          d_service;
+          d_steps;
+          d_preemptions;
+          d_estimate;
+          d_now;
+        }
+  | n ->
+      raise
+        (Codec.Decode_error (Printf.sprintf "bad scheduler record tag %d" n))
+
+let encode r = Codec.to_string encode_record r
+
+type loaded = { records : record list; torn : string option }
+
+let load path =
+  match Journal.load path with
+  | Error _ as e -> e
+  | Ok { Journal.records; tail } -> (
+      match List.map (Codec.of_string decode_record) records with
+      | records ->
+          Ok
+            {
+              records;
+              torn =
+                (match tail with
+                | Journal.Clean -> None
+                | Journal.Torn { at; reason } ->
+                    Some (Printf.sprintf "torn tail at byte %d: %s" at reason));
+            }
+      | exception Codec.Decode_error m -> Error (path ^ ": " ^ m))

@@ -1,0 +1,54 @@
+(** The scheduler's job-level write-ahead journal.
+
+    Coarser than the per-query stage journal
+    ({!Taqp_recover.Query_journal}): admission decisions, per-job step
+    progress and terminal accounting lines. On recovery
+    ({!Scheduler.recover}) jobs with a [Done] record are reported from
+    the journal and every other job is re-admitted with whatever slack
+    its absolute deadline still leaves — downtime expires what it
+    expires. Records are framed and checksummed by
+    {!Taqp_recover.Journal}; the job file itself is {e not} journaled
+    (recovery is run against the same job file, matched by job id).
+    See docs/RECOVERY.md. *)
+
+type done_record = {
+  d_id : int;
+  d_label : string;
+  d_outcome : string;
+      (** {!Taqp_core.Report.outcome_name}, or ["rejected"]/["expired"] *)
+  d_admitted : bool;
+  d_degraded : bool;
+  d_missed : bool;
+  d_lateness : float;
+  d_queue_wait : float;
+  d_finished_at : float;
+  d_service : float;
+  d_steps : int;
+  d_preemptions : int;
+  d_estimate : float option;
+  d_now : float;
+}
+
+type record =
+  | Admitted of {
+      a_id : int;
+      a_label : string;
+      a_granted : float;
+      a_degraded : bool;
+      a_now : float;
+    }
+  | Progress of { p_id : int; p_steps : int; p_now : float }
+  | Done of done_record
+
+val now_of : record -> float
+(** The clock instant the record was journaled at. *)
+
+val encode : record -> string
+(** The framed-payload encoding (append it with
+    {!Taqp_recover.Journal.append}). *)
+
+type loaded = { records : record list; torn : string option }
+
+val load : string -> (loaded, string) result
+(** Decode a scheduler journal; a torn tail is reported, not an
+    error. *)

@@ -99,9 +99,33 @@ let report_missed ~(job : Job.t) ~finished_at = function
 
 let run ?(policy = Policy.Edf) ?admission
     ?(params = Cost_params.no_jitter Cost_params.default) ?metrics ?tracer
-    ?faults jobs =
+    ?faults ?journal ?start_at jobs =
   let clock = Clock.create_virtual () in
+  (* Recovery re-runs start where the crashed workload's clock stopped
+     plus the downtime: arrivals the restart missed are admitted at
+     once and jobs whose deadlines passed meanwhile expire on their
+     first dispatch — downtime is lost time, never replayed time. *)
+  Option.iter (fun at -> Clock.restore clock ~now:at) start_at;
   let device = Device.create ~params ?metrics ?tracer ?faults clock in
+  (* Journal writes are charged to the shared clock like any other IO
+     (so journaling is visible to every job's quota), but never raise:
+     if a deadline fires during the charge the clock pins there and the
+     record is still written — losing the record would be strictly
+     worse for recovery than losing the sliver of time. Without
+     [journal] nothing is charged and the run is bit-identical to the
+     journal-free scheduler. *)
+  let jwrite record =
+    match journal with
+    | None -> ()
+    | Some w ->
+        let payload = Sched_journal.encode record in
+        (try
+           Device.journal_write device
+             ~bytes:
+               (String.length payload + Taqp_recover.Journal.frame_overhead)
+         with Clock.Deadline_exceeded _ -> ());
+        Taqp_recover.Journal.append w payload
+  in
   let metrics = Device.metrics device in
   let tracer = Device.tracer device in
   let c_submitted = Metrics.counter metrics "sched.submitted" in
@@ -151,6 +175,34 @@ let run ?(policy = Policy.Edf) ?admission
         Metrics.Counter.incr c_expired;
         instant "sched.expire" lj.l_job []
     | Rejected _ -> assert false);
+    jwrite
+      (Sched_journal.Done
+         {
+           d_id = lj.l_job.Job.id;
+           d_label = lj.l_job.Job.label;
+           d_outcome =
+             (match outcome with
+             | Completed r -> Report.outcome_name r.Report.outcome
+             | Expired -> "expired"
+             | Rejected _ -> assert false);
+           d_admitted = true;
+           d_degraded = lj.l_degraded;
+           d_missed = missed;
+           d_lateness = lateness;
+           d_queue_wait =
+             (match lj.l_started with
+             | Some s -> s -. lj.l_job.Job.arrival
+             | None -> now -. lj.l_job.Job.arrival);
+           d_finished_at = now;
+           d_service = lj.l_service;
+           d_steps = lj.l_steps;
+           d_preemptions = lj.l_preempt;
+           d_estimate =
+             (match outcome with
+             | Completed r -> Some r.Report.estimate
+             | Expired | Rejected _ -> None);
+           d_now = now;
+         });
     reports :=
       {
         job = lj.l_job;
@@ -197,6 +249,24 @@ let run ?(policy = Policy.Edf) ?admission
                 [ ("reason", Event.String (Admission.reason_name reason)) ];
               Log.debug (fun m ->
                   m "%s rejected: %a" j.Job.label Admission.pp_reason reason);
+              jwrite
+                (Sched_journal.Done
+                   {
+                     d_id = j.Job.id;
+                     d_label = j.Job.label;
+                     d_outcome = "rejected";
+                     d_admitted = false;
+                     d_degraded = false;
+                     d_missed = false;
+                     d_lateness = 0.0;
+                     d_queue_wait = 0.0;
+                     d_finished_at = now;
+                     d_service = 0.0;
+                     d_steps = 0;
+                     d_preemptions = 0;
+                     d_estimate = None;
+                     d_now = now;
+                   });
               reports :=
                 {
                   job = j;
@@ -225,6 +295,15 @@ let run ?(policy = Policy.Edf) ?admission
                   ("quota", Event.Float quota);
                   ("degraded", Event.String (string_of_bool degraded));
                 ];
+              jwrite
+                (Sched_journal.Admitted
+                   {
+                     a_id = j.Job.id;
+                     a_label = j.Job.label;
+                     a_granted = quota;
+                     a_degraded = degraded;
+                     a_now = now;
+                   });
               let reserved =
                 let staged = Admission.compile_for_pricing ~job:j in
                 Admission.price_min_stage ~device staged ~config:j.Job.config
@@ -285,7 +364,14 @@ let run ?(policy = Policy.Edf) ?admission
     lj.l_steps <- lj.l_steps + 1;
     last_run := Some lj.l_seq;
     match step with
-    | `Continue -> ()
+    | `Continue ->
+        jwrite
+          (Sched_journal.Progress
+             {
+               p_id = lj.l_job.Job.id;
+               p_steps = lj.l_steps;
+               p_now = Clock.now clock;
+             })
     | `Done report -> finish_live lj (Completed report)
   in
   let rec loop () =
@@ -468,3 +554,129 @@ let pp_summary ppf s =
     s.submitted s.admitted s.degraded s.rejected s.expired s.completed s.missed
     (100.0 *. s.miss_rate) s.lateness_p50 s.lateness_p99 s.max_lateness
     s.mean_queue_wait s.makespan s.busy_time s.preemptions
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                       *)
+
+type recovery = {
+  r_run : result;
+  r_journaled : Sched_journal.done_record list;
+  r_summary : summary;
+}
+
+let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
+    ?(downtime = 0.0) ~records jobs =
+  if downtime < 0.0 then invalid_arg "Scheduler.recover: negative downtime";
+  let finished =
+    List.filter_map
+      (function Sched_journal.Done d -> Some d | _ -> None)
+      records
+  in
+  let finished_ids =
+    List.fold_left
+      (fun acc (d : Sched_journal.done_record) -> d.d_id :: acc)
+      [] finished
+  in
+  let crash_time =
+    List.fold_left (fun acc r -> Float.max acc (Sched_journal.now_of r)) 0.0
+      records
+  in
+  let rest =
+    List.filter (fun j -> not (List.mem j.Job.id finished_ids)) jobs
+  in
+  let r_run =
+    run ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
+      ~start_at:(crash_time +. downtime) rest
+  in
+  (* The combined accounting: journaled terminal jobs plus the re-run.
+     Percentiles are re-derived from the union of the per-job lateness
+     and wait values (both sides carry them), so the merged summary is
+     exactly what an uncrashed run over the same terminal set would
+     report for these aggregates. *)
+  let done_admitted =
+    List.filter (fun (d : Sched_journal.done_record) -> d.d_admitted) finished
+  in
+  let run_admitted =
+    List.filter (fun (r : job_report) -> r.admitted) r_run.reports
+  in
+  let count_d f = List.length (List.filter f finished) in
+  let late =
+    List.map
+      (fun (d : Sched_journal.done_record) -> Float.max 0.0 d.d_lateness)
+      done_admitted
+    @ List.map (fun (r : job_report) -> Float.max 0.0 r.lateness) run_admitted
+    |> List.sort compare |> Array.of_list
+  in
+  let waits =
+    List.map (fun (d : Sched_journal.done_record) -> d.d_queue_wait)
+      done_admitted
+    @ List.map (fun (r : job_report) -> r.queue_wait) run_admitted
+  in
+  let s = r_run.summary in
+  let submitted = s.submitted + List.length finished in
+  let missed =
+    s.missed + count_d (fun (d : Sched_journal.done_record) -> d.d_missed)
+  in
+  let r_summary =
+    {
+      submitted;
+      admitted = s.admitted + List.length done_admitted;
+      degraded =
+        s.degraded
+        + count_d (fun (d : Sched_journal.done_record) -> d.d_degraded);
+      rejected =
+        s.rejected
+        + count_d (fun (d : Sched_journal.done_record) ->
+              d.d_outcome = "rejected");
+      expired =
+        s.expired
+        + count_d (fun (d : Sched_journal.done_record) ->
+              d.d_outcome = "expired");
+      completed =
+        s.completed
+        + count_d (fun (d : Sched_journal.done_record) ->
+              d.d_admitted && d.d_outcome <> "expired");
+      missed;
+      miss_rate =
+        (if submitted = 0 then 0.0
+         else float_of_int missed /. float_of_int submitted);
+      lateness_p50 = percentile late 0.50;
+      lateness_p99 = percentile late 0.99;
+      max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
+      mean_queue_wait =
+        (match waits with
+        | [] -> 0.0
+        | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+      makespan = Float.max s.makespan crash_time;
+      busy_time =
+        s.busy_time
+        +. List.fold_left
+             (fun acc (d : Sched_journal.done_record) -> acc +. d.d_service)
+             0.0 finished;
+      preemptions =
+        s.preemptions
+        + List.fold_left
+            (fun acc (d : Sched_journal.done_record) -> acc + d.d_preemptions)
+            0 finished;
+    }
+  in
+  { r_run; r_journaled = finished; r_summary }
+
+let done_record_json (d : Sched_journal.done_record) =
+  Json.Obj
+    [
+      ("job", Json.Str d.d_label);
+      ("id", Json.Num (float_of_int d.d_id));
+      ("outcome", Json.Str d.d_outcome);
+      ("admitted", Json.Bool d.d_admitted);
+      ("degraded", Json.Bool d.d_degraded);
+      ("missed", Json.Bool d.d_missed);
+      ("lateness", Json.Num d.d_lateness);
+      ("queue_wait", Json.Num d.d_queue_wait);
+      ("finished", Json.Num d.d_finished_at);
+      ("steps", Json.Num (float_of_int d.d_steps));
+      ("preemptions", Json.Num (float_of_int d.d_preemptions));
+      ("service", Json.Num d.d_service);
+      ("estimate", opt_num d.d_estimate);
+      ("from_journal", Json.Bool true);
+    ]

@@ -75,6 +75,8 @@ val run :
   ?metrics:Taqp_obs.Metrics.t ->
   ?tracer:Taqp_obs.Tracer.t ->
   ?faults:Taqp_fault.Injector.t ->
+  ?journal:Taqp_recover.Journal.writer ->
+  ?start_at:float ->
   Job.t list ->
   result
 (** Run the workload to completion on a fresh virtual clock.
@@ -85,7 +87,16 @@ val run :
     {!Taqp_storage.Cost_params.default} so runs are reproducible;
     pass jittered params (plus per-run metrics) to model device noise.
     Faulted jobs degrade through the executor's own containment and
-    never stall the queue. *)
+    never stall the queue.
+
+    [journal] write-ahead journals every admission decision, step and
+    terminal accounting line as {!Sched_journal} records, with each
+    write charged to the shared clock
+    ({!Taqp_storage.Device.journal_write}) so journaling cost is borne
+    by the workload it protects; without it the run is bit-identical
+    to the journal-free scheduler. [start_at] starts the virtual clock
+    at an absolute instant instead of 0 — the recovery re-run uses it
+    to make crash downtime lost (never replayed) time. *)
 
 val completed_report : job_report -> Taqp_core.Report.t option
 (** The completed report, if any. *)
@@ -100,3 +111,43 @@ val job_report_json : job_report -> Taqp_obs.Json.t
 
 val summary_json : summary -> Taqp_obs.Json.t
 val pp_summary : Format.formatter -> summary -> unit
+
+(** {2 Crash recovery}
+
+    Job-level recovery of a killed [serve] workload from its
+    {!Sched_journal}: jobs whose terminal record made it into the
+    journal are reported from it; every other job — in flight at the
+    crash or never arrived — is re-run with whatever slack its
+    absolute deadline still leaves after the downtime. See
+    docs/RECOVERY.md. *)
+
+type recovery = {
+  r_run : result;  (** the post-crash re-run (re-admitted jobs only) *)
+  r_journaled : Sched_journal.done_record list;
+      (** jobs finished before the crash, reported from the journal *)
+  r_summary : summary;  (** combined accounting over both sets *)
+}
+
+val recover :
+  ?policy:Policy.t ->
+  ?admission:Admission.t ->
+  ?params:Taqp_storage.Cost_params.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?tracer:Taqp_obs.Tracer.t ->
+  ?faults:Taqp_fault.Injector.t ->
+  ?journal:Taqp_recover.Journal.writer ->
+  ?downtime:float ->
+  records:Sched_journal.record list ->
+  Job.t list ->
+  recovery
+(** [records] is the crashed run's decoded journal; [jobs] the same
+    job file it ran (matched by id). The re-run starts at the last
+    journaled instant plus [downtime] (default 0): arrivals the
+    outage swallowed are admitted immediately, and a job whose
+    deadline passed during the downtime expires at dispatch instead
+    of wasting budget. [journal] opens a fresh journal for the re-run
+    itself. @raise Invalid_argument on negative [downtime]. *)
+
+val done_record_json : Sched_journal.done_record -> Taqp_obs.Json.t
+(** The journaled terminal line as a per-job JSON object (carries
+    ["from_journal": true]). *)

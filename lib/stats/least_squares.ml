@@ -135,3 +135,32 @@ let simple_fit pairs =
   let b = ((fn *. sxy) -. (sx *. sy)) /. denom in
   let a = (sy -. (b *. sx)) /. fn in
   (a, b)
+
+type dump = {
+  d_a : float array array;
+  d_b : float array;
+  d_anchor_scale : float;
+  d_n : int;
+}
+
+let dump t =
+  {
+    d_a = Array.map Array.copy t.a;
+    d_b = Array.copy t.b;
+    d_anchor_scale = t.anchor_scale;
+    d_n = t.n;
+  }
+
+let restore t d =
+  if Array.length d.d_b <> t.k || Array.length d.d_a <> t.k then
+    invalid_arg "Least_squares.restore: dimension mismatch";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> t.k then
+        invalid_arg "Least_squares.restore: dimension mismatch";
+      Array.blit row 0 t.a.(i) 0 t.k)
+    d.d_a;
+  Array.blit d.d_b 0 t.b 0 t.k;
+  t.anchor_scale <- d.d_anchor_scale;
+  t.n <- d.d_n;
+  t.cache <- None

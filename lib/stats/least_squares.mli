@@ -42,3 +42,24 @@ val observations : t -> int
 val simple_fit : (float * float) list -> float * float
 (** Ordinary least squares for y = a + b x over (x, y) pairs; returns
     (a, b). @raise Invalid_argument with fewer than 2 distinct x. *)
+
+(** {2 Checkpointing}
+
+    The accumulated normal equations plus the anchor scale and
+    observation count — everything that evolves at run time. The
+    designer inputs ([init], [forgetting]) are reconstructed by the
+    caller's re-registration, so they are not part of the dump. *)
+
+type dump = {
+  d_a : float array array;
+  d_b : float array;
+  d_anchor_scale : float;
+  d_n : int;
+}
+
+val dump : t -> dump
+(** Deep copy: mutating the fit afterwards does not alter the dump. *)
+
+val restore : t -> dump -> unit
+(** Overwrite the fit's accumulated state with the dump's.
+    @raise Invalid_argument on a dimension mismatch. *)

@@ -56,3 +56,30 @@ let of_list xs =
   let t = create () in
   add_all t xs;
   t
+
+type dump = {
+  d_n : int;
+  d_mean : float;
+  d_m2 : float;
+  d_lo : float;
+  d_hi : float;
+  d_total : float;
+}
+
+let dump t =
+  {
+    d_n = t.n;
+    d_mean = t.mean;
+    d_m2 = t.m2;
+    d_lo = t.lo;
+    d_hi = t.hi;
+    d_total = t.total;
+  }
+
+let restore t d =
+  t.n <- d.d_n;
+  t.mean <- d.d_mean;
+  t.m2 <- d.d_m2;
+  t.lo <- d.d_lo;
+  t.hi <- d.d_hi;
+  t.total <- d.d_total

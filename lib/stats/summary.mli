@@ -30,3 +30,20 @@ val merge : t -> t -> t
 (** Summary of the union of both streams (Chan's parallel update). *)
 
 val of_list : float list -> t
+
+(** {2 Checkpointing} *)
+
+type dump = {
+  d_n : int;
+  d_mean : float;
+  d_m2 : float;
+  d_lo : float;  (** +infinity when empty *)
+  d_hi : float;  (** -infinity when empty *)
+  d_total : float;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** Overwrite [t]'s running state with the dump's; used by
+    {!Taqp_recover} checkpoints. *)

@@ -115,3 +115,17 @@ let sleep_until t at =
         ignore (Sys.opaque_identity ())
       done;
       check_deadline t
+
+(* ------------------------------------------------------------------ *)
+(* Recovery: both restore operations are deliberately silent — the
+   resumed process replays nothing, so it must also emit nothing that
+   an uninterrupted run would not have emitted at this point. *)
+
+let restore t ~now:at =
+  match t.kind with
+  | Virtual v -> v.t <- at
+  | Wall _ -> invalid_arg "Clock.restore: wall clock cannot be restored"
+
+let restore_deadline t ~mode ~at =
+  t.deadline <- Some at;
+  t.mode <- mode

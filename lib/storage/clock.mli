@@ -45,10 +45,18 @@ val charge : t -> float -> unit
 type deadline_mode = [ `Abort | `Observe ]
 
 val arm : t -> mode:deadline_mode -> at:float -> unit
-(** Arm a deadline at absolute clock time [at]. At most one deadline is
-    armed at a time: arming {e replaces} any previously armed deadline
-    and mode, so a charge or sleep can only ever fire the most recently
-    armed one. This is what lets interleaved jobs share the clock — a
+(** Arm a deadline at absolute clock time [at], and record a
+    [deadline.armed] instant on the attached tracer. At most one
+    deadline is armed at a time: arming {e replaces} any previously
+    armed deadline and mode — there is no deadline stack, and the
+    replaced instant can never fire again.
+
+    Recovery note ({!Taqp_recover}): a resumed run re-arms from the
+    {e original} absolute deadline recorded in the journal, never from
+    [now + quota] — crash downtime is lost quota, exactly as an
+    absolute transaction deadline demands. It does so through
+    {!restore_deadline} (silent), not [arm], so the resumed trace
+    stream carries no second [deadline.armed] instant. This is what lets interleaved jobs share the clock — a
     job re-arms its own deadline at every stage boundary, and a
     finished job's deadline must be {!disarm}ed (the executor does this
     when it finalizes a report) so that a later [sleep_until] past the
@@ -91,3 +99,18 @@ val sleep_until : t -> float -> unit
 
 val set_tracer : t -> Taqp_obs.Tracer.t -> unit
 val tracer : t -> Taqp_obs.Tracer.t
+
+(** {2 Recovery}
+
+    Used only by {!Taqp_recover} when rebuilding a crashed process's
+    device. Both are silent: they emit no trace events and perform no
+    deadline checks, because resuming must be observationally neutral —
+    the journal already contains everything the dead process emitted. *)
+
+val restore : t -> now:float -> unit
+(** Set a virtual clock to an absolute time (forwards or backwards —
+    recovery lands exactly on the journaled instant).
+    @raise Invalid_argument on a wall clock. *)
+
+val restore_deadline : t -> mode:deadline_mode -> at:float -> unit
+(** Exactly {!arm} minus the [deadline.armed] trace instant. *)

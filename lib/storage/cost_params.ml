@@ -15,6 +15,7 @@ type t = {
   estimator_per_tuple : float;
   jitter_sigma : float;
   clock_tick : float;
+  journal_byte_write : float;
 }
 
 let default =
@@ -35,6 +36,9 @@ let default =
     estimator_per_tuple = 0.0002;
     jitter_sigma = 0.06;
     clock_tick = 0.080;
+    (* sequential append to a write-ahead log: ~one page_write per
+       KiB of journal payload *)
+    journal_byte_write = 1.5e-5;
   }
 
 let no_jitter t = { t with jitter_sigma = 0.0 }
@@ -57,6 +61,7 @@ let scale k t =
     estimator_per_tuple = k *. t.estimator_per_tuple;
     jitter_sigma = t.jitter_sigma;
     clock_tick = k *. t.clock_tick;
+    journal_byte_write = k *. t.journal_byte_write;
   }
 
 let fast = { (scale 0.01 default) with stage_overhead = 0.01 *. default.stage_overhead }

@@ -35,6 +35,11 @@ type t = {
       (** granularity of the OS clock the adaptive formulas read: observed
           step durations are quantized to this tick (the prototype noted
           its "system clock did not provide enough accuracy"); 0 = exact *)
+  journal_byte_write : float;
+      (** append one byte to the crash-recovery stage journal
+          ({!Taqp_recover}): a sequential, unjittered log write. Only
+          charged when journaling is enabled — with journaling off this
+          rate is never consulted. *)
 }
 
 val default : t

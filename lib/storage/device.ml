@@ -12,6 +12,7 @@ type fault_meters = {
   m_latency_spikes : Metrics.Counter.t;
   m_stalls : Metrics.Counter.t;
   m_unrecoverable : Metrics.Counter.t;
+  m_crashes : Metrics.Counter.t;
 }
 
 type t = {
@@ -46,6 +47,7 @@ let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer ?faults
               m_latency_spikes = Metrics.counter metrics "fault.latency_spikes";
               m_stalls = Metrics.counter metrics "fault.stalls";
               m_unrecoverable = Metrics.counter metrics "fault.unrecoverable";
+              m_crashes = Metrics.counter metrics "fault.crashes";
             } )
     | Some _ | None -> None
   in
@@ -104,6 +106,7 @@ let bump_meter meters = function
   | Fault_plan.Torn_block -> Metrics.Counter.incr meters.m_torn_blocks
   | Fault_plan.Latency_spike _ -> Metrics.Counter.incr meters.m_latency_spikes
   | Fault_plan.Stall _ -> Metrics.Counter.incr meters.m_stalls
+  | Fault_plan.Crash -> Metrics.Counter.incr meters.m_crashes
 
 let fault_instant t ~op ~attempt kind =
   if Tracer.enabled t.tracer then
@@ -111,7 +114,7 @@ let fault_instant t ~op ~attempt kind =
       match kind with
       | Fault_plan.Latency_spike f -> [ ("factor", Event.Float f) ]
       | Fault_plan.Stall d -> [ ("duration", Event.Float d) ]
-      | Fault_plan.Read_error | Fault_plan.Torn_block -> []
+      | Fault_plan.Read_error | Fault_plan.Torn_block | Fault_plan.Crash -> []
     in
     Tracer.instant t.tracer ~cat:"fault"
       ~args:
@@ -155,6 +158,15 @@ let faulted_charge t inj meters name cost =
         fault_instant t ~op:name ~attempt:n kind;
         Injector.add_injected_time inj d;
         Clock.charge t.clock d
+    | Some (Fault_plan.Crash as kind) ->
+        (* The process dies at the charge point. Nothing is degraded,
+           nothing is retried — the exception escapes everything; only
+           state journaled before this instant survives. *)
+        bump_meter meters kind;
+        Injector.record inj ~op:name ~kind ~at:(Clock.now t.clock) ~attempt:n
+          ~recovered:false;
+        fault_instant t ~op:name ~attempt:n kind;
+        raise (Injector.Crashed { op = name; at = Clock.now t.clock })
     | Some ((Fault_plan.Read_error | Fault_plan.Torn_block) as kind) ->
         let recovered = n <= plan.Fault_plan.max_retries in
         bump_meter meters kind;
@@ -254,9 +266,58 @@ let stage_overhead t =
 
 let misc t cost = Clock.charge t.clock cost
 
+(* A checkpoint append to the write-ahead stage journal. Sequential,
+   unjittered and exempt from fault injection: the journal is what
+   recovery trusts, so modeling it on a separate, reliable log stream
+   keeps the jitter and fault PRNG streams identical between a
+   journaled and a plain run — and between the crashed run and its
+   resumed continuation, which is what makes boundary-crash recovery
+   bit-identical. The cost is still real clock time: an armed abort
+   deadline can fire mid-checkpoint. *)
+let journal_write t ~bytes =
+  if bytes > 0 then begin
+    let cost = float_of_int bytes *. t.params.journal_byte_write in
+    if Tracer.enabled t.tracer then begin
+      let begin_ts = Clock.now t.clock in
+      Clock.charge t.clock cost;
+      Tracer.complete t.tracer ~cat:"storage" ~begin_ts "journal_write"
+    end
+    else Clock.charge t.clock cost
+  end
+
 let merge_setup t = traced_charge t "merge_setup" t.params.merge_setup
 
 let measure t seconds =
   let tick = t.params.clock_tick in
   if tick <= 0.0 then seconds
   else Float.max 0.0 (Float.round (seconds /. tick) *. tick)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: everything mutable behind the device except the clock
+   itself, which recovery restores separately to the checkpoint's
+   instant (the journal-append charge lands between the executor
+   snapshot and the record write). *)
+
+type dump = {
+  d_io : int list;
+  d_jitter : Taqp_rng.Prng.state option;
+  d_faults : Injector.dump option;
+}
+
+let dump t =
+  {
+    d_io = Io_stats.values t.stats;
+    d_jitter = Option.map Taqp_rng.Prng.state t.jitter_rng;
+    d_faults = Option.map (fun (inj, _) -> Injector.dump inj) t.faults;
+  }
+
+let restore t d =
+  Io_stats.restore t.stats d.d_io;
+  (match (t.jitter_rng, d.d_jitter) with
+  | None, None -> ()
+  | Some rng, Some st -> Taqp_rng.Prng.set_state rng st
+  | _ -> invalid_arg "Device.restore: jitter presence mismatch");
+  match (t.faults, d.d_faults) with
+  | None, None -> ()
+  | Some (inj, _), Some idump -> Injector.restore inj idump
+  | _ -> invalid_arg "Device.restore: fault-injector presence mismatch"

@@ -92,3 +92,35 @@ val measure : t -> float -> float
 (** What the device's OS clock reports for a [seconds]-long interval:
     quantized to {!Cost_params.clock_tick} — the measurement the
     adaptive cost formulas are trained on. *)
+
+val journal_write : t -> bytes:int -> unit
+(** Append [bytes] of checkpoint payload to the crash-recovery stage
+    journal: charges [bytes * journal_byte_write] seconds to the clock
+    (an armed abort deadline can fire mid-checkpoint) and emits a
+    [journal_write] storage span. The charge is sequential-log style —
+    unjittered and exempt from fault injection — so enabling
+    journaling perturbs neither the jitter nor the fault PRNG stream,
+    and a resumed run's charge sequence matches the uninterrupted
+    one's. No-op for [bytes <= 0]. *)
+
+(** {2 Checkpointing}
+
+    A {!dump} captures the device-side mutable state a
+    {!Taqp_recover} checkpoint must carry: the [io.*] counters, the
+    jitter stream position and the fault injector's state. The clock
+    is deliberately not included — recovery restores it separately to
+    the journaled checkpoint instant via {!Clock.restore}. A restore
+    targets a device rebuilt with the same shape (same jitter
+    presence, same fault plan). *)
+
+type dump = {
+  d_io : int list;
+  d_jitter : Taqp_rng.Prng.state option;
+  d_faults : Taqp_fault.Injector.dump option;
+}
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** @raise Invalid_argument if the jitter or injector presence differs
+    between the dump and the target device. *)

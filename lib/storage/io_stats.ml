@@ -97,3 +97,11 @@ let pp ppf t =
     (blocks_read t) (retries t) (tuples_checked t) (pages_written t)
     (temp_tuples_written t) (tuples_sorted t) (tuples_merged t)
     (tuples_hashed t) (tuples_probed t) (tuples_output t) (stages t)
+
+let values t = List.map Counter.value (fields t)
+
+let restore t vs =
+  let fs = fields t in
+  if List.length vs <> List.length fs then
+    invalid_arg "Io_stats.restore: field count mismatch";
+  List.iter2 Counter.set fs vs

@@ -58,3 +58,13 @@ val diff : t -> t -> t
 (** [diff later earlier]: activity between two snapshots (detached). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Checkpointing} *)
+
+val values : t -> int list
+(** Every counter value in a fixed internal order, for the
+    {!Taqp_recover} checkpoint codec. *)
+
+val restore : t -> int list -> unit
+(** Overwrite the counters with values from a previous {!values}.
+    @raise Invalid_argument on a length mismatch. *)

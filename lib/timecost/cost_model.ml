@@ -88,3 +88,34 @@ let step_coefficients t ~id ~step =
 
 let total t plan =
   List.fold_left (fun acc (id, m) -> acc +. predict t ~id m) 0.0 plan
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing: the fitted state per (node, step), keyed positionally
+   within each node (a node's step list is a pure function of its
+   kind), restored into a freshly re-registered model. *)
+
+type step_state = { ss_calibration : float; ss_fit : Least_squares.dump }
+type dump = (int * step_state list) list
+
+let dump t =
+  List.map
+    (fun id ->
+      ( id,
+        List.map
+          (fun s ->
+            { ss_calibration = s.calibration; ss_fit = Least_squares.dump s.model })
+          (node t id).steps ))
+    (ids t)
+
+let restore t d =
+  List.iter
+    (fun (id, states) ->
+      let steps = (node t id).steps in
+      if List.length steps <> List.length states then
+        invalid_arg "Cost_model.restore: step count mismatch";
+      List.iter2
+        (fun s st ->
+          s.calibration <- st.ss_calibration;
+          Least_squares.restore s.model st.ss_fit)
+        steps states)
+    d

@@ -38,3 +38,27 @@ val step_coefficients : t -> id:int -> step:Formulas.step -> float array
 
 val total : t -> (int * Formulas.measures) list -> float
 (** Sum of predictions — QCOST for a stage plan. *)
+
+(** {2 Checkpointing}
+
+    The fitted coefficients, calibration levels and observation counts
+    for every registered (node, step) — the run-time-learned state a
+    {!Taqp_recover} checkpoint must carry across a crash. Steps are
+    keyed by position within their node (a node's step list is a pure
+    function of its kind), so a dump restores cleanly into a model
+    whose nodes were re-registered by recompiling the same query. *)
+
+type step_state = {
+  ss_calibration : float;
+  ss_fit : Taqp_stats.Least_squares.dump;
+}
+
+type dump = (int * step_state list) list
+(** Per node id (ascending), the per-step fitted state in step order. *)
+
+val dump : t -> dump
+
+val restore : t -> dump -> unit
+(** Restore into a model with the same registered nodes.
+    @raise Invalid_argument if a dumped node id is not registered or
+    its step count differs. *)

@@ -337,6 +337,64 @@ let test_degraded_ci_widening_bounds () =
   checkb "widened at least to nominal" true (hw >= base -. 1e-12);
   checkb "widened at most 2x" true (hw <= (2.0 *. base) +. 1e-12)
 
+(* The widening factor itself, pure ({!Report.widening_factor}). Edge
+   cases first, then monotonicity as a qcheck property: for a fixed
+   quota, less useful time can never narrow the interval. *)
+let test_widening_factor_edges () =
+  checkf "zero unused quota -> no widening" 1.0
+    (Report.widening_factor ~quota:2.0 ~useful_time:2.0);
+  checkf "overspent useful time clamps to 1" 1.0
+    (Report.widening_factor ~quota:2.0 ~useful_time:3.5);
+  checkf "full quota unused -> doubled" 2.0
+    (Report.widening_factor ~quota:2.0 ~useful_time:0.0);
+  checkf "negative useful time clamps to 2" 2.0
+    (Report.widening_factor ~quota:2.0 ~useful_time:(-1.0));
+  checkf "zero quota -> worst case" 2.0
+    (Report.widening_factor ~quota:0.0 ~useful_time:0.0);
+  checkf "negative quota -> worst case" 2.0
+    (Report.widening_factor ~quota:(-1.0) ~useful_time:0.5);
+  checkf "half the quota useful" 1.5
+    (Report.widening_factor ~quota:2.0 ~useful_time:1.0)
+
+let widening_monotone =
+  QCheck.Test.make ~count:500 ~name:"widening factor monotone in lost quota"
+    QCheck.(triple (float_bound_exclusive 100.0) pos_float pos_float)
+    (fun (quota, u1, u2) ->
+      let quota = quota +. 1e-6 in
+      let lo = Float.min u1 u2 and hi = Float.max u1 u2 in
+      let f_lo = Report.widening_factor ~quota ~useful_time:lo
+      and f_hi = Report.widening_factor ~quota ~useful_time:hi in
+      f_lo >= f_hi && f_lo >= 1.0 && f_lo <= 2.0 && f_hi >= 1.0 && f_hi <= 2.0)
+
+(* Faulted-plus-aborted: a run whose last stage was both cut by the
+   hard deadline and ended by an unrecoverable fault is degraded
+   once — the factor depends only on quota and useful time, so the
+   combined report still obeys the [nominal, 2 x nominal] envelope. *)
+let test_widening_faulted_plus_aborted () =
+  let plan =
+    Fault_plan.make
+      [ Fault_plan.rule ~probability:1.0 ~after:0.5 Fault_plan.Read_error ]
+  in
+  let config = { Fixtures.observe_config with Config.stopping = Taqp_timecontrol.Stopping.Hard_deadline } in
+  let r =
+    Taqp.count_within ~config ~seed:2 ~faults:plan wl.Paper_setup.catalog
+      ~quota:2.0 wl.Paper_setup.query
+  in
+  checkb "degraded" true r.Report.degraded;
+  checkb "ended by deadline or fault" true
+    (match r.Report.outcome with
+    | Report.Faulted | Report.Aborted_mid_stage -> true
+    | _ -> false);
+  let base =
+    (Confidence.normal ~mean:r.Report.estimate ~variance:r.Report.variance
+       ~level:0.95)
+      .Confidence.half_width
+  in
+  let hw = r.Report.confidence.Confidence.half_width in
+  checkb "widened at least to nominal" true (hw >= base -. 1e-12);
+  checkb "widened at most 2x (never compounded)" true
+    (hw <= (2.0 *. base) +. 1e-12)
+
 let () =
   Alcotest.run "fault"
     [
@@ -381,5 +439,10 @@ let () =
             test_unrecoverable_yields_degraded_report;
           Alcotest.test_case "CI widening bounds" `Quick
             test_degraded_ci_widening_bounds;
+          Alcotest.test_case "widening factor edges" `Quick
+            test_widening_factor_edges;
+          QCheck_alcotest.to_alcotest widening_monotone;
+          Alcotest.test_case "faulted plus aborted widens once" `Quick
+            test_widening_faulted_plus_aborted;
         ] );
     ]

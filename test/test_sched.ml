@@ -417,6 +417,53 @@ let test_job_file_errors () =
   (* deadline before arrival *)
   bad "0.0 | 8.0 | count(select[sel <<< 100](r))"
 
+(* Each malformed-line shape reports the offending field by name and
+   value, and [of_lines] prefixes the 1-based line number — never a
+   bare [Failure]. *)
+let test_job_file_error_shapes () =
+  let wl = Lazy.force selection in
+  let catalog = wl.Paper_setup.catalog in
+  let err l =
+    match Job.of_line ~catalog ~id:0 l with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "line %S should not parse" l
+  in
+  let q = "count(select[sel < 100](r))" in
+  checks "bad arrival names field and value" "bad arrival \"x\""
+    (err ("x | 8.0 | " ^ q));
+  checks "bad deadline names field and value" "bad deadline \"soon\""
+    (err ("0.0 | soon | " ^ q));
+  checks "bad priority names field and value" "bad priority \"zero\""
+    (err ("0.0 | 8.0 | " ^ q ^ " | priority=zero"));
+  checks "priority below one rejected" "bad priority \"0\""
+    (err ("0.0 | 8.0 | " ^ q ^ " | priority=0"));
+  checks "bad seed names field and value" "bad seed \"s\""
+    (err ("0.0 | 8.0 | " ^ q ^ " | seed=s"));
+  checks "bad min_rhw names field and value" "bad min_rhw \"-1\""
+    (err ("0.0 | 8.0 | " ^ q ^ " | min_rhw=-1"));
+  checks "unknown option named" "unknown option \"quux\""
+    (err ("0.0 | 8.0 | " ^ q ^ " | quux=1"));
+  checks "non key=value option shown verbatim" "option \"fast\" is not key=value"
+    (err ("0.0 | 8.0 | " ^ q ^ " | fast"));
+  checks "field-count shape error"
+    "expected 'arrival | deadline | query [| options]' (3 or 4 fields)"
+    (err "nonsense");
+  checkb "query parse error carries offset" true
+    (let m = err "0.0 | 8.0 | count(select[sel <<< 100](r))" in
+     String.length m >= 27
+     && String.sub m 0 27 = "query parse error at offset");
+  checks "deadline before arrival surfaces Job.make's message"
+    "Job.make: deadline before arrival"
+    (err ("5.0 | 4.0 | " ^ q));
+  (* of_lines: the 1-based line number of the offending raw line —
+     comments and blanks count as lines but never shift job ids. *)
+  (match
+     Job.of_lines ~catalog
+       [ "# header"; ""; "0.0 | 8.0 | " ^ q; "x | 9.0 | " ^ q ]
+   with
+  | Error m -> checks "line number prefixed" "line 4: bad arrival \"x\"" m
+  | Ok _ -> Alcotest.fail "expected a parse error")
+
 let test_job_make_validation () =
   let wl = Lazy.force selection in
   let catalog = wl.Paper_setup.catalog in
@@ -491,6 +538,8 @@ let () =
           Alcotest.test_case "parse options" `Quick test_job_file_parsing;
           Alcotest.test_case "reject malformed lines" `Quick
             test_job_file_errors;
+          Alcotest.test_case "error shapes name field and line" `Quick
+            test_job_file_error_shapes;
           Alcotest.test_case "make validates" `Quick test_job_make_validation;
         ] );
     ]

@@ -109,6 +109,37 @@ let test_clock_sleep_until_abort_traced () =
   checkf 1e-12 "abort stamped at the deadline" 2.0 e.Taqp_obs.Event.ts;
   Alcotest.(check string) "clock category" "clock" e.Taqp_obs.Event.cat
 
+(* The recovery contract ({!Clock.restore} / {!Clock.restore_deadline}):
+   both are silent — no trace events, no deadline checks — and a
+   resumed run re-arms at the ORIGINAL absolute deadline recorded in
+   the journal, never at [now + quota]: downtime is lost quota, not
+   extra time. *)
+let test_clock_restore_silent_rearm () =
+  let c = Clock.create_virtual () in
+  let sink, events = Taqp_obs.Sink.memory () in
+  Clock.set_tracer c (Taqp_obs.Tracer.make ~now:(fun () -> Clock.now c) ~sink);
+  Clock.restore c ~now:7.5;
+  checkf 1e-12 "restored forward" 7.5 (Clock.now c);
+  Clock.restore c ~now:3.25;
+  checkf 1e-12 "restored backward" 3.25 (Clock.now c);
+  Clock.restore_deadline c ~mode:`Abort ~at:4.0;
+  checkb "armed at the original absolute instant" true
+    (Clock.armed c = Some (`Abort, 4.0));
+  checki "restore and restore_deadline emit no events" 0
+    (List.length (events ()));
+  (* The restored deadline is live: it interrupts exactly like one set
+     through [arm]... *)
+  (match Clock.charge c 2.0 with
+  | () -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Clock.Deadline_exceeded { deadline; _ } ->
+      checkf 1e-12 "fires at the restored absolute deadline" 4.0 deadline);
+  (* ...and the only difference from [arm] is the traced instant. *)
+  Clock.arm c ~mode:`Observe ~at:9.0;
+  checkb "arm emits deadline.armed" true
+    (List.exists
+       (fun (e : Taqp_obs.Event.t) -> e.Taqp_obs.Event.name = "deadline.armed")
+       (events ()))
+
 (* Re-arming REPLACES the previous deadline — the contract the
    multi-query scheduler leans on when it switches the shared clock
    between jobs at stage boundaries. *)
@@ -460,6 +491,8 @@ let () =
             test_clock_deadline_exact_landing;
           Alcotest.test_case "observe overspend accounting" `Quick
             test_clock_observe_overspend_accounting;
+          Alcotest.test_case "restore is silent, re-arm absolute" `Quick
+            test_clock_restore_silent_rearm;
           Alcotest.test_case "re-arm replaces deadline" `Quick
             test_clock_rearm_replaces;
           Alcotest.test_case "disarm kills stale deadline" `Quick
