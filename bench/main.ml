@@ -12,6 +12,7 @@
      main.exe --micro              bechamel micro-benchmarks
      main.exe --scheduling         deadline-miss simulation (exact vs taqp)
      main.exe --sched              scheduler policy/admission sweep (BENCH_sched.json)
+     main.exe --audit              deadline accountability audit (BENCH_audit.json)
      main.exe --perf               physical-path perf report (BENCH_perf.json)
      main.exe --chaos              fault-injection matrix (BENCH_chaos.json)
      main.exe --chaos --fault-seed 7   ... with a different injector seed
@@ -21,8 +22,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
-     [--micro] [--scheduling] [--sched] [--perf] [--chaos] [--fault-seed N] \
-     [--recover] [--full]";
+     [--micro] [--scheduling] [--sched] [--audit] [--perf] [--chaos] \
+     [--fault-seed N] [--recover] [--full]";
   exit 1
 
 type mode =
@@ -31,6 +32,7 @@ type mode =
   | Micro
   | Scheduling
   | Sched_bench
+  | Audit_bench
   | Perf
   | Chaos
   | Recover
@@ -73,6 +75,9 @@ let () =
     | "--sched" :: rest ->
         mode := Sched_bench;
         parse rest
+    | "--audit" :: rest ->
+        mode := Audit_bench;
+        parse rest
     | "--perf" :: rest ->
         mode := Perf;
         parse rest
@@ -109,6 +114,7 @@ let () =
   | Micro -> Micro.run ()
   | Scheduling -> Scheduling.run ()
   | Sched_bench -> Scheduling.write ()
+  | Audit_bench -> Audit.write ()
   | Perf -> Perf.write ()
   | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
   | Recover -> Recover.write ()
@@ -117,6 +123,7 @@ let () =
       Ablations.all ~trials ();
       Scheduling.run ();
       Scheduling.write ();
+      Audit.write ();
       Micro.run ();
       Perf.write ();
       Chaos.write ~fault_seed:!fault_seed ();

@@ -183,7 +183,7 @@ let solo_cell () =
 
 let sched_cell () =
   let mean_gap = 2.0 and n = 40 and downtime = 2.0 in
-  let jobs = List.map snd (Scheduling.make_jobs ~n ~mean_gap ~seed:777) in
+  let jobs = List.map snd (Scheduling.make_jobs ~n ~mean_gap ~seed:777 ()) in
   (* A clean journaled run first, to place the crash mid-makespan. *)
   let base_path = temp_journal "sched_base" in
   let bw = Journal.create base_path in

@@ -64,19 +64,21 @@ let classes =
         None );
     |]
 
-let job_config ~init_join =
+let job_config ~init_join ~trace =
   {
     Config.default with
     Config.stopping = Stopping.Hard_deadline;
-    trace = false;
+    trace;
     initial_selectivities =
       { Config.no_initial_overrides with Config.join = init_join };
   }
 
 (* Deterministic Poisson arrivals: the same [seed] and [mean_gap]
    always build the same job list, so every policy/admission cell of
-   the sweep (and both policies of [run]) sees the identical stream. *)
-let make_jobs ~n ~mean_gap ~seed =
+   the sweep (and both policies of [run]) sees the identical stream.
+   [trace] turns on per-stage report traces — the audit bench needs
+   them for drift evidence; the sweep keeps them off. *)
+let make_jobs ?(trace = false) ~n ~mean_gap ~seed () =
   let rng = Prng.create seed in
   let t = ref 0.0 in
   List.init n (fun i ->
@@ -86,7 +88,7 @@ let make_jobs ~n ~mean_gap ~seed =
       in
       ( wl,
         Job.make ~label:(Fmt.str "%s-%d" name i) ~priority ?min_confidence
-          ~config:(job_config ~init_join) ~seed:(1000 + i)
+          ~config:(job_config ~init_join ~trace) ~seed:(1000 + i)
           ~exact:wl.Paper_setup.exact ~id:i ~catalog:wl.Paper_setup.catalog
           ~arrival:!t ~deadline:(!t +. slack) wl.Paper_setup.query ))
 
@@ -132,7 +134,7 @@ let run ?(jobs_per_run = 60) () =
     "TAQP miss%  (mean relerr)";
   List.iter
     (fun mean_gap ->
-      let jobs = make_jobs ~n:jobs_per_run ~mean_gap ~seed:777 in
+      let jobs = make_jobs ~n:jobs_per_run ~mean_gap ~seed:777 () in
       let exact_missed = run_exact jobs in
       let result =
         Scheduler.run ~policy:Policy.Fifo (List.map snd jobs)
@@ -169,7 +171,7 @@ let write ?(path = "BENCH_sched.json") ?(jobs_per_cell = 40) () =
     List.concat_map
       (fun mean_gap ->
         let jobs =
-          List.map snd (make_jobs ~n:jobs_per_cell ~mean_gap ~seed:777)
+          List.map snd (make_jobs ~n:jobs_per_cell ~mean_gap ~seed:777 ())
         in
         List.concat_map
           (fun policy ->

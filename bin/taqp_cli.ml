@@ -25,6 +25,12 @@ module Executor = Taqp_core.Executor
 module Query_journal = Taqp_recover.Query_journal
 module Checkpoint = Taqp_recover.Checkpoint
 module Sched_journal = Taqp_sched.Sched_journal
+module Json = Taqp_obs.Json
+module Ledger = Taqp_audit.Ledger
+module Meter = Taqp_audit.Meter
+module Drift = Taqp_audit.Drift
+module Forensics = Taqp_audit.Forensics
+module Slo = Taqp_audit.Slo
 
 let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
 
@@ -671,51 +677,387 @@ let exact_cmd =
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
 
-let explain_cmd =
-  let run dir query =
-    match parse_query query with
-    | Error e -> fail "%s" e
-    | Ok expr -> (
-        let catalog = load_catalog dir in
-        match Taqp_estimators.Inclusion_exclusion.rewrite expr with
-        | terms ->
-                Fmt.pr "relations:@.";
-                List.iter
-                  (fun name ->
-                    let f = Catalog.find catalog name in
-                    Fmt.pr "  %-12s %6d tuples  %5d blocks  schema %a@." name
-                      (Heap_file.n_tuples f) (Heap_file.n_blocks f)
-                      Taqp_data.Schema.pp (Heap_file.schema f))
-                  (Catalog.names catalog);
-                Fmt.pr "result schema: %a@." Taqp_data.Schema.pp
-                  (Taqp_relational.Ra.infer_catalog catalog expr);
-                Fmt.pr "inclusion-exclusion terms (%d):@." (List.length terms);
-                List.iter
-                  (fun (sign, t) ->
-                    Fmt.pr "  %c %a@."
-                      (if sign > 0 then '+' else '-')
-                      Taqp_relational.Ra.pp t)
-                  terms;
-                let cm = Taqp_timecost.Cost_model.create () in
-                let staged =
-                  Staged.compile ~catalog ~config:Config.default
-                    ~rng:(Taqp_rng.Prng.create 1) ~cost_model:cm expr
-                in
-                Fmt.pr "predicted first-stage cost (untrained cost model):@.";
-                List.iter
-                  (fun f ->
-                    Fmt.pr "  f = %-6g -> %8.2f s@." f
-                      (Staged.predicted_cost staged ~f ~mode:Staged.Plain))
-                  [ 0.001; 0.01; 0.05; 0.1; 0.5 ];
-            `Ok ()
-        | exception Taqp_estimators.Inclusion_exclusion.Unsupported m ->
-            fail "%s" m
-        | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m)
+(* The static half of explain: compiled terms and the untrained cost
+   curve, unchanged from previous releases. *)
+let explain_static catalog expr =
+  match Taqp_estimators.Inclusion_exclusion.rewrite expr with
+  | terms ->
+      Fmt.pr "relations:@.";
+      List.iter
+        (fun name ->
+          let f = Catalog.find catalog name in
+          Fmt.pr "  %-12s %6d tuples  %5d blocks  schema %a@." name
+            (Heap_file.n_tuples f) (Heap_file.n_blocks f)
+            Taqp_data.Schema.pp (Heap_file.schema f))
+        (Catalog.names catalog);
+      Fmt.pr "result schema: %a@." Taqp_data.Schema.pp
+        (Taqp_relational.Ra.infer_catalog catalog expr);
+      Fmt.pr "inclusion-exclusion terms (%d):@." (List.length terms);
+      List.iter
+        (fun (sign, t) ->
+          Fmt.pr "  %c %a@."
+            (if sign > 0 then '+' else '-')
+            Taqp_relational.Ra.pp t)
+        terms;
+      let cm = Taqp_timecost.Cost_model.create () in
+      let staged =
+        Staged.compile ~catalog ~config:Config.default
+          ~rng:(Taqp_rng.Prng.create 1) ~cost_model:cm expr
+      in
+      Fmt.pr "predicted first-stage cost (untrained cost model):@.";
+      List.iter
+        (fun f ->
+          Fmt.pr "  f = %-6g -> %8.2f s@." f
+            (Staged.predicted_cost staged ~f ~mode:Staged.Plain))
+        [ 0.001; 0.01; 0.05; 0.1; 0.5 ];
+      `Ok ()
+  | exception Taqp_estimators.Inclusion_exclusion.Unsupported m -> fail "%s" m
+  | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m
+
+(* The audited half: actually run the query with a budget ledger on the
+   device's spend listener and a drift monitor on the executor's cost
+   observations, then account for every virtual second. Same rng-stream
+   discipline as [Taqp.aggregate_within] (both hooks are observational),
+   so the report matches a plain [taqp query] run bit for bit. *)
+let run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr =
+  let params = Taqp_storage.Cost_params.default in
+  let rng = Taqp_rng.Prng.create seed in
+  let clock = Taqp_storage.Clock.create_virtual () in
+  let fault_seed = Option.value fault_seed ~default:seed in
+  let faults =
+    match fault_plan with
+    | None -> None
+    | Some plan when Fault_plan.is_none plan -> None
+    | Some plan -> Some (Taqp_fault.Injector.create ~seed:fault_seed plan)
   in
-  let term = Term.(ret (const run $ dir_arg $ query_arg)) in
+  let device =
+    Taqp_storage.Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng)
+      ?faults clock
+  in
+  let ledger = Ledger.create () in
+  Taqp_storage.Device.set_spend_listener device (Some (Ledger.on_spend ledger));
+  let drift = Drift.create () in
+  let h =
+    Executor.start ~config ~aggregate:Aggregate.Count ~device ~catalog ~rng
+      ~quota expr
+  in
+  Executor.on_cost_observation h (Drift.observer drift);
+  let rec loop () =
+    match Executor.step h with `Continue -> loop () | `Done r -> r
+  in
+  let report = loop () in
+  (report, ledger, drift)
+
+let explain_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota
+    ~json query expr =
+  match
+    run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr
+  with
+  | exception Staged.Compile_error m -> fail "%s" m
+  | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m
+  | exception Taqp_fault.Injector.Crashed { op; at } ->
+      fail "crash fault killed the run during %s at t=%.3f" op at
+  | report, ledger, drift ->
+      let reconciliation = Ledger.reconcile ~quota ledger in
+      let drift_report = Drift.report drift in
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("query", Json.Str query);
+                  ("quota", Json.Num quota);
+                  ("seed", Json.Num (float_of_int seed));
+                  ( "outcome",
+                    Json.Str (Report.outcome_name report.Report.outcome) );
+                  ("estimate", Json.Num report.Report.estimate);
+                  ("elapsed", Json.Num report.Report.elapsed);
+                  ("degraded", Json.Bool report.Report.degraded);
+                  ("fault_time", Json.Num report.Report.fault_time);
+                  ("ledger", Ledger.reconciliation_json reconciliation);
+                  ("drift", Drift.report_json drift_report);
+                ]))
+      else begin
+        Fmt.pr "%a@." Report.pp report;
+        Fmt.pr "@.budget ledger (every virtual second, attributed):@.";
+        Fmt.pr "%a@." Ledger.pp_reconciliation reconciliation;
+        Fmt.pr "@.cost-model drift:@.%a@." Drift.pp_report drift_report
+      end;
+      `Ok ()
+
+let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
+    jobs_file =
+  let lines = In_channel.with_open_text jobs_file In_channel.input_lines in
+  match Taqp_sched.Job.of_lines ~catalog lines with
+  | Error m -> fail "%s: %s" jobs_file m
+  | Ok [] -> fail "%s: no jobs" jobs_file
+  | Ok jobs -> (
+      let faults =
+        Option.map
+          (fun plan -> Taqp_fault.Injector.create ~seed:fault_seed plan)
+          fault_plan
+      in
+      let meter = Meter.create () in
+      let drift = Drift.create () in
+      match
+        Taqp_sched.Scheduler.run ~policy ?admission ?faults
+          ~on_device:(Meter.attach meter)
+          ~account:(Meter.set_account meter)
+          ~on_dispatch:(fun _ h ->
+            Executor.on_cost_observation h (Drift.observer drift))
+          jobs
+      with
+      | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m
+      | exception Staged.Compile_error m -> fail "%s" m
+      | exception Taqp_fault.Injector.Crashed { op; at } ->
+          fail "crash fault killed the workload during %s at t=%.3f" op at
+      | result ->
+          let reports = result.Taqp_sched.Scheduler.reports in
+          let verdicts = List.filter_map Forensics.classify reports in
+          let breakdown = Forensics.breakdown verdicts in
+          let reconciliation_of (jr : Taqp_sched.Scheduler.job_report) =
+            let id = jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.id in
+            if List.mem id (Meter.job_ids meter) then
+              Some
+                (Ledger.reconcile ?quota:jr.Taqp_sched.Scheduler.quota
+                   (Meter.ledger meter id))
+            else None
+          in
+          let drift_report = Drift.report drift in
+          if json then
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ( "jobs",
+                        Json.List
+                          (List.map
+                             (fun jr ->
+                               let base =
+                                 match
+                                   Taqp_sched.Scheduler.job_report_json jr
+                                 with
+                                 | Json.Obj fields -> fields
+                                 | j -> [ ("report", j) ]
+                               in
+                               Json.Obj
+                                 (base
+                                 @ [
+                                     ( "cause",
+                                       match Forensics.classify jr with
+                                       | None -> Json.Null
+                                       | Some v -> Forensics.verdict_json v );
+                                     ( "ledger",
+                                       match reconciliation_of jr with
+                                       | None -> Json.Null
+                                       | Some r ->
+                                           Ledger.reconciliation_json r );
+                                   ]))
+                             reports) );
+                      ("forensics", Forensics.breakdown_json breakdown);
+                      ("drift", Drift.report_json drift_report);
+                      ( "summary",
+                        Taqp_sched.Scheduler.summary_json
+                          result.Taqp_sched.Scheduler.summary );
+                    ]))
+          else begin
+            List.iter
+              (fun (jr : Taqp_sched.Scheduler.job_report) ->
+                let late = jr.Taqp_sched.Scheduler.lateness in
+                match Forensics.classify jr with
+                | Some v ->
+                    Fmt.pr "%-16s %-16s late=%6.2fs  %a@."
+                      jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.label
+                      (Taqp_sched.Scheduler.outcome_name jr)
+                      late Forensics.pp_verdict v
+                | None ->
+                    Fmt.pr "%-16s %-16s %s@."
+                      jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.label
+                      (Taqp_sched.Scheduler.outcome_name jr)
+                      (if jr.Taqp_sched.Scheduler.admitted then "met deadline"
+                       else "not admitted"))
+              reports;
+            Fmt.pr "@.forensics: %d missed@." breakdown.Forensics.b_missed;
+            List.iter
+              (fun (c, n) ->
+                if n > 0 then
+                  Fmt.pr "  %-24s %d@." (Forensics.cause_name c) n)
+              breakdown.Forensics.b_by_cause;
+            let inexact =
+              List.filter
+                (fun jr ->
+                  match reconciliation_of jr with
+                  | Some r -> not r.Ledger.r_exact
+                  | None -> false)
+                reports
+            in
+            (if inexact = [] then
+               Fmt.pr
+                 "@.budget ledgers: all %d metered jobs reconcile bit-exactly@."
+                 (List.length (Meter.job_ids meter))
+             else
+               List.iter
+                 (fun (jr : Taqp_sched.Scheduler.job_report) ->
+                   Fmt.pr "@.LEDGER NOT EXACT for %s@."
+                     jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.label)
+                 inexact);
+            Fmt.pr "@.cost-model drift:@.%a@." Drift.pp_report drift_report;
+            Fmt.pr "@.%a@." Taqp_sched.Scheduler.pp_summary
+              result.Taqp_sched.Scheduler.summary
+          end;
+          `Ok ())
+
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "RA query, e.g. 'count(select[sel < 1000](r))'. Required unless \
+             $(b,--jobs) is given.")
+  in
+  let quota_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "q"; "quota" ] ~docv:"SECONDS"
+          ~doc:
+            "Audit an actual run: evaluate the query within this quota with \
+             a budget ledger attached, then print where every virtual \
+             second went and how the cost model is drifting.")
+  in
+  let physical_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("sort", Config.Sort_merge);
+               ("hash", Config.Hash);
+               ("adaptive", Config.Adaptive);
+             ])
+          Config.Sort_merge
+      & info [ "physical" ] ~docv:"PATH"
+          ~doc:"Physical path for the audited run: $(b,sort), $(b,hash) or \
+                $(b,adaptive).")
+  in
+  let observe_arg =
+    Arg.(
+      value & flag
+      & info [ "observe" ]
+          ~doc:
+            "Audit in ERAM's measurement mode: let the final stage finish \
+             and account the overspend instead of aborting at the deadline.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SCENARIO"
+          ~doc:
+            "Inject storage faults into the audited run (preset or DSL, see \
+             docs/ROBUSTNESS.md); the ledger attributes their cost to the \
+             fault category.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed of the fault injector's random stream (default: \
+                $(b,--seed)).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "j"; "jobs" ] ~docv:"FILE"
+          ~doc:
+            "Miss forensics over a whole workload: run the job file through \
+             the scheduler with per-job budget ledgers and name a root \
+             cause for every missed deadline (same file format as \
+             $(b,taqp serve)).")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             (List.map (fun p -> (Taqp_sched.Policy.name p, p))
+                Taqp_sched.Policy.all))
+          Taqp_sched.Policy.Edf
+      & info [ "policy" ] ~docv:"NAME"
+          ~doc:"With $(b,--jobs): scheduling policy.")
+  in
+  let admission_arg =
+    Arg.(
+      value & flag
+      & info [ "admission" ]
+          ~doc:"With $(b,--jobs): admission control on arrivals.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the audit as one JSON object instead of prose.")
+  in
+  let run dir query quota physical observe faults fault_seed jobs policy
+      admission json seed =
+    match
+      match faults with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Fault_plan.of_string s)
+    with
+    | Error m -> fail "bad --faults scenario: %s" m
+    | Ok fault_plan -> (
+        let catalog = load_catalog dir in
+        let admission =
+          if admission then Some (Taqp_sched.Admission.make ()) else None
+        in
+        match (jobs, query, quota) with
+        | Some jobs_file, None, _ ->
+            let fault_seed = Option.value fault_seed ~default:seed in
+            explain_workload ~policy ~admission ~fault_plan ~fault_seed
+              ~catalog ~json jobs_file
+        | Some _, Some _, _ -> fail "--jobs and a QUERY are exclusive"
+        | None, None, _ -> fail "a QUERY (or --jobs FILE) is required"
+        | None, Some q, Some quota -> (
+            match parse_query q with
+            | Error e -> fail "%s" e
+            | Ok expr ->
+                let stopping =
+                  if observe then Stopping.Soft_deadline { grace = 1e9 }
+                  else Stopping.Hard_deadline
+                in
+                let config =
+                  {
+                    Config.default with
+                    Config.stopping;
+                    physical;
+                    trace = true;
+                  }
+                in
+                explain_audited ~config ~seed ~fault_plan ~fault_seed
+                  ~catalog ~quota ~json q expr)
+        | None, Some q, None -> (
+            match parse_query q with
+            | Error e -> fail "%s" e
+            | Ok expr -> explain_static catalog expr))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ dir_arg $ query_arg $ quota_arg $ physical_arg
+       $ observe_arg $ faults_arg $ fault_seed_arg $ jobs_arg $ policy_arg
+       $ admission_arg $ json_arg $ seed_arg))
+  in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the compiled terms and the untrained cost curve.")
+       ~doc:
+         "Explain a query (compiled terms, cost curve) — or, with \
+          $(b,--quota) / $(b,--jobs), audit where the time went: budget \
+          ledger, cost-model drift and per-miss root causes.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -822,8 +1164,28 @@ let serve_cmd =
              the restart. Deadlines that passed during the outage expire \
              at dispatch instead of wasting budget.")
   in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo" ] ~docv:"TARGET"
+          ~doc:
+            "Monitor the workload against a miss-rate SLO: TARGET in [0,1] \
+             is the tolerated miss rate over the rolling window of the \
+             most recent admitted jobs. Prints the burn rate (observed \
+             miss rate over target — above 1.0 the error budget is \
+             burning) to stderr and adds an $(b,slo) object to the \
+             summary JSON line. 0 is a hard SLO: any miss is infinite \
+             burn.")
+  in
+  let slo_window_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "slo-window" ] ~docv:"N"
+          ~doc:"With $(b,--slo): rolling window size in jobs.")
+  in
   let run dir jobs_file policy admission max_queue headroom metrics faults
-      fault_seed journal recover downtime =
+      fault_seed journal recover downtime slo slo_window =
     match
       match faults with
       | None -> Ok None
@@ -841,6 +1203,11 @@ let serve_cmd =
         | Error m -> fail "%s" m
         | Ok admission -> (
             if downtime < 0.0 then fail "--downtime must be >= 0"
+            else if
+              match slo with Some t -> t < 0.0 || t > 1.0 | None -> false
+            then fail "--slo target must be in [0,1]"
+            else if slo <> None && slo_window < 1 then
+              fail "--slo-window must be >= 1"
             else if journal <> None && journal = recover then
               fail "--journal and --recover cannot name the same file"
             else
@@ -884,13 +1251,53 @@ let serve_cmd =
                         (Taqp_obs.Json.to_string
                            (Taqp_sched.Scheduler.job_report_json r)))
                     reports;
+                  (* SLO monitor: every admitted terminal job, replayed
+                     in completion order through the rolling window *)
+                  let slo_fields =
+                    match slo with
+                    | None -> []
+                    | Some target ->
+                        let monitor =
+                          Slo.create ~window:slo_window
+                            ~target_miss_rate:target ()
+                        in
+                        let terminal =
+                          List.map
+                            (fun (d : Sched_journal.done_record) ->
+                              ( d.Sched_journal.d_finished_at,
+                                d.Sched_journal.d_admitted,
+                                d.Sched_journal.d_missed,
+                                d.Sched_journal.d_lateness ))
+                            journaled
+                          @ List.filter_map
+                              (fun (r : Taqp_sched.Scheduler.job_report) ->
+                                match r.Taqp_sched.Scheduler.outcome with
+                                | Taqp_sched.Scheduler.Rejected _ -> None
+                                | _ ->
+                                    Some
+                                      ( r.Taqp_sched.Scheduler.finished_at,
+                                        r.Taqp_sched.Scheduler.admitted,
+                                        r.Taqp_sched.Scheduler.missed,
+                                        r.Taqp_sched.Scheduler.lateness ))
+                              reports
+                        in
+                        List.iter
+                          (fun (_, admitted, missed, lateness) ->
+                            if admitted then
+                              Slo.observe monitor ~missed ~lateness)
+                          (List.sort
+                             (fun (a, _, _, _) (b, _, _, _) ->
+                               Float.compare a b)
+                             terminal);
+                        Fmt.epr "%a@." Slo.pp monitor;
+                        [ ("slo", Slo.to_json monitor) ]
+                  in
                   print_endline
                     (Taqp_obs.Json.to_string
                        (Taqp_obs.Json.Obj
-                          [
-                            ( "summary",
-                              Taqp_sched.Scheduler.summary_json summary );
-                          ]));
+                          (( "summary",
+                             Taqp_sched.Scheduler.summary_json summary )
+                          :: slo_fields)));
                   Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary summary;
                   Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
                   (* Nonzero exit iff an admitted job missed its hard
@@ -982,7 +1389,8 @@ let serve_cmd =
       ret
         (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
        $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
-       $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg))
+       $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg $ slo_arg
+       $ slo_window_arg))
   in
   Cmd.v
     (Cmd.info "serve"

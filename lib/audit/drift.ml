@@ -1,0 +1,181 @@
+module Formulas = Taqp_timecost.Formulas
+module Metrics = Taqp_obs.Metrics
+module Json = Taqp_obs.Json
+
+(* Ratio buckets: log-ish spacing tight around 1.0 where calibration
+   lives, wide tails for blown predictions. *)
+let ratio_buckets =
+  [| 0.25; 0.5; 0.75; 0.9; 1.0; 1.1; 1.25; 1.5; 2.0; 4.0; 8.0 |]
+
+let all_steps =
+  [
+    Formulas.Step_read;
+    Formulas.Step_check;
+    Formulas.Step_write_temp;
+    Formulas.Step_sort;
+    Formulas.Step_merge;
+    Formulas.Step_hash_build;
+    Formulas.Step_hash_probe;
+    Formulas.Step_output;
+    Formulas.Step_fixed;
+  ]
+
+let step_index = function
+  | Formulas.Step_read -> 0
+  | Formulas.Step_check -> 1
+  | Formulas.Step_write_temp -> 2
+  | Formulas.Step_sort -> 3
+  | Formulas.Step_merge -> 4
+  | Formulas.Step_hash_build -> 5
+  | Formulas.Step_hash_probe -> 6
+  | Formulas.Step_output -> 7
+  | Formulas.Step_fixed -> 8
+
+let rate_names = function
+  | Formulas.Step_read -> [ "block_read" ]
+  | Formulas.Step_check -> [ "tuple_check_base"; "per_comparison" ]
+  | Formulas.Step_write_temp -> [ "temp_tuple_write"; "page_write" ]
+  | Formulas.Step_sort -> [ "sort_per_nlogn"; "sort_per_tuple" ]
+  | Formulas.Step_merge -> [ "merge_per_tuple"; "merge_setup" ]
+  | Formulas.Step_hash_build -> [ "hash_build_per_tuple" ]
+  | Formulas.Step_hash_probe -> [ "hash_probe_per_tuple" ]
+  | Formulas.Step_output -> [ "output_per_tuple" ]
+  | Formulas.Step_fixed -> [ "stage_overhead" ]
+
+type stat = {
+  mutable n : int;
+  mutable unpredicted : int;
+  mutable ewma : float;
+  mutable sum_pred : float;
+  mutable sum_actual : float;
+  hist : Metrics.Histogram.t;
+}
+
+type t = {
+  alpha : float;
+  threshold : float;
+  min_obs : int;
+  stats : stat array;  (** indexed by {!step_index} *)
+}
+
+let create ?(alpha = 0.2) ?(threshold = 0.25) ?(min_obs = 5) () =
+  if not (alpha > 0.0 && alpha <= 1.0) then
+    invalid_arg "Drift.create: alpha outside (0,1]";
+  if threshold <= 0.0 then invalid_arg "Drift.create: threshold <= 0";
+  if min_obs < 1 then invalid_arg "Drift.create: min_obs < 1";
+  {
+    alpha;
+    threshold;
+    min_obs;
+    stats =
+      Array.init (List.length all_steps) (fun i ->
+          {
+            n = 0;
+            unpredicted = 0;
+            ewma = 1.0;
+            sum_pred = 0.0;
+            sum_actual = 0.0;
+            hist =
+              Metrics.Histogram.make ~buckets:ratio_buckets
+                ("drift."
+                ^ Formulas.step_name (List.nth all_steps i)
+                ^ ".ratio");
+          })
+  }
+
+let observe t ~step ~predicted ~actual =
+  let s = t.stats.(step_index step) in
+  if predicted <= 1e-12 then s.unpredicted <- s.unpredicted + 1
+  else begin
+    let ratio = actual /. predicted in
+    s.ewma <-
+      (if s.n = 0 then ratio
+       else ((1.0 -. t.alpha) *. s.ewma) +. (t.alpha *. ratio));
+    s.n <- s.n + 1;
+    s.sum_pred <- s.sum_pred +. predicted;
+    s.sum_actual <- s.sum_actual +. actual;
+    Metrics.Histogram.observe s.hist ratio
+  end
+
+let observer t =
+  Some (fun ~id:_ ~step ~predicted ~actual -> observe t ~step ~predicted ~actual)
+
+type step_report = {
+  d_step : Formulas.step;
+  d_observations : int;
+  d_unpredicted : int;
+  d_ewma_ratio : float;
+  d_mean_ratio : float;
+  d_p50_ratio : float;
+  d_p99_ratio : float;
+  d_drifted : bool;
+  d_rates : string list;
+}
+
+type report = { steps : step_report list; drifted : step_report list }
+
+let report t =
+  let steps =
+    List.filter_map
+      (fun step ->
+        let s = t.stats.(step_index step) in
+        if s.n = 0 && s.unpredicted = 0 then None
+        else
+          Some
+            {
+              d_step = step;
+              d_observations = s.n;
+              d_unpredicted = s.unpredicted;
+              d_ewma_ratio = s.ewma;
+              d_mean_ratio =
+                (if s.sum_pred > 0.0 then s.sum_actual /. s.sum_pred else 1.0);
+              d_p50_ratio = Metrics.Histogram.quantile s.hist 0.5;
+              d_p99_ratio = Metrics.Histogram.quantile s.hist 0.99;
+              d_drifted =
+                s.n >= t.min_obs
+                && Float.abs (s.ewma -. 1.0) > t.threshold;
+              d_rates = rate_names step;
+            })
+      all_steps
+  in
+  { steps; drifted = List.filter (fun r -> r.d_drifted) steps }
+
+let step_report_json r =
+  Json.Obj
+    [
+      ("step", Json.Str (Formulas.step_name r.d_step));
+      ("observations", Json.Num (float_of_int r.d_observations));
+      ("unpredicted", Json.Num (float_of_int r.d_unpredicted));
+      ("ewma_ratio", Json.Num r.d_ewma_ratio);
+      ("mean_ratio", Json.Num r.d_mean_ratio);
+      ("p50_ratio", Json.Num r.d_p50_ratio);
+      ("p99_ratio", Json.Num r.d_p99_ratio);
+      ("drifted", Json.Bool r.d_drifted);
+      ("rates", Json.List (List.map (fun s -> Json.Str s) r.d_rates));
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("steps", Json.List (List.map step_report_json r.steps));
+      ( "drifted",
+        Json.List
+          (List.map
+             (fun s -> Json.Str (Formulas.step_name s.d_step))
+             r.drifted) );
+    ]
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-11s n=%-4d ewma=%.3f mean=%.3f p50=%.3f p99=%.3f%s@ "
+        (Formulas.step_name s.d_step)
+        s.d_observations s.d_ewma_ratio s.d_mean_ratio s.d_p50_ratio
+        s.d_p99_ratio
+        (if s.d_drifted then
+           "  DRIFTED -> recalibrate " ^ String.concat ", " s.d_rates
+         else ""))
+    r.steps;
+  if r.steps = [] then Format.fprintf ppf "no observations@ ";
+  Format.fprintf ppf "@]"

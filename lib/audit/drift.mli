@@ -1,0 +1,66 @@
+(** Cost-model drift monitor: tracks predicted-vs-actual per
+    {!Taqp_timecost.Formulas.step} kind across every stage the executor
+    observes, and reports which ground-truth {!Taqp_storage.Cost_params}
+    rates the fitted formulas have drifted away from.
+
+    Feed it with {!observer} via
+    {!Taqp_core.Executor.on_cost_observation} (one monitor can absorb
+    many handles — per-step stats are keyed by step kind, not node).
+    Per step kind it keeps an EWMA of the actual/predicted ratio and a
+    ratio histogram; a step is flagged {e drifted} once it has enough
+    observations and its EWMA strays past the threshold. *)
+
+type t
+
+val create : ?alpha:float -> ?threshold:float -> ?min_obs:int -> unit -> t
+(** [alpha] is the EWMA smoothing weight of the newest ratio (default
+    0.2); [threshold] the relative EWMA deviation from 1.0 that flags
+    drift (default 0.25); [min_obs] observations required before a
+    step may be flagged (default 5).
+    @raise Invalid_argument for alpha outside (0,1], threshold <= 0 or
+    min_obs < 1. *)
+
+val observe :
+  t -> step:Taqp_timecost.Formulas.step -> predicted:float -> actual:float -> unit
+(** One (predicted, actual) pair. Pairs whose prediction is ~0 are
+    counted separately ([unpredicted]) instead of producing a ratio. *)
+
+val observer :
+  t ->
+  (id:int ->
+  step:Taqp_timecost.Formulas.step ->
+  predicted:float ->
+  actual:float ->
+  unit)
+  option
+(** {!observe} in the shape {!Taqp_core.Executor.on_cost_observation}
+    wants (the node id is deliberately dropped: drift is a property of
+    the step kind's rate, not of one operator). *)
+
+type step_report = {
+  d_step : Taqp_timecost.Formulas.step;
+  d_observations : int;  (** ratio-producing observations *)
+  d_unpredicted : int;  (** pairs with a ~0 prediction *)
+  d_ewma_ratio : float;  (** EWMA of actual/predicted; 1.0 = calibrated *)
+  d_mean_ratio : float;  (** total actual / total predicted *)
+  d_p50_ratio : float;
+  d_p99_ratio : float;
+  d_drifted : bool;
+  d_rates : string list;
+      (** the {!Taqp_storage.Cost_params} rate names this step's
+          formula calibrates against — what to re-measure when
+          drifted *)
+}
+
+type report = {
+  steps : step_report list;  (** observed steps, formula order *)
+  drifted : step_report list;  (** the flagged subset *)
+}
+
+val report : t -> report
+
+val rate_names : Taqp_timecost.Formulas.step -> string list
+(** The ground-truth rate(s) behind each step's cost formula. *)
+
+val report_json : report -> Taqp_obs.Json.t
+val pp_report : Format.formatter -> report -> unit

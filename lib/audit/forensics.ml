@@ -1,0 +1,157 @@
+module Scheduler = Taqp_sched.Scheduler
+module Job = Taqp_sched.Job
+module Report = Taqp_core.Report
+module Json = Taqp_obs.Json
+
+type cause =
+  | Admission_underestimate
+  | Cost_model_drift
+  | Fault_inflation
+  | Queue_starvation
+  | Crash_downtime
+
+let causes =
+  [
+    Admission_underestimate;
+    Cost_model_drift;
+    Fault_inflation;
+    Queue_starvation;
+    Crash_downtime;
+  ]
+
+let cause_name = function
+  | Admission_underestimate -> "admission_underestimate"
+  | Cost_model_drift -> "cost_model_drift"
+  | Fault_inflation -> "fault_inflation"
+  | Queue_starvation -> "queue_starvation"
+  | Crash_downtime -> "crash_downtime"
+
+type verdict = { v_cause : cause; v_evidence : (string * float) list }
+
+let overlap (a0, a1) (b0, b1) = Float.max 0.0 (Float.min a1 b1 -. Float.max a0 b0)
+
+(* Summed positive per-stage prediction overruns: how much longer the
+   stages ran than the model budgeted them for. Zero when the report
+   carries no stage trace. *)
+let drift_overrun (r : Report.t) =
+  List.fold_left
+    (fun acc (s : Report.stage) ->
+      acc +. Float.max 0.0 (s.Report.actual_cost -. s.Report.predicted_cost))
+    0.0 r.Report.trace
+
+let classify ?downtime (jr : Scheduler.job_report) =
+  let job = jr.Scheduler.job in
+  match jr.Scheduler.outcome with
+  | Scheduler.Rejected _ -> None
+  | _ when not jr.Scheduler.missed -> None
+  | Scheduler.Expired ->
+      (* Never dispatched: either the outage swallowed its window, or
+         the queue did. *)
+      let dt, deadline_in_outage =
+        match downtime with
+        | Some (t0, t1) ->
+            ( overlap (t0, t1) (job.Job.arrival, job.Job.deadline),
+              job.Job.deadline <= t1 )
+        | None -> (0.0, false)
+      in
+      let evidence =
+        [ ("queue_wait", jr.Scheduler.queue_wait); ("downtime", dt) ]
+      in
+      let cause =
+        if dt > 0.0 && deadline_in_outage then Crash_downtime
+        else Queue_starvation
+      in
+      Some { v_cause = cause; v_evidence = evidence }
+  | Scheduler.Completed r ->
+      let queue_wait = jr.Scheduler.queue_wait in
+      let fault_time = r.Report.fault_time in
+      (* stage actuals are clock time, so injected fault seconds show
+         up inside the overruns too — net them out or every fault
+         would be double-billed as model drift *)
+      let drift = Float.max 0.0 (drift_overrun r -. fault_time) in
+      let dt =
+        match downtime with
+        | Some (t0, t1) ->
+            overlap (t0, t1) (job.Job.arrival, jr.Scheduler.finished_at)
+        | None -> 0.0
+      in
+      let admission_shrink =
+        if jr.Scheduler.degraded then
+          match jr.Scheduler.quota with
+          | Some granted ->
+              Float.max 0.0 (job.Job.deadline -. job.Job.arrival -. granted)
+          | None -> 0.0
+        else 0.0
+      in
+      let evidence =
+        [
+          ("queue_wait", queue_wait);
+          ("fault_time", fault_time);
+          ("drift_overrun", drift);
+          ("downtime", dt);
+          ("admission_shrink", admission_shrink);
+        ]
+      in
+      (* Dominance: the single largest drain on the job's window names
+         the cause. All-zero evidence means the job started on time,
+         fault-free, on-model — and still could not finish a stage in
+         its quota: the admission estimate was the lie. First match
+         wins ties, in blame order: an outage outranks faults, faults
+         outrank queueing, queueing outranks drift. *)
+      let weighted =
+        [
+          (Crash_downtime, dt);
+          (Fault_inflation, fault_time);
+          (Queue_starvation, queue_wait);
+          (Cost_model_drift, drift);
+          (Admission_underestimate, admission_shrink);
+        ]
+      in
+      let best, best_w =
+        List.fold_left
+          (fun (bc, bw) (c, w) -> if w > bw then (c, w) else (bc, bw))
+          (Admission_underestimate, 0.0)
+          weighted
+      in
+      let cause = if best_w > 0.0 then best else Admission_underestimate in
+      Some { v_cause = cause; v_evidence = evidence }
+
+let verdict_json v =
+  Json.Obj
+    [
+      ("cause", Json.Str (cause_name v.v_cause));
+      ( "evidence",
+        Json.Obj (List.map (fun (k, w) -> (k, Json.Num w)) v.v_evidence) );
+    ]
+
+type breakdown = { b_missed : int; b_by_cause : (cause * int) list }
+
+let breakdown verdicts =
+  {
+    b_missed = List.length verdicts;
+    b_by_cause =
+      List.map
+        (fun c ->
+          ( c,
+            List.length (List.filter (fun v -> v.v_cause = c) verdicts) ))
+        causes;
+  }
+
+let breakdown_json b =
+  Json.Obj
+    [
+      ("missed", Json.Num (float_of_int b.b_missed));
+      ( "by_cause",
+        Json.Obj
+          (List.map
+             (fun (c, n) -> (cause_name c, Json.Num (float_of_int n)))
+             b.b_by_cause) );
+    ]
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<h>%s  (%s)@]" (cause_name v.v_cause)
+    (String.concat ", "
+       (List.filter_map
+          (fun (k, w) ->
+            if w > 0.0 then Some (Printf.sprintf "%s=%.3fs" k w) else None)
+          v.v_evidence))

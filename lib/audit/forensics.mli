@@ -1,0 +1,59 @@
+(** Miss forensics: a root cause for every job that missed its
+    deadline, derived from the scheduler's per-job accounting, the
+    executor report and (when known) the crash outage window.
+
+    The taxonomy is total — {!classify} names a cause for {e every}
+    missed job, never "unknown": the evidence weights are compared and
+    the dominant one wins, with {!Admission_underestimate} as the
+    floor (an admitted job that missed with no queueing, no faults, no
+    drift and no outage was, by elimination, admitted on an estimate
+    its minimum viable run could not honour). *)
+
+type cause =
+  | Admission_underestimate
+      (** admission granted (or degraded it to) a quota its actual
+          minimum stage could not fit *)
+  | Cost_model_drift
+      (** stages systematically overran their predictions *)
+  | Fault_inflation  (** injected fault time consumed the slack *)
+  | Queue_starvation
+      (** it waited behind other jobs past the point of viability *)
+  | Crash_downtime  (** a crash outage swallowed its window *)
+
+val cause_name : cause -> string
+val causes : cause list
+
+type verdict = {
+  v_cause : cause;
+  v_evidence : (string * float) list;
+      (** the weighed evidence, every factor with its seconds *)
+}
+
+val classify :
+  ?downtime:float * float ->
+  Taqp_sched.Scheduler.job_report ->
+  verdict option
+(** [None] for jobs that did not miss (completed in time, or were
+    rejected — rejection is admission {e working}, not a miss).
+    [downtime] is the crash outage as an absolute virtual-time
+    interval [(from, until)], used to attribute {!Crash_downtime}.
+
+    Evidence weights, all in seconds: [queue_wait]; [fault_time] from
+    the report; [drift_overrun], the summed positive per-stage
+    (actual - predicted) overruns net of [fault_time] — stage actuals
+    are clock time, so injected fault seconds would otherwise be
+    double-billed as drift (needs [Config.trace] — 0 without it);
+    [downtime], the outage's overlap with the job's window; and
+    [admission_shrink], the slack admission withheld from a degraded
+    grant. The dominant weight names the cause. *)
+
+val verdict_json : verdict -> Taqp_obs.Json.t
+
+type breakdown = {
+  b_missed : int;
+  b_by_cause : (cause * int) list;  (** every cause, canonical order *)
+}
+
+val breakdown : verdict list -> breakdown
+val breakdown_json : breakdown -> Taqp_obs.Json.t
+val pp_verdict : Format.formatter -> verdict -> unit

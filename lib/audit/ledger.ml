@@ -1,0 +1,178 @@
+module Json = Taqp_obs.Json
+
+type category =
+  | Planning
+  | Sample_io
+  | Check
+  | Write_temp
+  | Sort
+  | Merge
+  | Hash_build
+  | Hash_probe
+  | Output
+  | Estimator
+  | Stage_overhead
+  | Journal
+  | Fault
+  | Misc
+
+let categories =
+  [
+    Planning;
+    Sample_io;
+    Check;
+    Write_temp;
+    Sort;
+    Merge;
+    Hash_build;
+    Hash_probe;
+    Output;
+    Estimator;
+    Stage_overhead;
+    Journal;
+    Fault;
+    Misc;
+  ]
+
+let index = function
+  | Planning -> 0
+  | Sample_io -> 1
+  | Check -> 2
+  | Write_temp -> 3
+  | Sort -> 4
+  | Merge -> 5
+  | Hash_build -> 6
+  | Hash_probe -> 7
+  | Output -> 8
+  | Estimator -> 9
+  | Stage_overhead -> 10
+  | Journal -> 11
+  | Fault -> 12
+  | Misc -> 13
+
+let n_categories = List.length categories
+
+let category_name = function
+  | Planning -> "planning"
+  | Sample_io -> "sample_io"
+  | Check -> "check"
+  | Write_temp -> "write_temp"
+  | Sort -> "sort"
+  | Merge -> "merge"
+  | Hash_build -> "hash_build"
+  | Hash_probe -> "hash_probe"
+  | Output -> "output"
+  | Estimator -> "estimator"
+  | Stage_overhead -> "stage_overhead"
+  | Journal -> "journal"
+  | Fault -> "fault"
+  | Misc -> "misc"
+
+let category_of_label = function
+  | "planning" -> Planning
+  | "read_block" -> Sample_io
+  | "check_tuples" -> Check
+  | "write_pages" | "write_temp" -> Write_temp
+  | "sort" -> Sort
+  | "merge" | "merge_setup" -> Merge
+  | "hash_build" -> Hash_build
+  | "hash_probe" -> Hash_probe
+  | "output" -> Output
+  | "estimator_update" -> Estimator
+  | "stage_overhead" -> Stage_overhead
+  | "journal_write" -> Journal
+  | "fault.retry" | "fault.spike" | "fault.stall" | "fault.backoff" -> Fault
+  | _ -> Misc
+
+type t = {
+  acc : float array;
+  (* The same deltas summed in arrival order — the reference total the
+     per-category sums are reconciled against. *)
+  mutable charged : float;
+}
+
+let create () = { acc = Array.make n_categories 0.0; charged = 0.0 }
+
+let add t cat dt =
+  let i = index cat in
+  t.acc.(i) <- t.acc.(i) +. dt;
+  t.charged <- t.charged +. dt
+
+let on_spend t label dt = add t (category_of_label label) dt
+let charged t = t.charged
+let spend t cat = t.acc.(index cat)
+
+type reconciliation = {
+  r_charged : float;
+  r_by_category : (category * float) list;
+  r_unattributed : float;
+  r_quota : float option;
+  r_unused_slack : float option;
+  r_exact : bool;
+}
+
+(* Relative bound on the reassociation residual: both sums add the
+   same non-negative deltas, only in different orders, so they agree to
+   a few ulps — 1e-9 relative is generous by many orders of
+   magnitude. *)
+let residual_tolerance charged = 1e-9 *. Float.max 1.0 (Float.abs charged)
+
+let reconcile ?quota t =
+  let by_category = List.map (fun c -> (c, spend t c)) categories in
+  let s = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 by_category in
+  (* [s] and [charged] are within a few ulps of each other, so this
+     subtraction is exact (Sterbenz) and [s +. unattributed] recovers
+     [charged] bit-for-bit. *)
+  let unattributed = t.charged -. s in
+  let unused_slack = Option.map (fun q -> q -. t.charged) quota in
+  let closure_holds =
+    s +. unattributed = t.charged
+    && Float.abs unattributed <= residual_tolerance t.charged
+    &&
+    match (quota, unused_slack) with
+    | Some q, Some u -> t.charged +. u = q
+    | _ -> true
+  in
+  {
+    r_charged = t.charged;
+    r_by_category = by_category;
+    r_unattributed = unattributed;
+    r_quota = quota;
+    r_unused_slack = unused_slack;
+    r_exact = closure_holds;
+  }
+
+let opt_num = function None -> Json.Null | Some v -> Json.Num v
+
+let reconciliation_json r =
+  Json.Obj
+    [
+      ("charged", Json.Num r.r_charged);
+      ( "by_category",
+        Json.Obj
+          (List.map
+             (fun (c, v) -> (category_name c, Json.Num v))
+             r.r_by_category) );
+      ("unattributed", Json.Num r.r_unattributed);
+      ("quota", opt_num r.r_quota);
+      ("unused_slack", opt_num r.r_unused_slack);
+      ("exact", Json.Bool r.r_exact);
+    ]
+
+let pp_reconciliation ppf r =
+  Format.fprintf ppf "@[<v>charged %.6fs" r.r_charged;
+  (match (r.r_quota, r.r_unused_slack) with
+  | Some q, Some u ->
+      Format.fprintf ppf " of %.6fs quota (%s %.6fs)" q
+        (if u >= 0.0 then "slack" else "overspend")
+        (Float.abs u)
+  | _ -> ());
+  Format.fprintf ppf "@ ";
+  List.iter
+    (fun (c, v) ->
+      if v > 0.0 then
+        Format.fprintf ppf "  %-14s %12.6fs  %5.1f%%@ " (category_name c) v
+          (100.0 *. v /. Float.max 1e-300 r.r_charged))
+    r.r_by_category;
+  Format.fprintf ppf "  reconciliation %s@]"
+    (if r.r_exact then "exact" else "BROKEN")

@@ -1,0 +1,78 @@
+(** The budget ledger: every unit of virtual-time spend one query (or
+    the scheduler itself) paid, attributed to a spend category. Fed by
+    {!Taqp_storage.Device.set_spend_listener} deltas (usually through a
+    {!Meter}), reconciled against the quota the query was granted.
+
+    The reconciliation invariant is {e bit-exact by construction}: the
+    ledger keeps, besides the per-category accumulators, a running
+    total [charged] built from the same deltas in arrival order. The
+    canonical-order category sum [s] differs from [charged] only by
+    float reassociation, so the residual [unattributed = charged -. s]
+    is computed exactly (Sterbenz), and
+
+    {[ s +. unattributed = charged           (bit-exact)
+       charged +. (quota -. charged) = quota (bit-exact, when granted) ]}
+
+    — what {!reconcile} checks and {!Taqp_audit} property-tests. *)
+
+type category =
+  | Planning  (** stage sizing: the planner's bisection arithmetic *)
+  | Sample_io  (** block-sample reads *)
+  | Check  (** fetch-and-test of sampled tuples *)
+  | Write_temp  (** temp-file tuple/page writes *)
+  | Sort  (** external sorts *)
+  | Merge  (** sorted-run merges, incl. per-pairing setup *)
+  | Hash_build  (** retained hash-index builds *)
+  | Hash_probe  (** delta probes against retained indexes *)
+  | Output  (** result delivery *)
+  | Estimator  (** estimator maintenance *)
+  | Stage_overhead  (** fixed per-stage bookkeeping *)
+  | Journal  (** crash-recovery journal appends *)
+  | Fault  (** fault-induced: retries, spike excess, stalls, backoff *)
+  | Misc  (** unlabeled {!Taqp_storage.Device.misc} charges *)
+
+val categories : category list
+(** Every category once, in canonical (reconciliation) order. *)
+
+val category_name : category -> string
+
+val category_of_label : string -> category
+(** Map a device spend label (["read_block"], ["fault.retry"], ...) to
+    its category; unknown labels land in {!Misc}. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> category -> float -> unit
+(** Record one spend delta. Also advances the running [charged] total,
+    in arrival order. *)
+
+val on_spend : t -> string -> float -> unit
+(** [add] composed with {!category_of_label} — the exact shape a
+    {!Taqp_storage.Device.set_spend_listener} wants. *)
+
+val charged : t -> float
+(** Total seconds recorded, summed in arrival order. *)
+
+val spend : t -> category -> float
+
+type reconciliation = {
+  r_charged : float;  (** arrival-order total *)
+  r_by_category : (category * float) list;  (** canonical order *)
+  r_unattributed : float;
+      (** [charged] minus the canonical-order category sum: pure float
+          reassociation noise, bounded by [1e-9 * max 1 charged] *)
+  r_quota : float option;  (** granted quota, when known *)
+  r_unused_slack : float option;
+      (** [quota -. charged]; negative = overspend (observe mode) *)
+  r_exact : bool;
+      (** the bit-exact closure held: category sum [+.] unattributed
+          [=] charged, and (when granted) charged [+.] unused slack
+          [=] quota *)
+}
+
+val reconcile : ?quota:float -> t -> reconciliation
+
+val reconciliation_json : reconciliation -> Taqp_obs.Json.t
+val pp_reconciliation : Format.formatter -> reconciliation -> unit

@@ -1,0 +1,36 @@
+type t = {
+  system : Ledger.t;
+  jobs : (int, Ledger.t) Hashtbl.t;
+  mutable current : int option;
+}
+
+let create () =
+  { system = Ledger.create (); jobs = Hashtbl.create 16; current = None }
+
+let ledger t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some l -> l
+  | None ->
+      let l = Ledger.create () in
+      Hashtbl.replace t.jobs id l;
+      l
+
+let on_spend t label dt =
+  let l = match t.current with None -> t.system | Some id -> ledger t id in
+  Ledger.on_spend l label dt
+
+let attach t device =
+  Taqp_storage.Device.set_spend_listener device (Some (on_spend t))
+
+let set_account t owner = t.current <- owner
+let current t = t.current
+let system t = t.system
+
+let job_ids t =
+  List.sort Int.compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.jobs [])
+
+let total_charged t =
+  Hashtbl.fold
+    (fun _ l acc -> acc +. Ledger.charged l)
+    t.jobs
+    (Ledger.charged t.system)

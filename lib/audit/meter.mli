@@ -1,0 +1,34 @@
+(** Per-account spend metering over one shared device: routes every
+    {!Taqp_storage.Device} spend delta into the {!Ledger} of whichever
+    account is current — a job id, or the system account for scheduler
+    overhead (admission pricing, idle bookkeeping).
+
+    The meter is the glue between the scheduler's audit hooks and the
+    ledgers: pass {!attach} as [?on_device] and {!set_account} as
+    [?account] to {!Taqp_sched.Scheduler.run}. Strictly observational:
+    attaching a meter never changes a charge, a jitter draw or a
+    fault draw. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Taqp_storage.Device.t -> unit
+(** Install this meter as the device's spend listener. *)
+
+val set_account : t -> int option -> unit
+(** Route subsequent deltas to job [id]'s ledger ([Some id]) or the
+    system ledger ([None], the initial state). *)
+
+val current : t -> int option
+
+val ledger : t -> int -> Ledger.t
+(** Job [id]'s ledger, created empty on first use. *)
+
+val system : t -> Ledger.t
+
+val job_ids : t -> int list
+(** Every job account seen so far, ascending. *)
+
+val total_charged : t -> float
+(** Sum of all accounts' charged totals (system included). *)

@@ -1,0 +1,92 @@
+module Json = Taqp_obs.Json
+
+type t = {
+  window : int;
+  target : float;
+  missed : bool array;
+  lateness : float array;  (** max(0, lateness), ring-buffered *)
+  mutable next : int;
+  mutable filled : int;
+  mutable total : int;
+}
+
+let create ?(window = 20) ~target_miss_rate () =
+  if window < 1 then invalid_arg "Slo.create: window < 1";
+  if not (target_miss_rate >= 0.0 && target_miss_rate <= 1.0) then
+    invalid_arg "Slo.create: target outside [0,1]";
+  {
+    window;
+    target = target_miss_rate;
+    missed = Array.make window false;
+    lateness = Array.make window 0.0;
+    next = 0;
+    filled = 0;
+    total = 0;
+  }
+
+let observe t ~missed ~lateness =
+  t.missed.(t.next) <- missed;
+  t.lateness.(t.next) <- Float.max 0.0 lateness;
+  t.next <- (t.next + 1) mod t.window;
+  if t.filled < t.window then t.filled <- t.filled + 1;
+  t.total <- t.total + 1
+
+let count t = t.filled
+let total t = t.total
+
+let miss_rate t =
+  if t.filled = 0 then 0.0
+  else begin
+    let misses = ref 0 in
+    for i = 0 to t.filled - 1 do
+      if t.missed.(i) then incr misses
+    done;
+    float_of_int !misses /. float_of_int t.filled
+  end
+
+let burn_rate t =
+  let r = miss_rate t in
+  if t.target > 0.0 then r /. t.target
+  else if r > 0.0 then infinity
+  else 0.0
+
+let percentile t q =
+  if t.filled = 0 then 0.0
+  else begin
+    let a = Array.sub t.lateness 0 t.filled in
+    Array.sort Float.compare a;
+    let i =
+      int_of_float (Float.round (q *. float_of_int (t.filled - 1)))
+    in
+    a.(Int.max 0 (Int.min (t.filled - 1) i))
+  end
+
+let lateness_p50 t = percentile t 0.50
+let lateness_p99 t = percentile t 0.99
+let healthy t = burn_rate t <= 1.0
+
+let to_json t =
+  Json.Obj
+    [
+      ("target_miss_rate", Json.Num t.target);
+      ("window", Json.Num (float_of_int t.window));
+      ("observed", Json.Num (float_of_int t.filled));
+      ("total", Json.Num (float_of_int t.total));
+      ("miss_rate", Json.Num (miss_rate t));
+      ( "burn_rate",
+        let b = burn_rate t in
+        if Float.is_finite b then Json.Num b else Json.Str "inf" );
+      ("lateness_p50", Json.Num (lateness_p50 t));
+      ("lateness_p99", Json.Num (lateness_p99 t));
+      ("healthy", Json.Bool (healthy t));
+    ]
+
+let pp ppf t =
+  let b = burn_rate t in
+  Format.fprintf ppf
+    "slo: %s  miss %.1f%% of %.1f%% target (burn %s) over last %d/%d  \
+     lateness p50=%.2fs p99=%.2fs"
+    (if healthy t then "ok" else "BURNING")
+    (100.0 *. miss_rate t) (100.0 *. t.target)
+    (if Float.is_finite b then Printf.sprintf "%.2f" b else "inf")
+    t.filled t.total (lateness_p50 t) (lateness_p99 t)

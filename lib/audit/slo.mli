@@ -1,0 +1,42 @@
+(** Rolling SLO monitor for a served workload: miss-rate burn against
+    a target over a sliding window of the most recent terminal jobs,
+    with exact lateness percentiles over the same window.
+
+    Burn rate is the alerting currency: observed miss rate divided by
+    the target — 1.0 means exactly on budget, above 1.0 the error
+    budget is burning faster than allotted. *)
+
+type t
+
+val create : ?window:int -> target_miss_rate:float -> unit -> t
+(** [window] (default 20) is the number of most-recent jobs the
+    rolling figures cover. [target_miss_rate] in [0, 1].
+    @raise Invalid_argument for window < 1 or a target outside
+    [0, 1]. *)
+
+val observe : t -> missed:bool -> lateness:float -> unit
+(** One terminal (admitted) job, in completion order. *)
+
+val count : t -> int
+(** Jobs currently in the window. *)
+
+val total : t -> int
+(** Jobs observed over the monitor's lifetime. *)
+
+val miss_rate : t -> float
+(** Misses / window size; 0 while empty. *)
+
+val burn_rate : t -> float
+(** [miss_rate /. target]. A zero target returns 0 when clean and
+    [infinity] on any miss — a hard SLO has no error budget. *)
+
+val lateness_p50 : t -> float
+val lateness_p99 : t -> float
+(** Exact (nearest-rank) percentiles of max(0, lateness) over the
+    window. *)
+
+val healthy : t -> bool
+(** [burn_rate <= 1.0]. *)
+
+val to_json : t -> Taqp_obs.Json.t
+val pp : Format.formatter -> t -> unit

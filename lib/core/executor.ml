@@ -78,7 +78,7 @@ let determine_fraction staged cost_model device ~strategy ~budget ~eps
      handed to the bisection is exactly the time that will remain when
      the stage starts (no hidden safety margin). *)
   let planning = planning_cost device ~max_iterations in
-  Device.misc device planning;
+  Device.planning device planning;
   let budget = budget -. planning in
   if budget <= 0.0 then Sample_size.Budget_too_small { f_min_cost = infinity }
   else
@@ -290,6 +290,8 @@ let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
 let report h = h.result
 let finished h = h.result <> None
 let quota h = h.quota
+
+let on_cost_observation h f = Cost_model.set_observer h.cost_model f
 let started_at h = h.start
 let deadline_at h = h.deadline_at
 let remaining h = h.deadline_at -. Clock.now h.clock

@@ -67,6 +67,23 @@ val report : handle -> Report.t option
 
 val finished : handle -> bool
 val quota : handle -> float
+
+val on_cost_observation :
+  handle ->
+  (id:int ->
+  step:Taqp_timecost.Formulas.step ->
+  predicted:float ->
+  actual:float ->
+  unit)
+  option ->
+  unit
+(** Install (or clear) a drift observer on the handle's internal cost
+    model (see {!Taqp_timecost.Cost_model.set_observer}): every
+    per-step timing the executor feeds back is also reported with the
+    prediction that was in force before the fit updated. Purely
+    observational — registering one never changes execution. *)
+
+
 val started_at : handle -> float
 (** Clock reading at {!start} — absolute, not relative. *)
 

@@ -180,6 +180,8 @@ let histogram_to_json h =
       ("sum", Json.Num (Histogram.sum h));
       ("p50", Json.Num (Histogram.quantile h 0.5));
       ("p95", Json.Num (Histogram.quantile h 0.95));
+      ("p99", Json.Num (Histogram.quantile h 0.99));
+      ("p999", Json.Num (Histogram.quantile h 0.999));
       ( "buckets",
         Json.List
           (List.map

@@ -69,7 +69,7 @@ val histograms : t -> (string * Histogram.t) list
 
 val to_json : t -> Json.t
 (** Full dump: counters, gauges, histograms with bucket counts and
-    p50/p95. *)
+    p50/p95/p99/p999. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable end-of-run dump. *)

@@ -19,6 +19,16 @@ let jsonl write =
     close = (fun () -> ());
   }
 
+(* Metadata (ph "M") events naming the synthetic process/thread, so the
+   trace opens pre-labeled in Perfetto / chrome://tracing instead of
+   showing bare pid 1 / tid 1. Written once, ahead of the first real
+   event; an empty trace stays the bare "[]". *)
+let chrome_metadata =
+  [
+    {|{"name":"process_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"taqp"}}|};
+    {|{"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"query"}}|};
+  ]
+
 let chrome write =
   let first = ref true in
   {
@@ -26,6 +36,11 @@ let chrome write =
       (fun e ->
         if !first then begin
           write "[\n";
+          List.iter
+            (fun m ->
+              write m;
+              write ",\n")
+            chrome_metadata;
           first := false
         end
         else write ",\n";

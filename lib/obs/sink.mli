@@ -19,8 +19,10 @@ val jsonl : (string -> unit) -> t
 
 val chrome : (string -> unit) -> t
 (** Chrome [trace_event] JSON array ({!Event.to_chrome_json}); the
-    array is only valid JSON after [close]. Load the file in
-    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+    array is only valid JSON after [close]. A non-empty trace opens
+    with [process_name]/[thread_name] metadata (phase ["M"]) events so
+    it loads pre-labeled in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
 
 val summary : Format.formatter -> t
 (** Human-readable end-of-run summary, printed on [close]: one line

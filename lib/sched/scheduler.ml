@@ -46,6 +46,7 @@ type summary = {
   miss_rate : float;
   lateness_p50 : float;
   lateness_p99 : float;
+  lateness_p999 : float;
   max_lateness : float;
   mean_queue_wait : float;
   makespan : float;
@@ -99,7 +100,8 @@ let report_missed ~(job : Job.t) ~finished_at = function
 
 let run ?(policy = Policy.Edf) ?admission
     ?(params = Cost_params.no_jitter Cost_params.default) ?metrics ?tracer
-    ?faults ?journal ?start_at jobs =
+    ?faults ?journal ?start_at ?on_device ?on_dispatch ?account:account_hook
+    jobs =
   let clock = Clock.create_virtual () in
   (* Recovery re-runs start where the crashed workload's clock stopped
      plus the downtime: arrivals the restart missed are admitted at
@@ -107,6 +109,16 @@ let run ?(policy = Policy.Edf) ?admission
      first dispatch — downtime is lost time, never replayed time. *)
   Option.iter (fun at -> Clock.restore clock ~now:at) start_at;
   let device = Device.create ~params ?metrics ?tracer ?faults clock in
+  (* Audit hooks. [on_device] lets an observer attach a spend listener
+     to the scheduler's internal device; [account] tells it which job
+     the next charges belong to ([None] = scheduler overhead);
+     [on_dispatch] hands over each job's executor handle at dispatch so
+     a drift monitor can register on its cost model. All three are
+     strictly observational. *)
+  Option.iter (fun f -> f device) on_device;
+  let account owner =
+    match account_hook with None -> () | Some f -> f owner
+  in
   (* Journal writes are charged to the shared clock like any other IO
      (so journaling is visible to every job's quota), but never raise:
      if a deadline fires during the charge the clock pins there and the
@@ -349,6 +361,7 @@ let run ?(policy = Policy.Edf) ?admission
       !live
   in
   let step_job lj handle =
+    account (Some lj.l_job.Job.id);
     (match !last_run with
     | Some s when s <> lj.l_seq -> (
         match List.find_opt (fun l -> l.l_seq = s) !live with
@@ -376,6 +389,9 @@ let run ?(policy = Policy.Edf) ?admission
   in
   let rec loop () =
     let now = Clock.now clock in
+    (* Admission pricing and its journal writes are scheduler overhead,
+       never any one job's spend. *)
+    account None;
     admit_arrivals now;
     match (!live, !pending) with
     | [], [] -> ()
@@ -406,11 +422,15 @@ let run ?(policy = Policy.Edf) ?admission
                  direct count_within at the same seed and quota. *)
               let rng = Prng.create lj.l_job.Job.seed in
               ignore (Prng.split rng);
+              account (Some lj.l_job.Job.id);
               let handle =
                 Executor.start ~config:lj.l_job.Job.config
                   ~aggregate:lj.l_job.Job.aggregate ~device
                   ~catalog:lj.l_job.Job.catalog ~rng ~quota lj.l_job.Job.query
               in
+              (match on_dispatch with
+              | None -> ()
+              | Some f -> f lj.l_job handle);
               lj.l_handle <- Some handle;
               lj.l_started <- Some now;
               Metrics.Histogram.observe h_wait (now -. lj.l_job.Job.arrival);
@@ -421,6 +441,7 @@ let run ?(policy = Policy.Edf) ?admission
             end)
   in
   loop ();
+  account None;
   let reports =
     List.stable_sort (fun a b -> compare a.job.Job.id b.job.Job.id) !reports
   in
@@ -453,6 +474,7 @@ let run ?(policy = Policy.Edf) ?admission
            /. float_of_int (List.length reports));
       lateness_p50 = percentile late 0.50;
       lateness_p99 = percentile late 0.99;
+      lateness_p999 = percentile late 0.999;
       max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
       mean_queue_wait =
         (match waits with
@@ -539,6 +561,7 @@ let summary_json s =
       ("miss_rate", Json.Num s.miss_rate);
       ("lateness_p50", Json.Num s.lateness_p50);
       ("lateness_p99", Json.Num s.lateness_p99);
+      ("lateness_p999", Json.Num s.lateness_p999);
       ("max_lateness", Json.Num s.max_lateness);
       ("mean_queue_wait", Json.Num s.mean_queue_wait);
       ("makespan", Json.Num s.makespan);
@@ -550,10 +573,11 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>%d submitted: %d admitted (%d degraded), %d rejected, %d expired@ \
      %d completed, %d missed (%.1f%%)@ lateness p50=%.2fs p99=%.2fs \
-     max=%.2fs  wait=%.2fs  makespan=%.1fs busy=%.1fs preemptions=%d@]"
+     p99.9=%.2fs max=%.2fs  wait=%.2fs  makespan=%.1fs busy=%.1fs \
+     preemptions=%d@]"
     s.submitted s.admitted s.degraded s.rejected s.expired s.completed s.missed
-    (100.0 *. s.miss_rate) s.lateness_p50 s.lateness_p99 s.max_lateness
-    s.mean_queue_wait s.makespan s.busy_time s.preemptions
+    (100.0 *. s.miss_rate) s.lateness_p50 s.lateness_p99 s.lateness_p999
+    s.max_lateness s.mean_queue_wait s.makespan s.busy_time s.preemptions
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                       *)
@@ -565,7 +589,7 @@ type recovery = {
 }
 
 let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
-    ?(downtime = 0.0) ~records jobs =
+    ?on_device ?on_dispatch ?account ?(downtime = 0.0) ~records jobs =
   if downtime < 0.0 then invalid_arg "Scheduler.recover: negative downtime";
   let finished =
     List.filter_map
@@ -586,7 +610,7 @@ let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
   in
   let r_run =
     run ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
-      ~start_at:(crash_time +. downtime) rest
+      ?on_device ?on_dispatch ?account ~start_at:(crash_time +. downtime) rest
   in
   (* The combined accounting: journaled terminal jobs plus the re-run.
      Percentiles are re-derived from the union of the per-job lateness
@@ -642,6 +666,7 @@ let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
          else float_of_int missed /. float_of_int submitted);
       lateness_p50 = percentile late 0.50;
       lateness_p99 = percentile late 0.99;
+      lateness_p999 = percentile late 0.999;
       max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
       mean_queue_wait =
         (match waits with

@@ -54,6 +54,7 @@ type summary = {
   miss_rate : float;  (** missed / submitted *)
   lateness_p50 : float;  (** percentiles of max(0, lateness), admitted *)
   lateness_p99 : float;
+  lateness_p999 : float;
   max_lateness : float;
   mean_queue_wait : float;
   makespan : float;  (** virtual clock at loop exit *)
@@ -77,6 +78,9 @@ val run :
   ?faults:Taqp_fault.Injector.t ->
   ?journal:Taqp_recover.Journal.writer ->
   ?start_at:float ->
+  ?on_device:(Taqp_storage.Device.t -> unit) ->
+  ?on_dispatch:(Job.t -> Taqp_core.Executor.handle -> unit) ->
+  ?account:(int option -> unit) ->
   Job.t list ->
   result
 (** Run the workload to completion on a fresh virtual clock.
@@ -96,7 +100,18 @@ val run :
     by the workload it protects; without it the run is bit-identical
     to the journal-free scheduler. [start_at] starts the virtual clock
     at an absolute instant instead of 0 — the recovery re-run uses it
-    to make crash downtime lost (never replayed) time. *)
+    to make crash downtime lost (never replayed) time.
+
+    Audit hooks (all strictly observational — a run with them installed
+    is bit-identical to one without): [on_device] fires once with the
+    scheduler's internal device, before any charge, so an auditor can
+    attach a {!Taqp_storage.Device.set_spend_listener}; [account] fires
+    with [Some job_id] just before charges on that job's behalf and
+    with [None] around scheduler overhead (admission pricing, its
+    journal writes) and at loop exit; [on_dispatch] fires once per
+    dispatched job with its executor handle, before its first stage,
+    so a drift monitor can register via
+    {!Taqp_core.Executor.on_cost_observation}. *)
 
 val completed_report : job_report -> Taqp_core.Report.t option
 (** The completed report, if any. *)
@@ -136,6 +151,9 @@ val recover :
   ?tracer:Taqp_obs.Tracer.t ->
   ?faults:Taqp_fault.Injector.t ->
   ?journal:Taqp_recover.Journal.writer ->
+  ?on_device:(Taqp_storage.Device.t -> unit) ->
+  ?on_dispatch:(Job.t -> Taqp_core.Executor.handle -> unit) ->
+  ?account:(int option -> unit) ->
   ?downtime:float ->
   records:Sched_journal.record list ->
   Job.t list ->

@@ -23,6 +23,11 @@ type t = {
   metrics : Metrics.t;
   tracer : Tracer.t;
   faults : (Injector.t * fault_meters) option;
+  mutable spend : (string -> float -> unit) option;
+      (** audit hook: called with (label, clock seconds actually
+          advanced) after every charge — including a truncated one
+          when an armed deadline fires mid-charge. Strictly read-only
+          with respect to the clock and every PRNG stream. *)
 }
 
 let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer ?faults
@@ -59,6 +64,7 @@ let create ?(params = Cost_params.default) ?jitter_rng ?metrics ?tracer ?faults
     metrics;
     tracer;
     faults;
+    spend = None;
   }
 
 let clock t = t.clock
@@ -76,12 +82,31 @@ let fault_log t =
 let fault_time t =
   match t.faults with None -> 0.0 | Some (inj, _) -> Injector.injected_time inj
 
+let set_spend_listener t f = t.spend <- f
+
 let jitter t =
   match t.jitter_rng with
   | None -> 1.0
   | Some rng -> Taqp_rng.Prng.lognormal_factor rng t.params.jitter_sigma
 
-let charge t cost = Clock.charge t.clock (cost *. jitter t)
+(* Every clock advance the device makes funnels through [advance]: with
+   no listener installed it is exactly [Clock.charge] (a single [match]
+   on an immediate — the disabled path costs nothing); with one, the
+   realized clock delta is reported under [label] after the charge.
+   The delta is measured from the clock itself, so a charge truncated
+   by an armed abort deadline reports only the seconds that actually
+   elapsed before re-raising — which is what lets a ledger account for
+   an aborted stage to the last tick. *)
+let advance t label dt =
+  match t.spend with
+  | None -> Clock.charge t.clock dt
+  | Some f -> (
+      let before = Clock.now t.clock in
+      match Clock.charge t.clock dt with
+      | () -> f label (Clock.now t.clock -. before)
+      | exception e ->
+          f label (Clock.now t.clock -. before);
+          raise e)
 
 (* Charge with a storage-level span around it. The disabled path is a
    single branch — no closure, no allocation — so the hot block-read
@@ -89,14 +114,20 @@ let charge t cost = Clock.charge t.clock (cost *. jitter t)
    charge itself is identical either way: tracing reads the clock, it
    never advances it. If the charge trips an armed deadline the
    exception propagates and the clock's own [deadline.abort] instant
-   marks the spot (a dangling storage span is fine in both formats). *)
-let plain_traced_charge t name cost =
+   marks the spot (a dangling storage span is fine in both formats).
+
+   [spend_label] defaults to the span name but is deliberately a
+   separate concept: a fault retry re-pays the same span [name] (so
+   the trace stream is bit-identical with or without a listener) while
+   the ledger sees it as "fault.retry". *)
+let plain_traced_charge ?spend_label t name cost =
+  let label = match spend_label with Some l -> l | None -> name in
   if Tracer.enabled t.tracer then begin
     let begin_ts = Clock.now t.clock in
-    charge t cost;
+    advance t label (cost *. jitter t);
     Tracer.complete t.tracer ~cat:"storage" ~begin_ts name
   end
-  else charge t cost
+  else advance t label (cost *. jitter t)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
@@ -140,7 +171,9 @@ let fault_instant t ~op ~attempt kind =
 let faulted_charge t inj meters name cost =
   let plan = Injector.plan inj in
   let rec attempt n =
-    plain_traced_charge t name cost;
+    plain_traced_charge
+      ?spend_label:(if n > 1 then Some "fault.retry" else None)
+      t name cost;
     match Injector.draw inj ~op:name ~now:(Clock.now t.clock) with
     | None -> ()
     | Some (Fault_plan.Latency_spike factor as kind) ->
@@ -150,14 +183,14 @@ let faulted_charge t inj meters name cost =
         fault_instant t ~op:name ~attempt:n kind;
         let extra = cost *. (factor -. 1.0) in
         Injector.add_injected_time inj extra;
-        plain_traced_charge t (name ^ ".spike") extra
+        plain_traced_charge ~spend_label:"fault.spike" t (name ^ ".spike") extra
     | Some (Fault_plan.Stall d as kind) ->
         bump_meter meters kind;
         Injector.record inj ~op:name ~kind ~at:(Clock.now t.clock) ~attempt:n
           ~recovered:true;
         fault_instant t ~op:name ~attempt:n kind;
         Injector.add_injected_time inj d;
-        Clock.charge t.clock d
+        advance t "fault.stall" d
     | Some (Fault_plan.Crash as kind) ->
         (* The process dies at the charge point. Nothing is degraded,
            nothing is retried — the exception escapes everything; only
@@ -187,7 +220,7 @@ let faulted_charge t inj meters name cost =
         (* the voided attempt's cost was already charged above; the
            backoff and the re-read to come are all fault-induced *)
         Injector.add_injected_time inj (backoff +. cost);
-        Clock.charge t.clock backoff;
+        advance t "fault.backoff" backoff;
         attempt (n + 1)
   in
   attempt 1
@@ -264,7 +297,12 @@ let stage_overhead t =
   Io_stats.incr_stages t.stats;
   traced_charge t "stage_overhead" t.params.stage_overhead
 
-let misc t cost = Clock.charge t.clock cost
+let misc t cost = advance t "misc" cost
+
+(* Same unjittered charge as [misc], but labeled so a spend listener can
+   attribute the planner's QCOST arithmetic separately from anonymous
+   overhead. *)
+let planning t cost = advance t "planning" cost
 
 (* A checkpoint append to the write-ahead stage journal. Sequential,
    unjittered and exempt from fault injection: the journal is what
@@ -279,10 +317,10 @@ let journal_write t ~bytes =
     let cost = float_of_int bytes *. t.params.journal_byte_write in
     if Tracer.enabled t.tracer then begin
       let begin_ts = Clock.now t.clock in
-      Clock.charge t.clock cost;
+      advance t "journal_write" cost;
       Tracer.complete t.tracer ~cat:"storage" ~begin_ts "journal_write"
     end
-    else Clock.charge t.clock cost
+    else advance t "journal_write" cost
   end
 
 let merge_setup t = traced_charge t "merge_setup" t.params.merge_setup

@@ -85,6 +85,24 @@ val stage_overhead : t -> unit
 val misc : t -> float -> unit
 (** Charge an arbitrary duration (no jitter, no counter, no span). *)
 
+val planning : t -> float -> unit
+(** Identical charge to {!misc}, but reported to a spend listener under
+    the ["planning"] label so an audit ledger can attribute the
+    planner's QCOST arithmetic separately from anonymous overhead. *)
+
+val set_spend_listener : t -> (string -> float -> unit) option -> unit
+(** Install (or clear) the audit spend hook: after every clock charge
+    the device makes, the listener receives the charge's spend label
+    and the clock seconds that actually elapsed — including the
+    truncated remainder when an armed abort deadline fires mid-charge,
+    reported just before the exception propagates. Labels are the
+    storage span names ([read_block], [sort], [journal_write], ...)
+    plus ["planning"], ["misc"] and the fault family ["fault.retry"],
+    ["fault.spike"], ["fault.stall"], ["fault.backoff"]. The listener
+    is strictly observational: it must not (and cannot, through this
+    interface) touch the clock, the jitter stream or the fault PRNG —
+    an audited run is bit-identical to an unaudited one. *)
+
 val merge_setup : t -> unit
 (** Fixed cost of opening one pairing of sorted files for a merge. *)
 

@@ -16,12 +16,21 @@ type t = {
   adaptive : bool;
   initial_scale : float;
   nodes : (int, node) Hashtbl.t;
+  mutable observer :
+    (id:int ->
+    step:Formulas.step ->
+    predicted:float ->
+    actual:float ->
+    unit)
+    option;
 }
 
 let create ?(adaptive = true) ?(initial_scale = 1.0) () =
   if initial_scale <= 0.0 then
     invalid_arg "Cost_model.create: initial_scale <= 0";
-  { adaptive; initial_scale; nodes = Hashtbl.create 16 }
+  { adaptive; initial_scale; nodes = Hashtbl.create 16; observer = None }
+
+let set_observer t f = t.observer <- f
 
 let adaptive t = t.adaptive
 
@@ -70,6 +79,17 @@ let predict t ~id measures =
     0.0 (node t id).steps
 
 let observe_step t ~id ~step measures ~seconds =
+  (* Drift observation happens before the fit updates, so [predicted]
+     is the prediction the planner actually used for this stage. Pure
+     float arithmetic on already-known values: no clock, no PRNG. *)
+  (match t.observer with
+  | None -> ()
+  | Some f ->
+      let s = step_model t id step in
+      let x = Formulas.step_features step measures in
+      f ~id ~step
+        ~predicted:(Float.max 0.0 (Least_squares.predict s.model x))
+        ~actual:seconds);
   if t.adaptive then begin
     let s = step_model t id step in
     let x = Formulas.step_features step measures in

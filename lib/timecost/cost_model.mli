@@ -31,8 +31,19 @@ val predict_step : t -> id:int -> step:Formulas.step -> Formulas.measures -> flo
 val observe_step :
   t -> id:int -> step:Formulas.step -> Formulas.measures -> seconds:float -> unit
 (** Feed one observed (measures, elapsed) pair for one step; no-op when
-    not adaptive. @raise Invalid_argument for a step the node's kind
-    does not have. *)
+    not adaptive (the drift observer still fires). @raise
+    Invalid_argument for a step the node's kind does not have. *)
+
+val set_observer :
+  t ->
+  (id:int -> step:Formulas.step -> predicted:float -> actual:float -> unit)
+  option ->
+  unit
+(** Install (or clear) a drift observer called on every
+    {!observe_step} with the prediction in force {e before} the fit
+    updates — the predicted-vs-actual pair a calibration monitor needs.
+    Fires whether or not the model is adaptive. Purely observational:
+    registering one never changes a prediction, a fit, or any charge. *)
 
 val step_coefficients : t -> id:int -> step:Formulas.step -> float array
 

@@ -1,0 +1,643 @@
+(* taqp_audit: the deadline-accountability layer.
+
+   The load-bearing properties:
+
+   - reconciliation is exact by construction: for every audited run —
+     all fixtures x both physical paths x fault/abort/journal/crash
+     scenarios — the per-category sums plus the reassociation residual
+     recover the charged total bit-for-bit, and charged spend plus
+     unused slack recovers the quota bit-for-bit;
+
+   - the ledger misses nothing: a solo run's charged total equals the
+     report's elapsed clock time (everything the clock did came
+     through the device);
+
+   - auditing is bit-neutral: an audited run's report fingerprint and
+     trace stream are identical to an unaudited one's;
+
+   - forensics is total: every missed job gets a cause, no job that
+     met its deadline gets one. *)
+
+module Report = Taqp_core.Report
+module Config = Taqp_core.Config
+module Executor = Taqp_core.Executor
+module Aggregate = Taqp_core.Aggregate
+module Io_stats = Taqp_storage.Io_stats
+module Clock = Taqp_storage.Clock
+module Device = Taqp_storage.Device
+module Cost_params = Taqp_storage.Cost_params
+module Formulas = Taqp_timecost.Formulas
+module Paper_setup = Taqp_workload.Paper_setup
+module Fault_plan = Taqp_fault.Fault_plan
+module Injector = Taqp_fault.Injector
+module Tracer = Taqp_obs.Tracer
+module Sink = Taqp_obs.Sink
+module Event = Taqp_obs.Event
+module Json = Taqp_obs.Json
+module Prng = Taqp_rng.Prng
+module Job = Taqp_sched.Job
+module Policy = Taqp_sched.Policy
+module Scheduler = Taqp_sched.Scheduler
+module Ledger = Taqp_audit.Ledger
+module Meter = Taqp_audit.Meter
+module Drift = Taqp_audit.Drift
+module Forensics = Taqp_audit.Forensics
+module Slo = Taqp_audit.Slo
+
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+let checkf = Fixtures.checkf
+let checkf_eps = Fixtures.checkf_eps
+let checks = Alcotest.check Alcotest.string
+
+let no_jitter = Cost_params.no_jitter Cost_params.default
+
+let fingerprint (r : Report.t) =
+  Fmt.str "%.17g|%.17g|%.17g|%.17g|%d|%b|%a" r.Report.estimate
+    r.Report.variance r.Report.confidence.Taqp_stats.Confidence.half_width
+    r.Report.elapsed r.Report.stages_completed r.Report.degraded Io_stats.pp
+    r.Report.io
+
+let fixtures =
+  lazy
+    [
+      ("selection", Paper_setup.selection ~spec:(Fixtures.spec ()) ~seed:5 (), 1.5);
+      ("join", Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 (), 2.0);
+      ( "intersection",
+        Paper_setup.intersection ~spec:(Fixtures.spec ()) ~overlap:120 ~seed:7 (),
+        2.0 );
+    ]
+
+let physicals = [ ("sort_merge", Config.Sort_merge); ("hash", Config.Hash) ]
+
+(* A solo audited run: fresh clock/device, optional ledger attached as
+   the spend listener, optional drift monitor on the handle, optional
+   per-boundary journal charge, run to the final report (a crash
+   escapes as [Injector.Crashed]). *)
+let solo_run ?faults ?(config = Fixtures.observe_config) ?(quota = 2.0)
+    ?(seed = 3) ?ledger ?sink ?drift ?(journal_bytes = 0)
+    (wl : Paper_setup.t) =
+  let rng = Prng.create seed in
+  let clock = Clock.create_virtual () in
+  let tracer =
+    Option.map
+      (fun sink -> Tracer.make ~now:(fun () -> Clock.now clock) ~sink)
+      sink
+  in
+  let device = Device.create ~params:no_jitter ?tracer ?faults clock in
+  Option.iter
+    (fun l -> Device.set_spend_listener device (Some (Ledger.on_spend l)))
+    ledger;
+  let h =
+    Executor.start ~config ~aggregate:Aggregate.Count ~device
+      ~catalog:wl.Paper_setup.catalog ~rng ~quota wl.Paper_setup.query
+  in
+  Option.iter (fun d -> Executor.on_cost_observation h (Drift.observer d)) drift;
+  let rec loop () =
+    match Executor.step h with
+    | `Continue ->
+        if journal_bytes > 0 then
+          Device.journal_write device ~bytes:journal_bytes;
+        loop ()
+    | `Done r -> r
+  in
+  let r = loop () in
+  (r, clock, device)
+
+let check_reconciliation ~ctx ?quota (ledger : Ledger.t) =
+  let r = Ledger.reconcile ?quota ledger in
+  checkb (ctx ^ ": closure is bit-exact") true r.Ledger.r_exact;
+  (* explicit re-statement of what r_exact certifies, so a failure
+     pinpoints which side broke *)
+  let s =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0.0 r.Ledger.r_by_category
+  in
+  checkf (ctx ^ ": categories + residual = charged") r.Ledger.r_charged
+    (s +. r.Ledger.r_unattributed);
+  (match (quota, r.Ledger.r_unused_slack) with
+  | Some q, Some u -> checkf (ctx ^ ": charged + slack = quota") q
+      (r.Ledger.r_charged +. u)
+  | _ -> ());
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Ledger unit behaviour                                               *)
+
+let test_ledger_label_routing () =
+  let l = Ledger.create () in
+  List.iter
+    (fun (label, cat) ->
+      checkb ("label " ^ label) true (Ledger.category_of_label label = cat))
+    [
+      ("planning", Ledger.Planning);
+      ("read_block", Ledger.Sample_io);
+      ("check_tuples", Ledger.Check);
+      ("write_pages", Ledger.Write_temp);
+      ("write_temp", Ledger.Write_temp);
+      ("sort", Ledger.Sort);
+      ("merge", Ledger.Merge);
+      ("merge_setup", Ledger.Merge);
+      ("hash_build", Ledger.Hash_build);
+      ("hash_probe", Ledger.Hash_probe);
+      ("output", Ledger.Output);
+      ("estimator_update", Ledger.Estimator);
+      ("stage_overhead", Ledger.Stage_overhead);
+      ("journal_write", Ledger.Journal);
+      ("fault.retry", Ledger.Fault);
+      ("fault.spike", Ledger.Fault);
+      ("fault.stall", Ledger.Fault);
+      ("fault.backoff", Ledger.Fault);
+      ("misc", Ledger.Misc);
+      ("something_new", Ledger.Misc);
+    ];
+  Ledger.on_spend l "read_block" 0.25;
+  Ledger.on_spend l "read_block" 0.5;
+  Ledger.on_spend l "sort" 1.0;
+  checkf "sample_io accumulates" 0.75 (Ledger.spend l Ledger.Sample_io);
+  checkf "charged totals everything" 1.75 (Ledger.charged l);
+  ignore (check_reconciliation ~ctx:"unit" ~quota:2.0 l)
+
+let test_ledger_adversarial_sums () =
+  (* many tiny deltas across categories: reassociation noise is real
+     here, and the closure must still be bit-exact *)
+  let l = Ledger.create () in
+  let labels =
+    [| "read_block"; "check_tuples"; "sort"; "merge"; "output"; "planning" |]
+  in
+  let x = ref 0.1 in
+  for i = 0 to 9999 do
+    (* irregular magnitudes spanning ~9 orders *)
+    x := !x *. 1.0061;
+    if !x > 1e4 then x := 1e-5 +. (!x -. 1e4);
+    Ledger.on_spend l labels.(i mod Array.length labels) !x
+  done;
+  let r = check_reconciliation ~ctx:"adversarial" ~quota:(Ledger.charged l) l in
+  checkb "residual is tiny" true
+    (Float.abs r.Ledger.r_unattributed
+    <= 1e-9 *. Float.max 1.0 r.Ledger.r_charged)
+
+(* ------------------------------------------------------------------ *)
+(* Solo-run reconciliation across fixtures, paths and scenarios        *)
+
+let scenarios =
+  [
+    ("plain", None, 0);
+    ( "transient-faults",
+      Some (fun seed -> Injector.create ~seed (Option.get (Fault_plan.preset "transient"))),
+      0 );
+    ( "latency-faults",
+      Some (fun seed -> Injector.create ~seed (Option.get (Fault_plan.preset "latency"))),
+      0 );
+    ("journaled", None, 256);
+  ]
+
+let test_solo_reconciliation () =
+  List.iter
+    (fun (fname, wl, quota) ->
+      List.iter
+        (fun (pname, physical) ->
+          List.iter
+            (fun (sname, faults, journal_bytes) ->
+              let ctx = Printf.sprintf "%s/%s/%s" fname pname sname in
+              let config =
+                { Fixtures.observe_config with Config.physical }
+              in
+              let ledger = Ledger.create () in
+              let faults = Option.map (fun f -> f 11) faults in
+              let r, clock, _device =
+                solo_run ?faults ~config ~quota ~ledger ~journal_bytes wl
+              in
+              let rec_ = check_reconciliation ~ctx ~quota ledger in
+              (* the ledger saw everything the clock did *)
+              checkf_eps 1e-9 (ctx ^ ": charged = clock")
+                (Clock.now clock) (Ledger.charged ledger);
+              checkb (ctx ^ ": ran") true (r.Report.stages_completed >= 1);
+              if journal_bytes > 0 then
+                checkb (ctx ^ ": journal attributed") true
+                  (Ledger.spend ledger Ledger.Journal > 0.0);
+              checkb (ctx ^ ": planning attributed") true
+                (Ledger.spend ledger Ledger.Planning > 0.0);
+              ignore rec_)
+            scenarios)
+        physicals)
+    (Lazy.force fixtures)
+
+let test_hard_deadline_abort_reconciles () =
+  (* a hard deadline interrupts a charge mid-flight: the listener must
+     still see the truncated delta, pinning charged to the quota *)
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 () in
+  let ledger = Ledger.create () in
+  let r, clock, _ =
+    solo_run ~config:Config.default ~quota:0.9 ~ledger wl
+  in
+  ignore (check_reconciliation ~ctx:"abort" ~quota:0.9 ledger);
+  checkf_eps 1e-9 "charged = clock" (Clock.now clock) (Ledger.charged ledger);
+  checkf_eps 1e-9 "charged = elapsed" r.Report.elapsed (Ledger.charged ledger)
+
+let test_fault_spend_matches_injected_time () =
+  (* probability-1 faults so the test is seed-independent: every read
+     spikes. Mild factor — the executor shrinks stage budgets by the
+     planned fault load, and a heavy certain plan would starve the
+     first stage out of the quota entirely *)
+  let wl = Paper_setup.selection ~spec:(Fixtures.spec ()) ~seed:5 () in
+  let plan =
+    Fault_plan.make
+      [
+        Fault_plan.rule ~op:"read_block" ~probability:1.0
+          (Fault_plan.Latency_spike 1.5);
+      ]
+  in
+  let inj = Injector.create ~seed:11 plan in
+  let ledger = Ledger.create () in
+  let _, _, device = solo_run ~faults:inj ~quota:2.0 ~ledger wl in
+  checkb "faults fired" true (Device.fault_time device > 0.0);
+  checkf_eps 1e-9 "fault category = injected time"
+    (Device.fault_time device)
+    (Ledger.spend ledger Ledger.Fault)
+
+let test_crash_reconciles_to_last_tick () =
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 () in
+  let plan = Fault_plan.make [ Fault_plan.crash_at 0.7 ] in
+  let inj = Injector.create ~seed:11 plan in
+  let ledger = Ledger.create () in
+  match solo_run ~faults:inj ~quota:5.0 ~ledger wl with
+  | exception Injector.Crashed { at; _ } ->
+      (* everything charged before the death instant is attributed *)
+      ignore (check_reconciliation ~ctx:"crash" ledger);
+      checkf_eps 1e-9 "charged = crash instant" at (Ledger.charged ledger)
+  | _ -> Alcotest.fail "expected the crash to escape"
+
+(* ------------------------------------------------------------------ *)
+(* Bit-neutrality                                                      *)
+
+let test_audited_run_bit_identical () =
+  List.iter
+    (fun (fname, wl, quota) ->
+      let run ~audit =
+        let sink, events = Sink.memory () in
+        let ledger = if audit then Some (Ledger.create ()) else None in
+        let drift = if audit then Some (Drift.create ()) else None in
+        let r, _, _ = solo_run ~quota ~sink ?ledger ?drift wl in
+        (fingerprint r, events ())
+      in
+      let plain_fp, plain_tr = run ~audit:false in
+      let audited_fp, audited_tr = run ~audit:true in
+      checks (fname ^ ": report fingerprint identical") plain_fp audited_fp;
+      checki
+        (fname ^ ": same trace length")
+        (List.length plain_tr) (List.length audited_tr);
+      checkb (fname ^ ": trace stream identical") true
+        (List.for_all2 (fun (a : Event.t) b -> a = b) plain_tr audited_tr))
+    (Lazy.force fixtures)
+
+let test_audited_faulted_run_bit_identical () =
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 () in
+  let run ~audit =
+    let sink, events = Sink.memory () in
+    let inj =
+      Injector.create ~seed:11 (Option.get (Fault_plan.preset "transient"))
+    in
+    let ledger = if audit then Some (Ledger.create ()) else None in
+    let r, _, _ = solo_run ~faults:inj ~quota:2.0 ~sink ?ledger wl in
+    (fingerprint r, events ())
+  in
+  let plain_fp, plain_tr = run ~audit:false in
+  let audited_fp, audited_tr = run ~audit:true in
+  checks "faulted fingerprint identical" plain_fp audited_fp;
+  checki "faulted trace length" (List.length plain_tr)
+    (List.length audited_tr);
+  checkb "faulted trace identical" true
+    (List.for_all2 (fun (a : Event.t) b -> a = b) plain_tr audited_tr)
+
+(* ------------------------------------------------------------------ *)
+(* Meter + scheduler integration                                       *)
+
+let sched_jobs ?(n = 12) ?(gap = 0.4) ?(trace = false) () =
+  let sel = Paper_setup.selection ~spec:(Fixtures.spec ()) ~seed:5 () in
+  let join = Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 () in
+  let config = { Fixtures.observe_config with Config.trace } in
+  List.init n (fun i ->
+      let wl = if i mod 2 = 0 then sel else join in
+      let arrival = float_of_int i *. gap in
+      Job.make ~label:(Printf.sprintf "job-%d" i) ~config ~seed:(100 + i)
+        ~id:i ~catalog:wl.Paper_setup.catalog ~arrival
+        ~deadline:(arrival +. 3.0) wl.Paper_setup.query)
+
+let test_metered_schedule_reconciles () =
+  let meter = Meter.create () in
+  let jobs = sched_jobs () in
+  let result =
+    Scheduler.run ~policy:Policy.Fifo
+      ~on_device:(Meter.attach meter)
+      ~account:(Meter.set_account meter)
+      jobs
+  in
+  checkb "all jobs accounted" true
+    (List.length (Meter.job_ids meter) > 0);
+  (* every job's ledger reconciles bit-exactly against its grant *)
+  List.iter
+    (fun (jr : Scheduler.job_report) ->
+      match jr.Scheduler.quota with
+      | Some q when jr.Scheduler.admitted ->
+          let l = Meter.ledger meter jr.Scheduler.job.Job.id in
+          ignore
+            (check_reconciliation
+               ~ctx:("job " ^ jr.Scheduler.job.Job.label)
+               ~quota:q l)
+      | _ -> ())
+    result.Scheduler.reports;
+  (* and nothing the device charged escaped the accounts: the clock
+     also slept between arrivals, so metered spend <= makespan *)
+  checkb "metered spend within makespan" true
+    (Meter.total_charged meter <= result.Scheduler.summary.Scheduler.makespan +. 1e-9)
+
+let test_metered_schedule_bit_neutral () =
+  let jobs () = sched_jobs () in
+  let plain = Scheduler.run ~policy:Policy.Edf (jobs ()) in
+  let meter = Meter.create () in
+  let audited =
+    Scheduler.run ~policy:Policy.Edf
+      ~on_device:(Meter.attach meter)
+      ~account:(Meter.set_account meter)
+      ~on_dispatch:(fun _ _ -> ())
+      (jobs ())
+  in
+  checki "same report count"
+    (List.length plain.Scheduler.reports)
+    (List.length audited.Scheduler.reports);
+  List.iter2
+    (fun (a : Scheduler.job_report) (b : Scheduler.job_report) ->
+      checks "same outcome" (Scheduler.outcome_name a) (Scheduler.outcome_name b);
+      checkf "same finish" a.Scheduler.finished_at b.Scheduler.finished_at;
+      checkf "same service" a.Scheduler.service b.Scheduler.service;
+      match (Scheduler.completed_report a, Scheduler.completed_report b) with
+      | Some ra, Some rb ->
+          checks "same report" (fingerprint ra) (fingerprint rb)
+      | None, None -> ()
+      | _ -> Alcotest.fail "outcome shape diverged")
+    plain.Scheduler.reports audited.Scheduler.reports
+
+(* ------------------------------------------------------------------ *)
+(* Forensics                                                           *)
+
+let test_forensics_total_over_hot_workload () =
+  (* FIFO without admission at a tight gap: plenty of misses of mixed
+     shapes. Every missed job must get a cause; no un-missed job may. *)
+  let jobs = sched_jobs ~n:16 ~gap:0.15 ~trace:true () in
+  let result = Scheduler.run ~policy:Policy.Fifo jobs in
+  let missed =
+    List.filter (fun (r : Scheduler.job_report) -> r.Scheduler.missed)
+      result.Scheduler.reports
+  in
+  checkb "workload produced misses" true (List.length missed >= 2);
+  List.iter
+    (fun (jr : Scheduler.job_report) ->
+      match (Forensics.classify jr, jr.Scheduler.missed) with
+      | Some v, true ->
+          checkb
+            ("cause named for " ^ jr.Scheduler.job.Job.label)
+            true
+            (List.mem v.Forensics.v_cause Forensics.causes)
+      | None, false -> ()
+      | Some _, false ->
+          Alcotest.fail
+            ("verdict for un-missed " ^ jr.Scheduler.job.Job.label)
+      | None, true ->
+          Alcotest.fail ("no cause for missed " ^ jr.Scheduler.job.Job.label))
+    result.Scheduler.reports;
+  let verdicts =
+    List.filter_map Forensics.classify result.Scheduler.reports
+  in
+  let b = Forensics.breakdown verdicts in
+  checki "breakdown counts every miss" (List.length missed)
+    b.Forensics.b_missed;
+  checki "breakdown partitions" (List.length missed)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 b.Forensics.b_by_cause)
+
+let test_forensics_fault_inflation () =
+  (* a solo job with heavy injected faults that misses: fault time
+     dominates and names the cause *)
+  let wl = Paper_setup.selection ~spec:(Fixtures.spec ()) ~seed:5 () in
+  let config = { Fixtures.observe_config with Config.trace = true } in
+  let job =
+    Job.make ~config ~seed:3 ~id:0 ~catalog:wl.Paper_setup.catalog
+      ~arrival:0.0 ~deadline:1.2 wl.Paper_setup.query
+  in
+  let inj =
+    Injector.create ~seed:11
+      (Fault_plan.make
+         [
+           Fault_plan.rule ~op:"read_block" ~probability:1.0
+             (Fault_plan.Latency_spike 1.5);
+         ])
+  in
+  let result = Scheduler.run ~policy:Policy.Edf ~faults:inj [ job ] in
+  match result.Scheduler.reports with
+  | [ jr ] when jr.Scheduler.missed -> (
+      match Forensics.classify jr with
+      | Some v ->
+          checks "fault inflation named" "fault_inflation"
+            (Forensics.cause_name v.Forensics.v_cause)
+      | None -> Alcotest.fail "missed job got no cause")
+  | [ _ ] ->
+      (* the preset was absorbed within quota on this seed — the
+         classification contract (totality) still held trivially *)
+      ()
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let test_forensics_crash_downtime () =
+  let wl = Paper_setup.selection ~spec:(Fixtures.spec ()) ~seed:5 () in
+  let job =
+    Job.make ~seed:3 ~id:7 ~catalog:wl.Paper_setup.catalog ~arrival:1.0
+      ~deadline:2.0 wl.Paper_setup.query
+  in
+  let jr =
+    {
+      Scheduler.job;
+      outcome = Scheduler.Expired;
+      admitted = true;
+      degraded = false;
+      quota = None;
+      started_at = None;
+      finished_at = 4.0;
+      queue_wait = 3.0;
+      lateness = 2.0;
+      missed = true;
+      steps = 0;
+      preemptions = 0;
+      service = 0.0;
+    }
+  in
+  (match Forensics.classify ~downtime:(0.5, 3.5) jr with
+  | Some v ->
+      checks "outage swallowed the window" "crash_downtime"
+        (Forensics.cause_name v.Forensics.v_cause)
+  | None -> Alcotest.fail "expired job got no cause");
+  match Forensics.classify jr with
+  | Some v ->
+      checks "without an outage it starved" "queue_starvation"
+        (Forensics.cause_name v.Forensics.v_cause)
+  | None -> Alcotest.fail "expired job got no cause"
+
+(* ------------------------------------------------------------------ *)
+(* Drift monitor                                                       *)
+
+let test_drift_flags_synthetic_bias () =
+  let d = Drift.create ~alpha:0.5 ~threshold:0.25 ~min_obs:5 () in
+  (* read: consistently 2x the prediction; sort: calibrated *)
+  for _ = 1 to 10 do
+    Drift.observe d ~step:Formulas.Step_read ~predicted:0.1 ~actual:0.2;
+    Drift.observe d ~step:Formulas.Step_sort ~predicted:0.05 ~actual:0.05
+  done;
+  (* fixed: too few observations to flag, however biased *)
+  Drift.observe d ~step:Formulas.Step_fixed ~predicted:0.2 ~actual:1.0;
+  let r = Drift.report d in
+  checki "three steps observed" 3 (List.length r.Drift.steps);
+  let by_step step =
+    List.find (fun (s : Drift.step_report) -> s.Drift.d_step = step) r.Drift.steps
+  in
+  checkb "read drifted" true (by_step Formulas.Step_read).Drift.d_drifted;
+  checkb "sort calibrated" false (by_step Formulas.Step_sort).Drift.d_drifted;
+  checkb "fixed below min_obs" false
+    (by_step Formulas.Step_fixed).Drift.d_drifted;
+  checkf_eps 1e-9 "read ewma converges to 2" 2.0
+    (by_step Formulas.Step_read).Drift.d_ewma_ratio;
+  Alcotest.check
+    Alcotest.(list string)
+    "read names its rate" [ "block_read" ]
+    (by_step Formulas.Step_read).Drift.d_rates;
+  checki "drifted list is the flagged subset" 1 (List.length r.Drift.drifted)
+
+let test_drift_observer_on_live_run () =
+  let wl = Paper_setup.join ~spec:(Fixtures.spec ()) ~seed:6 () in
+  let drift = Drift.create () in
+  let r, _, _ = solo_run ~quota:2.0 ~drift wl in
+  checkb "ran stages" true (r.Report.stages_completed >= 1);
+  let rep = Drift.report drift in
+  checkb "observations flowed" true
+    (List.exists
+       (fun (s : Drift.step_report) -> s.Drift.d_observations > 0)
+       rep.Drift.steps);
+  List.iter
+    (fun (s : Drift.step_report) ->
+      checkb "ratios finite" true
+        (Float.is_finite s.Drift.d_ewma_ratio
+        && Float.is_finite s.Drift.d_mean_ratio))
+    rep.Drift.steps
+
+(* ------------------------------------------------------------------ *)
+(* SLO monitor                                                         *)
+
+let test_slo_window_and_burn () =
+  let s = Slo.create ~window:4 ~target_miss_rate:0.25 () in
+  checkf "empty miss rate" 0.0 (Slo.miss_rate s);
+  checkb "empty is healthy" true (Slo.healthy s);
+  Slo.observe s ~missed:false ~lateness:(-0.5);
+  Slo.observe s ~missed:true ~lateness:1.0;
+  Slo.observe s ~missed:false ~lateness:0.0;
+  Slo.observe s ~missed:false ~lateness:0.2;
+  checkf "miss rate over window" 0.25 (Slo.miss_rate s);
+  checkf "burn at budget" 1.0 (Slo.burn_rate s);
+  checkb "at-budget is healthy" true (Slo.healthy s);
+  (* the ring slides one slot per observation: after one more clean
+     job the miss (observation 2 of 4-slot window) is still in view,
+     after two it has aged out *)
+  Slo.observe s ~missed:false ~lateness:0.0;
+  checkf "miss still in window" 0.25 (Slo.miss_rate s);
+  Slo.observe s ~missed:false ~lateness:0.0;
+  checkf "miss aged out" 0.0 (Slo.miss_rate s);
+  (* two fresh misses burn at 2x *)
+  Slo.observe s ~missed:true ~lateness:2.0;
+  Slo.observe s ~missed:true ~lateness:3.0;
+  checkf "burn rate 2x" 2.0 (Slo.burn_rate s);
+  checkb "over budget" false (Slo.healthy s);
+  checki "lifetime total" 8 (Slo.total s);
+  checki "window count" 4 (Slo.count s)
+
+let test_slo_zero_target () =
+  let s = Slo.create ~window:3 ~target_miss_rate:0.0 () in
+  Slo.observe s ~missed:false ~lateness:0.0;
+  checkf "clean hard slo burns 0" 0.0 (Slo.burn_rate s);
+  Slo.observe s ~missed:true ~lateness:0.5;
+  checkb "any miss on a hard slo is infinite burn" true
+    (Slo.burn_rate s = infinity);
+  checkb "json stays finite" true
+    (match Slo.to_json s with
+    | Json.Obj fields -> List.assoc "burn_rate" fields = Json.Str "inf"
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler summary satellites                                        *)
+
+let test_summary_p999 () =
+  let jobs = sched_jobs ~n:10 ~gap:0.2 () in
+  let result = Scheduler.run ~policy:Policy.Fifo jobs in
+  let s = result.Scheduler.summary in
+  checkb "p999 >= p99" true
+    (s.Scheduler.lateness_p999 >= s.Scheduler.lateness_p99);
+  checkb "p999 <= max" true
+    (s.Scheduler.lateness_p999 <= s.Scheduler.max_lateness);
+  match Scheduler.summary_json s with
+  | Json.Obj fields ->
+      checkb "summary_json carries p999" true
+        (List.mem_assoc "lateness_p999" fields)
+  | _ -> Alcotest.fail "summary_json not an object"
+
+let () =
+  Alcotest.run "taqp_audit"
+    [
+      ( "ledger",
+        [
+          Alcotest.test_case "label routing" `Quick test_ledger_label_routing;
+          Alcotest.test_case "adversarial sums reconcile" `Quick
+            test_ledger_adversarial_sums;
+        ] );
+      ( "reconciliation",
+        [
+          Alcotest.test_case "fixtures x paths x scenarios" `Quick
+            test_solo_reconciliation;
+          Alcotest.test_case "hard-deadline abort" `Quick
+            test_hard_deadline_abort_reconciles;
+          Alcotest.test_case "fault spend = injected time" `Quick
+            test_fault_spend_matches_injected_time;
+          Alcotest.test_case "crash charges to last tick" `Quick
+            test_crash_reconciles_to_last_tick;
+        ] );
+      ( "bit-neutrality",
+        [
+          Alcotest.test_case "audited solo run identical" `Quick
+            test_audited_run_bit_identical;
+          Alcotest.test_case "audited faulted run identical" `Quick
+            test_audited_faulted_run_bit_identical;
+          Alcotest.test_case "metered schedule identical" `Quick
+            test_metered_schedule_bit_neutral;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "per-job ledgers reconcile" `Quick
+            test_metered_schedule_reconciles;
+        ] );
+      ( "forensics",
+        [
+          Alcotest.test_case "total over a hot workload" `Quick
+            test_forensics_total_over_hot_workload;
+          Alcotest.test_case "fault inflation" `Quick
+            test_forensics_fault_inflation;
+          Alcotest.test_case "crash downtime vs starvation" `Quick
+            test_forensics_crash_downtime;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "flags synthetic bias" `Quick
+            test_drift_flags_synthetic_bias;
+          Alcotest.test_case "observer on a live run" `Quick
+            test_drift_observer_on_live_run;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "window and burn" `Quick test_slo_window_and_burn;
+          Alcotest.test_case "zero target" `Quick test_slo_zero_target;
+        ] );
+      ( "summary",
+        [ Alcotest.test_case "p999" `Quick test_summary_p999 ] );
+    ]

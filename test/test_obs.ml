@@ -55,6 +55,111 @@ let test_json_parser_errors () =
   checkb "valid escapes ok" true
     (Json.of_string "\"a\\u0041\\n\"" = Json.Str "aA\n")
 
+(* Property: print -> parse is the identity over the whole value space
+   the printer can emit — including strings full of control characters
+   (escaped as \u00XX), quotes and backslashes, and deeply nested
+   containers. Non-finite floats are the one deliberate exception: the
+   printer rejects them down to [null] (JSON has no NaN/inf), checked
+   separately below. *)
+
+let gen_json =
+  let open QCheck.Gen in
+  (* strings biased toward the troublesome range: control characters,
+     the two mandatory escapes, and some multi-byte UTF-8 *)
+  let tricky_char =
+    frequency
+      [
+        (4, char_range 'a' 'z');
+        (2, map Char.chr (int_range 0 0x1f));
+        (1, return '"');
+        (1, return '\\');
+        (1, return '\xc3');
+        (1, return '\xa9');
+      ]
+  in
+  let gen_string = string_size ~gen:tricky_char (int_range 0 12) in
+  let gen_num =
+    frequency
+      [
+        (3, map float_of_int (int_range (-1_000_000) 1_000_000));
+        (2, float_range (-1e9) 1e9);
+        (1, return 0.0);
+        (1, return 1e-7);
+      ]
+  in
+  let leaf =
+    frequency
+      [
+        (1, return Json.Null);
+        (1, map (fun b -> Json.Bool b) bool);
+        (2, map (fun n -> Json.Num n) gen_num);
+        (2, map (fun s -> Json.Str s) gen_string);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (3, leaf);
+               ( 1,
+                 map
+                   (fun xs -> Json.List xs)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_range 0 4)
+                      (pair gen_string (self (n / 2)))) );
+             ])
+
+let prop_json_print_parse_id =
+  QCheck.Test.make ~name:"print -> parse is the identity" ~count:500
+    (QCheck.make ~print:Json.to_string gen_json)
+    (fun v -> Json.of_string (Json.to_string v) = v)
+
+let prop_json_string_escapes =
+  QCheck.Test.make ~name:"every byte string round-trips as Str" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 64))
+    (fun s -> Json.of_string (Json.to_string (Json.Str s)) = Json.Str s)
+
+let test_json_control_chars_and_unicode () =
+  (* all 32 control characters escape to something the parser undoes *)
+  for c = 0 to 0x1f do
+    let s = Printf.sprintf "a%cb" (Char.chr c) in
+    checkb
+      (Printf.sprintf "control 0x%02x round-trips" c)
+      true
+      (Json.of_string (Json.to_string (Json.Str s)) = Json.Str s)
+  done;
+  (* \u escapes decode to UTF-8, including multi-byte code points *)
+  checkb "BMP escape" true
+    (Json.of_string "\"\\u00e9\"" = Json.Str "\xc3\xa9");
+  checkb "CJK escape" true
+    (Json.of_string "\"\\u4e2d\"" = Json.Str "\xe4\xb8\xad");
+  checkb "escaped controls parse" true
+    (Json.of_string "\"\\u0000\\u001f\"" = Json.Str "\x00\x1f")
+
+let test_json_non_finite_rejected () =
+  (* the printer refuses to emit NaN/inf (invalid JSON): they collapse
+     to null, and the output always re-parses *)
+  List.iter
+    (fun x ->
+      checks "non-finite prints null" "null" (Json.to_string (Json.Num x));
+      checkb "embedded stays parseable" true
+        (Json.of_string (Json.to_string (Json.List [ Json.Num x ]))
+        = Json.List [ Json.Null ]))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* and the parser refuses the bare tokens *)
+  List.iter
+    (fun s ->
+      checkb (s ^ " rejected") true
+        (match Json.of_string s with
+        | _ -> false
+        | exception Json.Parse_error _ -> true))
+    [ "NaN"; "nan"; "Infinity"; "-Infinity"; "inf" ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
@@ -287,8 +392,33 @@ let test_chrome_export_nesting () =
   let json = Json.of_string (Buffer.contents buf) in
   let items = Option.get (Json.to_list json) in
   checkb "non-empty trace" true (List.length items > 10);
-  let events = List.filter_map Event.of_chrome_json items in
-  checki "every event parses back" (List.length items) (List.length events);
+  (* the stream opens with process/thread metadata (ph "M") naming the
+     synthetic pid/tid; everything after is a real event *)
+  let phase_of item =
+    match item with
+    | Json.Obj fields -> (
+        match List.assoc_opt "ph" fields with
+        | Some (Json.Str p) -> p
+        | _ -> "?")
+    | _ -> "?"
+  in
+  let metadata, real = List.partition (fun i -> phase_of i = "M") items in
+  let meta_name item =
+    match item with
+    | Json.Obj fields -> (
+        match List.assoc_opt "name" fields with
+        | Some (Json.Str n) -> n
+        | _ -> "?")
+    | _ -> "?"
+  in
+  checki "two metadata events" 2 (List.length metadata);
+  Alcotest.check
+    Alcotest.(list string)
+    "metadata names"
+    [ "process_name"; "thread_name" ]
+    (List.map meta_name metadata);
+  let events = List.filter_map Event.of_chrome_json real in
+  checki "every event parses back" (List.length real) (List.length events);
   let depth = ref 0 and max_depth = ref 0 in
   let cats_at_depth = Hashtbl.create 8 in
   List.iter
@@ -400,6 +530,12 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parser errors" `Quick test_json_parser_errors;
+          Alcotest.test_case "control chars and unicode" `Quick
+            test_json_control_chars_and_unicode;
+          Alcotest.test_case "non-finite floats" `Quick
+            test_json_non_finite_rejected;
+          QCheck_alcotest.to_alcotest prop_json_print_parse_id;
+          QCheck_alcotest.to_alcotest prop_json_string_escapes;
         ] );
       ( "metrics",
         [
