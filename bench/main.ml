@@ -17,13 +17,14 @@
      main.exe --chaos              fault-injection matrix (BENCH_chaos.json)
      main.exe --chaos --fault-seed 7   ... with a different injector seed
      main.exe --recover            crash-recovery benchmark (BENCH_recover.json)
+     main.exe --cache              shared-cache sweep (BENCH_cache.json)
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
      [--micro] [--scheduling] [--sched] [--audit] [--perf] [--chaos] \
-     [--fault-seed N] [--recover] [--full]";
+     [--fault-seed N] [--recover] [--cache] [--full]";
   exit 1
 
 type mode =
@@ -36,6 +37,7 @@ type mode =
   | Perf
   | Chaos
   | Recover
+  | Cache_bench
   | Full
 
 let () =
@@ -84,6 +86,9 @@ let () =
     | "--recover" :: rest ->
         mode := Recover;
         parse rest
+    | "--cache" :: rest ->
+        mode := Cache_bench;
+        parse rest
     | "--full" :: rest ->
         mode := Full;
         parse rest
@@ -118,6 +123,7 @@ let () =
   | Perf -> Perf.write ()
   | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
   | Recover -> Recover.write ()
+  | Cache_bench -> Cache.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
@@ -127,7 +133,8 @@ let () =
       Micro.run ();
       Perf.write ();
       Chaos.write ~fault_seed:!fault_seed ();
-      Recover.write ());
+      Recover.write ();
+      Cache.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

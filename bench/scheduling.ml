@@ -77,14 +77,28 @@ let job_config ~init_join ~trace =
    always build the same job list, so every policy/admission cell of
    the sweep (and both policies of [run]) sees the identical stream.
    [trace] turns on per-stage report traces — the audit bench needs
-   them for drift evidence; the sweep keeps them off. *)
-let make_jobs ?(trace = false) ~n ~mean_gap ~seed () =
+   them for drift evidence; the sweep keeps them off.
+
+   [skew] makes the class popularity Zipfian with that exponent instead
+   of uniform: rank 0 ("select") dominates, which concentrates the
+   workload on a hot relation — the regime the shared cache bench
+   ([Cache_bench]) needs. Omitted, the draw path (one [Sample.choose]
+   per job) is untouched, so existing sweeps are byte-identical. *)
+let make_jobs ?(trace = false) ?skew ~n ~mean_gap ~seed () =
   let rng = Prng.create seed in
+  let zipf =
+    Option.map
+      (fun s ->
+        Taqp_rng.Zipf.create ~n:(Array.length (Lazy.force classes)) ~s)
+      skew
+  in
   let t = ref 0.0 in
   List.init n (fun i ->
       t := !t +. Prng.exponential rng (1.0 /. mean_gap);
       let name, wl, init_join, slack, priority, min_confidence =
-        Taqp_rng.Sample.choose rng (Lazy.force classes)
+        match zipf with
+        | None -> Taqp_rng.Sample.choose rng (Lazy.force classes)
+        | Some z -> (Lazy.force classes).(Taqp_rng.Zipf.draw z rng)
       in
       ( wl,
         Job.make ~label:(Fmt.str "%s-%d" name i) ~priority ?min_confidence

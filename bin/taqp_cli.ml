@@ -31,6 +31,7 @@ module Meter = Taqp_audit.Meter
 module Drift = Taqp_audit.Drift
 module Forensics = Taqp_audit.Forensics
 module Slo = Taqp_audit.Slo
+module Cache = Taqp_cache.Cache
 
 let fail fmt = Fmt.kstr (fun s -> `Error (false, s)) fmt
 
@@ -55,6 +56,37 @@ let query_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+(* --cache MB|off, shared by query/explain/serve. [None] (off) leaves
+   every code path bit-identical to the cache-less engine. *)
+let cache_budget_conv =
+  let parse s =
+    if s = "off" then Ok None
+    else
+      match float_of_string_opt s with
+      | Some mb when mb > 0.0 -> Ok (Some mb)
+      | _ -> Error (`Msg "expected a positive megabyte budget or 'off'")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some mb -> Format.fprintf ppf "%g" mb
+  in
+  Arg.conv (parse, print)
+
+let cache_arg =
+  Arg.(
+    value
+    & opt cache_budget_conv None
+    & info [ "cache" ] ~docv:"MB|off"
+        ~doc:
+          "Shared block & sample cache: a budget in megabytes, or $(b,off) \
+           (the default). Queries draw from shared per-relation sample \
+           prefixes, so repeated and concurrent queries over hot relations \
+           serve each other's blocks and stage summaries at probe price; \
+           see docs/CACHING.md. With $(b,off) the run is bit-identical to \
+           a cache-less build.")
+
+let make_cache ~seed = Option.map (fun mb -> Cache.create ~budget_mb:mb ~seed ())
+
 let load_catalog dir = Csv_io.load_dir dir
 
 let parse_query q =
@@ -69,7 +101,7 @@ let parse_query q =
    checkpoint is appended at every stage boundary. The journal-free
    query path still calls [Taqp.aggregate_within] itself, so runs
    without --journal are bit-identical to previous releases. *)
-let run_journaled ~config ~seed ?sink ?metrics ~fault_plan ?fault_seed
+let run_journaled ~config ~seed ?sink ?metrics ~fault_plan ?fault_seed ?cache
     ~aggregate ~catalog ~quota ~path expr =
   let params = Taqp_storage.Cost_params.default in
   let rng = Taqp_rng.Prng.create seed in
@@ -106,9 +138,13 @@ let run_journaled ~config ~seed ?sink ?metrics ~fault_plan ?fault_seed
         m_fault_seed = fault_seed;
       }
   in
+  (match (cache, metrics) with
+  | Some c, Some m -> Cache.bind_metrics c m
+  | _ -> ());
   match
     let h =
-      Executor.start ~config ~aggregate ~device ~catalog ~rng ~quota expr
+      Executor.start ~config ~aggregate ?cache ~device ~catalog ~rng ~quota
+        expr
     in
     Query_journal.checkpoint journal h;
     let rec loop () =
@@ -122,6 +158,9 @@ let run_journaled ~config ~seed ?sink ?metrics ~fault_plan ?fault_seed
   with
   | report ->
       Query_journal.close journal;
+      (match (cache, tracer) with
+      | Some c, Some t -> Cache.emit_counters c t
+      | _ -> ());
       Option.iter Taqp_obs.Tracer.close tracer;
       report
   | exception e ->
@@ -337,7 +376,7 @@ let query_cmd =
   in
   let run dir query quota aggregate d_beta strategy physical observe trace
       trace_out trace_format metrics groups error_bound faults fault_seed
-      journal seed =
+      journal cache_mb seed =
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
@@ -411,16 +450,17 @@ let query_cmd =
               | sinks -> Some (Sink.tee sinks)
             in
             let registry = if metrics then Some (Metrics.create ()) else None in
+            let cache = make_cache ~seed cache_mb in
             let close_file () = Option.iter close_out !out_channel in
             match
               match journal with
               | None ->
                   Taqp.aggregate_within ~config ~seed ?sink ?metrics:registry
-                    ?faults ?fault_seed ~aggregate catalog ~quota expr
+                    ?faults ?fault_seed ?cache ~aggregate catalog ~quota expr
               | Some path ->
                   run_journaled ~config ~seed ?sink ?metrics:registry
-                    ~fault_plan:faults ?fault_seed ~aggregate ~catalog ~quota
-                    ~path expr
+                    ~fault_plan:faults ?fault_seed ?cache ~aggregate ~catalog
+                    ~quota ~path expr
             with
             | report ->
                 close_file ();
@@ -462,7 +502,7 @@ let query_cmd =
        $ d_beta_arg $ strategy_arg $ physical_arg $ observe_arg $ trace_arg
        $ trace_out_arg $ trace_format_arg $ metrics_arg $ groups_arg
        $ error_bound_arg $ faults_arg $ fault_seed_arg $ journal_arg
-       $ seed_arg))
+       $ cache_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"
@@ -719,7 +759,8 @@ let explain_static catalog expr =
    observations, then account for every virtual second. Same rng-stream
    discipline as [Taqp.aggregate_within] (both hooks are observational),
    so the report matches a plain [taqp query] run bit for bit. *)
-let run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr =
+let run_audited ~config ~seed ~fault_plan ~fault_seed ?cache ~catalog ~quota
+    expr =
   let params = Taqp_storage.Cost_params.default in
   let rng = Taqp_rng.Prng.create seed in
   let clock = Taqp_storage.Clock.create_virtual () in
@@ -738,8 +779,8 @@ let run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr =
   Taqp_storage.Device.set_spend_listener device (Some (Ledger.on_spend ledger));
   let drift = Drift.create () in
   let h =
-    Executor.start ~config ~aggregate:Aggregate.Count ~device ~catalog ~rng
-      ~quota expr
+    Executor.start ~config ~aggregate:Aggregate.Count ?cache ~device ~catalog
+      ~rng ~quota expr
   in
   Executor.on_cost_observation h (Drift.observer drift);
   let rec loop () =
@@ -748,10 +789,11 @@ let run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr =
   let report = loop () in
   (report, ledger, drift)
 
-let explain_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota
-    ~json query expr =
+let explain_audited ~config ~seed ~fault_plan ~fault_seed ?cache ~catalog
+    ~quota ~json query expr =
   match
-    run_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota expr
+    run_audited ~config ~seed ~fault_plan ~fault_seed ?cache ~catalog ~quota
+      expr
   with
   | exception Staged.Compile_error m -> fail "%s" m
   | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m
@@ -776,17 +818,29 @@ let explain_audited ~config ~seed ~fault_plan ~fault_seed ~catalog ~quota
                   ("fault_time", Json.Num report.Report.fault_time);
                   ("ledger", Ledger.reconciliation_json reconciliation);
                   ("drift", Drift.report_json drift_report);
+                  ( "cache",
+                    match cache with
+                    | None -> Json.Null
+                    | Some c -> Cache.stats_json c );
                 ]))
       else begin
         Fmt.pr "%a@." Report.pp report;
         Fmt.pr "@.budget ledger (every virtual second, attributed):@.";
         Fmt.pr "%a@." Ledger.pp_reconciliation reconciliation;
+        Option.iter
+          (fun c ->
+            let s = Cache.stats c in
+            Fmt.pr "@.cache: %d hits, %d misses (ratio %.2f), %d evictions, \
+                    %d bytes@."
+              s.Cache.hits s.Cache.misses (Cache.hit_ratio c)
+              s.Cache.evictions s.Cache.bytes)
+          cache;
         Fmt.pr "@.cost-model drift:@.%a@." Drift.pp_report drift_report
       end;
       `Ok ()
 
-let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
-    jobs_file =
+let explain_workload ~policy ~admission ~fault_plan ~fault_seed ?cache ~catalog
+    ~json jobs_file =
   let lines = In_channel.with_open_text jobs_file In_channel.input_lines in
   match Taqp_sched.Job.of_lines ~catalog lines with
   | Error m -> fail "%s: %s" jobs_file m
@@ -805,7 +859,7 @@ let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
           ~account:(Meter.set_account meter)
           ~on_dispatch:(fun _ h ->
             Executor.on_cost_observation h (Drift.observer drift))
-          jobs
+          ?cache jobs
       with
       | exception Taqp_relational.Ra.Type_error m -> fail "type error: %s" m
       | exception Staged.Compile_error m -> fail "%s" m
@@ -813,7 +867,27 @@ let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
           fail "crash fault killed the workload during %s at t=%.3f" op at
       | result ->
           let reports = result.Taqp_sched.Scheduler.reports in
-          let verdicts = List.filter_map Forensics.classify reports in
+          (* Advisory forensics evidence for cache-on runs: the seconds
+             of this job's sample IO the cache's observed hit ratio
+             says a warmer cache would have served at probe price. *)
+          let miss_inflation_of (jr : Taqp_sched.Scheduler.job_report) =
+            match cache with
+            | None -> 0.0
+            | Some c ->
+                let id = jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.id in
+                if List.mem id (Meter.job_ids meter) then
+                  let p = Taqp_storage.Cost_params.default in
+                  Ledger.spend (Meter.ledger meter id) Ledger.Sample_io
+                  *. Cache.hit_ratio c
+                  *. (1.0
+                     -. p.Taqp_storage.Cost_params.cache_probe
+                        /. p.Taqp_storage.Cost_params.block_read)
+                else 0.0
+          in
+          let classify jr =
+            Forensics.classify ~cache_miss_inflation:(miss_inflation_of jr) jr
+          in
+          let verdicts = List.filter_map classify reports in
           let breakdown = Forensics.breakdown verdicts in
           let reconciliation_of (jr : Taqp_sched.Scheduler.job_report) =
             let id = jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.id in
@@ -844,7 +918,7 @@ let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
                                  (base
                                  @ [
                                      ( "cause",
-                                       match Forensics.classify jr with
+                                       match classify jr with
                                        | None -> Json.Null
                                        | Some v -> Forensics.verdict_json v );
                                      ( "ledger",
@@ -864,7 +938,7 @@ let explain_workload ~policy ~admission ~fault_plan ~fault_seed ~catalog ~json
             List.iter
               (fun (jr : Taqp_sched.Scheduler.job_report) ->
                 let late = jr.Taqp_sched.Scheduler.lateness in
-                match Forensics.classify jr with
+                match classify jr with
                 | Some v ->
                     Fmt.pr "%-16s %-16s late=%6.2fs  %a@."
                       jr.Taqp_sched.Scheduler.job.Taqp_sched.Job.label
@@ -1003,7 +1077,7 @@ let explain_cmd =
           ~doc:"Emit the audit as one JSON object instead of prose.")
   in
   let run dir query quota physical observe faults fault_seed jobs policy
-      admission json seed =
+      admission json cache_mb seed =
     match
       match faults with
       | None -> Ok None
@@ -1015,10 +1089,11 @@ let explain_cmd =
         let admission =
           if admission then Some (Taqp_sched.Admission.make ()) else None
         in
+        let cache = make_cache ~seed cache_mb in
         match (jobs, query, quota) with
         | Some jobs_file, None, _ ->
             let fault_seed = Option.value fault_seed ~default:seed in
-            explain_workload ~policy ~admission ~fault_plan ~fault_seed
+            explain_workload ~policy ~admission ~fault_plan ~fault_seed ?cache
               ~catalog ~json jobs_file
         | Some _, Some _, _ -> fail "--jobs and a QUERY are exclusive"
         | None, None, _ -> fail "a QUERY (or --jobs FILE) is required"
@@ -1038,7 +1113,7 @@ let explain_cmd =
                     trace = true;
                   }
                 in
-                explain_audited ~config ~seed ~fault_plan ~fault_seed
+                explain_audited ~config ~seed ~fault_plan ~fault_seed ?cache
                   ~catalog ~quota ~json q expr)
         | None, Some q, None -> (
             match parse_query q with
@@ -1050,7 +1125,7 @@ let explain_cmd =
       ret
         (const run $ dir_arg $ query_arg $ quota_arg $ physical_arg
        $ observe_arg $ faults_arg $ fault_seed_arg $ jobs_arg $ policy_arg
-       $ admission_arg $ json_arg $ seed_arg))
+       $ admission_arg $ json_arg $ cache_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "explain"
@@ -1185,7 +1260,7 @@ let serve_cmd =
           ~doc:"With $(b,--slo): rolling window size in jobs.")
   in
   let run dir jobs_file policy admission max_queue headroom metrics faults
-      fault_seed journal recover downtime slo slo_window =
+      fault_seed journal recover downtime slo slo_window cache_mb =
     match
       match faults with
       | None -> Ok None
@@ -1222,6 +1297,7 @@ let serve_cmd =
                 let registry =
                   if metrics then Some (Metrics.create ()) else None
                 in
+                let cache = make_cache ~seed:0 cache_mb in
                 let faults =
                   Option.map
                     (fun plan ->
@@ -1292,12 +1368,17 @@ let serve_cmd =
                         Fmt.epr "%a@." Slo.pp monitor;
                         [ ("slo", Slo.to_json monitor) ]
                   in
+                  let cache_fields =
+                    match cache with
+                    | None -> []
+                    | Some c -> [ ("cache", Cache.stats_json c) ]
+                  in
                   print_endline
                     (Taqp_obs.Json.to_string
                        (Taqp_obs.Json.Obj
                           (( "summary",
                              Taqp_sched.Scheduler.summary_json summary )
-                          :: slo_fields)));
+                           :: (slo_fields @ cache_fields))));
                   Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary summary;
                   Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
                   (* Nonzero exit iff an admitted job missed its hard
@@ -1320,7 +1401,7 @@ let serve_cmd =
                 | None -> (
                     match
                       Taqp_sched.Scheduler.run ~policy ?admission
-                        ?metrics:registry ?faults ?journal:jwriter jobs
+                        ?metrics:registry ?faults ?journal:jwriter ?cache jobs
                     with
                     | exception Taqp_relational.Ra.Type_error m ->
                         close_journal ();
@@ -1367,7 +1448,7 @@ let serve_cmd =
                           faults;
                         match
                           Taqp_sched.Scheduler.recover ~policy ?admission
-                            ?metrics:registry ?faults ?journal:jwriter
+                            ?metrics:registry ?faults ?journal:jwriter ?cache
                             ~downtime ~records jobs
                         with
                         | exception Taqp_relational.Ra.Type_error m ->
@@ -1390,7 +1471,7 @@ let serve_cmd =
         (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
        $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
        $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg $ slo_arg
-       $ slo_window_arg))
+       $ slo_window_arg $ cache_arg))
   in
   Cmd.v
     (Cmd.info "serve"

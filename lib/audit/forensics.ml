@@ -39,7 +39,8 @@ let drift_overrun (r : Report.t) =
       acc +. Float.max 0.0 (s.Report.actual_cost -. s.Report.predicted_cost))
     0.0 r.Report.trace
 
-let classify ?downtime (jr : Scheduler.job_report) =
+let classify ?downtime ?(cache_miss_inflation = 0.0) (jr : Scheduler.job_report)
+    =
   let job = jr.Scheduler.job in
   match jr.Scheduler.outcome with
   | Scheduler.Rejected _ -> None
@@ -90,6 +91,11 @@ let classify ?downtime (jr : Scheduler.job_report) =
           ("drift_overrun", drift);
           ("downtime", dt);
           ("admission_shrink", admission_shrink);
+          (* Advisory, never a cause on its own: seconds the job spent
+             on device reads a warmer shared cache would have served as
+             probes. A large value alongside queue_wait or drift points
+             the operator at cache sizing rather than admission. *)
+          ("cache_miss_inflation", cache_miss_inflation);
         ]
       in
       (* Dominance: the single largest drain on the job's window names

@@ -31,6 +31,7 @@ type verdict = {
 
 val classify :
   ?downtime:float * float ->
+  ?cache_miss_inflation:float ->
   Taqp_sched.Scheduler.job_report ->
   verdict option
 (** [None] for jobs that did not miss (completed in time, or were
@@ -45,7 +46,15 @@ val classify :
     double-billed as drift (needs [Config.trace] — 0 without it);
     [downtime], the outage's overlap with the job's window; and
     [admission_shrink], the slack admission withheld from a degraded
-    grant. The dominant weight names the cause. *)
+    grant. The dominant weight names the cause.
+
+    [cache_miss_inflation] (default 0) is advisory evidence for
+    cache-enabled runs: the seconds the job spent on device reads a
+    warmer shared cache would have served at probe price (the caller
+    computes it, e.g. from its {!Ledger} [Sample_io] spend against the
+    cache hit ratio). It is carried in the evidence for the operator
+    but never names a cause — the taxonomy stays total over the five
+    causes above. *)
 
 val verdict_json : verdict -> Taqp_obs.Json.t
 

@@ -9,6 +9,7 @@ type category =
   | Merge
   | Hash_build
   | Hash_probe
+  | Cache_probe
   | Output
   | Estimator
   | Stage_overhead
@@ -26,6 +27,7 @@ let categories =
     Merge;
     Hash_build;
     Hash_probe;
+    Cache_probe;
     Output;
     Estimator;
     Stage_overhead;
@@ -43,12 +45,13 @@ let index = function
   | Merge -> 5
   | Hash_build -> 6
   | Hash_probe -> 7
-  | Output -> 8
-  | Estimator -> 9
-  | Stage_overhead -> 10
-  | Journal -> 11
-  | Fault -> 12
-  | Misc -> 13
+  | Cache_probe -> 8
+  | Output -> 9
+  | Estimator -> 10
+  | Stage_overhead -> 11
+  | Journal -> 12
+  | Fault -> 13
+  | Misc -> 14
 
 let n_categories = List.length categories
 
@@ -61,6 +64,7 @@ let category_name = function
   | Merge -> "merge"
   | Hash_build -> "hash_build"
   | Hash_probe -> "hash_probe"
+  | Cache_probe -> "cache_probe"
   | Output -> "output"
   | Estimator -> "estimator"
   | Stage_overhead -> "stage_overhead"
@@ -77,6 +81,7 @@ let category_of_label = function
   | "merge" | "merge_setup" -> Merge
   | "hash_build" -> Hash_build
   | "hash_probe" -> Hash_probe
+  | "cache_probe" -> Cache_probe
   | "output" -> Output
   | "estimator_update" -> Estimator
   | "stage_overhead" -> Stage_overhead

@@ -24,6 +24,7 @@ type category =
   | Merge  (** sorted-run merges, incl. per-pairing setup *)
   | Hash_build  (** retained hash-index builds *)
   | Hash_probe  (** delta probes against retained indexes *)
+  | Cache_probe  (** shared-cache hits served in place of device work *)
   | Output  (** result delivery *)
   | Estimator  (** estimator maintenance *)
   | Stage_overhead  (** fixed per-stage bookkeeping *)

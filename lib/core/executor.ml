@@ -226,15 +226,17 @@ type handle = {
   mutable result : Report.t option;
 }
 
-let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ~device
-    ~catalog ~rng ~quota expr =
+let start ?(config = Config.default) ?(aggregate = Aggregate.Count) ?cache
+    ~device ~catalog ~rng ~quota expr =
   if quota <= 0.0 then invalid_arg "Executor.start: non-positive quota";
   Config.validate config;
   let cost_model =
     Cost_model.create ~adaptive:config.adaptive_cost
       ~initial_scale:config.initial_cost_scale ()
   in
-  let staged = Staged.compile ~aggregate ~catalog ~config ~rng ~cost_model expr in
+  let staged =
+    Staged.compile ~aggregate ?cache ~catalog ~config ~rng ~cost_model expr
+  in
   let clock = Device.clock device in
   let tracer = Device.tracer device in
   let metrics = Device.metrics device in
@@ -551,9 +553,9 @@ let step h =
   in
   step_once ()
 
-let run ?config ?aggregate ~device ~catalog ~rng ~quota expr =
+let run ?config ?aggregate ?cache ~device ~catalog ~rng ~quota expr =
   let h =
-    try start ?config ?aggregate ~device ~catalog ~rng ~quota expr
+    try start ?config ?aggregate ?cache ~device ~catalog ~rng ~quota expr
     with Invalid_argument m when m = "Executor.start: non-positive quota" ->
       invalid_arg "Executor.run: non-positive quota"
   in
@@ -615,7 +617,7 @@ let snapshot h =
     snap_forced_degraded = h.forced_degraded;
   }
 
-let resume ~device ~catalog ?selectivity_oracle ?(dirty = false) snap =
+let resume ~device ~catalog ?selectivity_oracle ?cache ?(dirty = false) snap =
   let config =
     match selectivity_oracle with
     | None -> snap.snap_config
@@ -631,7 +633,7 @@ let resume ~device ~catalog ?selectivity_oracle ?(dirty = false) snap =
      survives the restore. *)
   let rng = Taqp_rng.Prng.create 0 in
   let staged =
-    Staged.compile ~aggregate:snap.snap_aggregate ~catalog ~config ~rng
+    Staged.compile ~aggregate:snap.snap_aggregate ?cache ~catalog ~config ~rng
       ~cost_model snap.snap_query
   in
   Staged.restore staged snap.snap_staged;

@@ -34,6 +34,7 @@ type handle
 val start :
   ?config:Config.t ->
   ?aggregate:Aggregate.t ->
+  ?cache:Taqp_cache.Cache.t ->
   device:Device.t ->
   catalog:Catalog.t ->
   rng:Taqp_rng.Prng.t ->
@@ -42,7 +43,9 @@ val start :
   handle
 (** Compile the query, open the query span, and arm the clock at
     [now + quota] in the stopping criterion's deadline mode. No sample
-    is drawn yet — the first {!step} runs the first stage.
+    is drawn yet — the first {!step} runs the first stage. [cache]
+    attaches the shared cross-query cache (see {!Staged.compile});
+    omitted, the run is bit-identical to the cache-less engine.
     @raise Invalid_argument on a non-positive quota or invalid config;
     @raise Staged.Compile_error / @raise Ra.Type_error /
     @raise Taqp_estimators.Inclusion_exclusion.Unsupported from
@@ -114,6 +117,7 @@ val planning_cost : Device.t -> max_iterations:int -> float
 val run :
   ?config:Config.t ->
   ?aggregate:Aggregate.t ->
+  ?cache:Taqp_cache.Cache.t ->
   device:Device.t ->
   catalog:Catalog.t ->
   rng:Taqp_rng.Prng.t ->
@@ -172,6 +176,7 @@ val resume :
   device:Device.t ->
   catalog:Catalog.t ->
   ?selectivity_oracle:(Ra.t -> float) ->
+  ?cache:Taqp_cache.Cache.t ->
   ?dirty:bool ->
   snapshot ->
   handle

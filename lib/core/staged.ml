@@ -5,6 +5,7 @@ module Clock = Taqp_storage.Clock
 module Device = Taqp_storage.Device
 module Heap_file = Taqp_storage.Heap_file
 module Catalog = Taqp_storage.Catalog
+module Cost_params = Taqp_storage.Cost_params
 module Ra = Taqp_relational.Ra
 module Predicate = Taqp_relational.Predicate
 module Ops = Taqp_relational.Ops
@@ -20,6 +21,7 @@ module Cost_model = Taqp_timecost.Cost_model
 module Sel_plus = Taqp_timecontrol.Sel_plus
 module Tracer = Taqp_obs.Tracer
 module Event = Taqp_obs.Event
+module Cache = Taqp_cache.Cache
 
 exception Compile_error of string
 
@@ -28,6 +30,15 @@ let compile_error fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt
 (* ------------------------------------------------------------------ *)
 (* Data structures                                                     *)
 
+(* Where a scan's sample units come from. [Src_shared g] reads
+   consecutive offsets of the cross-query sample prefix (generation [g]
+   at adoption); an invalidation bumps the generation and the scan
+   demotes itself — permanently — to [Src_fallback], drawing from its
+   own untouched PRNG stream, which is a valid without-replacement
+   continuation of the sample it already holds. [Src_private] is the
+   cache-off path, bit-identical to the pre-cache engine. *)
+type cache_src = Src_private | Src_shared of int | Src_fallback
+
 (* One per base relation: the shared sample stream all terms read. *)
 type scan = {
   scan_id : int;
@@ -35,6 +46,7 @@ type scan = {
   file : Heap_file.t;
   units : Stage_set.t;
   unit_kind : Plan.unit_kind;
+  mutable cache_src : cache_src;
   mutable stage_tuples : int list;  (** newest first: tuples per stage *)
   mutable drawn_tuples : int;
   mutable last_delta : Tuple.t array;
@@ -113,6 +125,7 @@ type t = {
   scans : scan list;  (** one per distinct base relation *)
   overhead_id : int;
   block_bytes : int;
+  cache : Cache.t option;  (** shared cross-query cache, when attached *)
   mutable stage : int;  (** completed stages *)
   mutable last_estimate : Count_estimator.t option;
 }
@@ -173,8 +186,8 @@ let make_binary ~op ~key_l ~key_r ~residual ~residual_comparisons ~left ~right
     hashed_r = 0;
   }
 
-let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
-    expr =
+let compile ?(aggregate = Aggregate.Count) ?cache ~catalog ~config ~rng
+    ~cost_model expr =
   Config.validate config;
   let lookup name =
     Option.map Heap_file.schema (Catalog.find_opt catalog name)
@@ -213,6 +226,10 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
             file;
             units = Stage_set.create ~n_units (Prng.split rng);
             unit_kind = (config.plan : Plan.t).unit_kind;
+            cache_src =
+              (match cache with
+              | None -> Src_private
+              | Some c -> Src_shared (Cache.generation c file));
             stage_tuples = [];
             drawn_tuples = 0;
             last_delta = [||];
@@ -404,6 +421,7 @@ let compile ?(aggregate = Aggregate.Count) ~catalog ~config ~rng ~cost_model
     scans;
     overhead_id;
     block_bytes;
+    cache;
     stage = 0;
     last_estimate = None;
   }
@@ -470,6 +488,38 @@ let predicted_new_tuples scan ~f =
   let k = units_for scan ~f in
   let cap = Heap_file.n_tuples scan.file - scan.drawn_tuples in
   Int.min cap (k * tuples_per_unit scan)
+
+(* The cache keys a scan's prefix by its sampling-unit population. *)
+let cache_kind scan =
+  match scan.unit_kind with
+  | Plan.Cluster -> Cache.Blocks
+  | Plan.Simple_random -> Cache.Tuples
+
+(* The cache to share units through, if the scan is (still) on the
+   shared prefix. Checked at every use: an invalidation since adoption
+   bumps the generation, and the scan demotes itself permanently — the
+   new prefix stream could re-issue units it already drew. *)
+let scan_cache t scan =
+  match (t.cache, scan.cache_src) with
+  | Some c, Src_shared g when Cache.generation c scan.file = g -> Some c
+  | Some _, Src_shared _ ->
+      scan.cache_src <- Src_fallback;
+      None
+  | _ -> None
+
+(* Block reads the next stage would actually charge: on the shared
+   prefix the unit identities are known in advance, so cached blocks
+   can be netted out — this is what makes a plan (and the admission
+   price built from it) cover only the *residual* sample a hit leaves
+   to fetch. Off the prefix the units are not knowable before the
+   draw, so every unit is priced as a read. *)
+let predicted_scan_misses t scan ~f =
+  let k = units_for scan ~f in
+  match scan_cache t scan with
+  | Some c ->
+      Cache.predict_misses c ~file:scan.file ~kind:(cache_kind scan)
+        ~lo:(Stage_set.drawn scan.units) ~k
+  | None -> k
 
 (* Per-stage new/cumulative sizes used by the Figure 4.5 pairing cost:
    sizes of each side's retained deltas, oldest first, with the
@@ -726,7 +776,7 @@ let plan t ~f ~mode =
           plan_measures =
             {
               Formulas.zero_measures with
-              Formulas.blocks = float_of_int (units_for scan ~f);
+              Formulas.blocks = float_of_int (predicted_scan_misses t scan ~f);
             };
           sel_used = 1.0;
           sel_plain = 1.0;
@@ -769,22 +819,46 @@ type stage_result = {
   scans_elapsed : float;
 }
 
-let read_units device scan unit_ids =
+(* Serve one block through the shared cache when one is attached: a hit
+   charges the probe price instead of the read, a miss does the real
+   read and retains the contents (a fault raised mid-read propagates
+   before the insert, so a failed fill never poisons the store). The
+   block store is content-keyed, so it serves fallback scans too — only
+   the *unit choice* needs the shared prefix, not the block cache.
+   Returns the tuples plus whether it missed; with no cache the miss
+   path is exactly the pre-cache read. *)
+let cached_block t device file b =
+  match t.cache with
+  | None -> (Heap_file.read_block device file b, true)
+  | Some c -> (
+      match Cache.find_block c ~file b with
+      | Some tuples ->
+          Device.cache_probe device;
+          (tuples, false)
+      | None ->
+          let tuples = Heap_file.read_block device file b in
+          Cache.store_block c ~file b
+            ~cost:(Device.params device).Cost_params.block_read tuples;
+          (tuples, true))
+
+let read_units t device scan unit_ids =
+  let misses = ref 0 in
+  let fetch b =
+    let tuples, missed = cached_block t device scan.file b in
+    if missed then incr misses;
+    tuples
+  in
   let per_unit =
     match scan.unit_kind with
-    | Plan.Cluster ->
-        List.map (fun b -> Heap_file.read_block device scan.file b) unit_ids
+    | Plan.Cluster -> List.map fetch unit_ids
     | Plan.Simple_random ->
         let bf = Heap_file.blocking_factor scan.file in
         List.map
-          (fun tuple_idx ->
-            Device.read_block device;
-            let block = Heap_file.block scan.file (tuple_idx / bf) in
-            [| block.(tuple_idx mod bf) |])
+          (fun tuple_idx -> [| (fetch (tuple_idx / bf)).(tuple_idx mod bf) |])
           unit_ids
   in
   scan.last_unit_deltas <- per_unit;
-  Array.concat per_unit
+  (Array.concat per_unit, !misses)
 
 let draw_and_scan t device ~f =
   let tracer = Device.tracer device in
@@ -799,8 +873,18 @@ let draw_and_scan t device ~f =
       end
       else begin
         let t0 = Clock.now (Device.clock device) in
-        let unit_ids = Stage_set.draw_stage scan.units ~k in
-        let tuples = read_units device scan unit_ids in
+        let unit_ids =
+          match scan_cache t scan with
+          | Some c ->
+              let fresh =
+                Cache.prefix_units c ~file:scan.file ~kind:(cache_kind scan)
+                  ~lo:(Stage_set.drawn scan.units) ~k
+              in
+              Stage_set.record_stage scan.units fresh;
+              fresh
+          | None -> Stage_set.draw_stage scan.units ~k
+        in
+        let tuples, misses = read_units t device scan unit_ids in
         scan.last_delta <- tuples;
         scan.stage_tuples <- Array.length tuples :: scan.stage_tuples;
         scan.drawn_tuples <- scan.drawn_tuples + Array.length tuples;
@@ -813,16 +897,41 @@ let draw_and_scan t device ~f =
                 ("units", Event.Int (List.length unit_ids));
                 ("tuples", Event.Int (Array.length tuples));
               ];
+        (* [misses] equals the unit count on the cache-off path, so the
+           fitted read rate stays the price of a *real* block read; on
+           a cached run both the plan and the observation count only
+           the residual reads a hit leaves to pay. *)
         Cost_model.observe_step t.cost_model ~id:scan.scan_id
           ~step:Formulas.Step_read
           {
             Formulas.zero_measures with
-            Formulas.blocks = float_of_int (List.length unit_ids);
+            Formulas.blocks = float_of_int misses;
           }
           ~seconds:(Device.measure device (t1 -. t0));
         Some (scan.relation, List.length unit_ids)
       end)
     t.scans
+
+(* A sorted run or hash index over a leaf-fed side's stage delta is
+   shared-cacheable: on the shared prefix the delta is a deterministic
+   function of (relation, generation, unit kind, offset slice), so any
+   job whose stage covers the same slice rebuilds the identical
+   summary — serving the retained one instead is pure savings. The
+   physical-identity check against [last_delta] pins the delta to the
+   scan's most recent draw (a select or earlier binary in between
+   changes the tuples, and a zero-draw stage leaves an empty delta). *)
+let leaf_slice t node delta =
+  match node.kind with
+  | Leaf scan when delta == scan.last_delta && Array.length delta > 0 -> (
+      match scan_cache t scan with
+      | Some c ->
+          let hi = Stage_set.drawn scan.units in
+          let lo =
+            hi - Stage_set.stage_size scan.units (Stage_set.stages scan.units)
+          in
+          Some (c, scan, lo, hi)
+      | None -> None)
+  | _ -> None
 
 let node_label node =
   match node.kind with
@@ -1002,10 +1111,39 @@ and eval_node_body t device node : Tuple.t array =
               Array.sort cmp s;
               s
             in
+            (* This stage's delta sorts go through the shared cache
+               when the side is a leaf on the shared prefix: a hit
+               charges one probe instead of the sort. Catch-up sorts of
+               older deltas keep the plain path — their slices are
+               job-specific. The runs are never mutated after this
+               point, so sharing one array across jobs is safe. *)
+            let sorted_delta side key cmp arr =
+              match leaf_slice t side arr with
+              | None -> sort_with cmp arr
+              | Some (c, scan, lo, hi) -> (
+                  let kind = cache_kind scan in
+                  match
+                    Cache.find_sorted_run c ~file:scan.file ~kind ~lo ~hi ~key
+                  with
+                  | Some run ->
+                      Device.cache_probe device;
+                      run
+                  | None ->
+                      let s = sort_with cmp arr in
+                      let p = Device.params device in
+                      let fn = float_of_int (Array.length arr) in
+                      Cache.store_sorted_run c ~file:scan.file ~kind ~lo ~hi
+                        ~key
+                        ~cost:
+                          ((p.Cost_params.sort_per_nlogn *. xlog fn)
+                          +. (p.Cost_params.sort_per_tuple *. fn))
+                        s;
+                      s)
+            in
             b.files_l <- b.files_l @ List.map (sort_with b.cmp_l) missing_l;
             b.files_r <- b.files_r @ List.map (sort_with b.cmp_r) missing_r;
-            let sorted_l = sort_with b.cmp_l delta_l in
-            let sorted_r = sort_with b.cmp_r delta_r in
+            let sorted_l = sorted_delta b.left b.key_l b.cmp_l delta_l in
+            let sorted_r = sorted_delta b.right b.key_r b.cmp_r delta_r in
             let t2 = Clock.now clock in
             b.files_l <- b.files_l @ [ sorted_l ];
             b.files_r <- b.files_r @ [ sorted_r ];
@@ -1108,10 +1246,40 @@ and eval_node_body t device node : Tuple.t array =
               end
               else begin
                 (* Partial fulfillment evaluates only delta x delta: a
-                   transient index, nothing retained. *)
-                let index = Ops.Hash_index.create ~key:b.key_l in
-                timed build_s (fun () ->
-                    Ops.Hash_index.add ~device index delta_l);
+                   transient index, nothing retained by the node — but
+                   shared-cacheable when the left side is a leaf on the
+                   shared prefix, since any job staging the same slice
+                   builds the identical index. Cached indexes are only
+                   ever probed, never added to. *)
+                let index =
+                  match leaf_slice t b.left delta_l with
+                  | None ->
+                      let index = Ops.Hash_index.create ~key:b.key_l in
+                      timed build_s (fun () ->
+                          Ops.Hash_index.add ~device index delta_l);
+                      index
+                  | Some (c, scan, lo, hi) -> (
+                      let kind = cache_kind scan in
+                      match
+                        Cache.find_hash_index c ~file:scan.file ~kind ~lo ~hi
+                          ~key:b.key_l
+                      with
+                      | Some index ->
+                          timed build_s (fun () -> Device.cache_probe device);
+                          index
+                      | None ->
+                          let index = Ops.Hash_index.create ~key:b.key_l in
+                          timed build_s (fun () ->
+                              Ops.Hash_index.add ~device index delta_l);
+                          let p = Device.params device in
+                          Cache.store_hash_index c ~file:scan.file ~kind ~lo
+                            ~hi ~key:b.key_l
+                            ~cost:
+                              (float_of_int (Array.length delta_l)
+                              *. p.Cost_params.hash_build_per_tuple)
+                            index;
+                          index)
+                in
                 timed probe_s (fun () ->
                     probe_with index ~probe_key:b.key_r ~indexed_side:`Left
                       delta_r)
@@ -1594,7 +1762,28 @@ let restore t snap =
       (* within-stage scratch: the next draw_and_scan overwrites both,
          exactly as it would have at this boundary in the dead run *)
       scan.last_delta <- [||];
-      scan.last_unit_deltas <- [])
+      scan.last_unit_deltas <- [];
+      (* A resumed scan rejoins the shared prefix only if the dead
+         run's drawn units are exactly the prefix's first [drawn]
+         offsets under the current generation — then continuing at
+         offset [drawn] is bit-identical to the uninterrupted cached
+         run. Anything else (the dead run drew privately, or the prefix
+         was invalidated since) falls back to the private stream the
+         snapshot restored — still a valid without-replacement
+         continuation. *)
+      match t.cache with
+      | None -> ()
+      | Some c ->
+          let drawn = Stage_set.drawn scan.units in
+          let rejoin =
+            drawn = 0
+            || Cache.prefix_units c ~file:scan.file ~kind:(cache_kind scan)
+                 ~lo:0 ~k:drawn
+               = Stage_set.all_units scan.units
+          in
+          scan.cache_src <-
+            (if rejoin then Src_shared (Cache.generation c scan.file)
+             else Src_fallback))
     t.scans snap.sn_scans;
   List.iter2
     (fun term ts ->

@@ -23,6 +23,7 @@ exception Compile_error of string
 
 val compile :
   ?aggregate:Aggregate.t ->
+  ?cache:Taqp_cache.Cache.t ->
   catalog:Catalog.t ->
   config:Config.t ->
   rng:Taqp_rng.Prng.t ->
@@ -33,6 +34,16 @@ val compile :
     numeric attribute of the result schema and no Project root in any
     term. The per-stage estimate returned by {!run_stage} is then the
     requested aggregate's.
+
+    [cache] attaches the shared cross-query cache: scans draw their
+    units from the cache's per-relation sample prefix (so concurrent
+    queries sample the {e same} units and hit each other's blocks),
+    block reads and leaf-fed sort/hash summaries are served from the
+    cache at {!Taqp_storage.Device.cache_probe} price on a hit, and
+    stage plans count only the predicted {e miss} reads — which is how
+    admission control prices the residual sample a hit leaves to
+    fetch. Omitted (the default), every path is bit-identical to the
+    cache-less engine.
     @raise Compile_error on unknown relations (or unsupported/ill-typed
     aggregates);
     @raise Ra.Type_error on ill-typed expressions;

@@ -5,7 +5,7 @@ module Cost_params = Taqp_storage.Cost_params
 let parse = Taqp_relational.Parser.expression
 
 let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
-    ?metrics ?faults ?fault_seed ~aggregate catalog ~quota expr =
+    ?metrics ?faults ?fault_seed ?cache ~aggregate catalog ~quota expr =
   let rng = Taqp_rng.Prng.create seed in
   let clock = Clock.create_virtual () in
   let tracer =
@@ -28,14 +28,22 @@ let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
     Device.create ~params ~jitter_rng:(Taqp_rng.Prng.split rng) ?metrics ?tracer
       ?faults clock
   in
-  let report = Executor.run ?config ~aggregate ~device ~catalog ~rng ~quota expr in
+  (match (cache, metrics) with
+  | Some c, Some m -> Taqp_cache.Cache.bind_metrics c m
+  | _ -> ());
+  let report =
+    Executor.run ?config ~aggregate ?cache ~device ~catalog ~rng ~quota expr
+  in
+  (match (cache, tracer) with
+  | Some c, Some t -> Taqp_cache.Cache.emit_counters c t
+  | _ -> ());
   Option.iter Taqp_obs.Tracer.close tracer;
   report
 
 let count_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
-    catalog ~quota expr =
+    ?cache catalog ~quota expr =
   aggregate_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
-    ~aggregate:Aggregate.Count catalog ~quota expr
+    ?cache ~aggregate:Aggregate.Count catalog ~quota expr
 
 let count_within_device ?config ?(aggregate = Aggregate.Count) ~device ~rng
     catalog ~quota expr =

@@ -28,6 +28,7 @@ val count_within :
   ?metrics:Taqp_obs.Metrics.t ->
   ?faults:Taqp_fault.Fault_plan.t ->
   ?fault_seed:int ->
+  ?cache:Taqp_cache.Cache.t ->
   Catalog.t ->
   quota:float ->
   Ra.t ->
@@ -44,7 +45,11 @@ val count_within :
     the device ({!Taqp_fault.Fault_plan.none} is a no-op), seeded by
     [fault_seed] (default: [seed]). The injector draws from its own
     PRNG stream, so a faulted run samples the same tuples as the
-    fault-free run with the same [seed]; see docs/ROBUSTNESS.md. *)
+    fault-free run with the same [seed]; see docs/ROBUSTNESS.md.
+    [cache] attaches a shared cross-query cache ({!Taqp_cache.Cache},
+    see docs/CACHING.md): its counters are mirrored into [metrics] and
+    emitted to [sink] before the trace closes. Omitted, the run is
+    bit-identical to the cache-less engine. *)
 
 val aggregate_within :
   ?config:Config.t ->
@@ -54,6 +59,7 @@ val aggregate_within :
   ?metrics:Taqp_obs.Metrics.t ->
   ?faults:Taqp_fault.Fault_plan.t ->
   ?fault_seed:int ->
+  ?cache:Taqp_cache.Cache.t ->
   aggregate:Aggregate.t ->
   Catalog.t ->
   quota:float ->

@@ -61,6 +61,8 @@ type summary_state = {
       (** (cat, name) -> total seconds, count *)
   mutable stage_lines : string list;  (** newest first *)
   mutable instants : (float * string) list;  (** newest first *)
+  counters : (string * string, float) Hashtbl.t;
+      (** (cat, name) -> last sampled value *)
 }
 
 let arg_str args key =
@@ -91,6 +93,7 @@ let summary ppf =
       totals = Hashtbl.create 32;
       stage_lines = [];
       instants = [];
+      counters = Hashtbl.create 8;
     }
   in
   let emit (e : Event.t) =
@@ -116,7 +119,7 @@ let summary ppf =
     | Event.Complete dur -> record st ~cat:e.cat ~name:e.name dur
     | Event.Instant ->
         st.instants <- (e.ts, e.cat ^ "/" ^ e.name) :: st.instants
-    | Event.Counter _ -> ()
+    | Event.Counter v -> Hashtbl.replace st.counters (e.cat, e.name) v
   in
   let close () =
     Format.fprintf ppf "@[<v>--- trace summary ---@ ";
@@ -137,6 +140,12 @@ let summary ppf =
     List.iter
       (fun (ts, label) -> Format.fprintf ppf "@%.4fs %s@ " ts label)
       (List.rev st.instants);
+    (* Counters keep their last sampled value — totals, not durations
+       (the cache emits cache.hits/misses/evictions/bytes this way). *)
+    Hashtbl.fold (fun (cat, name) v acc -> (cat, name, v) :: acc) st.counters []
+    |> List.sort compare
+    |> List.iter (fun (cat, name, v) ->
+           Format.fprintf ppf "%-10s %-24s       %11g@ " cat name v);
     Format.fprintf ppf "@]@."
   in
   { emit; close }

@@ -27,8 +27,10 @@ val chrome : (string -> unit) -> t
 val summary : Format.formatter -> t
 (** Human-readable end-of-run summary, printed on [close]: one line
     per stage span (predicted vs. actual cost, sample fraction,
-    decision), then per-category/name aggregate durations. This — not
-    the [Report.trace] list — is the tracer-derived view of a run. *)
+    decision), then per-category/name aggregate durations, then the
+    last sampled value of every counter event (e.g. the shared cache's
+    [cache.hits]/[cache.misses]/[cache.hit_ratio]). This — not the
+    [Report.trace] list — is the tracer-derived view of a run. *)
 
 val tee : t list -> t
 (** Fan out to several sinks; [close] closes all of them. *)

@@ -273,7 +273,8 @@ let cost_params b (p : Cost_params.t) =
   C.float b p.estimator_per_tuple;
   C.float b p.jitter_sigma;
   C.float b p.clock_tick;
-  C.float b p.journal_byte_write
+  C.float b p.journal_byte_write;
+  C.float b p.cache_probe
 
 let read_cost_params d : Cost_params.t =
   let block_read = C.read_float d in
@@ -293,6 +294,7 @@ let read_cost_params d : Cost_params.t =
   let jitter_sigma = C.read_float d in
   let clock_tick = C.read_float d in
   let journal_byte_write = C.read_float d in
+  let cache_probe = C.read_float d in
   {
     block_read;
     tuple_check_base;
@@ -311,6 +313,7 @@ let read_cost_params d : Cost_params.t =
     jitter_sigma;
     clock_tick;
     journal_byte_write;
+    cache_probe;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -28,6 +28,24 @@ let draw_stage t ~k =
   t.stages_rev <- fresh :: t.stages_rev;
   fresh
 
+(* Record units some *other* sampler chose — the shared-cache prefix
+   stream — without touching this set's own PRNG. The membership and
+   range checks keep the without-replacement invariant enforced here,
+   not at the call site; the untouched [rng] is what makes a later
+   fall back to [draw_stage] (after a cache invalidation) a valid SRS
+   continuation. *)
+let record_stage t units =
+  List.iter
+    (fun u ->
+      if u < 0 || u >= t.n_units then
+        invalid_arg "Stage_set.record_stage: unit out of range";
+      if Hashtbl.mem t.drawn_set u then
+        invalid_arg "Stage_set.record_stage: unit already drawn")
+    units;
+  List.iter (fun u -> Hashtbl.add t.drawn_set u ()) units;
+  t.drawn <- t.drawn + List.length units;
+  t.stages_rev <- units :: t.stages_rev
+
 let stage_units t i =
   let n = stages t in
   if i < 1 || i > n then invalid_arg "Stage_set.stage_units: out of range";

@@ -20,6 +20,15 @@ val draw_stage : t -> k:int -> int list
     the returned list (possibly shorter than [k]) is the NEW-SAMPLE-SET.
     @raise Invalid_argument if [k < 0]. *)
 
+val record_stage : t -> int list -> unit
+(** Record a stage whose units some other sampler chose — the shared
+    cross-query sample prefix of {!Taqp_cache} — without consuming this
+    set's own PRNG stream. The untouched stream is what makes a later
+    fall back to {!draw_stage} (after a cache invalidation demotes the
+    consumer) a valid without-replacement continuation.
+    @raise Invalid_argument if a unit is out of range or already
+    drawn. *)
+
 val stages : t -> int
 val drawn : t -> int
 val remaining : t -> int

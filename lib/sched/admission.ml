@@ -50,14 +50,17 @@ let decision_name = function
    untrained cost model and a private rng, so pricing never perturbs
    the run that may follow. All of it is pure — admission charges the
    shared clock nothing. *)
-let compile_for_pricing ~job =
+let compile_for_pricing ?cache ~job () =
   let config = job.Job.config in
   let cost_model =
     Cost_model.create ~adaptive:config.Config.adaptive_cost
       ~initial_scale:config.Config.initial_cost_scale ()
   in
-  Staged.compile ~aggregate:job.Job.aggregate ~catalog:job.Job.catalog ~config
-    ~rng:(Prng.create job.Job.seed) ~cost_model job.Job.query
+  (* [cache] makes the throwaway plan count only predicted *misses*
+     (Cache.predict_misses is read-only), so admission prices the
+     residual sample a warm cache leaves to fetch. Still pure. *)
+  Staged.compile ~aggregate:job.Job.aggregate ?cache ~catalog:job.Job.catalog
+    ~config ~rng:(Prng.create job.Job.seed) ~cost_model job.Job.query
 
 (* The cheapest run that still yields an estimate: one
    sample-size-determination plus one minimum-fraction stage. A job
@@ -93,14 +96,14 @@ let price_confidence ~device staged ~(config : Config.t) ~target =
        ~f:(confidence_fraction staged ~config ~target)
        ~mode:Staged.Plain
 
-let evaluate t ~device ~now ~backlog ~queue_len job =
+let evaluate t ?cache ~device ~now ~backlog ~queue_len job =
   let slack = Job.slack job ~now in
   if slack <= 0.0 then Reject Zero_slack
   else
     match t.max_queue with
     | Some limit when queue_len >= limit -> Reject (Queue_full { limit })
     | _ ->
-        let staged = compile_for_pricing ~job in
+        let staged = compile_for_pricing ?cache ~job () in
         let config = job.Job.config in
         let min_cost = price_min_stage ~device staged ~config in
         let available = slack -. backlog in

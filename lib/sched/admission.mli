@@ -38,10 +38,14 @@ val reason_name : reason -> string
 val pp_reason : Format.formatter -> reason -> unit
 val decision_name : decision -> string
 
-val compile_for_pricing : job:Job.t -> Taqp_core.Staged.t
+val compile_for_pricing :
+  ?cache:Taqp_cache.Cache.t -> job:Job.t -> unit -> Taqp_core.Staged.t
 (** A throwaway compilation of the job's query (fresh untrained cost
     model, private rng) for pricing. Pure: touches neither the shared
-    clock nor the job's sampling stream. *)
+    clock nor the job's sampling stream. With [cache], stage plans
+    count only the predicted cache-{e miss} reads (a read-only
+    prediction), so the price reflects the residual sample a warm
+    cache leaves to fetch. *)
 
 val price_min_stage :
   device:Taqp_storage.Device.t ->
@@ -53,6 +57,7 @@ val price_min_stage :
 
 val evaluate :
   t ->
+  ?cache:Taqp_cache.Cache.t ->
   device:Taqp_storage.Device.t ->
   now:float ->
   backlog:float ->
@@ -60,4 +65,6 @@ val evaluate :
   Job.t ->
   decision
 (** [backlog] is the reserved minimum work (seconds) of already
-    admitted, unfinished jobs; [queue_len] their count. *)
+    admitted, unfinished jobs; [queue_len] their count. [cache] prices
+    against the shared cache's current contents (see
+    {!compile_for_pricing}). *)

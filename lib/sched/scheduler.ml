@@ -101,7 +101,7 @@ let report_missed ~(job : Job.t) ~finished_at = function
 let run ?(policy = Policy.Edf) ?admission
     ?(params = Cost_params.no_jitter Cost_params.default) ?metrics ?tracer
     ?faults ?journal ?start_at ?on_device ?on_dispatch ?account:account_hook
-    jobs =
+    ?cache jobs =
   let clock = Clock.create_virtual () in
   (* Recovery re-runs start where the crashed workload's clock stopped
      plus the downtime: arrivals the restart missed are admitted at
@@ -109,6 +109,9 @@ let run ?(policy = Policy.Edf) ?admission
      first dispatch — downtime is lost time, never replayed time. *)
   Option.iter (fun at -> Clock.restore clock ~now:at) start_at;
   let device = Device.create ~params ?metrics ?tracer ?faults clock in
+  (match (cache, metrics) with
+  | Some c, Some m -> Taqp_cache.Cache.bind_metrics c m
+  | _ -> ());
   (* Audit hooks. [on_device] lets an observer attach a spend listener
      to the scheduler's internal device; [account] tells it which job
      the next charges belong to ([None] = scheduler overhead);
@@ -251,7 +254,7 @@ let run ?(policy = Policy.Edf) ?admission
             match admission with
             | None -> Admission.Accept { quota = Job.slack j ~now }
             | Some a ->
-                Admission.evaluate a ~device ~now ~backlog:(backlog ())
+                Admission.evaluate a ?cache ~device ~now ~backlog:(backlog ())
                   ~queue_len:(List.length !live) j
           in
           (match decision with
@@ -317,7 +320,7 @@ let run ?(policy = Policy.Edf) ?admission
                      a_now = now;
                    });
               let reserved =
-                let staged = Admission.compile_for_pricing ~job:j in
+                let staged = Admission.compile_for_pricing ?cache ~job:j () in
                 Admission.price_min_stage ~device staged ~config:j.Job.config
               in
               incr seq;
@@ -425,7 +428,7 @@ let run ?(policy = Policy.Edf) ?admission
               account (Some lj.l_job.Job.id);
               let handle =
                 Executor.start ~config:lj.l_job.Job.config
-                  ~aggregate:lj.l_job.Job.aggregate ~device
+                  ~aggregate:lj.l_job.Job.aggregate ?cache ~device
                   ~catalog:lj.l_job.Job.catalog ~rng ~quota lj.l_job.Job.query
               in
               (match on_dispatch with
@@ -442,6 +445,7 @@ let run ?(policy = Policy.Edf) ?admission
   in
   loop ();
   account None;
+  Option.iter (fun c -> Taqp_cache.Cache.emit_counters c tracer) cache;
   let reports =
     List.stable_sort (fun a b -> compare a.job.Job.id b.job.Job.id) !reports
   in
@@ -589,7 +593,7 @@ type recovery = {
 }
 
 let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
-    ?on_device ?on_dispatch ?account ?(downtime = 0.0) ~records jobs =
+    ?on_device ?on_dispatch ?account ?cache ?(downtime = 0.0) ~records jobs =
   if downtime < 0.0 then invalid_arg "Scheduler.recover: negative downtime";
   let finished =
     List.filter_map
@@ -610,7 +614,8 @@ let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
   in
   let r_run =
     run ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
-      ?on_device ?on_dispatch ?account ~start_at:(crash_time +. downtime) rest
+      ?on_device ?on_dispatch ?account ?cache
+      ~start_at:(crash_time +. downtime) rest
   in
   (* The combined accounting: journaled terminal jobs plus the re-run.
      Percentiles are re-derived from the union of the per-job lateness

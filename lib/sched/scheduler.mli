@@ -81,6 +81,7 @@ val run :
   ?on_device:(Taqp_storage.Device.t -> unit) ->
   ?on_dispatch:(Job.t -> Taqp_core.Executor.handle -> unit) ->
   ?account:(int option -> unit) ->
+  ?cache:Taqp_cache.Cache.t ->
   Job.t list ->
   result
 (** Run the workload to completion on a fresh virtual clock.
@@ -111,7 +112,15 @@ val run :
     journal writes) and at loop exit; [on_dispatch] fires once per
     dispatched job with its executor handle, before its first stage,
     so a drift monitor can register via
-    {!Taqp_core.Executor.on_cost_observation}. *)
+    {!Taqp_core.Executor.on_cost_observation}.
+
+    [cache] shares one {!Taqp_cache.Cache} across every job on the
+    device: jobs draw from its shared sample prefixes and serve each
+    other's blocks and stage summaries, admission and the reserved
+    backlog price only the residual misses a warm cache leaves, the
+    cache's counters are mirrored into [metrics] and emitted to
+    [tracer] at loop exit. Omitted (the default), the run is
+    bit-identical to the cache-less scheduler. *)
 
 val completed_report : job_report -> Taqp_core.Report.t option
 (** The completed report, if any. *)
@@ -154,6 +163,7 @@ val recover :
   ?on_device:(Taqp_storage.Device.t -> unit) ->
   ?on_dispatch:(Job.t -> Taqp_core.Executor.handle -> unit) ->
   ?account:(int option -> unit) ->
+  ?cache:Taqp_cache.Cache.t ->
   ?downtime:float ->
   records:Sched_journal.record list ->
   Job.t list ->

@@ -40,6 +40,13 @@ type t = {
           ({!Taqp_recover}): a sequential, unjittered log write. Only
           charged when journaling is enabled — with journaling off this
           rate is never consulted. *)
+  cache_probe : float;
+      (** serve one unit from the shared cross-query cache
+          ({!Taqp_cache}): a hash lookup plus a memory copy, replacing
+          the {!block_read} (or sort/build) the miss path would have
+          charged. Priced so cache savings appear on the virtual clock,
+          not just wall time. Only charged when a cache is attached —
+          with caching off this rate is never consulted. *)
 }
 
 val default : t

@@ -234,6 +234,13 @@ let read_block t =
   Io_stats.incr_blocks_read t.stats;
   traced_charge t "read_block" t.params.block_read
 
+(* A cache hit: the unit is served from memory instead of the disk, so
+   the charge is jittered like any other work but exempt from fault
+   injection — the injector models the storage path the hit just
+   avoided. Not counted as a block read ([Io_stats] keeps reporting
+   real device IO; the cache keeps its own hit/miss counters). *)
+let cache_probe t = plain_traced_charge t "cache_probe" t.params.cache_probe
+
 let check_tuples t ~n ~comparisons =
   if n > 0 then begin
     Io_stats.add_tuples_checked t.stats n;

@@ -55,6 +55,14 @@ val fault_time : t -> float
 
 val read_block : t -> unit
 
+val cache_probe : t -> unit
+(** Serve one unit from the shared cross-query cache ({!Taqp_cache}):
+    charges {!Cost_params.cache_probe} under the ["cache_probe"] spend
+    label. Jittered like any charge but exempt from fault injection
+    (the injector models the storage path the hit avoided) and not
+    counted as a block read — {!Io_stats} keeps reporting real device
+    IO, so [blocks_read] becomes the miss count on a cached run. *)
+
 val check_tuples : t -> n:int -> comparisons:int -> unit
 (** Fetch-and-test [n] tuples, each evaluating [comparisons]
     comparisons. *)

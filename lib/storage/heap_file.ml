@@ -1,6 +1,7 @@
 open Taqp_data
 
 type t = {
+  uid : int;
   schema : Schema.t;
   blocks : Tuple.t array array;
   n_tuples : int;
@@ -8,6 +9,11 @@ type t = {
   block_bytes : int;
   tuple_bytes : int;
 }
+
+(* Process-global creation-order counter: relation *names* collide
+   across catalogs ("r1" in every Paper_setup workload), so the shared
+   cross-query cache keys entries by this identity instead. *)
+let next_uid = ref 0
 
 exception Storage_error of string
 
@@ -48,8 +54,11 @@ let create ?(block_bytes = 1024) ?(tuple_bytes = 200) ~schema tuples =
         let len = Int.min blocking_factor (n - lo) in
         Array.sub tuples lo len)
   in
-  { schema; blocks; n_tuples = n; blocking_factor; block_bytes; tuple_bytes }
+  let uid = !next_uid in
+  incr next_uid;
+  { uid; schema; blocks; n_tuples = n; blocking_factor; block_bytes; tuple_bytes }
 
+let uid t = t.uid
 let schema t = t.schema
 let n_tuples t = t.n_tuples
 let n_blocks t = Array.length t.blocks

@@ -18,6 +18,12 @@ val create :
     @raise Storage_error if a tuple's fields exceed [tuple_bytes] or a
     tuple does not match [schema]. *)
 
+val uid : t -> int
+(** Process-global creation-order identity. Relation names collide
+    across catalogs (every workload calls its relations ["r1"],
+    ["r2"]), so cross-query consumers — the shared cache in
+    {!Taqp_cache} — key on this instead. *)
+
 val schema : t -> Schema.t
 val n_tuples : t -> int
 val n_blocks : t -> int

@@ -233,7 +233,7 @@ let test_admission_degrade () =
   in
   let probe = mk_job ~deadline:1.0 () in
   let _, device = Fixtures.quiet_device () in
-  let staged = Admission.compile_for_pricing ~job:probe in
+  let staged = Admission.compile_for_pricing ~job:probe () in
   let config = probe.Job.config in
   let min_c = Admission.price_min_stage ~device staged ~config in
   let full =
