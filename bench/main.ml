@@ -18,13 +18,14 @@
      main.exe --chaos --fault-seed 7   ... with a different injector seed
      main.exe --recover            crash-recovery benchmark (BENCH_recover.json)
      main.exe --cache              shared-cache sweep (BENCH_cache.json)
+     main.exe --parallel           1-vs-N domains sweep (BENCH_parallel.json)
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
      [--micro] [--scheduling] [--sched] [--audit] [--perf] [--chaos] \
-     [--fault-seed N] [--recover] [--cache] [--full]";
+     [--fault-seed N] [--recover] [--cache] [--parallel] [--full]";
   exit 1
 
 type mode =
@@ -38,6 +39,7 @@ type mode =
   | Chaos
   | Recover
   | Cache_bench
+  | Parallel
   | Full
 
 let () =
@@ -89,6 +91,9 @@ let () =
     | "--cache" :: rest ->
         mode := Cache_bench;
         parse rest
+    | "--parallel" :: rest ->
+        mode := Parallel;
+        parse rest
     | "--full" :: rest ->
         mode := Full;
         parse rest
@@ -124,6 +129,7 @@ let () =
   | Chaos -> Chaos.write ~fault_seed:!fault_seed ()
   | Recover -> Recover.write ()
   | Cache_bench -> Cache.write ()
+  | Parallel -> Parallel.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
@@ -134,7 +140,8 @@ let () =
       Perf.write ();
       Chaos.write ~fault_seed:!fault_seed ();
       Recover.write ();
-      Cache.write ());
+      Cache.write ();
+      Parallel.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

@@ -87,6 +87,21 @@ let cache_arg =
 
 let make_cache ~seed = Option.map (fun mb -> Cache.create ~budget_mb:mb ~seed ())
 
+(* --domains N, shared by query/serve. Defaults to Config.default's
+   value, i.e. the TAQP_DOMAINS env var or 1. Any N yields bit-identical
+   estimates, CIs, virtual costs, traces and ledgers — only wall time
+   changes (docs/PARALLELISM.md). *)
+let domains_arg =
+  Arg.(
+    value
+    & opt int Config.default.Config.domains
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains (OCaml 5 parallelism) for per-stage sampling \
+           compute. The answer — estimate, confidence interval, virtual \
+           cost, trace, budget ledger — is bit-identical for every $(docv); \
+           only wall-clock time changes. Defaults to $(b,TAQP_DOMAINS) or 1.")
+
 let load_catalog dir = Csv_io.load_dir dir
 
 let parse_query q =
@@ -374,9 +389,11 @@ let query_cmd =
              A killed run is resumed with $(b,taqp resume); see \
              docs/RECOVERY.md.")
   in
-  let run dir query quota aggregate d_beta strategy physical observe trace
-      trace_out trace_format metrics groups error_bound faults fault_seed
-      journal cache_mb seed =
+  let run dir query quota aggregate d_beta strategy physical domains observe
+      trace trace_out trace_format metrics groups error_bound faults
+      fault_seed journal cache_mb seed =
+    if domains < 1 then fail "--domains must be >= 1"
+    else
     match parse_query query with
     | Error e -> fail "%s" e
     | Ok expr -> (
@@ -412,7 +429,7 @@ let query_cmd =
                     ]
             in
             let config =
-              { Config.default with Config.strategy; stopping; physical }
+              { Config.default with Config.strategy; stopping; physical; domains }
             in
             (* Assemble the event sinks: a file stream (JSONL or Chrome
                trace_event) and/or the stdout summary. The sinks are
@@ -499,10 +516,10 @@ let query_cmd =
     Term.(
       ret
         (const run $ dir_arg $ query_arg $ quota_arg $ aggregate_arg
-       $ d_beta_arg $ strategy_arg $ physical_arg $ observe_arg $ trace_arg
-       $ trace_out_arg $ trace_format_arg $ metrics_arg $ groups_arg
-       $ error_bound_arg $ faults_arg $ fault_seed_arg $ journal_arg
-       $ cache_arg $ seed_arg))
+       $ d_beta_arg $ strategy_arg $ physical_arg $ domains_arg $ observe_arg
+       $ trace_arg $ trace_out_arg $ trace_format_arg $ metrics_arg
+       $ groups_arg $ error_bound_arg $ faults_arg $ fault_seed_arg
+       $ journal_arg $ cache_arg $ seed_arg))
   in
   Cmd.v
     (Cmd.info "query"
@@ -1260,7 +1277,9 @@ let serve_cmd =
           ~doc:"With $(b,--slo): rolling window size in jobs.")
   in
   let run dir jobs_file policy admission max_queue headroom metrics faults
-      fault_seed journal recover downtime slo slo_window cache_mb =
+      fault_seed journal recover downtime slo slo_window cache_mb domains =
+    if domains < 1 then fail "--domains must be >= 1"
+    else
     match
       match faults with
       | None -> Ok None
@@ -1294,6 +1313,12 @@ let serve_cmd =
             | Error m -> fail "%s: %s" jobs_file m
             | Ok [] -> fail "%s: no jobs" jobs_file
             | Ok jobs -> (
+                let jobs =
+                  List.map
+                    (fun (j : Taqp_sched.Job.t) ->
+                      { j with config = { j.config with domains } })
+                    jobs
+                in
                 let registry =
                   if metrics then Some (Metrics.create ()) else None
                 in
@@ -1471,7 +1496,7 @@ let serve_cmd =
         (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
        $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
        $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg $ slo_arg
-       $ slo_window_arg $ cache_arg))
+       $ slo_window_arg $ cache_arg $ domains_arg))
   in
   Cmd.v
     (Cmd.info "serve"

@@ -26,10 +26,21 @@ type t = {
   physical : physical_operator;
   max_bisect_iterations : int;
   trace : bool;
+  domains : int;
 }
 
 let no_initial_overrides =
   { select = None; join = None; intersect = None; project = None }
+
+(* TAQP_DOMAINS mirrors TAQP_PHYSICAL: an env override so a whole test
+   run can be re-executed under a different domain count without
+   touching call sites. Anything unparsable or < 1 falls back to 1. *)
+let domains_from_env () =
+  match Sys.getenv_opt "TAQP_DOMAINS" with
+  | None | Some "" -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | _ -> 1)
 
 let default =
   {
@@ -47,6 +58,7 @@ let default =
     physical = Sort_merge;
     max_bisect_iterations = 40;
     trace = true;
+    domains = domains_from_env ();
   }
 
 let check_sel name = function
@@ -64,6 +76,7 @@ let validate t =
     invalid_arg "Config: initial_cost_scale <= 0";
   if t.max_bisect_iterations < 1 then
     invalid_arg "Config: max_bisect_iterations < 1";
+  if t.domains < 1 then invalid_arg "Config: domains < 1";
   check_sel "select" t.initial_selectivities.select;
   check_sel "join" t.initial_selectivities.join;
   check_sel "intersect" t.initial_selectivities.intersect;

@@ -81,6 +81,13 @@ type t = {
   physical : physical_operator;
   max_bisect_iterations : int;
   trace : bool;  (** retain per-stage details in the report *)
+  domains : int;
+      (** Worker domains for per-stage sampling compute ([>= 1]). The
+          engine's observable output — estimates, CIs, virtual costs,
+          traces, ledgers — is bit-identical at every value; only wall
+          time changes (see docs/PARALLELISM.md). [default] reads the
+          [TAQP_DOMAINS] env var (unset/invalid = 1), mirroring
+          [TAQP_PHYSICAL]. *)
 }
 
 val default : t

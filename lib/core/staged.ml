@@ -126,9 +126,51 @@ type t = {
   overhead_id : int;
   block_bytes : int;
   cache : Cache.t option;  (** shared cross-query cache, when attached *)
+  pool : Taqp_parallel.Pool.t option;
+      (** worker domains for per-stage compute; [None] = domains 1,
+          the historical sequential code path verbatim *)
   mutable stage : int;  (** completed stages *)
   mutable last_estimate : Count_estimator.t option;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel regions (docs/PARALLELISM.md)
+
+   Heavy pure compute — predicate filters, delta sorts, pairing merges,
+   index probes — fans out over the pool, while every Device charge is
+   issued by this domain in exactly the order the sequential code
+   issues it (same calls, same arguments). Virtual time, jitter draws,
+   deadline crossings, traces and ledgers are therefore bit-identical
+   at any domain count; only wall time changes. Workers never touch a
+   Clock, Device, Prng, Cache or tracer. *)
+
+(* Below this many tuples a region stays sequential: fan-out overhead
+   would dominate. A wall-time knob only — both paths produce the same
+   bytes, so the exact value is not semantics-bearing. Settable so the
+   bit-identity tests can force the parallel regions on on test-sized
+   fixtures. *)
+let par_threshold = ref 2048
+let set_parallel_threshold n = par_threshold := Int.max 0 n
+
+let par_chunks pool n =
+  Taqp_parallel.Shard.ranges ~n ~k:(4 * Taqp_parallel.Pool.size pool)
+
+(* Chunked filter: each range filters in index order, chunks concat in
+   range order — extensionally equal to [Seq.filter] over the array. *)
+let par_filter pool test arr =
+  let ranges = par_chunks pool (Array.length arr) in
+  let chunks =
+    Taqp_parallel.Pool.run pool
+      (Array.map
+         (fun (r : Taqp_parallel.Shard.range) () ->
+           let out = ref [] in
+           for i = r.hi - 1 downto r.lo do
+             if test arr.(i) then out := arr.(i) :: !out
+           done;
+           Array.of_list !out)
+         ranges)
+  in
+  Array.concat (Array.to_list chunks)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation                                                         *)
@@ -413,6 +455,11 @@ let compile ?(aggregate = Aggregate.Count) ?cache ~catalog ~config ~rng
       (fun a b -> String.compare a.relation b.relation)
       (Hashtbl.fold (fun _ s acc -> s :: acc) scans [])
   in
+  let pool =
+    if config.domains > 1 then
+      Some (Taqp_parallel.Pool.global ~domains:config.domains)
+    else None
+  in
   {
     config;
     cost_model;
@@ -422,6 +469,7 @@ let compile ?(aggregate = Aggregate.Count) ?cache ~catalog ~config ~rng
     overhead_id;
     block_bytes;
     cache;
+    pool;
     stage = 0;
     last_estimate = None;
   }
@@ -989,7 +1037,12 @@ and eval_node_body t device node : Tuple.t array =
       let delta_in = eval_node t device child in
       let t0 = Clock.now clock in
       Device.check_tuples device ~n:(Array.length delta_in) ~comparisons;
-      let out = Array.of_seq (Seq.filter test (Array.to_seq delta_in)) in
+      let out =
+        match t.pool with
+        | Some pool when Array.length delta_in >= !par_threshold ->
+            par_filter pool test delta_in
+        | _ -> Array.of_seq (Seq.filter test (Array.to_seq delta_in))
+      in
       let t1 = Clock.now clock in
       charge_out (Array.length out);
       let t2 = Clock.now clock in
@@ -1140,31 +1193,126 @@ and eval_node_body t device node : Tuple.t array =
                         s;
                       s)
             in
-            b.files_l <- b.files_l @ List.map (sort_with b.cmp_l) missing_l;
-            b.files_r <- b.files_r @ List.map (sort_with b.cmp_r) missing_r;
-            let sorted_l = sorted_delta b.left b.key_l b.cmp_l delta_l in
-            let sorted_r = sorted_delta b.right b.key_r b.cmp_r delta_r in
+            let sorted_l, sorted_r =
+              let sort_tuples =
+                List.fold_left
+                  (fun acc a -> acc + Array.length a)
+                  (Array.length delta_l + Array.length delta_r)
+                  (missing_l @ missing_r)
+              in
+              match t.pool with
+              | Some pool when t.cache = None && sort_tuples >= !par_threshold ->
+                  (* The sorts are independent whole-array jobs, so they
+                     fan out as-is (never splitting one sort — Array.sort
+                     is not stable, but the same array under the same
+                     comparator is deterministic). Charges are replayed
+                     up front in the sequential call order; gated on no
+                     cache because [sorted_delta] interleaves cache
+                     probes with the charges. *)
+                  let jobs =
+                    Array.concat
+                      [
+                        Array.of_list
+                          (List.map (fun a -> (b.cmp_l, a)) missing_l);
+                        Array.of_list
+                          (List.map (fun a -> (b.cmp_r, a)) missing_r);
+                        [| (b.cmp_l, delta_l); (b.cmp_r, delta_r) |];
+                      ]
+                  in
+                  Array.iter
+                    (fun (_, a) -> Device.sort device ~n:(Array.length a))
+                    jobs;
+                  let sorted =
+                    Taqp_parallel.Pool.run pool
+                      (Array.map
+                         (fun (cmp, a) () ->
+                           let s = Array.copy a in
+                           Array.sort cmp s;
+                           s)
+                         jobs)
+                  in
+                  let n_ml = List.length missing_l in
+                  let n_mr = List.length missing_r in
+                  b.files_l <-
+                    b.files_l @ Array.to_list (Array.sub sorted 0 n_ml);
+                  b.files_r <-
+                    b.files_r @ Array.to_list (Array.sub sorted n_ml n_mr);
+                  (sorted.(n_ml + n_mr), sorted.(n_ml + n_mr + 1))
+              | _ ->
+                  b.files_l <- b.files_l @ List.map (sort_with b.cmp_l) missing_l;
+                  b.files_r <- b.files_r @ List.map (sort_with b.cmp_r) missing_r;
+                  ( sorted_delta b.left b.key_l b.cmp_l delta_l,
+                    sorted_delta b.right b.key_r b.cmp_r delta_r )
+            in
             let t2 = Clock.now clock in
             b.files_l <- b.files_l @ [ sorted_l ];
             b.files_r <- b.files_r @ [ sorted_r ];
             let file_at files i = List.nth files (i - 1) in
             let out = ref [] in
             let merge_reads = ref 0 in
-            List.iter
-              (fun (i, j) ->
-                Device.merge_setup device;
-                let fl = file_at b.files_l i and fr = file_at b.files_r j in
-                merge_reads := !merge_reads + Array.length fl + Array.length fr;
-                let produced =
-                  match b.op with
-                  | `Join ->
-                      Ops.merge_sorted_join ~device ~key_l:b.key_l
-                        ~key_r:b.key_r ~residual:b.residual
-                        ~residual_comparisons:b.residual_comparisons fl fr
-                  | `Intersect -> Ops.merge_sorted_intersect ~device fl fr
+            let pair_files =
+              Array.of_list
+                (List.map
+                   (fun (i, j) -> (file_at b.files_l i, file_at b.files_r j))
+                   pairings)
+            in
+            let pair_tuples =
+              Array.fold_left
+                (fun acc (fl, fr) -> acc + Array.length fl + Array.length fr)
+                0 pair_files
+            in
+            (match t.pool with
+            | Some pool
+              when Array.length pair_files > 1 && pair_tuples >= !par_threshold
+              ->
+                (* Each pairing merges on a worker with no device; the
+                   master then replays the identical charge sequence —
+                   merge_setup, merge_tuples |fl|+|fr|, one residual
+                   check per candidate — in pairing order. The counted
+                   variants report exactly how many candidate checks
+                   the sequential merge would have charged. *)
+                let computed =
+                  Taqp_parallel.Pool.run pool
+                    (Array.map
+                       (fun (fl, fr) () ->
+                         match b.op with
+                         | `Join ->
+                             Ops.merge_join_counted ~key_l:b.key_l
+                               ~key_r:b.key_r ~residual:b.residual fl fr
+                         | `Intersect ->
+                             (Ops.merge_sorted_intersect fl fr, 0))
+                       pair_files)
                 in
-                out := List.rev_append produced !out)
-              pairings;
+                Array.iteri
+                  (fun idx (produced, candidates) ->
+                    let fl, fr = pair_files.(idx) in
+                    Device.merge_setup device;
+                    merge_reads :=
+                      !merge_reads + Array.length fl + Array.length fr;
+                    Device.merge_tuples device
+                      ~n:(Array.length fl + Array.length fr);
+                    for _ = 1 to candidates do
+                      Device.check_tuples device ~n:1
+                        ~comparisons:b.residual_comparisons
+                    done;
+                    out := List.rev_append produced !out)
+                  computed
+            | _ ->
+                Array.iter
+                  (fun (fl, fr) ->
+                    Device.merge_setup device;
+                    merge_reads :=
+                      !merge_reads + Array.length fl + Array.length fr;
+                    let produced =
+                      match b.op with
+                      | `Join ->
+                          Ops.merge_sorted_join ~device ~key_l:b.key_l
+                            ~key_r:b.key_r ~residual:b.residual
+                            ~residual_comparisons:b.residual_comparisons fl fr
+                      | `Intersect -> Ops.merge_sorted_intersect ~device fl fr
+                    in
+                    out := List.rev_append produced !out)
+                  pair_files);
             let t3 = Clock.now clock in
             let out = Array.of_list (List.rev !out) in
             charge_out (Array.length out);
@@ -1206,17 +1354,55 @@ and eval_node_body t device node : Tuple.t array =
               r
             in
             let probe_with index ~probe_key ~indexed_side probes =
-              match (b.op, indexed_side) with
-              | `Join, _ ->
-                  Ops.hash_probe_join ~device ~index ~probe_key ~indexed_side
-                    ~residual:b.residual
-                    ~residual_comparisons:b.residual_comparisons probes
-              | `Intersect, `Left ->
-                  Ops.hash_probe_intersect ~device ~index ~emit_side:`Indexed
-                    probes
-              | `Intersect, `Right ->
-                  Ops.hash_probe_intersect ~device ~index ~emit_side:`Probe
-                    probes
+              match t.pool with
+              | Some pool when Array.length probes >= !par_threshold ->
+                  (* The index is read-only during a probe, so disjoint
+                     probe chunks fan out; chunk outputs concatenate in
+                     chunk order = probe order. The master replays the
+                     one hash_probe entry charge plus the per-candidate
+                     checks the sequential probe would have made. *)
+                  let chunks =
+                    Taqp_parallel.Pool.run pool
+                      (Array.map
+                         (fun (r : Taqp_parallel.Shard.range) () ->
+                           let sub =
+                             Array.sub probes r.lo (r.hi - r.lo)
+                           in
+                           match (b.op, indexed_side) with
+                           | `Join, _ ->
+                               Ops.probe_join_counted ~index ~probe_key
+                                 ~indexed_side ~residual:b.residual sub
+                           | `Intersect, `Left ->
+                               ( Ops.hash_probe_intersect ~index
+                                   ~emit_side:`Indexed sub,
+                                 0 )
+                           | `Intersect, `Right ->
+                               ( Ops.hash_probe_intersect ~index
+                                   ~emit_side:`Probe sub,
+                                 0 ))
+                         (par_chunks pool (Array.length probes)))
+                  in
+                  Device.hash_probe device ~n:(Array.length probes);
+                  Array.iter
+                    (fun (_, candidates) ->
+                      for _ = 1 to candidates do
+                        Device.check_tuples device ~n:1
+                          ~comparisons:b.residual_comparisons
+                      done)
+                    chunks;
+                  List.concat_map fst (Array.to_list chunks)
+              | _ -> (
+                  match (b.op, indexed_side) with
+                  | `Join, _ ->
+                      Ops.hash_probe_join ~device ~index ~probe_key
+                        ~indexed_side ~residual:b.residual
+                        ~residual_comparisons:b.residual_comparisons probes
+                  | `Intersect, `Left ->
+                      Ops.hash_probe_intersect ~device ~index
+                        ~emit_side:`Indexed probes
+                  | `Intersect, `Right ->
+                      Ops.hash_probe_intersect ~device ~index
+                        ~emit_side:`Probe probes)
             in
             let produced =
               if full then begin

@@ -50,6 +50,13 @@ val compile :
     @raise Taqp_estimators.Inclusion_exclusion.Unsupported per the
     rewrite's limits. *)
 
+val set_parallel_threshold : int -> unit
+(** Minimum tuples of work before a stage region fans out over the
+    config's worker domains (default 2048; process-wide). Purely a
+    wall-time knob: both code paths produce bit-identical output, so
+    tests lower it to force the parallel regions onto test-sized
+    fixtures. See docs/PARALLELISM.md. *)
+
 val term_count : t -> int
 val total_points : t -> float
 val stages_done : t -> int

@@ -4,8 +4,15 @@ module Cost_params = Taqp_storage.Cost_params
 
 let parse = Taqp_relational.Parser.expression
 
-let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
-    ?metrics ?faults ?fault_seed ?cache ~aggregate catalog ~quota expr =
+let aggregate_within ?config ?domains ?(params = Cost_params.default)
+    ?(seed = 1) ?sink ?metrics ?faults ?fault_seed ?cache ~aggregate catalog
+    ~quota expr =
+  let config =
+    match domains with
+    | None -> config
+    | Some d ->
+        Some { (Option.value config ~default:Config.default) with domains = d }
+  in
   let rng = Taqp_rng.Prng.create seed in
   let clock = Clock.create_virtual () in
   let tracer =
@@ -40,10 +47,10 @@ let aggregate_within ?config ?(params = Cost_params.default) ?(seed = 1) ?sink
   Option.iter Taqp_obs.Tracer.close tracer;
   report
 
-let count_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
-    ?cache catalog ~quota expr =
-  aggregate_within ?config ?params ?seed ?sink ?metrics ?faults ?fault_seed
-    ?cache ~aggregate:Aggregate.Count catalog ~quota expr
+let count_within ?config ?domains ?params ?seed ?sink ?metrics ?faults
+    ?fault_seed ?cache catalog ~quota expr =
+  aggregate_within ?config ?domains ?params ?seed ?sink ?metrics ?faults
+    ?fault_seed ?cache ~aggregate:Aggregate.Count catalog ~quota expr
 
 let count_within_device ?config ?(aggregate = Aggregate.Count) ~device ~rng
     catalog ~quota expr =

@@ -22,6 +22,7 @@ val parse : string -> Ra.t
 
 val count_within :
   ?config:Config.t ->
+  ?domains:int ->
   ?params:Cost_params.t ->
   ?seed:int ->
   ?sink:Taqp_obs.Sink.t ->
@@ -49,10 +50,14 @@ val count_within :
     [cache] attaches a shared cross-query cache ({!Taqp_cache.Cache},
     see docs/CACHING.md): its counters are mirrored into [metrics] and
     emitted to [sink] before the trace closes. Omitted, the run is
-    bit-identical to the cache-less engine. *)
+    bit-identical to the cache-less engine.
+    [domains] overrides [config.domains] (worker domains for per-stage
+    compute): any value yields bit-identical reports and traces — only
+    wall time changes (docs/PARALLELISM.md). *)
 
 val aggregate_within :
   ?config:Config.t ->
+  ?domains:int ->
   ?params:Cost_params.t ->
   ?seed:int ->
   ?sink:Taqp_obs.Sink.t ->

@@ -1,0 +1,61 @@
+type shard_moments = {
+  population : int;
+  drawn : int;
+  mean : float;
+  s2 : float;
+}
+
+let of_counts ~population obs =
+  let n = Array.length obs in
+  if population < n then invalid_arg "Merge.of_counts: population < drawn";
+  if n = 0 then { population; drawn = 0; mean = 0.0; s2 = 0.0 }
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 obs in
+    let mean = sum /. float_of_int n in
+    let s2 =
+      if n < 2 then 0.0
+      else begin
+        let ss =
+          Array.fold_left
+            (fun acc y ->
+              let d = y -. mean in
+              acc +. (d *. d))
+            0.0 obs
+        in
+        ss /. float_of_int (n - 1)
+      end
+    in
+    { population; drawn = n; mean; s2 }
+  end
+
+type combined = {
+  total_hat : float;
+  var_hat : float;
+  drawn : int;
+  population : int;
+}
+
+let combine shards =
+  List.fold_left
+    (fun acc (m : shard_moments) ->
+      let nj = float_of_int m.population in
+      let acc =
+        { acc with population = acc.population + m.population }
+      in
+      if m.drawn = 0 then acc
+      else begin
+        let total_hat = acc.total_hat +. (nj *. m.mean) in
+        let var_hat =
+          if m.drawn < 2 || m.drawn >= m.population then acc.var_hat
+          else begin
+            let fpc = 1.0 -. (float_of_int m.drawn /. nj) in
+            acc.var_hat +. (nj *. nj *. fpc *. m.s2 /. float_of_int m.drawn)
+          end
+        in
+        { acc with total_hat; var_hat; drawn = acc.drawn + m.drawn }
+      end)
+    { total_hat = 0.0; var_hat = 0.0; drawn = 0; population = 0 }
+    shards
+
+let interval c ~level =
+  Taqp_stats.Confidence.normal ~mean:c.total_hat ~variance:c.var_hat ~level

@@ -1,0 +1,38 @@
+(** Stratified combination of per-shard cluster-sample estimators.
+
+    Each shard samples its own block range without replacement and
+    summarises the draws as sample moments. Because the shards are
+    disjoint strata of the relation, the classic stratified estimator
+    applies: the population total is estimated by [Σ_j N_j·ȳ_j] and its
+    variance by [Σ_j N_j²·(1 − n_j/N_j)·s²_j/n_j] (finite-population
+    correction per stratum). The qcheck suite in test_parallel checks
+    both unbiasedness and nominal CI coverage of this combination
+    across shard counts and skew. *)
+
+type shard_moments = {
+  population : int;  (** N_j — units (blocks) in the stratum *)
+  drawn : int;  (** n_j — units sampled so far *)
+  mean : float;  (** ȳ_j — sample mean of per-unit totals *)
+  s2 : float;  (** s²_j — unbiased sample variance (0 when n_j < 2) *)
+}
+
+val of_counts : population:int -> float array -> shard_moments
+(** Summarise one shard's per-unit observations.
+    @raise Invalid_argument if [population] < number of observations. *)
+
+type combined = {
+  total_hat : float;  (** stratified estimate of the population total *)
+  var_hat : float;  (** variance of [total_hat] *)
+  drawn : int;  (** Σ n_j *)
+  population : int;  (** Σ N_j *)
+}
+
+val combine : shard_moments list -> combined
+(** Stratified combination. Shards with [drawn = 0] contribute nothing
+    to the estimate; shards with [drawn < 2] contribute zero variance
+    (their s² is unknown), matching the single-stream estimator's
+    warm-up behaviour. *)
+
+val interval : combined -> level:float -> Taqp_stats.Confidence.t
+(** Normal-theory confidence interval for [total_hat] at [level]
+    (e.g. 0.95), via {!Taqp_stats.Confidence.normal}. *)

@@ -1,0 +1,157 @@
+type batch = {
+  seq : int;
+  n : int;
+  work : int -> unit;  (* never raises: errors are captured per task *)
+  next : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+type t = {
+  domains : int;
+  mutable workers : unit Domain.t list;
+  m : Mutex.t;
+  cv : Condition.t;  (* new batch published, or stop *)
+  done_cv : Condition.t;  (* a batch finished its last task *)
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable shut : bool;
+}
+
+let drain t batch =
+  let rec go () =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i < batch.n then begin
+      batch.work i;
+      let finished = 1 + Atomic.fetch_and_add batch.completed 1 in
+      if finished = batch.n then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.done_cv;
+        Mutex.unlock t.m
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop t () =
+  let last_seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    let rec wait () =
+      if t.stop then None
+      else
+        match t.current with
+        | Some b when b.seq > !last_seen -> Some b
+        | _ ->
+            Condition.wait t.cv t.m;
+            wait ()
+    in
+    let next = wait () in
+    Mutex.unlock t.m;
+    match next with
+    | None -> ()
+    | Some b ->
+        last_seen := b.seq;
+        drain t b;
+        loop ()
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      workers = [];
+      m = Mutex.create ();
+      cv = Condition.create ();
+      done_cv = Condition.create ();
+      current = None;
+      stop = false;
+      shut = false;
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.domains
+
+let seq_counter = ref 0
+
+let run (type a) t (tasks : (unit -> a) array) : a array =
+  if t.shut then invalid_arg "Pool.run: pool is shut down";
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let results : (a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let work i =
+      results.(i) <-
+        Some
+          (try Ok (tasks.(i) ())
+           with e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    incr seq_counter;
+    let batch =
+      {
+        seq = !seq_counter;
+        n;
+        work;
+        next = Atomic.make 0;
+        completed = Atomic.make 0;
+      }
+    in
+    Mutex.lock t.m;
+    t.current <- Some batch;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    drain t batch;
+    Mutex.lock t.m;
+    while Atomic.get batch.completed < n do
+      Condition.wait t.done_cv t.m
+    done;
+    t.current <- None;
+    Mutex.unlock t.m;
+    (* Re-raise the lowest-index failure so the observable outcome of a
+       parallel region never depends on domain scheduling. *)
+    Array.iteri
+      (fun _ r ->
+        match r with
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      results;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | _ -> assert false)
+      results
+  end
+
+let shutdown t =
+  if not t.shut then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    t.shut <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let global_pool : t option ref = ref None
+let global_m = Mutex.create ()
+
+let global ~domains =
+  Mutex.lock global_m;
+  let pool =
+    match !global_pool with
+    | Some p when p.domains = domains && not p.shut -> p
+    | prev ->
+        (match prev with Some p -> shutdown p | None -> ());
+        let p = create ~domains in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_m;
+  pool

@@ -1,0 +1,42 @@
+(** A small fixed pool of OCaml 5 domains for deterministic batch
+    fan-out.
+
+    [run pool tasks] executes an array of independent thunks, workers
+    (plus the calling domain) claiming indices from a shared counter,
+    and returns the results in task order. Exceptions are captured
+    per task and re-raised deterministically: the raiser with the
+    lowest task index wins, regardless of which domain finished first.
+    The engine relies on this so a parallel region behaves, observably,
+    exactly like the sequential loop it replaces.
+
+    Tasks MUST be independent pure compute over disjoint or read-only
+    data — they run on other domains with no locking of engine state.
+    In particular they must not touch a [Clock], [Device], [Prng],
+    [Cache] or tracer: those are charged by the caller, sequentially,
+    in the canonical order (see docs/PARALLELISM.md). *)
+
+type t
+
+val create : domains:int -> t
+(** A pool driving [domains] total domains: [domains - 1] spawned
+    workers plus the caller, so [create ~domains:1] spawns nothing and
+    [run] degenerates to an in-place sequential loop.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val size : t -> int
+(** Total domains ([>= 1]). *)
+
+val run : t -> (unit -> 'a) array -> 'a array
+(** Execute all tasks, return results in task order. Re-raises the
+    lowest-index exception if any task raised. Not reentrant: do not
+    call [run] from inside a task. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; [run] after [shutdown] raises
+    [Invalid_argument]. *)
+
+val global : domains:int -> t
+(** A process-wide pool cached by size: repeated calls with the same
+    [domains] return the same pool; a different size shuts the old one
+    down and spawns a fresh one. Intended for the engine hot path so
+    every query doesn't pay domain spawn cost. *)

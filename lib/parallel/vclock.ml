@@ -1,0 +1,52 @@
+type deadline_mode = [ `Abort | `Observe ]
+
+type worker = {
+  shard : int;
+  mutable wnow : float;
+  mutable crossed : bool;
+  deadline : (float * deadline_mode) option;
+}
+
+type t = { origin : float; workers : worker array; deadline : (float * deadline_mode) option }
+
+exception Deadline_exceeded of { shard : int; at : float }
+
+let fork ~now ?deadline ~shards () =
+  if shards < 1 then invalid_arg "Vclock.fork: shards < 1";
+  let workers =
+    Array.init shards (fun shard ->
+        { shard; wnow = now; crossed = false; deadline })
+  in
+  { origin = now; workers; deadline }
+
+let worker t i = t.workers.(i)
+let now w = w.wnow
+let shard w = w.shard
+
+let charge w cost =
+  if cost < 0.0 then invalid_arg "Vclock.charge: negative cost";
+  let next = w.wnow +. cost in
+  match w.deadline with
+  | Some (at, `Abort) when (not w.crossed) && next > at ->
+      (* Stop exactly at the deadline, like Clock.charge: the abort
+         instant must not depend on the size of the charge that
+         crossed it. *)
+      w.wnow <- at;
+      w.crossed <- true;
+      raise (Deadline_exceeded { shard = w.shard; at })
+  | Some (at, `Observe) when (not w.crossed) && next > at ->
+      w.crossed <- true;
+      w.wnow <- next
+  | _ -> w.wnow <- next
+
+let merge t =
+  Array.fold_left (fun acc w -> Float.max acc w.wnow) t.origin t.workers
+
+let crossings t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> if w.crossed then Some (w.shard, w.wnow) else None)
+
+let first_crossing t =
+  match crossings t with [] -> None | x :: _ -> Some x
+
+let armed t = t.deadline

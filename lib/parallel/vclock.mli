@@ -1,0 +1,69 @@
+(** Per-worker virtual clocks with deterministic barrier merge.
+
+    When a stage's sampling work fans out across domains, each worker
+    accounts virtual cost on its own [Vclock.worker], forked from the
+    stage's entry instant. At the stage barrier the workers merge by
+    deterministic max over their nows — the merged instant, the set of
+    deadline crossings, and the identity of the first-crossing worker
+    are all pure functions of the per-worker charge totals, never of
+    scheduling order. An armed deadline survives fork and merge
+    unchanged, and a worker that crosses an [`Abort] deadline stops
+    exactly at the deadline (mirroring {!Taqp_storage.Clock.charge})
+    so the merged clock can re-arm without drift.
+
+    This module is the parallel-region accounting layer: the engine's
+    canonical virtual time (the one traces, ledgers, and estimates are
+    derived from) is still charged as a single sequential stream — see
+    docs/PARALLELISM.md for how the two relate. *)
+
+type deadline_mode = [ `Abort | `Observe ]
+
+type t
+(** A barrier group of worker clocks sharing one origin and (optional)
+    armed deadline. *)
+
+type worker
+(** One shard's private clock. Not thread-safe across workers — each
+    domain owns exactly one. *)
+
+exception Deadline_exceeded of { shard : int; at : float }
+(** Raised by {!charge} on the first crossing of an armed [`Abort]
+    deadline. [at] is the deadline instant (the clock stops exactly
+    there, not past it). *)
+
+val fork : now:float -> ?deadline:float * deadline_mode -> shards:int -> unit -> t
+(** [fork ~now ?deadline ~shards] creates [shards] workers, each
+    starting at [now] with the given armed deadline (if any).
+    @raise Invalid_argument if [shards < 1]. *)
+
+val worker : t -> int -> worker
+(** The [i]-th worker clock. *)
+
+val now : worker -> float
+
+val shard : worker -> int
+
+val charge : worker -> float -> unit
+(** Advance one worker's clock by a non-negative cost. Under an armed
+    [`Abort] deadline the first crossing pins the clock at the deadline
+    and raises {!Deadline_exceeded}; under [`Observe] the crossing is
+    recorded (see {!crossings}) and the clock keeps advancing.
+    @raise Invalid_argument on a negative cost. *)
+
+val merge : t -> float
+(** Barrier: the merged instant, [max] over all worker nows (at least
+    the fork origin when no work was charged). Deterministic in the
+    worker totals regardless of domain interleaving. *)
+
+val crossings : t -> (int * float) list
+(** Workers that crossed the armed deadline, as [(shard, now-at-crossing)]
+    sorted by shard index — so "the worker that crosses first" is the
+    lowest-index crosser, a deterministic tie-break documented here and
+    pinned by test_parallel. Empty when no deadline is armed. *)
+
+val first_crossing : t -> (int * float) option
+(** Lowest-shard-index entry of {!crossings}. *)
+
+val armed : t -> (float * deadline_mode) option
+(** The deadline the group was forked with; preserved verbatim across
+    {!merge} so the master clock can re-arm identically. *)

@@ -201,7 +201,8 @@ let config b (c : Config.t) =
     (match c.variance_estimator with Srs_approximation -> 0 | Cluster_exact -> 1);
   C.u8 b (match c.physical with Sort_merge -> 0 | Hash -> 1 | Adaptive -> 2);
   C.int b c.max_bisect_iterations;
-  C.bool b c.trace
+  C.bool b c.trace;
+  C.int b c.domains
 
 let read_config d : Config.t =
   let strategy = read_strategy d in
@@ -239,6 +240,7 @@ let read_config d : Config.t =
   in
   let max_bisect_iterations = C.read_int d in
   let trace = C.read_bool d in
+  let domains = C.read_int d in
   {
     strategy;
     stopping;
@@ -254,6 +256,7 @@ let read_config d : Config.t =
     physical;
     max_bisect_iterations;
     trace;
+    domains;
   }
 
 let cost_params b (p : Cost_params.t) =

@@ -253,6 +253,17 @@ let merge_sorted_join ?device ~key_l ~key_r ~residual ~residual_comparisons
   merge_groups ?device ~key_l ~key_r left right consider;
   List.rev !out
 
+let merge_join_counted ~key_l ~key_r ~residual left right =
+  let out = ref [] in
+  let candidates = ref 0 in
+  let consider a b =
+    incr candidates;
+    let t = Tuple.concat a b in
+    if residual t then out := t :: !out
+  in
+  merge_groups ~key_l ~key_r left right consider;
+  (List.rev !out, !candidates)
+
 let merge_sorted_intersect ?device left right =
   let arity = if Array.length left > 0 then Tuple.arity left.(0) else 0 in
   let key = Array.init arity (fun i -> i) in
@@ -344,6 +355,19 @@ let hash_probe_join ?device ~index ~probe_key ~indexed_side ~residual
       in
       if residual t then out := t :: !out);
   List.rev !out
+
+let probe_join_counted ~index ~probe_key ~indexed_side ~residual probes =
+  let out = ref [] in
+  let candidates = ref 0 in
+  Hash_index.probe ~probe_key index probes ~emit:(fun ~indexed ~probe ->
+      incr candidates;
+      let t =
+        match indexed_side with
+        | `Left -> Tuple.concat indexed probe
+        | `Right -> Tuple.concat probe indexed
+      in
+      if residual t then out := t :: !out);
+  (List.rev !out, !candidates)
 
 let hash_probe_intersect ?device ~index ~emit_side probes =
   let probe_key =

@@ -83,6 +83,16 @@ val merge_sorted_intersect :
 (** Pairing merge for Intersect: inputs sorted on all fields; emits the
     left tuple of each matching cross pair. *)
 
+val merge_join_counted :
+  key_l:int array -> key_r:int array -> residual:(Tuple.t -> bool) ->
+  Tuple.t array -> Tuple.t array -> Tuple.t list * int
+(** Pure {!merge_sorted_join}: same output list, plus the number of
+    key-equal candidate pairs considered. Charges nothing — parallel
+    workers run this on their shard and the caller replays the charges
+    ([merge_tuples nl+nr], then one residual check per candidate) on
+    the master device in canonical order, which is what keeps N-domain
+    runs bit-identical to sequential ones. *)
+
 val compare_with_key : int array -> Tuple.t -> Tuple.t -> int
 (** Order by the key positions, then by all fields (the sort order
     {!sort_stage} uses). Re-enters {!Tuple.compare_on} and a full-field
@@ -139,6 +149,15 @@ val hash_probe_join :
     holds) and filtering by the residual predicate (charged per
     candidate, like the merge path). Returns the same multiset of
     tuples a sort-merge of the same operands would. *)
+
+val probe_join_counted :
+  index:Hash_index.t -> probe_key:int array ->
+  indexed_side:[ `Left | `Right ] -> residual:(Tuple.t -> bool) ->
+  Tuple.t array -> Tuple.t list * int
+(** Pure {!hash_probe_join}: same output list, plus the number of
+    candidates emitted by the index probe. Read-only on the index, so
+    disjoint probe chunks may run on separate domains concurrently;
+    the caller replays [hash_probe n] plus one check per candidate. *)
 
 val hash_probe_intersect :
   ?device:Device.t -> index:Hash_index.t -> emit_side:[ `Indexed | `Probe ] ->

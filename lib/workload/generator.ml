@@ -66,6 +66,80 @@ let partial_copy ~rng ~keep ~fresh_ids_from source =
   in
   repack ~rng source (kept @ fresh)
 
+let sharded_relation ?(spec = paper_spec) ~shards ~skew ~qualifying ~rng () =
+  if shards < 1 then invalid_arg "Generator.sharded_relation: shards < 1";
+  if skew <= 0.0 then invalid_arg "Generator.sharded_relation: skew <= 0";
+  let n = spec.n_tuples in
+  if qualifying < 0 || qualifying > n then
+    invalid_arg "Generator.sharded_relation: bad qualifying";
+  let shards = Int.min shards (Int.max 1 n) in
+  (* Contiguous tuple ranges; tuples pack into blocks in insertion
+     order, so these are block ranges too. *)
+  let base = n / shards and extra = n mod shards in
+  let sizes =
+    Array.init shards (fun j -> base + if j < extra then 1 else 0)
+  in
+  (* Qualifying quota per shard proportional to skew^j, capped by the
+     shard size; leftover spills forward so the total is exact. *)
+  let weights = Array.init shards (fun j -> skew ** float_of_int j) in
+  let wsum = Array.fold_left ( +. ) 0.0 weights in
+  let quotas = Array.make shards 0 in
+  let assigned = ref 0 in
+  Array.iteri
+    (fun j w ->
+      let q =
+        int_of_float (Float.round (float_of_int qualifying *. w /. wsum))
+      in
+      let q = Int.min q (Int.min sizes.(j) (qualifying - !assigned)) in
+      quotas.(j) <- q;
+      assigned := !assigned + q)
+    weights;
+  let j = ref 0 in
+  while !assigned < qualifying do
+    if quotas.(!j) < sizes.(!j) then begin
+      quotas.(!j) <- quotas.(!j) + 1;
+      incr assigned
+    end
+    else incr j
+  done;
+  (* Within each shard, qualifying sel values (< qualifying) mix with
+     non-qualifying ones at shuffled positions; across shards the
+     density follows the quotas. *)
+  let q_next = ref 0 and nq_next = ref qualifying in
+  let sel = Array.make n 0 in
+  let lo = ref 0 in
+  for j = 0 to shards - 1 do
+    let size = sizes.(j) in
+    let vals =
+      Array.init size (fun i ->
+          if i < quotas.(j) then begin
+            let v = !q_next in
+            incr q_next;
+            v
+          end
+          else begin
+            let v = !nq_next in
+            incr nq_next;
+            v
+          end)
+    in
+    Taqp_rng.Sample.shuffle rng vals;
+    Array.blit vals 0 sel !lo size;
+    lo := !lo + size
+  done;
+  let tuples =
+    List.init n (fun i ->
+        Tuple.of_list
+          [
+            Value.Int i;
+            Value.Int sel.(i);
+            Value.Int i;
+            Value.Int (i mod 100);
+          ])
+  in
+  Heap_file.create ~block_bytes:spec.block_bytes ~tuple_bytes:spec.tuple_bytes
+    ~schema tuples
+
 let join_group_size ~n ~target_output =
   if n <= 0 then invalid_arg "Generator.join_group_size: n <= 0";
   let c =

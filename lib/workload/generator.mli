@@ -48,6 +48,20 @@ val partial_copy :
     [fresh_ids_from] (guaranteed disjoint if chosen above all existing
     ids) — an intersection overlap of exactly [keep] tuples. *)
 
+val sharded_relation :
+  ?spec:spec -> shards:int -> skew:float -> qualifying:int ->
+  rng:Taqp_rng.Prng.t -> unit -> Heap_file.t
+(** A relation laid out as [shards] contiguous tuple (= block) ranges
+    with {e exactly} [qualifying] tuples satisfying [sel < qualifying],
+    distributed across shards proportionally to [skew]^j (capped by
+    shard capacity, total exact): [skew = 1] is uniform density,
+    [skew > 1] concentrates qualifying tuples in the high-index shards
+    — the stress case for stratified per-shard estimator merging.
+    Within a shard the qualifying positions are shuffled; across
+    shards the layout is deterministic in the quotas.
+    @raise Invalid_argument on [shards < 1], [skew <= 0], or
+    [qualifying] outside [0, n]. *)
+
 val join_group_size : n:int -> target_output:int -> int
 (** The per-key group size c such that two relations keyed in groups of
     c produce ~[target_output] join pairs: c = round(target/n),

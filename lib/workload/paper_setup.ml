@@ -56,6 +56,20 @@ let intersection ?(spec = Generator.paper_spec) ?overlap ~seed () =
   finish catalog query
     (Printf.sprintf "intersection, overlap %d of %d" overlap spec.n_tuples)
 
+let sharded_selection ?(spec = Generator.paper_spec) ?(shards = 4)
+    ?(skew = 1.0) ?output ~seed () =
+  let output = Option.value output ~default:(spec.Generator.n_tuples / 10) in
+  let rng = Prng.create seed in
+  let r =
+    Generator.sharded_relation ~spec ~shards ~skew ~qualifying:output ~rng ()
+  in
+  let catalog = Catalog.of_list [ ("r", r) ] in
+  let query = Ra.Select (lt "sel" output, Ra.relation "r") in
+  finish catalog query
+    (Printf.sprintf
+       "sharded selection, %d qualifying over %d shards (density skew %g)"
+       output shards skew)
+
 let projection ?(spec = Generator.paper_spec) ?(groups = 100) ~seed () =
   let rng = Prng.create seed in
   let r = Generator.relation ~spec ~grp:(fun i -> i mod groups) ~rng () in

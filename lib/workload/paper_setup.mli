@@ -25,6 +25,15 @@ val intersection : ?spec:Generator.spec -> ?overlap:int -> seed:int -> unit -> t
 (** Two relations sharing exactly [overlap] tuples (default the full
     10,000, experiment B's "10,000 output tuples"). *)
 
+val sharded_selection :
+  ?spec:Generator.spec -> ?shards:int -> ?skew:float -> ?output:int ->
+  seed:int -> unit -> t
+(** [select sel < output] (default n/10 qualifying) over a
+    {!Generator.sharded_relation} of [shards] (default 4) block ranges
+    with per-shard qualifying density following [skew]^j (default 1,
+    uniform) — the fixture test_parallel and bench --parallel share
+    for shard-count/skew sweeps. *)
+
 val projection : ?spec:Generator.spec -> ?groups:int -> seed:int -> unit -> t
 (** [project grp (r)] with exactly [groups] distinct values (default
     100), uniformly sized. *)

@@ -66,3 +66,24 @@ let observe_config =
     Config.default with
     Config.stopping = Stopping.Soft_deadline { grace = 1e9 };
   }
+
+(* Domain counts for the 1-vs-N bit-identity matrices. TAQP_DOMAINS
+   restricts the sweep to {1, N} (mirroring how TAQP_PHYSICAL selects
+   matrix cells); unset, the whole {1, 2, 4} grid runs in one
+   process. *)
+let domains_matrix =
+  match Sys.getenv_opt "TAQP_DOMAINS" with
+  | None | Some "" -> [ 1; 2; 4 ]
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some 1 -> [ 1 ]
+      | Some d when d > 1 -> [ 1; d ]
+      | _ -> failwith ("TAQP_DOMAINS: bad value " ^ s))
+
+(* The sharded-relation fixture (controllable shard count and
+   qualifying-density skew) shared by test_parallel and
+   bench --parallel — both go through Paper_setup.sharded_selection so
+   they sweep the same layouts. *)
+let sharded ?(shards = 4) ?(skew = 1.0) ?(n_tuples = 400) ?output ~seed () =
+  Paper_setup.sharded_selection ~spec:(spec ~n_tuples ()) ~shards ~skew
+    ?output ~seed ()
