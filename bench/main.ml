@@ -19,13 +19,14 @@
      main.exe --recover            crash-recovery benchmark (BENCH_recover.json)
      main.exe --cache              shared-cache sweep (BENCH_cache.json)
      main.exe --parallel           1-vs-N domains sweep (BENCH_parallel.json)
+     main.exe --serve              socket serving under open-loop load (BENCH_serve.json)
      main.exe --full               everything *)
 
 let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
      [--micro] [--scheduling] [--sched] [--audit] [--perf] [--chaos] \
-     [--fault-seed N] [--recover] [--cache] [--parallel] [--full]";
+     [--fault-seed N] [--recover] [--cache] [--parallel] [--serve] [--full]";
   exit 1
 
 type mode =
@@ -40,6 +41,7 @@ type mode =
   | Recover
   | Cache_bench
   | Parallel
+  | Serve
   | Full
 
 let () =
@@ -94,6 +96,9 @@ let () =
     | "--parallel" :: rest ->
         mode := Parallel;
         parse rest
+    | "--serve" :: rest ->
+        mode := Serve;
+        parse rest
     | "--full" :: rest ->
         mode := Full;
         parse rest
@@ -130,6 +135,7 @@ let () =
   | Recover -> Recover.write ()
   | Cache_bench -> Cache.write ()
   | Parallel -> Parallel.write ()
+  | Serve -> Serve.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
@@ -141,7 +147,8 @@ let () =
       Chaos.write ~fault_seed:!fault_seed ();
       Recover.write ();
       Cache.write ();
-      Parallel.write ());
+      Parallel.write ();
+      Serve.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

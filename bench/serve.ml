@@ -1,0 +1,335 @@
+(* BENCH_serve.json: the socket front door under open-loop load.
+
+   Arrival-process x arrival-rate x admission on/off cells, each a
+   drain-gated [Taqp_net.Server] on an ephemeral loopback port fed by
+   the [Taqp_net.Load] harness — real sockets, real framing, virtual
+   execution. The schedule is drawn before the first byte moves
+   (open-loop), so a hot cell cannot slow its own offered load down:
+   overload lands as priced rejections and deadline misses, which is
+   exactly what the bench records.
+
+   The headline assertion is the tentpole claim: at the hottest rate,
+   admission control strictly lowers the deadline-miss rate versus an
+   unmanaged queue at equal offered load, without collapsing goodput
+   (in-deadline completions per virtual second). [write] exits
+   non-zero when the claim fails — CI runs it as a check, not a
+   chart. *)
+
+module Config = Taqp_core.Config
+module Stopping = Taqp_timecontrol.Stopping
+module Generator = Taqp_workload.Generator
+module Paper_setup = Taqp_workload.Paper_setup
+module Arrivals = Taqp_workload.Arrivals
+module Catalog = Taqp_storage.Catalog
+module Prng = Taqp_rng.Prng
+module Json = Taqp_obs.Json
+module Ra = Taqp_relational.Ra
+module Job = Taqp_sched.Job
+module Admission = Taqp_sched.Admission
+module Engine = Taqp_sched.Engine
+module Scheduler = Taqp_sched.Scheduler
+module Sched_journal = Taqp_sched.Sched_journal
+module Server = Taqp_net.Server
+module Load = Taqp_net.Load
+
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
+
+(* One merged catalog for the whole server: each class keeps its own
+   generated relations under distinct names, and the wire queries
+   restore the original column qualifiers with aliases ("jr1 as r1"),
+   so the query text run here is semantically the one the scheduling
+   bench runs in-process. *)
+let classes =
+  lazy
+    (let sel = Paper_setup.selection ~spec ~output:200 ~seed:301 () in
+     let join = Paper_setup.join ~spec ~seed:302 () in
+     let inter = Paper_setup.intersection ~spec ~overlap:500 ~seed:303 () in
+     let catalog = Catalog.create () in
+     Catalog.add catalog "sr" (Catalog.find sel.Paper_setup.catalog "r");
+     Catalog.add catalog "jr1" (Catalog.find join.Paper_setup.catalog "r1");
+     Catalog.add catalog "jr2" (Catalog.find join.Paper_setup.catalog "r2");
+     Catalog.add catalog "ir1" (Catalog.find inter.Paper_setup.catalog "r1");
+     Catalog.add catalog "ir2" (Catalog.find inter.Paper_setup.catalog "r2");
+     let module P = Taqp_relational.Predicate in
+     let lt a v = P.Cmp (P.Lt, P.Attr a, P.Const (Taqp_data.Value.Int v)) in
+     let eq a b = P.Cmp (P.Eq, P.Attr a, P.Attr b) in
+     let queries =
+       [|
+         (* name, query, slack, priority, min_rhw *)
+         ( "select",
+           Ra.Select (lt "sel" 200, Ra.relation ~alias:"r" "sr"),
+           4.0,
+           1,
+           None );
+         ( "join",
+           Ra.Join
+             ( eq "r1.key" "r2.key",
+               Ra.relation ~alias:"r1" "jr1",
+               Ra.relation ~alias:"r2" "jr2" ),
+           10.0,
+           2,
+           Some 0.02 );
+         ( "intersect",
+           Ra.Intersect
+             (Ra.relation ~alias:"r1" "ir1", Ra.relation ~alias:"r2" "ir2"),
+           25.0,
+           1,
+           None );
+       |]
+     in
+     (catalog, queries))
+
+let config =
+  {
+    Config.default with
+    Config.stopping = Stopping.Hard_deadline;
+    initial_selectivities =
+      { Config.no_initial_overrides with Config.join = Some 0.01 };
+  }
+
+(* The class of each schedule slot is drawn once, from its own seed:
+   every cell at every rate sees the same class sequence, so cells
+   differ only in arrival instants and admission policy. *)
+let class_sequence ~n ~seed =
+  let _, queries = Lazy.force classes in
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Taqp_rng.Sample.choose rng queries)
+
+let job_line classes_drawn ~index ~offset =
+  let name, query, slack, priority, min_rhw = classes_drawn.(index) in
+  let opts =
+    Printf.sprintf "priority=%d,seed=%d,label=%s-%d" priority (1000 + index)
+      name index
+    ^ match min_rhw with None -> "" | Some r -> Printf.sprintf ",min_rhw=%g" r
+  in
+  Printf.sprintf "%.17g | %.17g | %s | %s" offset (offset +. slack)
+    (Ra.to_string query) opts
+
+type cell = {
+  process : Arrivals.process;
+  mean_gap : float;
+  admission : Admission.t option;
+  outcome : Load.outcome;
+  stats : Server.stats;
+}
+
+let run_cell ~process ~mean_gap ~admission ~n ~seed =
+  let catalog, _ = Lazy.force classes in
+  let classes_drawn = class_sequence ~n ~seed in
+  let server =
+    Server.create ?admission ~gate:`Drain
+      ~quota_capacity:(float_of_int n) (* the bench prices admission,
+                                          not the per-client quota *)
+      ~catalog ~config ~port:0 ()
+  in
+  let port = Server.port server in
+  let domain = Domain.spawn (fun () -> Server.run server) in
+  let outcome =
+    Load.run ~port ~process ~rate:(1.0 /. mean_gap) ~n ~seed ~clients:4
+      ~make_line:(job_line classes_drawn)
+  in
+  let stats = Domain.join domain in
+  { process; mean_gap; admission; outcome; stats }
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell accounting                                                  *)
+
+let percentiles_of_latencies (c : cell) =
+  (* arrival instants come from the QUEUED replies; latency is the
+     terminal instant minus arrival, for admitted jobs that ran *)
+  let arrival = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Load.submission) ->
+      match s.Load.disposition with
+      | Load.Queued { job_id; arrival = a; _ } -> Hashtbl.replace arrival job_id a
+      | Load.Door_rejected _ -> ())
+    c.outcome.Load.submissions;
+  let lats =
+    List.filter_map
+      (fun (d : Sched_journal.done_record) ->
+        if d.Sched_journal.d_admitted then
+          Option.map
+            (fun a -> d.Sched_journal.d_finished_at -. a)
+            (Hashtbl.find_opt arrival d.Sched_journal.d_id)
+        else None)
+      c.outcome.Load.finished
+    |> List.sort compare |> Array.of_list
+  in
+  ( Engine.percentile lats 0.50,
+    Engine.percentile lats 0.99,
+    Engine.percentile lats 0.999 )
+
+let goodput (c : cell) =
+  let s = c.outcome.Load.summary in
+  let in_deadline = s.Engine.completed - (s.Engine.missed - s.Engine.expired) in
+  (* completed counts admitted jobs that ran; missed covers late
+     completions plus expired — in-deadline completions are what
+     goodput pays for *)
+  let in_deadline = Int.max 0 in_deadline in
+  if s.Engine.makespan <= 0.0 then 0.0
+  else float_of_int in_deadline /. s.Engine.makespan
+
+let cell_json (c : cell) =
+  let s = c.outcome.Load.summary in
+  let door_rejected =
+    List.length
+      (List.filter
+         (fun (sub : Load.submission) ->
+           match sub.Load.disposition with
+           | Load.Door_rejected _ -> true
+           | Load.Queued _ -> false)
+         c.outcome.Load.submissions)
+  in
+  let admission_rejected = List.length c.outcome.Load.refused in
+  let offered = List.length c.outcome.Load.submissions in
+  let retry_afters =
+    List.map (fun (_, _, r) -> r) c.outcome.Load.refused
+    @ List.filter_map
+        (fun (sub : Load.submission) ->
+          match sub.Load.disposition with
+          | Load.Door_rejected { retry_after; _ } -> Some retry_after
+          | Load.Queued _ -> None)
+        c.outcome.Load.submissions
+  in
+  let mean_retry =
+    match List.filter (fun r -> r < infinity) retry_afters with
+    | [] -> 0.0
+    | rs -> List.fold_left ( +. ) 0.0 rs /. float_of_int (List.length rs)
+  in
+  let p50, p99, p999 = percentiles_of_latencies c in
+  Json.Obj
+    [
+      ("process", Json.Str (Arrivals.name c.process));
+      ("mean_gap", Json.Num c.mean_gap);
+      ("admission", Json.Bool (c.admission <> None));
+      ("offered", Json.Num (float_of_int offered));
+      ("door_rejected", Json.Num (float_of_int door_rejected));
+      ("admission_rejected", Json.Num (float_of_int admission_rejected));
+      ( "rejection_rate",
+        Json.Num
+          (if offered = 0 then 0.0
+           else
+             float_of_int (door_rejected + admission_rejected)
+             /. float_of_int offered) );
+      ("miss_rate", Json.Num s.Engine.miss_rate);
+      ("goodput", Json.Num (goodput c));
+      ( "qps_completed",
+        Json.Num
+          (if s.Engine.makespan <= 0.0 then 0.0
+           else float_of_int s.Engine.completed /. s.Engine.makespan) );
+      ("latency_p50", Json.Num p50);
+      ("latency_p99", Json.Num p99);
+      ("latency_p999", Json.Num p999);
+      ("mean_retry_after", Json.Num mean_retry);
+      ("max_live", Json.Num (float_of_int c.stats.Server.max_live));
+      ("door_rejects_server", Json.Num (float_of_int c.stats.Server.door_rejects));
+      ("summary", Scheduler.summary_json s);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let processes = [ Arrivals.Poisson; Arrivals.Pareto { alpha = 1.5 } ]
+let mean_gaps = [ 20.0; 6.0; 1.5 ]
+let max_queue = 8
+
+let admission_on = Admission.make ~max_queue ~headroom:1.2 ()
+
+let write ?(path = "BENCH_serve.json") ?(jobs_per_cell = 40) () =
+  let seed = 777 in
+  let cells =
+    List.concat_map
+      (fun process ->
+        List.concat_map
+          (fun mean_gap ->
+            List.map
+              (fun admission ->
+                let c =
+                  run_cell ~process ~mean_gap ~admission ~n:jobs_per_cell ~seed
+                in
+                (* the admission queue bound is a hard invariant, not a
+                   statistic *)
+                (match admission with
+                | Some a ->
+                    (match a.Admission.max_queue with
+                    | Some q when c.stats.Server.max_live > q ->
+                        Fmt.epr "FAIL: max_live %d exceeded max_queue %d@."
+                          c.stats.Server.max_live q;
+                        exit 1
+                    | _ -> ())
+                | None -> ());
+                c)
+              [ None; Some admission_on ])
+          mean_gaps)
+      processes
+  in
+  (* Headline: hottest rate, admission on vs off, per process. *)
+  let hottest = List.fold_left Float.min infinity mean_gaps in
+  let headline =
+    List.map
+      (fun process ->
+        let find adm =
+          List.find
+            (fun c ->
+              c.process = process && c.mean_gap = hottest
+              && (c.admission <> None) = adm)
+            cells
+        in
+        let on = find true and off = find false in
+        let miss_on = on.outcome.Load.summary.Engine.miss_rate in
+        let miss_off = off.outcome.Load.summary.Engine.miss_rate in
+        let good_on = goodput on and good_off = goodput off in
+        let ok = miss_on < miss_off && good_on >= 0.5 *. good_off in
+        Fmt.pr
+          "  %-12s gap %.1fs: miss %.1f%% -> %.1f%%, goodput %.3f -> %.3f  %s@."
+          (Arrivals.name process) hottest (100.0 *. miss_off)
+          (100.0 *. miss_on) good_off good_on
+          (if ok then "OK" else "FAIL");
+        ( process,
+          Json.Obj
+            [
+              ("process", Json.Str (Arrivals.name process));
+              ("mean_gap", Json.Num hottest);
+              ("miss_rate_admission_off", Json.Num miss_off);
+              ("miss_rate_admission_on", Json.Num miss_on);
+              ("goodput_admission_off", Json.Num good_off);
+              ("goodput_admission_on", Json.Num good_on);
+              ("ok", Json.Bool ok);
+            ],
+          ok ))
+      processes
+  in
+  let all_ok = List.for_all (fun (_, _, ok) -> ok) headline in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-serve/1");
+        ("jobs_per_cell", Json.Num (float_of_int jobs_per_cell));
+        ("seed", Json.Num (float_of_int seed));
+        ("clients", Json.Num 4.0);
+        ( "processes",
+          Json.List
+            (List.map (fun p -> Json.Str (Arrivals.name p)) processes) );
+        ("mean_gaps", Json.List (List.map (fun g -> Json.Num g) mean_gaps));
+        ("max_queue", Json.Num (float_of_int max_queue));
+        ("headroom", Json.Num admission_on.Admission.headroom);
+        ("cells", Json.List (List.map cell_json cells));
+        ( "headline",
+          Json.Obj
+            (("ok", Json.Bool all_ok)
+            :: List.map
+                 (fun (p, j, _) -> (Arrivals.name p, j))
+                 headline) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote %s (%d cells: %d processes x %d gaps x admission on/off)@."
+    path (List.length cells) (List.length processes) (List.length mean_gaps);
+  if not all_ok then begin
+    Fmt.epr
+      "FAIL: admission control did not strictly beat the unmanaged queue at \
+       the hottest rate@.";
+    exit 1
+  end

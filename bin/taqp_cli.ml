@@ -4,7 +4,9 @@
      taqp query --dir data --quota 2.5 "count(join[r1.key = r2.key](r1, r2))"
      taqp exact --dir data "count(select[sel < 1000](r1))"
      taqp explain --dir data "..."                # terms + cost curve
-     taqp serve --dir data --jobs batch.jobs --policy edf --admission *)
+     taqp serve --dir data --jobs batch.jobs --policy edf --admission
+     taqp serve --dir data --listen 7447 --admission --max-queue 8
+     taqp submit --port 7447 --jobs batch.jobs --drain *)
 
 open Cmdliner
 module Taqp = Taqp_core.Taqp
@@ -1155,17 +1157,99 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
+(* The serving core shared by the batch and socket doors: one
+   self-contained JSON line per job — journaled terminal lines first,
+   then this run's reports — and the workload summary, so stdout is a
+   JSONL stream a pipeline can consume with the same shape whichever
+   door the jobs came through. Ends with the exit-code rule: nonzero
+   iff an admitted job missed its hard deadline — rejected jobs were
+   refused up front and do not fail the batch (docs/SERVING.md). *)
+let serve_report ~slo ~slo_window ~cache ~registry ?(extra = []) ~journaled
+    ~reports summary =
+  List.iter
+    (fun d ->
+      print_endline
+        (Taqp_obs.Json.to_string (Taqp_sched.Scheduler.done_record_json d)))
+    journaled;
+  List.iter
+    (fun r ->
+      print_endline
+        (Taqp_obs.Json.to_string (Taqp_sched.Scheduler.job_report_json r)))
+    reports;
+  (* SLO monitor: every admitted terminal job, replayed in completion
+     order through the rolling window *)
+  let slo_fields =
+    match slo with
+    | None -> []
+    | Some target ->
+        let monitor =
+          Slo.create ~window:slo_window ~target_miss_rate:target ()
+        in
+        let terminal =
+          List.map
+            (fun (d : Sched_journal.done_record) ->
+              ( d.Sched_journal.d_finished_at,
+                d.Sched_journal.d_admitted,
+                d.Sched_journal.d_missed,
+                d.Sched_journal.d_lateness ))
+            journaled
+          @ List.filter_map
+              (fun (r : Taqp_sched.Scheduler.job_report) ->
+                match r.Taqp_sched.Scheduler.outcome with
+                | Taqp_sched.Scheduler.Rejected _ -> None
+                | _ ->
+                    Some
+                      ( r.Taqp_sched.Scheduler.finished_at,
+                        r.Taqp_sched.Scheduler.admitted,
+                        r.Taqp_sched.Scheduler.missed,
+                        r.Taqp_sched.Scheduler.lateness ))
+              reports
+        in
+        List.iter
+          (fun (_, admitted, missed, lateness) ->
+            if admitted then Slo.observe monitor ~missed ~lateness)
+          (List.sort
+             (fun (a, _, _, _) (b, _, _, _) -> Float.compare a b)
+             terminal);
+        Fmt.epr "%a@." Slo.pp monitor;
+        [ ("slo", Slo.to_json monitor) ]
+  in
+  let cache_fields =
+    match cache with
+    | None -> []
+    | Some c -> [ ("cache", Cache.stats_json c) ]
+  in
+  print_endline
+    (Taqp_obs.Json.to_string
+       (Taqp_obs.Json.Obj
+          (("summary", Taqp_sched.Scheduler.summary_json summary)
+          :: (slo_fields @ cache_fields @ extra))));
+  Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary summary;
+  Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
+  if
+    List.exists
+      (fun (d : Sched_journal.done_record) ->
+        d.Sched_journal.d_admitted && d.Sched_journal.d_missed)
+      journaled
+    || List.exists
+         (fun (r : Taqp_sched.Scheduler.job_report) ->
+           r.Taqp_sched.Scheduler.admitted && r.Taqp_sched.Scheduler.missed)
+         reports
+  then exit 1
+  else `Ok ()
+
 let serve_cmd =
   let jobs_arg =
     Arg.(
-      required
-      & opt (some file) None
+      value
+      & opt (some string) None
       & info [ "j"; "jobs" ] ~docv:"FILE"
           ~doc:
             "Job file, one job per line: 'arrival | deadline | query [| \
              key=value,...]' with options priority=INT, seed=INT, \
              label=STRING and min_rhw=FLOAT. Blank lines and # comments \
-             are skipped.")
+             are skipped. $(b,-) reads the job stream from stdin. \
+             Required in batch mode; excluded by $(b,--listen).")
   in
   let policy_arg =
     Arg.(
@@ -1276,8 +1360,59 @@ let serve_cmd =
       & info [ "slo-window" ] ~docv:"N"
           ~doc:"With $(b,--slo): rolling window size in jobs.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:
+            "Socket mode: bind the TAQPNET1 front door to \
+             127.0.0.1:$(docv) (0 picks an ephemeral port, printed to \
+             stderr) and take jobs over the wire instead of from a file \
+             (submit them with $(b,taqp submit)). The per-job JSON lines, \
+             summary object, SLO monitor and exit codes are identical to \
+             batch mode; see docs/SERVING.md.")
+  in
+  let gate_arg =
+    Arg.(
+      value
+      & opt (enum [ ("eager", `Eager); ("drain", `Drain) ]) `Eager
+      & info [ "gate" ] ~docv:"MODE"
+          ~doc:
+            "With $(b,--listen): $(b,eager) steps the scheduler whenever \
+             it has work (real serving); $(b,drain) freezes the virtual \
+             clock until a client sends DRAIN, so a whole arrival \
+             schedule queues first and the run is bit-identical to the \
+             same jobs through batch mode.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "With $(b,--listen): refuse SUBMITs at the door beyond \
+             $(docv) not-yet-terminal jobs (the memory bound; refusals \
+             carry a priced retry_after).")
+  in
+  let quota_capacity_arg =
+    Arg.(
+      value & opt float 64.0
+      & info [ "quota-capacity" ] ~docv:"TOKENS"
+          ~doc:
+            "With $(b,--listen): per-connection token-bucket burst \
+             capacity — one token per SUBMIT, buckets start full.")
+  in
+  let quota_refill_arg =
+    Arg.(
+      value & opt float 4.0
+      & info [ "quota-refill" ] ~docv:"RATE"
+          ~doc:
+            "With $(b,--listen): token-bucket refill, in tokens per \
+             virtual second on the server's clock.")
+  in
   let run dir jobs_file policy admission max_queue headroom metrics faults
-      fault_seed journal recover downtime slo slo_window cache_mb domains =
+      fault_seed journal recover downtime slo slo_window cache_mb domains
+      listen gate max_pending quota_capacity quota_refill =
     if domains < 1 then fail "--domains must be >= 1"
     else
     match
@@ -1304,123 +1439,130 @@ let serve_cmd =
               fail "--slo-window must be >= 1"
             else if journal <> None && journal = recover then
               fail "--journal and --recover cannot name the same file"
+            else if listen <> None && jobs_file <> None then
+              fail
+                "--jobs and --listen are mutually exclusive: socket jobs \
+                 arrive over the wire ('taqp submit')"
+            else if listen = None && jobs_file = None then
+              fail "--jobs is required (or --listen PORT for the socket door)"
+            else if max_pending < 1 then fail "--max-pending must be >= 1"
+            else if quota_capacity <= 0.0 then
+              fail "--quota-capacity must be > 0"
+            else if quota_refill < 0.0 then fail "--quota-refill must be >= 0"
             else
             let catalog = load_catalog dir in
-            let lines =
-              In_channel.with_open_text jobs_file In_channel.input_lines
+            let registry =
+              if metrics then Some (Metrics.create ()) else None
             in
-            match Taqp_sched.Job.of_lines ~catalog lines with
-            | Error m -> fail "%s: %s" jobs_file m
-            | Ok [] -> fail "%s: no jobs" jobs_file
-            | Ok jobs -> (
+            let cache = make_cache ~seed:0 cache_mb in
+            let faults =
+              Option.map
+                (fun plan -> Taqp_fault.Injector.create ~seed:fault_seed plan)
+                fault_plan
+            in
+            match listen with
+            | Some port -> (
+                (* The socket door: same scheduler, same accounting,
+                   same output shape — jobs arrive as wire frames and
+                   the admission verdicts go back as priced REJECTs. *)
+                match
+                  match recover with
+                  | None -> Ok None
+                  | Some rpath -> (
+                      match Sched_journal.load rpath with
+                      | Error m -> Error m
+                      | Ok { Sched_journal.records = []; _ } ->
+                          Error (rpath ^ ": journal is empty")
+                      | Ok { Sched_journal.records; torn } ->
+                          Option.iter
+                            (fun t ->
+                              Fmt.epr "note: journal %s (tail discarded)@." t)
+                            torn;
+                          Ok (Some records))
+                with
+                | Error m -> fail "%s" m
+                | Ok records -> (
+                    (* A recovered serve never re-creates its own
+                       killer: pending Crash rules are disabled,
+                       everything else keeps firing. *)
+                    if records <> None then
+                      Option.iter Taqp_fault.Injector.disable_crashes faults;
+                    let config = { Config.default with Config.domains } in
+                    match
+                      Taqp_net.Server.create ~policy ?admission
+                        ?metrics:registry ?faults ?cache ~gate ~max_pending
+                        ~quota_capacity ~quota_refill ?journal_path:journal
+                        ?recover:records ~downtime ~catalog ~config ~port ()
+                    with
+                    | exception Unix.Unix_error (e, _, _) ->
+                        fail "cannot listen on 127.0.0.1:%d: %s" port
+                          (Unix.error_message e)
+                    | exception Sys_error m -> fail "cannot open journal: %s" m
+                    | server -> (
+                        Fmt.epr "taqp: listening on 127.0.0.1:%d (%s gate)@."
+                          (Taqp_net.Server.port server)
+                          (match gate with
+                          | `Eager -> "eager"
+                          | `Drain -> "drain");
+                        match Taqp_net.Server.run server with
+                        | exception Taqp_fault.Injector.Crashed { op; at } ->
+                            Taqp_net.Server.shutdown server;
+                            let hint =
+                              match journal with
+                              | Some p ->
+                                  Fmt.str
+                                    " — recover with: taqp serve --dir %s \
+                                     --listen %d --recover %s"
+                                    dir port p
+                              | None -> ""
+                            in
+                            fail
+                              "crash fault killed the server during %s at \
+                               t=%.3f%s"
+                              op at hint
+                        | stats ->
+                            let n i = Json.Num (float_of_int i) in
+                            serve_report ~slo ~slo_window ~cache ~registry
+                              ~extra:
+                                [ ( "net",
+                                    Json.Obj
+                                      [
+                                        ( "max_live",
+                                          n stats.Taqp_net.Server.max_live );
+                                        ( "door_rejects",
+                                          n stats.Taqp_net.Server.door_rejects
+                                        );
+                                      ] );
+                                ]
+                              ~journaled:stats.Taqp_net.Server.journaled
+                              ~reports:
+                                stats.Taqp_net.Server.result
+                                  .Taqp_sched.Scheduler.reports
+                              stats.Taqp_net.Server.summary)))
+            | None -> (
+                let src = Option.get jobs_file in
+                let src_name = if src = "-" then "stdin" else src in
+                match
+                  if src = "-" then Taqp_sched.Job.of_channel ~catalog stdin
+                  else
+                    In_channel.with_open_text src
+                      (Taqp_sched.Job.of_channel ~catalog)
+                with
+                | exception Sys_error m -> fail "%s" m
+                | Error m -> fail "%s: %s" src_name m
+                | Ok [] -> fail "%s: no jobs" src_name
+                | Ok jobs -> (
                 let jobs =
                   List.map
                     (fun (j : Taqp_sched.Job.t) ->
                       { j with config = { j.config with domains } })
                     jobs
                 in
-                let registry =
-                  if metrics then Some (Metrics.create ()) else None
-                in
-                let cache = make_cache ~seed:0 cache_mb in
-                let faults =
-                  Option.map
-                    (fun plan ->
-                      Taqp_fault.Injector.create ~seed:fault_seed plan)
-                    fault_plan
-                in
                 match Option.map Taqp_recover.Journal.create journal with
                 | exception Sys_error m -> fail "cannot open journal: %s" m
                 | jwriter -> (
                 let close_journal () =
                   Option.iter Taqp_recover.Journal.close jwriter
-                in
-                let print_result reports summary journaled =
-                  (* One self-contained JSON line per job — journaled
-                     terminal lines first, then the re-run (or only
-                     run) — and the workload summary: stdout is a
-                     JSONL stream a pipeline can consume. *)
-                  List.iter
-                    (fun d ->
-                      print_endline
-                        (Taqp_obs.Json.to_string
-                           (Taqp_sched.Scheduler.done_record_json d)))
-                    journaled;
-                  List.iter
-                    (fun r ->
-                      print_endline
-                        (Taqp_obs.Json.to_string
-                           (Taqp_sched.Scheduler.job_report_json r)))
-                    reports;
-                  (* SLO monitor: every admitted terminal job, replayed
-                     in completion order through the rolling window *)
-                  let slo_fields =
-                    match slo with
-                    | None -> []
-                    | Some target ->
-                        let monitor =
-                          Slo.create ~window:slo_window
-                            ~target_miss_rate:target ()
-                        in
-                        let terminal =
-                          List.map
-                            (fun (d : Sched_journal.done_record) ->
-                              ( d.Sched_journal.d_finished_at,
-                                d.Sched_journal.d_admitted,
-                                d.Sched_journal.d_missed,
-                                d.Sched_journal.d_lateness ))
-                            journaled
-                          @ List.filter_map
-                              (fun (r : Taqp_sched.Scheduler.job_report) ->
-                                match r.Taqp_sched.Scheduler.outcome with
-                                | Taqp_sched.Scheduler.Rejected _ -> None
-                                | _ ->
-                                    Some
-                                      ( r.Taqp_sched.Scheduler.finished_at,
-                                        r.Taqp_sched.Scheduler.admitted,
-                                        r.Taqp_sched.Scheduler.missed,
-                                        r.Taqp_sched.Scheduler.lateness ))
-                              reports
-                        in
-                        List.iter
-                          (fun (_, admitted, missed, lateness) ->
-                            if admitted then
-                              Slo.observe monitor ~missed ~lateness)
-                          (List.sort
-                             (fun (a, _, _, _) (b, _, _, _) ->
-                               Float.compare a b)
-                             terminal);
-                        Fmt.epr "%a@." Slo.pp monitor;
-                        [ ("slo", Slo.to_json monitor) ]
-                  in
-                  let cache_fields =
-                    match cache with
-                    | None -> []
-                    | Some c -> [ ("cache", Cache.stats_json c) ]
-                  in
-                  print_endline
-                    (Taqp_obs.Json.to_string
-                       (Taqp_obs.Json.Obj
-                          (( "summary",
-                             Taqp_sched.Scheduler.summary_json summary )
-                           :: (slo_fields @ cache_fields))));
-                  Fmt.epr "%a@." Taqp_sched.Scheduler.pp_summary summary;
-                  Option.iter (fun m -> Fmt.epr "%a@." Metrics.pp m) registry;
-                  (* Nonzero exit iff an admitted job missed its hard
-                     deadline — rejected jobs were refused up front and
-                     do not fail the batch. *)
-                  if
-                    List.exists
-                      (fun (d : Sched_journal.done_record) ->
-                        d.Sched_journal.d_admitted && d.Sched_journal.d_missed)
-                      journaled
-                    || List.exists
-                         (fun (r : Taqp_sched.Scheduler.job_report) ->
-                           r.Taqp_sched.Scheduler.admitted
-                           && r.Taqp_sched.Scheduler.missed)
-                         reports
-                  then exit 1
-                  else `Ok ()
                 in
                 match recover with
                 | None -> (
@@ -1442,7 +1584,7 @@ let serve_cmd =
                               Fmt.str
                                 " — recover with: taqp serve --dir %s --jobs \
                                  %s --recover %s"
-                                dir jobs_file p
+                                dir src p
                           | None -> ""
                         in
                         fail
@@ -1451,8 +1593,10 @@ let serve_cmd =
                           op at hint
                     | result ->
                         close_journal ();
-                        print_result result.Taqp_sched.Scheduler.reports
-                          result.Taqp_sched.Scheduler.summary [])
+                        serve_report ~slo ~slo_window ~cache ~registry
+                          ~journaled:[]
+                          ~reports:result.Taqp_sched.Scheduler.reports
+                          result.Taqp_sched.Scheduler.summary)
                 | Some rpath -> (
                     match Sched_journal.load rpath with
                     | Error m ->
@@ -1484,11 +1628,13 @@ let serve_cmd =
                             fail "%s" m
                         | recovery ->
                             close_journal ();
-                            print_result
-                              recovery.Taqp_sched.Scheduler.r_run
-                                .Taqp_sched.Scheduler.reports
-                              recovery.Taqp_sched.Scheduler.r_summary
-                              recovery.Taqp_sched.Scheduler.r_journaled))))))
+                            serve_report ~slo ~slo_window ~cache ~registry
+                              ~journaled:
+                                recovery.Taqp_sched.Scheduler.r_journaled
+                              ~reports:
+                                recovery.Taqp_sched.Scheduler.r_run
+                                  .Taqp_sched.Scheduler.reports
+                              recovery.Taqp_sched.Scheduler.r_summary)))))))
   in
   let term =
     Term.(
@@ -1496,14 +1642,217 @@ let serve_cmd =
         (const run $ dir_arg $ jobs_arg $ policy_arg $ admission_arg
        $ max_queue_arg $ headroom_arg $ metrics_arg $ faults_arg
        $ fault_seed_arg $ journal_arg $ recover_arg $ downtime_arg $ slo_arg
-       $ slo_window_arg $ cache_arg $ domains_arg))
+       $ slo_window_arg $ cache_arg $ domains_arg $ listen_arg $ gate_arg
+       $ max_pending_arg $ quota_capacity_arg $ quota_refill_arg))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run a batch of deadline-constrained jobs through the multi-query \
-          scheduler (one JSON line per job; exits nonzero iff an admitted \
-          job missed its deadline).")
+         "Run deadline-constrained jobs through the multi-query scheduler — \
+          from a job file ($(b,--jobs), $(b,-) for stdin) or over a socket \
+          ($(b,--listen)) — one JSON line per job; exits nonzero iff an \
+          admitted job missed its deadline (docs/SERVING.md).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* submit                                                              *)
+
+let submit_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port of a $(b,taqp serve --listen) server (loopback).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt string "-"
+      & info [ "j"; "jobs" ] ~docv:"FILE"
+          ~doc:
+            "Job file with the same line grammar as $(b,serve --jobs); \
+             arrival and deadline are offsets from the server's virtual \
+             now. $(b,-) (the default) reads stdin.")
+  in
+  let drain_flag =
+    Arg.(
+      value & flag
+      & info [ "drain" ]
+          ~doc:
+            "After submitting, send DRAIN: the server stops admitting, \
+             executes its whole backlog, broadcasts the final summary \
+             (printed as the last JSON line) and shuts down. The only way \
+             to get results out of a $(b,--gate drain) server.")
+  in
+  let no_wait_flag =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:
+            "Exit right after the door's QUEUED/REJECTED verdicts without \
+             waiting for terminal records. The exit code then only \
+             reflects the door.")
+  in
+  let run port jobs_file do_drain no_wait =
+    match
+      if jobs_file = "-" then In_channel.input_lines stdin
+      else In_channel.with_open_text jobs_file In_channel.input_lines
+    with
+    | exception Sys_error m -> fail "%s" m
+    | raw_lines -> (
+        let lines =
+          List.filter
+            (fun l ->
+              let l = String.trim l in
+              l <> "" && l.[0] <> '#')
+            raw_lines
+        in
+        if lines = [] then fail "%s: no job lines" jobs_file
+        else
+          match Taqp_net.Client.connect ~port with
+          | exception Unix.Unix_error (e, _, _) ->
+              fail "cannot connect to 127.0.0.1:%d: %s" port
+                (Unix.error_message e)
+          | exception Taqp_net.Client.Protocol_error m ->
+              fail "handshake failed: %s" m
+          | client -> (
+              let event kind fields =
+                print_endline
+                  (Json.to_string
+                     (Json.Obj (("event", Json.Str kind) :: fields)))
+              in
+              let finished = Hashtbl.create 16 in
+              let refused = Hashtbl.create 4 in
+              let harvest () =
+                List.iter
+                  (function
+                    | Taqp_net.Client.Finished d ->
+                        Hashtbl.replace finished d.Sched_journal.d_id d
+                    | Taqp_net.Client.Refused { job_id; reason; retry_after }
+                      ->
+                        if not (Hashtbl.mem refused job_id) then (
+                          Hashtbl.replace refused job_id ();
+                          event "rejected"
+                            [
+                              ("id", Json.Num (float_of_int job_id));
+                              ("reason", Json.Str reason);
+                              ("retry_after", Json.Num retry_after);
+                            ]))
+                  (Taqp_net.Client.pushes client)
+              in
+              let terminal id =
+                Hashtbl.mem finished id || Hashtbl.mem refused id
+              in
+              (* The whole exchange runs under one handler: the server
+                 can hang up at any frame (a crash fault propagates the
+                 moment the engine steps into it, even before a QUEUED
+                 reply flushes). Door verdicts already printed stay
+                 printed — partial progress is evidence. *)
+              match
+                let queued =
+                  List.filter_map
+                    (fun line ->
+                      match Taqp_net.Client.submit client line with
+                      | `Queued (id, arrival, deadline) ->
+                          event "queued"
+                            [
+                              ("id", Json.Num (float_of_int id));
+                              ("arrival", Json.Num arrival);
+                              ("deadline", Json.Num deadline);
+                            ];
+                          Some id
+                      | `Rejected (reason, retry_after) ->
+                          event "door_rejected"
+                            [
+                              ("reason", Json.Str reason);
+                              ("retry_after", Json.Num retry_after);
+                            ];
+                          None)
+                    lines
+                in
+                if no_wait then `No_wait
+                else
+                  (* Wait for every queued job's terminal record: the
+                     server pushes them to the owning connection; a
+                     FETCH-poll covers records that raced the pushes. *)
+                  let summary =
+                    if do_drain then Some (Taqp_net.Client.drain client)
+                    else None
+                  in
+                  harvest ();
+                  let rec poll_rest = function
+                    | [] -> ()
+                    | id :: rest when terminal id -> poll_rest rest
+                    | id :: rest -> (
+                        match Taqp_net.Client.fetch client ~job_id:id with
+                        | `Result d ->
+                            Hashtbl.replace finished id d;
+                            harvest ();
+                            poll_rest rest
+                        | `Pending _ ->
+                            Unix.sleepf 0.05;
+                            harvest ();
+                            poll_rest (id :: rest))
+                  in
+                  if summary = None then poll_rest queued;
+                  harvest ();
+                  `Done (queued, summary)
+              with
+              | exception Taqp_net.Client.Server_closed ->
+                  (try Taqp_net.Client.close client with _ -> ());
+                  fail
+                    "server hung up before every job was terminal (crash \
+                     fault? recover it and FETCH the survivors)"
+              | exception Taqp_net.Client.Protocol_error m ->
+                  (try Taqp_net.Client.close client with _ -> ());
+                  fail "protocol error: %s" m
+              | `No_wait ->
+                  Taqp_net.Client.close client;
+                  `Ok ()
+              | `Done (queued, summary) ->
+                  List.iter
+                    (fun id ->
+                      match Hashtbl.find_opt finished id with
+                      | Some d ->
+                          print_endline
+                            (Json.to_string
+                               (Taqp_sched.Scheduler.done_record_json d))
+                      | None -> ())
+                    queued;
+                  Option.iter
+                    (fun s ->
+                      print_endline
+                        (Json.to_string
+                           (Json.Obj
+                              [
+                                ( "summary",
+                                  Taqp_sched.Scheduler.summary_json s );
+                              ])))
+                    summary;
+                  Taqp_net.Client.close client;
+                  (* Same rule as serve: nonzero iff an admitted job
+                     missed its hard deadline. *)
+                  if
+                    Hashtbl.fold
+                      (fun _ (d : Sched_journal.done_record) acc ->
+                        acc
+                        || (d.Sched_journal.d_admitted
+                           && d.Sched_journal.d_missed))
+                      finished false
+                  then exit 1
+                  else `Ok ()))
+  in
+  let term =
+    Term.(ret (const run $ port_arg $ jobs_arg $ drain_flag $ no_wait_flag))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit job lines to a running $(b,taqp serve --listen) server and \
+          await their terminal records (one JSON line per event/record; \
+          exits nonzero iff an admitted job missed its deadline). \
+          $(b,--drain) additionally executes a drain-gated server's backlog \
+          and prints the final summary.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1514,4 +1863,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; query_cmd; resume_cmd; exact_cmd; explain_cmd; serve_cmd ]))
+          [
+            gen_cmd;
+            query_cmd;
+            resume_cmd;
+            exact_cmd;
+            explain_cmd;
+            serve_cmd;
+            submit_cmd;
+          ]))

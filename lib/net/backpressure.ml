@@ -1,0 +1,42 @@
+(* Pricing the REJECT: every refusal carries a [retry_after] in
+   virtual seconds, derived from the same quantities admission itself
+   priced against — the point of admission-as-backpressure is that the
+   client learns *when* capacity will exist, not just that it doesn't
+   now. All prices are conservative estimates of when an identical
+   resubmission would stand a chance, never guarantees. *)
+
+module Admission = Taqp_sched.Admission
+
+(* The engine's reserved backlog drains at device rate 1 (virtual
+   seconds of priced work per virtual second), so backlog/queue_len is
+   the expected time for the *next* live slot to open, and the full
+   backlog is when the queue would be empty. *)
+let slot_time ~backlog ~queue_len =
+  if queue_len <= 0 then 0.0 else backlog /. float_of_int queue_len
+
+let admission ~reason ~backlog ~queue_len ~headroom =
+  let h = Float.max 1.0 headroom in
+  match (reason : Admission.reason) with
+  | Admission.Queue_full _ ->
+      (* Bounded by --max-queue: a slot opens when the soonest live
+         job finishes its reserved minimum. *)
+      h *. slot_time ~backlog ~queue_len
+  | Admission.Infeasible { needed; available } ->
+      (* The backlog owes this job [needed - available] seconds of
+         slack; after that much drain an identical job (same relative
+         deadline) prices as feasible. *)
+      h *. Float.max 0.0 (needed -. available)
+  | Admission.Zero_slack ->
+      (* The deadline was dead on arrival — resubmitting with a live
+         deadline can succeed immediately. *)
+      0.0
+
+let quota ~wait = Float.max 0.0 wait
+
+let overloaded ~backlog ~queue_len =
+  (* The door's memory bound (--max-pending) tripped: the queue is as
+     deep as we will ever let it get, so the honest price is a full
+     slot, not a full drain. *)
+  Float.max 0.0 (slot_time ~backlog ~queue_len)
+
+let draining = 0.0

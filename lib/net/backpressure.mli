@@ -1,0 +1,27 @@
+(** [retry_after] pricing for every REJECT class, in virtual seconds —
+    the machine-readable half of admission-controlled backpressure:
+    overload surfaces as a priced refusal at the door, never as queue
+    growth. Conservative estimates, not guarantees. *)
+
+val admission :
+  reason:Taqp_sched.Admission.reason ->
+  backlog:float ->
+  queue_len:int ->
+  headroom:float ->
+  float
+(** Price an engine admission rejection from the backlog it was priced
+    against: [Queue_full] waits one expected slot
+    ([backlog/queue_len]); [Infeasible {needed; available}] waits the
+    slack deficit ([needed - available] seconds of drain);
+    [Zero_slack] is 0 (resubmit with a live deadline). [headroom]
+    scales the first two (the admission controller's own margin). *)
+
+val quota : wait:float -> float
+(** A token-bucket refusal: exactly the bucket's refill shortfall. *)
+
+val overloaded : backlog:float -> queue_len:int -> float
+(** The door's [--max-pending] memory bound: one expected slot. *)
+
+val draining : float
+(** A draining server refuses free of charge — retry against the
+    replacement instance. *)

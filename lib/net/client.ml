@@ -1,0 +1,200 @@
+(* A blocking TAQPNET1 client. The server pushes terminal frames
+   (RESULT, admission REJECTs) asynchronously, so every synchronous
+   exchange reads frames until its reply tag appears and parks any
+   pushes that arrive in between in an inbox the caller drains with
+   [pushes]. One reader thread of control — this client is not
+   thread-safe, by design: the load harness multiplexes many logical
+   clients from one loop instead. *)
+
+type push =
+  | Finished of Taqp_sched.Sched_journal.done_record
+  | Refused of { job_id : int; reason : string; retry_after : float }
+
+type t = {
+  fd : Unix.file_descr;
+  rd : Wire.reader;
+  scratch : Bytes.t;
+  inbox : push Queue.t;
+  mutable hello : Wire.message option;
+  mutable closed : bool;
+}
+
+exception Protocol_error of string
+exception Server_closed
+
+let send t msg =
+  let s = Wire.frame_message msg in
+  let rec go off =
+    if off < String.length s then
+      let n = Unix.write_substring t.fd s off (String.length s - off) in
+      go (off + n)
+  in
+  try go 0
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    t.closed <- true;
+    raise Server_closed
+
+(* Pop the next decoded frame, blocking on the socket as needed. *)
+let rec next_frame t =
+  match Wire.next t.rd with
+  | Ok (Some payload) -> (
+      match Wire.decode payload with
+      | Ok msg -> msg
+      | Error e -> raise (Protocol_error e))
+  | Error e -> raise (Protocol_error e)
+  | Ok None -> (
+      match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+      | 0 ->
+          t.closed <- true;
+          raise Server_closed
+      | n ->
+          Wire.feed t.rd t.scratch n;
+          next_frame t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_frame t
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          t.closed <- true;
+          raise Server_closed)
+
+(* Synchronous exchanges park asynchronous terminal pushes here. *)
+let stash t = function
+  | Wire.Result d ->
+      Queue.add (Finished d) t.inbox;
+      None
+  | Wire.Rejected { job_id = Some job_id; reason; retry_after } ->
+      Queue.add (Refused { job_id; reason; retry_after }) t.inbox;
+      None
+  | Wire.Error { message } -> raise (Protocol_error ("server: " ^ message))
+  | msg -> Some msg
+
+let rec await t =
+  match stash t (next_frame t) with Some m -> m | None -> await t
+
+let connect ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  let t =
+    {
+      fd;
+      rd = Wire.reader ();
+      scratch = Bytes.create 8192;
+      inbox = Queue.create ();
+      hello = None;
+      closed = false;
+    }
+  in
+  let rec write_all s off =
+    if off < String.length s then
+      write_all s (off + Unix.write_substring t.fd s off (String.length s - off))
+  in
+  write_all Wire.magic 0;
+  (match await t with
+  | Wire.Hello _ as h -> t.hello <- Some h
+  | m -> raise (Protocol_error ("expected HELLO, got " ^ Wire.tag_name m)));
+  t
+
+let hello t =
+  match t.hello with
+  | Some (Wire.Hello { now; max_pending; draining }) ->
+      (now, max_pending, draining)
+  | _ -> raise (Protocol_error "no HELLO recorded")
+
+let submit t line =
+  send t (Wire.Submit { line });
+  match await t with
+  | Wire.Queued { job_id; arrival; deadline } ->
+      `Queued (job_id, arrival, deadline)
+  | Wire.Rejected { job_id = None; reason; retry_after } ->
+      `Rejected (reason, retry_after)
+  | m -> raise (Protocol_error ("expected QUEUED/REJECT, got " ^ Wire.tag_name m))
+
+let status t =
+  send t Wire.Status;
+  match await t with
+  | Wire.Status_ok { now; live; pending; backlog; terminal; draining } ->
+      (now, live, pending, backlog, terminal, draining)
+  | m -> raise (Protocol_error ("expected STATUS_OK, got " ^ Wire.tag_name m))
+
+let fetch t ~job_id =
+  send t (Wire.Fetch { job_id });
+  (* The reply shares the RESULT tag with the async terminal push, so
+     the answer is correlated by id: a RESULT for this job — push or
+     reply, the frames are identical — answers the fetch; everything
+     else for other jobs is parked as usual. *)
+  let rec go () =
+    match next_frame t with
+    | Wire.Result d when d.Taqp_sched.Sched_journal.d_id = job_id -> `Result d
+    | Wire.Pending { job_id = id; state } when id = job_id -> `Pending state
+    | msg -> (
+        match stash t msg with
+        | None -> go ()
+        | Some m ->
+            raise
+              (Protocol_error ("expected RESULT/PENDING, got " ^ Wire.tag_name m)))
+  in
+  go ()
+
+let cancel t ~job_id =
+  send t (Wire.Cancel { job_id });
+  match await t with
+  | Wire.Cancelled { state; _ } -> state
+  | m -> raise (Protocol_error ("expected CANCELLED, got " ^ Wire.tag_name m))
+
+let await_drain t =
+  let rec go () =
+    match stash t (next_frame t) with
+    | None -> go ()
+    | Some (Wire.Drain_done summary) -> summary
+    | Some m ->
+        raise (Protocol_error ("expected DRAIN_DONE, got " ^ Wire.tag_name m))
+  in
+  go ()
+
+let drain t =
+  send t Wire.Drain;
+  await_drain t
+
+let pushes t =
+  let out = List.of_seq (Queue.to_seq t.inbox) in
+  Queue.clear t.inbox;
+  out
+
+(* Park every already-sent push without blocking: poll the socket with
+   a zero timeout and stash whatever full frames have landed. *)
+let poll t =
+  let rec drain_frames () =
+    match Wire.next t.rd with
+    | Ok (Some payload) -> (
+        match Wire.decode payload with
+        | Ok msg ->
+            (match stash t msg with
+            | None -> ()
+            | Some m ->
+                raise
+                  (Protocol_error ("unsolicited " ^ Wire.tag_name m)));
+            drain_frames ()
+        | Error e -> raise (Protocol_error e))
+    | Error e -> raise (Protocol_error e)
+    | Ok None -> (
+        match Unix.select [ t.fd ] [] [] 0.0 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+            | 0 -> t.closed <- true
+            | n ->
+                Wire.feed t.rd t.scratch n;
+                drain_frames ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain_frames ()
+            | exception
+                Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                t.closed <- true))
+  in
+  if not t.closed then drain_frames ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

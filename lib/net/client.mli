@@ -1,0 +1,71 @@
+(** Blocking TAQPNET1 client over the loopback.
+
+    The server pushes each job's terminal frame asynchronously, so
+    synchronous calls ({!submit}, {!status}, {!fetch}, {!cancel}) park
+    any interleaved RESULT / admission-REJECT pushes in an inbox the
+    caller drains with {!pushes}. Not thread-safe: one client per
+    thread of control (the load harness multiplexes logical clients
+    from a single loop instead). *)
+
+type push =
+  | Finished of Taqp_sched.Sched_journal.done_record
+      (** the job's terminal record — completed or expired *)
+  | Refused of { job_id : int; reason : string; retry_after : float }
+      (** the admission controller rejected it at its virtual arrival *)
+
+type t
+
+exception Protocol_error of string
+(** Framing/CRC violation, an unexpected reply tag, or the server's
+    ERROR frame. *)
+
+exception Server_closed
+(** The server hung up (or was killed) mid-exchange. *)
+
+val connect : port:int -> t
+(** TCP connect to loopback, send the magic, await HELLO. *)
+
+val hello : t -> float * int * bool
+(** The HELLO recorded at connect: server virtual now, max_pending,
+    draining flag. *)
+
+val submit :
+  t ->
+  string ->
+  [ `Queued of int * float * float  (** id, absolute arrival, deadline *)
+  | `Rejected of string * float  (** door reason, retry_after *) ]
+(** Submit one job line (arrival/deadline as offsets from server now).
+    [`Queued] is not completion — the terminal push arrives later. *)
+
+val status : t -> float * int * int * float * int * bool
+(** now, live, pending, backlog seconds, terminal count, draining. *)
+
+val fetch :
+  t ->
+  job_id:int ->
+  [ `Result of Taqp_sched.Sched_journal.done_record | `Pending of string ]
+(** [`Pending "queued"] = known but not terminal; [`Pending "unknown"]
+    = no such id. The answer is correlated by id, so a fetch racing
+    the job's own terminal push may be satisfied by the push (the
+    frames are byte-identical); the trailing reply then surfaces as a
+    duplicate inbox entry. *)
+
+val cancel : t -> job_id:int -> string
+(** The server's disposition: ["pending"], ["live"], ["terminal"] or
+    ["unknown"]. *)
+
+val drain : t -> Taqp_sched.Engine.summary
+(** Send DRAIN and block until DRAIN_DONE, stashing every terminal
+    push along the way (drain the inbox afterwards). *)
+
+val await_drain : t -> Taqp_sched.Engine.summary
+(** Block until the broadcast DRAIN_DONE without sending DRAIN —
+    for the other connections once one client has asked to drain. *)
+
+val poll : t -> unit
+(** Non-blocking: park every already-arrived push in the inbox. *)
+
+val pushes : t -> push list
+(** Drain the inbox, in arrival order. *)
+
+val close : t -> unit

@@ -1,0 +1,79 @@
+(* The open-loop load harness: a pre-drawn arrival schedule
+   ({!Taqp_workload.Arrivals}) multiplexed over real sockets. Offered
+   load is fixed before the first byte moves — the server's answer
+   speed cannot slow the schedule down, so overload shows up as priced
+   rejections and lateness instead of being absorbed by a closed
+   loop's back-off.
+
+   Submissions are serialized (each awaits its synchronous QUEUED /
+   door-REJECT before the next goes out) and fan out round-robin over
+   [clients] connections, so the server sees jobs in schedule order —
+   with a drain-gated server this makes the whole run a deterministic
+   function of (schedule, seed), bit-identical to the same job list
+   through [Scheduler.run]. *)
+
+module Arrivals = Taqp_workload.Arrivals
+
+type disposition =
+  | Queued of { job_id : int; arrival : float; deadline : float }
+  | Door_rejected of { reason : string; retry_after : float }
+
+type submission = {
+  index : int;  (** position in the arrival schedule *)
+  offset : float;  (** submitted arrival offset (virtual seconds) *)
+  disposition : disposition;
+}
+
+type outcome = {
+  submissions : submission list;  (** in schedule order *)
+  finished : Taqp_sched.Sched_journal.done_record list;
+      (** terminal pushes across every connection, job-id order *)
+  refused : (int * string * float) list;
+      (** admission rejections: id, reason, retry_after *)
+  summary : Taqp_sched.Engine.summary;  (** the DRAIN_DONE payload *)
+}
+
+let run ~port ~process ~rate ~n ~seed ~clients ~make_line =
+  if clients < 1 then invalid_arg "Load.run: clients < 1";
+  let offsets = Arrivals.arrivals process ~rate ~n ~seed in
+  let conns = Array.init clients (fun _ -> Client.connect ~port) in
+  let submissions = ref [] in
+  Array.iteri
+    (fun index offset ->
+      let c = conns.(index mod clients) in
+      let line = make_line ~index ~offset in
+      let disposition =
+        match Client.submit c line with
+        | `Queued (job_id, arrival, deadline) ->
+            Queued { job_id; arrival; deadline }
+        | `Rejected (reason, retry_after) ->
+            Door_rejected { reason; retry_after }
+      in
+      submissions := { index; offset; disposition } :: !submissions)
+    offsets;
+  (* One connection asks to drain; every connection then collects its
+     pushes until the broadcast DRAIN_DONE. *)
+  let summary = Client.drain conns.(0) in
+  Array.iteri (fun i c -> if i > 0 then ignore (Client.await_drain c)) conns;
+  let finished = ref [] and refused = ref [] in
+  Array.iter
+    (fun c ->
+      List.iter
+        (function
+          | Client.Finished d -> finished := d :: !finished
+          | Client.Refused { job_id; reason; retry_after } ->
+              refused := (job_id, reason, retry_after) :: !refused)
+        (Client.pushes c);
+      Client.close c)
+    conns;
+  {
+    submissions = List.rev !submissions;
+    finished =
+      List.sort
+        (fun (a : Taqp_sched.Sched_journal.done_record) b ->
+          compare a.Taqp_sched.Sched_journal.d_id
+            b.Taqp_sched.Sched_journal.d_id)
+        !finished;
+    refused = List.sort compare !refused;
+    summary;
+  }

@@ -1,0 +1,50 @@
+(** Open-loop socket load harness: a pre-drawn
+    {!Taqp_workload.Arrivals} schedule multiplexed round-robin over
+    real connections. The schedule is fixed before the first byte
+    moves, so offered load is independent of server responsiveness —
+    overload surfaces as priced rejections and lateness, never as a
+    silently slowed-down client.
+
+    Submissions are serialized in schedule order; against a
+    drain-gated server ([`Drain] in {!Server.create}) the run is a
+    deterministic function of the schedule and seeds, bit-identical
+    to the same job list through [Scheduler.run] — what
+    [bench --serve] and the protocol tests pin. *)
+
+type disposition =
+  | Queued of { job_id : int; arrival : float; deadline : float }
+  | Door_rejected of { reason : string; retry_after : float }
+      (** refused before an id was assigned: quota, depth, draining,
+          or a parse error *)
+
+type submission = {
+  index : int;  (** position in the arrival schedule *)
+  offset : float;  (** submitted arrival offset (virtual seconds) *)
+  disposition : disposition;
+}
+
+type outcome = {
+  submissions : submission list;  (** in schedule order *)
+  finished : Taqp_sched.Sched_journal.done_record list;
+      (** terminal pushes across every connection, job-id order *)
+  refused : (int * string * float) list;
+      (** admission rejections: id, reason, retry_after *)
+  summary : Taqp_sched.Engine.summary;  (** the DRAIN_DONE payload *)
+}
+
+val run :
+  port:int ->
+  process:Taqp_workload.Arrivals.process ->
+  rate:float ->
+  n:int ->
+  seed:int ->
+  clients:int ->
+  make_line:(index:int -> offset:float -> string) ->
+  outcome
+(** Draw [n] arrival offsets from [process] at [rate] (seeded), call
+    [make_line] for each, submit them in order over [clients]
+    connections, then drain the server and collect every terminal
+    push. [make_line] receives the schedule [index] and the arrival
+    [offset] and returns a {!Taqp_sched.Job.of_line} line whose times
+    are offsets from server virtual now.
+    @raise Invalid_argument on [clients < 1]. *)

@@ -1,0 +1,92 @@
+(** The socket front door: a single-process [Unix.select] event loop
+    interleaving socket readiness with {!Taqp_sched.Engine.step} calls
+    on one shared virtual device — wire jobs compete exactly as batch
+    jobs do, and the admission controller's verdicts surface as priced
+    REJECT frames instead of queue growth. Protocol in {!Wire} and
+    docs/SERVING.md.
+
+    Door checks (before the engine sees a SUBMIT): draining state,
+    the connection's token-bucket quota ([quota_capacity] tokens,
+    [quota_refill]/virtual-second), and the [max_pending] memory bound.
+    Each refusal is a [Rejected { job_id = None; retry_after; _ }]
+    priced by {!Backpressure}. Everything admitted past the door is
+    journaled as a {!Taqp_sched.Sched_journal.Submitted} line (when a
+    journal is configured), then ruled on by the engine's admission
+    controller at its virtual arrival.
+
+    Listens on the IPv4 loopback only. *)
+
+type gate =
+  [ `Eager  (** step the engine whenever it has work — real serving *)
+  | `Drain
+    (** withhold every engine step until a DRAIN frame: clients first
+        queue a whole arrival schedule against a frozen clock, then
+        the run executes — bit-identical to the same job list through
+        [Scheduler.run], which is what the bench and the protocol
+        tests pin *) ]
+
+type t
+
+type stats = {
+  result : Taqp_sched.Engine.result;
+      (** this process's engine run (post-crash jobs only, after a
+          recovery) *)
+  summary : Taqp_sched.Engine.summary;
+      (** [result.summary], or the {!Taqp_sched.Scheduler.merge_journaled}
+          union with pre-crash records after a recovery — the
+          DRAIN_DONE payload *)
+  journaled : Taqp_sched.Sched_journal.done_record list;
+      (** pre-crash completions carried in via [recover] *)
+  max_live : int;
+      (** high-water mark of concurrently live engine jobs — never
+          exceeds admission's [max_queue] when one is set *)
+  door_rejects : int;  (** SUBMITs refused before an id was assigned *)
+}
+
+val create :
+  ?policy:Taqp_sched.Policy.t ->
+  ?admission:Taqp_sched.Admission.t ->
+  ?params:Taqp_storage.Cost_params.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?tracer:Taqp_obs.Tracer.t ->
+  ?faults:Taqp_fault.Injector.t ->
+  ?cache:Taqp_cache.Cache.t ->
+  ?on_report:(Taqp_sched.Engine.job_report -> unit) ->
+  ?gate:gate ->
+  ?max_pending:int ->
+  ?quota_capacity:float ->
+  ?quota_refill:float ->
+  ?journal_path:string ->
+  ?recover:Taqp_sched.Sched_journal.record list ->
+  ?downtime:float ->
+  catalog:Taqp_storage.Catalog.t ->
+  config:Taqp_core.Config.t ->
+  port:int ->
+  unit ->
+  t
+(** Bind and listen (port 0 picks an ephemeral port — read it back
+    with {!port}). [catalog]/[config] parse every wire job line.
+    Defaults: [gate = `Eager], [max_pending = 4096],
+    [quota_capacity = 64] tokens, [quota_refill = 4]/virtual-second.
+
+    [recover] takes a crashed server's decoded journal: journaled
+    completions answer FETCHes verbatim (byte-identical RESULT
+    frames), unfinished [Submitted] lines are re-admitted at crash
+    time + [downtime], the id counter resumes past every journaled id,
+    and the carried-over records are re-journaled into [journal_path]
+    so a second crash loses nothing. Recovery opens the gate
+    immediately even under [`Drain]. *)
+
+val port : t -> int
+
+val run : t -> stats
+(** Serve until drained: any client's DRAIN frame stops admission;
+    once the backlog is dry every connection receives DRAIN_DONE with
+    the final summary and [run] returns the accounting. Crash faults
+    ({!Taqp_fault.Injector.Crashed}) propagate to the caller — every
+    journal record was already flushed. *)
+
+val shutdown : t -> unit
+(** Abrupt teardown: close the listener and every connection. For
+    in-process harnesses catching a propagated crash fault — a real
+    process crash gets the fd cleanup from the kernel. *)

@@ -1,0 +1,36 @@
+(* Per-client submission quota: a classic token bucket kept in virtual
+   time — the same clock the engine schedules on, so quota refill is
+   paced by the workload's own time base and a whole bench run stays
+   deterministic. Lazy refill: tokens accrue on [take], no timers. *)
+
+type t = {
+  capacity : float;
+  refill : float;  (* tokens per virtual second *)
+  mutable tokens : float;
+  mutable at : float;  (* virtual instant of the last accrual *)
+}
+
+let create ~capacity ~refill ~now =
+  if capacity <= 0.0 then invalid_arg "Token_bucket.create: capacity <= 0";
+  if refill < 0.0 then invalid_arg "Token_bucket.create: negative refill";
+  { capacity; refill; tokens = capacity; at = now }
+
+let refresh t ~now =
+  if now > t.at then begin
+    t.tokens <- Float.min t.capacity (t.tokens +. ((now -. t.at) *. t.refill));
+    t.at <- now
+  end
+
+let level t ~now =
+  refresh t ~now;
+  t.tokens
+
+let take t ~now ~cost =
+  if cost <= 0.0 then invalid_arg "Token_bucket.take: cost <= 0";
+  refresh t ~now;
+  if t.tokens >= cost then begin
+    t.tokens <- t.tokens -. cost;
+    `Ok
+  end
+  else if t.refill <= 0.0 then `Wait Float.infinity
+  else `Wait ((cost -. t.tokens) /. t.refill)

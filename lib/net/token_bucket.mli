@@ -1,0 +1,20 @@
+(** Per-client submission quota: a token bucket in {e virtual} time
+    (the engine's clock), refilled lazily on [take]. Deterministic —
+    no wall timers. *)
+
+type t
+
+val create : capacity:float -> refill:float -> now:float -> t
+(** Starts full. [refill] is tokens per virtual second; 0 makes the
+    bucket non-replenishing (a hard per-connection budget).
+    @raise Invalid_argument on non-positive capacity or negative
+    refill. *)
+
+val take : t -> now:float -> cost:float -> [ `Ok | `Wait of float ]
+(** Spend [cost] tokens at virtual instant [now]. [`Wait w] leaves the
+    bucket untouched and prices the shortfall: [w] virtual seconds of
+    refill would cover it ([infinity] when [refill = 0]) — the
+    [retry_after] a quota rejection carries. *)
+
+val level : t -> now:float -> float
+(** Current tokens after accrual at [now]. *)

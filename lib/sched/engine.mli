@@ -1,0 +1,136 @@
+(** The incremental scheduler: {!Scheduler.run}'s event loop re-cut as
+    an explicit state machine so a host can interleave scheduling with
+    other work — the socket server ({!Taqp_net.Server}) alternates
+    socket readiness with [step] calls on one device/clock, which is
+    what makes admission control double as wire-level backpressure.
+
+    [Scheduler.run ≡ create … |> drain |> finish] — the batch path is
+    implemented on this module, so both entry points perform the exact
+    same operation sequence (device charges, metric increments, journal
+    writes, rng creation). The solo-job bit-identity anchor in
+    test_sched pins that equivalence.
+
+    All times are virtual seconds on the engine's own virtual clock
+    (created at 0, or at [start_at] for recovery re-runs). *)
+
+open Taqp_storage
+
+type outcome =
+  | Completed of Taqp_core.Report.t
+  | Rejected of Admission.reason
+  | Expired
+
+type job_report = {
+  job : Job.t;
+  outcome : outcome;
+  admitted : bool;
+  degraded : bool;
+  quota : float option;
+  started_at : float option;
+  finished_at : float;
+  queue_wait : float;
+  lateness : float;
+  missed : bool;
+  steps : int;
+  preemptions : int;
+  service : float;
+}
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  degraded : int;
+  rejected : int;
+  expired : int;
+  completed : int;
+  missed : int;
+  miss_rate : float;
+  lateness_p50 : float;
+  lateness_p99 : float;
+  lateness_p999 : float;
+  max_lateness : float;
+  mean_queue_wait : float;
+  makespan : float;
+  busy_time : float;
+  preemptions : int;
+}
+
+type result = {
+  policy : Policy.t;
+  admission_on : bool;
+  reports : job_report list;
+  summary : summary;
+}
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?admission:Admission.t ->
+  ?params:Cost_params.t ->
+  ?metrics:Taqp_obs.Metrics.t ->
+  ?tracer:Taqp_obs.Tracer.t ->
+  ?faults:Taqp_fault.Injector.t ->
+  ?journal:Taqp_recover.Journal.writer ->
+  ?start_at:float ->
+  ?on_device:(Device.t -> unit) ->
+  ?on_dispatch:(Job.t -> Taqp_core.Executor.handle -> unit) ->
+  ?account:(int option -> unit) ->
+  ?cache:Taqp_cache.Cache.t ->
+  ?on_report:(job_report -> unit) ->
+  Job.t list ->
+  t
+(** Same knobs as {!Scheduler.run}, plus [on_report]: called once per
+    terminal job (completed, expired, rejected) the moment its report
+    is recorded — the server's hook for pushing RESULT/REJECT frames.
+    The initial [jobs] may be empty; more arrive via {!submit}. *)
+
+val step : t -> [ `Progress | `Idle ]
+(** One iteration of the scheduling loop: admit every due arrival,
+    then either give the policy's pick one executor stage step, or (no
+    live jobs) sleep the clock to the next pending arrival. [`Idle]
+    means no live and no pending jobs — nothing happens until a
+    {!submit}. *)
+
+val drain : t -> unit
+(** [step] until [`Idle]. *)
+
+val submit : t -> Job.t -> unit
+(** Enqueue a job. Arrivals in the past (relative to {!now}) are
+    admitted on the next [step]; ids should be unique per engine. *)
+
+val cancel :
+  t -> id:int -> [ `Cancelled_pending | `Killed_live | `Unknown ]
+(** Withdraw a job. A still-pending job vanishes without a report; a
+    live job is finished as [Expired] (reported and journaled, counts
+    as missed). [`Unknown] ids are already terminal or never seen. *)
+
+val finish : t -> result
+(** Close the books: final accounting, cache counter emission, reports
+    sorted by job id, summary. The engine is unusable afterwards
+    (every other call raises [Invalid_argument]). *)
+
+(** {2 Introspection} — the server's admission/status plumbing. *)
+
+val now : t -> float
+val device : t -> Device.t
+val live_count : t -> int
+val pending_count : t -> int
+val next_arrival : t -> float option
+
+val backlog : t -> float
+(** Σ max 0 (reserved − service) over live jobs: the same backlog
+    admission prices against, exposed for retry-after pricing. *)
+
+(** {2 Shared helpers} *)
+
+val to_done_record : job_report -> Sched_journal.done_record
+(** The journal/wire terminal record for a report — one codec shape
+    for [Done] journal records and RESULT frames. *)
+
+val report_missed :
+  job:Job.t -> finished_at:float -> outcome -> bool
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with nearest-rank rounding (the summary's
+    p50/p99/p999 convention); [sorted] ascending. *)

@@ -136,3 +136,38 @@ let of_lines ~catalog ?config lines =
         | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
   in
   go 0 [] (List.mapi (fun i l -> (i + 1, l)) lines)
+
+let of_channel ~catalog ?config ic =
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  of_lines ~catalog ?config (read [])
+
+(* The inverse of [of_line], modulo the fields the line format cannot
+   carry (catalog, config, aggregate, exact — all supplied by the
+   reader). Floats print with 17 significant digits so times survive
+   the round trip bit-exactly; label characters that would collide
+   with the field/option separators are rewritten to '_'. *)
+let to_line t =
+  let clean s =
+    String.map
+      (fun c ->
+        match c with '|' | ',' | '\n' | '\r' | '=' -> '_' | c -> c)
+      s
+  in
+  let opts =
+    [
+      Printf.sprintf "priority=%d" t.priority;
+      Printf.sprintf "seed=%d" t.seed;
+      Printf.sprintf "label=%s" (clean t.label);
+    ]
+    @
+    match t.min_confidence with
+    | Some w -> [ Printf.sprintf "min_rhw=%.17g" w ]
+    | None -> []
+  in
+  Printf.sprintf "%.17g | %.17g | %s | %s" t.arrival t.deadline
+    (Ra.to_string t.query)
+    (String.concat "," opts)

@@ -76,3 +76,19 @@ val of_lines :
   (t list, string) result
 (** Parse a whole file's lines; ids are assigned in order of
     appearance, errors are prefixed with their 1-based line number. *)
+
+val of_channel :
+  catalog:Catalog.t ->
+  ?config:Taqp_core.Config.t ->
+  in_channel ->
+  (t list, string) result
+(** {!of_lines} over a channel read to EOF — [serve --jobs -] pipes
+    stdin through this. *)
+
+val to_line : t -> string
+(** The inverse of {!of_line}: a line that re-parses (against the same
+    catalog and config) to a job with identical id-independent fields.
+    Times print with 17 significant digits (bit-exact round trip);
+    [catalog], [config], [aggregate] and [exact] are supplied by the
+    reader, not the line. The socket server journals wire submissions
+    in this form ({!Sched_journal.Submitted}). *)

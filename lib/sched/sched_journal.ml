@@ -32,6 +32,18 @@ type done_record = {
   d_now : float;
 }
 
+(* A wire submission accepted at the door, journaled as the canonical
+   job line (absolute times) so a restarted server can re-parse it with
+   [Job.of_line] — the server has no job file to re-read. [s_client] is
+   the connection registry id, informational only. *)
+type submitted_record = {
+  s_id : int;
+  s_label : string;
+  s_client : int;
+  s_line : string;
+  s_now : float;
+}
+
 type record =
   | Admitted of {
       a_id : int;
@@ -42,11 +54,64 @@ type record =
     }
   | Progress of { p_id : int; p_steps : int; p_now : float }
   | Done of done_record
+  | Submitted of submitted_record
 
 let now_of = function
   | Admitted a -> a.a_now
   | Progress p -> p.p_now
   | Done d -> d.d_now
+  | Submitted s -> s.s_now
+
+(* The done-record field codec is shared with the wire protocol's
+   RESULT frame ([Taqp_net.Wire]): one codec, so a replayed journal
+   completion is byte-identical to the live server's reply. *)
+let write_done b (d : done_record) =
+  Codec.int b d.d_id;
+  Codec.string b d.d_label;
+  Codec.string b d.d_outcome;
+  Codec.bool b d.d_admitted;
+  Codec.bool b d.d_degraded;
+  Codec.bool b d.d_missed;
+  Codec.float b d.d_lateness;
+  Codec.float b d.d_queue_wait;
+  Codec.float b d.d_finished_at;
+  Codec.float b d.d_service;
+  Codec.int b d.d_steps;
+  Codec.int b d.d_preemptions;
+  Codec.option Codec.float b d.d_estimate;
+  Codec.float b d.d_now
+
+let read_done d =
+  let d_id = Codec.read_int d in
+  let d_label = Codec.read_string d in
+  let d_outcome = Codec.read_string d in
+  let d_admitted = Codec.read_bool d in
+  let d_degraded = Codec.read_bool d in
+  let d_missed = Codec.read_bool d in
+  let d_lateness = Codec.read_float d in
+  let d_queue_wait = Codec.read_float d in
+  let d_finished_at = Codec.read_float d in
+  let d_service = Codec.read_float d in
+  let d_steps = Codec.read_int d in
+  let d_preemptions = Codec.read_int d in
+  let d_estimate = Codec.read_option Codec.read_float d in
+  let d_now = Codec.read_float d in
+  {
+    d_id;
+    d_label;
+    d_outcome;
+    d_admitted;
+    d_degraded;
+    d_missed;
+    d_lateness;
+    d_queue_wait;
+    d_finished_at;
+    d_service;
+    d_steps;
+    d_preemptions;
+    d_estimate;
+    d_now;
+  }
 
 let encode_record b = function
   | Admitted a ->
@@ -63,20 +128,14 @@ let encode_record b = function
       Codec.float b p.p_now
   | Done d ->
       Codec.u8 b 2;
-      Codec.int b d.d_id;
-      Codec.string b d.d_label;
-      Codec.string b d.d_outcome;
-      Codec.bool b d.d_admitted;
-      Codec.bool b d.d_degraded;
-      Codec.bool b d.d_missed;
-      Codec.float b d.d_lateness;
-      Codec.float b d.d_queue_wait;
-      Codec.float b d.d_finished_at;
-      Codec.float b d.d_service;
-      Codec.int b d.d_steps;
-      Codec.int b d.d_preemptions;
-      Codec.option Codec.float b d.d_estimate;
-      Codec.float b d.d_now
+      write_done b d
+  | Submitted s ->
+      Codec.u8 b 3;
+      Codec.int b s.s_id;
+      Codec.string b s.s_label;
+      Codec.int b s.s_client;
+      Codec.string b s.s_line;
+      Codec.float b s.s_now
 
 let decode_record d =
   match Codec.read_u8 d with
@@ -92,38 +151,14 @@ let decode_record d =
       let p_steps = Codec.read_int d in
       let p_now = Codec.read_float d in
       Progress { p_id; p_steps; p_now }
-  | 2 ->
-      let d_id = Codec.read_int d in
-      let d_label = Codec.read_string d in
-      let d_outcome = Codec.read_string d in
-      let d_admitted = Codec.read_bool d in
-      let d_degraded = Codec.read_bool d in
-      let d_missed = Codec.read_bool d in
-      let d_lateness = Codec.read_float d in
-      let d_queue_wait = Codec.read_float d in
-      let d_finished_at = Codec.read_float d in
-      let d_service = Codec.read_float d in
-      let d_steps = Codec.read_int d in
-      let d_preemptions = Codec.read_int d in
-      let d_estimate = Codec.read_option Codec.read_float d in
-      let d_now = Codec.read_float d in
-      Done
-        {
-          d_id;
-          d_label;
-          d_outcome;
-          d_admitted;
-          d_degraded;
-          d_missed;
-          d_lateness;
-          d_queue_wait;
-          d_finished_at;
-          d_service;
-          d_steps;
-          d_preemptions;
-          d_estimate;
-          d_now;
-        }
+  | 2 -> Done (read_done d)
+  | 3 ->
+      let s_id = Codec.read_int d in
+      let s_label = Codec.read_string d in
+      let s_client = Codec.read_int d in
+      let s_line = Codec.read_string d in
+      let s_now = Codec.read_float d in
+      Submitted { s_id; s_label; s_client; s_line; s_now }
   | n ->
       raise
         (Codec.Decode_error (Printf.sprintf "bad scheduler record tag %d" n))

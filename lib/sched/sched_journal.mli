@@ -29,6 +29,17 @@ type done_record = {
   d_now : float;
 }
 
+type submitted_record = {
+  s_id : int;
+  s_label : string;
+  s_client : int;  (** connection-registry id, informational *)
+  s_line : string;
+      (** the canonical job line (absolute times) — {!Job.of_line}
+          re-parses it on recovery, so a socket server needs no job
+          file to rebuild its backlog *)
+  s_now : float;
+}
+
 type record =
   | Admitted of {
       a_id : int;
@@ -39,6 +50,10 @@ type record =
     }
   | Progress of { p_id : int; p_steps : int; p_now : float }
   | Done of done_record
+  | Submitted of submitted_record
+      (** door-level acceptance of a wire job (socket mode only);
+          written before the engine sees the job, so every job with any
+          journal record at all can be re-parsed after a crash *)
 
 val now_of : record -> float
 (** The clock instant the record was journaled at. *)
@@ -46,6 +61,13 @@ val now_of : record -> float
 val encode : record -> string
 (** The framed-payload encoding (append it with
     {!Taqp_recover.Journal.append}). *)
+
+val write_done : Taqp_recover.Codec.encoder -> done_record -> unit
+
+val read_done : Taqp_recover.Codec.decoder -> done_record
+(** The done-record field codec, exposed so the wire protocol's RESULT
+    frame ({!Taqp_net.Wire}) shares it byte-for-byte with the journal —
+    a replayed completion is indistinguishable from a live one. *)
 
 type loaded = { records : record list; torn : string option }
 

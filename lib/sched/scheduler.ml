@@ -1,25 +1,20 @@
+(* The batch entry point, now a thin facade over {!Engine}: [run] is
+   create → drain → finish on the incremental state machine, so the
+   closed-loop batch path and the socket server's interleaved path
+   execute the identical operation sequence (see engine.ml). The JSON
+   renderings and journal-based crash recovery live here — they are
+   presentation and cross-run accounting, not loop mechanics. *)
+
 module Report = Taqp_core.Report
-module Executor = Taqp_core.Executor
 module Confidence = Taqp_stats.Confidence
-module Clock = Taqp_storage.Clock
-module Device = Taqp_storage.Device
-module Cost_params = Taqp_storage.Cost_params
-module Metrics = Taqp_obs.Metrics
-module Tracer = Taqp_obs.Tracer
-module Event = Taqp_obs.Event
 module Json = Taqp_obs.Json
-module Prng = Taqp_rng.Prng
 
-let src = Logs.Src.create "taqp.sched" ~doc:"multi-query deadline scheduler"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
-type outcome =
+type outcome = Engine.outcome =
   | Completed of Report.t
   | Rejected of Admission.reason
   | Expired
 
-type job_report = {
+type job_report = Engine.job_report = {
   job : Job.t;
   outcome : outcome;
   admitted : bool;
@@ -35,7 +30,7 @@ type job_report = {
   service : float;
 }
 
-type summary = {
+type summary = Engine.summary = {
   submitted : int;
   admitted : int;
   degraded : int;
@@ -54,448 +49,23 @@ type summary = {
   preemptions : int;
 }
 
-type result = {
+type result = Engine.result = {
   policy : Policy.t;
   admission_on : bool;
   reports : job_report list;
   summary : summary;
 }
 
-(* One admitted, unfinished job. [l_reserved] is its priced minimum
-   viable run — the backlog unit admission subtracts from later jobs'
-   slack, decayed by the service already delivered. *)
-type live = {
-  l_job : Job.t;
-  l_seq : int;
-  l_granted : float;
-  l_degraded : bool;
-  l_reserved : float;
-  mutable l_handle : Executor.handle option;
-  mutable l_started : float option;
-  mutable l_service : float;
-  mutable l_steps : int;
-  mutable l_preempt : int;
-}
+let percentile = Engine.percentile
 
-let percentile sorted q =
-  match sorted with
-  | [||] -> 0.0
-  | a ->
-      let n = Array.length a in
-      let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
-      a.(Int.max 0 (Int.min (n - 1) i))
-
-(* An admitted job "missed" when its transaction got no in-deadline
-   answer: it finished past the deadline (observe-mode overspend), its
-   deadline passed while it was still queued, or its slack was spent
-   before a single stage completed — a report with neither an exact
-   answer nor one finished sampling stage carries no estimate the
-   transaction could act on. *)
-let report_missed ~(job : Job.t) ~finished_at = function
-  | Completed r ->
-      finished_at > job.Job.deadline +. 1e-9
-      || (r.Report.stages_completed = 0 && not r.Report.exact)
-  | Expired -> true
-  | Rejected _ -> false
-
-let run ?(policy = Policy.Edf) ?admission
-    ?(params = Cost_params.no_jitter Cost_params.default) ?metrics ?tracer
-    ?faults ?journal ?start_at ?on_device ?on_dispatch ?account:account_hook
-    ?cache jobs =
-  let clock = Clock.create_virtual () in
-  (* Recovery re-runs start where the crashed workload's clock stopped
-     plus the downtime: arrivals the restart missed are admitted at
-     once and jobs whose deadlines passed meanwhile expire on their
-     first dispatch — downtime is lost time, never replayed time. *)
-  Option.iter (fun at -> Clock.restore clock ~now:at) start_at;
-  let device = Device.create ~params ?metrics ?tracer ?faults clock in
-  (match (cache, metrics) with
-  | Some c, Some m -> Taqp_cache.Cache.bind_metrics c m
-  | _ -> ());
-  (* Audit hooks. [on_device] lets an observer attach a spend listener
-     to the scheduler's internal device; [account] tells it which job
-     the next charges belong to ([None] = scheduler overhead);
-     [on_dispatch] hands over each job's executor handle at dispatch so
-     a drift monitor can register on its cost model. All three are
-     strictly observational. *)
-  Option.iter (fun f -> f device) on_device;
-  let account owner =
-    match account_hook with None -> () | Some f -> f owner
+let run ?policy ?admission ?params ?metrics ?tracer ?faults ?journal ?start_at
+    ?on_device ?on_dispatch ?account ?cache jobs =
+  let engine =
+    Engine.create ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
+      ?start_at ?on_device ?on_dispatch ?account ?cache jobs
   in
-  (* Journal writes are charged to the shared clock like any other IO
-     (so journaling is visible to every job's quota), but never raise:
-     if a deadline fires during the charge the clock pins there and the
-     record is still written — losing the record would be strictly
-     worse for recovery than losing the sliver of time. Without
-     [journal] nothing is charged and the run is bit-identical to the
-     journal-free scheduler. *)
-  let jwrite record =
-    match journal with
-    | None -> ()
-    | Some w ->
-        let payload = Sched_journal.encode record in
-        (try
-           Device.journal_write device
-             ~bytes:
-               (String.length payload + Taqp_recover.Journal.frame_overhead)
-         with Clock.Deadline_exceeded _ -> ());
-        Taqp_recover.Journal.append w payload
-  in
-  let metrics = Device.metrics device in
-  let tracer = Device.tracer device in
-  let c_submitted = Metrics.counter metrics "sched.submitted" in
-  let c_admitted = Metrics.counter metrics "sched.admitted" in
-  let c_degraded = Metrics.counter metrics "sched.degraded" in
-  let c_rejected = Metrics.counter metrics "sched.rejected" in
-  let c_expired = Metrics.counter metrics "sched.expired" in
-  let c_completed = Metrics.counter metrics "sched.completed" in
-  let c_missed = Metrics.counter metrics "sched.missed" in
-  let c_preempt = Metrics.counter metrics "sched.preemptions" in
-  let h_lateness = Metrics.histogram metrics "sched.lateness" in
-  let h_wait = Metrics.histogram metrics "sched.queue_wait" in
-  let instant name (job : Job.t) args =
-    if Tracer.enabled tracer then
-      Tracer.instant tracer ~cat:"sched" name
-        ~args:(("job", Event.String job.Job.label) :: args)
-  in
-  let pending =
-    ref
-      (List.stable_sort
-         (fun a b -> compare (a.Job.arrival, a.Job.id) (b.Job.arrival, b.Job.id))
-         jobs)
-  in
-  let live = ref [] in
-  let reports = ref [] in
-  let seq = ref 0 in
-  let last_run = ref None in
-  let finish_live lj outcome =
-    live := List.filter (fun l -> l != lj) !live;
-    (match !last_run with
-    | Some s when s = lj.l_seq -> last_run := None
-    | _ -> ());
-    let now = Clock.now clock in
-    let missed = report_missed ~job:lj.l_job ~finished_at:now outcome in
-    let lateness = now -. lj.l_job.Job.deadline in
-    if missed then Metrics.Counter.incr c_missed;
-    Metrics.Histogram.observe h_lateness (Float.max 0.0 lateness);
-    (match outcome with
-    | Completed r ->
-        Metrics.Counter.incr c_completed;
-        instant "sched.complete" lj.l_job
-          [
-            ("outcome", Event.String (Report.outcome_name r.Report.outcome));
-            ("lateness", Event.Float lateness);
-          ]
-    | Expired ->
-        Metrics.Counter.incr c_expired;
-        instant "sched.expire" lj.l_job []
-    | Rejected _ -> assert false);
-    jwrite
-      (Sched_journal.Done
-         {
-           d_id = lj.l_job.Job.id;
-           d_label = lj.l_job.Job.label;
-           d_outcome =
-             (match outcome with
-             | Completed r -> Report.outcome_name r.Report.outcome
-             | Expired -> "expired"
-             | Rejected _ -> assert false);
-           d_admitted = true;
-           d_degraded = lj.l_degraded;
-           d_missed = missed;
-           d_lateness = lateness;
-           d_queue_wait =
-             (match lj.l_started with
-             | Some s -> s -. lj.l_job.Job.arrival
-             | None -> now -. lj.l_job.Job.arrival);
-           d_finished_at = now;
-           d_service = lj.l_service;
-           d_steps = lj.l_steps;
-           d_preemptions = lj.l_preempt;
-           d_estimate =
-             (match outcome with
-             | Completed r -> Some r.Report.estimate
-             | Expired | Rejected _ -> None);
-           d_now = now;
-         });
-    reports :=
-      {
-        job = lj.l_job;
-        outcome;
-        admitted = true;
-        degraded = lj.l_degraded;
-        quota = Option.map Executor.quota lj.l_handle;
-        started_at = lj.l_started;
-        finished_at = now;
-        queue_wait =
-          (match lj.l_started with
-          | Some s -> s -. lj.l_job.Job.arrival
-          | None -> now -. lj.l_job.Job.arrival);
-        lateness;
-        missed;
-        steps = lj.l_steps;
-        preemptions = lj.l_preempt;
-        service = lj.l_service;
-      }
-      :: !reports
-  in
-  let backlog () =
-    List.fold_left
-      (fun acc l -> acc +. Float.max 0.0 (l.l_reserved -. l.l_service))
-      0.0 !live
-  in
-  let admit_arrivals now =
-    let rec go () =
-      match !pending with
-      | j :: rest when j.Job.arrival <= now ->
-          pending := rest;
-          Metrics.Counter.incr c_submitted;
-          let decision =
-            match admission with
-            | None -> Admission.Accept { quota = Job.slack j ~now }
-            | Some a ->
-                Admission.evaluate a ?cache ~device ~now ~backlog:(backlog ())
-                  ~queue_len:(List.length !live) j
-          in
-          (match decision with
-          | Admission.Reject reason ->
-              Metrics.Counter.incr c_rejected;
-              instant "sched.reject" j
-                [ ("reason", Event.String (Admission.reason_name reason)) ];
-              Log.debug (fun m ->
-                  m "%s rejected: %a" j.Job.label Admission.pp_reason reason);
-              jwrite
-                (Sched_journal.Done
-                   {
-                     d_id = j.Job.id;
-                     d_label = j.Job.label;
-                     d_outcome = "rejected";
-                     d_admitted = false;
-                     d_degraded = false;
-                     d_missed = false;
-                     d_lateness = 0.0;
-                     d_queue_wait = 0.0;
-                     d_finished_at = now;
-                     d_service = 0.0;
-                     d_steps = 0;
-                     d_preemptions = 0;
-                     d_estimate = None;
-                     d_now = now;
-                   });
-              reports :=
-                {
-                  job = j;
-                  outcome = Rejected reason;
-                  admitted = false;
-                  degraded = false;
-                  quota = None;
-                  started_at = None;
-                  finished_at = now;
-                  queue_wait = 0.0;
-                  lateness = 0.0;
-                  missed = false;
-                  steps = 0;
-                  preemptions = 0;
-                  service = 0.0;
-                }
-                :: !reports
-          | Admission.Accept { quota } | Admission.Degrade { quota; _ } ->
-              let degraded =
-                match decision with Admission.Degrade _ -> true | _ -> false
-              in
-              Metrics.Counter.incr c_admitted;
-              if degraded then Metrics.Counter.incr c_degraded;
-              instant "sched.admit" j
-                [
-                  ("quota", Event.Float quota);
-                  ("degraded", Event.String (string_of_bool degraded));
-                ];
-              jwrite
-                (Sched_journal.Admitted
-                   {
-                     a_id = j.Job.id;
-                     a_label = j.Job.label;
-                     a_granted = quota;
-                     a_degraded = degraded;
-                     a_now = now;
-                   });
-              let reserved =
-                let staged = Admission.compile_for_pricing ?cache ~job:j () in
-                Admission.price_min_stage ~device staged ~config:j.Job.config
-              in
-              incr seq;
-              live :=
-                !live
-                @ [
-                    {
-                      l_job = j;
-                      l_seq = !seq;
-                      l_granted = quota;
-                      l_degraded = degraded;
-                      l_reserved = reserved;
-                      l_handle = None;
-                      l_started = None;
-                      l_service = 0.0;
-                      l_steps = 0;
-                      l_preempt = 0;
-                    };
-                  ]);
-          go ()
-      | _ -> ()
-    in
-    go ()
-  in
-  let candidates now =
-    List.map
-      (fun l ->
-        let next_cost =
-          match l.l_handle with
-          | Some h -> Executor.min_stage_cost h
-          | None -> l.l_reserved
-        in
-        {
-          Policy.key = l.l_seq;
-          seq = l.l_seq;
-          deadline = l.l_job.Job.deadline;
-          laxity = l.l_job.Job.deadline -. now -. next_cost;
-          service = l.l_service;
-          weight = float_of_int l.l_job.Job.priority;
-        })
-      !live
-  in
-  let step_job lj handle =
-    account (Some lj.l_job.Job.id);
-    (match !last_run with
-    | Some s when s <> lj.l_seq -> (
-        match List.find_opt (fun l -> l.l_seq = s) !live with
-        | Some prev ->
-            prev.l_preempt <- prev.l_preempt + 1;
-            Metrics.Counter.incr c_preempt;
-            instant "sched.preempt" prev.l_job []
-        | None -> ())
-    | _ -> ());
-    let t0 = Clock.now clock in
-    let step = Executor.step handle in
-    lj.l_service <- lj.l_service +. (Clock.now clock -. t0);
-    lj.l_steps <- lj.l_steps + 1;
-    last_run := Some lj.l_seq;
-    match step with
-    | `Continue ->
-        jwrite
-          (Sched_journal.Progress
-             {
-               p_id = lj.l_job.Job.id;
-               p_steps = lj.l_steps;
-               p_now = Clock.now clock;
-             })
-    | `Done report -> finish_live lj (Completed report)
-  in
-  let rec loop () =
-    let now = Clock.now clock in
-    (* Admission pricing and its journal writes are scheduler overhead,
-       never any one job's spend. *)
-    account None;
-    admit_arrivals now;
-    match (!live, !pending) with
-    | [], [] -> ()
-    | [], next :: _ ->
-        (* Idle: every finalized handle disarmed its deadline, so this
-           sleep can never be interrupted on a dead job's behalf. *)
-        Clock.sleep_until clock next.Job.arrival;
-        loop ()
-    | _ :: _, _ -> (
-        let c = Policy.select policy (candidates now) in
-        let lj = List.find (fun l -> l.l_seq = c.Policy.key) !live in
-        match lj.l_handle with
-        | Some handle ->
-            step_job lj handle;
-            loop ()
-        | None ->
-            let quota = Float.min lj.l_granted (Job.slack lj.l_job ~now) in
-            if quota <= 0.0 then begin
-              (* Its deadline passed while it waited: it never starts —
-                 and never stalls the jobs behind it. *)
-              finish_live lj Expired;
-              loop ()
-            end
-            else begin
-              (* Mirror Taqp.count_within's stream discipline — create
-                 the job rng, split off (and discard) the jitter
-                 stream — so a solo job's report is bit-identical to a
-                 direct count_within at the same seed and quota. *)
-              let rng = Prng.create lj.l_job.Job.seed in
-              ignore (Prng.split rng);
-              account (Some lj.l_job.Job.id);
-              let handle =
-                Executor.start ~config:lj.l_job.Job.config
-                  ~aggregate:lj.l_job.Job.aggregate ?cache ~device
-                  ~catalog:lj.l_job.Job.catalog ~rng ~quota lj.l_job.Job.query
-              in
-              (match on_dispatch with
-              | None -> ()
-              | Some f -> f lj.l_job handle);
-              lj.l_handle <- Some handle;
-              lj.l_started <- Some now;
-              Metrics.Histogram.observe h_wait (now -. lj.l_job.Job.arrival);
-              instant "sched.dispatch" lj.l_job
-                [ ("quota", Event.Float quota) ];
-              step_job lj handle;
-              loop ()
-            end)
-  in
-  loop ();
-  account None;
-  Option.iter (fun c -> Taqp_cache.Cache.emit_counters c tracer) cache;
-  let reports =
-    List.stable_sort (fun a b -> compare a.job.Job.id b.job.Job.id) !reports
-  in
-  let count f = List.length (List.filter f reports) in
-  let admitted_reports =
-    List.filter (fun (r : job_report) -> r.admitted) reports
-  in
-  let late =
-    List.map (fun r -> Float.max 0.0 r.lateness) admitted_reports
-    |> List.sort compare |> Array.of_list
-  in
-  let waits = List.map (fun r -> r.queue_wait) admitted_reports in
-  let summary =
-    {
-      submitted = List.length reports;
-      admitted = List.length admitted_reports;
-      degraded = count (fun (r : job_report) -> r.degraded);
-      rejected =
-        count (fun r -> match r.outcome with Rejected _ -> true | _ -> false);
-      expired =
-        count (fun r -> match r.outcome with Expired -> true | _ -> false);
-      completed =
-        count (fun r ->
-            match r.outcome with Completed _ -> true | _ -> false);
-      missed = count (fun (r : job_report) -> r.missed);
-      miss_rate =
-        (if reports = [] then 0.0
-         else
-           float_of_int (count (fun (r : job_report) -> r.missed))
-           /. float_of_int (List.length reports));
-      lateness_p50 = percentile late 0.50;
-      lateness_p99 = percentile late 0.99;
-      lateness_p999 = percentile late 0.999;
-      max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
-      mean_queue_wait =
-        (match waits with
-        | [] -> 0.0
-        | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
-      makespan = Clock.now clock;
-      busy_time =
-        List.fold_left
-          (fun acc (r : job_report) -> acc +. r.service)
-          0.0 reports;
-      preemptions =
-        List.fold_left
-          (fun acc (r : job_report) -> acc + r.preemptions)
-          0 reports;
-    }
-  in
-  { policy; admission_on = admission <> None; reports; summary }
+  Engine.drain engine;
+  Engine.finish engine
 
 (* ------------------------------------------------------------------ *)
 (* JSON renderings — the CLI's per-job lines and the bench's
@@ -592,6 +162,83 @@ type recovery = {
   r_summary : summary;
 }
 
+(* The combined accounting: journaled terminal jobs plus the re-run.
+   Percentiles are re-derived from the union of the per-job lateness
+   and wait values (both sides carry them), so the merged summary is
+   exactly what an uncrashed run over the same terminal set would
+   report for these aggregates. The re-run's admitted lateness/wait
+   values ride in via [run_reports] (the re-run's report list).
+
+   Shared with the socket server ([Taqp_net.Server]), whose DRAIN_DONE
+   summary after a recovery must cover pre-crash completions too. *)
+let merge_journaled (s : summary) ~run_reports
+    (finished : Sched_journal.done_record list) ~crash_time =
+  let done_admitted =
+    List.filter (fun (d : Sched_journal.done_record) -> d.d_admitted) finished
+  in
+  let run_admitted =
+    List.filter (fun (r : job_report) -> r.admitted) run_reports
+  in
+  let count_d f = List.length (List.filter f finished) in
+  let late =
+    List.map
+      (fun (d : Sched_journal.done_record) -> Float.max 0.0 d.d_lateness)
+      done_admitted
+    @ List.map (fun (r : job_report) -> Float.max 0.0 r.lateness) run_admitted
+    |> List.sort compare |> Array.of_list
+  in
+  let waits =
+    List.map (fun (d : Sched_journal.done_record) -> d.d_queue_wait)
+      done_admitted
+    @ List.map (fun (r : job_report) -> r.queue_wait) run_admitted
+  in
+  let submitted = s.submitted + List.length finished in
+  let missed =
+    s.missed + count_d (fun (d : Sched_journal.done_record) -> d.d_missed)
+  in
+  {
+    submitted;
+    admitted = s.admitted + List.length done_admitted;
+    degraded =
+      s.degraded
+      + count_d (fun (d : Sched_journal.done_record) -> d.d_degraded);
+    rejected =
+      s.rejected
+      + count_d (fun (d : Sched_journal.done_record) ->
+            d.d_outcome = "rejected");
+    expired =
+      s.expired
+      + count_d (fun (d : Sched_journal.done_record) ->
+            d.d_outcome = "expired");
+    completed =
+      s.completed
+      + count_d (fun (d : Sched_journal.done_record) ->
+            d.d_admitted && d.d_outcome <> "expired");
+    missed;
+    miss_rate =
+      (if submitted = 0 then 0.0
+       else float_of_int missed /. float_of_int submitted);
+    lateness_p50 = percentile late 0.50;
+    lateness_p99 = percentile late 0.99;
+    lateness_p999 = percentile late 0.999;
+    max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
+    mean_queue_wait =
+      (match waits with
+      | [] -> 0.0
+      | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+    makespan = Float.max s.makespan crash_time;
+    busy_time =
+      s.busy_time
+      +. List.fold_left
+           (fun acc (d : Sched_journal.done_record) -> acc +. d.d_service)
+           0.0 finished;
+    preemptions =
+      s.preemptions
+      + List.fold_left
+          (fun acc (d : Sched_journal.done_record) -> acc + d.d_preemptions)
+          0 finished;
+  }
+
 let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
     ?on_device ?on_dispatch ?account ?cache ?(downtime = 0.0) ~records jobs =
   if downtime < 0.0 then invalid_arg "Scheduler.recover: negative downtime";
@@ -617,78 +264,9 @@ let recover ?policy ?admission ?params ?metrics ?tracer ?faults ?journal
       ?on_device ?on_dispatch ?account ?cache
       ~start_at:(crash_time +. downtime) rest
   in
-  (* The combined accounting: journaled terminal jobs plus the re-run.
-     Percentiles are re-derived from the union of the per-job lateness
-     and wait values (both sides carry them), so the merged summary is
-     exactly what an uncrashed run over the same terminal set would
-     report for these aggregates. *)
-  let done_admitted =
-    List.filter (fun (d : Sched_journal.done_record) -> d.d_admitted) finished
-  in
-  let run_admitted =
-    List.filter (fun (r : job_report) -> r.admitted) r_run.reports
-  in
-  let count_d f = List.length (List.filter f finished) in
-  let late =
-    List.map
-      (fun (d : Sched_journal.done_record) -> Float.max 0.0 d.d_lateness)
-      done_admitted
-    @ List.map (fun (r : job_report) -> Float.max 0.0 r.lateness) run_admitted
-    |> List.sort compare |> Array.of_list
-  in
-  let waits =
-    List.map (fun (d : Sched_journal.done_record) -> d.d_queue_wait)
-      done_admitted
-    @ List.map (fun (r : job_report) -> r.queue_wait) run_admitted
-  in
-  let s = r_run.summary in
-  let submitted = s.submitted + List.length finished in
-  let missed =
-    s.missed + count_d (fun (d : Sched_journal.done_record) -> d.d_missed)
-  in
   let r_summary =
-    {
-      submitted;
-      admitted = s.admitted + List.length done_admitted;
-      degraded =
-        s.degraded
-        + count_d (fun (d : Sched_journal.done_record) -> d.d_degraded);
-      rejected =
-        s.rejected
-        + count_d (fun (d : Sched_journal.done_record) ->
-              d.d_outcome = "rejected");
-      expired =
-        s.expired
-        + count_d (fun (d : Sched_journal.done_record) ->
-              d.d_outcome = "expired");
-      completed =
-        s.completed
-        + count_d (fun (d : Sched_journal.done_record) ->
-              d.d_admitted && d.d_outcome <> "expired");
-      missed;
-      miss_rate =
-        (if submitted = 0 then 0.0
-         else float_of_int missed /. float_of_int submitted);
-      lateness_p50 = percentile late 0.50;
-      lateness_p99 = percentile late 0.99;
-      lateness_p999 = percentile late 0.999;
-      max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
-      mean_queue_wait =
-        (match waits with
-        | [] -> 0.0
-        | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
-      makespan = Float.max s.makespan crash_time;
-      busy_time =
-        s.busy_time
-        +. List.fold_left
-             (fun acc (d : Sched_journal.done_record) -> acc +. d.d_service)
-             0.0 finished;
-      preemptions =
-        s.preemptions
-        + List.fold_left
-            (fun acc (d : Sched_journal.done_record) -> acc + d.d_preemptions)
-            0 finished;
-    }
+    merge_journaled r_run.summary ~run_reports:r_run.reports finished
+      ~crash_time
   in
   { r_run; r_journaled = finished; r_summary }
 

@@ -16,7 +16,7 @@
     produce identical reports — the loop draws randomness only from
     per-job seeds and breaks every tie by admission order. *)
 
-type outcome =
+type outcome = Engine.outcome =
   | Completed of Taqp_core.Report.t
       (** ran to a report — possibly [Quota_exhausted] or [Faulted];
           consult the report's own outcome *)
@@ -25,7 +25,7 @@ type outcome =
       (** admitted, but its deadline passed while it waited in the
           queue; it never started (and never stalled jobs behind it) *)
 
-type job_report = {
+type job_report = Engine.job_report = {
   job : Job.t;
   outcome : outcome;
   admitted : bool;
@@ -43,7 +43,7 @@ type job_report = {
   service : float;  (** device seconds consumed *)
 }
 
-type summary = {
+type summary = Engine.summary = {
   submitted : int;
   admitted : int;
   degraded : int;
@@ -62,7 +62,7 @@ type summary = {
   preemptions : int;
 }
 
-type result = {
+type result = Engine.result = {
   policy : Policy.t;
   admission_on : bool;
   reports : job_report list;  (** in job id order *)
@@ -175,6 +175,20 @@ val recover :
     deadline passed during the downtime expires at dispatch instead
     of wasting budget. [journal] opens a fresh journal for the re-run
     itself. @raise Invalid_argument on negative [downtime]. *)
+
+val merge_journaled :
+  summary ->
+  run_reports:job_report list ->
+  Sched_journal.done_record list ->
+  crash_time:float ->
+  summary
+(** Fold a crashed run's journaled terminal records into a re-run's
+    summary: counts add, percentiles re-derive from the union of both
+    sides' per-job lateness/wait values, makespan takes
+    [max crash_time]. [run_reports] is the re-run's report list (its
+    admitted jobs contribute their lateness/wait to the union). Both
+    {!recover} and the socket server's post-recovery DRAIN_DONE
+    summary use this. *)
 
 val done_record_json : Sched_journal.done_record -> Taqp_obs.Json.t
 (** The journaled terminal line as a per-job JSON object (carries

@@ -1,0 +1,87 @@
+(* Open-loop arrival processes for the serving harness: the client
+   decides submission instants in advance and never waits for the
+   server — offered load is a property of the process, not of the
+   server's speed. Two interarrival laws:
+
+   - [Poisson rate]: exponential gaps, mean 1/rate. The memoryless
+     baseline every queueing result assumes.
+
+   - [Pareto { alpha }]: heavy-tailed gaps with the same mean 1/rate
+     (scale x_m = (alpha-1)/(alpha*rate), density ~ x^-(alpha+1)).
+     For alpha <= 2 the gap variance is infinite: long quiet spells
+     punctuated by bursts that pile arrivals on top of each other —
+     the regime where admission control earns its keep and a mean-rate
+     provisioned queue collapses.
+
+   Determinism: one [Prng.create seed] drawn in submission order, so a
+   (process, rate, n, seed) tuple names one exact arrival schedule —
+   benches replay it for every admission-policy cell. *)
+
+module Prng = Taqp_rng.Prng
+
+type process = Poisson | Pareto of { alpha : float }
+
+let name = function
+  | Poisson -> "poisson"
+  | Pareto { alpha } -> Printf.sprintf "pareto(%.2f)" alpha
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "poisson" -> Ok Poisson
+  | "pareto" -> Ok (Pareto { alpha = 1.5 })
+  | s -> (
+      match Scanf.sscanf_opt s "pareto(%f)" (fun a -> a) with
+      | Some alpha when alpha > 1.0 -> Ok (Pareto { alpha })
+      | Some _ -> Error "pareto alpha must be > 1 (finite mean)"
+      | None -> Error (Printf.sprintf "unknown arrival process %S" s))
+
+let validate = function
+  | Poisson -> ()
+  | Pareto { alpha } ->
+      if alpha <= 1.0 then
+        invalid_arg "Arrivals: pareto alpha must be > 1 (finite mean)"
+
+let draw_gap process ~rate rng =
+  match process with
+  | Poisson -> Prng.exponential rng rate
+  | Pareto { alpha } ->
+      (* Inverse-CDF draw: x_m * u^(-1/alpha), u uniform on (0, 1].
+         x_m chosen so the mean x_m * alpha/(alpha-1) is exactly
+         1/rate — equal offered load across processes. *)
+      let xm = (alpha -. 1.0) /. (alpha *. rate) in
+      let u = 1.0 -. Prng.float rng 1.0 in
+      xm *. (u ** (-1.0 /. alpha))
+
+let interarrivals process ~rate ~n ~seed =
+  if rate <= 0.0 then invalid_arg "Arrivals.interarrivals: rate <= 0";
+  if n < 0 then invalid_arg "Arrivals.interarrivals: negative n";
+  validate process;
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> draw_gap process ~rate rng)
+
+let arrivals process ~rate ~n ~seed =
+  let gaps = interarrivals process ~rate ~n ~seed in
+  let t = ref 0.0 in
+  Array.map
+    (fun g ->
+      t := !t +. g;
+      !t)
+    gaps
+
+let mean a =
+  match Array.length a with
+  | 0 -> Float.nan
+  | n -> Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+(* Max gap over median gap: ~10 for exponential samples of a few
+   thousand, orders of magnitude more for heavy tails — the statistic
+   the sanity tests separate the two processes on. *)
+let tail_ratio gaps =
+  match Array.length gaps with
+  | 0 -> Float.nan
+  | n ->
+      let sorted = Array.copy gaps in
+      Array.sort compare sorted;
+      let median = sorted.(n / 2) in
+      let max = sorted.(n - 1) in
+      if median <= 0.0 then Float.infinity else max /. median

@@ -1,0 +1,41 @@
+(** Open-loop arrival processes for the serving load harness
+    ({!Taqp_net.Load}, [bench --serve]): submission instants are drawn
+    in advance from a seeded process, so offered load is independent
+    of how fast the server answers — the open-loop discipline that
+    exposes queue collapse instead of masking it.
+
+    Both processes are normalized to mean gap [1/rate], so cells that
+    differ only in the process compare at equal offered load. *)
+
+type process =
+  | Poisson  (** exponential gaps — the memoryless baseline *)
+  | Pareto of { alpha : float }
+      (** heavy-tailed gaps, density ~ x^-(alpha+1) above the scale
+          point; [alpha] in (1, 2] gives a finite mean but infinite
+          variance — bursty arrivals that stress admission control.
+          Must be > 1. *)
+
+val name : process -> string
+(** ["poisson"] or ["pareto(1.50)"]. *)
+
+val of_string : string -> (process, string) result
+(** Parses ["poisson"], ["pareto"] (alpha 1.5) or ["pareto(A)"]. *)
+
+val interarrivals :
+  process -> rate:float -> n:int -> seed:int -> float array
+(** [n] gaps with mean [1/rate], drawn from one [Prng.create seed]
+    stream in order — equal arguments replay the identical schedule.
+    @raise Invalid_argument on [rate <= 0], negative [n] or a Pareto
+    alpha at or below 1. *)
+
+val arrivals : process -> rate:float -> n:int -> seed:int -> float array
+(** Cumulative sums of {!interarrivals}: absolute submission instants
+    starting after 0. *)
+
+val mean : float array -> float
+(** Sample mean ([nan] when empty). *)
+
+val tail_ratio : float array -> float
+(** Max gap over median gap — a scale-free burstiness statistic: ~10
+    for exponential samples, orders of magnitude larger for heavy
+    tails. *)

@@ -1,0 +1,660 @@
+(* taqp_net: the socket front door.
+
+   The load-bearing property mirrors test_sched's: a drain-gated
+   server fed a job schedule over real sockets must produce reports
+   bit-identical to Scheduler.run over the same job list — the wire is
+   transport, never semantics. On top of that anchor: total decoding
+   (garbage closes connections, never crashes), door-level quota and
+   depth rejection pricing, and kill-and-recover replaying journaled
+   completions byte-for-byte. *)
+
+module Wire = Taqp_net.Wire
+module Token_bucket = Taqp_net.Token_bucket
+module Backpressure = Taqp_net.Backpressure
+module Server = Taqp_net.Server
+module Client = Taqp_net.Client
+module Load = Taqp_net.Load
+module Job = Taqp_sched.Job
+module Admission = Taqp_sched.Admission
+module Scheduler = Taqp_sched.Scheduler
+module Engine = Taqp_sched.Engine
+module Sched_journal = Taqp_sched.Sched_journal
+module Journal = Taqp_recover.Journal
+module Fault_plan = Taqp_fault.Fault_plan
+module Injector = Taqp_fault.Injector
+module Paper_setup = Taqp_workload.Paper_setup
+module Arrivals = Taqp_workload.Arrivals
+module Ra = Taqp_relational.Ra
+
+let checkb = Fixtures.checkb
+let checki = Fixtures.checki
+let checkf = Fixtures.checkf
+let checks = Alcotest.check Alcotest.string
+
+let tmp stem =
+  Filename.temp_file ("taqp_net_" ^ stem) ".journal"
+
+let cleanup paths =
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+
+let sample_done =
+  {
+    Sched_journal.d_id = 7;
+    d_label = "q7";
+    d_outcome = "completed";
+    d_admitted = true;
+    d_degraded = false;
+    d_missed = false;
+    d_lateness = -0.75;
+    d_queue_wait = 0.125;
+    d_finished_at = 3.25;
+    d_service = 1.5;
+    d_steps = 12;
+    d_preemptions = 2;
+    d_estimate = Some 421.0;
+    d_now = 3.25;
+  }
+
+let sample_summary =
+  {
+    Engine.submitted = 9;
+    admitted = 7;
+    degraded = 1;
+    rejected = 2;
+    expired = 1;
+    completed = 6;
+    missed = 2;
+    miss_rate = 2.0 /. 9.0;
+    lateness_p50 = 0.0;
+    lateness_p99 = 1.5;
+    lateness_p999 = 1.5;
+    max_lateness = 1.5;
+    mean_queue_wait = 0.25;
+    makespan = 17.5;
+    busy_time = 12.0;
+    preemptions = 4;
+  }
+
+let every_message =
+  [
+    Wire.Submit { line = "0.5 | 3 | count(select(r, sel < 10)) | seed=3" };
+    Wire.Status;
+    Wire.Fetch { job_id = 42 };
+    Wire.Cancel { job_id = 0 };
+    Wire.Drain;
+    Wire.Hello { now = 1.5; max_pending = 4096; draining = false };
+    Wire.Queued { job_id = 3; arrival = 1.0; deadline = 2.5 };
+    Wire.Rejected { job_id = None; reason = "quota"; retry_after = 0.25 };
+    Wire.Rejected
+      { job_id = Some 9; reason = "queue_full"; retry_after = 1.75 };
+    Wire.Result sample_done;
+    Wire.Status_ok
+      {
+        now = 2.0;
+        live = 3;
+        pending = 4;
+        backlog = 6.5;
+        terminal = 11;
+        draining = true;
+      };
+    Wire.Cancelled { job_id = 5; state = "pending" };
+    Wire.Pending { job_id = 6; state = "queued" };
+    Wire.Drain_done sample_summary;
+    Wire.Error { message = "unexpected message" };
+  ]
+
+let test_wire_roundtrip_every_tag () =
+  List.iter
+    (fun msg ->
+      match Wire.decode (Wire.encode msg) with
+      | Ok msg' ->
+          checkb (Wire.tag_name msg ^ " round-trips") true (msg = msg')
+      | Error e -> Alcotest.failf "%s failed: %s" (Wire.tag_name msg) e)
+    every_message
+
+let test_wire_decode_total () =
+  List.iter
+    (fun s ->
+      match Wire.decode s with
+      | Error _ -> ()
+      | Ok m ->
+          Alcotest.failf "garbage decoded to %s" (Wire.tag_name m))
+    [ ""; "\x00"; "\xff\xff\xff\xff"; String.make 64 '\xAB' ];
+  (* truncating any strict prefix of a valid payload must error, never
+     raise *)
+  let payload = Wire.encode (Wire.Result sample_done) in
+  for len = 0 to String.length payload - 1 do
+    match Wire.decode (String.sub payload 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncation at %d decoded" len
+  done
+
+let test_wire_qcheck_submit_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:200 ~name:"submit lines round-trip"
+       QCheck.(string_of_size Gen.(0 -- 512))
+       (fun line ->
+         Wire.decode (Wire.encode (Wire.Submit { line }))
+         = Ok (Wire.Submit { line })))
+
+(* Feed a multi-frame stream through the reader at every chunk size:
+   reassembly must be insensitive to packet boundaries. *)
+let test_reader_reassembly () =
+  let payloads = List.map Wire.encode every_message in
+  let stream = String.concat "" (List.map Wire.frame payloads) in
+  List.iter
+    (fun chunk ->
+      let rd = Wire.reader () in
+      let got = ref [] in
+      let off = ref 0 in
+      while !off < String.length stream do
+        let n = Int.min chunk (String.length stream - !off) in
+        Wire.feed rd (Bytes.of_string (String.sub stream !off n)) n;
+        off := !off + n;
+        let rec drain () =
+          match Wire.next rd with
+          | Ok (Some p) ->
+              got := p :: !got;
+              drain ()
+          | Ok None -> ()
+          | Error e -> Alcotest.failf "chunk %d: framing error %s" chunk e
+        in
+        drain ()
+      done;
+      checkb
+        (Printf.sprintf "chunk size %d reassembles" chunk)
+        true
+        (List.rev !got = payloads))
+    [ 1; 2; 3; 7; 16; 4096 ]
+
+let test_reader_torn_and_corrupt () =
+  let payload = Wire.encode Wire.Status in
+  let frame = Wire.frame payload in
+  (* torn: all but the last byte pends, never errors *)
+  let rd = Wire.reader () in
+  let torn = String.sub frame 0 (String.length frame - 1) in
+  Wire.feed rd (Bytes.of_string torn) (String.length torn);
+  checkb "torn frame pends" true (Wire.next rd = Ok None);
+  Wire.feed rd (Bytes.of_string (String.sub frame (String.length frame - 1) 1)) 1;
+  checkb "completed frame pops" true (Wire.next rd = Ok (Some payload));
+  (* corrupt payload byte: CRC must catch it *)
+  let corrupt = Bytes.of_string frame in
+  Bytes.set corrupt (String.length frame - 1)
+    (Char.chr (Char.code (Bytes.get corrupt (String.length frame - 1)) lxor 1));
+  let rd = Wire.reader () in
+  Wire.feed rd corrupt (Bytes.length corrupt);
+  checkb "corrupt frame errors" true
+    (match Wire.next rd with Error _ -> true | Ok _ -> false);
+  (* an oversized length header is rejected before buffering the body *)
+  let big = Bytes.create 8 in
+  Bytes.set_int32_le big 0 (Int32.of_int (Wire.max_frame + 1));
+  Bytes.set_int32_le big 4 0l;
+  let rd = Wire.reader () in
+  Wire.feed rd big 8;
+  checkb "oversized length errors" true
+    (match Wire.next rd with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Token bucket and pricing                                            *)
+
+let test_token_bucket () =
+  let b = Token_bucket.create ~capacity:2.0 ~refill:0.5 ~now:0.0 in
+  checkb "starts full" true (Token_bucket.take b ~now:0.0 ~cost:1.0 = `Ok);
+  checkb "second take ok" true (Token_bucket.take b ~now:0.0 ~cost:1.0 = `Ok);
+  (match Token_bucket.take b ~now:0.0 ~cost:1.0 with
+  | `Ok -> Alcotest.fail "empty bucket granted a token"
+  | `Wait w -> checkf "wait prices the refill shortfall" 2.0 w);
+  (* virtual time refills lazily *)
+  checkb "refilled after 2s" true (Token_bucket.take b ~now:2.0 ~cost:1.0 = `Ok);
+  (* refill never exceeds capacity *)
+  let b = Token_bucket.create ~capacity:2.0 ~refill:0.5 ~now:0.0 in
+  checkf "level capped" 2.0 (Token_bucket.level b ~now:1000.0);
+  let frozen = Token_bucket.create ~capacity:1.0 ~refill:0.0 ~now:0.0 in
+  ignore (Token_bucket.take frozen ~now:0.0 ~cost:1.0);
+  checkb "zero refill waits forever" true
+    (match Token_bucket.take frozen ~now:0.0 ~cost:1.0 with
+    | `Wait w -> w = infinity
+    | `Ok -> false)
+
+let test_backpressure_pricing () =
+  checkf "draining is free to retry" 0.0 Backpressure.draining;
+  checkf "quota reject prices the refill wait" 0.25
+    (Backpressure.quota ~wait:0.25);
+  checkf "queue-full prices one backlog slot, scaled by headroom" 4.5
+    (Backpressure.admission
+       ~reason:(Admission.Queue_full { limit = 4 })
+       ~backlog:12.0 ~queue_len:4 ~headroom:1.5);
+  checkf "infeasible prices the missing slack" 2.25
+    (Backpressure.admission
+       ~reason:(Admission.Infeasible { needed = 2.5; available = 1.0 })
+       ~backlog:0.0 ~queue_len:0 ~headroom:1.5);
+  checkf "zero-slack is free to retry" 0.0
+    (Backpressure.admission ~reason:Admission.Zero_slack ~backlog:9.0
+       ~queue_len:3 ~headroom:1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Socket end-to-end                                                   *)
+
+let wl = lazy (Paper_setup.selection ~spec:(Fixtures.spec ~n_tuples:300 ()) ~seed:5 ())
+
+(* A small schedule with enough contention that EDF has to preempt;
+   offsets are what goes on the wire, the absolute job list is what
+   the batch anchor runs. *)
+let job_lines =
+  lazy
+    (let wl = Lazy.force wl in
+     let q = Ra.to_string wl.Paper_setup.query in
+     List.mapi
+       (fun i (arr, dl) ->
+         Printf.sprintf "%g | %g | %s | seed=%d,label=net%d" arr dl q (i + 3) i)
+       [ (0.0, 2.5); (0.1, 1.2); (0.2, 4.0); (0.35, 1.5); (0.5, 6.0) ])
+
+let batch_jobs () =
+  let wl = Lazy.force wl in
+  List.mapi
+    (fun id line ->
+      match Job.of_line ~catalog:wl.Paper_setup.catalog ~id line with
+      | Ok (Some j) -> j
+      | Ok None | Error _ -> Alcotest.failf "fixture line %d unparseable" id)
+    (Lazy.force job_lines)
+
+let spawn_server ?journal_path ?faults ?recover ?downtime ?admission
+    ?(gate = `Drain) ?max_pending ?quota_capacity ?quota_refill () =
+  let wl = Lazy.force wl in
+  let server =
+    Server.create ?journal_path ?faults ?recover ?downtime ?admission
+      ?max_pending ?quota_capacity ?quota_refill ~gate
+      ~catalog:wl.Paper_setup.catalog ~config:Taqp_core.Config.default ~port:0
+      ()
+  in
+  let domain =
+    Domain.spawn (fun () ->
+        match Server.run server with
+        | stats -> Ok stats
+        | exception Injector.Crashed { at; _ } ->
+            Server.shutdown server;
+            Error at
+        | exception e ->
+            (* leave no fds behind even on an unexpected death, or the
+               in-process client blocks instead of failing the test *)
+            Server.shutdown server;
+            raise e)
+  in
+  (server, domain)
+
+let summary_fingerprint (s : Engine.summary) =
+  Fmt.str "%d/%d/%d/%d/%d/%d/%d|%.17g|%.17g %.17g %.17g %.17g|%.17g|%.17g %.17g|%d"
+    s.Engine.submitted s.Engine.admitted s.Engine.degraded s.Engine.rejected
+    s.Engine.expired s.Engine.completed s.Engine.missed s.Engine.miss_rate
+    s.Engine.lateness_p50 s.Engine.lateness_p99 s.Engine.lateness_p999
+    s.Engine.max_lateness s.Engine.mean_queue_wait s.Engine.makespan
+    s.Engine.busy_time s.Engine.preemptions
+
+(* The anchor: submitting the schedule over sockets against a
+   drain-gated server reproduces Scheduler.run bit-for-bit — summary
+   and every per-job terminal record. *)
+let test_socket_matches_batch () =
+  let batch = Scheduler.run (batch_jobs ()) in
+  let server, domain = spawn_server () in
+  let c = Client.connect ~port:(Server.port server) in
+  let now, max_pending, draining = Client.hello c in
+  checkf "virtual clock frozen at connect" 0.0 now;
+  checki "hello advertises max_pending" 4096 max_pending;
+  checkb "not draining at connect" false draining;
+  List.iteri
+    (fun i line ->
+      match Client.submit c line with
+      | `Queued (id, _, _) -> checki "ids assigned in submit order" i id
+      | `Rejected (reason, _) -> Alcotest.failf "fixture rejected: %s" reason)
+    (Lazy.force job_lines);
+  let summary = Client.drain c in
+  let pushes = Client.pushes c in
+  checks "socket summary == batch summary"
+    (summary_fingerprint batch.Scheduler.summary)
+    (summary_fingerprint summary);
+  let batch_records =
+    List.map Engine.to_done_record batch.Scheduler.reports
+  in
+  let socket_records =
+    List.filter_map
+      (function Client.Finished d -> Some d | Client.Refused _ -> None)
+      pushes
+    |> List.sort (fun (a : Sched_journal.done_record) b ->
+           compare a.Sched_journal.d_id b.Sched_journal.d_id)
+  in
+  checki "every job pushed a terminal record" (List.length batch_records)
+    (List.length socket_records);
+  List.iter2
+    (fun (b : Sched_journal.done_record) s ->
+      checks
+        (Printf.sprintf "job %d record is wire-identical" b.Sched_journal.d_id)
+        (Wire.frame_message (Wire.Result b))
+        (Wire.frame_message (Wire.Result s)))
+    batch_records socket_records;
+  Client.close c;
+  match Domain.join domain with
+  | Ok stats ->
+      checks "server-side summary agrees"
+        (summary_fingerprint batch.Scheduler.summary)
+        (summary_fingerprint stats.Server.summary);
+      checki "no door rejects" 0 stats.Server.door_rejects
+  | Error _ -> Alcotest.fail "server crashed"
+
+(* Admission rejections surface as priced REJECT pushes carrying the
+   engine-assigned id, and max_live respects the admission queue bound. *)
+let test_socket_admission_rejects () =
+  let admission = { Admission.max_queue = Some 1; headroom = 1.0 } in
+  let batch = Scheduler.run ~admission (batch_jobs ()) in
+  let rejected_batch =
+    List.filter
+      (fun (r : Engine.job_report) ->
+        match r.Engine.outcome with Engine.Rejected _ -> true | _ -> false)
+      batch.Scheduler.reports
+  in
+  checkb "fixture provokes admission rejects" true (rejected_batch <> []);
+  let server, domain = spawn_server ~admission () in
+  let c = Client.connect ~port:(Server.port server) in
+  List.iter
+    (fun line ->
+      match Client.submit c line with
+      | `Queued _ -> ()
+      | `Rejected (reason, _) ->
+          Alcotest.failf "door rejected what admission should rule on: %s"
+            reason)
+    (Lazy.force job_lines);
+  ignore (Client.drain c);
+  let refused =
+    List.filter_map
+      (function
+        | Client.Refused { job_id; retry_after; _ } ->
+            Some (job_id, retry_after)
+        | Client.Finished _ -> None)
+      (Client.pushes c)
+  in
+  checki "wire rejects == batch rejects" (List.length rejected_batch)
+    (List.length refused);
+  List.iter
+    (fun (_, retry_after) ->
+      (* zero is an honest price — the live job has consumed its whole
+         reservation, so the slot is about to free *)
+      checkb "queue-full retry_after is finite and non-negative" true
+        (retry_after >= 0.0 && retry_after < infinity))
+    refused;
+  Client.close c;
+  match Domain.join domain with
+  | Ok stats ->
+      checkb "live set never exceeded max_queue" true (stats.Server.max_live <= 1)
+  | Error _ -> Alcotest.fail "server crashed"
+
+let test_quota_exhaustion () =
+  (* capacity 2, no refill, and the clock is frozen pre-drain: the
+     third submit must bounce with the priced infinite backoff. *)
+  let server, domain =
+    spawn_server ~quota_capacity:2.0 ~quota_refill:0.0 ()
+  in
+  let c = Client.connect ~port:(Server.port server) in
+  let lines = Lazy.force job_lines in
+  let submit i = Client.submit c (List.nth lines i) in
+  (match (submit 0, submit 1) with
+  | `Queued _, `Queued _ -> ()
+  | _ -> Alcotest.fail "quota capacity not honoured");
+  (match submit 2 with
+  | `Rejected (reason, retry_after) ->
+      checks "door names the quota" "quota" reason;
+      checkb "zero refill prices an infinite backoff" true
+        (retry_after = infinity)
+  | `Queued _ -> Alcotest.fail "third submit slipped past the quota");
+  ignore (Client.drain c);
+  Client.close c;
+  match Domain.join domain with
+  | Ok stats ->
+      checki "exactly one door reject" 1 stats.Server.door_rejects;
+      checki "engine only saw the admitted two" 2
+        stats.Server.summary.Engine.submitted
+  | Error _ -> Alcotest.fail "server crashed"
+
+let test_depth_overload () =
+  let server, domain = spawn_server ~max_pending:2 () in
+  let c = Client.connect ~port:(Server.port server) in
+  let lines = Lazy.force job_lines in
+  ignore (Client.submit c (List.nth lines 0));
+  ignore (Client.submit c (List.nth lines 1));
+  (match Client.submit c (List.nth lines 2) with
+  | `Rejected (reason, retry_after) ->
+      checks "door names the overload" "overloaded" reason;
+      checkb "overload backoff is non-negative" true (retry_after >= 0.0)
+  | `Queued _ -> Alcotest.fail "submit slipped past --max-pending");
+  ignore (Client.drain c);
+  Client.close c;
+  ignore (Domain.join domain)
+
+let test_parse_reject_and_status () =
+  let server, domain = spawn_server () in
+  let c = Client.connect ~port:(Server.port server) in
+  (match Client.submit c "not a job line at all" with
+  | `Rejected (reason, _) ->
+      checkb "parse failures name the parser" true
+        (String.length reason >= 6 && String.sub reason 0 6 = "parse:")
+  | `Queued _ -> Alcotest.fail "garbage line queued");
+  (match Client.submit c (List.nth (Lazy.force job_lines) 0) with
+  | `Queued (id, _, _) ->
+      let _, live, pending, _, _, _ = Client.status c in
+      checki "submitted job is pending behind the gate" 1 (live + pending);
+      checks "cancel pending" "pending" (Client.cancel c ~job_id:id);
+      checks "cancel unknown id" "unknown" (Client.cancel c ~job_id:999)
+  | `Rejected _ -> Alcotest.fail "fixture line rejected");
+  ignore (Client.drain c);
+  Client.close c;
+  ignore (Domain.join domain)
+
+let test_garbage_closes_connection () =
+  let server, domain = spawn_server () in
+  (* a valid handshake followed by framing garbage: the server answers
+     ERROR and hangs up; the next client is unaffected *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  let garbage = Wire.magic ^ String.make 64 '\xFF' in
+  ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+  let buf = Bytes.create 4096 in
+  let rec read_to_eof saw =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> saw
+    | n -> read_to_eof (saw ^ Bytes.sub_string buf 0 n)
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> saw
+  in
+  let answer = read_to_eof "" in
+  checkb "server answered before hanging up" true (String.length answer > 0);
+  Unix.close fd;
+  (* bad magic: closed without ceremony *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  ignore (Unix.write_substring fd "NOTMAGIC" 0 8);
+  checki "bad magic closed" 0
+    (try Unix.read fd buf 0 (Bytes.length buf)
+     with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0);
+  Unix.close fd;
+  (* the server is still serving *)
+  let c = Client.connect ~port:(Server.port server) in
+  ignore (Client.drain c);
+  Client.close c;
+  ignore (Domain.join domain)
+
+(* Kill-and-recover across the wire: journaled completions replay
+   byte-identically to the no-crash run, the remainder re-runs, and
+   the merged DRAIN_DONE covers every job exactly once. *)
+let test_crash_recover_replay () =
+  (* the baseline must journal too: journal writes are charged to the
+     shared clock, so a journal-free run has different timings *)
+  let j0 = tmp "baseline" and j1 = tmp "crash" and j2 = tmp "rerun" in
+  let w = Journal.create j0 in
+  let batch = Scheduler.run ~journal:w (batch_jobs ()) in
+  Journal.close w;
+  let crash_at = 0.6 *. batch.Scheduler.summary.Engine.makespan in
+  let faults =
+    Injector.create ~seed:3 (Fault_plan.make [ Fault_plan.crash_at crash_at ])
+  in
+  let server, domain = spawn_server ~journal_path:j1 ~faults () in
+  let c = Client.connect ~port:(Server.port server) in
+  List.iter
+    (fun line -> ignore (Client.submit c line))
+    (Lazy.force job_lines);
+  (match Client.drain c with
+  | _ -> Alcotest.fail "the crash fault never fired"
+  | exception (Client.Server_closed | Client.Protocol_error _) -> ());
+  Client.close c;
+  (match Domain.join domain with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "server survived its kill");
+  let { Sched_journal.records; torn } =
+    match Sched_journal.load j1 with Ok l -> l | Error m -> failwith m
+  in
+  checkb "crash journal readable" true (torn = None);
+  let journaled_ids =
+    List.filter_map
+      (function
+        | Sched_journal.Done d -> Some d.Sched_journal.d_id | _ -> None)
+      records
+  in
+  checkb "some jobs finished before the kill" true (journaled_ids <> []);
+  checkb "some jobs were still open at the kill" true
+    (List.length journaled_ids < List.length (Lazy.force job_lines));
+  let server, domain =
+    spawn_server ~journal_path:j2 ~recover:records ~downtime:1.0 ()
+  in
+  let c = Client.connect ~port:(Server.port server) in
+  (* journaled completions answer immediately and verbatim *)
+  let batch_records = List.map Engine.to_done_record batch.Scheduler.reports in
+  List.iter
+    (fun id ->
+      match Client.fetch c ~job_id:id with
+      | `Result d ->
+          let b = List.find (fun r -> r.Sched_journal.d_id = id) batch_records in
+          checks
+            (Printf.sprintf "journaled job %d replays byte-identically" id)
+            (Wire.frame_message (Wire.Result b))
+            (Wire.frame_message (Wire.Result d))
+      | `Pending s ->
+          Alcotest.failf "journaled job %d still %s after recovery" id s)
+    journaled_ids;
+  (* re-admitted jobs belong to the dead connection, so their terminal
+     records are not pushed to the reconnecting client — but the
+     recovered server runs them eagerly, and each answers FETCH once
+     its virtual run completes *)
+  let remaining =
+    List.filter
+      (fun id -> not (List.mem id journaled_ids))
+      (List.init (List.length (Lazy.force job_lines)) Fun.id)
+  in
+  List.iter
+    (fun id ->
+      let rec poll tries =
+        match Client.fetch c ~job_id:id with
+        | `Result _ -> ()
+        | `Pending _ when tries > 0 ->
+            Unix.sleepf 0.01;
+            poll (tries - 1)
+        | `Pending s ->
+            Alcotest.failf "re-admitted job %d still %s after recovery" id s
+      in
+      poll 500)
+    remaining;
+  let summary = Client.drain c in
+  checki "merged summary covers every job"
+    (List.length (Lazy.force job_lines))
+    summary.Engine.submitted;
+  Client.close c;
+  (match Domain.join domain with
+  | Ok stats ->
+      checki "stats carry the journaled records"
+        (List.length journaled_ids)
+        (List.length stats.Server.journaled)
+  | Error _ -> Alcotest.fail "recovered server crashed");
+  cleanup [ j0; j1; j2 ]
+
+(* The open-loop harness against a drain-gated server is the same
+   anchor one level up: schedule in, batch-identical accounting out. *)
+let test_load_harness_matches_batch () =
+  let wl = Lazy.force wl in
+  let q = Ra.to_string wl.Paper_setup.query in
+  let process = Arrivals.Poisson and rate = 2.0 and n = 8 and seed = 11 in
+  let offsets = Arrivals.arrivals process ~rate ~n ~seed in
+  let make_line ~index ~offset =
+    Printf.sprintf "%.17g | %.17g | %s | seed=%d,label=load%d" offset
+      (offset +. 1.5) q (index + 1) index
+  in
+  let jobs =
+    Array.to_list
+      (Array.mapi
+         (fun id offset ->
+           match
+             Job.of_line ~catalog:wl.Paper_setup.catalog ~id
+               (make_line ~index:id ~offset)
+           with
+           | Ok (Some j) -> j
+           | _ -> Alcotest.fail "harness line unparseable")
+         offsets)
+  in
+  let batch = Scheduler.run jobs in
+  let server, domain = spawn_server ~quota_capacity:(float_of_int n) () in
+  let out =
+    Load.run ~port:(Server.port server) ~process ~rate ~n ~seed ~clients:3
+      ~make_line
+  in
+  checks "harness summary == batch summary"
+    (summary_fingerprint batch.Scheduler.summary)
+    (summary_fingerprint out.Load.summary);
+  checki "every submission queued" n
+    (List.length
+       (List.filter
+          (fun s ->
+            match s.Load.disposition with
+            | Load.Queued _ -> true
+            | Load.Door_rejected _ -> false)
+          out.Load.submissions));
+  checki "every job finished" n (List.length out.Load.finished);
+  ignore (Domain.join domain)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "every tag round-trips" `Quick
+            test_wire_roundtrip_every_tag;
+          Alcotest.test_case "decoding is total" `Quick test_wire_decode_total;
+          Alcotest.test_case "qcheck submit round-trip" `Quick
+            test_wire_qcheck_submit_roundtrip;
+          Alcotest.test_case "reader reassembles at any boundary" `Quick
+            test_reader_reassembly;
+          Alcotest.test_case "torn and corrupt frames" `Quick
+            test_reader_torn_and_corrupt;
+        ] );
+      ( "door",
+        [
+          Alcotest.test_case "token bucket" `Quick test_token_bucket;
+          Alcotest.test_case "backpressure pricing" `Quick
+            test_backpressure_pricing;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "drain-gated run == Scheduler.run" `Quick
+            test_socket_matches_batch;
+          Alcotest.test_case "admission rejects priced over the wire" `Quick
+            test_socket_admission_rejects;
+          Alcotest.test_case "quota exhaustion" `Quick test_quota_exhaustion;
+          Alcotest.test_case "depth overload" `Quick test_depth_overload;
+          Alcotest.test_case "parse reject, status, cancel" `Quick
+            test_parse_reject_and_status;
+          Alcotest.test_case "garbage closes the connection" `Quick
+            test_garbage_closes_connection;
+          Alcotest.test_case "kill and recover replays verbatim" `Quick
+            test_crash_recover_replay;
+          Alcotest.test_case "load harness == Scheduler.run" `Quick
+            test_load_harness_matches_batch;
+        ] );
+    ]

@@ -662,7 +662,9 @@ let test_sched_journaled_run_complete () =
         List.filter_map
           (function
             | Sched_journal.Done d -> Some d.Sched_journal.d_id
-            | Sched_journal.Admitted _ | Sched_journal.Progress _ -> None)
+            | Sched_journal.Admitted _ | Sched_journal.Progress _
+            | Sched_journal.Submitted _ ->
+                None)
           records
       in
       List.iter

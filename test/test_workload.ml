@@ -99,6 +99,93 @@ let test_union_workload () =
   (* sel < 60 plus sel >= 160: 60 + 40 = 100 *)
   checki "disjoint union" 100 wl.Paper_setup.exact
 
+(* ------------------------------------------------------------------ *)
+(* Arrival processes (the open-loop serving harness)                   *)
+
+module Arrivals = Taqp_workload.Arrivals
+
+let checkf = Fixtures.checkf
+
+let test_arrivals_deterministic_per_seed () =
+  List.iter
+    (fun process ->
+      let a = Arrivals.interarrivals process ~rate:3.0 ~n:64 ~seed:9 in
+      let b = Arrivals.interarrivals process ~rate:3.0 ~n:64 ~seed:9 in
+      checkb (Arrivals.name process ^ " replays per seed") true (a = b);
+      let c = Arrivals.interarrivals process ~rate:3.0 ~n:64 ~seed:10 in
+      checkb (Arrivals.name process ^ " differs across seeds") true (a <> c))
+    [ Arrivals.Poisson; Arrivals.Pareto { alpha = 1.5 } ]
+
+(* Both processes are normalized to mean 1/rate; across seeds the
+   grand sample mean must land near it. Pareto at alpha=2.5 has finite
+   variance, so the bound can stay reasonably tight. *)
+let test_arrivals_mean_sanity () =
+  List.iter
+    (fun process ->
+      let total = ref 0.0 and count = ref 0 in
+      for seed = 1 to 30 do
+        let gaps = Arrivals.interarrivals process ~rate:4.0 ~n:400 ~seed in
+        Array.iter (fun g -> total := !total +. g) gaps;
+        count := !count + Array.length gaps
+      done;
+      let mean = !total /. float_of_int !count in
+      checkb
+        (Printf.sprintf "%s grand mean %.4f within 10%% of 0.25"
+           (Arrivals.name process) mean)
+        true
+        (Float.abs (mean -. 0.25) < 0.025))
+    [ Arrivals.Poisson; Arrivals.Pareto { alpha = 2.5 } ]
+
+(* Heavy tails must actually show up: the median tail_ratio of Pareto
+   (alpha 1.2) schedules dominates the exponential's by a wide margin. *)
+let test_arrivals_tail_separation () =
+  let median_tail process =
+    let ratios =
+      List.init 20 (fun seed ->
+          Arrivals.tail_ratio
+            (Arrivals.interarrivals process ~rate:1.0 ~n:500 ~seed:(seed + 1)))
+      |> List.sort compare
+    in
+    List.nth ratios 10
+  in
+  let poisson = median_tail Arrivals.Poisson in
+  let pareto = median_tail (Arrivals.Pareto { alpha = 1.2 }) in
+  checkb
+    (Printf.sprintf "pareto median tail %.1f >> poisson %.1f" pareto poisson)
+    true
+    (pareto > 3.0 *. poisson)
+
+let test_arrivals_cumsum_and_parse () =
+  let gaps = Arrivals.interarrivals Arrivals.Poisson ~rate:2.0 ~n:16 ~seed:3 in
+  let times = Arrivals.arrivals Arrivals.Poisson ~rate:2.0 ~n:16 ~seed:3 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i g ->
+      acc := !acc +. g;
+      checkf (Printf.sprintf "cumsum at %d" i) !acc times.(i))
+    gaps;
+  checkb "strictly increasing" true
+    (Array.for_all Fun.id
+       (Array.mapi (fun i t -> i = 0 || t > times.(i - 1)) times));
+  checkb "poisson parses" true (Arrivals.of_string "poisson" = Ok Arrivals.Poisson);
+  checkb "pareto defaults alpha" true
+    (match Arrivals.of_string "pareto" with
+    | Ok (Arrivals.Pareto { alpha }) -> alpha = 1.5
+    | _ -> false);
+  checkb "pareto takes alpha" true
+    (match Arrivals.of_string "pareto(1.25)" with
+    | Ok (Arrivals.Pareto { alpha }) -> alpha = 1.25
+    | _ -> false);
+  checkb "name round-trips" true
+    (Arrivals.of_string (Arrivals.name (Arrivals.Pareto { alpha = 1.75 }))
+    = Ok (Arrivals.Pareto { alpha = 1.75 }));
+  checkb "alpha at 1 refused" true
+    (match Arrivals.of_string "pareto(1.0)" with Error _ -> true | Ok _ -> false);
+  checkb "bad rate raises" true
+    (match Arrivals.interarrivals Arrivals.Poisson ~rate:0.0 ~n:4 ~seed:1 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "workload"
     [
@@ -121,5 +208,15 @@ let () =
           Alcotest.test_case "skewed projection" `Quick test_projection_skewed_workload;
           Alcotest.test_case "select-join" `Quick test_select_join_workload;
           Alcotest.test_case "union" `Quick test_union_workload;
+        ] );
+      ( "arrivals",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_arrivals_deterministic_per_seed;
+          Alcotest.test_case "mean sanity" `Quick test_arrivals_mean_sanity;
+          Alcotest.test_case "heavy-tail separation" `Quick
+            test_arrivals_tail_separation;
+          Alcotest.test_case "cumsum and parsing" `Quick
+            test_arrivals_cumsum_and_parse;
         ] );
     ]
