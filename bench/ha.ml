@@ -1,0 +1,432 @@
+(* BENCH_ha.json: the replicated serving tier under backend loss.
+
+   Three experiments, one file:
+
+   1. Anchor — a 1-backend in-process cluster fed the same job list as
+      a direct journaled [Scheduler.run] must reproduce it byte for
+      byte: every terminal record identical as a framed RESULT, the
+      summary identical as JSON. The balancer is routing, never
+      semantics.
+
+   2. Failover — a 3-backend cluster at the hottest arrival rate from
+      BENCH_serve, with backend 0 shot mid-serve. With failover on,
+      the dead backend's journaled unfinished jobs migrate to
+      survivors (downtime charged against their slack); with failover
+      off each is written off as lost. The headline assertion: at
+      equal offered load and an identical kill point, failover-on
+      strictly cuts the deadline-miss rate — and every terminal
+      replayed from the dead journal is byte-identical to its live
+      push.
+
+   3. Chaos — the multi-process path: a [Balancer.Proxy] over three
+      real [Server] processes (on domains), open-loop load from
+      [Taqp_net.Load] with the chaos hook killing one backend
+      mid-schedule. The tier must keep serving: exactly one death,
+      every queued job exactly one terminal verdict, no duplicates.
+
+   [write] exits non-zero when any headline claim fails — CI runs it
+   as a check, not a chart. *)
+
+module Config = Taqp_core.Config
+module Stopping = Taqp_timecontrol.Stopping
+module Generator = Taqp_workload.Generator
+module Paper_setup = Taqp_workload.Paper_setup
+module Arrivals = Taqp_workload.Arrivals
+module Catalog = Taqp_storage.Catalog
+module Prng = Taqp_rng.Prng
+module Json = Taqp_obs.Json
+module Ra = Taqp_relational.Ra
+module Job = Taqp_sched.Job
+module Admission = Taqp_sched.Admission
+module Engine = Taqp_sched.Engine
+module Scheduler = Taqp_sched.Scheduler
+module Sched_journal = Taqp_sched.Sched_journal
+module Journal = Taqp_recover.Journal
+module Wire = Taqp_net.Wire
+module Server = Taqp_net.Server
+module Load = Taqp_net.Load
+module Balancer = Taqp_net.Balancer
+
+let spec = { Generator.n_tuples = 2_000; tuple_bytes = 200; block_bytes = 1024 }
+
+(* Same three query classes as BENCH_serve: a merged catalog with
+   aliased relations, so the wire query text is semantically the
+   in-process scheduling bench's. *)
+let classes =
+  lazy
+    (let sel = Paper_setup.selection ~spec ~output:200 ~seed:301 () in
+     let join = Paper_setup.join ~spec ~seed:302 () in
+     let inter = Paper_setup.intersection ~spec ~overlap:500 ~seed:303 () in
+     let catalog = Catalog.create () in
+     Catalog.add catalog "sr" (Catalog.find sel.Paper_setup.catalog "r");
+     Catalog.add catalog "jr1" (Catalog.find join.Paper_setup.catalog "r1");
+     Catalog.add catalog "jr2" (Catalog.find join.Paper_setup.catalog "r2");
+     Catalog.add catalog "ir1" (Catalog.find inter.Paper_setup.catalog "r1");
+     Catalog.add catalog "ir2" (Catalog.find inter.Paper_setup.catalog "r2");
+     let module P = Taqp_relational.Predicate in
+     let lt a v = P.Cmp (P.Lt, P.Attr a, P.Const (Taqp_data.Value.Int v)) in
+     let eq a b = P.Cmp (P.Eq, P.Attr a, P.Attr b) in
+     let queries =
+       [|
+         ( "select",
+           Ra.Select (lt "sel" 200, Ra.relation ~alias:"r" "sr"),
+           4.0,
+           1,
+           None );
+         ( "join",
+           Ra.Join
+             ( eq "r1.key" "r2.key",
+               Ra.relation ~alias:"r1" "jr1",
+               Ra.relation ~alias:"r2" "jr2" ),
+           10.0,
+           2,
+           Some 0.02 );
+         ( "intersect",
+           Ra.Intersect
+             (Ra.relation ~alias:"r1" "ir1", Ra.relation ~alias:"r2" "ir2"),
+           25.0,
+           1,
+           None );
+       |]
+     in
+     (catalog, queries))
+
+let config =
+  {
+    Config.default with
+    Config.stopping = Stopping.Hard_deadline;
+    initial_selectivities =
+      { Config.no_initial_overrides with Config.join = Some 0.01 };
+  }
+
+let class_sequence ~n ~seed =
+  let _, queries = Lazy.force classes in
+  let rng = Prng.create seed in
+  Array.init n (fun _ -> Taqp_rng.Sample.choose rng queries)
+
+let job_line classes_drawn ~index ~arrival ~deadline =
+  let name, query, _, priority, min_rhw = classes_drawn.(index) in
+  let opts =
+    Printf.sprintf "priority=%d,seed=%d,label=%s-%d" priority (1000 + index)
+      name index
+    ^ match min_rhw with None -> "" | Some r -> Printf.sprintf ",min_rhw=%g" r
+  in
+  Printf.sprintf "%.17g | %.17g | %s | %s" arrival deadline
+    (Ra.to_string query) opts
+
+let slack_of classes_drawn index =
+  let _, _, slack, _, _ = classes_drawn.(index) in
+  slack
+
+let fresh_dir stem =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "taqp_ha_%s_%d" stem (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let cleanup_dir d =
+  (try
+     Sys.readdir d
+     |> Array.iter (fun f -> try Sys.remove (Filename.concat d f) with _ -> ())
+   with Sys_error _ -> ());
+  try Unix.rmdir d with Unix.Unix_error _ -> ()
+
+let result_frame d = Wire.frame_message (Wire.Result d)
+
+(* ------------------------------------------------------------------ *)
+(* 1. Anchor: 1-backend cluster == direct journaled Scheduler.run.    *)
+
+let anchor ~n ~seed =
+  let catalog, _ = Lazy.force classes in
+  let classes_drawn = class_sequence ~n ~seed in
+  let offsets = Arrivals.arrivals Arrivals.Poisson ~rate:(1.0 /. 6.0) ~n ~seed in
+  let lines =
+    Array.mapi
+      (fun i off ->
+        job_line classes_drawn ~index:i ~arrival:off
+          ~deadline:(off +. slack_of classes_drawn i))
+      offsets
+  in
+  (* Baseline journals too: journal writes are charged to the shared
+     clock, so only a journaled run is comparable bit-for-bit. *)
+  let jpath = Filename.temp_file "taqp_ha_anchor" ".journal" in
+  let w = Journal.create jpath in
+  let jobs =
+    Array.to_list
+      (Array.mapi
+         (fun id line ->
+           match Job.of_line ~catalog ~config ~id line with
+           | Ok (Some j) -> j
+           | _ -> failwith "anchor line unparseable")
+         lines)
+  in
+  let base = Scheduler.run ~journal:w jobs in
+  Journal.close w;
+  (try Sys.remove jpath with Sys_error _ -> ());
+  let dir = fresh_dir "anchor" in
+  let cluster = Balancer.Cluster.create ~dir ~backends:1 ~catalog ~config () in
+  Array.iter
+    (fun line ->
+      match Balancer.Cluster.submit cluster line with
+      | `Queued _ -> ()
+      | `Rejected (m, _) -> failwith ("anchor submit rejected: " ^ m))
+    lines;
+  let out = Balancer.Cluster.drain cluster in
+  cleanup_dir dir;
+  let base_records = List.map Engine.to_done_record base.Scheduler.reports in
+  let records_identical =
+    List.length base_records = List.length out.Balancer.Cluster.o_records
+    && List.for_all2
+         (fun a b -> String.equal (result_frame a) (result_frame b))
+         base_records out.Balancer.Cluster.o_records
+  in
+  let summary_identical =
+    String.equal
+      (Json.to_string (Scheduler.summary_json base.Scheduler.summary))
+      (Json.to_string
+         (Scheduler.summary_json out.Balancer.Cluster.o_summary))
+  in
+  let jsonl records =
+    List.map
+      (fun d -> Json.to_string (Scheduler.done_record_json d))
+      records
+  in
+  let jsonl_identical =
+    jsonl base_records = jsonl out.Balancer.Cluster.o_records
+  in
+  ( records_identical && summary_identical && jsonl_identical,
+    Json.Obj
+      [
+        ("jobs", Json.Num (float_of_int n));
+        ("records_identical", Json.Bool records_identical);
+        ("jsonl_identical", Json.Bool jsonl_identical);
+        ("summary_identical", Json.Bool summary_identical);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+(* 2. Failover: kill one of three backends at the hottest rate.       *)
+
+type ha_cell = {
+  failover : bool;
+  outcome : Balancer.Cluster.outcome;
+  offered : int;
+  door_rejected : int;
+}
+
+let hottest_gap = 1.5
+let kill_downtime = 2.0
+
+let run_ha_cell ~failover ~n ~seed =
+  let catalog, _ = Lazy.force classes in
+  let classes_drawn = class_sequence ~n ~seed in
+  let offsets =
+    Arrivals.arrivals Arrivals.Poisson ~rate:(1.0 /. hottest_gap) ~n ~seed
+  in
+  let admission = Admission.make ~max_queue:8 ~headroom:1.2 () in
+  let dir = fresh_dir (if failover then "on" else "off") in
+  let cluster =
+    Balancer.Cluster.create ~admission ~dir ~backends:3 ~catalog ~config ()
+  in
+  let kill_at = 2 * n / 5 in
+  let door_rejected = ref 0 in
+  Array.iteri
+    (fun i off ->
+      if i = kill_at then
+        Balancer.Cluster.kill cluster ~backend:0 ~downtime:kill_downtime
+          ~failover ();
+      Balancer.Cluster.advance cluster ~upto:off;
+      (* the schedule is absolute; the wire speaks offsets from the
+         cluster's (possibly slightly overshot) virtual now *)
+      let nowv = Balancer.Cluster.now cluster in
+      let arrival = Float.max 0.0 (off -. nowv) in
+      let deadline =
+        Float.max (arrival +. 1e-9) (off +. slack_of classes_drawn i -. nowv)
+      in
+      let line = job_line classes_drawn ~index:i ~arrival ~deadline in
+      match Balancer.Cluster.submit cluster line with
+      | `Queued _ -> ()
+      | `Rejected _ -> incr door_rejected)
+    offsets;
+  let outcome = Balancer.Cluster.drain cluster in
+  cleanup_dir dir;
+  { failover; outcome; offered = n; door_rejected = !door_rejected }
+
+let ha_cell_json (c : ha_cell) =
+  let o = c.outcome in
+  let s = o.Balancer.Cluster.o_summary in
+  Json.Obj
+    [
+      ("failover", Json.Bool c.failover);
+      ("offered", Json.Num (float_of_int c.offered));
+      ("door_rejected", Json.Num (float_of_int c.door_rejected));
+      ("miss_rate", Json.Num s.Engine.miss_rate);
+      ("migrated", Json.Num (float_of_int o.Balancer.Cluster.o_migrated));
+      ("lost", Json.Num (float_of_int o.Balancer.Cluster.o_lost));
+      ( "replayed",
+        Json.Num (float_of_int (List.length o.Balancer.Cluster.o_replays)) );
+      ( "replay_identical",
+        Json.Bool
+          (List.for_all (fun (_, ok) -> ok) o.Balancer.Cluster.o_replays) );
+      ("summary", Scheduler.summary_json s);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* 3. Chaos: kill a real backend process under open-loop socket load. *)
+
+let run_chaos ~n ~seed =
+  let catalog, _ = Lazy.force classes in
+  let classes_drawn = class_sequence ~n ~seed in
+  let journals =
+    List.init 3 (fun i ->
+        Filename.temp_file (Printf.sprintf "taqp_ha_chaos%d" i) ".journal")
+  in
+  let servers =
+    List.map
+      (fun j ->
+        Server.create ~gate:`Eager ~quota_capacity:(float_of_int n)
+          ~journal_path:j ~catalog ~config ~port:0 ())
+      journals
+  in
+  let domains =
+    List.map
+      (fun s -> Domain.spawn (fun () -> try Ok (Server.run s) with e -> Error e))
+      servers
+  in
+  let backends =
+    List.map2
+      (fun s j ->
+        { Balancer.Proxy.bs_port = Server.port s; bs_journal = Some j })
+      servers journals
+  in
+  let proxy =
+    Balancer.Proxy.create ~failover:true ~downtime:kill_downtime ~port:0
+      ~backends ()
+  in
+  let pd =
+    Domain.spawn (fun () ->
+        try Ok (Balancer.Proxy.run proxy) with e -> Error e)
+  in
+  let victim = List.hd servers in
+  let outcome =
+    Load.run
+      ~kill:(n / 2, fun () -> Server.shutdown victim)
+      ~port:(Balancer.Proxy.port proxy)
+      ~process:Arrivals.Poisson ~rate:(1.0 /. 6.0) ~n ~seed ~clients:3
+      ~make_line:(fun ~index ~offset ->
+        job_line classes_drawn ~index ~arrival:offset
+          ~deadline:(offset +. slack_of classes_drawn index))
+      ()
+  in
+  let stats =
+    match Domain.join pd with
+    | Ok s -> s
+    | Error e -> raise e
+  in
+  List.iter (fun d -> ignore (Domain.join d)) domains;
+  List.iter (fun j -> try Sys.remove j with Sys_error _ -> ()) journals;
+  let queued_ids =
+    List.filter_map
+      (fun (s : Load.submission) ->
+        match s.Load.disposition with
+        | Load.Queued { job_id; _ } -> Some job_id
+        | Load.Door_rejected _ -> None)
+      outcome.Load.submissions
+  in
+  let finished_ids =
+    List.map
+      (fun (d : Sched_journal.done_record) -> d.Sched_journal.d_id)
+      outcome.Load.finished
+  in
+  let refused_ids = List.map (fun (id, _, _) -> id) outcome.Load.refused in
+  let terminal_ids = List.sort_uniq compare (finished_ids @ refused_ids) in
+  let covered =
+    List.for_all (fun id -> List.mem id terminal_ids) queued_ids
+  in
+  let duplicates =
+    List.length (finished_ids @ refused_ids) <> List.length terminal_ids
+  in
+  let ok =
+    stats.Balancer.Proxy.p_deaths = 1 && covered && not duplicates
+    && queued_ids <> []
+  in
+  ( ok,
+    Json.Obj
+      [
+        ("offered", Json.Num (float_of_int n));
+        ("queued", Json.Num (float_of_int (List.length queued_ids)));
+        ("deaths", Json.Num (float_of_int stats.Balancer.Proxy.p_deaths));
+        ("migrated", Json.Num (float_of_int stats.Balancer.Proxy.p_migrated));
+        ("replayed", Json.Num (float_of_int stats.Balancer.Proxy.p_replayed));
+        ("lost", Json.Num (float_of_int stats.Balancer.Proxy.p_lost));
+        ("covered", Json.Bool covered);
+        ("duplicates", Json.Bool duplicates);
+        ("ok", Json.Bool ok);
+      ] )
+
+(* ------------------------------------------------------------------ *)
+
+let write ?(path = "BENCH_ha.json") ?(jobs = 60) () =
+  let seed = 777 in
+  Fmt.pr "@.=== HA: replicated serving tier under backend loss ===@.";
+  let anchor_ok, anchor_json = anchor ~n:24 ~seed in
+  Fmt.pr "  anchor: 1-backend cluster == Scheduler.run  %s@."
+    (if anchor_ok then "OK" else "FAIL");
+  let on = run_ha_cell ~failover:true ~n:jobs ~seed in
+  let off = run_ha_cell ~failover:false ~n:jobs ~seed in
+  let miss_on = on.outcome.Balancer.Cluster.o_summary.Engine.miss_rate in
+  let miss_off = off.outcome.Balancer.Cluster.o_summary.Engine.miss_rate in
+  let replay_identical =
+    List.for_all
+      (fun (_, ok) -> ok)
+      (on.outcome.Balancer.Cluster.o_replays
+      @ off.outcome.Balancer.Cluster.o_replays)
+  in
+  let failover_ok = miss_on < miss_off in
+  Fmt.pr
+    "  kill 1/3 backends at gap %.1fs: miss %.1f%% (failover off) -> %.1f%% \
+     (on), %d migrated, replay identical: %b  %s@."
+    hottest_gap (100.0 *. miss_off) (100.0 *. miss_on)
+    on.outcome.Balancer.Cluster.o_migrated replay_identical
+    (if failover_ok && replay_identical then "OK" else "FAIL");
+  let chaos_ok, chaos_json = run_chaos ~n:24 ~seed in
+  Fmt.pr "  proxy chaos: kill a live backend process mid-load  %s@."
+    (if chaos_ok then "OK" else "FAIL");
+  let all_ok = anchor_ok && failover_ok && replay_identical && chaos_ok in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "taqp-bench-ha/1");
+        ("seed", Json.Num (float_of_int seed));
+        ("jobs", Json.Num (float_of_int jobs));
+        ("mean_gap", Json.Num hottest_gap);
+        ("downtime", Json.Num kill_downtime);
+        ("anchor", anchor_json);
+        ("cells", Json.List [ ha_cell_json on; ha_cell_json off ]);
+        ("chaos", chaos_json);
+        ( "headline",
+          Json.Obj
+            [
+              ("miss_rate_failover_on", Json.Num miss_on);
+              ("miss_rate_failover_off", Json.Num miss_off);
+              ("anchor_identical", Json.Bool anchor_ok);
+              ("replay_identical", Json.Bool replay_identical);
+              ("chaos_ok", Json.Bool chaos_ok);
+              ("ok", Json.Bool all_ok);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path;
+  if not all_ok then begin
+    Fmt.epr
+      "FAIL: the HA headline did not hold (anchor %b, failover %b, replay \
+       %b, chaos %b)@."
+      anchor_ok failover_ok replay_identical chaos_ok;
+    exit 1
+  end

@@ -26,7 +26,7 @@ let usage () =
   print_endline
     "usage: main.exe [--trials N] [--table 5.1|5.2|5.3] [--ablations] \
      [--micro] [--scheduling] [--sched] [--audit] [--perf] [--chaos] \
-     [--fault-seed N] [--recover] [--cache] [--parallel] [--serve] [--full]";
+     [--fault-seed N] [--recover] [--cache] [--parallel] [--serve] [--ha] [--full]";
   exit 1
 
 type mode =
@@ -42,6 +42,7 @@ type mode =
   | Cache_bench
   | Parallel
   | Serve
+  | Ha
   | Full
 
 let () =
@@ -99,6 +100,9 @@ let () =
     | "--serve" :: rest ->
         mode := Serve;
         parse rest
+    | "--ha" :: rest ->
+        mode := Ha;
+        parse rest
     | "--full" :: rest ->
         mode := Full;
         parse rest
@@ -136,6 +140,7 @@ let () =
   | Cache_bench -> Cache.write ()
   | Parallel -> Parallel.write ()
   | Serve -> Serve.write ()
+  | Ha -> Ha.write ()
   | Full ->
       run_tables None;
       Ablations.all ~trials ();
@@ -148,7 +153,8 @@ let () =
       Recover.write ();
       Cache.write ();
       Parallel.write ();
-      Serve.write ());
+      Serve.write ();
+      Ha.write ());
   (* Every run also refreshes the machine-readable observability
      report: per-query stage-cost and overspend distributions from the
      metrics registry (see docs/OBSERVABILITY.md). *)

@@ -126,7 +126,7 @@ let run_cell ~process ~mean_gap ~admission ~n ~seed =
   let domain = Domain.spawn (fun () -> Server.run server) in
   let outcome =
     Load.run ~port ~process ~rate:(1.0 /. mean_gap) ~n ~seed ~clients:4
-      ~make_line:(job_line classes_drawn)
+      ~make_line:(job_line classes_drawn) ()
   in
   let stats = Domain.join domain in
   { process; mean_gap; admission; outcome; stats }

@@ -1693,7 +1693,18 @@ let submit_cmd =
              waiting for terminal records. The exit code then only \
              reflects the door.")
   in
-  let run port jobs_file do_drain no_wait =
+  let connect_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Bound the TCP connect (wall seconds) and retry a refused or \
+             timed-out dial a few times with backoff — for racing a server \
+             or balancer that is still binding its port. Default: a single \
+             blocking connect.")
+  in
+  let run port connect_timeout jobs_file do_drain no_wait =
     match
       if jobs_file = "-" then In_channel.input_lines stdin
       else In_channel.with_open_text jobs_file In_channel.input_lines
@@ -1709,10 +1720,17 @@ let submit_cmd =
         in
         if lines = [] then fail "%s: no job lines" jobs_file
         else
-          match Taqp_net.Client.connect ~port with
+          match
+            match connect_timeout with
+            | None -> Taqp_net.Client.connect ~port ()
+            | Some _ ->
+                Taqp_net.Client.connect_retry ?connect_timeout ~port ()
+          with
           | exception Unix.Unix_error (e, _, _) ->
               fail "cannot connect to 127.0.0.1:%d: %s" port
                 (Unix.error_message e)
+          | exception Taqp_net.Client.Timed_out phase ->
+              fail "connect to 127.0.0.1:%d timed out (%s)" port phase
           | exception Taqp_net.Client.Protocol_error m ->
               fail "handshake failed: %s" m
           | client -> (
@@ -1843,7 +1861,10 @@ let submit_cmd =
                   else `Ok ()))
   in
   let term =
-    Term.(ret (const run $ port_arg $ jobs_arg $ drain_flag $ no_wait_flag))
+    Term.(
+      ret
+        (const run $ port_arg $ connect_timeout_arg $ jobs_arg $ drain_flag
+       $ no_wait_flag))
   in
   Cmd.v
     (Cmd.info "submit"
@@ -1853,6 +1874,139 @@ let submit_cmd =
           exits nonzero iff an admitted job missed its deadline). \
           $(b,--drain) additionally executes a drain-gated server's backlog \
           and prints the final summary.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* balance                                                             *)
+
+let balance_cmd =
+  let listen_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "listen" ] ~docv:"PORT"
+          ~doc:"Loopback TCP port to serve clients on (0 = ephemeral).")
+  in
+  let backends_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "backends" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated backend list: $(b,PORT) or \
+             $(b,PORT=JOURNAL), e.g. \
+             $(b,7601=/tmp/b1.jrn,7602=/tmp/b2.jrn). Each names a running \
+             $(b,taqp serve --listen) process; a journal path enables \
+             replay and job migration when that backend dies.")
+  in
+  let no_failover_flag =
+    Arg.(
+      value & flag
+      & info [ "no-failover" ]
+          ~doc:
+            "Do not migrate a dead backend's unfinished journaled jobs to \
+             survivors; write each off as a $(b,lost) terminal instead \
+             (the control arm of the failover experiment).")
+  in
+  let downtime_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "downtime" ] ~docv:"SECONDS"
+          ~doc:
+            "Virtual seconds charged against a migrated job's remaining \
+             slack — the failure-detection-plus-restart cost the paper's \
+             time constraints must absorb.")
+  in
+  let parse_backends spec =
+    String.split_on_char ',' spec
+    |> List.filter_map (fun s ->
+           let s = String.trim s in
+           if s = "" then None
+           else
+             match String.index_opt s '=' with
+             | None -> (
+                 match int_of_string_opt s with
+                 | Some p -> Some { Taqp_net.Balancer.Proxy.bs_port = p; bs_journal = None }
+                 | None -> failwith ("bad backend port: " ^ s))
+             | Some i -> (
+                 let port = String.sub s 0 i in
+                 let path = String.sub s (i + 1) (String.length s - i - 1) in
+                 match int_of_string_opt (String.trim port) with
+                 | Some p ->
+                     Some
+                       {
+                         Taqp_net.Balancer.Proxy.bs_port = p;
+                         bs_journal = Some (String.trim path);
+                       }
+                 | None -> failwith ("bad backend port: " ^ s)))
+  in
+  let run port backends_spec no_failover downtime =
+    match parse_backends backends_spec with
+    | exception Failure m -> fail "%s" m
+    | [] -> fail "no backends in %S" backends_spec
+    | backends -> (
+        match
+          Taqp_net.Balancer.Proxy.create ~failover:(not no_failover) ~downtime
+            ~port ~backends ()
+        with
+        | exception Unix.Unix_error (e, _, ctx) ->
+            fail "cannot start balancer: %s (%s)" (Unix.error_message e) ctx
+        | proxy ->
+            Fmt.epr "balancing 127.0.0.1:%d over %d backends@."
+              (Taqp_net.Balancer.Proxy.port proxy)
+              (List.length backends);
+            let stats = Taqp_net.Balancer.Proxy.run proxy in
+            List.iter
+              (fun d ->
+                print_endline
+                  (Json.to_string (Taqp_sched.Scheduler.done_record_json d)))
+              stats.Taqp_net.Balancer.Proxy.p_records;
+            let n x = Json.Num (float_of_int x) in
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ( "summary",
+                        Taqp_sched.Scheduler.summary_json
+                          stats.Taqp_net.Balancer.Proxy.p_summary );
+                      ( "balance",
+                        Json.Obj
+                          [
+                            ("submitted", n stats.Taqp_net.Balancer.Proxy.p_submitted);
+                            ( "door_rejects",
+                              n stats.Taqp_net.Balancer.Proxy.p_door_rejects );
+                            ("deaths", n stats.Taqp_net.Balancer.Proxy.p_deaths);
+                            ("migrated", n stats.Taqp_net.Balancer.Proxy.p_migrated);
+                            ("replayed", n stats.Taqp_net.Balancer.Proxy.p_replayed);
+                            ("lost", n stats.Taqp_net.Balancer.Proxy.p_lost);
+                          ] );
+                    ]));
+            (* Same verdict rule as serve/submit: nonzero iff an
+               admitted job missed its hard deadline. *)
+            if
+              List.exists
+                (fun (d : Sched_journal.done_record) ->
+                  d.Sched_journal.d_admitted && d.Sched_journal.d_missed)
+                stats.Taqp_net.Balancer.Proxy.p_records
+            then exit 1
+            else `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ listen_arg $ backends_arg $ no_failover_flag
+       $ downtime_arg))
+  in
+  Cmd.v
+    (Cmd.info "balance"
+       ~doc:
+         "Front several $(b,taqp serve --listen) backends with the \
+          replicated serving tier: least-priced-backlog routing, \
+          health-checked circuit breakers, and journal-backed failover \
+          that migrates a dead backend's unfinished jobs to survivors \
+          (docs/HA.md). Serves until a client drains the tier; prints one \
+          JSON line per terminal record plus the cross-backend summary; \
+          exits nonzero iff an admitted job missed its deadline.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1871,4 +2025,5 @@ let () =
             explain_cmd;
             serve_cmd;
             submit_cmd;
+            balance_cmd;
           ]))

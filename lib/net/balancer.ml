@@ -1,0 +1,1405 @@
+(* taqp_ha: the replicated serving tier. A TAQPNET1-speaking balancer
+   fronts N backends, routing each SUBMIT by least-priced-backlog (the
+   same {!Backpressure.overloaded} price an overloaded door would
+   quote), health-checking backends with deadline-bounded STATUS
+   probes ({!Health}) and wrapping each in a closed/open/half-open
+   circuit breaker cooled down in virtual time ({!Breaker}).
+
+   On backend death the balancer migrates the dead backend's
+   unfinished jobs to survivors via the per-backend scheduler journal,
+   with {!Taqp_sched.Scheduler.recover} semantics: terminal [Done]
+   records are replayed as verbatim RESULT frames — byte-identical to
+   the live pushes, because the wire embeds the journal's own codec —
+   and unfinished [Submitted] lines are re-admitted at crash time plus
+   downtime with their absolute deadlines intact (downtime expires
+   what it expires). Everything is deduped by job id: the first
+   terminal record for an id wins and later arrivals (replays, races)
+   are dropped, so a client never sees two terminals for one job.
+
+   Two modes share this file:
+
+   - {!Cluster} — N in-process {!Taqp_sched.Engine}s on synchronized
+     virtual clocks. Fully deterministic (no sockets, no wall time):
+     the bit-exact anchor mode. A 1-backend cluster performs the exact
+     same engine operation sequence as [Scheduler.run] on the same job
+     list, so its reports and summary are byte-identical to a direct
+     serve — the acceptance anchor bench --ha pins.
+
+   - {!Proxy} — a real [Unix.select] event loop fronting N backend
+     *processes* over TAQPNET1 ([taqp balance]). The proxy is
+     catalog-free: it never parses a job line, it forwards SUBMIT
+     frames verbatim and rewrites only job ids (backends number their
+     own jobs from 0; the proxy owns the global id space).
+
+   See docs/HA.md for the full design narrative. *)
+
+module Engine = Taqp_sched.Engine
+module Job = Taqp_sched.Job
+module Admission = Taqp_sched.Admission
+module Policy = Taqp_sched.Policy
+module Sched_journal = Taqp_sched.Sched_journal
+module Journal = Taqp_recover.Journal
+
+let src = Logs.Src.create "taqp.ha" ~doc:"replicated serving tier"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-level accounting over terminal records.
+
+   Rebuilds an {!Engine.summary} from done records alone — what a
+   balancer has when its backends' engines are spread over processes.
+   Field by field this mirrors [Engine.finish] (same fold orders over
+   id-sorted records, same percentile helper, same divisions), so for
+   records that all came from one engine the result is bit-identical
+   to that engine's own summary — the 1-backend anchor. Synthesized
+   ["lost"] records (a dead backend's unmigrated jobs) count like
+   expirations: admitted, missed, no service. *)
+
+let is_rejected (d : Sched_journal.done_record) =
+  String.equal d.Sched_journal.d_outcome "rejected"
+
+let is_expired (d : Sched_journal.done_record) =
+  String.equal d.Sched_journal.d_outcome "expired"
+  || String.equal d.Sched_journal.d_outcome "lost"
+
+let summarize ~makespan (records : Sched_journal.done_record list) :
+    Engine.summary =
+  let records =
+    List.stable_sort
+      (fun (a : Sched_journal.done_record) b ->
+        compare a.Sched_journal.d_id b.Sched_journal.d_id)
+      records
+  in
+  let count f = List.length (List.filter f records) in
+  let admitted =
+    List.filter (fun (d : Sched_journal.done_record) -> d.d_admitted) records
+  in
+  let late =
+    List.map
+      (fun (d : Sched_journal.done_record) -> Float.max 0.0 d.d_lateness)
+      admitted
+    |> List.sort compare |> Array.of_list
+  in
+  let waits = List.map (fun (d : Sched_journal.done_record) -> d.d_queue_wait) admitted in
+  let missed = count (fun (d : Sched_journal.done_record) -> d.d_missed) in
+  {
+    submitted = List.length records;
+    admitted = List.length admitted;
+    degraded = count (fun (d : Sched_journal.done_record) -> d.d_degraded);
+    rejected = count is_rejected;
+    expired = count is_expired;
+    completed = count (fun d -> not (is_rejected d) && not (is_expired d));
+    missed;
+    miss_rate =
+      (if records = [] then 0.0
+       else float_of_int missed /. float_of_int (List.length records));
+    lateness_p50 = Engine.percentile late 0.50;
+    lateness_p99 = Engine.percentile late 0.99;
+    lateness_p999 = Engine.percentile late 0.999;
+    max_lateness = (if late = [||] then 0.0 else late.(Array.length late - 1));
+    mean_queue_wait =
+      (match waits with
+      | [] -> 0.0
+      | ws -> List.fold_left ( +. ) 0.0 ws /. float_of_int (List.length ws));
+    makespan;
+    busy_time =
+      List.fold_left
+        (fun acc (d : Sched_journal.done_record) -> acc +. d.d_service)
+        0.0 records;
+    preemptions =
+      List.fold_left
+        (fun acc (d : Sched_journal.done_record) -> acc + d.d_preemptions)
+        0 records;
+  }
+
+(* A dead backend's job that reached no survivor: terminal by fiat.
+   Admitted and missed (the client got no in-deadline answer), zero
+   service — the honest books for work a crash swallowed. *)
+let lost_record ~id ~label ~now : Sched_journal.done_record =
+  {
+    d_id = id;
+    d_label = label;
+    d_outcome = "lost";
+    d_admitted = true;
+    d_degraded = false;
+    d_missed = true;
+    d_lateness = 0.0;
+    d_queue_wait = 0.0;
+    d_finished_at = now;
+    d_service = 0.0;
+    d_steps = 0;
+    d_preemptions = 0;
+    d_estimate = None;
+    d_now = now;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic in-process mode. *)
+
+module Cluster = struct
+  type backend = {
+    b_index : int;
+    b_engine : Engine.t;
+    b_journal : Journal.writer;
+    b_path : string;
+    b_breaker : Breaker.t;
+    mutable b_alive : bool;
+    mutable b_crashed_at : float;
+    mutable b_submitted : int;
+    mutable b_migrated_in : int;
+  }
+
+  type outcome = {
+    o_summary : Engine.summary;
+    o_records : Sched_journal.done_record list;  (** id order *)
+    o_results : (int * Engine.result) list;  (** surviving backends *)
+    o_replays : (int * bool) list;
+        (** journal-replayed terminal ids and whether the replayed
+            RESULT frame was byte-identical to the live push *)
+    o_routed : (int * int) list;  (** job id -> final backend *)
+    o_migrated : int;
+    o_lost : int;
+    o_door_rejects : int;
+  }
+
+  type t = {
+    catalog : Taqp_storage.Catalog.t;
+    config : Taqp_core.Config.t;
+    backends : backend array;
+    terminal : (int, Sched_journal.done_record) Hashtbl.t;
+    frames : (int, string) Hashtbl.t;  (* gid -> live terminal frame *)
+    mutable next_id : int;
+    mutable routed : (int * int) list;  (* reversed *)
+    mutable replays : (int * bool) list;  (* reversed *)
+    mutable migrated : int;
+    mutable lost : int;
+    mutable door_rejects : int;
+    mutable finished : bool;
+  }
+
+  (* The terminal table is the dedupe rule: first record for an id
+     wins, later arrivals are dropped. The frame stored alongside is
+     the canonical wire bytes a client was (or would be) pushed. *)
+  let push t (d : Sched_journal.done_record) =
+    if not (Hashtbl.mem t.terminal d.Sched_journal.d_id) then begin
+      Hashtbl.replace t.terminal d.Sched_journal.d_id d;
+      Hashtbl.replace t.frames d.Sched_journal.d_id
+        (Wire.frame_message (Wire.Result d))
+    end
+
+  let create ?policy ?admission ?(breaker = fun () -> Breaker.create ())
+      ~dir ~backends:n ~catalog ~config () =
+    if n < 1 then invalid_arg "Cluster.create: backends < 1";
+    let self = ref None in
+    let on_report r =
+      match !self with
+      | Some t -> push t (Engine.to_done_record r)
+      | None -> ()
+    in
+    let backends =
+      Array.init n (fun i ->
+          let path =
+            Filename.concat dir (Printf.sprintf "backend-%d.journal" i)
+          in
+          let journal = Journal.create path in
+          {
+            b_index = i;
+            b_engine =
+              Engine.create ?policy ?admission ~journal ~on_report [];
+            b_journal = journal;
+            b_path = path;
+            b_breaker = breaker ();
+            b_alive = true;
+            b_crashed_at = 0.0;
+            b_submitted = 0;
+            b_migrated_in = 0;
+          })
+    in
+    let t =
+      {
+        catalog;
+        config;
+        backends;
+        terminal = Hashtbl.create 64;
+        frames = Hashtbl.create 64;
+        next_id = 0;
+        routed = [];
+        replays = [];
+        migrated = 0;
+        lost = 0;
+        door_rejects = 0;
+        finished = false;
+      }
+    in
+    self := Some t;
+    t
+
+  (* The tier's virtual now: the max across backends (a dead backend
+     contributes the instant it crashed at). Idle engines lag — their
+     clocks only move under work — so submissions are stamped against
+     this cluster now and lagging engines sleep forward to it. *)
+  let now t =
+    Array.fold_left
+      (fun acc b ->
+        Float.max acc
+          (if b.b_alive then Engine.now b.b_engine else b.b_crashed_at))
+      0.0 t.backends
+
+  let alive t i = t.backends.(i).b_alive
+  let backend_now t i = Engine.now t.backends.(i).b_engine
+
+  (* Least-priced-backlog routing: prefer closed breakers over
+     half-open (trial traffic), then the smallest overload price —
+     the retry_after an overloaded door would quote — then the
+     shallowest queue, then the lowest index. *)
+  let route t ~vnow =
+    let rank b =
+      match Breaker.state b.b_breaker ~now:vnow with
+      | Breaker.Open -> None
+      | (Breaker.Closed | Breaker.Half_open) as st ->
+          if not b.b_alive then None
+          else
+            Some
+              ( (match st with Breaker.Closed -> 0 | _ -> 1),
+                Backpressure.overloaded
+                  ~backlog:(Engine.backlog b.b_engine)
+                  ~queue_len:(Engine.live_count b.b_engine),
+                Engine.live_count b.b_engine + Engine.pending_count b.b_engine,
+                b.b_index )
+    in
+    Array.to_list t.backends
+    |> List.filter_map (fun b -> Option.map (fun k -> (k, b)) (rank b))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> function
+    | [] -> None
+    | (_, b) :: _ -> Some b
+
+  let unavailable_price t ~vnow =
+    Array.fold_left
+      (fun acc b ->
+        if b.b_alive then
+          Float.min acc (Breaker.retry_after b.b_breaker ~now:vnow)
+        else acc)
+      infinity t.backends
+    |> fun p -> if Float.is_finite p then p else 0.0
+
+  (* One SUBMIT: parse (the cluster is its own door), route, stamp the
+     wire offsets against cluster now, journal the door-level
+     [Submitted] line — an uncharged append, mirroring the socket
+     server's door journaling — then hand it to the engine. *)
+  let submit t line =
+    if t.finished then invalid_arg "Cluster.submit: already drained";
+    match
+      Job.of_line ~catalog:t.catalog ~config:t.config ~id:t.next_id line
+    with
+    | Error m ->
+        t.door_rejects <- t.door_rejects + 1;
+        `Rejected ("parse: " ^ m, 0.0)
+    | Ok None ->
+        t.door_rejects <- t.door_rejects + 1;
+        `Rejected ("blank job line", 0.0)
+    | Ok (Some job) -> (
+        let vnow = now t in
+        match route t ~vnow with
+        | None ->
+            t.door_rejects <- t.door_rejects + 1;
+            `Rejected ("unavailable", unavailable_price t ~vnow)
+        | Some b ->
+            let job =
+              {
+                job with
+                Job.arrival = vnow +. job.Job.arrival;
+                deadline = vnow +. job.Job.deadline;
+              }
+            in
+            t.next_id <- t.next_id + 1;
+            Journal.append b.b_journal
+              (Sched_journal.encode
+                 (Sched_journal.Submitted
+                    {
+                      s_id = job.Job.id;
+                      s_label = job.Job.label;
+                      s_client = b.b_index;
+                      s_line = Job.to_line job;
+                      s_now = Engine.now b.b_engine;
+                    }));
+            Engine.submit b.b_engine job;
+            b.b_submitted <- b.b_submitted + 1;
+            t.routed <- (job.Job.id, b.b_index) :: t.routed;
+            `Queued (job.Job.id, b.b_index))
+
+  (* Step the least-advanced live engine first, repeatedly — a
+     deterministic interleaving that keeps the backends' clocks
+     loosely synchronized (an engine may overshoot [upto] by one
+     atomic stage; that is scheduler time, not an error). *)
+  let advance t ~upto =
+    let steppable b =
+      b.b_alive
+      && Engine.now b.b_engine < upto
+      && (Engine.live_count b.b_engine > 0
+         || Engine.pending_count b.b_engine > 0)
+    in
+    let rec go () =
+      let best =
+        Array.fold_left
+          (fun acc b ->
+            if not (steppable b) then acc
+            else
+              match acc with
+              | Some best
+                when (Engine.now best.b_engine, best.b_index)
+                     <= (Engine.now b.b_engine, b.b_index) ->
+                  acc
+              | _ -> Some b)
+          None t.backends
+      in
+      match best with
+      | None -> ()
+      | Some b ->
+          ignore (Engine.step b.b_engine);
+          go ()
+    in
+    go ()
+
+  (* Migrate one unfinished journaled line to a survivor: re-parse the
+     absolute-times line, push its arrival to crash + downtime
+     (deadline untouched — downtime expires what it expires), journal
+     it at the survivor's door and submit. *)
+  let migrate t ~crash_now ~downtime (s : Sched_journal.submitted_record) =
+    match
+      Job.of_line ~catalog:t.catalog ~config:t.config ~id:s.Sched_journal.s_id
+        s.Sched_journal.s_line
+    with
+    | Error _ | Ok None ->
+        push t
+          (lost_record ~id:s.Sched_journal.s_id ~label:s.Sched_journal.s_label
+             ~now:crash_now);
+        t.lost <- t.lost + 1
+    | Ok (Some job) -> (
+        let job =
+          {
+            job with
+            Job.arrival = Float.max job.Job.arrival (crash_now +. downtime);
+          }
+        in
+        match route t ~vnow:(now t) with
+        | None ->
+            push t
+              (lost_record ~id:job.Job.id ~label:job.Job.label ~now:crash_now);
+            t.lost <- t.lost + 1
+        | Some b ->
+            Journal.append b.b_journal
+              (Sched_journal.encode
+                 (Sched_journal.Submitted
+                    {
+                      s_id = job.Job.id;
+                      s_label = job.Job.label;
+                      s_client = b.b_index;
+                      s_line = Job.to_line job;
+                      s_now = Engine.now b.b_engine;
+                    }));
+            Engine.submit b.b_engine job;
+            b.b_migrated_in <- b.b_migrated_in + 1;
+            t.migrated <- t.migrated + 1;
+            t.routed <- (job.Job.id, b.b_index) :: t.routed)
+
+  (* Kill a backend abruptly. Its engine is abandoned mid-flight (jobs
+     and all); recovery works purely from its journal, exactly as a
+     process crash would force: close the writer, load the file back,
+     replay terminal [Done] records (byte-compared against the live
+     pushes — the replay-identity guarantee), then either migrate or
+     write off the unfinished remainder. *)
+  let kill t ~backend:i ?(downtime = 0.0) ~failover () =
+    let b = t.backends.(i) in
+    if not b.b_alive then invalid_arg "Cluster.kill: backend already dead";
+    let crash_now = now t in
+    b.b_alive <- false;
+    b.b_crashed_at <- Engine.now b.b_engine;
+    Breaker.force_open b.b_breaker ~now:crash_now;
+    Journal.close b.b_journal;
+    let records =
+      match Sched_journal.load b.b_path with
+      | Ok l ->
+          (match l.Sched_journal.torn with
+          | Some reason ->
+              Log.warn (fun m -> m "backend %d journal torn: %s" i reason)
+          | None -> ());
+          l.Sched_journal.records
+      | Error e ->
+          Log.err (fun m -> m "backend %d journal unreadable: %s" i e);
+          []
+    in
+    let done_ids = Hashtbl.create 32 in
+    List.iter
+      (function
+        | Sched_journal.Done d ->
+            Hashtbl.replace done_ids d.Sched_journal.d_id ();
+            let frame = Wire.frame_message (Wire.Result d) in
+            let identical =
+              match Hashtbl.find_opt t.frames d.Sched_journal.d_id with
+              | Some live -> String.equal live frame
+              | None ->
+                  (* the live push never made it out — the replay fills
+                     the gap, trivially identical to itself *)
+                  push t d;
+                  true
+            in
+            t.replays <- (d.Sched_journal.d_id, identical) :: t.replays
+        | _ -> ())
+      records;
+    List.iter
+      (function
+        | Sched_journal.Submitted s
+          when (not (Hashtbl.mem done_ids s.Sched_journal.s_id))
+               && not (Hashtbl.mem t.terminal s.Sched_journal.s_id) ->
+            if failover then migrate t ~crash_now ~downtime s
+            else begin
+              push t
+                (lost_record ~id:s.Sched_journal.s_id
+                   ~label:s.Sched_journal.s_label ~now:crash_now);
+              t.lost <- t.lost + 1
+            end
+        | _ -> ())
+      records
+
+  let frame t ~id = Hashtbl.find_opt t.frames id
+
+  let drain t =
+    if t.finished then invalid_arg "Cluster.drain: already drained";
+    t.finished <- true;
+    let has_work b =
+      b.b_alive
+      && (Engine.live_count b.b_engine > 0
+         || Engine.pending_count b.b_engine > 0)
+    in
+    let rec go () =
+      let best =
+        Array.fold_left
+          (fun acc b ->
+            if not (has_work b) then acc
+            else
+              match acc with
+              | Some best
+                when (Engine.now best.b_engine, best.b_index)
+                     <= (Engine.now b.b_engine, b.b_index) ->
+                  acc
+              | _ -> Some b)
+          None t.backends
+      in
+      match best with
+      | None -> ()
+      | Some b ->
+          ignore (Engine.step b.b_engine);
+          go ()
+    in
+    go ();
+    let results =
+      Array.to_list t.backends
+      |> List.filter_map (fun b ->
+             if b.b_alive then begin
+               let r = Engine.finish b.b_engine in
+               Journal.close b.b_journal;
+               Some (b.b_index, r)
+             end
+             else None)
+    in
+    let makespan =
+      Array.fold_left
+        (fun acc b ->
+          Float.max acc
+            (if b.b_alive then
+               match List.assoc_opt b.b_index results with
+               | Some r -> r.Engine.summary.Engine.makespan
+               | None -> 0.0
+             else b.b_crashed_at))
+        0.0 t.backends
+    in
+    let records =
+      Hashtbl.fold (fun _ d acc -> d :: acc) t.terminal []
+      |> List.sort (fun (a : Sched_journal.done_record) b ->
+             compare a.Sched_journal.d_id b.Sched_journal.d_id)
+    in
+    {
+      o_summary = summarize ~makespan records;
+      o_records = records;
+      o_results = results;
+      o_replays = List.rev t.replays;
+      o_routed = List.rev t.routed;
+      o_migrated = t.migrated;
+      o_lost = t.lost;
+      o_door_rejects = t.door_rejects;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Multi-process mode: a select-loop proxy over N backend server
+   processes. *)
+
+module Proxy = struct
+  type backend_spec = {
+    bs_port : int;
+    bs_journal : string option;
+        (** the backend's own [--journal] path, read back on death to
+            migrate its unfinished jobs; [None] = no migration *)
+  }
+
+  (* One live backend connection. [k_pending] correlates forwarded
+     SUBMITs with their synchronous QUEUED / door-REJECT replies in
+     FIFO order ([None] = a migration resubmit, no client to tell);
+     [k_cancels] does the same for CANCEL. [k_local] maps the
+     backend's own job ids (each backend numbers from 0) to the
+     proxy's global ids. *)
+  type bstate = {
+    k_index : int;
+    k_spec : backend_spec;
+    k_fd : Unix.file_descr;
+    k_rd : Wire.reader;
+    k_out : Buffer.t;
+    mutable k_out_off : int;
+    k_health : Health.t;
+    k_pending : (int option * int) Queue.t;  (* conn id option, gid *)
+    k_cancels : (int * int * int) Queue.t;  (* local, gid, conn id *)
+    k_local : (int, int) Hashtbl.t;  (* backend-local id -> gid *)
+    mutable k_now : float;
+    mutable k_hello : bool;
+    mutable k_max_pending : int;
+    mutable k_summary : Engine.summary option;  (* its DRAIN_DONE *)
+    mutable k_dead : bool;
+  }
+
+  type conn = {
+    c_id : int;
+    c_fd : Unix.file_descr;
+    c_rd : Wire.reader;
+    c_out : Buffer.t;
+    mutable c_out_off : int;
+    mutable c_magic : bool;
+    mutable c_closing : bool;
+  }
+
+  type entry = {
+    mutable j_conn : int option;  (* owner connection, if still around *)
+    mutable j_backend : int;
+    mutable j_local : int option;  (* backend-local id once QUEUED *)
+  }
+
+  type t = {
+    listen_fd : Unix.file_descr;
+    port : int;
+    backends : bstate array;
+    failover : bool;
+    downtime : float;
+    conns : (int, conn) Hashtbl.t;
+    jobs : (int, entry) Hashtbl.t;  (* gid -> routing entry *)
+    terminal : (int, Sched_journal.done_record) Hashtbl.t;  (* by gid *)
+    notified : (int, unit) Hashtbl.t;
+        (* gids whose terminal verdict already reached the client as an
+           admission REJECT — the bookkeeping RESULT must not re-push *)
+    scratch : Bytes.t;
+    mutable next_gid : int;
+    mutable next_conn : int;
+    mutable draining : bool;
+    mutable submitted : int;
+    mutable door_rejects : int;
+    mutable deaths : int;
+    mutable migrated : int;
+    mutable replayed : int;
+    mutable lost : int;
+  }
+
+  type stats = {
+    p_summary : Engine.summary;
+    p_records : Sched_journal.done_record list;  (* gid order *)
+    p_submitted : int;
+    p_door_rejects : int;
+    p_deaths : int;
+    p_migrated : int;
+    p_replayed : int;
+    p_lost : int;
+  }
+
+  let send c msg = Buffer.add_string c.c_out (Wire.frame_message msg)
+  let bsend b msg = Buffer.add_string b.k_out (Wire.frame_message msg)
+
+  (* The tier's virtual now: the max reported instant across backends
+     (dead ones keep their last report). Breakers cool against this. *)
+  let vnow t =
+    Array.fold_left (fun acc b -> Float.max acc b.k_now) 0.0 t.backends
+
+  let close_conn t c =
+    if Hashtbl.mem t.conns c.c_id then begin
+      Hashtbl.remove t.conns c.c_id;
+      (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    end
+
+  let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+  let connect_backend ~index (spec : backend_spec) =
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, spec.bs_port) in
+    let rec dial attempt =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd addr with
+      | () -> fd
+      | exception
+          Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _)
+        when attempt < 50 ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.1;
+          dial (attempt + 1)
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    let fd = dial 0 in
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let rec write_all s off =
+      if off < String.length s then
+        write_all s (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    write_all Wire.magic 0;
+    Unix.set_nonblock fd;
+    {
+      k_index = index;
+      k_spec = spec;
+      k_fd = fd;
+      k_rd = Wire.reader ();
+      k_out = Buffer.create 256;
+      k_out_off = 0;
+      k_health = Health.create ();
+      k_pending = Queue.create ();
+      k_cancels = Queue.create ();
+      k_local = Hashtbl.create 64;
+      k_now = 0.0;
+      k_hello = false;
+      k_max_pending = 0;
+      k_summary = None;
+      k_dead = false;
+    }
+
+  let create ?(failover = true) ?(downtime = 0.0) ~port ~backends () =
+    if backends = [] then invalid_arg "Proxy.create: no backends";
+    let backends =
+      Array.of_list (List.mapi (fun i s -> connect_backend ~index:i s) backends)
+    in
+    let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+    Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen listen_fd 128;
+    Unix.set_nonblock listen_fd;
+    let port =
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    {
+      listen_fd;
+      port;
+      backends;
+      failover;
+      downtime;
+      conns = Hashtbl.create 16;
+      jobs = Hashtbl.create 64;
+      terminal = Hashtbl.create 64;
+      notified = Hashtbl.create 16;
+      scratch = Bytes.create 8192;
+      next_gid = 0;
+      next_conn = 0;
+      draining = false;
+      submitted = 0;
+      door_rejects = 0;
+      deaths = 0;
+      migrated = 0;
+      replayed = 0;
+      lost = 0;
+    }
+
+  let port t = t.port
+
+  let routable t b =
+    (not b.k_dead) && b.k_summary = None && b.k_hello
+    && Breaker.state (Health.breaker b.k_health) ~now:(vnow t) <> Breaker.Open
+
+  (* Least-priced-backlog, same ranking as the cluster: closed
+     breakers before half-open trials, then the smallest overload
+     price from the last health snapshot, then the shallowest queue
+     (counting our own in-flight submits), then the lowest index. *)
+  let route t =
+    Array.to_list t.backends
+    |> List.filter_map (fun b ->
+           if not (routable t b) then None
+           else
+             let st =
+               Breaker.state (Health.breaker b.k_health) ~now:(vnow t)
+             in
+             Some
+               ( ( (match st with Breaker.Closed -> 0 | _ -> 1),
+                   Health.cost b.k_health,
+                   Health.depth b.k_health + Queue.length b.k_pending,
+                   b.k_index ),
+                 b ))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> function
+    | [] -> None
+    | (_, b) :: _ -> Some b
+
+  let unavailable_price t =
+    let now = vnow t in
+    Array.fold_left
+      (fun acc b ->
+        if b.k_dead || b.k_summary <> None then acc
+        else
+          Float.min acc (Breaker.retry_after (Health.breaker b.k_health) ~now))
+      infinity t.backends
+    |> fun p -> if Float.is_finite p then p else 0.0
+
+  let door_reject t c reason retry_after =
+    t.door_rejects <- t.door_rejects + 1;
+    send c (Wire.Rejected { job_id = None; reason; retry_after })
+
+  let push_lost t gid ~label =
+    if not (Hashtbl.mem t.terminal gid) then begin
+      let d = lost_record ~id:gid ~label ~now:(vnow t) in
+      Hashtbl.replace t.terminal gid d;
+      t.lost <- t.lost + 1;
+      (match Hashtbl.find_opt t.jobs gid with
+      | Some { j_conn = Some cid; _ } -> (
+          match Hashtbl.find_opt t.conns cid with
+          | Some c when not c.c_closing ->
+              if not (Hashtbl.mem t.notified gid) then send c (Wire.Result d)
+          | _ -> ())
+      | _ -> ())
+    end
+
+  (* --- client-facing handling (mirrors Server.handle_msg) --------- *)
+
+  let handle_submit t c line =
+    if t.draining then door_reject t c "draining" Backpressure.draining
+    else
+      match route t with
+      | None -> door_reject t c "unavailable" (unavailable_price t)
+      | Some b ->
+          let gid = t.next_gid in
+          t.next_gid <- gid + 1;
+          t.submitted <- t.submitted + 1;
+          Hashtbl.replace t.jobs gid
+            { j_conn = Some c.c_id; j_backend = b.k_index; j_local = None };
+          Queue.add (Some c.c_id, gid) b.k_pending;
+          bsend b (Wire.Submit { line })
+
+  let status_reply t =
+    let live = ref 0 and pending = ref 0 and backlog = ref 0.0 in
+    Array.iter
+      (fun b ->
+        if (not b.k_dead) && b.k_summary = None then begin
+          (match Health.snapshot b.k_health with
+          | Some s ->
+              live := !live + s.Health.sn_live;
+              pending := !pending + s.Health.sn_pending;
+              backlog := !backlog +. s.Health.sn_backlog
+          | None -> ());
+          pending := !pending + Queue.length b.k_pending
+        end)
+      t.backends;
+    Wire.Status_ok
+      {
+        now = vnow t;
+        live = !live;
+        pending = !pending;
+        backlog = !backlog;
+        terminal = Hashtbl.length t.terminal;
+        draining = t.draining;
+      }
+
+  let handle_msg t c = function
+    | Wire.Submit { line } -> handle_submit t c line
+    | Wire.Status -> send c (status_reply t)
+    | Wire.Fetch { job_id } -> (
+        match Hashtbl.find_opt t.terminal job_id with
+        | Some d -> send c (Wire.Result d)
+        | None ->
+            let state =
+              if job_id >= 0 && job_id < t.next_gid then "queued"
+              else "unknown"
+            in
+            send c (Wire.Pending { job_id; state }))
+    | Wire.Cancel { job_id } -> (
+        if Hashtbl.mem t.terminal job_id then
+          send c (Wire.Cancelled { job_id; state = "terminal" })
+        else
+          match Hashtbl.find_opt t.jobs job_id with
+          | Some { j_local = Some local; j_backend; _ }
+            when not t.backends.(j_backend).k_dead ->
+              let b = t.backends.(j_backend) in
+              Queue.add (local, job_id, c.c_id) b.k_cancels;
+              bsend b (Wire.Cancel { job_id = local })
+          | Some { j_local = None; _ } ->
+              (* the forwarded SUBMIT has not been acknowledged yet —
+                 nothing to address a cancel at *)
+              send c (Wire.Cancelled { job_id; state = "pending" })
+          | _ -> send c (Wire.Cancelled { job_id; state = "unknown" }))
+    | Wire.Drain ->
+        t.draining <- true;
+        Array.iter
+          (fun b ->
+            if (not b.k_dead) && b.k_summary = None then bsend b Wire.Drain)
+          t.backends
+    | Wire.Hello _ | Wire.Queued _ | Wire.Rejected _ | Wire.Result _
+    | Wire.Status_ok _ | Wire.Cancelled _ | Wire.Pending _ | Wire.Drain_done _
+    | Wire.Error _ ->
+        send c (Wire.Error { message = "unexpected message" });
+        c.c_closing <- true
+
+  let hello t =
+    Wire.Hello
+      {
+        now = vnow t;
+        max_pending =
+          Array.fold_left (fun acc b -> acc + b.k_max_pending) 0 t.backends;
+        draining = t.draining;
+      }
+
+  let protocol_error t c reason =
+    ignore t;
+    Log.debug (fun m -> m "conn %d: %s, closing" c.c_id reason);
+    send c (Wire.Error { message = reason });
+    c.c_closing <- true
+
+  let process_input t c =
+    if not c.c_magic then
+      if Wire.available c.c_rd >= String.length Wire.magic then begin
+        match Wire.take c.c_rd (String.length Wire.magic) with
+        | Some m when String.equal m Wire.magic ->
+            c.c_magic <- true;
+            send c (hello t)
+        | _ -> close_conn t c
+      end;
+    if c.c_magic && not c.c_closing then
+      let rec go () =
+        match Wire.next c.c_rd with
+        | Ok None -> ()
+        | Ok (Some payload) -> (
+            match Wire.decode payload with
+            | Ok msg ->
+                handle_msg t c msg;
+                if not c.c_closing then go ()
+            | Error e -> protocol_error t c e)
+        | Result.Error e -> protocol_error t c e
+      in
+      go ()
+
+  (* --- backend-facing handling ------------------------------------ *)
+
+  let owner_conn t gid =
+    match Hashtbl.find_opt t.jobs gid with
+    | Some { j_conn = Some cid; _ } -> (
+        match Hashtbl.find_opt t.conns cid with
+        | Some c when not c.c_closing -> Some c
+        | _ -> None)
+    | _ -> None
+
+  (* A terminal record for [gid] (live push, fetched reject record, or
+     journal replay): first one wins, later arrivals are dropped — the
+     dedupe rule that keeps a migrated-then-replayed job from ever
+     answering twice. *)
+  let push_terminal t gid (d : Sched_journal.done_record) =
+    if not (Hashtbl.mem t.terminal gid) then begin
+      let d = { d with Sched_journal.d_id = gid } in
+      Hashtbl.replace t.terminal gid d;
+      (match owner_conn t gid with
+      | Some c when not (Hashtbl.mem t.notified gid) ->
+          send c (Wire.Result d)
+      | _ -> ());
+      true
+    end
+    else false
+
+  let handle_backend_msg t b = function
+    | Wire.Hello { now; max_pending; _ } ->
+        b.k_hello <- true;
+        b.k_now <- Float.max b.k_now now;
+        b.k_max_pending <- max_pending
+    | Wire.Status_ok { now; live; pending; backlog; _ } ->
+        b.k_now <- Float.max b.k_now now;
+        Health.observe b.k_health ~now:(vnow t)
+          ~snapshot:
+            {
+              Health.sn_now = now;
+              sn_live = live;
+              sn_pending = pending;
+              sn_backlog = backlog;
+            }
+    | Wire.Queued { job_id = local; arrival; deadline } -> (
+        match Queue.take_opt b.k_pending with
+        | None -> Log.warn (fun m -> m "backend %d: orphan QUEUED" b.k_index)
+        | Some (conn_opt, gid) ->
+            Hashtbl.replace b.k_local local gid;
+            (match Hashtbl.find_opt t.jobs gid with
+            | Some e -> e.j_local <- Some local
+            | None -> ());
+            (match conn_opt with
+            | Some cid -> (
+                match Hashtbl.find_opt t.conns cid with
+                | Some c when not c.c_closing ->
+                    send c (Wire.Queued { job_id = gid; arrival; deadline })
+                | _ -> ())
+            | None -> ()))
+    | Wire.Rejected { job_id = None; reason; retry_after } -> (
+        (* the backend's own door refused our forwarded SUBMIT *)
+        match Queue.take_opt b.k_pending with
+        | None ->
+            Log.warn (fun m -> m "backend %d: orphan door REJECT" b.k_index)
+        | Some (conn_opt, gid) -> (
+            match conn_opt with
+            | Some cid ->
+                Hashtbl.remove t.jobs gid;
+                t.door_rejects <- t.door_rejects + 1;
+                (match Hashtbl.find_opt t.conns cid with
+                | Some c when not c.c_closing ->
+                    send c (Wire.Rejected { job_id = None; reason; retry_after })
+                | _ -> ())
+            | None ->
+                (* a migration resubmit bounced — the job is lost *)
+                push_lost t gid ~label:"migrated"))
+    | Wire.Rejected { job_id = Some local; reason; retry_after } -> (
+        (* admission verdict at virtual arrival: relay under the global
+           id, then FETCH the done record so the books balance *)
+        match Hashtbl.find_opt b.k_local local with
+        | None ->
+            Log.warn (fun m ->
+                m "backend %d: REJECT for unknown job %d" b.k_index local)
+        | Some gid ->
+            (match owner_conn t gid with
+            | Some c ->
+                send c (Wire.Rejected { job_id = Some gid; reason; retry_after })
+            | None -> ());
+            Hashtbl.replace t.notified gid ();
+            bsend b (Wire.Fetch { job_id = local }))
+    | Wire.Result d -> (
+        match Hashtbl.find_opt b.k_local d.Sched_journal.d_id with
+        | None ->
+            Log.warn (fun m ->
+                m "backend %d: RESULT for unknown job %d" b.k_index
+                  d.Sched_journal.d_id)
+        | Some gid -> ignore (push_terminal t gid d))
+    | Wire.Pending _ -> ()  (* a FETCH raced the terminal push; the
+                               RESULT itself already answered *)
+    | Wire.Cancelled { job_id = local; state } -> (
+        match Queue.take_opt b.k_cancels with
+        | Some (expected, gid, cid) when expected = local -> (
+            match Hashtbl.find_opt t.conns cid with
+            | Some c when not c.c_closing ->
+                send c (Wire.Cancelled { job_id = gid; state })
+            | _ -> ())
+        | _ -> Log.warn (fun m -> m "backend %d: orphan CANCELLED" b.k_index))
+    | Wire.Drain_done summary -> b.k_summary <- Some summary
+    | Wire.Error { message } ->
+        Log.warn (fun m -> m "backend %d: ERROR %s" b.k_index message)
+    | Wire.Submit _ | Wire.Status | Wire.Fetch _ | Wire.Cancel _ | Wire.Drain
+      ->
+        Log.warn (fun m -> m "backend %d: client-tag frame" b.k_index)
+
+  (* Rewrite a journaled absolute-times job line into wire offsets for
+     a survivor: arrival becomes 0 (admit now — the survivor adds its
+     own virtual now back), the deadline becomes whatever slack is
+     left after the crash and the configured downtime. The query text
+     after the second '|' is forwarded untouched — the proxy stays
+     catalog-free. *)
+  let rewrite_line ~crash_now ~downtime line =
+    match String.index_opt line '|' with
+    | None -> None
+    | Some i -> (
+        match String.index_from_opt line (i + 1) '|' with
+        | None -> None
+        | Some j -> (
+            let deadline =
+              float_of_string_opt
+                (String.trim (String.sub line (i + 1) (j - i - 1)))
+            in
+            match deadline with
+            | None -> None
+            | Some dl ->
+                let remaining = dl -. (crash_now +. downtime) in
+                if remaining <= 0.0 then None
+                else
+                  let rest =
+                    String.sub line (j + 1) (String.length line - j - 1)
+                  in
+                  Some (Printf.sprintf "%.17g | %.17g |%s" 0.0 remaining rest)))
+
+  (* A backend connection died. Graceful (its DRAIN_DONE already
+     landed) is just bookkeeping; abrupt death trips the breaker,
+     answers every unacknowledged correlation, then reads the
+     backend's journal back: terminal [Done] records replay as RESULT
+     frames (byte-identical — same codec), unfinished [Submitted]
+     lines migrate to a survivor with their remaining slack, or are
+     written off as lost. *)
+  let backend_down t b =
+    if not b.k_dead then begin
+      b.k_dead <- true;
+      (try Unix.close b.k_fd with Unix.Unix_error _ -> ());
+      if b.k_summary = None then begin
+        t.deaths <- t.deaths + 1;
+        Log.warn (fun m -> m "backend %d died" b.k_index);
+        Breaker.force_open (Health.breaker b.k_health) ~now:(vnow t);
+        (* unacked SUBMITs: the client is told, a migration retry is
+           written off — neither ever reached the backend's books *)
+        Queue.iter
+          (fun (conn_opt, gid) ->
+            match conn_opt with
+            | Some cid ->
+                Hashtbl.remove t.jobs gid;
+                t.door_rejects <- t.door_rejects + 1;
+                (match Hashtbl.find_opt t.conns cid with
+                | Some c when not c.c_closing ->
+                    send c
+                      (Wire.Rejected
+                         {
+                           job_id = None;
+                           reason = "backend lost";
+                           retry_after = 0.0;
+                         })
+                | _ -> ())
+            | None -> push_lost t gid ~label:"migrated")
+          b.k_pending;
+        Queue.clear b.k_pending;
+        Queue.iter
+          (fun (_, gid, cid) ->
+            match Hashtbl.find_opt t.conns cid with
+            | Some c when not c.c_closing ->
+                send c (Wire.Cancelled { job_id = gid; state = "unknown" })
+            | _ -> ())
+          b.k_cancels;
+        Queue.clear b.k_cancels;
+        (* journal-backed replay and migration *)
+        let records =
+          match b.k_spec.bs_journal with
+          | None -> []
+          | Some path -> (
+              match Sched_journal.load path with
+              | Ok l ->
+                  (match l.Sched_journal.torn with
+                  | Some reason ->
+                      Log.warn (fun m ->
+                          m "backend %d journal torn: %s" b.k_index reason)
+                  | None -> ());
+                  l.Sched_journal.records
+              | Error e ->
+                  Log.err (fun m ->
+                      m "backend %d journal unreadable: %s" b.k_index e);
+                  [])
+        in
+        let done_local = Hashtbl.create 32 in
+        List.iter
+          (function
+            | Sched_journal.Done d -> (
+                Hashtbl.replace done_local d.Sched_journal.d_id ();
+                match Hashtbl.find_opt b.k_local d.Sched_journal.d_id with
+                | None -> ()  (* a pre-proxy tenancy of this journal *)
+                | Some gid ->
+                    if push_terminal t gid d then
+                      t.replayed <- t.replayed + 1)
+            | _ -> ())
+          records;
+        List.iter
+          (function
+            | Sched_journal.Submitted s
+              when not (Hashtbl.mem done_local s.Sched_journal.s_id) -> (
+                match Hashtbl.find_opt b.k_local s.Sched_journal.s_id with
+                | None -> ()
+                | Some gid when Hashtbl.mem t.terminal gid -> ()
+                | Some gid -> (
+                    let migrated_line =
+                      if t.failover then
+                        rewrite_line ~crash_now:b.k_now ~downtime:t.downtime
+                          s.Sched_journal.s_line
+                      else None
+                    in
+                    match (migrated_line, route t) with
+                    | Some line, Some survivor ->
+                        (match Hashtbl.find_opt t.jobs gid with
+                        | Some e ->
+                            e.j_backend <- survivor.k_index;
+                            e.j_local <- None
+                        | None ->
+                            Hashtbl.replace t.jobs gid
+                              {
+                                j_conn = None;
+                                j_backend = survivor.k_index;
+                                j_local = None;
+                              });
+                        Queue.add (None, gid) survivor.k_pending;
+                        bsend survivor (Wire.Submit { line });
+                        t.migrated <- t.migrated + 1
+                    | _ -> push_lost t gid ~label:s.Sched_journal.s_label))
+            | _ -> ())
+          records;
+        (* defensive sweep: anything still routed at this backend with
+           no terminal — no journal, or its line never made the disk *)
+        Hashtbl.iter
+          (fun gid (e : entry) ->
+            if e.j_backend = b.k_index && not (Hashtbl.mem t.terminal gid)
+            then push_lost t gid ~label:"orphaned")
+          t.jobs
+      end
+    end
+
+  (* --- event loop -------------------------------------------------- *)
+
+  let read_backend t b =
+    match Unix.read b.k_fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> backend_down t b
+    | n ->
+        Wire.feed b.k_rd t.scratch n;
+        let rec go () =
+          if not b.k_dead then
+            match Wire.next b.k_rd with
+            | Ok None -> ()
+            | Ok (Some payload) -> (
+                match Wire.decode payload with
+                | Ok msg ->
+                    handle_backend_msg t b msg;
+                    go ()
+                | Error e ->
+                    Log.err (fun m ->
+                        m "backend %d: codec error %s" b.k_index e);
+                    backend_down t b)
+            | Result.Error e ->
+                Log.err (fun m -> m "backend %d: framing error %s" b.k_index e);
+                backend_down t b
+        in
+        go ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        backend_down t b
+
+  let flush_backend t b =
+    let len = Buffer.length b.k_out in
+    if len > b.k_out_off then begin
+      let s = Buffer.contents b.k_out in
+      match Unix.write_substring b.k_fd s b.k_out_off (len - b.k_out_off) with
+      | n ->
+          b.k_out_off <- b.k_out_off + n;
+          if b.k_out_off = Buffer.length b.k_out then begin
+            Buffer.clear b.k_out;
+            b.k_out_off <- 0
+          end
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          backend_down t b
+    end
+
+  let accept_ready t =
+    let rec go () =
+      match Unix.accept t.listen_fd with
+      | fd, _addr ->
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let c =
+            {
+              c_id = t.next_conn;
+              c_fd = fd;
+              c_rd = Wire.reader ();
+              c_out = Buffer.create 256;
+              c_out_off = 0;
+              c_magic = false;
+              c_closing = false;
+            }
+          in
+          t.next_conn <- t.next_conn + 1;
+          Hashtbl.replace t.conns c.c_id c;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+  let read_ready t c =
+    match Unix.read c.c_fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> close_conn t c
+    | n ->
+        Wire.feed c.c_rd t.scratch n;
+        process_input t c
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn t c
+
+  let flush_conn t c =
+    let len = Buffer.length c.c_out in
+    if len > c.c_out_off then begin
+      let s = Buffer.contents c.c_out in
+      match Unix.write_substring c.c_fd s c.c_out_off (len - c.c_out_off) with
+      | n ->
+          c.c_out_off <- c.c_out_off + n;
+          if c.c_out_off = Buffer.length c.c_out then begin
+            Buffer.clear c.c_out;
+            c.c_out_off <- 0
+          end
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn t c
+    end;
+    if c.c_closing && Buffer.length c.c_out = c.c_out_off then close_conn t c
+
+  (* Wall-clock probe cadence: STATUS every interval, a missed reply
+     deadline debited to the breaker at the tier's virtual now. Death
+     is only ever declared on connection loss — a slow backend is
+     quarantined by its breaker, not buried. *)
+  let probe t =
+    let wall = Unix.gettimeofday () in
+    Array.iter
+      (fun b ->
+        if (not b.k_dead) && b.k_summary = None && b.k_hello then begin
+          if Health.overdue b.k_health ~wall then
+            Health.failed b.k_health ~now:(vnow t);
+          if Health.due b.k_health ~wall then begin
+            bsend b Wire.Status;
+            Health.sent b.k_health ~wall
+          end
+        end)
+      t.backends
+
+  let all_done t =
+    t.draining
+    && Array.for_all (fun b -> b.k_dead || b.k_summary <> None) t.backends
+
+  let finalize t =
+    (* anything still in the books with no terminal verdict *)
+    Hashtbl.iter
+      (fun gid _ ->
+        if not (Hashtbl.mem t.terminal gid) then
+          push_lost t gid ~label:"unresolved")
+      t.jobs;
+    let makespan =
+      Array.fold_left
+        (fun acc b ->
+          Float.max acc
+            (match b.k_summary with
+            | Some s -> s.Engine.makespan
+            | None -> b.k_now))
+        0.0 t.backends
+    in
+    let records =
+      Hashtbl.fold (fun _ d acc -> d :: acc) t.terminal []
+      |> List.sort (fun (a : Sched_journal.done_record) b ->
+             compare a.Sched_journal.d_id b.Sched_journal.d_id)
+    in
+    let summary = summarize ~makespan records in
+    List.iter
+      (fun c -> if not c.c_closing then send c (Wire.Drain_done summary))
+      (conn_list t);
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let rec flush_all () =
+      let waiting =
+        List.filter (fun c -> Buffer.length c.c_out > c.c_out_off) (conn_list t)
+      in
+      if waiting <> [] && Unix.gettimeofday () < deadline then begin
+        (match Unix.select [] (List.map (fun c -> c.c_fd) waiting) [] 0.05 with
+        | _, ws, _ ->
+            List.iter (fun c -> if List.mem c.c_fd ws then flush_conn t c) waiting
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        flush_all ()
+      end
+    in
+    flush_all ();
+    List.iter (fun c -> close_conn t c) (conn_list t);
+    Array.iter
+      (fun b ->
+        if not b.k_dead then begin
+          b.k_dead <- true;
+          try Unix.close b.k_fd with Unix.Unix_error _ -> ()
+        end)
+      t.backends;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    {
+      p_summary = summary;
+      p_records = records;
+      p_submitted = t.submitted;
+      p_door_rejects = t.door_rejects;
+      p_deaths = t.deaths;
+      p_migrated = t.migrated;
+      p_replayed = t.replayed;
+      p_lost = t.lost;
+    }
+
+  let shutdown t =
+    List.iter (fun c -> close_conn t c) (conn_list t);
+    Array.iter
+      (fun b ->
+        if not b.k_dead then begin
+          b.k_dead <- true;
+          try Unix.close b.k_fd with Unix.Unix_error _ -> ()
+        end)
+      t.backends;
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+  let run t =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let rec loop () =
+      if all_done t then finalize t
+      else begin
+        probe t;
+        let conns = conn_list t in
+        let live_backends =
+          Array.to_list t.backends |> List.filter (fun b -> not b.k_dead)
+        in
+        let rfds =
+          t.listen_fd
+          :: (List.map (fun b -> b.k_fd) live_backends
+             @ List.filter_map
+                 (fun c -> if c.c_closing then None else Some c.c_fd)
+                 conns)
+        in
+        let wfds =
+          List.filter_map
+            (fun b ->
+              if Buffer.length b.k_out > b.k_out_off then Some b.k_fd else None)
+            live_backends
+          @ List.filter_map
+              (fun c ->
+                if Buffer.length c.c_out > c.c_out_off then Some c.c_fd
+                else None)
+              conns
+        in
+        let rs, ws =
+          match Unix.select rfds wfds [] 0.05 with
+          | rs, ws, _ -> (rs, ws)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        if List.mem t.listen_fd rs then accept_ready t;
+        List.iter
+          (fun b ->
+            if (not b.k_dead) && List.mem b.k_fd rs then read_backend t b)
+          live_backends;
+        List.iter (fun c -> if List.mem c.c_fd rs then read_ready t c) conns;
+        ignore ws;
+        List.iter
+          (fun b ->
+            if (not b.k_dead) && Buffer.length b.k_out > b.k_out_off then
+              flush_backend t b)
+          live_backends;
+        List.iter
+          (fun c ->
+            if Hashtbl.mem t.conns c.c_id && Buffer.length c.c_out > c.c_out_off
+            then flush_conn t c)
+          conns;
+        loop ()
+      end
+    in
+    loop ()
+end

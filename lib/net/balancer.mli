@@ -1,0 +1,165 @@
+(** taqp_ha: the replicated serving tier. A TAQPNET1-speaking balancer
+    over N backends with least-priced-backlog routing (the
+    {!Backpressure.overloaded} price as routing cost), deadline-bounded
+    STATUS health probes ({!Health}), per-backend circuit breakers
+    cooled in virtual time ({!Breaker}), and journal-backed job
+    migration on backend death: terminal records replay as verbatim —
+    byte-identical — RESULT frames and unfinished lines are re-admitted
+    on survivors at crash time plus downtime, deduped by job id so a
+    client never sees two terminals. See docs/HA.md.
+
+    {!Cluster} is the deterministic in-process mode (N
+    {!Taqp_sched.Engine}s, no sockets — the bit-exact anchor:
+    a 1-backend cluster reproduces [Scheduler.run] byte for byte).
+    {!Proxy} is the real multi-process mode behind [taqp balance]. *)
+
+val summarize :
+  makespan:float ->
+  Taqp_sched.Sched_journal.done_record list ->
+  Taqp_sched.Engine.summary
+(** Rebuild an {!Taqp_sched.Engine.summary} from terminal records
+    alone — the balancer's cross-backend accounting. Field-for-field
+    the same folds as [Engine.finish], so one engine's record set
+    yields that engine's own summary bit-identically. Synthesized
+    ["lost"] records (a dead backend's unmigrated jobs) count as
+    admitted misses with zero service. *)
+
+(** Deterministic in-process balancer: N engines on synchronized
+    virtual clocks, each with its own scheduler journal. *)
+module Cluster : sig
+  type t
+
+  type outcome = {
+    o_summary : Taqp_sched.Engine.summary;
+    o_records : Taqp_sched.Sched_journal.done_record list;  (** id order *)
+    o_results : (int * Taqp_sched.Engine.result) list;
+        (** per surviving backend *)
+    o_replays : (int * bool) list;
+        (** journal-replayed terminal ids; [true] = the replayed RESULT
+            frame was byte-identical to the live push *)
+    o_routed : (int * int) list;  (** job id -> final backend *)
+    o_migrated : int;
+    o_lost : int;
+    o_door_rejects : int;
+  }
+
+  val create :
+    ?policy:Taqp_sched.Policy.t ->
+    ?admission:Taqp_sched.Admission.t ->
+    ?breaker:(unit -> Breaker.t) ->
+    dir:string ->
+    backends:int ->
+    catalog:Taqp_storage.Catalog.t ->
+    config:Taqp_core.Config.t ->
+    unit ->
+    t
+  (** [backends] engines, each journaling to
+      [dir/backend-<i>.journal]. [breaker] builds each backend's
+      breaker (default {!Breaker.create}).
+      @raise Invalid_argument on [backends < 1]. *)
+
+  val now : t -> float
+  (** Cluster virtual now: the max across backends (a dead backend
+      contributes its crash instant). Submissions are stamped against
+      this, so lagging idle engines sleep forward to it. *)
+
+  val alive : t -> int -> bool
+  val backend_now : t -> int -> float
+
+  val submit :
+    t ->
+    string ->
+    [ `Queued of int * int  (** job id, backend index *)
+    | `Rejected of string * float  (** reason, priced retry_after *) ]
+  (** Parse one job line (times as offsets from cluster now), route it
+      to the least-priced live backend — closed breakers before
+      half-open, then smallest {!Backpressure.overloaded} price — door
+      journal it there, and submit. [`Rejected "unavailable"] quotes
+      the smallest breaker cooldown remaining when no backend is
+      routable. *)
+
+  val advance : t -> upto:float -> unit
+  (** Step the least-advanced live engine repeatedly until every live
+      engine is idle or past [upto] — the deterministic interleaving
+      used to reach a mid-run kill point. *)
+
+  val kill :
+    t -> backend:int -> ?downtime:float -> failover:bool -> unit -> unit
+  (** Crash a backend abruptly: abandon its engine mid-flight, trip
+      its breaker, close its journal, and recover purely from the
+      journal file — replay terminal [Done] records as RESULT frames
+      (byte-compared against the live pushes), then either migrate the
+      unfinished remainder to survivors at crash time + [downtime]
+      (deadlines untouched: downtime expires what it expires) or,
+      with [failover:false] / no survivor, write each off as a
+      ["lost"] terminal. @raise Invalid_argument if already dead. *)
+
+  val frame : t -> id:int -> string option
+  (** The canonical terminal RESULT frame bytes recorded for a job —
+      what a live client was (or would have been) pushed. *)
+
+  val drain : t -> outcome
+  (** Run every live engine to idle, finish them, and account the
+      whole tier: terminal records in id order, a cross-backend
+      {!summarize} summary (makespan = latest instant any backend
+      reached, including crash instants). *)
+end
+
+(** Multi-process balancer: a [Unix.select] proxy speaking TAQPNET1 on
+    both sides — clients in front, N backend server processes behind.
+    Catalog-free: SUBMIT lines are forwarded verbatim (only ids are
+    rewritten — backends number their own jobs; the proxy owns the
+    global id space), and migration rewrites only the two leading
+    time fields of a journaled line. *)
+module Proxy : sig
+  type backend_spec = {
+    bs_port : int;
+    bs_journal : string option;
+        (** the backend's [--journal] path, read back on death to
+            replay terminals and migrate unfinished jobs; [None]
+            disables migration for that backend *)
+  }
+
+  type t
+
+  type stats = {
+    p_summary : Taqp_sched.Engine.summary;
+    p_records : Taqp_sched.Sched_journal.done_record list;  (** gid order *)
+    p_submitted : int;
+    p_door_rejects : int;
+    p_deaths : int;  (** abrupt backend losses *)
+    p_migrated : int;
+    p_replayed : int;  (** terminals recovered from a dead journal *)
+    p_lost : int;
+  }
+
+  val create :
+    ?failover:bool ->
+    ?downtime:float ->
+    port:int ->
+    backends:backend_spec list ->
+    unit ->
+    t
+  (** Dial every backend (bounded retries while it binds), send the
+      magic, listen for clients on loopback [port] (0 = ephemeral).
+      [failover] (default true) migrates a dead backend's unfinished
+      journaled jobs to survivors; [downtime] is charged against their
+      remaining slack. @raise Invalid_argument on an empty backend
+      list. *)
+
+  val port : t -> int
+
+  val run : t -> stats
+  (** Serve until a client sends DRAIN and every backend has either
+      answered DRAIN_DONE or died. Probes each live backend with
+      STATUS on a wall-clock cadence; a missed reply deadline debits
+      the breaker (quarantine), but death is declared only on
+      connection loss — then the dead backend's journal is replayed
+      and its unfinished jobs migrate. Clients get one terminal per
+      job, ever (first record wins); the final DRAIN_DONE carries the
+      cross-backend {!summarize} summary. *)
+
+  val shutdown : t -> unit
+  (** Abrupt teardown for in-process harnesses: close every fd so a
+      proxy running on another domain unblocks. *)
+end

@@ -1,0 +1,99 @@
+(* A per-backend circuit breaker, cooled down in *virtual* time: the
+   balancer's clock is the max of its backends' reported virtual nows,
+   so a breaker's cooldown is priced in the same seconds as every
+   retry_after the tier hands out — an opened backend is quarantined
+   for a span of scheduler time, not wall time, and deterministic
+   harnesses can drive the whole state machine without sleeping.
+
+   The machine is the classic three states with one twist: probe
+   verdicts, not request verdicts, drive it (the balancer health-checks
+   backends with deadline-bounded STATUS probes; see {!Health}).
+   While [Open], both successes and failures are ignored — the breaker
+   insists on its cooldown. Once the cooldown elapses the next verdict
+   is the half-open trial: success closes, failure re-opens with an
+   exponentially backed-off cooldown (capped). *)
+
+type state = Closed | Open | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type t = {
+  threshold : int;
+  cooldown : float;
+  backoff : float;
+  max_cooldown : float;
+  mutable failures : int;  (* consecutive failures while closed *)
+  mutable trips : int;  (* consecutive opens; resets when closed *)
+  mutable opened_at : float;  (* virtual instant of the last trip *)
+  mutable st : state;
+}
+
+let create ?(threshold = 3) ?(cooldown = 5.0) ?(backoff = 2.0)
+    ?(max_cooldown = 60.0) () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if cooldown <= 0.0 then invalid_arg "Breaker.create: cooldown <= 0";
+  if backoff < 1.0 then invalid_arg "Breaker.create: backoff < 1";
+  if max_cooldown < cooldown then
+    invalid_arg "Breaker.create: max_cooldown < cooldown";
+  {
+    threshold;
+    cooldown;
+    backoff;
+    max_cooldown;
+    failures = 0;
+    trips = 0;
+    opened_at = 0.0;
+    st = Closed;
+  }
+
+(* The cooldown for the current (1-based) trip streak. *)
+let current_cooldown t =
+  Float.min t.max_cooldown
+    (t.cooldown *. (t.backoff ** float_of_int (Int.max 0 (t.trips - 1))))
+
+let refresh t ~now =
+  match t.st with
+  | Open when now -. t.opened_at >= current_cooldown t -> t.st <- Half_open
+  | _ -> ()
+
+let state t ~now =
+  refresh t ~now;
+  t.st
+
+let trip t ~now =
+  t.st <- Open;
+  t.trips <- t.trips + 1;
+  t.opened_at <- now;
+  t.failures <- 0
+
+let record_success t ~now =
+  refresh t ~now;
+  match t.st with
+  | Closed -> t.failures <- 0
+  | Half_open ->
+      t.st <- Closed;
+      t.failures <- 0;
+      t.trips <- 0
+  | Open -> ()
+
+let record_failure t ~now =
+  refresh t ~now;
+  match t.st with
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.threshold then trip t ~now
+  | Half_open -> trip t ~now
+  | Open -> ()
+
+let retry_after t ~now =
+  refresh t ~now;
+  match t.st with
+  | Closed | Half_open -> 0.0
+  | Open -> Float.max 0.0 (current_cooldown t -. (now -. t.opened_at))
+
+let force_open t ~now =
+  refresh t ~now;
+  match t.st with Open -> () | Closed | Half_open -> trip t ~now

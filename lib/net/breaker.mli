@@ -1,0 +1,55 @@
+(** A per-backend circuit breaker for the balancer tier
+    ({!Balancer}), cooled down in {e virtual} time so its quarantine is
+    priced in the same seconds as every {!Backpressure} retry_after.
+
+    Driven by health-probe verdicts ({!Health}), not request verdicts:
+    [threshold] consecutive failures while [Closed] trip it [Open];
+    while [Open] every verdict is ignored until [cooldown] virtual
+    seconds elapse; the state then reads [Half_open] and the next
+    verdict is the trial — success closes, failure re-opens with the
+    cooldown multiplied by [backoff] (capped at [max_cooldown]).
+    Deterministic: every transition is a pure function of the supplied
+    [now]. See docs/HA.md. *)
+
+type state = Closed | Open | Half_open
+
+val state_name : state -> string
+(** ["closed"], ["open"] or ["half_open"]. *)
+
+type t
+
+val create :
+  ?threshold:int ->
+  ?cooldown:float ->
+  ?backoff:float ->
+  ?max_cooldown:float ->
+  unit ->
+  t
+(** Defaults: [threshold = 3], [cooldown = 5.0] virtual seconds,
+    [backoff = 2.0], [max_cooldown = 60.0].
+    @raise Invalid_argument on [threshold < 1], [cooldown <= 0],
+    [backoff < 1] or [max_cooldown < cooldown]. *)
+
+val state : t -> now:float -> state
+(** The state at virtual instant [now] (an elapsed cooldown surfaces
+    as [Half_open]). The balancer routes to [Closed] backends first,
+    [Half_open] as trial traffic, [Open] never. *)
+
+val record_success : t -> now:float -> unit
+(** A probe answered within its deadline. Closes a [Half_open]
+    breaker (trial passed) and clears the failure streak; ignored
+    while [Open] — the cooldown is insisted upon. *)
+
+val record_failure : t -> now:float -> unit
+(** A probe missed its deadline (or the transport errored). Trips a
+    [Closed] breaker at [threshold] consecutive failures; re-opens a
+    [Half_open] one with a backed-off cooldown; ignored while
+    [Open]. *)
+
+val retry_after : t -> now:float -> float
+(** Remaining cooldown at [now] — the priced component an unroutable
+    tier surfaces to clients. [0] unless [Open]. *)
+
+val force_open : t -> now:float -> unit
+(** Trip immediately regardless of the failure count — the balancer's
+    verdict on a backend whose connection died outright. *)

@@ -15,12 +15,14 @@ type t = {
   rd : Wire.reader;
   scratch : Bytes.t;
   inbox : push Queue.t;
+  read_timeout : float option;
   mutable hello : Wire.message option;
   mutable closed : bool;
 }
 
 exception Protocol_error of string
 exception Server_closed
+exception Timed_out of string
 
 let send t msg =
   let s = Wire.frame_message msg in
@@ -34,6 +36,18 @@ let send t msg =
     t.closed <- true;
     raise Server_closed
 
+(* With a read timeout configured, bound every blocking read with a
+   select — a hung (not dead) server surfaces as [Timed_out] instead
+   of blocking the caller forever. *)
+let wait_readable t =
+  match t.read_timeout with
+  | None -> ()
+  | Some tmo -> (
+      match Unix.select [ t.fd ] [] [] tmo with
+      | [], _, _ -> raise (Timed_out "read")
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+
 (* Pop the next decoded frame, blocking on the socket as needed. *)
 let rec next_frame t =
   match Wire.next t.rd with
@@ -43,6 +57,7 @@ let rec next_frame t =
       | Error e -> raise (Protocol_error e))
   | Error e -> raise (Protocol_error e)
   | Ok None -> (
+      wait_readable t;
       match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
       | 0 ->
           t.closed <- true;
@@ -69,10 +84,34 @@ let stash t = function
 let rec await t =
   match stash t (next_frame t) with Some m -> m | None -> await t
 
-let connect ~port =
+(* A bounded connect: non-blocking connect + select, then SO_ERROR
+   for the verdict. Without [connect_timeout] the plain blocking
+   connect is used (loopback connects are effectively instant; the
+   timeout matters for a listener whose accept queue is wedged). *)
+let connect_fd ?connect_timeout ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  (try
+     match connect_timeout with
+     | None -> Unix.connect fd addr
+     | Some tmo -> (
+         Unix.set_nonblock fd;
+         (try Unix.connect fd addr with
+         | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+             match Unix.select [] [ fd ] [] tmo with
+             | _, [], _ -> raise (Timed_out "connect")
+             | _ -> (
+                 match Unix.getsockopt_error fd with
+                 | None -> ()
+                 | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+         Unix.clear_nonblock fd)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let connect ?connect_timeout ?read_timeout ~port () =
+  let fd = connect_fd ?connect_timeout ~port () in
   (try Unix.setsockopt fd Unix.TCP_NODELAY true
    with Unix.Unix_error _ -> ());
   let t =
@@ -81,6 +120,7 @@ let connect ~port =
       rd = Wire.reader ();
       scratch = Bytes.create 8192;
       inbox = Queue.create ();
+      read_timeout;
       hello = None;
       closed = false;
     }
@@ -198,3 +238,50 @@ let close t =
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* Bounded-retry connect: a server that is still binding (or a
+   balancer whose backends are still coming up) answers ECONNREFUSED
+   for a moment; retry with a doubling pause instead of failing the
+   first race. Anything other than a refused/timed-out connect —
+   protocol errors, a real Unix error — propagates immediately. *)
+let connect_retry ?connect_timeout ?read_timeout ?(attempts = 5)
+    ?(pause = 0.1) ~port () =
+  if attempts < 1 then invalid_arg "Client.connect_retry: attempts < 1";
+  let rec go n pause =
+    match connect ?connect_timeout ?read_timeout ~port () with
+    | t -> t
+    | exception
+        (( Unix.Unix_error
+             ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ETIMEDOUT
+               | Unix.ENETUNREACH | Unix.EHOSTUNREACH ),
+               _,
+               _ )
+         | Timed_out _ | Server_closed ) as e) ->
+        if n >= attempts then raise e
+        else begin
+          Unix.sleepf pause;
+          go (n + 1) (pause *. 2.0)
+        end
+  in
+  go 1 pause
+
+(* Priced-backoff submit: honor the server's own retry_after quote —
+   that is the point of admission-as-backpressure — under an
+   exponential floor so a zero-priced refusal (draining, zero-slack)
+   still backs off. retry_after is in *virtual* seconds; [sleep] maps
+   the wait onto the caller's world and defaults to a capped wall
+   sleep (tests inject a recorder, the in-process harnesses a no-op). *)
+let submit_with_retry ?(attempts = 4) ?(backoff = 2.0) ?(floor = 0.01)
+    ?(sleep = fun d -> if d > 0.0 then Unix.sleepf (Float.min 0.5 d)) t line =
+  if attempts < 1 then invalid_arg "Client.submit_with_retry: attempts < 1";
+  let rec go n floor tries =
+    match submit t line with
+    | `Queued _ as q -> (q, List.rev tries)
+    | `Rejected (reason, retry_after) as r ->
+        if n >= attempts then (r, List.rev tries)
+        else begin
+          sleep (Float.max retry_after floor);
+          go (n + 1) (floor *. backoff) ((reason, retry_after) :: tries)
+        end
+  in
+  go 1 floor []

@@ -22,8 +22,34 @@ exception Protocol_error of string
 exception Server_closed
 (** The server hung up (or was killed) mid-exchange. *)
 
-val connect : port:int -> t
-(** TCP connect to loopback, send the magic, await HELLO. *)
+exception Timed_out of string
+(** A bounded connect or read ran out of wall time — the hung-server
+    case a plain blocking client would wait on forever. The payload
+    names the phase: ["connect"] or ["read"]. *)
+
+val connect :
+  ?connect_timeout:float -> ?read_timeout:float -> port:int -> unit -> t
+(** TCP connect to loopback, send the magic, await HELLO. With
+    [connect_timeout] the connect is non-blocking and bounded (wall
+    seconds); with [read_timeout] every blocking read — including the
+    HELLO wait and all later exchanges — is bounded and raises
+    {!Timed_out} on expiry. Defaults preserve the historical fully
+    blocking behavior. *)
+
+val connect_retry :
+  ?connect_timeout:float ->
+  ?read_timeout:float ->
+  ?attempts:int ->
+  ?pause:float ->
+  port:int ->
+  unit ->
+  t
+(** {!connect} with bounded retries: a refused / reset / timed-out
+    connect is retried up to [attempts] times (default 5) with a
+    doubling [pause] (default 0.1 wall seconds) — for racing a server
+    or balancer that is still binding its port. Other errors
+    propagate immediately.
+    @raise Invalid_argument on [attempts < 1]. *)
 
 val hello : t -> float * int * bool
 (** The HELLO recorded at connect: server virtual now, max_pending,
@@ -36,6 +62,25 @@ val submit :
   | `Rejected of string * float  (** door reason, retry_after *) ]
 (** Submit one job line (arrival/deadline as offsets from server now).
     [`Queued] is not completion — the terminal push arrives later. *)
+
+val submit_with_retry :
+  ?attempts:int ->
+  ?backoff:float ->
+  ?floor:float ->
+  ?sleep:(float -> unit) ->
+  t ->
+  string ->
+  [ `Queued of int * float * float | `Rejected of string * float ]
+  * (string * float) list
+(** {!submit}, honoring priced backpressure: each [`Rejected] is
+    retried after waiting [max retry_after floor] — the server's own
+    quote of when capacity will exist — with [floor] growing by
+    [backoff] per attempt (defaults: 4 attempts, backoff 2, floor
+    0.01). Returns the final disposition plus every refusal absorbed
+    along the way (reason, retry_after). [sleep] maps the virtual
+    retry_after onto the caller's world; the default is a wall sleep
+    capped at 0.5 s.
+    @raise Invalid_argument on [attempts < 1]. *)
 
 val status : t -> float * int * int * float * int * bool
 (** now, live, pending, backlog seconds, terminal count, draining. *)

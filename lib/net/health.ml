@@ -1,0 +1,81 @@
+(* Per-backend health bookkeeping for the balancer: when to send the
+   next deadline-bounded STATUS probe, whether the one in flight has
+   blown its deadline, the last STATUS snapshot (the quantities routing
+   prices against), and the breaker the verdicts feed.
+
+   Two time bases on purpose. Probe *scheduling* runs on the caller's
+   wall clock (probes are real I/O against real processes); probe
+   *verdicts* are recorded against the tier's virtual now, because the
+   breaker cools down in virtual time ({!Breaker}). The in-process
+   cluster harness drives both with the same virtual instants, which
+   keeps every test deterministic. *)
+
+type snapshot = {
+  sn_now : float;  (* the backend's reported virtual now *)
+  sn_live : int;
+  sn_pending : int;
+  sn_backlog : float;
+}
+
+type t = {
+  breaker : Breaker.t;
+  interval : float;  (* wall seconds between probes *)
+  deadline : float;  (* wall seconds a probe reply may take *)
+  mutable inflight : float option;  (* wall instant the probe left *)
+  mutable last_sent : float;
+  mutable snapshot : snapshot option;
+  mutable probes : int;
+  mutable failures : int;
+}
+
+let create ?(interval = 0.25) ?(deadline = 1.0) ?breaker () =
+  if interval <= 0.0 then invalid_arg "Health.create: interval <= 0";
+  if deadline <= 0.0 then invalid_arg "Health.create: deadline <= 0";
+  {
+    breaker = (match breaker with Some b -> b | None -> Breaker.create ());
+    interval;
+    deadline;
+    inflight = None;
+    last_sent = neg_infinity;
+    snapshot = None;
+    probes = 0;
+    failures = 0;
+  }
+
+let breaker t = t.breaker
+let snapshot t = t.snapshot
+let probes t = t.probes
+let failures t = t.failures
+
+let due t ~wall = t.inflight = None && wall -. t.last_sent >= t.interval
+
+let sent t ~wall =
+  t.inflight <- Some wall;
+  t.last_sent <- wall;
+  t.probes <- t.probes + 1
+
+let overdue t ~wall =
+  match t.inflight with Some s -> wall -. s > t.deadline | None -> false
+
+let observe t ~now ~snapshot =
+  t.inflight <- None;
+  t.snapshot <- Some snapshot;
+  Breaker.record_success t.breaker ~now
+
+let failed t ~now =
+  t.inflight <- None;
+  t.failures <- t.failures + 1;
+  Breaker.record_failure t.breaker ~now
+
+(* Routing cost: the same price an overloaded door would quote for
+   this backend ({!Backpressure.overloaded}) — least-priced-backlog
+   routing is literally "send it where the retry_after would be
+   smallest". A backend never probed yet prices as free (the first
+   probe follows immediately after connect). *)
+let cost t =
+  match t.snapshot with
+  | None -> 0.0
+  | Some s -> Backpressure.overloaded ~backlog:s.sn_backlog ~queue_len:s.sn_live
+
+let depth t =
+  match t.snapshot with None -> 0 | Some s -> s.sn_live + s.sn_pending

@@ -1,0 +1,57 @@
+(** Per-backend health bookkeeping for the balancer tier: schedules
+    deadline-bounded STATUS probes, keeps the last snapshot (what
+    least-priced-backlog routing prices against) and feeds verdicts to
+    the backend's {!Breaker}.
+
+    Probe scheduling uses the caller's wall clock ([wall]); verdicts
+    are recorded at the tier's virtual [now] because the breaker cools
+    down in virtual time. The in-process cluster drives both with the
+    same virtual instants — fully deterministic. See docs/HA.md. *)
+
+type snapshot = {
+  sn_now : float;  (** the backend's reported virtual now *)
+  sn_live : int;
+  sn_pending : int;
+  sn_backlog : float;  (** reserved-work seconds, as in STATUS_OK *)
+}
+
+type t
+
+val create : ?interval:float -> ?deadline:float -> ?breaker:Breaker.t -> unit -> t
+(** Defaults: probe every [interval = 0.25] wall seconds, each reply
+    due within [deadline = 1.0] wall seconds, a fresh default
+    {!Breaker}. @raise Invalid_argument on non-positive spans. *)
+
+val breaker : t -> Breaker.t
+val snapshot : t -> snapshot option
+val probes : t -> int
+(** Probes sent so far. *)
+
+val failures : t -> int
+(** Probe deadline misses / transport errors so far. *)
+
+val due : t -> wall:float -> bool
+(** Time to probe: none in flight and [interval] elapsed. *)
+
+val sent : t -> wall:float -> unit
+(** Record a probe leaving at [wall]. *)
+
+val overdue : t -> wall:float -> bool
+(** The in-flight probe has outlived its deadline — record it with
+    {!failed} and count it against the breaker. *)
+
+val observe : t -> now:float -> snapshot:snapshot -> unit
+(** A STATUS_OK landed in time: clear the in-flight probe, retain the
+    snapshot, credit the breaker at virtual [now]. *)
+
+val failed : t -> now:float -> unit
+(** The probe missed its deadline (or the transport errored): clear
+    it and debit the breaker at virtual [now]. *)
+
+val cost : t -> float
+(** The routing price: {!Backpressure.overloaded} over the last
+    snapshot — route where the quoted retry_after would be smallest.
+    [0] before the first snapshot. *)
+
+val depth : t -> int
+(** live + pending from the last snapshot (routing tiebreak). *)

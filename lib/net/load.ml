@@ -33,13 +33,21 @@ type outcome = {
   summary : Taqp_sched.Engine.summary;  (** the DRAIN_DONE payload *)
 }
 
-let run ~port ~process ~rate ~n ~seed ~clients ~make_line =
+(* [kill = (k, action)] is the backend-kill chaos hook: [action] runs
+   once, just before schedule slot [k] is submitted — the harness's
+   way of shooting a backend mid-serve and watching the balancer keep
+   answering. The schedule itself is unchanged: offered load stays
+   open-loop through the fault. *)
+let run ?kill ~port ~process ~rate ~n ~seed ~clients ~make_line () =
   if clients < 1 then invalid_arg "Load.run: clients < 1";
   let offsets = Arrivals.arrivals process ~rate ~n ~seed in
-  let conns = Array.init clients (fun _ -> Client.connect ~port) in
+  let conns = Array.init clients (fun _ -> Client.connect ~port ()) in
   let submissions = ref [] in
   Array.iteri
     (fun index offset ->
+      (match kill with
+      | Some (k, action) when k = index -> action ()
+      | _ -> ());
       let c = conns.(index mod clients) in
       let line = make_line ~index ~offset in
       let disposition =

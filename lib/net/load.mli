@@ -33,6 +33,7 @@ type outcome = {
 }
 
 val run :
+  ?kill:int * (unit -> unit) ->
   port:int ->
   process:Taqp_workload.Arrivals.process ->
   rate:float ->
@@ -40,6 +41,7 @@ val run :
   seed:int ->
   clients:int ->
   make_line:(index:int -> offset:float -> string) ->
+  unit ->
   outcome
 (** Draw [n] arrival offsets from [process] at [rate] (seeded), call
     [make_line] for each, submit them in order over [clients]
@@ -47,4 +49,9 @@ val run :
     push. [make_line] receives the schedule [index] and the arrival
     [offset] and returns a {!Taqp_sched.Job.of_line} line whose times
     are offsets from server virtual now.
+
+    [kill = (k, action)] is the backend-kill chaos hook: [action]
+    fires once, immediately before schedule slot [k] is submitted —
+    shoot a backend mid-serve and keep the open-loop schedule coming
+    (the balancer failover bench and CI smoke drive this).
     @raise Invalid_argument on [clients < 1]. *)

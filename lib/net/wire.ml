@@ -247,11 +247,30 @@ let frame_message m = frame (encode m)
 
 (* Incremental frame reader over a growing byte buffer — the per
    connection receive state. [next] never raises: a framing violation
-   (oversized or negative length, CRC mismatch) is an [Error] the
-   server turns into a connection close. *)
-type reader = { mutable buf : Bytes.t; mutable len : int; mutable off : int }
+   (oversized or negative length, CRC mismatch, receive-buffer
+   overflow) is an [Error] the server turns into a connection close.
 
-let reader () = { buf = Bytes.create 4096; len = 0; off = 0 }
+   Two bounds keep an adversarial peer from growing the buffer: the
+   length prefix is validated as soon as its 4 bytes are buffered —
+   before any of the claimed payload is awaited, so a forged huge
+   length costs at most 4 bytes of allocation — and the buffer itself
+   is hard-capped at [max_buffer]. A consumer that drains frames after
+   every read (both our event loops do) can never hit the cap on a
+   compliant stream; feeding past it poisons the reader and drops the
+   bytes. *)
+type reader = {
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable off : int;
+  mutable overflow : bool;
+}
+
+(* Room for one max-size frame plus a socket read's worth of the next;
+   anything beyond means the peer is flooding faster than frames can
+   legally complete. *)
+let max_buffer = 8 + max_frame + 65536
+
+let reader () = { buf = Bytes.create 4096; len = 0; off = 0; overflow = false }
 
 let compact r =
   if r.off > 0 then begin
@@ -261,18 +280,23 @@ let compact r =
   end
 
 let feed r bytes n =
-  compact r;
-  if r.len + n > Bytes.length r.buf then begin
-    let cap = ref (Bytes.length r.buf) in
-    while r.len + n > !cap do
-      cap := !cap * 2
-    done;
-    let bigger = Bytes.create !cap in
-    Bytes.blit r.buf 0 bigger 0 r.len;
-    r.buf <- bigger
-  end;
-  Bytes.blit bytes 0 r.buf r.len n;
-  r.len <- r.len + n
+  if not r.overflow then begin
+    compact r;
+    if r.len + n > max_buffer then r.overflow <- true
+    else begin
+      if r.len + n > Bytes.length r.buf then begin
+        let cap = ref (Bytes.length r.buf) in
+        while r.len + n > !cap do
+          cap := !cap * 2
+        done;
+        let bigger = Bytes.create !cap in
+        Bytes.blit r.buf 0 bigger 0 r.len;
+        r.buf <- bigger
+      end;
+      Bytes.blit bytes 0 r.buf r.len n;
+      r.len <- r.len + n
+    end
+  end
 
 let available r = r.len - r.off
 
@@ -285,8 +309,12 @@ let take r n =
   end
 
 let next r =
-  if available r < 8 then Ok None
+  if r.overflow then Result.Error "receive buffer overflow"
+  else if available r < 4 then Ok None
   else
+    (* Validate the length the moment its 4 bytes land — never wait
+       for (let alone allocate) a payload a corrupt or adversarial
+       prefix merely claims. *)
     let len = Int32.to_int (Bytes.get_int32_le r.buf r.off) in
     if len < 0 || len > max_frame then
       Result.Error (Printf.sprintf "bad frame length %d" len)

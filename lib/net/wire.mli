@@ -16,6 +16,12 @@ val max_frame : int
 (** Hard per-frame payload bound; a length field above it closes the
     connection. *)
 
+val max_buffer : int
+(** Hard bound on a {!reader}'s buffered-but-unconsumed bytes (one
+    max-size frame plus a socket read's slack). Feeding past it
+    poisons the reader: {!next} answers [Error] forever after — the
+    caller closes the connection. *)
+
 type message =
   | Submit of { line : string }
       (** a {!Taqp_sched.Job.of_line} job line whose arrival and
@@ -70,7 +76,9 @@ type reader
 val reader : unit -> reader
 
 val feed : reader -> bytes -> int -> unit
-(** Append the first [n] bytes just read from the socket. *)
+(** Append the first [n] bytes just read from the socket. Beyond
+    {!max_buffer} unconsumed bytes the reader is poisoned (bytes are
+    dropped and {!next} errors) instead of growing without bound. *)
 
 val available : reader -> int
 
@@ -79,5 +87,8 @@ val take : reader -> int -> string option
 
 val next : reader -> (string option, string) result
 (** Pop one complete frame's payload. [Ok None] = need more bytes;
-    [Error] = framing violation (bad length or CRC) — the caller
-    closes the connection. Never raises. *)
+    [Error] = framing violation (bad length or CRC, or a poisoned
+    buffer) — the caller closes the connection. Never raises. The
+    length prefix is validated as soon as its 4 bytes are buffered: a
+    forged huge length errors immediately, before any claimed payload
+    is awaited or allocated. *)

@@ -299,7 +299,7 @@ let summary_fingerprint (s : Engine.summary) =
 let test_socket_matches_batch () =
   let batch = Scheduler.run (batch_jobs ()) in
   let server, domain = spawn_server () in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   let now, max_pending, draining = Client.hello c in
   checkf "virtual clock frozen at connect" 0.0 now;
   checki "hello advertises max_pending" 4096 max_pending;
@@ -356,7 +356,7 @@ let test_socket_admission_rejects () =
   in
   checkb "fixture provokes admission rejects" true (rejected_batch <> []);
   let server, domain = spawn_server ~admission () in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   List.iter
     (fun line ->
       match Client.submit c line with
@@ -395,7 +395,7 @@ let test_quota_exhaustion () =
   let server, domain =
     spawn_server ~quota_capacity:2.0 ~quota_refill:0.0 ()
   in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   let lines = Lazy.force job_lines in
   let submit i = Client.submit c (List.nth lines i) in
   (match (submit 0, submit 1) with
@@ -418,7 +418,7 @@ let test_quota_exhaustion () =
 
 let test_depth_overload () =
   let server, domain = spawn_server ~max_pending:2 () in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   let lines = Lazy.force job_lines in
   ignore (Client.submit c (List.nth lines 0));
   ignore (Client.submit c (List.nth lines 1));
@@ -433,7 +433,7 @@ let test_depth_overload () =
 
 let test_parse_reject_and_status () =
   let server, domain = spawn_server () in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   (match Client.submit c "not a job line at all" with
   | `Rejected (reason, _) ->
       checkb "parse failures name the parser" true
@@ -477,7 +477,7 @@ let test_garbage_closes_connection () =
      with Unix.Unix_error (Unix.ECONNRESET, _, _) -> 0);
   Unix.close fd;
   (* the server is still serving *)
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   ignore (Client.drain c);
   Client.close c;
   ignore (Domain.join domain)
@@ -497,7 +497,7 @@ let test_crash_recover_replay () =
     Injector.create ~seed:3 (Fault_plan.make [ Fault_plan.crash_at crash_at ])
   in
   let server, domain = spawn_server ~journal_path:j1 ~faults () in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   List.iter
     (fun line -> ignore (Client.submit c line))
     (Lazy.force job_lines);
@@ -524,7 +524,7 @@ let test_crash_recover_replay () =
   let server, domain =
     spawn_server ~journal_path:j2 ~recover:records ~downtime:1.0 ()
   in
-  let c = Client.connect ~port:(Server.port server) in
+  let c = Client.connect ~port:(Server.port server) () in
   (* journaled completions answer immediately and verbatim *)
   let batch_records = List.map Engine.to_done_record batch.Scheduler.reports in
   List.iter
@@ -601,7 +601,7 @@ let test_load_harness_matches_batch () =
   let server, domain = spawn_server ~quota_capacity:(float_of_int n) () in
   let out =
     Load.run ~port:(Server.port server) ~process ~rate ~n ~seed ~clients:3
-      ~make_line
+      ~make_line ()
   in
   checks "harness summary == batch summary"
     (summary_fingerprint batch.Scheduler.summary)
@@ -616,6 +616,151 @@ let test_load_harness_matches_batch () =
           out.Load.submissions));
   checki "every job finished" n (List.length out.Load.finished);
   ignore (Domain.join domain)
+
+(* ------------------------------------------------------------------ *)
+(* Hardened framing: forged lengths and buffer bounds                  *)
+
+(* A forged huge length prefix must error the moment its 4 bytes are
+   buffered — before any of the claimed payload arrives, so a hostile
+   peer cannot make the reader await (or allocate) gigabytes. *)
+let test_forged_length_rejected_early () =
+  let forged len =
+    let b = Bytes.create 8 in
+    Bytes.set_int32_le b 0 (Int32.of_int len);
+    Bytes.set_int32_le b 4 0l;
+    Bytes.to_string b
+  in
+  List.iter
+    (fun len ->
+      let rd = Wire.reader () in
+      (* only the 4 length bytes — none of the claimed payload *)
+      let hdr = String.sub (forged len) 0 4 in
+      Wire.feed rd (Bytes.of_string hdr) 4;
+      match Wire.next rd with
+      | Error _ -> ()
+      | Ok _ ->
+          Alcotest.failf "length %d accepted with only the prefix buffered"
+            len)
+    [ Wire.max_frame + 1; 0x10_000_000; -1; Int32.to_int Int32.max_int ];
+  (* and a length exactly at the bound is still fine *)
+  let rd = Wire.reader () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int Wire.max_frame);
+  Wire.feed rd b 4;
+  checkb "max_frame length awaits its payload" true (Wire.next rd = Ok None)
+
+let test_reader_overflow_poisons () =
+  let rd = Wire.reader () in
+  (* never consume: pour raw bytes in until the bound trips *)
+  let chunk = Bytes.make 65536 'Z' in
+  let fed = ref 0 in
+  while !fed <= Wire.max_buffer do
+    Wire.feed rd chunk (Bytes.length chunk);
+    fed := !fed + Bytes.length chunk
+  done;
+  (match Wire.next rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "overflowed reader still serving");
+  checkb "buffered bytes stay bounded" true
+    (Wire.available rd <= Wire.max_buffer);
+  (* poisoned is forever: feeding more neither grows nor revives it *)
+  let before = Wire.available rd in
+  Wire.feed rd chunk (Bytes.length chunk);
+  checkb "poisoned reader drops input" true (Wire.available rd = before);
+  match Wire.next rd with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poisoned reader revived"
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure pricing properties                                     *)
+
+let test_backpressure_qcheck () =
+  let reason_gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map
+          (fun l -> Admission.Queue_full { limit = 1 + abs l })
+          QCheck.Gen.small_int;
+        QCheck.Gen.return Admission.Zero_slack;
+        QCheck.Gen.map2
+          (fun a b ->
+            Admission.Infeasible
+              { needed = Float.abs a; available = Float.abs b })
+          (QCheck.Gen.float_bound_inclusive 1e6)
+          (QCheck.Gen.float_bound_inclusive 1e6);
+      ]
+  in
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        quad reason_gen
+          (float_bound_inclusive 1e9)
+          (0 -- 10_000)
+          (map (fun h -> 1.0 +. h) (float_bound_inclusive 4.0)))
+  in
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500
+       ~name:"admission retry_after is finite and non-negative" arb
+       (fun (reason, backlog, queue_len, headroom) ->
+         let r = Backpressure.admission ~reason ~backlog ~queue_len ~headroom in
+         Float.is_finite r && r >= 0.0));
+  (* deeper backlog at equal queue length never lowers the Queue_full
+     price: the quote is monotone in the work ahead of you *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:500 ~name:"Queue_full price monotone in backlog"
+       (QCheck.make
+          QCheck.Gen.(
+            quad
+              (float_bound_inclusive 1e6)
+              (float_bound_inclusive 1e6)
+              (1 -- 10_000)
+              (map (fun h -> 1.0 +. h) (float_bound_inclusive 4.0))))
+       (fun (b1, db, queue_len, headroom) ->
+         let reason = Admission.Queue_full { limit = queue_len } in
+         let p1 = Backpressure.admission ~reason ~backlog:b1 ~queue_len ~headroom in
+         let p2 =
+           Backpressure.admission ~reason ~backlog:(b1 +. Float.abs db)
+             ~queue_len ~headroom
+         in
+         p2 >= p1))
+
+(* ------------------------------------------------------------------ *)
+(* Client timeouts                                                     *)
+
+let test_client_connect_retry_gives_up () =
+  (* grab a port with no listener: bind without listen, then close *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  let t0 = Unix.gettimeofday () in
+  (match Client.connect_retry ~attempts:3 ~pause:0.01 ~port () with
+  | _ -> Alcotest.fail "connected to a dead port"
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ());
+  (* three attempts with doubling pause: the retries actually waited *)
+  checkb "retries paused between dials" true
+    (Unix.gettimeofday () -. t0 >= 0.03)
+
+let test_client_read_timeout () =
+  (* a listener that accepts and then says nothing: the bounded client
+     must surface Timed_out instead of blocking on HELLO forever *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 1;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  (match Client.connect ~connect_timeout:1.0 ~read_timeout:0.1 ~port () with
+  | _ -> Alcotest.fail "HELLO from a silent listener"
+  | exception Client.Timed_out phase -> checks "phase" "read" phase);
+  Unix.close fd
 
 (* ------------------------------------------------------------------ *)
 
@@ -633,12 +778,18 @@ let () =
             test_reader_reassembly;
           Alcotest.test_case "torn and corrupt frames" `Quick
             test_reader_torn_and_corrupt;
+          Alcotest.test_case "forged length rejected at the prefix" `Quick
+            test_forged_length_rejected_early;
+          Alcotest.test_case "receive buffer overflow poisons" `Quick
+            test_reader_overflow_poisons;
         ] );
       ( "door",
         [
           Alcotest.test_case "token bucket" `Quick test_token_bucket;
           Alcotest.test_case "backpressure pricing" `Quick
             test_backpressure_pricing;
+          Alcotest.test_case "qcheck pricing properties" `Quick
+            test_backpressure_qcheck;
         ] );
       ( "socket",
         [
@@ -656,5 +807,9 @@ let () =
             test_crash_recover_replay;
           Alcotest.test_case "load harness == Scheduler.run" `Quick
             test_load_harness_matches_batch;
+          Alcotest.test_case "connect_retry gives up on a dead port" `Quick
+            test_client_connect_retry_gives_up;
+          Alcotest.test_case "read timeout on a silent listener" `Quick
+            test_client_read_timeout;
         ] );
     ]
